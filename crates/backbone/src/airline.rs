@@ -1,0 +1,174 @@
+//! The airline operational information system domain (paper §2).
+//!
+//! The original system consumed live FAA aircraft-movement data and NOAA
+//! weather feeds. Those are proprietary/live sources, so this module
+//! substitutes seeded synthetic generators producing the same *message
+//! structures*: the evaluation only depends on structure, never on
+//! content (see DESIGN.md, substitution table).
+
+use clayout::Record;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The stream name for aircraft movement events.
+pub const ASD_STREAM: &str = "asd-offs";
+/// The stream name for weather observations.
+pub const WEATHER_STREAM: &str = "weather";
+
+/// The paper's Appendix A Figure 9 schema (Structure B): the ASD
+/// departure event with a fixed `off` array and a dynamic `eta` array.
+pub const ASD_SCHEMA: &str = r#"<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/1999/XMLSchema"
+            targetNamespace="http://www.cc.gatech.edu/~pmw/schemas">
+  <xsd:annotation>
+    <xsd:documentation>ASDOff</xsd:documentation>
+  </xsd:annotation>
+  <xsd:complexType name="ASDOffEvent">
+    <xsd:element name="cntrID" type="xsd:string" />
+    <xsd:element name="arln" type="xsd:string" />
+    <xsd:element name="fltNum" type="xsd:integer" />
+    <xsd:element name="equip" type="xsd:string" />
+    <xsd:element name="org" type="xsd:string" />
+    <xsd:element name="dest" type="xsd:string" />
+    <xsd:element name="off" type="xsd:unsigned-long" minOccurs="5" maxOccurs="5" />
+    <xsd:element name="eta" type="xsd:unsigned-long" minOccurs="0" maxOccurs="*" />
+  </xsd:complexType>
+</xsd:schema>"#;
+
+/// A weather observation stream in the same metadata dialect.
+pub const WEATHER_SCHEMA: &str = r#"<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/1999/XMLSchema"
+            targetNamespace="http://www.cc.gatech.edu/~pmw/schemas">
+  <xsd:complexType name="WeatherObs">
+    <xsd:element name="station" type="xsd:string" />
+    <xsd:element name="tempC" type="xsd:double" />
+    <xsd:element name="windKts" type="xsd:double" />
+    <xsd:element name="pressureMb" type="xsd:double" />
+    <xsd:element name="gusts" type="xsd:double" minOccurs="0" maxOccurs="*" />
+  </xsd:complexType>
+</xsd:schema>"#;
+
+const CENTERS: [&str; 6] = ["ZTL", "ZJX", "ZME", "ZID", "ZDC", "ZHU"];
+const AIRLINES: [&str; 6] = ["DL", "AA", "UA", "FL", "CO", "NW"];
+const EQUIPMENT: [&str; 5] = ["B752", "B763", "MD88", "A320", "CRJ2"];
+const AIRPORTS: [&str; 8] = ["ATL", "BOS", "ORD", "DFW", "LGA", "MCO", "IAD", "CVG"];
+const STATIONS: [&str; 5] = ["KATL", "KBOS", "KORD", "KDFW", "KLGA"];
+
+/// A deterministic generator of airline-domain records.
+#[derive(Debug)]
+pub struct AirlineGenerator {
+    rng: StdRng,
+}
+
+impl AirlineGenerator {
+    /// Creates a generator from a seed (same seed ⇒ same event
+    /// sequence, so experiments are repeatable).
+    pub fn seeded(seed: u64) -> Self {
+        AirlineGenerator { rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// One `ASDOffEvent` record (paper Structure B shape).
+    pub fn flight_event(&mut self) -> Record {
+        let rng = &mut self.rng;
+        let base: u64 = 1_000_000_000 + rng.gen_range(0..1_000_000);
+        let eta_len = rng.gen_range(0..6);
+        Record::new()
+            .with("cntrID", *pick(rng, &CENTERS))
+            .with("arln", *pick(rng, &AIRLINES))
+            .with("fltNum", rng.gen_range(1i64..9999))
+            .with("equip", *pick(rng, &EQUIPMENT))
+            .with("org", *pick(rng, &AIRPORTS))
+            .with("dest", *pick(rng, &AIRPORTS))
+            .with("off", (0..5).map(|i| base + i * 60).collect::<Vec<u64>>())
+            .with(
+                "eta",
+                (0..eta_len).map(|i| base + 3600 + i * 300).collect::<Vec<u64>>(),
+            )
+    }
+
+    /// One `WeatherObs` record.
+    pub fn weather_event(&mut self) -> Record {
+        let rng = &mut self.rng;
+        let gust_len = rng.gen_range(0..4);
+        let wind: f64 = rng.gen_range(0.0..40.0);
+        Record::new()
+            .with("station", *pick(rng, &STATIONS))
+            .with("tempC", rng.gen_range(-20.0..42.0))
+            .with("windKts", wind)
+            .with("pressureMb", rng.gen_range(980.0..1040.0))
+            .with(
+                "gusts",
+                (0..gust_len)
+                    .map(|_| wind + rng.gen_range(0.0..15.0))
+                    .collect::<Vec<f64>>(),
+            )
+    }
+
+    /// A batch of flight events.
+    pub fn flight_events(&mut self, n: usize) -> Vec<Record> {
+        (0..n).map(|_| self.flight_event()).collect()
+    }
+}
+
+fn pick<'a, T>(rng: &mut StdRng, items: &'a [T]) -> &'a T {
+    &items[rng.gen_range(0..items.len())]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schemas_parse_and_bind() {
+        let x2w = xml2wire::Xml2Wire::builder().build();
+        let asd = x2w.register_schema_str(ASD_SCHEMA).unwrap();
+        let wx = x2w.register_schema_str(WEATHER_SCHEMA).unwrap();
+        assert_eq!(asd[0].name(), "ASDOffEvent");
+        assert_eq!(wx[0].name(), "WeatherObs");
+    }
+
+    #[test]
+    fn generated_flights_marshal_under_the_schema() {
+        let x2w = xml2wire::Xml2Wire::builder().build();
+        x2w.register_schema_str(ASD_SCHEMA).unwrap();
+        let mut generator = AirlineGenerator::seeded(7);
+        for _ in 0..50 {
+            let record = generator.flight_event();
+            let wire = x2w.encode(&record, "ASDOffEvent").unwrap();
+            let (_, decoded) = x2w.decode(&wire).unwrap();
+            assert_eq!(decoded.get("off").unwrap().as_array().unwrap().len(), 5);
+        }
+    }
+
+    #[test]
+    fn generated_weather_marshals_under_the_schema() {
+        let x2w = xml2wire::Xml2Wire::builder().build();
+        x2w.register_schema_str(WEATHER_SCHEMA).unwrap();
+        let mut generator = AirlineGenerator::seeded(11);
+        for _ in 0..50 {
+            let record = generator.weather_event();
+            let wire = x2w.encode(&record, "WeatherObs").unwrap();
+            assert!(x2w.decode(&wire).is_ok());
+        }
+    }
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let a: Vec<Record> = AirlineGenerator::seeded(42).flight_events(10);
+        let b: Vec<Record> = AirlineGenerator::seeded(42).flight_events(10);
+        assert_eq!(a, b);
+        let c: Vec<Record> = AirlineGenerator::seeded(43).flight_events(10);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn eta_lengths_vary() {
+        let mut generator = AirlineGenerator::seeded(3);
+        let lengths: std::collections::HashSet<usize> = (0..100)
+            .map(|_| {
+                generator.flight_event().get("eta").unwrap().as_array().unwrap().len()
+            })
+            .collect();
+        assert!(lengths.len() > 2, "dynamic arrays should vary: {lengths:?}");
+    }
+}

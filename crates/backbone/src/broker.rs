@@ -1,0 +1,300 @@
+//! The in-process publish/subscribe broker.
+
+use std::collections::HashMap;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::RwLock;
+
+use crate::error::BackboneError;
+
+/// One event on a stream: an encoded message plus routing metadata.
+///
+/// The payload is whatever the stream's codec produced (usually a full
+/// NDR message); the broker never interprets it — that is the whole
+/// point of keeping metadata handling orthogonal to transport.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// The stream this event was published on.
+    pub stream: String,
+    /// The message format name (mirrors the wire header, but lets
+    /// consumers route without parsing payloads).
+    pub format_name: String,
+    /// The encoded message.
+    pub payload: Vec<u8>,
+}
+
+impl Event {
+    /// Creates an event.
+    pub fn new(
+        stream: impl Into<String>,
+        format_name: impl Into<String>,
+        payload: Vec<u8>,
+    ) -> Self {
+        Event { stream: stream.into(), format_name: format_name.into(), payload }
+    }
+}
+
+/// Descriptive information about a registered stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamInfo {
+    /// The stream name.
+    pub name: String,
+    /// Where subscribers can discover the stream's metadata (a locator
+    /// for the discovery chain, typically a metadata-server URL).
+    pub metadata_locator: Option<String>,
+    /// Number of live subscribers.
+    pub subscribers: usize,
+    /// Number of events published so far.
+    pub published: u64,
+}
+
+#[derive(Debug)]
+struct StreamState {
+    metadata_locator: Option<String>,
+    senders: Vec<Sender<Event>>,
+    published: u64,
+}
+
+/// A subscription: the consuming end of a stream.
+#[derive(Debug)]
+pub struct Subscription {
+    receiver: Receiver<Event>,
+}
+
+impl Subscription {
+    /// Blocks until the next event.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BackboneError::Disconnected`] when every publisher
+    /// handle to the broker is gone.
+    pub fn recv(&self) -> Result<Event, BackboneError> {
+        self.receiver.recv().map_err(|_| BackboneError::Disconnected)
+    }
+
+    /// Waits up to `timeout` for the next event.
+    ///
+    /// # Errors
+    ///
+    /// Disconnection or timeout (reported as `Disconnected`).
+    pub fn recv_timeout(
+        &self,
+        timeout: std::time::Duration,
+    ) -> Result<Event, BackboneError> {
+        self.receiver.recv_timeout(timeout).map_err(|_| BackboneError::Disconnected)
+    }
+
+    /// Non-blocking poll.
+    pub fn try_recv(&self) -> Option<Event> {
+        self.receiver.try_recv().ok()
+    }
+
+    /// Number of events waiting.
+    pub fn backlog(&self) -> usize {
+        self.receiver.len()
+    }
+}
+
+/// The event backbone broker: named streams with fan-out delivery.
+#[derive(Debug, Default)]
+pub struct Broker {
+    streams: RwLock<HashMap<String, StreamState>>,
+}
+
+impl Broker {
+    /// Creates an empty broker.
+    pub fn new() -> Self {
+        Broker::default()
+    }
+
+    /// Registers a stream (idempotent; a later call may add a metadata
+    /// locator but will not erase one).
+    pub fn create_stream(&self, name: impl Into<String>, metadata_locator: Option<String>) {
+        let name = name.into();
+        let mut streams = self.streams.write();
+        let state = streams.entry(name).or_insert_with(|| StreamState {
+            metadata_locator: None,
+            senders: Vec::new(),
+            published: 0,
+        });
+        if metadata_locator.is_some() {
+            state.metadata_locator = metadata_locator;
+        }
+    }
+
+    /// Subscribes to a stream.
+    ///
+    /// # Errors
+    ///
+    /// Unknown streams are an error — subscribers are expected to learn
+    /// stream names from [`streams`](Self::streams), as the scenario's
+    /// applications do.
+    pub fn subscribe(&self, stream: &str) -> Result<Subscription, BackboneError> {
+        let mut streams = self.streams.write();
+        let state = streams
+            .get_mut(stream)
+            .ok_or_else(|| BackboneError::UnknownStream { name: stream.to_owned() })?;
+        let (tx, rx) = unbounded();
+        state.senders.push(tx);
+        Ok(Subscription { receiver: rx })
+    }
+
+    /// Publishes an event to its stream, returning how many subscribers
+    /// received it. Dead subscriptions are pruned.
+    ///
+    /// # Errors
+    ///
+    /// Unknown streams.
+    pub fn publish(&self, event: Event) -> Result<usize, BackboneError> {
+        let mut streams = self.streams.write();
+        let state = streams
+            .get_mut(&event.stream)
+            .ok_or_else(|| BackboneError::UnknownStream { name: event.stream.clone() })?;
+        state.published += 1;
+        state.senders.retain(|tx| tx.send(event.clone()).is_ok());
+        Ok(state.senders.len())
+    }
+
+    /// The metadata locator registered for a stream.
+    pub fn metadata_locator(&self, stream: &str) -> Option<String> {
+        self.streams.read().get(stream).and_then(|s| s.metadata_locator.clone())
+    }
+
+    /// Information about every stream, sorted by name.
+    pub fn streams(&self) -> Vec<StreamInfo> {
+        let mut infos: Vec<StreamInfo> = self
+            .streams
+            .read()
+            .iter()
+            .map(|(name, state)| StreamInfo {
+                name: name.clone(),
+                metadata_locator: state.metadata_locator.clone(),
+                subscribers: state.senders.len(),
+                published: state.published,
+            })
+            .collect();
+        infos.sort_by(|a, b| a.name.cmp(&b.name));
+        infos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn event(stream: &str, n: u8) -> Event {
+        Event::new(stream, "F", vec![n])
+    }
+
+    #[test]
+    fn publish_fans_out_to_all_subscribers() {
+        let broker = Broker::new();
+        broker.create_stream("asd", None);
+        let a = broker.subscribe("asd").unwrap();
+        let b = broker.subscribe("asd").unwrap();
+        let delivered = broker.publish(event("asd", 1)).unwrap();
+        assert_eq!(delivered, 2);
+        assert_eq!(a.recv().unwrap().payload, vec![1]);
+        assert_eq!(b.recv().unwrap().payload, vec![1]);
+    }
+
+    #[test]
+    fn subscribers_only_see_their_stream() {
+        let broker = Broker::new();
+        broker.create_stream("asd", None);
+        broker.create_stream("wx", None);
+        let wx = broker.subscribe("wx").unwrap();
+        broker.publish(event("asd", 1)).unwrap();
+        broker.publish(event("wx", 2)).unwrap();
+        assert_eq!(wx.recv_timeout(Duration::from_millis(100)).unwrap().payload, vec![2]);
+        assert!(wx.try_recv().is_none());
+    }
+
+    #[test]
+    fn unknown_stream_operations_fail() {
+        let broker = Broker::new();
+        assert!(matches!(
+            broker.subscribe("ghost"),
+            Err(BackboneError::UnknownStream { .. })
+        ));
+        assert!(matches!(
+            broker.publish(event("ghost", 0)),
+            Err(BackboneError::UnknownStream { .. })
+        ));
+    }
+
+    #[test]
+    fn dropped_subscriptions_are_pruned() {
+        let broker = Broker::new();
+        broker.create_stream("asd", None);
+        let a = broker.subscribe("asd").unwrap();
+        {
+            let _b = broker.subscribe("asd").unwrap();
+        }
+        // _b is gone; the next publish prunes it.
+        let delivered = broker.publish(event("asd", 1)).unwrap();
+        assert_eq!(delivered, 1);
+        assert_eq!(a.backlog(), 1);
+    }
+
+    #[test]
+    fn metadata_locator_is_kept_and_not_erased() {
+        let broker = Broker::new();
+        broker.create_stream("asd", Some("http://meta/asd.xsd".to_owned()));
+        broker.create_stream("asd", None); // late idempotent create
+        assert_eq!(broker.metadata_locator("asd").as_deref(), Some("http://meta/asd.xsd"));
+    }
+
+    #[test]
+    fn stream_info_reports_counts() {
+        let broker = Broker::new();
+        broker.create_stream("b", None);
+        broker.create_stream("a", None);
+        let _sub = broker.subscribe("a").unwrap();
+        broker.publish(event("a", 1)).unwrap();
+        let infos = broker.streams();
+        assert_eq!(infos.len(), 2);
+        assert_eq!(infos[0].name, "a");
+        assert_eq!(infos[0].subscribers, 1);
+        assert_eq!(infos[0].published, 1);
+        assert_eq!(infos[1].published, 0);
+    }
+
+    #[test]
+    fn late_joining_subscriber_misses_earlier_events() {
+        // The handheld-device scenario: joins late, sees only new data.
+        let broker = Broker::new();
+        broker.create_stream("asd", None);
+        broker.publish(event("asd", 1)).unwrap();
+        let late = broker.subscribe("asd").unwrap();
+        broker.publish(event("asd", 2)).unwrap();
+        assert_eq!(late.recv().unwrap().payload, vec![2]);
+        assert!(late.try_recv().is_none());
+    }
+
+    #[test]
+    fn concurrent_publishers_and_subscribers() {
+        let broker = std::sync::Arc::new(Broker::new());
+        broker.create_stream("asd", None);
+        let sub = broker.subscribe("asd").unwrap();
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let broker = std::sync::Arc::clone(&broker);
+                std::thread::spawn(move || {
+                    for _ in 0..25 {
+                        broker.publish(event("asd", i)).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut seen = 0;
+        while sub.try_recv().is_some() {
+            seen += 1;
+        }
+        assert_eq!(seen, 100);
+    }
+}

@@ -1,0 +1,87 @@
+//! Backbone error type.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+use xml2wire::X2wError;
+
+/// A failure in the event backbone.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum BackboneError {
+    /// Socket/transport failure.
+    Io(std::io::Error),
+    /// Metadata or marshaling failure from the xml2wire stack.
+    Metadata(X2wError),
+    /// A stream name that is not registered with the broker.
+    UnknownStream {
+        /// The requested stream.
+        name: String,
+    },
+    /// The subscription's channel closed (publisher side gone).
+    Disconnected,
+    /// A malformed transport frame.
+    BadFrame {
+        /// Explanation.
+        detail: String,
+    },
+}
+
+impl fmt::Display for BackboneError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BackboneError::Io(e) => write!(f, "transport failure: {e}"),
+            BackboneError::Metadata(e) => write!(f, "{e}"),
+            BackboneError::UnknownStream { name } => write!(f, "unknown stream {name:?}"),
+            BackboneError::Disconnected => f.write_str("subscription disconnected"),
+            BackboneError::BadFrame { detail } => write!(f, "malformed frame: {detail}"),
+        }
+    }
+}
+
+impl StdError for BackboneError {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            BackboneError::Io(e) => Some(e),
+            BackboneError::Metadata(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for BackboneError {
+    fn from(e: std::io::Error) -> Self {
+        BackboneError::Io(e)
+    }
+}
+
+impl From<X2wError> for BackboneError {
+    fn from(e: X2wError) -> Self {
+        BackboneError::Metadata(e)
+    }
+}
+
+impl From<pbio::PbioError> for BackboneError {
+    fn from(e: pbio::PbioError) -> Self {
+        BackboneError::Metadata(X2wError::Bcm(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync + 'static>() {}
+        assert_send_sync::<BackboneError>();
+    }
+
+    #[test]
+    fn sources_chain_through() {
+        let io = std::io::Error::new(std::io::ErrorKind::ConnectionRefused, "nope");
+        let err = BackboneError::from(io);
+        assert!(StdError::source(&err).is_some());
+        assert!(err.to_string().contains("transport"));
+    }
+}

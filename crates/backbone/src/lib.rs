@@ -1,0 +1,40 @@
+//! The event backbone: pub/sub streams, TCP event transport, and the
+//! airline operational information system scenario.
+//!
+//! The paper motivates xml2wire with an airline system (§2, Figures 1
+//! and 3): capture points produce structured information streams over a
+//! "system-wide event backbone"; display points, gate terminals and
+//! late-joining handheld devices subscribe, *discovering each stream's
+//! message structure at runtime* instead of being compiled against it.
+//! This crate is that backbone:
+//!
+//! * [`broker`] — an in-process publish/subscribe broker over crossbeam
+//!   channels; streams carry a metadata locator so subscribers know where
+//!   to discover the format.
+//! * [`net`] — a length-prefixed TCP event transport
+//!   ([`net::EventServer`], [`net::EventClient`]) so the end-to-end
+//!   latency experiment crosses real sockets.
+//! * [`stream`] — capture points (synthetic producers) and consumers
+//!   that run the full discover → bind → decode pipeline on
+//!   subscription.
+//! * [`scoping`] — "format-scoping" (§4.4): deriving per-subscriber
+//!   schema slices and projecting records onto them.
+//! * [`airline`] — the paper's domain: `ASDOffEvent` flight events and
+//!   weather observations, with seeded generators standing in for the
+//!   FAA/NOAA feeds the authors had.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod airline;
+pub mod broker;
+pub mod error;
+pub mod net;
+pub mod scoping;
+pub mod stream;
+
+pub use broker::{Broker, Event, StreamInfo, Subscription};
+pub use error::BackboneError;
+pub use net::{EventClient, EventServer, Frame};
+pub use scoping::FormatScope;
+pub use stream::{CapturePoint, Consumer};

@@ -1,0 +1,268 @@
+//! Capture points and consumers: the discover → subscribe → decode
+//! pipeline of Figure 3.
+
+use std::sync::Arc;
+
+use clayout::Record;
+use pbio::Format;
+use xml2wire::Xml2Wire;
+
+use crate::broker::{Broker, Event, Subscription};
+use crate::error::BackboneError;
+
+/// A capture point: publishes records of one format onto one stream
+/// (the FAA feed, the NOAA feed, the data-mining process of §2).
+#[derive(Debug)]
+pub struct CapturePoint {
+    broker: Arc<Broker>,
+    session: Arc<Xml2Wire>,
+    stream: String,
+    format_name: String,
+}
+
+impl CapturePoint {
+    /// Creates a capture point and registers its stream with the broker,
+    /// advertising `metadata_locator` for subscribers to discover.
+    ///
+    /// The session must already know `format_name` (the producer always
+    /// knows its own format — typically it *published* the metadata).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the session does not know the format.
+    pub fn new(
+        broker: Arc<Broker>,
+        session: Arc<Xml2Wire>,
+        stream: impl Into<String>,
+        format_name: impl Into<String>,
+        metadata_locator: Option<String>,
+    ) -> Result<Self, BackboneError> {
+        let stream = stream.into();
+        let format_name = format_name.into();
+        session.require_format(&format_name)?;
+        broker.create_stream(stream.clone(), metadata_locator);
+        Ok(CapturePoint { broker, session, stream, format_name })
+    }
+
+    /// Encodes and publishes one record; returns the subscriber count
+    /// it reached.
+    ///
+    /// # Errors
+    ///
+    /// Encoding or broker failures.
+    pub fn publish(&self, record: &Record) -> Result<usize, BackboneError> {
+        let payload = self.session.encode(record, &self.format_name)?;
+        self.broker.publish(Event::new(
+            self.stream.clone(),
+            self.format_name.clone(),
+            payload,
+        ))
+        .map_err(Into::into)
+    }
+
+    /// Publishes a batch, returning the total deliveries.
+    ///
+    /// # Errors
+    ///
+    /// As [`publish`](Self::publish); stops at the first failure.
+    pub fn publish_batch(&self, records: &[Record]) -> Result<usize, BackboneError> {
+        let mut total = 0;
+        for record in records {
+            total += self.publish(record)?;
+        }
+        Ok(total)
+    }
+
+    /// The stream this capture point feeds.
+    pub fn stream(&self) -> &str {
+        &self.stream
+    }
+}
+
+/// A consumer: subscribes to streams, discovering each stream's metadata
+/// at subscription time through its session's discovery chain.
+#[derive(Debug)]
+pub struct Consumer {
+    broker: Arc<Broker>,
+    session: Arc<Xml2Wire>,
+}
+
+/// An active subscription with its discovered format.
+#[derive(Debug)]
+pub struct DecodedSubscription {
+    subscription: Subscription,
+    session: Arc<Xml2Wire>,
+    format: Arc<Format>,
+}
+
+impl Consumer {
+    /// Creates a consumer over `broker` using `session` for discovery
+    /// and decoding.
+    pub fn new(broker: Arc<Broker>, session: Arc<Xml2Wire>) -> Self {
+        Consumer { broker, session }
+    }
+
+    /// Subscribes to `stream`: looks up the stream's advertised metadata
+    /// locator, runs discovery (with whatever fallback the session's
+    /// chain provides), binds the format, and returns a decoding
+    /// subscription.
+    ///
+    /// This is the paper's claim made concrete: a brand-new consumer
+    /// needs *no compiled-in knowledge* of the stream's message format.
+    ///
+    /// # Errors
+    ///
+    /// Unknown streams, discovery failures, binding failures.
+    pub fn subscribe(&self, stream: &str) -> Result<DecodedSubscription, BackboneError> {
+        let locator =
+            self.broker.metadata_locator(stream).ok_or_else(|| BackboneError::UnknownStream {
+                name: stream.to_owned(),
+            })?;
+        let formats = self.session.discover(&locator)?;
+        let format = formats.into_iter().next().ok_or_else(|| BackboneError::Metadata(
+            xml2wire::X2wError::Binding {
+                complex_type: stream.to_owned(),
+                detail: "discovered document defines no complex types".to_owned(),
+            },
+        ))?;
+        let subscription = self.broker.subscribe(stream)?;
+        Ok(DecodedSubscription {
+            subscription,
+            session: Arc::clone(&self.session),
+            format,
+        })
+    }
+}
+
+impl DecodedSubscription {
+    /// The discovered format for this stream.
+    pub fn format(&self) -> &Arc<Format> {
+        &self.format
+    }
+
+    /// Blocks for the next event and decodes it.
+    ///
+    /// # Errors
+    ///
+    /// Disconnection or decode failures.
+    pub fn next_record(&self) -> Result<Record, BackboneError> {
+        let event = self.subscription.recv()?;
+        let (_, record) = self.session.decode(&event.payload)?;
+        Ok(record)
+    }
+
+    /// Waits up to `timeout` for the next event and decodes it.
+    ///
+    /// # Errors
+    ///
+    /// Disconnection, timeout, or decode failures.
+    pub fn next_record_timeout(
+        &self,
+        timeout: std::time::Duration,
+    ) -> Result<Record, BackboneError> {
+        let event = self.subscription.recv_timeout(timeout)?;
+        let (_, record) = self.session.decode(&event.payload)?;
+        Ok(record)
+    }
+
+    /// The raw subscription, for callers that want undecoded events.
+    pub fn raw(&self) -> &Subscription {
+        &self.subscription
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::airline::{AirlineGenerator, ASD_SCHEMA, ASD_STREAM};
+    use std::time::Duration;
+    use xml2wire::{MetadataServer, UrlSource};
+
+    /// Builds the full Figure 3 pipeline: metadata server + producer +
+    /// discovering consumer.
+    fn pipeline() -> (MetadataServer, Arc<Broker>, CapturePoint, Consumer) {
+        let server = MetadataServer::bind("127.0.0.1:0").unwrap();
+        server.publish("/schemas/asd.xsd", ASD_SCHEMA);
+
+        let broker = Arc::new(Broker::new());
+
+        let producer_session = Arc::new(xml2wire::Xml2Wire::builder().build());
+        producer_session.register_schema_str(ASD_SCHEMA).unwrap();
+        let capture = CapturePoint::new(
+            Arc::clone(&broker),
+            producer_session,
+            ASD_STREAM,
+            "ASDOffEvent",
+            Some(server.url_for("/schemas/asd.xsd")),
+        )
+        .unwrap();
+
+        let consumer_session = Arc::new(
+            xml2wire::Xml2Wire::builder().source(Box::new(UrlSource::new())).build(),
+        );
+        let consumer = Consumer::new(Arc::clone(&broker), consumer_session);
+        (server, broker, capture, consumer)
+    }
+
+    #[test]
+    fn consumer_discovers_format_and_decodes_events() {
+        let (_server, _broker, capture, consumer) = pipeline();
+        let sub = consumer.subscribe(ASD_STREAM).unwrap();
+        assert_eq!(sub.format().name(), "ASDOffEvent");
+
+        let mut generator = AirlineGenerator::seeded(1);
+        let record = generator.flight_event();
+        capture.publish(&record).unwrap();
+
+        let decoded = sub.next_record_timeout(Duration::from_secs(2)).unwrap();
+        assert_eq!(
+            decoded.get("arln").unwrap().as_str(),
+            record.get("arln").unwrap().as_str()
+        );
+    }
+
+    #[test]
+    fn capture_point_requires_a_known_format() {
+        let broker = Arc::new(Broker::new());
+        let session = Arc::new(xml2wire::Xml2Wire::builder().build());
+        assert!(CapturePoint::new(broker, session, "s", "Unknown", None).is_err());
+    }
+
+    #[test]
+    fn subscribing_to_a_stream_without_metadata_fails() {
+        let broker = Arc::new(Broker::new());
+        broker.create_stream("bare", None);
+        let session = Arc::new(xml2wire::Xml2Wire::builder().build());
+        let consumer = Consumer::new(broker, session);
+        assert!(consumer.subscribe("bare").is_err());
+    }
+
+    #[test]
+    fn batch_publish_reaches_all_subscribers() {
+        let (_server, _broker, capture, consumer) = pipeline();
+        let sub_a = consumer.subscribe(ASD_STREAM).unwrap();
+        let sub_b = consumer.subscribe(ASD_STREAM).unwrap();
+        let mut generator = AirlineGenerator::seeded(2);
+        let records = generator.flight_events(5);
+        let delivered = capture.publish_batch(&records).unwrap();
+        assert_eq!(delivered, 10); // 5 events × 2 subscribers
+        for _ in 0..5 {
+            sub_a.next_record_timeout(Duration::from_secs(1)).unwrap();
+            sub_b.next_record_timeout(Duration::from_secs(1)).unwrap();
+        }
+    }
+
+    #[test]
+    fn discovery_failure_surfaces_as_metadata_error() {
+        let broker = Arc::new(Broker::new());
+        broker.create_stream("s", Some("http://127.0.0.1:1/dead.xsd".to_owned()));
+        let session = Arc::new(
+            xml2wire::Xml2Wire::builder().source(Box::new(UrlSource::new())).build(),
+        );
+        let consumer = Consumer::new(broker, session);
+        assert!(matches!(
+            consumer.subscribe("s"),
+            Err(BackboneError::Metadata(_))
+        ));
+    }
+}

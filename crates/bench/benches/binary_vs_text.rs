@@ -1,0 +1,83 @@
+//! **E3**: binary NDR vs text-XML wire format.
+//!
+//! Paper §1: "when transmitting XML data, our NDR-based approach to data
+//! transmission demonstrates performance an entire order of magnitude
+//! larger than existing, text-based XML transmission approaches."
+//!
+//! Expected shape: ≥10× on encode+decode for numeric payloads (binary ↔
+//! ASCII conversion dominates the text path), with the gap widening as
+//! payloads grow.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Duration;
+
+use clayout::Architecture;
+use omf_bench::{bind, doubles_workload, format_for, record_b, record_cd, SCHEMA_B, SCHEMA_CD};
+
+fn workloads() -> Vec<(String, pbio::Format, clayout::Record)> {
+    let mut out = Vec::new();
+    let b = bind(SCHEMA_B, 0, Architecture::X86_64);
+    out.push(("structB".to_owned(), (*b).clone(), record_b()));
+    let cd = bind(SCHEMA_CD, 1, Architecture::X86_64);
+    out.push(("threeASDOffs".to_owned(), (*cd).clone(), record_cd()));
+    for n in [64usize, 1024] {
+        let (st, record) = doubles_workload(n);
+        out.push((format!("double[{n}]"), format_for(st, Architecture::X86_64), record));
+    }
+    out
+}
+
+fn encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_encode");
+    group.sample_size(40).measurement_time(Duration::from_secs(2));
+    for (label, format, record) in workloads() {
+        let bytes = pbio::ndr::encode(&record, &format).unwrap().len() as u64;
+        group.throughput(Throughput::Bytes(bytes));
+        group.bench_with_input(BenchmarkId::new("ndr", &label), &(), |b, ()| {
+            b.iter(|| pbio::ndr::encode(&record, &format).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("xml-text", &label), &(), |b, ()| {
+            b.iter(|| pbio::textxml::encode(&record, format.struct_type()).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_decode");
+    group.sample_size(40).measurement_time(Duration::from_secs(2));
+    for (label, format, record) in workloads() {
+        let ndr_wire = pbio::ndr::encode(&record, &format).unwrap();
+        let text_wire = pbio::textxml::encode(&record, format.struct_type()).unwrap();
+        group.bench_with_input(BenchmarkId::new("ndr", &label), &(), |b, ()| {
+            b.iter(|| pbio::ndr::decode_with(&ndr_wire, &format).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("xml-text", &label), &(), |b, ()| {
+            b.iter(|| pbio::textxml::decode(&text_wire, format.struct_type()).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn round_trip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_roundtrip");
+    group.sample_size(40).measurement_time(Duration::from_secs(2));
+    for (label, format, record) in workloads() {
+        group.bench_with_input(BenchmarkId::new("ndr", &label), &(), |b, ()| {
+            b.iter(|| {
+                let wire = pbio::ndr::encode(&record, &format).unwrap();
+                pbio::ndr::decode_with(&wire, &format).unwrap()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("xml-text", &label), &(), |b, ()| {
+            b.iter(|| {
+                let wire = pbio::textxml::encode(&record, format.struct_type()).unwrap();
+                pbio::textxml::decode(&wire, format.struct_type()).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, encode, decode, round_trip);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! **E7 (ablation)**: receiver-side conversion cost across the
+//! architecture matrix, and plan compilation vs cached execution.
+//!
+//! This substantiates the paper's mechanism claims (§1, §4.1.2): the
+//! homogeneous case costs one bulk copy; heterogeneous cases pay a
+//! per-message conversion executed by a routine compiled *once* on first
+//! contact (PBIO's dynamic code generation; compiled op-programs here).
+//!
+//! Expected shape: identity ≪ byte-swap-only (x86_64↔power64) <
+//! full relayout (sparc32→x86_64); plan compilation is microseconds and
+//! only ever paid once per (format, architecture pair).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use clayout::Architecture;
+use omf_bench::{bind, record_b, SCHEMA_B};
+use pbio::ConversionPlan;
+
+fn convert_matrix(c: &mut Criterion) {
+    let record = record_b();
+    let st = bind(SCHEMA_B, 0, Architecture::X86_64).struct_type().clone();
+
+    let mut group = c.benchmark_group("e7_convert");
+    group.sample_size(40).measurement_time(Duration::from_secs(1));
+
+    // Representative pairs: identity, pure byte-swap (same widths),
+    // widening relayout (32→64), narrowing relayout (64→32).
+    let pairs = [
+        ("identity", Architecture::X86_64, Architecture::X86_64),
+        ("swap-only", Architecture::X86_64, Architecture::POWER64),
+        ("widen-32to64", Architecture::SPARC32, Architecture::X86_64),
+        ("narrow-64to32", Architecture::X86_64, Architecture::ARM32),
+        ("swap+widen", Architecture::SPARC32, Architecture::ARM32),
+    ];
+
+    for (label, src, dst) in pairs {
+        let image = clayout::encode_record(&record, &st, &src).unwrap();
+        let plan = ConversionPlan::build(&st, &src, &dst).unwrap();
+        group.bench_with_input(BenchmarkId::new("cached-plan", label), &(), |b, ()| {
+            b.iter(|| plan.convert(&image.bytes).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn plan_compilation(c: &mut Criterion) {
+    let st = bind(SCHEMA_B, 0, Architecture::X86_64).struct_type().clone();
+    let mut group = c.benchmark_group("e7_plan_build");
+    group.sample_size(60).measurement_time(Duration::from_secs(1));
+    for (label, src, dst) in [
+        ("identity", Architecture::X86_64, Architecture::X86_64),
+        ("hetero", Architecture::SPARC32, Architecture::X86_64),
+    ] {
+        group.bench_with_input(BenchmarkId::new("build", label), &(), |b, ()| {
+            b.iter(|| ConversionPlan::build(&st, &src, &dst).unwrap());
+        });
+    }
+    group.finish();
+}
+
+/// Value-level decode straight from the wire layout, for comparison with
+/// the native-image conversion path.
+fn value_decode(c: &mut Criterion) {
+    let record = record_b();
+    let st = bind(SCHEMA_B, 0, Architecture::X86_64).struct_type().clone();
+    let mut group = c.benchmark_group("e7_value_decode");
+    group.sample_size(40).measurement_time(Duration::from_secs(1));
+    for (label, src) in [("homogeneous", Architecture::X86_64), ("foreign", Architecture::SPARC32)]
+    {
+        let image = clayout::encode_record(&record, &st, &src).unwrap();
+        group.bench_with_input(BenchmarkId::new("decode", label), &(), |b, ()| {
+            b.iter(|| clayout::decode_record(&image.bytes, &st, &src).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, convert_matrix, plan_compilation, value_decode);
+criterion_main!(benches);

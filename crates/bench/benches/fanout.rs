@@ -1,0 +1,64 @@
+//! **E9 (motivation claim)**: scalability to many clients.
+//!
+//! Paper §1: binary transmission matters "because of the undue
+//! processing loads that would be imposed on systems if they were forced
+//! to transform information from end user readable formats, like text,
+//! to binary formats" — in particular for "server-based applications in
+//! which single servers must provide information to large numbers of
+//! clients".
+//!
+//! This bench measures the *sender-side* cost of serving one event to N
+//! subscribers under each wire format. With NDR the payload is encoded
+//! once and fanned out (the expensive text conversion never happens);
+//! with the text codec the per-client byte volume is several times
+//! larger, and the encode itself is an order of magnitude slower.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::sync::Arc;
+use std::time::Duration;
+
+use backbone::{Broker, Event};
+use clayout::Architecture;
+use omf_bench::{bind, record_b, SCHEMA_B};
+use pbio::wire::codec_by_name;
+
+fn fanout(c: &mut Criterion) {
+    let format = bind(SCHEMA_B, 0, Architecture::host());
+    let record = record_b();
+
+    let mut group = c.benchmark_group("e9_fanout");
+    group.sample_size(30).measurement_time(Duration::from_secs(2));
+
+    for subscribers in [1usize, 10, 100, 1000] {
+        for codec_name in ["ndr", "xml-text"] {
+            let codec = codec_by_name(codec_name).unwrap();
+            let broker = Arc::new(Broker::new());
+            broker.create_stream("s", None);
+            let subs: Vec<_> =
+                (0..subscribers).map(|_| broker.subscribe("s").unwrap()).collect();
+
+            group.throughput(Throughput::Elements(subscribers as u64));
+            group.bench_with_input(
+                BenchmarkId::new(codec_name, subscribers),
+                &(),
+                |b, ()| {
+                    b.iter(|| {
+                        // Encode once, fan out to all subscribers, drain.
+                        let payload = codec.encode(&record, &format).unwrap();
+                        let delivered = broker
+                            .publish(Event::new("s", format.name(), payload))
+                            .unwrap();
+                        assert_eq!(delivered, subscribers);
+                        for sub in &subs {
+                            std::hint::black_box(sub.try_recv());
+                        }
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fanout);
+criterion_main!(benches);

@@ -1,0 +1,131 @@
+//! **E2**: NDR vs XDR marshal/unmarshal performance.
+//!
+//! Paper §1: "when transmitting structured binary data, we show
+//! substantial (often exceeding 50%) performance gains compared to
+//! commercial platforms that use XDR-based data representations."
+//!
+//! Expected shape: NDR encode beats XDR encode (no canonical
+//! translation); the NDR receive side is dramatically cheaper between
+//! layout-compatible machines (bulk copy) and still competitive across
+//! heterogeneous pairs (one compiled conversion instead of per-field
+//! canonical decode). XDR pays the same translation cost regardless of
+//! peer similarity — that invariance is exactly what the paper attacks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Duration;
+
+use clayout::Architecture;
+use omf_bench::{bind, doubles_workload, format_for, record_b, SCHEMA_B};
+use pbio::PlanCache;
+
+fn workloads() -> Vec<(String, pbio::Format, clayout::Record)> {
+    let mut out = Vec::new();
+    let b = bind(SCHEMA_B, 0, Architecture::X86_64);
+    out.push(("structB".to_owned(), (*b).clone(), record_b()));
+    for n in [16usize, 256, 4096] {
+        let (st, record) = doubles_workload(n);
+        out.push((format!("double[{n}]"), format_for(st, Architecture::X86_64), record));
+    }
+    out
+}
+
+fn encode_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_encode");
+    group.sample_size(40).measurement_time(Duration::from_secs(2));
+    for (label, format, record) in workloads() {
+        let bytes = pbio::ndr::encode(&record, &format).unwrap().len() as u64;
+        group.throughput(Throughput::Bytes(bytes));
+        group.bench_with_input(BenchmarkId::new("ndr", &label), &(), |b, ()| {
+            b.iter(|| pbio::ndr::encode(&record, &format).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("xdr", &label), &(), |b, ()| {
+            b.iter(|| pbio::xdr::encode(&record, format.struct_type()).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn receive_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_receive");
+    group.sample_size(40).measurement_time(Duration::from_secs(2));
+
+    for (label, format, record) in workloads() {
+        let st = format.struct_type().clone();
+
+        // Homogeneous NDR: sender and receiver share a layout; the
+        // receive path is the conversion-free native-image view.
+        let wire_homo = pbio::ndr::encode(&record, &format).unwrap();
+        let plans = PlanCache::new();
+        group.bench_with_input(
+            BenchmarkId::new("ndr-homogeneous", &label),
+            &(),
+            |b, ()| {
+                b.iter(|| pbio::ndr::to_native_image(&wire_homo, &format, &plans).unwrap());
+            },
+        );
+
+        // Heterogeneous NDR: big-endian ILP32 sender, x86-64 receiver;
+        // the cached conversion plan runs per message.
+        let sender = format.rebind(Architecture::SPARC32).unwrap();
+        let wire_hetero = pbio::ndr::encode(&record, &sender).unwrap();
+        let plans_hetero = PlanCache::new();
+        group.bench_with_input(
+            BenchmarkId::new("ndr-heterogeneous", &label),
+            &(),
+            |b, ()| {
+                b.iter(|| {
+                    pbio::ndr::to_native_image(&wire_hetero, &format, &plans_hetero).unwrap()
+                });
+            },
+        );
+
+        // XDR: the receiver always performs the full canonical decode —
+        // there is no homogeneous discount, which is the paper's point.
+        let wire_xdr = pbio::xdr::encode(&record, &st).unwrap();
+        group.bench_with_input(BenchmarkId::new("xdr", &label), &(), |b, ()| {
+            b.iter(|| pbio::xdr::decode(&wire_xdr, &st).unwrap());
+        });
+
+        // CDR/IIOP: reader-makes-right byte order (no swap needed here),
+        // but the canonical walk-and-copy still runs per message — the
+        // middle ground the paper places CORBA systems at.
+        let wire_cdr =
+            pbio::cdr::encode(&record, &st, clayout::Endianness::Little).unwrap();
+        group.bench_with_input(BenchmarkId::new("cdr", &label), &(), |b, ()| {
+            b.iter(|| pbio::cdr::decode(&wire_cdr, &st).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn round_trip_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_roundtrip");
+    group.sample_size(40).measurement_time(Duration::from_secs(2));
+    for (label, format, record) in workloads() {
+        let st = format.struct_type().clone();
+        let plans = PlanCache::new();
+        group.bench_with_input(BenchmarkId::new("ndr", &label), &(), |b, ()| {
+            b.iter(|| {
+                let wire = pbio::ndr::encode(&record, &format).unwrap();
+                pbio::ndr::to_native_image(&wire, &format, &plans).unwrap()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("xdr", &label), &(), |b, ()| {
+            b.iter(|| {
+                let wire = pbio::xdr::encode(&record, &st).unwrap();
+                pbio::xdr::decode(&wire, &st).unwrap()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("cdr", &label), &(), |b, ()| {
+            b.iter(|| {
+                let wire =
+                    pbio::cdr::encode(&record, &st, clayout::Endianness::Little).unwrap();
+                pbio::cdr::decode(&wire, &st).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, encode_benches, receive_benches, round_trip_benches);
+criterion_main!(benches);

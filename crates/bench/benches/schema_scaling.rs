@@ -1,0 +1,73 @@
+//! **E8**: discovery/registration time vs metadata size.
+//!
+//! Paper §5: "the time required to parse metadata grows proportionally
+//! to the structure size. This indicates that the raw overhead of
+//! xml2wire does not impose unduly on the metadata discovery and
+//! registration process."
+//!
+//! Expected shape: near-linear growth of parse+bind+register time with
+//! field count, with no superlinear blowup out to hundreds of fields.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Duration;
+
+use clayout::Architecture;
+use omf_bench::generated_schema;
+
+fn schema_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_schema_scaling");
+    group.sample_size(30).measurement_time(Duration::from_secs(1));
+
+    for fields in [2usize, 8, 32, 128, 256] {
+        let document = generated_schema(fields);
+        group.throughput(Throughput::Bytes(document.len() as u64));
+
+        group.bench_with_input(
+            BenchmarkId::new("discover+bind+register", fields),
+            &document,
+            |b, doc| {
+                b.iter(|| {
+                    let session =
+                        xml2wire::Xml2Wire::builder().arch(Architecture::host()).build();
+                    session.register_schema_str(doc).unwrap()
+                });
+            },
+        );
+
+        group.bench_with_input(
+            BenchmarkId::new("schema-parse-only", fields),
+            &document,
+            |b, doc| {
+                b.iter(|| xsdlite::Schema::parse_str(doc).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Discovery over HTTP at increasing document sizes: the paper notes
+/// network retrieval "should still remain proportional to the size of
+/// the XML document itself".
+fn http_discovery_scaling(c: &mut Criterion) {
+    let server = xml2wire::MetadataServer::bind("127.0.0.1:0").unwrap();
+    let mut group = c.benchmark_group("e8_http_discovery");
+    group.sample_size(20).measurement_time(Duration::from_secs(1));
+
+    for fields in [8usize, 128] {
+        let path = format!("/gen-{fields}.xsd");
+        server.publish(&path, generated_schema(fields));
+        let url = server.url_for(&path);
+        group.bench_with_input(BenchmarkId::new("discover-url", fields), &url, |b, url| {
+            b.iter(|| {
+                let session = xml2wire::Xml2Wire::builder()
+                    .source(Box::new(xml2wire::UrlSource::new()))
+                    .build();
+                session.discover(url).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, schema_scaling, http_discovery_scaling);
+criterion_main!(benches);

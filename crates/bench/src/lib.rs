@@ -1,0 +1,210 @@
+//! Shared fixtures for the benchmark harness: the paper's Appendix A
+//! structures, their schemas, matching sample records, and scaling
+//! workloads.
+//!
+//! Every benchmark target in `benches/` regenerates one row/figure of
+//! the paper's evaluation (see DESIGN.md §5 for the experiment index and
+//! EXPERIMENTS.md for measured-vs-paper results).
+
+use clayout::{Architecture, CType, Primitive, Record, StructField, StructType, Value};
+use pbio::format::FormatId;
+use pbio::Format;
+
+/// Structure A (paper Fig. 4/6): flat, no arrays — 32 bytes on sparc32.
+pub const SCHEMA_A: &str = r#"<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/1999/XMLSchema"
+            targetNamespace="http://www.cc.gatech.edu/~pmw/schemas">
+  <xsd:annotation><xsd:documentation>ASDOff</xsd:documentation></xsd:annotation>
+  <xsd:complexType name="ASDOffEvent">
+    <xsd:element name="cntrID" type="xsd:string" />
+    <xsd:element name="arln" type="xsd:string" />
+    <xsd:element name="fltNum" type="xsd:integer" />
+    <xsd:element name="equip" type="xsd:string" />
+    <xsd:element name="org" type="xsd:string" />
+    <xsd:element name="dest" type="xsd:string" />
+    <xsd:element name="off" type="xsd:unsigned-long" />
+    <xsd:element name="eta" type="xsd:unsigned-long" />
+  </xsd:complexType>
+</xsd:schema>"#;
+
+/// Structure B (paper Fig. 7/9): static + dynamic arrays — 52 bytes on
+/// sparc32.
+pub const SCHEMA_B: &str = backbone::airline::ASD_SCHEMA;
+
+/// Structures C+D (paper Fig. 10/12): arrays + composition by nesting —
+/// 184 bytes on sparc32 (paper reports 180; see EXPERIMENTS.md).
+pub const SCHEMA_CD: &str = r#"<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/1999/XMLSchema"
+            targetNamespace="http://www.cc.gatech.edu/~pmw/schemas">
+  <xsd:complexType name="ASDOffEvent">
+    <xsd:element name="cntrID" type="xsd:string" />
+    <xsd:element name="arln" type="xsd:string" />
+    <xsd:element name="fltNum" type="xsd:integer" />
+    <xsd:element name="equip" type="xsd:string" />
+    <xsd:element name="org" type="xsd:string" />
+    <xsd:element name="dest" type="xsd:string" />
+    <xsd:element name="off" type="xsd:unsigned-long" minOccurs="5" maxOccurs="5" />
+    <xsd:element name="eta" type="xsd:unsigned-long" minOccurs="1" maxOccurs="*" />
+  </xsd:complexType>
+  <xsd:complexType name="threeASDOffs">
+    <xsd:element name="one" type="ASDOffEvent" />
+    <xsd:element name="bart" type="xsd:double" />
+    <xsd:element name="two" type="ASDOffEvent" />
+    <xsd:element name="lisa" type="xsd:double" />
+    <xsd:element name="three" type="ASDOffEvent" />
+  </xsd:complexType>
+</xsd:schema>"#;
+
+/// The three Table 1 rows: label, schema, index of the measured type in
+/// the document, and the paper's structure size on its machines.
+pub fn table1_rows() -> Vec<(&'static str, &'static str, usize, usize)> {
+    vec![
+        ("A (32B)", SCHEMA_A, 0, 32),
+        ("B (52B)", SCHEMA_B, 0, 52),
+        ("C+D (180B)", SCHEMA_CD, 1, 184),
+    ]
+}
+
+/// Binds `schema` on `arch` and returns the `index`-th format.
+pub fn bind(schema: &str, index: usize, arch: Architecture) -> std::sync::Arc<Format> {
+    let session = xml2wire::Xml2Wire::builder().arch(arch).build();
+    session.register_schema_str(schema).expect("benchmark schema binds")[index].clone()
+}
+
+/// A record matching Structure A.
+pub fn record_a() -> Record {
+    Record::new()
+        .with("cntrID", "ZTL")
+        .with("arln", "DL")
+        .with("fltNum", 1202i64)
+        .with("equip", "B752")
+        .with("org", "ATL")
+        .with("dest", "BOS")
+        .with("off", 1_748_707_200u64)
+        .with("eta", 1_748_710_800u64)
+}
+
+/// A record matching Structure B.
+pub fn record_b() -> Record {
+    Record::new()
+        .with("cntrID", "ZTL")
+        .with("arln", "DL")
+        .with("fltNum", 1202i64)
+        .with("equip", "B752")
+        .with("org", "ATL")
+        .with("dest", "BOS")
+        .with("off", vec![10u64, 20, 30, 40, 50])
+        .with("eta", vec![100u64, 200, 300])
+}
+
+/// A record matching Structure D (`threeASDOffs`).
+pub fn record_cd() -> Record {
+    Record::new()
+        .with("one", record_b())
+        .with("bart", 1.5f64)
+        .with("two", record_b())
+        .with("lisa", -2.5f64)
+        .with("three", record_b())
+}
+
+/// The record for a Table 1 row.
+pub fn table1_record(label: &str) -> Record {
+    match label {
+        "A (32B)" => record_a(),
+        "B (52B)" => record_b(),
+        _ => record_cd(),
+    }
+}
+
+/// A `double[n]` payload-scaling workload: struct type and a record with
+/// `n` doubles (32-bit-safe values).
+pub fn doubles_workload(n: usize) -> (StructType, Record) {
+    let st = StructType::new(
+        "Samples",
+        vec![
+            StructField::new(
+                "values",
+                CType::dynamic_array(CType::Prim(Primitive::Double), "n"),
+            ),
+            StructField::new("n", CType::Prim(Primitive::Int)),
+        ],
+    );
+    let record = Record::new().with(
+        "values",
+        (0..n)
+            .map(|i| Value::Float((i as f64).sin() * 1000.0 + 0.123))
+            .collect::<Vec<_>>(),
+    );
+    (st, record)
+}
+
+/// Builds a `Format` directly from a struct type (the "plain PBIO" path).
+pub fn format_for(st: StructType, arch: Architecture) -> Format {
+    Format::new(FormatId(0), st, arch).expect("benchmark struct lays out")
+}
+
+/// A generated schema document with `fields` scalar elements, for the
+/// schema-scaling experiment (E8).
+pub fn generated_schema(fields: usize) -> String {
+    let mut body = String::new();
+    for i in 0..fields {
+        let ty = match i % 4 {
+            0 => "xsd:string",
+            1 => "xsd:integer",
+            2 => "xsd:double",
+            _ => "xsd:unsigned-long",
+        };
+        body.push_str(&format!("    <xsd:element name=\"f{i}\" type=\"{ty}\"/>\n"));
+    }
+    format!(
+        "<xsd:schema xmlns:xsd=\"http://www.w3.org/1999/XMLSchema\">\n  \
+         <xsd:complexType name=\"Generated\">\n{body}  </xsd:complexType>\n</xsd:schema>"
+    )
+}
+
+/// Formats nanoseconds as a human-friendly quantity for printed tables.
+pub fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.0}ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2}us", ns / 1_000.0)
+    } else {
+        format!("{:.3}ms", ns / 1_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_fixtures_bind_to_expected_sizes() {
+        for (label, schema, index, size) in table1_rows() {
+            let format = bind(schema, index, Architecture::SPARC32);
+            assert_eq!(format.record_size(), size, "{label}");
+            // And the matching record encodes.
+            let record = table1_record(label);
+            assert!(pbio::ndr::encode(&record, &format).is_ok(), "{label}");
+        }
+    }
+
+    #[test]
+    fn scaling_workloads_encode_under_all_codecs() {
+        let (st, record) = doubles_workload(64);
+        let format = format_for(st.clone(), Architecture::host());
+        for codec in pbio::wire::all_codecs() {
+            let wire = codec.encode(&record, &format).unwrap();
+            assert!(codec.decode(&wire, &format).is_ok(), "{}", codec.name());
+        }
+    }
+
+    #[test]
+    fn generated_schemas_bind_at_every_size() {
+        for n in [2usize, 16, 64] {
+            let doc = generated_schema(n);
+            let session = xml2wire::Xml2Wire::builder().build();
+            let formats = session.register_schema_str(&doc).unwrap();
+            assert_eq!(formats[0].struct_type().fields.len(), n);
+        }
+    }
+}

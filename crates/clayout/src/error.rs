@@ -1,0 +1,166 @@
+//! Errors for layout computation and image encoding/decoding.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Failures while computing layouts or building/reading byte images.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum LayoutError {
+    /// A dynamic array referenced a count field that does not exist in
+    /// the same struct.
+    MissingCountField {
+        /// The array field.
+        array: String,
+        /// The named count field that was not found.
+        count_field: String,
+    },
+    /// A count field exists but is not an integer primitive.
+    BadCountFieldType {
+        /// The count field name.
+        count_field: String,
+    },
+    /// Arrays of arrays are not expressible in the metadata model.
+    NestedArray {
+        /// The offending field.
+        field: String,
+    },
+    /// A struct has two fields with the same name.
+    DuplicateField {
+        /// The repeated name.
+        name: String,
+    },
+    /// A value did not match the field's type during encoding.
+    TypeMismatch {
+        /// The field being encoded/decoded.
+        field: String,
+        /// What the type model expected.
+        expected: String,
+        /// What the value actually was.
+        found: String,
+    },
+    /// An integer value does not fit the field's C type on the target
+    /// architecture (e.g. 2^40 into a 4-byte `long`).
+    ValueOutOfRange {
+        /// The field being encoded.
+        field: String,
+        /// The value, rendered as text.
+        value: String,
+        /// The width in bytes it had to fit.
+        width: usize,
+    },
+    /// A record was missing a field required by the struct type.
+    MissingField {
+        /// The absent field.
+        field: String,
+    },
+    /// The runtime length of a fixed array did not match its declaration.
+    ArrayLengthMismatch {
+        /// The array field.
+        field: String,
+        /// Declared length.
+        declared: usize,
+        /// Actual number of values supplied.
+        actual: usize,
+    },
+    /// A byte image ended before the data it claims to contain.
+    Truncated {
+        /// What was being read.
+        reading: String,
+        /// Offset at which the read was attempted.
+        offset: usize,
+        /// Total image length.
+        len: usize,
+    },
+    /// An out-of-line pointer (string/dynamic array) pointed outside the
+    /// image or at a malformed target.
+    BadPointer {
+        /// The field whose pointer was bad.
+        field: String,
+        /// The stored offset.
+        target: u64,
+    },
+    /// A string in an image was not valid UTF-8 (we require UTF-8 for
+    /// `char*` content in this reproduction).
+    BadString {
+        /// The field holding the string.
+        field: String,
+    },
+    /// A count field held a negative or absurd value.
+    BadCount {
+        /// The count field.
+        field: String,
+        /// The decoded count.
+        count: i64,
+    },
+}
+
+impl fmt::Display for LayoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LayoutError::MissingCountField { array, count_field } => write!(
+                f,
+                "array field {array:?} references count field {count_field:?} which does not exist"
+            ),
+            LayoutError::BadCountFieldType { count_field } => {
+                write!(f, "count field {count_field:?} is not an integer")
+            }
+            LayoutError::NestedArray { field } => {
+                write!(f, "field {field:?} is an array of arrays, which is not supported")
+            }
+            LayoutError::DuplicateField { name } => {
+                write!(f, "duplicate field name {name:?}")
+            }
+            LayoutError::TypeMismatch { field, expected, found } => {
+                write!(f, "field {field:?}: expected {expected}, found {found}")
+            }
+            LayoutError::ValueOutOfRange { field, value, width } => {
+                write!(f, "field {field:?}: value {value} does not fit in {width} bytes")
+            }
+            LayoutError::MissingField { field } => {
+                write!(f, "record is missing field {field:?}")
+            }
+            LayoutError::ArrayLengthMismatch { field, declared, actual } => write!(
+                f,
+                "array field {field:?} declared [{declared}] but {actual} values were supplied"
+            ),
+            LayoutError::Truncated { reading, offset, len } => write!(
+                f,
+                "image truncated while reading {reading} at offset {offset} (length {len})"
+            ),
+            LayoutError::BadPointer { field, target } => {
+                write!(f, "field {field:?} has an out-of-bounds pointer to offset {target}")
+            }
+            LayoutError::BadString { field } => {
+                write!(f, "field {field:?} holds a string that is not valid UTF-8")
+            }
+            LayoutError::BadCount { field, count } => {
+                write!(f, "count field {field:?} holds implausible value {count}")
+            }
+        }
+    }
+}
+
+impl StdError for LayoutError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync + 'static>() {}
+        assert_send_sync::<LayoutError>();
+    }
+
+    #[test]
+    fn display_messages_are_lowercase_and_specific() {
+        let err = LayoutError::MissingCountField {
+            array: "eta".into(),
+            count_field: "eta_count".into(),
+        };
+        let s = err.to_string();
+        assert!(s.starts_with("array field"));
+        assert!(s.contains("eta_count"));
+    }
+}

@@ -1,0 +1,857 @@
+//! Native byte images: building and reading the exact bytes a C struct
+//! instance occupies on a given architecture.
+//!
+//! An [`Image`] is what PBIO's encode step produces and what NDR puts on
+//! the wire: the struct's fixed part in native layout, followed by a
+//! variable section holding string bytes and dynamically-sized array
+//! elements. Pointer-valued slots (strings, dynamic arrays) hold offsets
+//! from the start of the image instead of virtual addresses — exactly the
+//! pointer swizzling PBIO performs so a buffer is position-independent.
+
+use crate::arch::{Architecture, Endianness};
+use crate::ctype::{ArrayLen, CType, Primitive, StructType};
+use crate::error::LayoutError;
+use crate::layout::{align_up, Layout};
+use crate::value::{Record, Value};
+
+/// A native byte image of one record on one architecture.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Image {
+    /// The raw bytes: fixed part first, then the variable section.
+    pub bytes: Vec<u8>,
+    /// Length of the fixed part (`sizeof` the root struct).
+    pub fixed_len: usize,
+}
+
+impl Image {
+    /// The variable-section bytes (everything after the fixed part).
+    pub fn var_section(&self) -> &[u8] {
+        &self.bytes[self.fixed_len.min(self.bytes.len())..]
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Raw integer/float accessors, shared with the conversion machinery in pbio.
+// ---------------------------------------------------------------------------
+
+/// Writes `value` as an unsigned integer of `size` bytes at `offset`.
+///
+/// # Panics
+///
+/// Panics if `offset + size` exceeds the buffer or `size` is not 1/2/4/8;
+/// callers are expected to have sized buffers from layout data.
+pub fn put_uint(buf: &mut [u8], offset: usize, size: usize, endianness: Endianness, value: u64) {
+    let bytes = value.to_le_bytes();
+    let dst = &mut buf[offset..offset + size];
+    match endianness {
+        Endianness::Little => dst.copy_from_slice(&bytes[..size]),
+        Endianness::Big => {
+            for (i, slot) in dst.iter_mut().enumerate() {
+                *slot = bytes[size - 1 - i];
+            }
+        }
+    }
+}
+
+/// Writes `value` as a two's-complement signed integer of `size` bytes.
+///
+/// # Panics
+///
+/// As [`put_uint`].
+pub fn put_int(buf: &mut [u8], offset: usize, size: usize, endianness: Endianness, value: i64) {
+    put_uint(buf, offset, size, endianness, value as u64);
+}
+
+/// Reads an unsigned integer of `size` bytes at `offset`.
+///
+/// # Panics
+///
+/// Panics on out-of-bounds access; callers bound-check first.
+pub fn get_uint(buf: &[u8], offset: usize, size: usize, endianness: Endianness) -> u64 {
+    let src = &buf[offset..offset + size];
+    let mut out = [0u8; 8];
+    match endianness {
+        Endianness::Little => out[..size].copy_from_slice(src),
+        Endianness::Big => {
+            for (i, byte) in src.iter().enumerate() {
+                out[size - 1 - i] = *byte;
+            }
+        }
+    }
+    u64::from_le_bytes(out)
+}
+
+/// Reads a sign-extended integer of `size` bytes at `offset`.
+///
+/// # Panics
+///
+/// As [`get_uint`].
+pub fn get_int(buf: &[u8], offset: usize, size: usize, endianness: Endianness) -> i64 {
+    let raw = get_uint(buf, offset, size, endianness);
+    let shift = 64 - size * 8;
+    if shift == 0 {
+        raw as i64
+    } else {
+        ((raw << shift) as i64) >> shift
+    }
+}
+
+/// Whether `value` fits in a signed integer of `size` bytes.
+pub fn fits_signed(value: i64, size: usize) -> bool {
+    if size >= 8 {
+        return true;
+    }
+    let bits = size as u32 * 8;
+    let min = -(1i64 << (bits - 1));
+    let max = (1i64 << (bits - 1)) - 1;
+    (min..=max).contains(&value)
+}
+
+/// Whether `value` fits in an unsigned integer of `size` bytes.
+pub fn fits_unsigned(value: u64, size: usize) -> bool {
+    if size >= 8 {
+        return true;
+    }
+    value < (1u64 << (size as u32 * 8))
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+/// Encodes `record` as a native byte image of `st` under `arch`.
+///
+/// Count fields of dynamic arrays are synchronized automatically: if the
+/// record omits the count field it is filled from the array length; if it
+/// supplies one it must match.
+///
+/// # Errors
+///
+/// Reports missing fields, type mismatches, range overflows and array
+/// length mismatches; see [`LayoutError`].
+pub fn encode_record(
+    record: &Record,
+    st: &StructType,
+    arch: &Architecture,
+) -> Result<Image, LayoutError> {
+    let layout = Layout::of_struct(st, arch)?;
+    let mut buf = vec![0u8; layout.size];
+    encode_struct_at(&mut buf, 0, record, &layout, arch)?;
+    Ok(Image { bytes: buf, fixed_len: layout.size })
+}
+
+fn encode_struct_at(
+    buf: &mut Vec<u8>,
+    base: usize,
+    record: &Record,
+    layout: &Layout,
+    arch: &Architecture,
+) -> Result<(), LayoutError> {
+    // Pre-compute authoritative count values from dynamic array lengths.
+    let mut counts: Vec<(String, u64)> = Vec::new();
+    for field in &layout.fields {
+        if let CType::Array { len: ArrayLen::CountField(count_name), .. } = &field.ty {
+            let value = record
+                .get(&field.name)
+                .ok_or_else(|| LayoutError::MissingField { field: field.name.clone() })?;
+            let arr = value.as_array().ok_or_else(|| LayoutError::TypeMismatch {
+                field: field.name.clone(),
+                expected: "array".into(),
+                found: value.type_name().into(),
+            })?;
+            let n = arr.len() as u64;
+            if let Some(supplied) = record.get(count_name).and_then(Value::as_u64) {
+                if supplied != n {
+                    return Err(LayoutError::ArrayLengthMismatch {
+                        field: field.name.clone(),
+                        declared: supplied as usize,
+                        actual: arr.len(),
+                    });
+                }
+            }
+            counts.push((count_name.clone(), n));
+        }
+    }
+
+    for field in &layout.fields {
+        // Borrow the value where present; only synthesized counts are
+        // materialized (cloning here would copy whole arrays per encode).
+        match record.get(&field.name) {
+            Some(value) => {
+                encode_value_at(buf, base + field.offset, value, &field.ty, &field.name, arch)?
+            }
+            None => {
+                let synthetic = counts
+                    .iter()
+                    .find(|(n, _)| n == &field.name)
+                    .map(|(_, v)| Value::UInt(*v))
+                    .ok_or_else(|| LayoutError::MissingField { field: field.name.clone() })?;
+                encode_value_at(buf, base + field.offset, &synthetic, &field.ty, &field.name, arch)?
+            }
+        }
+    }
+    Ok(())
+}
+
+fn encode_value_at(
+    buf: &mut Vec<u8>,
+    at: usize,
+    value: &Value,
+    ty: &CType,
+    field: &str,
+    arch: &Architecture,
+) -> Result<(), LayoutError> {
+    match ty {
+        CType::Prim(p) => encode_prim_at(buf, at, value, *p, field, arch),
+        CType::String => {
+            let s = value.as_str().ok_or_else(|| LayoutError::TypeMismatch {
+                field: field.to_owned(),
+                expected: "string".into(),
+                found: value.type_name().into(),
+            })?;
+            let target = buf.len() as u64;
+            buf.extend_from_slice(s.as_bytes());
+            buf.push(0);
+            put_uint(buf, at, arch.pointer.size, arch.endianness, target);
+            check_pointer_width(target, arch, field)
+        }
+        CType::Array { elem, len } => {
+            let items = value.as_array().ok_or_else(|| LayoutError::TypeMismatch {
+                field: field.to_owned(),
+                expected: "array".into(),
+                found: value.type_name().into(),
+            })?;
+            let elem_sa = Layout::size_align(elem, arch)?;
+            match len {
+                ArrayLen::Fixed(n) => {
+                    if items.len() != *n {
+                        return Err(LayoutError::ArrayLengthMismatch {
+                            field: field.to_owned(),
+                            declared: *n,
+                            actual: items.len(),
+                        });
+                    }
+                    for (i, item) in items.iter().enumerate() {
+                        encode_value_at(buf, at + i * elem_sa.size, item, elem, field, arch)?;
+                    }
+                    Ok(())
+                }
+                ArrayLen::CountField(_) => {
+                    if items.is_empty() {
+                        // Null pointer for an empty dynamic array.
+                        put_uint(buf, at, arch.pointer.size, arch.endianness, 0);
+                        return Ok(());
+                    }
+                    let region = align_up(buf.len(), elem_sa.align);
+                    buf.resize(region + items.len() * elem_sa.size, 0);
+                    put_uint(buf, at, arch.pointer.size, arch.endianness, region as u64);
+                    check_pointer_width(region as u64, arch, field)?;
+                    for (i, item) in items.iter().enumerate() {
+                        encode_value_at(buf, region + i * elem_sa.size, item, elem, field, arch)?;
+                    }
+                    Ok(())
+                }
+            }
+        }
+        CType::Struct(inner) => {
+            let rec = value.as_record().ok_or_else(|| LayoutError::TypeMismatch {
+                field: field.to_owned(),
+                expected: format!("record of struct {}", inner.name),
+                found: value.type_name().into(),
+            })?;
+            let inner_layout = Layout::of_struct(inner, arch)?;
+            encode_struct_at(buf, at, rec, &inner_layout, arch)
+        }
+    }
+}
+
+fn check_pointer_width(target: u64, arch: &Architecture, field: &str) -> Result<(), LayoutError> {
+    if fits_unsigned(target, arch.pointer.size) {
+        Ok(())
+    } else {
+        Err(LayoutError::BadPointer { field: field.to_owned(), target })
+    }
+}
+
+fn encode_prim_at(
+    buf: &mut [u8],
+    at: usize,
+    value: &Value,
+    prim: Primitive,
+    field: &str,
+    arch: &Architecture,
+) -> Result<(), LayoutError> {
+    let sa = arch.primitive(prim);
+    if prim.is_float() {
+        let v = value.as_f64().ok_or_else(|| LayoutError::TypeMismatch {
+            field: field.to_owned(),
+            expected: "float".into(),
+            found: value.type_name().into(),
+        })?;
+        match sa.size {
+            4 => put_uint(buf, at, 4, arch.endianness, (v as f32).to_bits() as u64),
+            _ => put_uint(buf, at, 8, arch.endianness, v.to_bits()),
+        }
+        return Ok(());
+    }
+    if prim.is_signed_integer() {
+        let v = value.as_i64().ok_or_else(|| LayoutError::TypeMismatch {
+            field: field.to_owned(),
+            expected: "int".into(),
+            found: value.type_name().into(),
+        })?;
+        if !fits_signed(v, sa.size) {
+            return Err(LayoutError::ValueOutOfRange {
+                field: field.to_owned(),
+                value: v.to_string(),
+                width: sa.size,
+            });
+        }
+        put_int(buf, at, sa.size, arch.endianness, v);
+        return Ok(());
+    }
+    let v = value.as_u64().ok_or_else(|| LayoutError::TypeMismatch {
+        field: field.to_owned(),
+        expected: "uint".into(),
+        found: value.type_name().into(),
+    })?;
+    if !fits_unsigned(v, sa.size) {
+        return Err(LayoutError::ValueOutOfRange {
+            field: field.to_owned(),
+            value: v.to_string(),
+            width: sa.size,
+        });
+    }
+    put_uint(buf, at, sa.size, arch.endianness, v);
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+/// Decodes a native byte image of `st` under `arch` back into a
+/// [`Record`].
+///
+/// This is the receiver-side "reader-makes-right" primitive: given the
+/// *sender's* architecture and layout it recovers the values regardless of
+/// the local machine.
+///
+/// # Errors
+///
+/// Reports truncation, out-of-bounds pointers, malformed strings and
+/// implausible counts; see [`LayoutError`].
+pub fn decode_record(
+    bytes: &[u8],
+    st: &StructType,
+    arch: &Architecture,
+) -> Result<Record, LayoutError> {
+    let layout = Layout::of_struct(st, arch)?;
+    decode_struct_at(bytes, 0, &layout, arch)
+}
+
+fn decode_struct_at(
+    bytes: &[u8],
+    base: usize,
+    layout: &Layout,
+    arch: &Architecture,
+) -> Result<Record, LayoutError> {
+    let mut record = Record::new();
+    for field in &layout.fields {
+        let value = decode_value_at(bytes, base + field.offset, &field.ty, field, layout, arch)?;
+        record.set(field.name.clone(), value);
+    }
+    Ok(record)
+}
+
+fn bounds_check(
+    bytes: &[u8],
+    at: usize,
+    need: usize,
+    what: &str,
+) -> Result<(), LayoutError> {
+    if at.checked_add(need).is_none_or(|end| end > bytes.len()) {
+        Err(LayoutError::Truncated { reading: what.to_owned(), offset: at, len: bytes.len() })
+    } else {
+        Ok(())
+    }
+}
+
+fn decode_value_at(
+    bytes: &[u8],
+    at: usize,
+    ty: &CType,
+    field: &crate::layout::FieldLayout,
+    parent: &Layout,
+    arch: &Architecture,
+) -> Result<Value, LayoutError> {
+    match ty {
+        CType::Prim(p) => decode_prim_at(bytes, at, *p, &field.name, arch),
+        CType::String => {
+            bounds_check(bytes, at, arch.pointer.size, &field.name)?;
+            let target = get_uint(bytes, at, arch.pointer.size, arch.endianness);
+            read_string(bytes, target, &field.name)
+        }
+        CType::Array { elem, len } => {
+            let elem_sa = Layout::size_align(elem, arch)?;
+            match len {
+                ArrayLen::Fixed(n) => {
+                    let mut items = Vec::with_capacity(*n);
+                    for i in 0..*n {
+                        items.push(decode_element(
+                            bytes,
+                            at + i * elem_sa.size,
+                            elem,
+                            field,
+                            arch,
+                        )?);
+                    }
+                    Ok(Value::Array(items))
+                }
+                ArrayLen::CountField(count_name) => {
+                    let count_field = parent
+                        .field(count_name)
+                        .ok_or_else(|| LayoutError::MissingCountField {
+                            array: field.name.clone(),
+                            count_field: count_name.clone(),
+                        })?;
+                    // The count field lives in the same fixed region as
+                    // this pointer; `at` is the pointer's absolute offset.
+                    let struct_base = at - field.offset;
+                    let count_at = struct_base + count_field.offset;
+                    bounds_check(bytes, count_at, count_field.size, count_name)?;
+                    let count =
+                        get_int(bytes, count_at, count_field.size, arch.endianness);
+                    if count < 0 || count as usize > bytes.len() {
+                        return Err(LayoutError::BadCount {
+                            field: count_name.clone(),
+                            count,
+                        });
+                    }
+                    let count = count as usize;
+                    bounds_check(bytes, at, arch.pointer.size, &field.name)?;
+                    let target = get_uint(bytes, at, arch.pointer.size, arch.endianness);
+                    if count == 0 {
+                        return Ok(Value::Array(Vec::new()));
+                    }
+                    let target = usize::try_from(target).map_err(|_| {
+                        LayoutError::BadPointer { field: field.name.clone(), target }
+                    })?;
+                    bounds_check(bytes, target, count * elem_sa.size, &field.name)?;
+                    let mut items = Vec::with_capacity(count);
+                    for i in 0..count {
+                        items.push(decode_element(
+                            bytes,
+                            target + i * elem_sa.size,
+                            elem,
+                            field,
+                            arch,
+                        )?);
+                    }
+                    Ok(Value::Array(items))
+                }
+            }
+        }
+        CType::Struct(inner) => {
+            let inner_layout = Layout::of_struct(inner, arch)?;
+            bounds_check(bytes, at, inner_layout.size, &field.name)?;
+            Ok(Value::Record(decode_struct_at(bytes, at, &inner_layout, arch)?))
+        }
+    }
+}
+
+/// Decodes one array element (primitives, strings and nested structs; the
+/// layout engine guarantees no arrays-of-arrays reach here).
+fn decode_element(
+    bytes: &[u8],
+    at: usize,
+    elem: &CType,
+    field: &crate::layout::FieldLayout,
+    arch: &Architecture,
+) -> Result<Value, LayoutError> {
+    match elem {
+        CType::Prim(p) => decode_prim_at(bytes, at, *p, &field.name, arch),
+        CType::String => {
+            bounds_check(bytes, at, arch.pointer.size, &field.name)?;
+            let target = get_uint(bytes, at, arch.pointer.size, arch.endianness);
+            read_string(bytes, target, &field.name)
+        }
+        CType::Struct(inner) => {
+            let inner_layout = Layout::of_struct(inner, arch)?;
+            bounds_check(bytes, at, inner_layout.size, &field.name)?;
+            Ok(Value::Record(decode_struct_at(bytes, at, &inner_layout, arch)?))
+        }
+        CType::Array { .. } => Err(LayoutError::NestedArray { field: field.name.clone() }),
+    }
+}
+
+fn read_string(bytes: &[u8], target: u64, field: &str) -> Result<Value, LayoutError> {
+    if target == 0 {
+        // Null pointer decodes as the empty string.
+        return Ok(Value::String(String::new()));
+    }
+    let start = usize::try_from(target)
+        .ok()
+        .filter(|t| *t < bytes.len())
+        .ok_or(LayoutError::BadPointer { field: field.to_owned(), target })?;
+    let end = bytes[start..]
+        .iter()
+        .position(|b| *b == 0)
+        .map(|rel| start + rel)
+        .ok_or_else(|| LayoutError::Truncated {
+            reading: format!("string field {field}"),
+            offset: start,
+            len: bytes.len(),
+        })?;
+    let s = std::str::from_utf8(&bytes[start..end])
+        .map_err(|_| LayoutError::BadString { field: field.to_owned() })?;
+    Ok(Value::String(s.to_owned()))
+}
+
+fn decode_prim_at(
+    bytes: &[u8],
+    at: usize,
+    prim: Primitive,
+    field: &str,
+    arch: &Architecture,
+) -> Result<Value, LayoutError> {
+    let sa = arch.primitive(prim);
+    bounds_check(bytes, at, sa.size, field)?;
+    if prim.is_float() {
+        let value = match sa.size {
+            4 => f32::from_bits(get_uint(bytes, at, 4, arch.endianness) as u32) as f64,
+            _ => f64::from_bits(get_uint(bytes, at, 8, arch.endianness)),
+        };
+        return Ok(Value::Float(value));
+    }
+    if prim.is_signed_integer() {
+        return Ok(Value::Int(get_int(bytes, at, sa.size, arch.endianness)));
+    }
+    Ok(Value::UInt(get_uint(bytes, at, sa.size, arch.endianness)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctype::StructField;
+
+    fn prim(p: Primitive) -> CType {
+        CType::Prim(p)
+    }
+
+    /// Paper Appendix A structure B: strings, a fixed array, and a
+    /// count-field dynamic array.
+    fn structure_b() -> StructType {
+        StructType::new(
+            "asdOff",
+            vec![
+                StructField::new("cntrId", CType::String),
+                StructField::new("arln", CType::String),
+                StructField::new("fltNum", prim(Primitive::Int)),
+                StructField::new("equip", CType::String),
+                StructField::new("org", CType::String),
+                StructField::new("dest", CType::String),
+                StructField::new("off", CType::fixed_array(prim(Primitive::ULong), 5)),
+                StructField::new("eta", CType::dynamic_array(prim(Primitive::ULong), "eta_count")),
+                StructField::new("eta_count", prim(Primitive::Int)),
+            ],
+        )
+    }
+
+    fn sample_b() -> Record {
+        Record::new()
+            .with("cntrId", "ZTL")
+            .with("arln", "DL")
+            .with("fltNum", 1202i64)
+            .with("equip", "B752")
+            .with("org", "ATL")
+            .with("dest", "BOS")
+            .with("off", vec![1u64, 2, 3, 4, 5])
+            .with("eta", vec![100u64, 200, 300])
+    }
+
+    #[test]
+    fn round_trip_on_every_architecture() {
+        let st = structure_b();
+        let rec = sample_b();
+        for arch in Architecture::ALL {
+            let image = encode_record(&rec, &st, &arch).unwrap();
+            let back = decode_record(&image.bytes, &st, &arch).unwrap();
+            assert_eq!(back.get("cntrId").unwrap().as_str(), Some("ZTL"), "{arch}");
+            assert_eq!(back.get("fltNum").unwrap().as_i64(), Some(1202), "{arch}");
+            assert_eq!(
+                back.get("off").unwrap().as_array().unwrap().len(),
+                5,
+                "{arch}"
+            );
+            let eta = back.get("eta").unwrap().as_array().unwrap();
+            assert_eq!(eta.iter().map(|v| v.as_u64().unwrap()).collect::<Vec<_>>(), vec![
+                100, 200, 300
+            ]);
+            // The count field was synthesized from the array length.
+            assert_eq!(back.get("eta_count").unwrap().as_i64(), Some(3), "{arch}");
+        }
+    }
+
+    #[test]
+    fn integer_endianness_is_respected() {
+        let st = StructType::new("t", vec![StructField::new("x", prim(Primitive::Int))]);
+        let rec = Record::new().with("x", 0x01020304i64);
+        let le = encode_record(&rec, &st, &Architecture::X86_64).unwrap();
+        let be = encode_record(&rec, &st, &Architecture::SPARC64).unwrap();
+        assert_eq!(&le.bytes[..4], &[0x04, 0x03, 0x02, 0x01]);
+        assert_eq!(&be.bytes[..4], &[0x01, 0x02, 0x03, 0x04]);
+    }
+
+    #[test]
+    fn negative_integers_sign_extend() {
+        let st = StructType::new("t", vec![StructField::new("x", prim(Primitive::Short))]);
+        let rec = Record::new().with("x", -2i64);
+        for arch in Architecture::ALL {
+            let image = encode_record(&rec, &st, &arch).unwrap();
+            let back = decode_record(&image.bytes, &st, &arch).unwrap();
+            assert_eq!(back.get("x").unwrap().as_i64(), Some(-2), "{arch}");
+        }
+    }
+
+    #[test]
+    fn floats_round_trip_both_widths() {
+        let st = StructType::new(
+            "t",
+            vec![
+                StructField::new("f", prim(Primitive::Float)),
+                StructField::new("d", prim(Primitive::Double)),
+            ],
+        );
+        let rec = Record::new().with("f", 1.5f64).with("d", -2.25f64);
+        for arch in [Architecture::X86_64, Architecture::SPARC32] {
+            let image = encode_record(&rec, &st, &arch).unwrap();
+            let back = decode_record(&image.bytes, &st, &arch).unwrap();
+            assert_eq!(back.get("f").unwrap().as_f64(), Some(1.5));
+            assert_eq!(back.get("d").unwrap().as_f64(), Some(-2.25));
+        }
+    }
+
+    #[test]
+    fn float_narrowing_loses_precision_gracefully() {
+        let st = StructType::new("t", vec![StructField::new("f", prim(Primitive::Float))]);
+        let rec = Record::new().with("f", 1.0000001f64);
+        let image = encode_record(&rec, &st, &Architecture::X86_64).unwrap();
+        let back = decode_record(&image.bytes, &st, &Architecture::X86_64).unwrap();
+        let got = back.get("f").unwrap().as_f64().unwrap();
+        assert!((got - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn value_out_of_range_is_rejected() {
+        let st = StructType::new("t", vec![StructField::new("x", prim(Primitive::Short))]);
+        let rec = Record::new().with("x", 70000i64);
+        assert!(matches!(
+            encode_record(&rec, &st, &Architecture::X86_64),
+            Err(LayoutError::ValueOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn ulong_overflow_depends_on_architecture() {
+        // 2^40 fits an LP64 unsigned long but not an ILP32 one.
+        let st = StructType::new("t", vec![StructField::new("x", prim(Primitive::ULong))]);
+        let rec = Record::new().with("x", 1u64 << 40);
+        assert!(encode_record(&rec, &st, &Architecture::X86_64).is_ok());
+        assert!(matches!(
+            encode_record(&rec, &st, &Architecture::I386),
+            Err(LayoutError::ValueOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn missing_field_is_rejected() {
+        let st = StructType::new("t", vec![StructField::new("x", prim(Primitive::Int))]);
+        assert!(matches!(
+            encode_record(&Record::new(), &st, &Architecture::X86_64),
+            Err(LayoutError::MissingField { .. })
+        ));
+    }
+
+    #[test]
+    fn type_mismatch_is_rejected() {
+        let st = StructType::new("t", vec![StructField::new("x", prim(Primitive::Int))]);
+        let rec = Record::new().with("x", "not a number");
+        assert!(matches!(
+            encode_record(&rec, &st, &Architecture::X86_64),
+            Err(LayoutError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn fixed_array_length_mismatch_is_rejected() {
+        let st = StructType::new(
+            "t",
+            vec![StructField::new("a", CType::fixed_array(prim(Primitive::Int), 3))],
+        );
+        let rec = Record::new().with("a", vec![1i64, 2]);
+        assert!(matches!(
+            encode_record(&rec, &st, &Architecture::X86_64),
+            Err(LayoutError::ArrayLengthMismatch { declared: 3, actual: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn supplied_count_must_match_array_length() {
+        let st = StructType::new(
+            "t",
+            vec![
+                StructField::new("a", CType::dynamic_array(prim(Primitive::Int), "n")),
+                StructField::new("n", prim(Primitive::Int)),
+            ],
+        );
+        let rec = Record::new().with("a", vec![1i64, 2]).with("n", 5u64);
+        assert!(matches!(
+            encode_record(&rec, &st, &Architecture::X86_64),
+            Err(LayoutError::ArrayLengthMismatch { .. })
+        ));
+        let ok = Record::new().with("a", vec![1i64, 2]).with("n", 2u64);
+        assert!(encode_record(&ok, &st, &Architecture::X86_64).is_ok());
+    }
+
+    #[test]
+    fn empty_dynamic_array_uses_null_pointer() {
+        let st = StructType::new(
+            "t",
+            vec![
+                StructField::new("a", CType::dynamic_array(prim(Primitive::Int), "n")),
+                StructField::new("n", prim(Primitive::Int)),
+            ],
+        );
+        let rec = Record::new().with("a", Vec::<i64>::new());
+        let image = encode_record(&rec, &st, &Architecture::X86_64).unwrap();
+        assert!(image.bytes[..8].iter().all(|b| *b == 0));
+        let back = decode_record(&image.bytes, &st, &Architecture::X86_64).unwrap();
+        assert_eq!(back.get("a").unwrap().as_array().unwrap().len(), 0);
+        assert_eq!(back.get("n").unwrap().as_i64(), Some(0));
+    }
+
+    #[test]
+    fn nested_structs_round_trip() {
+        let inner = StructType::new(
+            "pt",
+            vec![
+                StructField::new("x", prim(Primitive::Double)),
+                StructField::new("label", CType::String),
+            ],
+        );
+        let outer = StructType::new(
+            "wrap",
+            vec![
+                StructField::new("head", prim(Primitive::Int)),
+                StructField::new("p", CType::Struct(inner)),
+            ],
+        );
+        let rec = Record::new()
+            .with("head", 7i64)
+            .with("p", Record::new().with("x", 3.5f64).with("label", "origin"));
+        for arch in Architecture::ALL {
+            let image = encode_record(&rec, &outer, &arch).unwrap();
+            let back = decode_record(&image.bytes, &outer, &arch).unwrap();
+            let p = back.get("p").unwrap().as_record().unwrap();
+            assert_eq!(p.get("x").unwrap().as_f64(), Some(3.5), "{arch}");
+            assert_eq!(p.get("label").unwrap().as_str(), Some("origin"), "{arch}");
+        }
+    }
+
+    #[test]
+    fn dynamic_array_of_strings_round_trips() {
+        let st = StructType::new(
+            "t",
+            vec![
+                StructField::new("names", CType::dynamic_array(CType::String, "n")),
+                StructField::new("n", prim(Primitive::Int)),
+            ],
+        );
+        let rec = Record::new().with("names", vec!["alpha", "beta", "gamma"]);
+        let image = encode_record(&rec, &st, &Architecture::SPARC32).unwrap();
+        let back = decode_record(&image.bytes, &st, &Architecture::SPARC32).unwrap();
+        let names: Vec<&str> = back
+            .get("names")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|v| v.as_str().unwrap())
+            .collect();
+        assert_eq!(names, vec!["alpha", "beta", "gamma"]);
+    }
+
+    #[test]
+    fn truncated_image_is_rejected_not_panicking() {
+        let st = structure_b();
+        let rec = sample_b();
+        let image = encode_record(&rec, &st, &Architecture::X86_64).unwrap();
+        for cut in [0, 1, 7, 16, image.fixed_len - 1, image.fixed_len, image.bytes.len() - 1] {
+            let result = decode_record(&image.bytes[..cut], &st, &Architecture::X86_64);
+            assert!(result.is_err(), "cut at {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn corrupt_pointer_is_rejected() {
+        let st = StructType::new("t", vec![StructField::new("s", CType::String)]);
+        let rec = Record::new().with("s", "hi");
+        let mut image = encode_record(&rec, &st, &Architecture::X86_64).unwrap();
+        // Point the string way outside the buffer.
+        put_uint(&mut image.bytes, 0, 8, Endianness::Little, 1 << 40);
+        assert!(matches!(
+            decode_record(&image.bytes, &st, &Architecture::X86_64),
+            Err(LayoutError::BadPointer { .. })
+        ));
+    }
+
+    #[test]
+    fn unterminated_string_is_rejected() {
+        let st = StructType::new("t", vec![StructField::new("s", CType::String)]);
+        let rec = Record::new().with("s", "hello");
+        let image = encode_record(&rec, &st, &Architecture::X86_64).unwrap();
+        // Drop the trailing NUL.
+        let cut = &image.bytes[..image.bytes.len() - 1];
+        assert!(matches!(
+            decode_record(cut, &st, &Architecture::X86_64),
+            Err(LayoutError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn raw_int_helpers_round_trip() {
+        let mut buf = vec![0u8; 8];
+        for endianness in [Endianness::Little, Endianness::Big] {
+            for size in [1usize, 2, 4, 8] {
+                for v in [0u64, 1, 0x7F, 0xFF % (1 << (size * 8 - 1))] {
+                    put_uint(&mut buf, 0, size, endianness, v);
+                    assert_eq!(get_uint(&buf, 0, size, endianness), v);
+                }
+                let signed = if size == 8 { -123456789i64 } else { -((1i64 << (size * 8 - 1)) / 2) };
+                put_int(&mut buf, 0, size, endianness, signed);
+                assert_eq!(get_int(&buf, 0, size, endianness), signed);
+            }
+        }
+    }
+
+    #[test]
+    fn fits_helpers() {
+        assert!(fits_signed(127, 1));
+        assert!(!fits_signed(128, 1));
+        assert!(fits_signed(-128, 1));
+        assert!(!fits_signed(-129, 1));
+        assert!(fits_unsigned(255, 1));
+        assert!(!fits_unsigned(256, 1));
+        assert!(fits_signed(i64::MIN, 8));
+        assert!(fits_unsigned(u64::MAX, 8));
+    }
+
+    #[test]
+    fn var_section_view() {
+        let st = StructType::new("t", vec![StructField::new("s", CType::String)]);
+        let rec = Record::new().with("s", "xyz");
+        let image = encode_record(&rec, &st, &Architecture::X86_64).unwrap();
+        assert_eq!(image.var_section(), b"xyz\0");
+    }
+}

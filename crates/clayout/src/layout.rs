@@ -1,0 +1,370 @@
+//! The C struct layout algorithm: `sizeof`, `alignof`, field offsets.
+
+use crate::arch::{Architecture, SizeAlign};
+use crate::ctype::{ArrayLen, CType, StructField, StructType};
+#[cfg(test)]
+use crate::ctype::Primitive;
+use crate::error::LayoutError;
+
+/// The placement of one field inside a laid-out struct.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FieldLayout {
+    /// Field name.
+    pub name: String,
+    /// Byte offset from the start of the struct (what `IOOffset` computed
+    /// in the paper's PBIO metadata).
+    pub offset: usize,
+    /// Size in bytes of the field's slot in the fixed part. For strings
+    /// and dynamic arrays this is the pointer size, not the data size.
+    pub size: usize,
+    /// Alignment requirement of the field.
+    pub align: usize,
+    /// The field's C type.
+    pub ty: CType,
+}
+
+/// A fully laid-out struct on a specific architecture.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Layout {
+    /// `sizeof` the struct, including trailing padding.
+    pub size: usize,
+    /// `alignof` the struct (max field alignment, min 1).
+    pub align: usize,
+    /// Field placements in declaration order.
+    pub fields: Vec<FieldLayout>,
+}
+
+impl Layout {
+    /// Computes the size and alignment of any [`CType`] under `arch`,
+    /// without validating struct-level constraints.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LayoutError::NestedArray`] for arrays of arrays, and
+    /// propagates errors from nested struct layout.
+    pub fn size_align(ty: &CType, arch: &Architecture) -> Result<SizeAlign, LayoutError> {
+        match ty {
+            CType::Prim(p) => Ok(arch.primitive(*p)),
+            CType::String => Ok(arch.pointer),
+            CType::Array { elem, len } => {
+                if matches!(**elem, CType::Array { .. }) {
+                    return Err(LayoutError::NestedArray { field: String::new() });
+                }
+                match len {
+                    ArrayLen::Fixed(n) => {
+                        let elem_sa = Layout::size_align(elem, arch)?;
+                        Ok(SizeAlign { size: elem_sa.size * n, align: elem_sa.align })
+                    }
+                    // Dynamic arrays occupy a pointer slot in the struct.
+                    ArrayLen::CountField(_) => Ok(arch.pointer),
+                }
+            }
+            CType::Struct(st) => {
+                let layout = Layout::of_struct(st, arch)?;
+                Ok(SizeAlign { size: layout.size, align: layout.align })
+            }
+        }
+    }
+
+    /// Lays out `st` on `arch` using the standard C algorithm: each field
+    /// is placed at the next offset aligned to its requirement, and the
+    /// total size is padded up to the struct's own alignment.
+    ///
+    /// Also validates the metadata-level constraints the paper's tool
+    /// enforced: unique field names, no arrays of arrays, and every
+    /// count-field reference naming an integer field of the same struct.
+    ///
+    /// # Errors
+    ///
+    /// See [`LayoutError`]; nothing is reported for an empty struct,
+    /// which (as in C with the usual extension) has size 0.
+    pub fn of_struct(st: &StructType, arch: &Architecture) -> Result<Layout, LayoutError> {
+        let mut offset = 0usize;
+        let mut max_align = 1usize;
+        let mut fields = Vec::with_capacity(st.fields.len());
+
+        for (idx, field) in st.fields.iter().enumerate() {
+            if st.fields[..idx].iter().any(|f| f.name == field.name) {
+                return Err(LayoutError::DuplicateField { name: field.name.clone() });
+            }
+            validate_field(field, st)?;
+            let sa = Layout::size_align(&field.ty, arch).map_err(|e| match e {
+                LayoutError::NestedArray { .. } => {
+                    LayoutError::NestedArray { field: field.name.clone() }
+                }
+                other => other,
+            })?;
+            offset = align_up(offset, sa.align);
+            fields.push(FieldLayout {
+                name: field.name.clone(),
+                offset,
+                size: sa.size,
+                align: sa.align,
+                ty: field.ty.clone(),
+            });
+            offset += sa.size;
+            max_align = max_align.max(sa.align);
+        }
+
+        Ok(Layout { size: align_up(offset, max_align), align: max_align, fields })
+    }
+
+    /// Finds a field layout by name.
+    pub fn field(&self, name: &str) -> Option<&FieldLayout> {
+        self.fields.iter().find(|f| f.name == name)
+    }
+
+    /// Total bytes of padding inserted between and after fields.
+    pub fn padding(&self) -> usize {
+        let used: usize = self.fields.iter().map(|f| f.size).sum();
+        self.size - used
+    }
+}
+
+fn validate_field(field: &StructField, st: &StructType) -> Result<(), LayoutError> {
+    if let CType::Array { elem, len } = &field.ty {
+        if matches!(**elem, CType::Array { .. }) {
+            return Err(LayoutError::NestedArray { field: field.name.clone() });
+        }
+        if let ArrayLen::CountField(count_name) = len {
+            match st.field(count_name) {
+                None => {
+                    return Err(LayoutError::MissingCountField {
+                        array: field.name.clone(),
+                        count_field: count_name.clone(),
+                    })
+                }
+                Some(count) => match &count.ty {
+                    CType::Prim(p) if p.is_signed_integer() || p.is_unsigned_integer() => {}
+                    _ => {
+                        return Err(LayoutError::BadCountFieldType {
+                            count_field: count_name.clone(),
+                        })
+                    }
+                },
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Rounds `offset` up to the next multiple of `align` (which must be a
+/// power of two ≥ 1).
+pub fn align_up(offset: usize, align: usize) -> usize {
+    debug_assert!(align.is_power_of_two());
+    (offset + align - 1) & !(align - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::Architecture;
+
+    fn prim(p: Primitive) -> CType {
+        CType::Prim(p)
+    }
+
+    /// The paper's Structure A (Appendix A, Fig. 4): six strings, an int,
+    /// and two unsigned longs.
+    fn structure_a() -> StructType {
+        StructType::new(
+            "asdOff",
+            vec![
+                StructField::new("cntrId", CType::String),
+                StructField::new("arln", CType::String),
+                StructField::new("fltNum", prim(Primitive::Int)),
+                StructField::new("equip", CType::String),
+                StructField::new("org", CType::String),
+                StructField::new("dest", CType::String),
+                StructField::new("off", prim(Primitive::ULong)),
+                StructField::new("eta", prim(Primitive::ULong)),
+            ],
+        )
+    }
+
+    #[test]
+    fn structure_a_matches_hand_layout_on_lp64() {
+        let layout = Layout::of_struct(&structure_a(), &Architecture::X86_64).unwrap();
+        let offsets: Vec<usize> = layout.fields.iter().map(|f| f.offset).collect();
+        // ptr ptr int(+4 pad) ptr ptr ptr ulong ulong
+        assert_eq!(offsets, vec![0, 8, 16, 24, 32, 40, 48, 56]);
+        assert_eq!(layout.size, 64);
+        assert_eq!(layout.align, 8);
+        assert_eq!(layout.padding(), 4);
+    }
+
+    #[test]
+    fn structure_a_matches_hand_layout_on_ilp32() {
+        let layout = Layout::of_struct(&structure_a(), &Architecture::SPARC32).unwrap();
+        let offsets: Vec<usize> = layout.fields.iter().map(|f| f.offset).collect();
+        assert_eq!(offsets, vec![0, 4, 8, 12, 16, 20, 24, 28]);
+        // All 4-byte slots: exactly the paper's "32 byte" structure size.
+        assert_eq!(layout.size, 32);
+        assert_eq!(layout.padding(), 0);
+    }
+
+    #[test]
+    fn padding_is_inserted_before_wider_fields() {
+        let st = StructType::new(
+            "mix",
+            vec![
+                StructField::new("c", prim(Primitive::Char)),
+                StructField::new("d", prim(Primitive::Double)),
+            ],
+        );
+        let x86 = Layout::of_struct(&st, &Architecture::X86_64).unwrap();
+        assert_eq!(x86.fields[1].offset, 8);
+        assert_eq!(x86.size, 16);
+        // Classic i386 aligns double to 4.
+        let i386 = Layout::of_struct(&st, &Architecture::I386).unwrap();
+        assert_eq!(i386.fields[1].offset, 4);
+        assert_eq!(i386.size, 12);
+    }
+
+    #[test]
+    fn fixed_arrays_are_inline() {
+        let st = StructType::new(
+            "arr",
+            vec![StructField::new(
+                "off",
+                CType::fixed_array(prim(Primitive::ULong), 5),
+            )],
+        );
+        let l64 = Layout::of_struct(&st, &Architecture::X86_64).unwrap();
+        assert_eq!(l64.size, 40);
+        let l32 = Layout::of_struct(&st, &Architecture::ARM32).unwrap();
+        assert_eq!(l32.size, 20);
+    }
+
+    #[test]
+    fn dynamic_arrays_are_pointer_slots() {
+        let st = StructType::new(
+            "dyn",
+            vec![
+                StructField::new(
+                    "eta",
+                    CType::dynamic_array(prim(Primitive::ULong), "eta_count"),
+                ),
+                StructField::new("eta_count", prim(Primitive::Int)),
+            ],
+        );
+        let l = Layout::of_struct(&st, &Architecture::X86_64).unwrap();
+        assert_eq!(l.fields[0].size, 8);
+        assert_eq!(l.fields[1].offset, 8);
+        assert_eq!(l.size, 16);
+    }
+
+    #[test]
+    fn nested_struct_alignment_propagates() {
+        let inner = StructType::new(
+            "inner",
+            vec![
+                StructField::new("a", prim(Primitive::Char)),
+                StructField::new("b", prim(Primitive::Double)),
+            ],
+        );
+        let outer = StructType::new(
+            "outer",
+            vec![
+                StructField::new("flag", prim(Primitive::Char)),
+                StructField::new("in", CType::Struct(inner)),
+            ],
+        );
+        let l = Layout::of_struct(&outer, &Architecture::X86_64).unwrap();
+        assert_eq!(l.fields[1].offset, 8);
+        assert_eq!(l.size, 24);
+        assert_eq!(l.align, 8);
+    }
+
+    #[test]
+    fn missing_count_field_is_rejected() {
+        let st = StructType::new(
+            "bad",
+            vec![StructField::new(
+                "xs",
+                CType::dynamic_array(prim(Primitive::Int), "n"),
+            )],
+        );
+        assert!(matches!(
+            Layout::of_struct(&st, &Architecture::X86_64),
+            Err(LayoutError::MissingCountField { .. })
+        ));
+    }
+
+    #[test]
+    fn non_integer_count_field_is_rejected() {
+        let st = StructType::new(
+            "bad",
+            vec![
+                StructField::new("xs", CType::dynamic_array(prim(Primitive::Int), "n")),
+                StructField::new("n", prim(Primitive::Double)),
+            ],
+        );
+        assert!(matches!(
+            Layout::of_struct(&st, &Architecture::X86_64),
+            Err(LayoutError::BadCountFieldType { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_fields_are_rejected() {
+        let st = StructType::new(
+            "bad",
+            vec![
+                StructField::new("x", prim(Primitive::Int)),
+                StructField::new("x", prim(Primitive::Int)),
+            ],
+        );
+        assert!(matches!(
+            Layout::of_struct(&st, &Architecture::X86_64),
+            Err(LayoutError::DuplicateField { .. })
+        ));
+    }
+
+    #[test]
+    fn arrays_of_arrays_are_rejected() {
+        let st = StructType::new(
+            "bad",
+            vec![StructField::new(
+                "m",
+                CType::fixed_array(CType::fixed_array(prim(Primitive::Int), 2), 3),
+            )],
+        );
+        assert!(matches!(
+            Layout::of_struct(&st, &Architecture::X86_64),
+            Err(LayoutError::NestedArray { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_struct_has_zero_size() {
+        let st = StructType::new("empty", vec![]);
+        let l = Layout::of_struct(&st, &Architecture::X86_64).unwrap();
+        assert_eq!((l.size, l.align), (0, 1));
+    }
+
+    #[test]
+    fn align_up_basics() {
+        assert_eq!(align_up(0, 8), 0);
+        assert_eq!(align_up(1, 8), 8);
+        assert_eq!(align_up(8, 8), 8);
+        assert_eq!(align_up(9, 4), 12);
+        assert_eq!(align_up(13, 1), 13);
+    }
+
+    #[test]
+    fn offsets_are_aligned_and_monotonic_across_presets() {
+        let st = structure_a();
+        for arch in Architecture::ALL {
+            let l = Layout::of_struct(&st, &arch).unwrap();
+            let mut prev_end = 0;
+            for f in &l.fields {
+                assert_eq!(f.offset % f.align, 0, "{arch} {}", f.name);
+                assert!(f.offset >= prev_end, "{arch} {}", f.name);
+                prev_end = f.offset + f.size;
+            }
+            assert!(l.size >= prev_end);
+            assert_eq!(l.size % l.align, 0);
+        }
+    }
+}

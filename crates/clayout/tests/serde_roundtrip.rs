@@ -1,0 +1,51 @@
+//! Serde round trips for the data-model types (feature = "serde").
+//!
+//! Run with: `cargo test -p clayout --features serde`
+#![cfg(feature = "serde")]
+
+use clayout::{ArrayLen, CType, Primitive, Record, StructField, StructType, Value};
+
+fn round_trip<T>(value: &T) -> T
+where
+    T: serde::Serialize + for<'de> serde::Deserialize<'de>,
+{
+    let json = serde_json::to_string(value).unwrap();
+    serde_json::from_str(&json).unwrap()
+}
+
+#[test]
+fn struct_types_round_trip_through_json() {
+    let st = StructType::new(
+        "Flight",
+        vec![
+            StructField::new("arln", CType::String),
+            StructField::new("fltNum", CType::Prim(Primitive::Int)),
+            StructField::new(
+                "eta",
+                CType::Array {
+                    elem: Box::new(CType::Prim(Primitive::ULong)),
+                    len: ArrayLen::CountField("n".into()),
+                },
+            ),
+            StructField::new("n", CType::Prim(Primitive::Int)),
+        ],
+    );
+    assert_eq!(round_trip(&st), st);
+}
+
+#[test]
+fn records_round_trip_through_json() {
+    let record = Record::new()
+        .with("name", "DL1202")
+        .with("count", 3i64)
+        .with("ratio", 0.5f64)
+        .with("xs", vec![1u64, 2, 3]);
+    assert_eq!(round_trip(&record), record);
+}
+
+#[test]
+fn architectures_serialize() {
+    let json = serde_json::to_string(&clayout::Architecture::SPARC32).unwrap();
+    assert!(json.contains("sparc32"), "{json}");
+    assert!(json.contains("Big"), "{json}");
+}

@@ -1,0 +1,302 @@
+//! Metadata discovery sources and the fault-tolerant discovery chain.
+//!
+//! §3.3 of the paper: remote discovery maximizes flexibility but "a
+//! broken network link or hardware failure could leave a remote
+//! discovery system without any way of finding the metadata it needs";
+//! the answer is "a system that uses remote discovery as a primary
+//! discovery method and compiled-in information as a fault-tolerant
+//! discovery method". [`DiscoveryChain`] implements exactly that policy:
+//! sources are consulted in order and the first success wins, with every
+//! failure recorded for diagnosis.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+
+use parking_lot::RwLock;
+
+use crate::error::X2wError;
+use crate::server::http_get;
+use crate::url::Locator;
+
+/// A source of metadata documents.
+pub trait DiscoverySource: Send + Sync {
+    /// A short name for diagnostics (`"file"`, `"url"`, `"compiled-in"`).
+    fn source_name(&self) -> &'static str;
+
+    /// Fetches the document for `locator`, or explains why it cannot.
+    ///
+    /// # Errors
+    ///
+    /// Any failure; the chain records it and moves on.
+    fn fetch(&self, locator: &str) -> Result<String, X2wError>;
+}
+
+/// Reads schema documents from the local filesystem, resolving relative
+/// locators against a base directory.
+#[derive(Debug, Clone)]
+pub struct FileSource {
+    base: PathBuf,
+}
+
+impl FileSource {
+    /// A source rooted at `base` (used for relative locators).
+    pub fn new(base: impl Into<PathBuf>) -> Self {
+        FileSource { base: base.into() }
+    }
+
+    /// A source resolving relative locators against the current
+    /// directory.
+    pub fn current_dir() -> Self {
+        FileSource { base: PathBuf::from(".") }
+    }
+}
+
+impl DiscoverySource for FileSource {
+    fn source_name(&self) -> &'static str {
+        "file"
+    }
+
+    fn fetch(&self, locator: &str) -> Result<String, X2wError> {
+        let path = match Locator::parse(locator)? {
+            Locator::File(path) => {
+                if path.is_absolute() {
+                    path
+                } else {
+                    self.base.join(path)
+                }
+            }
+            other => {
+                return Err(X2wError::BadLocator {
+                    locator: other.to_string(),
+                    reason: "file source only handles paths".to_owned(),
+                })
+            }
+        };
+        Ok(std::fs::read_to_string(path)?)
+    }
+}
+
+/// Fetches schema documents over HTTP from a metadata server.
+#[derive(Debug, Clone, Default)]
+pub struct UrlSource {
+    /// Optional base URL for relative locators (e.g.
+    /// `http://meta:8080/schemas`).
+    base: Option<String>,
+}
+
+impl UrlSource {
+    /// A source that only accepts absolute `http://` locators.
+    pub fn new() -> Self {
+        UrlSource { base: None }
+    }
+
+    /// A source that resolves relative locators against `base`.
+    pub fn with_base(base: impl Into<String>) -> Self {
+        UrlSource { base: Some(base.into()) }
+    }
+}
+
+impl DiscoverySource for UrlSource {
+    fn source_name(&self) -> &'static str {
+        "url"
+    }
+
+    fn fetch(&self, locator: &str) -> Result<String, X2wError> {
+        let url = if locator.starts_with("http://") {
+            locator.to_owned()
+        } else if let Some(base) = &self.base {
+            format!("{}/{}", base.trim_end_matches('/'), locator.trim_start_matches('/'))
+        } else {
+            return Err(X2wError::BadLocator {
+                locator: locator.to_owned(),
+                reason: "url source requires an absolute http:// locator (no base set)"
+                    .to_owned(),
+            });
+        };
+        http_get(&url)
+    }
+}
+
+/// Compiled-in metadata: documents embedded in the binary at build time,
+/// the degraded-mode fallback of §3.3 (and how PBIO programs always
+/// worked).
+#[derive(Default)]
+pub struct CompiledSource {
+    documents: RwLock<HashMap<String, String>>,
+}
+
+impl std::fmt::Debug for CompiledSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompiledSource")
+            .field("documents", &self.documents.read().len())
+            .finish()
+    }
+}
+
+impl CompiledSource {
+    /// An empty compiled-in set.
+    pub fn new() -> Self {
+        CompiledSource::default()
+    }
+
+    /// Adds a compiled-in document for `locator` (builder style).
+    #[must_use]
+    pub fn with_document(self, locator: impl Into<String>, document: impl Into<String>) -> Self {
+        self.documents.write().insert(locator.into(), document.into());
+        self
+    }
+
+    /// Adds a compiled-in document for `locator`.
+    pub fn add(&self, locator: impl Into<String>, document: impl Into<String>) {
+        self.documents.write().insert(locator.into(), document.into());
+    }
+}
+
+impl DiscoverySource for CompiledSource {
+    fn source_name(&self) -> &'static str {
+        "compiled-in"
+    }
+
+    fn fetch(&self, locator: &str) -> Result<String, X2wError> {
+        self.documents.read().get(locator).cloned().ok_or_else(|| X2wError::Discovery {
+            locator: locator.to_owned(),
+            attempts: vec!["no compiled-in document under that locator".to_owned()],
+        })
+    }
+}
+
+/// An ordered chain of sources with first-success semantics.
+#[derive(Default)]
+pub struct DiscoveryChain {
+    sources: Vec<Box<dyn DiscoverySource>>,
+}
+
+impl std::fmt::Debug for DiscoveryChain {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let names: Vec<&str> = self.sources.iter().map(|s| s.source_name()).collect();
+        f.debug_struct("DiscoveryChain").field("sources", &names).finish()
+    }
+}
+
+impl DiscoveryChain {
+    /// An empty chain (every fetch fails).
+    pub fn new() -> Self {
+        DiscoveryChain::default()
+    }
+
+    /// Appends a source (consulted after all earlier ones).
+    pub fn push(&mut self, source: Box<dyn DiscoverySource>) {
+        self.sources.push(source);
+    }
+
+    /// Number of sources.
+    pub fn len(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// Whether the chain has no sources.
+    pub fn is_empty(&self) -> bool {
+        self.sources.is_empty()
+    }
+
+    /// Fetches `locator` from the first source that succeeds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`X2wError::Discovery`] carrying one line per failed
+    /// source when every source fails.
+    pub fn fetch(&self, locator: &str) -> Result<String, X2wError> {
+        let mut attempts = Vec::new();
+        for source in &self.sources {
+            match source.fetch(locator) {
+                Ok(document) => return Ok(document),
+                Err(e) => attempts.push(format!("{}: {e}", source.source_name())),
+            }
+        }
+        if attempts.is_empty() {
+            attempts.push("no discovery sources configured".to_owned());
+        }
+        Err(X2wError::Discovery { locator: locator.to_owned(), attempts })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::MetadataServer;
+
+    const DOC: &str = "<xsd:schema xmlns:xsd=\"http://www.w3.org/1999/XMLSchema\"/>";
+
+    #[test]
+    fn file_source_reads_relative_and_absolute() {
+        let dir = std::env::temp_dir().join(format!("x2w-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("s.xsd");
+        std::fs::write(&path, DOC).unwrap();
+
+        let source = FileSource::new(&dir);
+        assert_eq!(source.fetch("s.xsd").unwrap(), DOC);
+        assert_eq!(source.fetch(path.to_str().unwrap()).unwrap(), DOC);
+        assert!(source.fetch("missing.xsd").is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn url_source_fetches_from_a_server() {
+        let server = MetadataServer::bind("127.0.0.1:0").unwrap();
+        server.publish("/schemas/s.xsd", DOC);
+        let absolute = UrlSource::new();
+        assert_eq!(absolute.fetch(&server.url_for("/schemas/s.xsd")).unwrap(), DOC);
+        let based = UrlSource::with_base(format!("http://{}/schemas", server.local_addr()));
+        assert_eq!(based.fetch("s.xsd").unwrap(), DOC);
+    }
+
+    #[test]
+    fn url_source_without_base_rejects_relative() {
+        assert!(UrlSource::new().fetch("s.xsd").is_err());
+    }
+
+    #[test]
+    fn compiled_source_serves_embedded_documents() {
+        let source = CompiledSource::new().with_document("boot.xsd", DOC);
+        assert_eq!(source.fetch("boot.xsd").unwrap(), DOC);
+        assert!(source.fetch("other.xsd").is_err());
+    }
+
+    #[test]
+    fn chain_falls_back_in_order() {
+        // Primary: a URL pointing at a dead server. Fallback:
+        // compiled-in. This is the paper's degraded-mode scenario.
+        let dead_url;
+        {
+            let server = MetadataServer::bind("127.0.0.1:0").unwrap();
+            dead_url = format!("http://{}", server.local_addr());
+        } // server dropped: connections now fail
+        let mut chain = DiscoveryChain::new();
+        chain.push(Box::new(UrlSource::with_base(dead_url)));
+        chain.push(Box::new(CompiledSource::new().with_document("boot.xsd", DOC)));
+
+        assert_eq!(chain.fetch("boot.xsd").unwrap(), DOC);
+
+        // A locator neither source has reports both failures.
+        let err = chain.fetch("unknown.xsd").unwrap_err();
+        let text = err.to_string();
+        assert!(text.contains("url:"), "{text}");
+        assert!(text.contains("compiled-in:"), "{text}");
+    }
+
+    #[test]
+    fn first_success_wins() {
+        let mut chain = DiscoveryChain::new();
+        chain.push(Box::new(CompiledSource::new().with_document("a.xsd", "primary")));
+        chain.push(Box::new(CompiledSource::new().with_document("a.xsd", "fallback")));
+        assert_eq!(chain.fetch("a.xsd").unwrap(), "primary");
+    }
+
+    #[test]
+    fn empty_chain_reports_no_sources() {
+        let chain = DiscoveryChain::new();
+        let err = chain.fetch("x.xsd").unwrap_err();
+        assert!(err.to_string().contains("no discovery sources"), "{err}");
+    }
+}

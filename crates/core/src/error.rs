@@ -1,0 +1,125 @@
+//! The xml2wire error type.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+use pbio::PbioError;
+use xsdlite::SchemaError;
+
+/// A failure anywhere in the discovery → binding → marshaling pipeline.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum X2wError {
+    /// The metadata document was not a usable schema.
+    Schema(SchemaError),
+    /// The binary communication mechanism failed.
+    Bcm(PbioError),
+    /// A discovery source failed to produce the document.
+    Discovery {
+        /// The locator that was requested.
+        locator: String,
+        /// One reason per source tried, in order.
+        attempts: Vec<String>,
+    },
+    /// A locator could not be parsed.
+    BadLocator {
+        /// The raw locator.
+        locator: String,
+        /// Why it is malformed.
+        reason: String,
+    },
+    /// An I/O failure (file reads, sockets).
+    Io(std::io::Error),
+    /// The binding step met a schema construct it cannot map to a C
+    /// structure.
+    Binding {
+        /// The complex type being bound.
+        complex_type: String,
+        /// Explanation.
+        detail: String,
+    },
+}
+
+impl fmt::Display for X2wError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            X2wError::Schema(e) => write!(f, "{e}"),
+            X2wError::Bcm(e) => write!(f, "{e}"),
+            X2wError::Discovery { locator, attempts } => {
+                write!(f, "could not discover metadata for {locator:?}")?;
+                for attempt in attempts {
+                    write!(f, "; {attempt}")?;
+                }
+                Ok(())
+            }
+            X2wError::BadLocator { locator, reason } => {
+                write!(f, "malformed locator {locator:?}: {reason}")
+            }
+            X2wError::Io(e) => write!(f, "i/o failure: {e}"),
+            X2wError::Binding { complex_type, detail } => {
+                write!(f, "cannot bind complex type {complex_type:?}: {detail}")
+            }
+        }
+    }
+}
+
+impl StdError for X2wError {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            X2wError::Schema(e) => Some(e),
+            X2wError::Bcm(e) => Some(e),
+            X2wError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SchemaError> for X2wError {
+    fn from(e: SchemaError) -> Self {
+        X2wError::Schema(e)
+    }
+}
+
+impl From<PbioError> for X2wError {
+    fn from(e: PbioError) -> Self {
+        X2wError::Bcm(e)
+    }
+}
+
+impl From<std::io::Error> for X2wError {
+    fn from(e: std::io::Error) -> Self {
+        X2wError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync + 'static>() {}
+        assert_send_sync::<X2wError>();
+    }
+
+    #[test]
+    fn discovery_error_lists_every_attempt() {
+        let err = X2wError::Discovery {
+            locator: "x2w://host/flights.xsd".to_owned(),
+            attempts: vec![
+                "url source: connection refused".to_owned(),
+                "compiled-in: no such document".to_owned(),
+            ],
+        };
+        let shown = err.to_string();
+        assert!(shown.contains("connection refused"), "{shown}");
+        assert!(shown.contains("compiled-in"), "{shown}");
+    }
+
+    #[test]
+    fn sources_chain() {
+        let schema_err = xsdlite::Schema::parse_str("<nope/>").unwrap_err();
+        let err: X2wError = schema_err.into();
+        assert!(StdError::source(&err).is_some());
+    }
+}

@@ -1,0 +1,448 @@
+//! The metadata server and its HTTP client.
+//!
+//! §4.4: "Newly created streams can make their metadata available as XML
+//! Schema documents on a publicly known intranet server. The server can
+//! also be extended to dynamically generate metadata…". This module is
+//! that server: a small HTTP/1.0 GET subset over TCP (built from scratch
+//! — no HTTP crates), serving registered schema documents and invoking
+//! dynamic generators for prefix-matched paths.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use parking_lot::RwLock;
+
+use crate::error::X2wError;
+use crate::url::Locator;
+
+/// A dynamic document generator: receives the full request path (with
+/// query string, if any) and produces a document, or `None` for 404.
+pub type Generator = Box<dyn Fn(&str) -> Option<String> + Send + Sync>;
+
+#[derive(Default)]
+struct Routes {
+    documents: HashMap<String, String>,
+    generators: Vec<(String, Generator)>,
+}
+
+/// A metadata server: serves schema documents over HTTP/1.0.
+///
+/// The listener thread runs until the server is dropped.
+///
+/// ```
+/// # fn main() -> Result<(), xml2wire::X2wError> {
+/// let server = xml2wire::MetadataServer::bind("127.0.0.1:0")?;
+/// server.publish("/schemas/demo.xsd", "<xsd:schema xmlns:xsd=\"http://www.w3.org/1999/XMLSchema\"/>");
+/// let url = server.url_for("/schemas/demo.xsd");
+/// let body = xml2wire::server::http_get(&url)?;
+/// assert!(body.contains("xsd:schema"));
+/// # Ok(())
+/// # }
+/// ```
+pub struct MetadataServer {
+    addr: SocketAddr,
+    routes: Arc<RwLock<Routes>>,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for MetadataServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetadataServer").field("addr", &self.addr).finish_non_exhaustive()
+    }
+}
+
+impl MetadataServer {
+    /// Binds and starts serving on `addr` (use port 0 for an ephemeral
+    /// port).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn bind(addr: impl ToSocketAddrs) -> Result<MetadataServer, X2wError> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let routes: Arc<RwLock<Routes>> = Arc::new(RwLock::new(Routes::default()));
+        let stop = Arc::new(AtomicBool::new(false));
+        let handle = {
+            let routes = Arc::clone(&routes);
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("metadata-server".to_owned())
+                .spawn(move ||
+
+ serve_loop(listener, routes, stop))?
+        };
+        Ok(MetadataServer { addr, routes, stop, handle: Some(handle) })
+    }
+
+    /// The address the server is listening on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The full URL for a server path.
+    pub fn url_for(&self, path: &str) -> String {
+        format!("http://{}{}", self.addr, path)
+    }
+
+    /// Publishes a static document at `path` (replacing any previous
+    /// one — metadata updates are how format evolution propagates).
+    pub fn publish(&self, path: &str, document: impl Into<String>) {
+        self.routes.write().documents.insert(path.to_owned(), document.into());
+    }
+
+    /// Removes a static document; returns whether one was present.
+    pub fn unpublish(&self, path: &str) -> bool {
+        self.routes.write().documents.remove(path).is_some()
+    }
+
+    /// Registers a dynamic generator for every path starting with
+    /// `prefix` (checked after static documents). The generator sees the
+    /// full request path including any query string, enabling
+    /// "format-scoping" responses based on requestor attributes.
+    pub fn publish_dynamic(&self, prefix: &str, generator: Generator) {
+        self.routes.write().generators.push((prefix.to_owned(), generator));
+    }
+
+    /// Paths of all static documents currently published.
+    pub fn published_paths(&self) -> Vec<String> {
+        let mut paths: Vec<String> =
+            self.routes.read().documents.keys().cloned().collect();
+        paths.sort();
+        paths
+    }
+}
+
+impl Drop for MetadataServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Kick the accept loop awake.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn serve_loop(listener: TcpListener, routes: Arc<RwLock<Routes>>, stop: Arc<AtomicBool>) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let routes = Arc::clone(&routes);
+                // One thread per connection: metadata requests are rare
+                // (discovery-time only), so simplicity wins.
+                std::thread::spawn(move || {
+                    let _ = handle_connection(stream, &routes);
+                });
+            }
+            Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_micros(500));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, routes: &RwLock<Routes>) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    stream.set_nodelay(true)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    // Drain headers, noting Content-Length for uploads.
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 || line == "\r\n" || line == "\n" {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().unwrap_or(0);
+            }
+        }
+    }
+
+    let mut stream = stream;
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("").to_owned();
+    let path = parts.next().unwrap_or("/").to_owned();
+    let path = path.as_str();
+
+    // Remote format registration (paper §7's "format registration
+    // mechanism … that incorporates the HTTP protocol"): POST/PUT a
+    // schema document to publish it at the request path.
+    if method == "POST" || method == "PUT" {
+        if content_length > 16 * 1024 * 1024 {
+            return respond(&mut stream, 413, "document too large", "text/plain");
+        }
+        let mut body = vec![0u8; content_length];
+        reader.read_exact(&mut body)?;
+        let Ok(document) = String::from_utf8(body) else {
+            return respond(&mut stream, 400, "document is not UTF-8", "text/plain");
+        };
+        // Reject documents that are not well-formed schemas: a central
+        // metadata server should not propagate garbage to subscribers.
+        if let Err(e) = xsdlite::Schema::parse_str(&document) {
+            return respond(&mut stream, 422, &format!("not a schema: {e}"), "text/plain");
+        }
+        let bare = path.split('?').next().unwrap_or(path).to_owned();
+        routes.write().documents.insert(bare, document);
+        return respond(&mut stream, 201, "registered", "text/plain");
+    }
+    if method != "GET" {
+        return respond(&mut stream, 405, "method not allowed", "text/plain");
+    }
+
+    let body = {
+        let routes = routes.read();
+        let bare = path.split('?').next().unwrap_or(path);
+        routes.documents.get(bare).cloned().or_else(|| {
+            routes
+                .generators
+                .iter()
+                .find(|(prefix, _)| path.starts_with(prefix.as_str()))
+                .and_then(|(_, generator)| generator(path))
+        })
+    };
+    match body {
+        Some(document) => respond(&mut stream, 200, &document, "text/xml"),
+        None => respond(&mut stream, 404, "no such metadata document", "text/plain"),
+    }
+}
+
+fn respond(
+    stream: &mut TcpStream,
+    status: u16,
+    body: &str,
+    content_type: &str,
+) -> std::io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        201 => "Created",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        _ => "Error",
+    };
+    let header = format!(
+        "HTTP/1.0 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(header.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Registers a metadata document at `url` with a minimal HTTP/1.0 POST
+/// — the remote half of the paper's future-work "format registration
+/// mechanism … that incorporates the HTTP protocol".
+///
+/// # Errors
+///
+/// Connection failures, malformed responses, or a non-2xx status (the
+/// server rejects documents that are not well-formed schemas).
+pub fn http_post(url: &str, document: &str) -> Result<(), X2wError> {
+    let Locator::Http { host, port, path } = Locator::parse(url)? else {
+        return Err(X2wError::BadLocator {
+            locator: url.to_owned(),
+            reason: "http_post requires an http:// URL".to_owned(),
+        });
+    };
+    let mut stream = TcpStream::connect((host.as_str(), port))?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    stream.set_nodelay(true)?;
+    let request = format!(
+        "POST {path} HTTP/1.0\r\nHost: {host}\r\nContent-Type: text/xml\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        document.len()
+    );
+    stream.write_all(request.as_bytes())?;
+    stream.write_all(document.as_bytes())?;
+    let mut response = Vec::new();
+    stream.read_to_end(&mut response)?;
+    let text = String::from_utf8_lossy(&response);
+    let status: u16 = text
+        .lines()
+        .next()
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| X2wError::BadLocator {
+            locator: url.to_owned(),
+            reason: "malformed HTTP response".to_owned(),
+        })?;
+    if (200..300).contains(&status) {
+        Ok(())
+    } else {
+        let detail = text.split_once("\r\n\r\n").map(|(_, b)| b.trim()).unwrap_or("");
+        Err(X2wError::Discovery {
+            locator: url.to_owned(),
+            attempts: vec![format!("server answered HTTP {status}: {detail}")],
+        })
+    }
+}
+
+/// Fetches `url` with a minimal HTTP/1.0 GET and returns the body.
+///
+/// # Errors
+///
+/// Reports connection failures, malformed responses and non-200
+/// statuses.
+pub fn http_get(url: &str) -> Result<String, X2wError> {
+    let Locator::Http { host, port, path } = Locator::parse(url)? else {
+        return Err(X2wError::BadLocator {
+            locator: url.to_owned(),
+            reason: "http_get requires an http:// URL".to_owned(),
+        });
+    };
+    let mut stream = TcpStream::connect((host.as_str(), port))?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    stream.set_nodelay(true)?;
+    let request = format!("GET {path} HTTP/1.0\r\nHost: {host}\r\nConnection: close\r\n\r\n");
+    stream.write_all(request.as_bytes())?;
+    let mut response = Vec::new();
+    stream.read_to_end(&mut response)?;
+    parse_http_response(&response, url)
+}
+
+fn parse_http_response(response: &[u8], url: &str) -> Result<String, X2wError> {
+    let text = String::from_utf8(response.to_vec()).map_err(|_| X2wError::BadLocator {
+        locator: url.to_owned(),
+        reason: "response is not UTF-8".to_owned(),
+    })?;
+    let (head, body) = text.split_once("\r\n\r\n").or_else(|| text.split_once("\n\n")).ok_or(
+        X2wError::BadLocator {
+            locator: url.to_owned(),
+            reason: "malformed HTTP response (no header terminator)".to_owned(),
+        },
+    )?;
+    let status_line = head.lines().next().unwrap_or("");
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| X2wError::BadLocator {
+            locator: url.to_owned(),
+            reason: format!("malformed status line {status_line:?}"),
+        })?;
+    if status != 200 {
+        return Err(X2wError::Discovery {
+            locator: url.to_owned(),
+            attempts: vec![format!("server answered HTTP {status}")],
+        });
+    }
+    Ok(body.to_owned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DOC: &str = "<xsd:schema xmlns:xsd=\"http://www.w3.org/1999/XMLSchema\"/>";
+
+    #[test]
+    fn publish_then_get() {
+        let server = MetadataServer::bind("127.0.0.1:0").unwrap();
+        server.publish("/schemas/a.xsd", DOC);
+        let body = http_get(&server.url_for("/schemas/a.xsd")).unwrap();
+        assert_eq!(body, DOC);
+    }
+
+    #[test]
+    fn missing_documents_are_404() {
+        let server = MetadataServer::bind("127.0.0.1:0").unwrap();
+        let err = http_get(&server.url_for("/nope.xsd")).unwrap_err();
+        assert!(err.to_string().contains("404"), "{err}");
+    }
+
+    #[test]
+    fn unpublish_removes_documents() {
+        let server = MetadataServer::bind("127.0.0.1:0").unwrap();
+        server.publish("/a.xsd", DOC);
+        assert!(server.unpublish("/a.xsd"));
+        assert!(!server.unpublish("/a.xsd"));
+        assert!(http_get(&server.url_for("/a.xsd")).is_err());
+    }
+
+    #[test]
+    fn republish_updates_content() {
+        let server = MetadataServer::bind("127.0.0.1:0").unwrap();
+        server.publish("/a.xsd", "v1");
+        server.publish("/a.xsd", "v2");
+        assert_eq!(http_get(&server.url_for("/a.xsd")).unwrap(), "v2");
+    }
+
+    #[test]
+    fn dynamic_generators_see_query_strings() {
+        let server = MetadataServer::bind("127.0.0.1:0").unwrap();
+        server.publish_dynamic(
+            "/scoped/",
+            Box::new(|path| {
+                path.split_once('?').map(|(_, query)| format!("<scoped for=\"{query}\"/>"))
+            }),
+        );
+        let body =
+            http_get(&server.url_for("/scoped/flights.xsd?role=dispatcher")).unwrap();
+        assert!(body.contains("role=dispatcher"), "{body}");
+        // No query -> generator returns None -> 404.
+        assert!(http_get(&server.url_for("/scoped/flights.xsd")).is_err());
+    }
+
+    #[test]
+    fn static_documents_win_over_generators() {
+        let server = MetadataServer::bind("127.0.0.1:0").unwrap();
+        server.publish_dynamic("/", Box::new(|_| Some("generated".to_owned())));
+        server.publish("/a.xsd", "static");
+        assert_eq!(http_get(&server.url_for("/a.xsd")).unwrap(), "static");
+        assert_eq!(http_get(&server.url_for("/other")).unwrap(), "generated");
+    }
+
+    #[test]
+    fn concurrent_requests_are_served() {
+        let server = MetadataServer::bind("127.0.0.1:0").unwrap();
+        server.publish("/a.xsd", DOC);
+        let url = server.url_for("/a.xsd");
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let url = url.clone();
+                std::thread::spawn(move || http_get(&url).unwrap())
+            })
+            .collect();
+        for handle in handles {
+            assert_eq!(handle.join().unwrap(), DOC);
+        }
+    }
+
+    #[test]
+    fn published_paths_lists_sorted() {
+        let server = MetadataServer::bind("127.0.0.1:0").unwrap();
+        server.publish("/z.xsd", DOC);
+        server.publish("/a.xsd", DOC);
+        assert_eq!(server.published_paths(), vec!["/a.xsd", "/z.xsd"]);
+    }
+
+    #[test]
+    fn server_shuts_down_on_drop() {
+        let url;
+        {
+            let server = MetadataServer::bind("127.0.0.1:0").unwrap();
+            server.publish("/a.xsd", DOC);
+            url = server.url_for("/a.xsd");
+            assert!(http_get(&url).is_ok());
+        }
+        // After drop the port no longer accepts (connection refused or
+        // immediate failure).
+        assert!(http_get(&url).is_err());
+    }
+}

@@ -1,0 +1,419 @@
+//! The [`Xml2Wire`] session: discovery + binding + marshaling in one
+//! handle.
+
+use std::sync::Arc;
+
+use clayout::{Architecture, Image, Record, StructType};
+use pbio::{Catalog, Format, FormatRegistry, PlanCache};
+use xsdlite::Schema;
+
+use crate::binding::Binder;
+use crate::discovery::{DiscoveryChain, DiscoverySource};
+use crate::error::X2wError;
+
+/// A configured xml2wire instance: the runtime counterpart of the
+/// paper's Figure 2 (XML metadata → Catalog of Formats and Fields → BCM
+/// metadata and format descriptors).
+///
+/// The session is `Send + Sync`; clone the [`Arc`]s it hands out freely.
+#[derive(Debug)]
+pub struct Xml2Wire {
+    registry: Arc<FormatRegistry>,
+    catalog: Arc<Catalog>,
+    plans: Arc<PlanCache>,
+    chain: DiscoveryChain,
+    arch: Architecture,
+}
+
+impl Xml2Wire {
+    /// Starts building a session.
+    pub fn builder() -> Xml2WireBuilder {
+        Xml2WireBuilder::default()
+    }
+
+    /// The architecture formats are bound to (normally the host).
+    pub fn arch(&self) -> &Architecture {
+        &self.arch
+    }
+
+    /// The underlying format registry (shared with transports).
+    pub fn registry(&self) -> &Arc<FormatRegistry> {
+        &self.registry
+    }
+
+    /// The catalog of known struct definitions.
+    pub fn catalog(&self) -> &Arc<Catalog> {
+        &self.catalog
+    }
+
+    /// The receiver-side conversion plan cache.
+    pub fn plans(&self) -> &Arc<PlanCache> {
+        &self.plans
+    }
+
+    // -- discovery ---------------------------------------------------------
+
+    /// Discovers metadata at `locator` through the source chain, then
+    /// parses and binds every complex type in the document.
+    ///
+    /// # Errors
+    ///
+    /// Discovery, schema and binding failures; see [`X2wError`].
+    pub fn discover(&self, locator: &str) -> Result<Vec<Arc<Format>>, X2wError> {
+        let document = self.chain.fetch(locator)?;
+        self.register_schema_str(&document)
+    }
+
+    /// Parses a schema document already in hand and binds its types.
+    ///
+    /// # Errors
+    ///
+    /// Schema and binding failures.
+    pub fn register_schema_str(&self, document: &str) -> Result<Vec<Arc<Format>>, X2wError> {
+        let schema = Schema::parse_str(document)?;
+        self.register_schema(&schema)
+    }
+
+    /// Binds an already-parsed schema.
+    ///
+    /// # Errors
+    ///
+    /// Binding failures.
+    pub fn register_schema(&self, schema: &Schema) -> Result<Vec<Arc<Format>>, X2wError> {
+        Binder::new(&self.catalog, &self.registry, self.arch).bind_schema(schema)
+    }
+
+    /// Registers a compiled-in struct definition directly, bypassing XML
+    /// (the degraded-mode path and the "plain PBIO" baseline in the
+    /// benchmarks).
+    ///
+    /// # Errors
+    ///
+    /// Layout/registration failures.
+    pub fn register_compiled(&self, st: StructType) -> Result<Arc<Format>, X2wError> {
+        self.catalog.insert(st.clone());
+        Ok(self.registry.register(st, self.arch)?)
+    }
+
+    /// The current format registered under `name`, if any.
+    pub fn format(&self, name: &str) -> Option<Arc<Format>> {
+        self.registry.by_name(name)
+    }
+
+    /// The current format under `name`, or an error.
+    ///
+    /// # Errors
+    ///
+    /// [`pbio::PbioError::UnknownFormat`], wrapped.
+    pub fn require_format(&self, name: &str) -> Result<Arc<Format>, X2wError> {
+        Ok(self.registry.require(name)?)
+    }
+
+    // -- marshaling --------------------------------------------------------
+
+    /// Encodes `record` in the named format as an NDR message.
+    ///
+    /// # Errors
+    ///
+    /// Unknown format or encoding failures.
+    pub fn encode(&self, record: &Record, format_name: &str) -> Result<Vec<u8>, X2wError> {
+        let format = self.require_format(format_name)?;
+        Ok(pbio::ndr::encode(record, &format)?)
+    }
+
+    /// Decodes an NDR message, resolving its format by name in this
+    /// session's registry.
+    ///
+    /// # Errors
+    ///
+    /// Unknown formats or malformed messages.
+    pub fn decode(&self, bytes: &[u8]) -> Result<(Arc<Format>, Record), X2wError> {
+        Ok(pbio::ndr::decode(bytes, &self.registry)?)
+    }
+
+    /// Converts a message to a native image for this session's
+    /// architecture (zero conversion when the sender's layout matches).
+    ///
+    /// # Errors
+    ///
+    /// Unknown formats, conversion overflow, malformed messages.
+    pub fn to_native_image(&self, bytes: &[u8]) -> Result<Image, X2wError> {
+        let (header, _) = pbio::header::WireHeader::parse(bytes)?;
+        let format = self.require_format(&header.format_name)?;
+        Ok(pbio::ndr::to_native_image(bytes, &format, &self.plans)?)
+    }
+
+    // -- format server (globally negotiated ids) ------------------------
+
+    /// Binds a schema document and registers every type under ids
+    /// negotiated with a format server, so the ids in this session's
+    /// wire headers are globally meaningful.
+    ///
+    /// # Errors
+    ///
+    /// Schema, binding, layout and server failures.
+    pub fn register_schema_via_server(
+        &self,
+        document: &str,
+        client: &crate::idserver::FormatIdClient,
+    ) -> Result<Vec<Arc<Format>>, X2wError> {
+        let schema = xsdlite::Schema::parse_str(document)?;
+        let binder = crate::binding::Binder::new(&self.catalog, &self.registry, self.arch);
+        for simple in &schema.simple_types {
+            binder.register_simple(simple.name.clone(), simple.base);
+        }
+        let mut formats = Vec::with_capacity(schema.complex_types.len());
+        for ty in &schema.complex_types {
+            let st = binder.struct_for(ty)?;
+            self.catalog.insert(st.clone());
+            // One standalone document per format: the server hands it to
+            // receivers that resolve the id with no other context.
+            let standalone = crate::binding::schema_for_struct(&st).to_xml_string();
+            let id = client.register(&st.name, &standalone)?;
+            formats.push(self.registry.register_with_id(
+                st,
+                self.arch,
+                pbio::format::FormatId(id),
+            )?);
+        }
+        Ok(formats)
+    }
+
+    /// Decodes a message, resolving unknown formats through the format
+    /// server: if the header's id is not known locally, the server is
+    /// asked for the metadata, which is bound on the spot — a receiver
+    /// can decode a format it has never seen (PBIO's format-server
+    /// behaviour, §4.2's broker fallback).
+    ///
+    /// # Errors
+    ///
+    /// Malformed messages, server failures, or ids the server does not
+    /// know either.
+    pub fn decode_resolving(
+        &self,
+        bytes: &[u8],
+        client: &crate::idserver::FormatIdClient,
+    ) -> Result<(Arc<Format>, Record), X2wError> {
+        match pbio::ndr::decode(bytes, &self.registry) {
+            Ok(done) => Ok(done),
+            Err(pbio::PbioError::UnknownFormat { .. }) => {
+                let (header, _) = pbio::header::WireHeader::parse(bytes)?;
+                let (_, document) = client.lookup(header.format_id.0)?;
+                self.register_schema_via_server(&document, client)?;
+                Ok(pbio::ndr::decode(bytes, &self.registry)?)
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    // -- typed messages ------------------------------------------------
+
+    /// Registers the format of a [`WireMessage`](crate::typed::WireMessage)
+    /// type (language-level
+    /// message objects; see [`crate::typed`]).
+    ///
+    /// # Errors
+    ///
+    /// Layout/registration failures.
+    pub fn register_message<M: crate::typed::WireMessage>(
+        &self,
+    ) -> Result<Arc<Format>, X2wError> {
+        self.register_compiled(M::struct_type())
+    }
+
+    /// Encodes a typed message (registering its format on first use).
+    ///
+    /// # Errors
+    ///
+    /// Encoding failures.
+    pub fn encode_message<M: crate::typed::WireMessage>(
+        &self,
+        message: &M,
+    ) -> Result<Vec<u8>, X2wError> {
+        if self.format(M::FORMAT_NAME).is_none() {
+            self.register_message::<M>()?;
+        }
+        self.encode(&message.to_record(), M::FORMAT_NAME)
+    }
+
+    /// Decodes a typed message.
+    ///
+    /// # Errors
+    ///
+    /// Unknown formats, malformed messages, or shape mismatches between
+    /// the wire record and the Rust type.
+    pub fn decode_message<M: crate::typed::WireMessage>(
+        &self,
+        bytes: &[u8],
+    ) -> Result<M, X2wError> {
+        let (format, record) = self.decode(bytes)?;
+        if format.name() != M::FORMAT_NAME {
+            return Err(X2wError::Bcm(pbio::PbioError::FormatMismatch {
+                expected: M::FORMAT_NAME.to_owned(),
+                found: format.name().to_owned(),
+            }));
+        }
+        M::from_record(&record)
+    }
+}
+
+/// Builder for [`Xml2Wire`].
+#[derive(Default)]
+pub struct Xml2WireBuilder {
+    arch: Option<Architecture>,
+    chain: DiscoveryChain,
+    shared_registry: Option<Arc<FormatRegistry>>,
+}
+
+impl std::fmt::Debug for Xml2WireBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Xml2WireBuilder")
+            .field("arch", &self.arch)
+            .field("chain", &self.chain)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Xml2WireBuilder {
+    /// Binds formats for `arch` instead of the host architecture (used
+    /// to simulate heterogeneous peers in one process).
+    #[must_use]
+    pub fn arch(mut self, arch: Architecture) -> Self {
+        self.arch = Some(arch);
+        self
+    }
+
+    /// Appends a discovery source (consulted in insertion order).
+    #[must_use]
+    pub fn source(mut self, source: Box<dyn DiscoverySource>) -> Self {
+        self.chain.push(source);
+        self
+    }
+
+    /// Shares an existing registry (e.g. between a session and a raw
+    /// transport).
+    #[must_use]
+    pub fn registry(mut self, registry: Arc<FormatRegistry>) -> Self {
+        self.shared_registry = Some(registry);
+        self
+    }
+
+    /// Finishes the session.
+    pub fn build(self) -> Xml2Wire {
+        Xml2Wire {
+            registry: self.shared_registry.unwrap_or_default(),
+            catalog: Arc::new(Catalog::new()),
+            plans: Arc::new(PlanCache::new()),
+            chain: self.chain,
+            arch: self.arch.unwrap_or_else(Architecture::host),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::discovery::{CompiledSource, UrlSource};
+    use crate::server::MetadataServer;
+
+    const FLIGHT: &str = r#"<xsd:schema xmlns:xsd="http://www.w3.org/1999/XMLSchema">
+  <xsd:complexType name="Flight">
+    <xsd:element name="arln" type="xsd:string"/>
+    <xsd:element name="fltNum" type="xsd:integer"/>
+    <xsd:element name="eta" type="xsd:unsigned-long" maxOccurs="*"/>
+  </xsd:complexType>
+</xsd:schema>"#;
+
+    fn flight_record() -> Record {
+        Record::new().with("arln", "DL").with("fltNum", 1202i64).with("eta", vec![1u64, 2])
+    }
+
+    #[test]
+    fn register_encode_decode_cycle() {
+        let x2w = Xml2Wire::builder().build();
+        let formats = x2w.register_schema_str(FLIGHT).unwrap();
+        assert_eq!(formats.len(), 1);
+        let wire = x2w.encode(&flight_record(), "Flight").unwrap();
+        let (format, record) = x2w.decode(&wire).unwrap();
+        assert_eq!(format.name(), "Flight");
+        assert_eq!(record.get("eta_count").unwrap().as_i64(), Some(2));
+    }
+
+    #[test]
+    fn discovery_via_metadata_server() {
+        let server = MetadataServer::bind("127.0.0.1:0").unwrap();
+        server.publish("/schemas/flight.xsd", FLIGHT);
+        let x2w = Xml2Wire::builder()
+            .source(Box::new(UrlSource::new()))
+            .build();
+        let formats = x2w.discover(&server.url_for("/schemas/flight.xsd")).unwrap();
+        assert_eq!(formats[0].name(), "Flight");
+    }
+
+    #[test]
+    fn fallback_to_compiled_in_when_server_is_down() {
+        let dead_url;
+        {
+            let server = MetadataServer::bind("127.0.0.1:0").unwrap();
+            dead_url = server.url_for("/schemas/flight.xsd");
+        }
+        let x2w = Xml2Wire::builder()
+            .source(Box::new(UrlSource::new()))
+            .source(Box::new(
+                CompiledSource::new().with_document(dead_url.clone(), FLIGHT),
+            ))
+            .build();
+        // Primary fails (connection refused), compiled-in serves it.
+        let formats = x2w.discover(&dead_url).unwrap();
+        assert_eq!(formats[0].name(), "Flight");
+    }
+
+    #[test]
+    fn unknown_format_is_an_error() {
+        let x2w = Xml2Wire::builder().build();
+        assert!(x2w.encode(&Record::new(), "NoSuch").is_err());
+        assert!(x2w.require_format("NoSuch").is_err());
+        assert!(x2w.format("NoSuch").is_none());
+    }
+
+    #[test]
+    fn heterogeneous_sessions_interoperate() {
+        // Sender binds on big-endian 32-bit, receiver on the host.
+        let sender = Xml2Wire::builder().arch(Architecture::SPARC32).build();
+        sender.register_schema_str(FLIGHT).unwrap();
+        let receiver = Xml2Wire::builder().build();
+        receiver.register_schema_str(FLIGHT).unwrap();
+
+        let wire = sender.encode(&flight_record(), "Flight").unwrap();
+        let (_, record) = receiver.decode(&wire).unwrap();
+        assert_eq!(record.get("fltNum").unwrap().as_i64(), Some(1202));
+
+        let image = receiver.to_native_image(&wire).unwrap();
+        let native = receiver.format("Flight").unwrap();
+        let via_image =
+            clayout::decode_record(&image.bytes, native.struct_type(), receiver.arch()).unwrap();
+        assert_eq!(via_image.get("arln").unwrap().as_str(), Some("DL"));
+    }
+
+    #[test]
+    fn compiled_registration_bypasses_xml() {
+        use clayout::{CType, Primitive, StructField};
+        let x2w = Xml2Wire::builder().build();
+        let st = StructType::new(
+            "Boot",
+            vec![StructField::new("seq", CType::Prim(Primitive::Int))],
+        );
+        let format = x2w.register_compiled(st).unwrap();
+        assert_eq!(format.name(), "Boot");
+        let wire = x2w.encode(&Record::new().with("seq", 1i64), "Boot").unwrap();
+        assert!(x2w.decode(&wire).is_ok());
+    }
+
+    #[test]
+    fn shared_registry_is_visible_to_both_holders() {
+        let registry = Arc::new(FormatRegistry::new());
+        let x2w = Xml2Wire::builder().registry(Arc::clone(&registry)).build();
+        x2w.register_schema_str(FLIGHT).unwrap();
+        assert!(registry.by_name("Flight").is_some());
+    }
+}

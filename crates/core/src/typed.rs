@@ -1,0 +1,309 @@
+//! Language-level message objects over discovered formats.
+//!
+//! The paper's future work (§7) includes "generation of language-level
+//! message object representations in both the C++ and a planned Java
+//! version of xml2wire". This module is that feature for Rust: the
+//! [`WireMessage`] trait connects a plain Rust struct to a message
+//! format, and the [`wire_message!`](crate::wire_message) macro derives the connection —
+//! struct type, record conversion, and back — from a declaration that
+//! reads like the paper's C struct listings.
+//!
+//! ```
+//! use xml2wire::wire_message;
+//!
+//! wire_message! {
+//!     /// The paper's Structure B.
+//!     pub struct Flight("ASDOffEvent") {
+//!         cntrID: String,
+//!         fltNum: i32,
+//!         off: [u64; 5],
+//!         eta: Vec<u64>,
+//!     }
+//! }
+//!
+//! # fn main() -> Result<(), xml2wire::X2wError> {
+//! use xml2wire::typed::WireMessage;
+//! let session = xml2wire::Xml2Wire::builder().build();
+//! session.register_message::<Flight>()?;
+//! let msg = Flight {
+//!     cntrID: "ZTL".into(),
+//!     fltNum: 1202,
+//!     off: [1, 2, 3, 4, 5],
+//!     eta: vec![100, 200],
+//! };
+//! let wire = session.encode_message(&msg)?;
+//! let back: Flight = session.decode_message(&wire)?;
+//! assert_eq!(back, msg);
+//! # Ok(())
+//! # }
+//! ```
+
+use clayout::{CType, Primitive, Record, StructType, Value};
+use pbio::PbioError;
+
+use crate::error::X2wError;
+
+/// A Rust type usable as one message field.
+///
+/// Implementations define the C type the field binds to and the
+/// conversions to/from the dynamic [`Value`] model. Implemented for the
+/// integer/float primitives, `String`, fixed arrays and `Vec`s thereof.
+pub trait WireField: Sized {
+    /// Whether the field is a dynamically sized array (`Vec<T>`); such
+    /// fields bind to a pointer + synthesized count field.
+    const DYNAMIC: bool = false;
+
+    /// The C type this field binds to (for `Vec<T>` this is the element
+    /// type; the binding wraps it in a dynamic array).
+    fn ctype() -> CType;
+
+    /// Converts to the dynamic value model.
+    fn to_value(&self) -> Value;
+
+    /// Converts back from the dynamic value model.
+    ///
+    /// # Errors
+    ///
+    /// Reports shape mismatches (wrong value kind, out-of-range).
+    fn from_value(value: &Value) -> Result<Self, PbioError>;
+}
+
+fn shape_error(expected: &str, value: &Value) -> PbioError {
+    PbioError::Layout(clayout::LayoutError::TypeMismatch {
+        field: String::new(),
+        expected: expected.to_owned(),
+        found: value.type_name().to_owned(),
+    })
+}
+
+macro_rules! int_wire_field {
+    ($rust:ty, $prim:expr, $to:ident, $as:ident) => {
+        impl WireField for $rust {
+            fn ctype() -> CType {
+                CType::Prim($prim)
+            }
+            fn to_value(&self) -> Value {
+                Value::$to(*self as _)
+            }
+            fn from_value(value: &Value) -> Result<Self, PbioError> {
+                value
+                    .$as()
+                    .and_then(|v| <$rust>::try_from(v).ok())
+                    .ok_or_else(|| shape_error(stringify!($rust), value))
+            }
+        }
+    };
+}
+
+int_wire_field!(i8, Primitive::Char, Int, as_i64);
+int_wire_field!(u8, Primitive::UChar, UInt, as_u64);
+int_wire_field!(i16, Primitive::Short, Int, as_i64);
+int_wire_field!(u16, Primitive::UShort, UInt, as_u64);
+int_wire_field!(i32, Primitive::Int, Int, as_i64);
+int_wire_field!(u32, Primitive::UInt, UInt, as_u64);
+// Rust i64/u64 bind to `long long`: 8 bytes on every modelled ABI, so a
+// round trip through any architecture cannot truncate.
+int_wire_field!(i64, Primitive::LongLong, Int, as_i64);
+int_wire_field!(u64, Primitive::ULongLong, UInt, as_u64);
+
+impl WireField for f32 {
+    fn ctype() -> CType {
+        CType::Prim(Primitive::Float)
+    }
+    fn to_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+    fn from_value(value: &Value) -> Result<Self, PbioError> {
+        value.as_f64().map(|v| v as f32).ok_or_else(|| shape_error("f32", value))
+    }
+}
+
+impl WireField for f64 {
+    fn ctype() -> CType {
+        CType::Prim(Primitive::Double)
+    }
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+    fn from_value(value: &Value) -> Result<Self, PbioError> {
+        value.as_f64().ok_or_else(|| shape_error("f64", value))
+    }
+}
+
+impl WireField for String {
+    fn ctype() -> CType {
+        CType::String
+    }
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+    fn from_value(value: &Value) -> Result<Self, PbioError> {
+        value.as_str().map(str::to_owned).ok_or_else(|| shape_error("string", value))
+    }
+}
+
+impl<T: WireField, const N: usize> WireField for [T; N] {
+    fn ctype() -> CType {
+        CType::Array { elem: Box::new(T::ctype()), len: clayout::ArrayLen::Fixed(N) }
+    }
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(WireField::to_value).collect())
+    }
+    fn from_value(value: &Value) -> Result<Self, PbioError> {
+        let items = value.as_array().ok_or_else(|| shape_error("array", value))?;
+        if items.len() != N {
+            return Err(shape_error("array of exact length", value));
+        }
+        let mut out = Vec::with_capacity(N);
+        for item in items {
+            out.push(T::from_value(item)?);
+        }
+        out.try_into().map_err(|_| shape_error("array", value))
+    }
+}
+
+impl<T: WireField> WireField for Vec<T> {
+    const DYNAMIC: bool = true;
+
+    /// The *element* C type; the binding wraps `Vec` fields in a dynamic
+    /// array with a synthesized count field.
+    fn ctype() -> CType {
+        T::ctype()
+    }
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(WireField::to_value).collect())
+    }
+    fn from_value(value: &Value) -> Result<Self, PbioError> {
+        let items = value.as_array().ok_or_else(|| shape_error("array", value))?;
+        items.iter().map(T::from_value).collect()
+    }
+}
+
+/// A Rust struct bound to a named message format.
+pub trait WireMessage: Sized {
+    /// The format (complex type) name.
+    const FORMAT_NAME: &'static str;
+
+    /// The C-level structure this message binds to.
+    fn struct_type() -> StructType;
+
+    /// Converts to the dynamic record model.
+    fn to_record(&self) -> Record;
+
+    /// Converts back from the dynamic record model.
+    ///
+    /// # Errors
+    ///
+    /// Reports missing fields and shape mismatches.
+    fn from_record(record: &Record) -> Result<Self, X2wError>;
+}
+
+/// Declares a Rust struct bound to a message format.
+///
+/// Syntax: `wire_message! { pub struct Name("FormatName") { field: Type,
+/// ... } }`. Field names are used verbatim as wire field names. `Vec<T>`
+/// fields become dynamic arrays with a synthesized `<field>_count`
+/// integer; `[T; N]` fields become fixed arrays; everything else is a
+/// scalar. See the [module docs](self) for an example.
+#[macro_export]
+macro_rules! wire_message {
+    (
+        $(#[$meta:meta])*
+        $vis:vis struct $name:ident($format:literal) {
+            $($field:ident : $ty:ty),+ $(,)?
+        }
+    ) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, PartialEq)]
+        // Wire field names are used verbatim (they follow the metadata's
+        // conventions, often camelCase C names), so lint styles locally.
+        #[allow(non_snake_case)]
+        $vis struct $name {
+            $(
+                #[allow(missing_docs)]
+                pub $field: $ty,
+            )+
+        }
+
+        impl $crate::typed::WireMessage for $name {
+            const FORMAT_NAME: &'static str = $format;
+
+            fn struct_type() -> clayout::StructType {
+                let mut fields: Vec<clayout::StructField> = Vec::new();
+                let mut counts: Vec<String> = Vec::new();
+                $(
+                    $crate::typed::push_field::<$ty>(
+                        &mut fields,
+                        &mut counts,
+                        stringify!($field),
+                    );
+                )+
+                for count in counts {
+                    fields.push(clayout::StructField::new(
+                        count,
+                        clayout::CType::Prim(clayout::Primitive::Int),
+                    ));
+                }
+                clayout::StructType::new($format, fields)
+            }
+
+            fn to_record(&self) -> clayout::Record {
+                let mut record = clayout::Record::new();
+                $(
+                    record.set(
+                        stringify!($field),
+                        $crate::typed::WireField::to_value(&self.$field),
+                    );
+                )+
+                record
+            }
+
+            fn from_record(
+                record: &clayout::Record,
+            ) -> Result<Self, $crate::X2wError> {
+                Ok($name {
+                    $(
+                        $field: $crate::typed::field_from_record(
+                            record,
+                            stringify!($field),
+                        )?,
+                    )+
+                })
+            }
+        }
+    };
+}
+
+/// Macro support: appends the struct field(s) for one declared field
+/// (dynamic arrays register their synthesized count field).
+#[doc(hidden)]
+pub fn push_field<T: WireField>(
+    fields: &mut Vec<clayout::StructField>,
+    counts: &mut Vec<String>,
+    name: &str,
+) {
+    if T::DYNAMIC {
+        let count = format!("{name}_count");
+        fields.push(clayout::StructField::new(
+            name,
+            CType::Array {
+                elem: Box::new(T::ctype()),
+                len: clayout::ArrayLen::CountField(count.clone()),
+            },
+        ));
+        counts.push(count);
+    } else {
+        fields.push(clayout::StructField::new(name, T::ctype()));
+    }
+}
+
+/// Macro support: extracts and converts one field.
+#[doc(hidden)]
+pub fn field_from_record<T: WireField>(record: &Record, name: &str) -> Result<T, X2wError> {
+    let value = record.get(name).ok_or_else(|| {
+        X2wError::Bcm(PbioError::Layout(clayout::LayoutError::MissingField {
+            field: name.to_owned(),
+        }))
+    })?;
+    T::from_value(value).map_err(X2wError::Bcm)
+}

@@ -1,0 +1,154 @@
+//! Locator parsing: where a metadata document lives.
+//!
+//! The paper's tool read documents "by specifying their location in the
+//! local file system; however, the architecture of the tool is designed
+//! to accept documents indicated by URLs of remote network locations"
+//! (§4.2.1). This reproduction implements both forms.
+
+use std::path::PathBuf;
+
+use crate::error::X2wError;
+
+/// A parsed metadata locator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Locator {
+    /// A local file path (`file:///abs/path`, `file://rel/path`, or a
+    /// bare path).
+    File(PathBuf),
+    /// An HTTP URL (`http://host:port/path`).
+    Http {
+        /// Host name or address.
+        host: String,
+        /// TCP port (defaults to 80).
+        port: u16,
+        /// Absolute request path, always beginning with `/`.
+        path: String,
+    },
+}
+
+impl Locator {
+    /// Parses a locator string.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`X2wError::BadLocator`] for unsupported schemes or
+    /// malformed authorities.
+    pub fn parse(raw: &str) -> Result<Locator, X2wError> {
+        if let Some(rest) = raw.strip_prefix("http://") {
+            let (authority, path) = match rest.find('/') {
+                Some(slash) => (&rest[..slash], &rest[slash..]),
+                None => (rest, "/"),
+            };
+            let (host, port) = match authority.rsplit_once(':') {
+                Some((host, port_text)) => {
+                    let port = port_text.parse::<u16>().map_err(|_| X2wError::BadLocator {
+                        locator: raw.to_owned(),
+                        reason: format!("invalid port {port_text:?}"),
+                    })?;
+                    (host, port)
+                }
+                None => (authority, 80),
+            };
+            if host.is_empty() {
+                return Err(X2wError::BadLocator {
+                    locator: raw.to_owned(),
+                    reason: "empty host".to_owned(),
+                });
+            }
+            return Ok(Locator::Http {
+                host: host.to_owned(),
+                port,
+                path: path.to_owned(),
+            });
+        }
+        if let Some(rest) = raw.strip_prefix("file://") {
+            if rest.is_empty() {
+                return Err(X2wError::BadLocator {
+                    locator: raw.to_owned(),
+                    reason: "empty path".to_owned(),
+                });
+            }
+            return Ok(Locator::File(PathBuf::from(rest)));
+        }
+        if raw.contains("://") {
+            return Err(X2wError::BadLocator {
+                locator: raw.to_owned(),
+                reason: "unsupported scheme (use file:// or http://)".to_owned(),
+            });
+        }
+        if raw.is_empty() {
+            return Err(X2wError::BadLocator {
+                locator: raw.to_owned(),
+                reason: "empty locator".to_owned(),
+            });
+        }
+        Ok(Locator::File(PathBuf::from(raw)))
+    }
+}
+
+impl std::fmt::Display for Locator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Locator::File(path) => write!(f, "file://{}", path.display()),
+            Locator::Http { host, port, path } => write!(f, "http://{host}:{port}{path}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bare_paths_are_files() {
+        assert_eq!(
+            Locator::parse("schemas/flight.xsd").unwrap(),
+            Locator::File(PathBuf::from("schemas/flight.xsd"))
+        );
+        assert_eq!(
+            Locator::parse("/abs/flight.xsd").unwrap(),
+            Locator::File(PathBuf::from("/abs/flight.xsd"))
+        );
+    }
+
+    #[test]
+    fn file_scheme_strips_prefix() {
+        assert_eq!(
+            Locator::parse("file:///etc/schema.xsd").unwrap(),
+            Locator::File(PathBuf::from("/etc/schema.xsd"))
+        );
+    }
+
+    #[test]
+    fn http_with_port_and_path() {
+        assert_eq!(
+            Locator::parse("http://meta.example:8080/schemas/a.xsd").unwrap(),
+            Locator::Http {
+                host: "meta.example".to_owned(),
+                port: 8080,
+                path: "/schemas/a.xsd".to_owned()
+            }
+        );
+    }
+
+    #[test]
+    fn http_defaults() {
+        assert_eq!(
+            Locator::parse("http://meta.example").unwrap(),
+            Locator::Http { host: "meta.example".to_owned(), port: 80, path: "/".to_owned() }
+        );
+    }
+
+    #[test]
+    fn bad_locators_are_rejected() {
+        for bad in ["", "ftp://x/y", "http://:80/x", "http://h:notaport/x", "file://"] {
+            assert!(Locator::parse(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn display_round_trips_http() {
+        let raw = "http://h:9000/p/q.xsd";
+        assert_eq!(Locator::parse(raw).unwrap().to_string(), raw);
+    }
+}

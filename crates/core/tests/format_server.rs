@@ -1,0 +1,95 @@
+//! Integration: globally negotiated format ids (the PBIO format-server
+//! behaviour).
+
+use clayout::{Architecture, Record};
+use xml2wire::{FormatIdClient, FormatIdServer, Xml2Wire};
+
+const FLIGHT: &str = r#"<xsd:schema xmlns:xsd="http://www.w3.org/1999/XMLSchema">
+  <xsd:complexType name="Flight">
+    <xsd:element name="arln" type="xsd:string"/>
+    <xsd:element name="fltNum" type="xsd:integer"/>
+    <xsd:element name="eta" type="xsd:unsigned-long" maxOccurs="*"/>
+  </xsd:complexType>
+</xsd:schema>"#;
+
+fn flight_record() -> Record {
+    Record::new().with("arln", "DL").with("fltNum", 1202i64).with("eta", vec![9u64, 8])
+}
+
+#[test]
+fn two_sessions_negotiate_the_same_id() {
+    let server = FormatIdServer::bind("127.0.0.1:0").unwrap();
+    let client = FormatIdClient::new(server.local_addr()).unwrap();
+
+    let a = Xml2Wire::builder().build();
+    let b = Xml2Wire::builder().arch(Architecture::SPARC32).build();
+    let fa = a.register_schema_via_server(FLIGHT, &client).unwrap();
+    let fb = b.register_schema_via_server(FLIGHT, &client).unwrap();
+    // Same structure, independently registered sessions: same global id
+    // (even though the architectures differ — ids identify *structure*).
+    assert_eq!(fa[0].id(), fb[0].id());
+}
+
+#[test]
+fn receiver_resolves_an_unknown_id_through_the_server() {
+    let server = FormatIdServer::bind("127.0.0.1:0").unwrap();
+    let client = FormatIdClient::new(server.local_addr()).unwrap();
+
+    // The sender registers via the server and publishes traffic.
+    let sender = Xml2Wire::builder().arch(Architecture::SPARC32).build();
+    sender.register_schema_via_server(FLIGHT, &client).unwrap();
+    let wire = sender.encode(&flight_record(), "Flight").unwrap();
+
+    // A receiver that has NEVER seen this format: plain decode fails...
+    let receiver = Xml2Wire::builder().build();
+    assert!(receiver.decode(&wire).is_err());
+
+    // ...but decode_resolving asks the server, binds, and decodes.
+    let (format, record) = receiver.decode_resolving(&wire, &client).unwrap();
+    assert_eq!(format.name(), "Flight");
+    assert_eq!(record.get("fltNum").unwrap().as_i64(), Some(1202));
+    assert_eq!(record.get("eta_count").unwrap().as_i64(), Some(2));
+
+    // Resolution happened once; later messages decode without a lookup.
+    let wire2 = sender.encode(&flight_record(), "Flight").unwrap();
+    assert!(receiver.decode(&wire2).is_ok());
+}
+
+#[test]
+fn resolving_fails_cleanly_when_the_server_is_gone() {
+    let (client, wire) = {
+        let server = FormatIdServer::bind("127.0.0.1:0").unwrap();
+        let client = FormatIdClient::new(server.local_addr()).unwrap();
+        let sender = Xml2Wire::builder().build();
+        sender.register_schema_via_server(FLIGHT, &client).unwrap();
+        (client, sender.encode(&flight_record(), "Flight").unwrap())
+    }; // server down
+
+    let receiver = Xml2Wire::builder().build();
+    let err = receiver.decode_resolving(&wire, &client).unwrap_err();
+    assert!(err.to_string().contains("format id server") || !err.to_string().is_empty());
+}
+
+#[test]
+fn server_ids_and_local_ids_coexist() {
+    let server = FormatIdServer::bind("127.0.0.1:0").unwrap();
+    let client = FormatIdClient::new(server.local_addr()).unwrap();
+
+    let session = Xml2Wire::builder().build();
+    // A locally registered format takes a local id first...
+    session
+        .register_schema_str(
+            r#"<xsd:schema xmlns:xsd="http://www.w3.org/1999/XMLSchema">
+  <xsd:complexType name="Local"><xsd:element name="x" type="xsd:int"/></xsd:complexType>
+</xsd:schema>"#,
+        )
+        .unwrap();
+    // ...then a server-assigned one lands in the same registry without
+    // clashing, and both stay decodable.
+    let flights = session.register_schema_via_server(FLIGHT, &client).unwrap();
+    let w1 = session.encode(&Record::new().with("x", 1i64), "Local").unwrap();
+    let w2 = session.encode(&flight_record(), "Flight").unwrap();
+    assert!(session.decode(&w1).is_ok());
+    assert!(session.decode(&w2).is_ok());
+    assert!(flights[0].id().0 >= 1);
+}

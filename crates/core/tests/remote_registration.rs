@@ -1,0 +1,93 @@
+//! Tests for remote format registration over HTTP (paper §7 future
+//! work): capture points push their metadata to the server instead of an
+//! administrator copying files around.
+
+use xml2wire::server::{http_get, http_post};
+use xml2wire::{MetadataServer, UrlSource, Xml2Wire};
+
+const FLIGHT: &str = r#"<xsd:schema xmlns:xsd="http://www.w3.org/1999/XMLSchema">
+  <xsd:complexType name="Flight">
+    <xsd:element name="arln" type="xsd:string"/>
+    <xsd:element name="fltNum" type="xsd:integer"/>
+  </xsd:complexType>
+</xsd:schema>"#;
+
+#[test]
+fn post_then_discover_round_trip() {
+    let server = MetadataServer::bind("127.0.0.1:0").unwrap();
+    let url = server.url_for("/registered/flight.xsd");
+    http_post(&url, FLIGHT).unwrap();
+    assert_eq!(http_get(&url).unwrap(), FLIGHT);
+
+    // A consumer discovers the pushed metadata like any other document.
+    let consumer = Xml2Wire::builder().source(Box::new(UrlSource::new())).build();
+    let formats = consumer.discover(&url).unwrap();
+    assert_eq!(formats[0].name(), "Flight");
+}
+
+#[test]
+fn posting_garbage_is_rejected_with_422() {
+    let server = MetadataServer::bind("127.0.0.1:0").unwrap();
+    let url = server.url_for("/registered/broken.xsd");
+    let err = http_post(&url, "<not-a-schema/>").unwrap_err();
+    assert!(err.to_string().contains("422"), "{err}");
+    // Nothing was published.
+    assert!(http_get(&url).is_err());
+}
+
+#[test]
+fn posting_non_xml_is_rejected() {
+    let server = MetadataServer::bind("127.0.0.1:0").unwrap();
+    let url = server.url_for("/registered/junk");
+    assert!(http_post(&url, "just some text <<<").is_err());
+}
+
+#[test]
+fn reposting_updates_the_document() {
+    const V2: &str = r#"<xsd:schema xmlns:xsd="http://www.w3.org/1999/XMLSchema">
+  <xsd:complexType name="Flight">
+    <xsd:element name="arln" type="xsd:string"/>
+    <xsd:element name="fltNum" type="xsd:integer"/>
+    <xsd:element name="gate" type="xsd:string"/>
+  </xsd:complexType>
+</xsd:schema>"#;
+    let server = MetadataServer::bind("127.0.0.1:0").unwrap();
+    let url = server.url_for("/registered/flight.xsd");
+    http_post(&url, FLIGHT).unwrap();
+    http_post(&url, V2).unwrap();
+    let consumer = Xml2Wire::builder().source(Box::new(UrlSource::new())).build();
+    let formats = consumer.discover(&url).unwrap();
+    assert_eq!(formats[0].struct_type().fields.len(), 3);
+}
+
+#[test]
+fn producer_pushes_its_own_bound_format() {
+    // The full future-work flow: a producer binds a format locally, then
+    // derives a schema from the bound struct and registers it remotely,
+    // and a consumer discovers it — no shared files anywhere.
+    let server = MetadataServer::bind("127.0.0.1:0").unwrap();
+    let producer = Xml2Wire::builder().build();
+    let format = producer.register_schema_str(FLIGHT).unwrap()[0].clone();
+    let derived = xml2wire::schema_for_struct(format.struct_type());
+    let url = server.url_for("/registered/derived.xsd");
+    http_post(&url, &derived.to_xml_string()).unwrap();
+
+    let consumer = Xml2Wire::builder().source(Box::new(UrlSource::new())).build();
+    let discovered = consumer.discover(&url).unwrap();
+    assert_eq!(discovered[0].struct_type(), format.struct_type());
+
+    // And traffic flows between them.
+    let record = clayout::Record::new().with("arln", "DL").with("fltNum", 42i64);
+    let wire = producer.encode(&record, "Flight").unwrap();
+    let (_, decoded) = consumer.decode(&wire).unwrap();
+    assert_eq!(decoded.get("fltNum").unwrap().as_i64(), Some(42));
+}
+
+#[test]
+fn get_requests_cannot_modify() {
+    let server = MetadataServer::bind("127.0.0.1:0").unwrap();
+    server.publish("/a.xsd", FLIGHT);
+    // GET with a query string still serves the same static document.
+    assert_eq!(http_get(&server.url_for("/a.xsd?x=1")).unwrap(), FLIGHT);
+    assert_eq!(server.published_paths(), vec!["/a.xsd"]);
+}

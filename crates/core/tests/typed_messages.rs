@@ -1,0 +1,213 @@
+//! Tests for the language-level message object layer (`wire_message!`).
+
+use clayout::Architecture;
+use xml2wire::typed::{WireField, WireMessage};
+use xml2wire::{wire_message, Xml2Wire};
+
+wire_message! {
+    /// The paper's Structure B as a Rust struct.
+    pub struct Flight("ASDOffEvent") {
+        cntrID: String,
+        arln: String,
+        fltNum: i32,
+        equip: String,
+        org: String,
+        dest: String,
+        off: [u64; 5],
+        eta: Vec<u64>,
+    }
+}
+
+wire_message! {
+    pub struct Sensors("SensorFrame") {
+        id: u32,
+        scale: f32,
+        offset: f64,
+        flags: u8,
+        deltas: Vec<i16>,
+        labels: Vec<String>,
+    }
+}
+
+fn sample_flight() -> Flight {
+    Flight {
+        cntrID: "ZTL".into(),
+        arln: "DL".into(),
+        fltNum: 1202,
+        equip: "B752".into(),
+        org: "ATL".into(),
+        dest: "BOS".into(),
+        off: [1, 2, 3, 4, 5],
+        eta: vec![100, 200, 300],
+    }
+}
+
+#[test]
+fn struct_type_matches_the_schema_bound_one() {
+    // The macro-produced struct type must equal what binding the paper's
+    // Figure 9 schema produces, so typed and schema-discovered peers
+    // interoperate bit-for-bit.
+    const ASD_SCHEMA: &str = r#"<xsd:schema xmlns:xsd="http://www.w3.org/1999/XMLSchema">
+  <xsd:complexType name="ASDOffEvent">
+    <xsd:element name="cntrID" type="xsd:string" />
+    <xsd:element name="arln" type="xsd:string" />
+    <xsd:element name="fltNum" type="xsd:integer" />
+    <xsd:element name="equip" type="xsd:string" />
+    <xsd:element name="org" type="xsd:string" />
+    <xsd:element name="dest" type="xsd:string" />
+    <xsd:element name="off" type="xsd:unsigned-long" minOccurs="5" maxOccurs="5" />
+    <xsd:element name="eta" type="xsd:unsigned-long" minOccurs="0" maxOccurs="*" />
+  </xsd:complexType>
+</xsd:schema>"#;
+    let session = Xml2Wire::builder().build();
+    let via_schema = session.register_schema_str(ASD_SCHEMA).unwrap()[0].clone();
+    let via_macro = Flight::struct_type();
+    // Field names, order, and types must match exactly, with one
+    // documented difference: the schema binds xsd:unsigned-long to C
+    // `unsigned long` while Rust u64 binds to `unsigned long long`
+    // (always-8-byte safety). Compare names and shapes.
+    let a: Vec<&str> =
+        via_schema.struct_type().fields.iter().map(|f| f.name.as_str()).collect();
+    let b: Vec<&str> = via_macro.fields.iter().map(|f| f.name.as_str()).collect();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn typed_round_trip() {
+    let session = Xml2Wire::builder().build();
+    let msg = sample_flight();
+    let wire = session.encode_message(&msg).unwrap();
+    let back: Flight = session.decode_message(&wire).unwrap();
+    assert_eq!(back, msg);
+}
+
+#[test]
+fn typed_round_trip_across_architectures() {
+    let sender = Xml2Wire::builder().arch(Architecture::SPARC32).build();
+    let receiver = Xml2Wire::builder().arch(Architecture::X86_64).build();
+    receiver.register_message::<Flight>().unwrap();
+    let msg = sample_flight();
+    let wire = sender.encode_message(&msg).unwrap();
+    let back: Flight = receiver.decode_message(&wire).unwrap();
+    assert_eq!(back, msg);
+}
+
+#[test]
+fn mixed_field_kinds_round_trip() {
+    let session = Xml2Wire::builder().build();
+    let msg = Sensors {
+        id: 7,
+        scale: 0.5,
+        offset: -1.25,
+        flags: 0b1010_0001,
+        deltas: vec![-3, 0, 12, -150],
+        labels: vec!["north".into(), "south".into()],
+    };
+    let wire = session.encode_message(&msg).unwrap();
+    let back: Sensors = session.decode_message(&wire).unwrap();
+    assert_eq!(back, msg);
+}
+
+#[test]
+fn empty_vecs_round_trip() {
+    let session = Xml2Wire::builder().build();
+    let msg = Sensors {
+        id: 0,
+        scale: 0.0,
+        offset: 0.0,
+        flags: 0,
+        deltas: vec![],
+        labels: vec![],
+    };
+    let wire = session.encode_message(&msg).unwrap();
+    let back: Sensors = session.decode_message(&wire).unwrap();
+    assert_eq!(back, msg);
+}
+
+#[test]
+fn count_fields_are_synthesized_and_trail_the_struct() {
+    let st = Sensors::struct_type();
+    let names: Vec<&str> = st.fields.iter().map(|f| f.name.as_str()).collect();
+    assert_eq!(
+        names,
+        vec!["id", "scale", "offset", "flags", "deltas", "labels", "deltas_count", "labels_count"]
+    );
+}
+
+#[test]
+fn decoding_the_wrong_type_is_detected() {
+    let session = Xml2Wire::builder().build();
+    let wire = session.encode_message(&sample_flight()).unwrap();
+    session.register_message::<Sensors>().unwrap();
+    let result: Result<Sensors, _> = session.decode_message(&wire);
+    assert!(result.is_err());
+}
+
+#[test]
+fn typed_and_dynamic_apis_interoperate() {
+    // A typed sender and a Record-level receiver (e.g. a generic
+    // monitoring tool) see the same data.
+    let session = Xml2Wire::builder().build();
+    let wire = session.encode_message(&sample_flight()).unwrap();
+    let (format, record) = session.decode(&wire).unwrap();
+    assert_eq!(format.name(), "ASDOffEvent");
+    assert_eq!(record.get("fltNum").unwrap().as_i64(), Some(1202));
+    assert_eq!(record.get("eta_count").unwrap().as_i64(), Some(3));
+
+    // And the reverse: a dynamic record decodes into the typed struct.
+    let typed = Flight::from_record(&record).unwrap();
+    assert_eq!(typed, sample_flight());
+}
+
+#[test]
+fn wire_field_conversions_reject_wrong_shapes() {
+    use clayout::Value;
+    assert!(<i32 as WireField>::from_value(&Value::String("x".into())).is_err());
+    assert!(<String as WireField>::from_value(&Value::Int(1)).is_err());
+    assert!(<u8 as WireField>::from_value(&Value::Int(300)).is_err());
+    assert!(<[u64; 2] as WireField>::from_value(&Value::Array(vec![Value::UInt(1)])).is_err());
+    assert!(<Vec<i16> as WireField>::from_value(&Value::Array(vec![Value::Int(40000)])).is_err());
+}
+
+#[test]
+fn range_checks_on_narrowing() {
+    assert_eq!(<i8 as WireField>::from_value(&clayout::Value::Int(-128)).unwrap(), -128);
+    assert!(<i8 as WireField>::from_value(&clayout::Value::Int(-129)).is_err());
+    assert_eq!(<u16 as WireField>::from_value(&clayout::Value::UInt(65535)).unwrap(), 65535);
+    assert!(<u16 as WireField>::from_value(&clayout::Value::UInt(65536)).is_err());
+}
+
+#[test]
+fn binding_maps_simple_types_to_base_primitives() {
+    // The paper's footnote-1 feature end to end: simple types bind as
+    // their base primitive and the bound format marshals.
+    const DOC: &str = r#"<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:simpleType name="Percent">
+    <xsd:restriction base="xsd:int">
+      <xsd:minInclusive value="0"/>
+      <xsd:maxInclusive value="100"/>
+    </xsd:restriction>
+  </xsd:simpleType>
+  <xsd:simpleType name="AirlineCode">
+    <xsd:restriction base="xsd:string">
+      <xsd:enumeration value="DL"/>
+      <xsd:enumeration value="AA"/>
+    </xsd:restriction>
+  </xsd:simpleType>
+  <xsd:complexType name="LoadReport">
+    <xsd:element name="arln" type="AirlineCode"/>
+    <xsd:element name="loadFactor" type="Percent"/>
+  </xsd:complexType>
+</xsd:schema>"#;
+    let session = Xml2Wire::builder().build();
+    let formats = session.register_schema_str(DOC).unwrap();
+    let st = formats[0].struct_type();
+    assert_eq!(st.field("arln").unwrap().ty, clayout::CType::String);
+    assert_eq!(
+        st.field("loadFactor").unwrap().ty,
+        clayout::CType::Prim(clayout::Primitive::Int)
+    );
+    let record = clayout::Record::new().with("arln", "DL").with("loadFactor", 85i64);
+    let wire = session.encode(&record, "LoadReport").unwrap();
+    assert!(session.decode(&wire).is_ok());
+}

@@ -1,0 +1,190 @@
+//! Registered message formats.
+
+use std::fmt;
+
+use clayout::{Architecture, Layout, StructType};
+
+use crate::error::PbioError;
+use crate::field::{field_table, IoField};
+
+/// A registry-assigned format identifier, carried in wire headers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FormatId(pub u32);
+
+impl fmt::Display for FormatId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// A message format: a struct type bound to an architecture, with its
+/// layout precomputed. This is the object a PBIO format registration
+/// returns and what xml2wire's binding step produces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Format {
+    id: FormatId,
+    struct_type: StructType,
+    arch: Architecture,
+    layout: Layout,
+    fingerprint: u64,
+}
+
+/// A stable fingerprint of a struct *definition* (independent of
+/// architecture and registry). Carried in wire headers so receivers can
+/// tell format versions apart even when ids collide across registries.
+pub fn struct_fingerprint(st: &StructType) -> u64 {
+    use std::hash::{Hash, Hasher};
+    // DefaultHasher::new() uses fixed keys, so this is stable across
+    // processes (unlike hashes from a HashMap's RandomState).
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    st.hash(&mut hasher);
+    hasher.finish()
+}
+
+impl Format {
+    /// Binds `struct_type` to `arch`, computing and validating its
+    /// layout.
+    ///
+    /// Most callers go through [`FormatRegistry::register`] instead,
+    /// which also assigns a fresh id.
+    ///
+    /// [`FormatRegistry::register`]: crate::registry::FormatRegistry::register
+    ///
+    /// # Errors
+    ///
+    /// Propagates layout validation failures (duplicate fields, bad
+    /// count references, arrays of arrays).
+    pub fn new(
+        id: FormatId,
+        struct_type: StructType,
+        arch: Architecture,
+    ) -> Result<Format, PbioError> {
+        let layout = Layout::of_struct(&struct_type, &arch)?;
+        let fingerprint = struct_fingerprint(&struct_type);
+        Ok(Format { id, struct_type, arch, layout, fingerprint })
+    }
+
+    /// The registry-assigned id.
+    pub fn id(&self) -> FormatId {
+        self.id
+    }
+
+    /// The format (struct) name.
+    pub fn name(&self) -> &str {
+        &self.struct_type.name
+    }
+
+    /// The underlying struct type.
+    pub fn struct_type(&self) -> &StructType {
+        &self.struct_type
+    }
+
+    /// The architecture this format is bound to.
+    pub fn arch(&self) -> &Architecture {
+        &self.arch
+    }
+
+    /// The precomputed layout on [`arch`](Self::arch).
+    pub fn layout(&self) -> &Layout {
+        &self.layout
+    }
+
+    /// A stable fingerprint of the struct definition (see
+    /// [`struct_fingerprint`]); equal across architectures and
+    /// registries, different across format versions.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// `sizeof` the fixed part of a record in this format.
+    pub fn record_size(&self) -> usize {
+        self.layout.size
+    }
+
+    /// The PBIO field table (the paper's `IOField` array, computed at
+    /// runtime).
+    ///
+    /// # Errors
+    ///
+    /// Propagates layout errors (none are expected for an already
+    /// validated format).
+    pub fn field_table(&self) -> Result<Vec<IoField>, PbioError> {
+        field_table(&self.struct_type, &self.arch)
+    }
+
+    /// Rebinds this format's struct type to a different architecture
+    /// under the same id — how a receiver materializes "the same format,
+    /// as it would look here".
+    ///
+    /// # Errors
+    ///
+    /// Propagates layout failures on the new architecture.
+    pub fn rebind(&self, arch: Architecture) -> Result<Format, PbioError> {
+        Format::new(self.id, self.struct_type.clone(), arch)
+    }
+}
+
+impl fmt::Display for Format {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "format {} {} on {} ({} bytes fixed)",
+            self.id,
+            self.name(),
+            self.arch,
+            self.record_size()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clayout::{CType, Primitive, StructField};
+
+    fn point() -> StructType {
+        StructType::new(
+            "Point",
+            vec![
+                StructField::new("x", CType::Prim(Primitive::Double)),
+                StructField::new("tag", CType::Prim(Primitive::Char)),
+            ],
+        )
+    }
+
+    #[test]
+    fn new_precomputes_layout() {
+        let f = Format::new(FormatId(1), point(), Architecture::X86_64).unwrap();
+        assert_eq!(f.record_size(), 16);
+        assert_eq!(f.layout().fields[1].offset, 8);
+        assert_eq!(f.name(), "Point");
+    }
+
+    #[test]
+    fn rebind_keeps_id_and_type_changes_layout() {
+        let f = Format::new(FormatId(7), point(), Architecture::X86_64).unwrap();
+        let g = f.rebind(Architecture::I386).unwrap();
+        assert_eq!(g.id(), FormatId(7));
+        assert_eq!(g.struct_type(), f.struct_type());
+        assert_eq!(g.record_size(), 12); // double aligned to 4 on i386
+    }
+
+    #[test]
+    fn invalid_struct_is_rejected_at_construction() {
+        let bad = StructType::new(
+            "bad",
+            vec![StructField::new(
+                "xs",
+                CType::dynamic_array(CType::Prim(Primitive::Int), "missing"),
+            )],
+        );
+        assert!(Format::new(FormatId(1), bad, Architecture::X86_64).is_err());
+    }
+
+    #[test]
+    fn display_mentions_name_id_and_size() {
+        let f = Format::new(FormatId(3), point(), Architecture::SPARC32).unwrap();
+        let s = f.to_string();
+        assert!(s.contains("#3") && s.contains("Point") && s.contains("sparc32"), "{s}");
+    }
+}

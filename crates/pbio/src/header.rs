@@ -1,0 +1,184 @@
+//! The NDR wire header.
+//!
+//! The header is the "efficiently represented meta-information that
+//! identifies the precise formats of transmitted data" (§1): a format id
+//! and name, the sender's architecture descriptor, and section lengths.
+//! Header fields themselves are fixed little-endian so the header can be
+//! parsed before anything is known about the sender.
+
+use clayout::image::{get_uint, put_uint};
+use clayout::{Architecture, Endianness};
+
+use crate::error::PbioError;
+use crate::format::FormatId;
+
+/// The two magic bytes beginning every NDR message (`"ND"`).
+pub const MAGIC: [u8; 2] = *b"ND";
+/// The protocol version this build speaks.
+pub const VERSION: u8 = 1;
+/// Size of the fixed portion of the header, before the format name.
+pub const FIXED_HEADER_LEN: usize = 32;
+
+/// A parsed (or to-be-written) NDR message header.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireHeader {
+    /// The sender's registry id for the format.
+    pub format_id: FormatId,
+    /// The sender's architecture (reconstructed from its descriptor).
+    pub arch: Architecture,
+    /// The format name, so receivers with different registries can
+    /// resolve the format without shared id space.
+    pub format_name: String,
+    /// A stable fingerprint of the struct definition (see
+    /// [`crate::format::struct_fingerprint`]): distinguishes format
+    /// *versions* that share a name, even across unrelated registries.
+    pub fingerprint: u64,
+    /// Length of the fixed part of the payload image.
+    pub fixed_len: u32,
+    /// Total payload length (fixed part + variable section).
+    pub payload_len: u32,
+}
+
+impl WireHeader {
+    /// Bytes this header occupies on the wire (fixed part + name, padded
+    /// to 4 bytes).
+    pub fn encoded_len(&self) -> usize {
+        FIXED_HEADER_LEN + pad4(self.format_name.len())
+    }
+
+    /// Appends the encoded header to `out`.
+    pub fn write_to(&self, out: &mut Vec<u8>) {
+        let start = out.len();
+        out.resize(start + self.encoded_len(), 0);
+        let buf = &mut out[start..];
+        buf[0..2].copy_from_slice(&MAGIC);
+        buf[2] = VERSION;
+        buf[3] = 0; // flags, reserved
+        put_uint(buf, 4, 4, Endianness::Little, self.format_id.0 as u64);
+        buf[8..14].copy_from_slice(&self.arch.descriptor());
+        put_uint(buf, 14, 2, Endianness::Little, self.format_name.len() as u64);
+        put_uint(buf, 16, 4, Endianness::Little, self.fixed_len as u64);
+        put_uint(buf, 20, 4, Endianness::Little, self.payload_len as u64);
+        put_uint(buf, 24, 8, Endianness::Little, self.fingerprint);
+        buf[FIXED_HEADER_LEN..FIXED_HEADER_LEN + self.format_name.len()]
+            .copy_from_slice(self.format_name.as_bytes());
+    }
+
+    /// Parses a header from the front of `buf`, returning it and the
+    /// number of bytes it occupied.
+    ///
+    /// # Errors
+    ///
+    /// Reports bad magic, unsupported versions and truncation.
+    pub fn parse(buf: &[u8]) -> Result<(WireHeader, usize), PbioError> {
+        if buf.len() < FIXED_HEADER_LEN {
+            return Err(PbioError::Truncated { need: FIXED_HEADER_LEN, have: buf.len() });
+        }
+        if buf[0..2] != MAGIC {
+            return Err(PbioError::BadMagic { found: [buf[0], buf[1]] });
+        }
+        if buf[2] != VERSION {
+            return Err(PbioError::UnsupportedVersion { version: buf[2] });
+        }
+        let format_id = FormatId(get_uint(buf, 4, 4, Endianness::Little) as u32);
+        let mut descriptor = [0u8; 6];
+        descriptor.copy_from_slice(&buf[8..14]);
+        let arch = Architecture::from_descriptor(descriptor);
+        let name_len = get_uint(buf, 14, 2, Endianness::Little) as usize;
+        let fixed_len = get_uint(buf, 16, 4, Endianness::Little) as u32;
+        let payload_len = get_uint(buf, 20, 4, Endianness::Little) as u32;
+        let fingerprint = get_uint(buf, 24, 8, Endianness::Little);
+        let header_len = FIXED_HEADER_LEN + pad4(name_len);
+        if buf.len() < header_len {
+            return Err(PbioError::Truncated { need: header_len, have: buf.len() });
+        }
+        let name_bytes = &buf[FIXED_HEADER_LEN..FIXED_HEADER_LEN + name_len];
+        let format_name = std::str::from_utf8(name_bytes)
+            .map_err(|_| PbioError::Text { detail: "format name is not UTF-8".to_owned() })?
+            .to_owned();
+        Ok((
+            WireHeader { format_id, arch, format_name, fingerprint, fixed_len, payload_len },
+            header_len,
+        ))
+    }
+}
+
+/// Rounds `n` up to a multiple of 4 (XDR-style header padding).
+pub fn pad4(n: usize) -> usize {
+    (n + 3) & !3
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> WireHeader {
+        WireHeader {
+            format_id: FormatId(42),
+            arch: Architecture::SPARC32,
+            format_name: "ASDOffEvent".to_owned(),
+            fingerprint: 0xDEAD_BEEF_CAFE_F00D,
+            fixed_len: 32,
+            payload_len: 72,
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let header = sample();
+        let mut buf = Vec::new();
+        header.write_to(&mut buf);
+        assert_eq!(buf.len(), header.encoded_len());
+        let (parsed, len) = WireHeader::parse(&buf).unwrap();
+        assert_eq!(parsed, header);
+        assert_eq!(len, buf.len());
+    }
+
+    #[test]
+    fn header_len_is_padded_to_four() {
+        let mut header = sample();
+        for (name, expect) in [("a", 4), ("ab", 4), ("abc", 4), ("abcd", 4), ("abcde", 8)] {
+            header.format_name = name.to_owned();
+            assert_eq!(header.encoded_len() - FIXED_HEADER_LEN, expect, "{name}");
+        }
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut buf = Vec::new();
+        sample().write_to(&mut buf);
+        buf[0] = b'X';
+        assert!(matches!(WireHeader::parse(&buf), Err(PbioError::BadMagic { .. })));
+    }
+
+    #[test]
+    fn bad_version_is_rejected() {
+        let mut buf = Vec::new();
+        sample().write_to(&mut buf);
+        buf[2] = 99;
+        assert!(matches!(
+            WireHeader::parse(&buf),
+            Err(PbioError::UnsupportedVersion { version: 99 })
+        ));
+    }
+
+    #[test]
+    fn truncation_is_rejected_at_every_cut() {
+        let mut buf = Vec::new();
+        sample().write_to(&mut buf);
+        for cut in 0..buf.len() {
+            assert!(WireHeader::parse(&buf[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn arch_descriptor_survives() {
+        for arch in Architecture::ALL {
+            let header = WireHeader { arch, ..sample() };
+            let mut buf = Vec::new();
+            header.write_to(&mut buf);
+            let (parsed, _) = WireHeader::parse(&buf).unwrap();
+            assert!(parsed.arch.layout_compatible(&arch), "{arch}");
+        }
+    }
+}

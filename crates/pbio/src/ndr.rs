@@ -1,0 +1,334 @@
+//! The NDR wire codec: header + native byte image.
+//!
+//! Encoding "moves data directly out of memory onto the transmission
+//! medium" (§1): the payload *is* the sender's native image, so the
+//! sender-side cost is building that image (one pass, no representation
+//! change). Decoding has two paths:
+//!
+//! * [`decode`] / [`decode_with`] — read values straight out of the wire
+//!   image using the sender's layout (reader-makes-right at the value
+//!   level), or
+//! * [`to_native_image`] — produce a byte image in the *receiver's*
+//!   layout via a cached [`ConversionPlan`](crate::convert::ConversionPlan),
+//!   which is free (one bulk
+//!   copy) between layout-compatible machines.
+
+use std::sync::Arc;
+
+use clayout::{decode_record, encode_record, Architecture, Image, Record};
+
+use crate::convert::PlanCache;
+use crate::error::PbioError;
+use crate::format::Format;
+use crate::header::WireHeader;
+use crate::registry::FormatRegistry;
+
+/// Encodes `record` in `format` as a complete NDR message.
+///
+/// # Errors
+///
+/// Propagates image-encoding failures (missing fields, range overflow).
+pub fn encode(record: &Record, format: &Format) -> Result<Vec<u8>, PbioError> {
+    let image = encode_record(record, format.struct_type(), format.arch())?;
+    let header = WireHeader {
+        format_id: format.id(),
+        arch: *format.arch(),
+        format_name: format.name().to_owned(),
+        fingerprint: format.fingerprint(),
+        fixed_len: image.fixed_len as u32,
+        payload_len: image.bytes.len() as u32,
+    };
+    let mut out = Vec::with_capacity(header.encoded_len() + image.bytes.len());
+    header.write_to(&mut out);
+    out.extend_from_slice(&image.bytes);
+    Ok(out)
+}
+
+/// Splits a message into its parsed header and payload bytes.
+///
+/// # Errors
+///
+/// Reports malformed or truncated headers and payloads.
+pub fn split(buf: &[u8]) -> Result<(WireHeader, &[u8]), PbioError> {
+    let (header, header_len) = WireHeader::parse(buf)?;
+    let need = header_len + header.payload_len as usize;
+    if buf.len() < need {
+        return Err(PbioError::Truncated { need, have: buf.len() });
+    }
+    let payload = &buf[header_len..need];
+    if (header.fixed_len as usize) > payload.len() {
+        return Err(PbioError::Truncated {
+            need: header.fixed_len as usize,
+            have: payload.len(),
+        });
+    }
+    Ok((header, payload))
+}
+
+/// Decodes a message whose format the caller already holds (e.g. from a
+/// subscription). The payload is interpreted with the *sender's*
+/// architecture from the header; the caller's format supplies the struct
+/// type.
+///
+/// # Errors
+///
+/// Reports header problems, format-name mismatches and malformed
+/// payloads.
+pub fn decode_with(buf: &[u8], format: &Format) -> Result<Record, PbioError> {
+    let (header, payload) = split(buf)?;
+    if header.format_name != format.name() {
+        return Err(PbioError::FormatMismatch {
+            expected: format.name().to_owned(),
+            found: header.format_name,
+        });
+    }
+    Ok(decode_record(payload, format.struct_type(), &header.arch)?)
+}
+
+/// Decodes a message by resolving its format in `registry`.
+///
+/// Resolution pins the exact *definition* the message was encoded with:
+/// first the header's id (fast path when sender and receiver share an id
+/// space), then any registered version whose structure fingerprint
+/// matches the header's. A registry that only holds a *different*
+/// version of the name gets [`PbioError::FormatMismatch`] — never a
+/// silent mis-layout decode — prompting re-discovery.
+///
+/// # Errors
+///
+/// Unknown formats, version-fingerprint mismatches, malformed payloads.
+pub fn decode(
+    buf: &[u8],
+    registry: &FormatRegistry,
+) -> Result<(Arc<Format>, Record), PbioError> {
+    let (header, payload) = split(buf)?;
+    let by_id = registry.by_id(header.format_id).filter(|f| {
+        f.name() == header.format_name && f.fingerprint() == header.fingerprint
+    });
+    let format = match by_id
+        .or_else(|| registry.by_fingerprint(&header.format_name, header.fingerprint))
+    {
+        Some(format) => format,
+        None => {
+            // Distinguish "never heard of it" from "wrong version".
+            return Err(match registry.by_name(&header.format_name) {
+                Some(_) => PbioError::FormatMismatch {
+                    expected: header.format_name.clone(),
+                    found: format!(
+                        "{} (a different version: structure fingerprints differ)",
+                        header.format_name
+                    ),
+                },
+                None => PbioError::UnknownFormat { name: header.format_name },
+            });
+        }
+    };
+    let record = decode_record(payload, format.struct_type(), &header.arch)?;
+    Ok((format, record))
+}
+
+/// Converts a message's payload into a native image for
+/// `native_format`'s architecture, using (and populating) `plans`.
+///
+/// Between layout-compatible architectures this is a single copy of the
+/// payload — the paper's "directly from the transmission medium into
+/// memory".
+///
+/// # Errors
+///
+/// Reports header problems, name mismatches, conversion overflow and
+/// malformed payloads.
+pub fn to_native_image(
+    buf: &[u8],
+    native_format: &Format,
+    plans: &PlanCache,
+) -> Result<Image, PbioError> {
+    let (header, payload) = split(buf)?;
+    if header.format_name != native_format.name() {
+        return Err(PbioError::FormatMismatch {
+            expected: native_format.name().to_owned(),
+            found: header.format_name,
+        });
+    }
+    let plan =
+        plans.plan_for(native_format.struct_type(), &header.arch, native_format.arch())?;
+    plan.convert(payload)
+}
+
+/// The number of wire bytes [`encode`] would produce for `record`,
+/// without building the message (used by size-accounting benchmarks).
+///
+/// # Errors
+///
+/// As [`encode`].
+pub fn encoded_size(record: &Record, format: &Format) -> Result<usize, PbioError> {
+    // Encoding is the only precise way to size the variable section.
+    Ok(encode(record, format)?.len())
+}
+
+/// Returns the sender architecture recorded in a message header.
+///
+/// # Errors
+///
+/// Reports malformed headers.
+pub fn peek_arch(buf: &[u8]) -> Result<Architecture, PbioError> {
+    let (header, _) = WireHeader::parse(buf)?;
+    Ok(header.arch)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::FormatId;
+    use clayout::{CType, Primitive, StructField, StructType};
+
+    fn structure_a() -> StructType {
+        StructType::new(
+            "ASDOffEvent",
+            vec![
+                StructField::new("cntrID", CType::String),
+                StructField::new("arln", CType::String),
+                StructField::new("fltNum", CType::Prim(Primitive::Int)),
+                StructField::new("equip", CType::String),
+                StructField::new("org", CType::String),
+                StructField::new("dest", CType::String),
+                StructField::new("off", CType::Prim(Primitive::ULong)),
+                StructField::new("eta", CType::Prim(Primitive::ULong)),
+            ],
+        )
+    }
+
+    fn sample() -> Record {
+        Record::new()
+            .with("cntrID", "ZTL")
+            .with("arln", "DL")
+            .with("fltNum", 1202i64)
+            .with("equip", "B752")
+            .with("org", "ATL")
+            .with("dest", "BOS")
+            .with("off", 1748707200u64)
+            .with("eta", 1748710800u64)
+    }
+
+    fn format_on(arch: Architecture) -> Format {
+        Format::new(FormatId(1), structure_a(), arch).unwrap()
+    }
+
+    #[test]
+    fn encode_decode_round_trip_homogeneous() {
+        let format = format_on(Architecture::X86_64);
+        let wire = encode(&sample(), &format).unwrap();
+        let back = decode_with(&wire, &format).unwrap();
+        assert_eq!(back.get("cntrID").unwrap().as_str(), Some("ZTL"));
+        assert_eq!(back.get("eta").unwrap().as_u64(), Some(1748710800));
+    }
+
+    #[test]
+    fn heterogeneous_decode_uses_the_header_arch() {
+        // Sender on big-endian 32-bit, receiver format bound to x86-64.
+        let sender = format_on(Architecture::SPARC32);
+        let wire = encode(&sample(), &sender).unwrap();
+        let receiver = format_on(Architecture::X86_64);
+        let back = decode_with(&wire, &receiver).unwrap();
+        assert_eq!(back.get("fltNum").unwrap().as_i64(), Some(1202));
+        assert_eq!(back.get("dest").unwrap().as_str(), Some("BOS"));
+    }
+
+    #[test]
+    fn registry_decode_resolves_by_name() {
+        let sender_registry = FormatRegistry::new();
+        let sender = sender_registry.register(structure_a(), Architecture::SPARC64).unwrap();
+        // Receiver registered independently: different ids are fine.
+        let receiver_registry = FormatRegistry::new();
+        receiver_registry
+            .register(
+                StructType::new("Decoy", vec![StructField::new("x", CType::Prim(Primitive::Int))]),
+                Architecture::X86_64,
+            )
+            .unwrap();
+        let receiver_format =
+            receiver_registry.register(structure_a(), Architecture::X86_64).unwrap();
+        assert_ne!(sender.id(), receiver_format.id());
+
+        let wire = encode(&sample(), &sender).unwrap();
+        let (resolved, record) = decode(&wire, &receiver_registry).unwrap();
+        assert_eq!(resolved.name(), "ASDOffEvent");
+        assert_eq!(record.get("arln").unwrap().as_str(), Some("DL"));
+    }
+
+    #[test]
+    fn unknown_format_is_reported() {
+        let sender = format_on(Architecture::X86_64);
+        let wire = encode(&sample(), &sender).unwrap();
+        let empty = FormatRegistry::new();
+        assert!(matches!(decode(&wire, &empty), Err(PbioError::UnknownFormat { .. })));
+    }
+
+    #[test]
+    fn name_mismatch_is_reported() {
+        let sender = format_on(Architecture::X86_64);
+        let wire = encode(&sample(), &sender).unwrap();
+        let other = Format::new(
+            FormatId(9),
+            StructType::new("Other", vec![StructField::new("x", CType::Prim(Primitive::Int))]),
+            Architecture::X86_64,
+        )
+        .unwrap();
+        assert!(matches!(
+            decode_with(&wire, &other),
+            Err(PbioError::FormatMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn to_native_image_homogeneous_is_payload_copy() {
+        let format = format_on(Architecture::X86_64);
+        let wire = encode(&sample(), &format).unwrap();
+        let plans = PlanCache::new();
+        let image = to_native_image(&wire, &format, &plans).unwrap();
+        let (_, payload) = split(&wire).unwrap();
+        assert_eq!(image.bytes, payload);
+    }
+
+    #[test]
+    fn to_native_image_heterogeneous_converts() {
+        let sender = format_on(Architecture::SPARC32);
+        let wire = encode(&sample(), &sender).unwrap();
+        let native = format_on(Architecture::X86_64);
+        let plans = PlanCache::new();
+        let image = to_native_image(&wire, &native, &plans).unwrap();
+        assert_eq!(image.fixed_len, native.record_size());
+        let record =
+            clayout::decode_record(&image.bytes, native.struct_type(), native.arch()).unwrap();
+        assert_eq!(record.get("org").unwrap().as_str(), Some("ATL"));
+        // Second message reuses the plan.
+        assert_eq!(plans.len(), 1);
+        to_native_image(&wire, &native, &plans).unwrap();
+        assert_eq!(plans.len(), 1);
+    }
+
+    #[test]
+    fn truncated_messages_are_rejected_at_every_cut() {
+        let format = format_on(Architecture::X86_64);
+        let wire = encode(&sample(), &format).unwrap();
+        for cut in 0..wire.len() {
+            assert!(decode_with(&wire[..cut], &format).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn peek_arch_reads_the_sender() {
+        let sender = format_on(Architecture::POWER64);
+        let wire = encode(&sample(), &sender).unwrap();
+        assert!(peek_arch(&wire).unwrap().layout_compatible(&Architecture::POWER64));
+    }
+
+    #[test]
+    fn encoded_size_matches_encode() {
+        let format = format_on(Architecture::I386);
+        assert_eq!(
+            encoded_size(&sample(), &format).unwrap(),
+            encode(&sample(), &format).unwrap().len()
+        );
+    }
+}

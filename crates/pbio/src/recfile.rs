@@ -1,0 +1,344 @@
+//! Record files: PBIO's second job.
+//!
+//! PBIO "provides facilities for encoding application data structures so
+//! that they may be transmitted in binary form over computer networks
+//! **or written to data files** in a heterogeneous computing
+//! environment" (§4.1.2). This module is the file half: an append-only
+//! record file of NDR messages. Because every NDR message is
+//! self-describing (format name + sender architecture in the header), a
+//! file written on one machine reads correctly on any other, provided
+//! the reader's registry knows the formats — the no-registry-needed
+//! variant that embeds the metadata itself lives in
+//! `xml2wire::archive`.
+//!
+//! Layout: `"PBIOFILE" ∥ u8 version ∥ frames*`, each frame
+//! `u32 little-endian length ∥ NDR message bytes`.
+
+use std::io::{BufReader, BufWriter, Read, Write};
+
+use clayout::Record;
+
+use crate::error::PbioError;
+use crate::format::Format;
+use crate::ndr;
+use crate::registry::FormatRegistry;
+
+/// The file magic.
+pub const FILE_MAGIC: &[u8; 8] = b"PBIOFILE";
+/// The record-file format version this build writes.
+pub const FILE_VERSION: u8 = 1;
+/// Upper bound on one record's size (corruption guard).
+const MAX_RECORD: u32 = 256 * 1024 * 1024;
+
+/// Writes NDR records to a byte sink.
+#[derive(Debug)]
+pub struct RecordWriter<W: Write> {
+    sink: BufWriter<W>,
+    records: u64,
+}
+
+impl<W: Write> RecordWriter<W> {
+    /// Starts a new record file on `sink`, writing the file header.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn create(sink: W) -> Result<Self, PbioError> {
+        let mut sink = BufWriter::new(sink);
+        sink.write_all(FILE_MAGIC).map_err(io_err)?;
+        sink.write_all(&[FILE_VERSION]).map_err(io_err)?;
+        Ok(RecordWriter { sink, records: 0 })
+    }
+
+    /// Appends one record encoded in `format`.
+    ///
+    /// # Errors
+    ///
+    /// Encoding or I/O failures.
+    pub fn append(&mut self, record: &Record, format: &Format) -> Result<(), PbioError> {
+        let message = ndr::encode(record, format)?;
+        self.append_raw(&message)
+    }
+
+    /// Appends an already-encoded NDR message (e.g. relayed traffic).
+    ///
+    /// # Errors
+    ///
+    /// I/O failures.
+    pub fn append_raw(&mut self, message: &[u8]) -> Result<(), PbioError> {
+        self.sink
+            .write_all(&(message.len() as u32).to_le_bytes())
+            .and_then(|()| self.sink.write_all(message))
+            .map_err(io_err)?;
+        self.records += 1;
+        Ok(())
+    }
+
+    /// Number of records written so far.
+    pub fn record_count(&self) -> u64 {
+        self.records
+    }
+
+    /// Flushes and returns the underlying sink.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the final flush failure.
+    pub fn finish(self) -> Result<W, PbioError> {
+        self.sink.into_inner().map_err(|e| io_err(e.into_error()))
+    }
+}
+
+fn io_err(e: std::io::Error) -> PbioError {
+    PbioError::Text { detail: format!("record file i/o: {e}") }
+}
+
+/// Reads NDR records back from a byte source.
+#[derive(Debug)]
+pub struct RecordReader<R: Read> {
+    source: BufReader<R>,
+}
+
+impl<R: Read> RecordReader<R> {
+    /// Opens a record file, checking the header.
+    ///
+    /// # Errors
+    ///
+    /// Bad magic, unsupported versions, I/O failures.
+    pub fn open(source: R) -> Result<Self, PbioError> {
+        let mut source = BufReader::new(source);
+        let mut magic = [0u8; 8];
+        source.read_exact(&mut magic).map_err(io_err)?;
+        if &magic != FILE_MAGIC {
+            return Err(PbioError::BadMagic { found: [magic[0], magic[1]] });
+        }
+        let mut version = [0u8; 1];
+        source.read_exact(&mut version).map_err(io_err)?;
+        if version[0] != FILE_VERSION {
+            return Err(PbioError::UnsupportedVersion { version: version[0] });
+        }
+        Ok(RecordReader { source })
+    }
+
+    /// Reads the next raw NDR message; `None` at end of file.
+    ///
+    /// # Errors
+    ///
+    /// Truncated files, implausible lengths, I/O failures.
+    pub fn next_raw(&mut self) -> Result<Option<Vec<u8>>, PbioError> {
+        // Read the length prefix byte-wise so a clean end-of-file (zero
+        // bytes) is distinguishable from truncation mid-prefix.
+        let mut len4 = [0u8; 4];
+        let mut got = 0;
+        while got < 4 {
+            match self.source.read(&mut len4[got..]).map_err(io_err)? {
+                0 if got == 0 => return Ok(None),
+                0 => return Err(PbioError::Truncated { need: 4, have: got }),
+                n => got += n,
+            }
+        }
+        let len = u32::from_le_bytes(len4);
+        if len > MAX_RECORD {
+            return Err(PbioError::Text {
+                detail: format!("record length {len} exceeds the {MAX_RECORD} limit"),
+            });
+        }
+        let mut message = vec![0u8; len as usize];
+        self.source.read_exact(&mut message).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                PbioError::Truncated { need: len as usize, have: 0 }
+            } else {
+                io_err(e)
+            }
+        })?;
+        Ok(Some(message))
+    }
+
+    /// Reads and decodes the next record via `registry`; `None` at end
+    /// of file.
+    ///
+    /// # Errors
+    ///
+    /// As [`next_raw`](Self::next_raw) plus decode failures (unknown
+    /// formats, malformed payloads).
+    pub fn next_record(
+        &mut self,
+        registry: &FormatRegistry,
+    ) -> Result<Option<(std::sync::Arc<Format>, Record)>, PbioError> {
+        match self.next_raw()? {
+            None => Ok(None),
+            Some(message) => ndr::decode(&message, registry).map(Some),
+        }
+    }
+
+    /// Decodes every remaining record.
+    ///
+    /// # Errors
+    ///
+    /// As [`next_record`](Self::next_record); stops at the first error.
+    pub fn read_all(
+        &mut self,
+        registry: &FormatRegistry,
+    ) -> Result<Vec<Record>, PbioError> {
+        let mut records = Vec::new();
+        while let Some((_, record)) = self.next_record(registry)? {
+            records.push(record);
+        }
+        Ok(records)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clayout::{Architecture, CType, Primitive, StructField, StructType};
+
+    fn flight_type() -> StructType {
+        StructType::new(
+            "Flight",
+            vec![
+                StructField::new("arln", CType::String),
+                StructField::new("fltNum", CType::Prim(Primitive::Int)),
+                StructField::new("eta", CType::dynamic_array(CType::Prim(Primitive::ULong), "n")),
+                StructField::new("n", CType::Prim(Primitive::Int)),
+            ],
+        )
+    }
+
+    fn sample(i: i64) -> Record {
+        Record::new()
+            .with("arln", format!("DL{i}"))
+            .with("fltNum", i)
+            .with("eta", (0..(i as u64 % 4)).collect::<Vec<u64>>())
+    }
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let registry = FormatRegistry::new();
+        let format = registry.register(flight_type(), Architecture::host()).unwrap();
+        let mut writer = RecordWriter::create(Vec::new()).unwrap();
+        for i in 0..25 {
+            writer.append(&sample(i), &format).unwrap();
+        }
+        assert_eq!(writer.record_count(), 25);
+        let bytes = writer.finish().unwrap();
+
+        let mut reader = RecordReader::open(&bytes[..]).unwrap();
+        let records = reader.read_all(&registry).unwrap();
+        assert_eq!(records.len(), 25);
+        assert_eq!(records[7].get("fltNum").unwrap().as_i64(), Some(7));
+        assert_eq!(records[7].get("arln").unwrap().as_str(), Some("DL7"));
+    }
+
+    #[test]
+    fn files_written_on_one_machine_read_on_another() {
+        // Writer on big-endian ILP32; reader registry bound on the host.
+        let writer_registry = FormatRegistry::new();
+        let writer_format =
+            writer_registry.register(flight_type(), Architecture::SPARC32).unwrap();
+        let mut writer = RecordWriter::create(Vec::new()).unwrap();
+        for i in 0..5 {
+            writer.append(&sample(i), &writer_format).unwrap();
+        }
+        let bytes = writer.finish().unwrap();
+
+        let reader_registry = FormatRegistry::new();
+        reader_registry.register(flight_type(), Architecture::host()).unwrap();
+        let mut reader = RecordReader::open(&bytes[..]).unwrap();
+        let records = reader.read_all(&reader_registry).unwrap();
+        assert_eq!(records.len(), 5);
+        assert_eq!(records[4].get("fltNum").unwrap().as_i64(), Some(4));
+    }
+
+    #[test]
+    fn mixed_formats_in_one_file() {
+        let registry = FormatRegistry::new();
+        let flights = registry.register(flight_type(), Architecture::host()).unwrap();
+        let weather = registry
+            .register(
+                StructType::new(
+                    "Weather",
+                    vec![StructField::new("tempC", CType::Prim(Primitive::Double))],
+                ),
+                Architecture::host(),
+            )
+            .unwrap();
+        let mut writer = RecordWriter::create(Vec::new()).unwrap();
+        writer.append(&sample(1), &flights).unwrap();
+        writer.append(&Record::new().with("tempC", 21.5f64), &weather).unwrap();
+        writer.append(&sample(2), &flights).unwrap();
+        let bytes = writer.finish().unwrap();
+
+        let mut reader = RecordReader::open(&bytes[..]).unwrap();
+        let mut names = Vec::new();
+        while let Some((format, _)) = reader.next_record(&registry).unwrap() {
+            names.push(format.name().to_owned());
+        }
+        assert_eq!(names, vec!["Flight", "Weather", "Flight"]);
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_rejected() {
+        assert!(matches!(
+            RecordReader::open(&b"NOTAFILE\x01"[..]),
+            Err(PbioError::BadMagic { .. })
+        ));
+        let mut bytes = FILE_MAGIC.to_vec();
+        bytes.push(99);
+        assert!(matches!(
+            RecordReader::open(&bytes[..]),
+            Err(PbioError::UnsupportedVersion { version: 99 })
+        ));
+    }
+
+    #[test]
+    fn truncated_files_error_cleanly() {
+        let registry = FormatRegistry::new();
+        let format = registry.register(flight_type(), Architecture::host()).unwrap();
+        let mut writer = RecordWriter::create(Vec::new()).unwrap();
+        writer.append(&sample(1), &format).unwrap();
+        let bytes = writer.finish().unwrap();
+        // Header only (9 bytes) is a clean, empty file...
+        let mut reader = RecordReader::open(&bytes[..9]).unwrap();
+        assert!(reader.read_all(&registry).unwrap().is_empty());
+        // ...but cutting mid-length-prefix or mid-record is an error.
+        for cut in [10, 11, 14, bytes.len() - 1] {
+            let mut reader = RecordReader::open(&bytes[..cut]).unwrap();
+            assert!(reader.read_all(&registry).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn unknown_format_reports_not_panics() {
+        let writer_registry = FormatRegistry::new();
+        let format = writer_registry.register(flight_type(), Architecture::host()).unwrap();
+        let mut writer = RecordWriter::create(Vec::new()).unwrap();
+        writer.append(&sample(1), &format).unwrap();
+        let bytes = writer.finish().unwrap();
+        let empty = FormatRegistry::new();
+        let mut reader = RecordReader::open(&bytes[..]).unwrap();
+        assert!(matches!(
+            reader.read_all(&empty),
+            Err(PbioError::UnknownFormat { .. })
+        ));
+    }
+
+    #[test]
+    fn works_with_real_files_on_disk() {
+        let path = std::env::temp_dir().join(format!("pbio-recfile-{}.bin", std::process::id()));
+        let registry = FormatRegistry::new();
+        let format = registry.register(flight_type(), Architecture::host()).unwrap();
+        {
+            let file = std::fs::File::create(&path).unwrap();
+            let mut writer = RecordWriter::create(file).unwrap();
+            for i in 0..10 {
+                writer.append(&sample(i), &format).unwrap();
+            }
+            writer.finish().unwrap();
+        }
+        let file = std::fs::File::open(&path).unwrap();
+        let mut reader = RecordReader::open(file).unwrap();
+        assert_eq!(reader.read_all(&registry).unwrap().len(), 10);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

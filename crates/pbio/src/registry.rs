@@ -1,0 +1,258 @@
+//! The format registry: id assignment and lookup.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use clayout::{Architecture, StructType};
+use parking_lot::RwLock;
+
+use crate::error::PbioError;
+use crate::format::{Format, FormatId};
+
+/// A thread-safe registry of message formats.
+///
+/// Registration is idempotent for identical definitions: registering the
+/// same struct type on the same architecture returns the existing format.
+/// Registering a *different* definition under an existing name assigns a
+/// fresh id and makes the new definition the name's current version —
+/// this is how PBIO's restricted format evolution enters the system (old
+/// ids keep resolving, so in-flight messages still decode).
+#[derive(Debug, Default)]
+pub struct FormatRegistry {
+    inner: RwLock<Inner>,
+}
+
+/// Locally assigned ids live above this base so they can never collide
+/// with ids negotiated externally (format servers hand out small ids
+/// counting up from 1; see `xml2wire::idserver`).
+pub const LOCAL_ID_BASE: u32 = 0x8000_0000;
+
+#[derive(Debug)]
+struct Inner {
+    by_id: HashMap<FormatId, Arc<Format>>,
+    current_by_name: HashMap<String, FormatId>,
+    next_id: u32,
+}
+
+impl Default for Inner {
+    fn default() -> Self {
+        Inner {
+            by_id: HashMap::new(),
+            current_by_name: HashMap::new(),
+            next_id: LOCAL_ID_BASE,
+        }
+    }
+}
+
+impl FormatRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        FormatRegistry::default()
+    }
+
+    /// Registers `struct_type` bound to `arch`, assigning an id.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layout validation failures; the registry is unchanged
+    /// on error.
+    pub fn register(
+        &self,
+        struct_type: StructType,
+        arch: Architecture,
+    ) -> Result<Arc<Format>, PbioError> {
+        let mut inner = self.inner.write();
+        if let Some(id) = inner.current_by_name.get(&struct_type.name) {
+            let existing = &inner.by_id[id];
+            if existing.struct_type() == &struct_type && existing.arch() == &arch {
+                return Ok(Arc::clone(existing));
+            }
+        }
+        let id = FormatId(inner.next_id);
+        let format = Arc::new(Format::new(id, struct_type, arch)?);
+        inner.next_id += 1;
+        inner.by_id.insert(id, Arc::clone(&format));
+        inner.current_by_name.insert(format.name().to_owned(), id);
+        Ok(format)
+    }
+
+    /// Registers `struct_type` under an externally assigned id (e.g. one
+    /// negotiated with a format server, so every process shares the same
+    /// id space). The name's current version becomes this format.
+    ///
+    /// # Errors
+    ///
+    /// Layout failures, or [`PbioError::Incompatible`] when the id is
+    /// already bound to a different definition.
+    pub fn register_with_id(
+        &self,
+        struct_type: StructType,
+        arch: Architecture,
+        id: FormatId,
+    ) -> Result<Arc<Format>, PbioError> {
+        let mut inner = self.inner.write();
+        if let Some(existing) = inner.by_id.get(&id) {
+            if existing.struct_type() == &struct_type && existing.arch() == &arch {
+                return Ok(Arc::clone(existing));
+            }
+            return Err(PbioError::Incompatible {
+                detail: format!(
+                    "format id {id} is already bound to {:?}",
+                    existing.name()
+                ),
+            });
+        }
+        let format = Arc::new(Format::new(id, struct_type, arch)?);
+        // External ids live below LOCAL_ID_BASE; only bump the local
+        // counter if someone hands us an id from the local range.
+        inner.next_id = inner.next_id.max(id.0.saturating_add(1).max(LOCAL_ID_BASE));
+        inner.by_id.insert(id, Arc::clone(&format));
+        inner.current_by_name.insert(format.name().to_owned(), id);
+        Ok(format)
+    }
+
+    /// Looks a format up by id (any version ever registered).
+    pub fn by_id(&self, id: FormatId) -> Option<Arc<Format>> {
+        self.inner.read().by_id.get(&id).cloned()
+    }
+
+    /// Finds the format with this name and structure fingerprint (any
+    /// version, any id) — how receivers pin the exact *definition* a
+    /// message was encoded with.
+    pub fn by_fingerprint(&self, name: &str, fingerprint: u64) -> Option<Arc<Format>> {
+        self.inner
+            .read()
+            .by_id
+            .values()
+            .find(|f| f.name() == name && f.fingerprint() == fingerprint)
+            .cloned()
+    }
+
+    /// Looks up the *current* version of a name.
+    pub fn by_name(&self, name: &str) -> Option<Arc<Format>> {
+        let inner = self.inner.read();
+        let id = inner.current_by_name.get(name)?;
+        inner.by_id.get(id).cloned()
+    }
+
+    /// Resolves a format by name, as an error-returning convenience.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PbioError::UnknownFormat`].
+    pub fn require(&self, name: &str) -> Result<Arc<Format>, PbioError> {
+        self.by_name(name).ok_or_else(|| PbioError::UnknownFormat { name: name.to_owned() })
+    }
+
+    /// Number of formats (all versions) registered.
+    pub fn len(&self) -> usize {
+        self.inner.read().by_id.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Names with a current registration, in no particular order.
+    pub fn names(&self) -> Vec<String> {
+        self.inner.read().current_by_name.keys().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clayout::{CType, Primitive, StructField};
+
+    fn ty(name: &str, field: &str) -> StructType {
+        StructType::new(name, vec![StructField::new(field, CType::Prim(Primitive::Int))])
+    }
+
+    #[test]
+    fn register_assigns_distinct_local_ids() {
+        let r = FormatRegistry::new();
+        let a = r.register(ty("A", "x"), Architecture::X86_64).unwrap();
+        let b = r.register(ty("B", "x"), Architecture::X86_64).unwrap();
+        assert_ne!(a.id(), b.id());
+        assert_eq!(r.len(), 2);
+        // Local ids stay out of the externally negotiated range.
+        assert!(a.id().0 >= LOCAL_ID_BASE);
+        assert!(b.id().0 >= LOCAL_ID_BASE);
+    }
+
+    #[test]
+    fn external_ids_never_collide_with_local_ones() {
+        let r = FormatRegistry::new();
+        // Many local registrations first…
+        for i in 0..10 {
+            r.register(ty(&format!("L{i}"), "x"), Architecture::X86_64).unwrap();
+        }
+        // …then server-assigned small ids slot in without clashes.
+        let g = r
+            .register_with_id(ty("G", "x"), Architecture::X86_64, FormatId(1))
+            .unwrap();
+        assert_eq!(g.id(), FormatId(1));
+        assert!(r.by_id(FormatId(1)).is_some());
+        // Idempotent re-registration under the same id.
+        let g2 = r
+            .register_with_id(ty("G", "x"), Architecture::X86_64, FormatId(1))
+            .unwrap();
+        assert_eq!(g.id(), g2.id());
+        // A conflicting definition under a taken id is rejected.
+        assert!(r
+            .register_with_id(ty("Other", "y"), Architecture::X86_64, FormatId(1))
+            .is_err());
+    }
+
+    #[test]
+    fn identical_registration_is_idempotent() {
+        let r = FormatRegistry::new();
+        let a1 = r.register(ty("A", "x"), Architecture::X86_64).unwrap();
+        let a2 = r.register(ty("A", "x"), Architecture::X86_64).unwrap();
+        assert_eq!(a1.id(), a2.id());
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn evolution_creates_a_new_version_keeping_the_old_id_alive() {
+        let r = FormatRegistry::new();
+        let v1 = r.register(ty("A", "x"), Architecture::X86_64).unwrap();
+        let v2 = r.register(ty("A", "renamed"), Architecture::X86_64).unwrap();
+        assert_ne!(v1.id(), v2.id());
+        // Current name resolves to v2; the old id still resolves to v1.
+        assert_eq!(r.by_name("A").unwrap().id(), v2.id());
+        assert_eq!(r.by_id(v1.id()).unwrap().struct_type().fields[0].name, "x");
+    }
+
+    #[test]
+    fn require_reports_unknown_names() {
+        let r = FormatRegistry::new();
+        assert!(matches!(r.require("nope"), Err(PbioError::UnknownFormat { .. })));
+    }
+
+    #[test]
+    fn registry_is_shareable_across_threads() {
+        let r = Arc::new(FormatRegistry::new());
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                let r = Arc::clone(&r);
+                std::thread::spawn(move || {
+                    r.register(ty(&format!("T{}", i % 4), "x"), Architecture::X86_64).unwrap()
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(r.names().len(), 4);
+    }
+
+    #[test]
+    fn different_arch_same_type_is_a_new_version() {
+        let r = FormatRegistry::new();
+        let a = r.register(ty("A", "x"), Architecture::X86_64).unwrap();
+        let b = r.register(ty("A", "x"), Architecture::SPARC32).unwrap();
+        assert_ne!(a.id(), b.id());
+    }
+}

@@ -1,0 +1,222 @@
+//! A character cursor over the input with position tracking.
+
+use crate::error::{ErrorKind, Position, XmlError};
+
+/// A forward-only cursor over a `&str` input that tracks line/column
+/// positions and offers the small set of scanning primitives the XML
+/// tokenizer needs.
+#[derive(Debug, Clone)]
+pub struct Cursor<'a> {
+    input: &'a str,
+    pos: Position,
+}
+
+impl<'a> Cursor<'a> {
+    /// Creates a cursor at the start of `input`.
+    pub fn new(input: &'a str) -> Self {
+        Cursor { input, pos: Position::start() }
+    }
+
+    /// The current position (next character to be read).
+    pub fn position(&self) -> Position {
+        self.pos
+    }
+
+    /// Whether the entire input has been consumed.
+    pub fn is_at_end(&self) -> bool {
+        self.pos.offset >= self.input.len()
+    }
+
+    /// The unconsumed remainder of the input.
+    pub fn rest(&self) -> &'a str {
+        &self.input[self.pos.offset..]
+    }
+
+    /// Peeks at the next character without consuming it.
+    pub fn peek(&self) -> Option<char> {
+        self.rest().chars().next()
+    }
+
+    /// Peeks at the character after the next one.
+    pub fn peek2(&self) -> Option<char> {
+        let mut it = self.rest().chars();
+        it.next();
+        it.next()
+    }
+
+    /// Consumes and returns the next character.
+    pub fn bump(&mut self) -> Option<char> {
+        let ch = self.peek()?;
+        self.pos.offset += ch.len_utf8();
+        if ch == '\n' {
+            self.pos.line += 1;
+            self.pos.column = 1;
+        } else {
+            self.pos.column += 1;
+        }
+        Some(ch)
+    }
+
+    /// Consumes the next character, failing with `UnexpectedEof` if the
+    /// input is exhausted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ErrorKind::UnexpectedEof`] at the current position.
+    pub fn bump_expecting(&mut self, expecting: &'static str) -> Result<char, XmlError> {
+        self.bump()
+            .ok_or_else(|| XmlError::new(ErrorKind::UnexpectedEof { expecting }, self.pos))
+    }
+
+    /// If the remaining input starts with `literal`, consumes it and
+    /// returns `true`.
+    pub fn eat(&mut self, literal: &str) -> bool {
+        if self.rest().starts_with(literal) {
+            for _ in literal.chars() {
+                self.bump();
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Requires that the remaining input starts with `literal` and
+    /// consumes it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ErrorKind::UnexpectedChar`] (or `UnexpectedEof`) naming
+    /// `expecting` when the literal is absent.
+    pub fn expect(&mut self, literal: &str, expecting: &'static str) -> Result<(), XmlError> {
+        if self.eat(literal) {
+            Ok(())
+        } else {
+            match self.peek() {
+                Some(found) => Err(XmlError::new(
+                    ErrorKind::UnexpectedChar { found, expecting },
+                    self.pos,
+                )),
+                None => Err(XmlError::new(ErrorKind::UnexpectedEof { expecting }, self.pos)),
+            }
+        }
+    }
+
+    /// Consumes characters while `pred` holds and returns the consumed
+    /// slice (possibly empty).
+    pub fn take_while(&mut self, mut pred: impl FnMut(char) -> bool) -> &'a str {
+        let start = self.pos.offset;
+        while let Some(ch) = self.peek() {
+            if !pred(ch) {
+                break;
+            }
+            self.bump();
+        }
+        &self.input[start..self.pos.offset]
+    }
+
+    /// Consumes XML whitespace (space, tab, CR, LF) and returns whether
+    /// any was present.
+    pub fn skip_whitespace(&mut self) -> bool {
+        !self.take_while(is_xml_whitespace).is_empty()
+    }
+
+    /// Consumes up to (not including) the first occurrence of `delim`,
+    /// returning the consumed slice, then consumes `delim` itself.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ErrorKind::UnexpectedEof`] naming `expecting` if `delim`
+    /// never occurs.
+    pub fn take_until(
+        &mut self,
+        delim: &str,
+        expecting: &'static str,
+    ) -> Result<&'a str, XmlError> {
+        let start = self.pos.offset;
+        match self.rest().find(delim) {
+            Some(rel) => {
+                let end = start + rel;
+                // Walk char by char so line/column stay correct.
+                while self.pos.offset < end {
+                    self.bump();
+                }
+                let consumed = &self.input[start..end];
+                let eaten = self.eat(delim);
+                debug_assert!(eaten);
+                Ok(consumed)
+            }
+            None => Err(XmlError::new(ErrorKind::UnexpectedEof { expecting }, self.pos)),
+        }
+    }
+}
+
+/// Whether `ch` is whitespace per XML 1.0 §2.3.
+pub fn is_xml_whitespace(ch: char) -> bool {
+    matches!(ch, ' ' | '\t' | '\r' | '\n')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bump_tracks_lines_and_columns() {
+        let mut c = Cursor::new("ab\ncd");
+        assert_eq!(c.bump(), Some('a'));
+        assert_eq!(c.position().column, 2);
+        c.bump();
+        c.bump(); // newline
+        let p = c.position();
+        assert_eq!((p.line, p.column), (2, 1));
+        assert_eq!(c.bump(), Some('c'));
+        assert_eq!(c.position().column, 2);
+    }
+
+    #[test]
+    fn eat_only_consumes_on_match() {
+        let mut c = Cursor::new("<?xml");
+        assert!(!c.eat("<!"));
+        assert_eq!(c.position().offset, 0);
+        assert!(c.eat("<?"));
+        assert_eq!(c.rest(), "xml");
+    }
+
+    #[test]
+    fn take_until_returns_prefix_and_eats_delimiter() {
+        let mut c = Cursor::new("hello-->rest");
+        let got = c.take_until("-->", "comment close").unwrap();
+        assert_eq!(got, "hello");
+        assert_eq!(c.rest(), "rest");
+    }
+
+    #[test]
+    fn take_until_missing_delimiter_is_eof_error() {
+        let mut c = Cursor::new("hello");
+        let err = c.take_until("-->", "comment close").unwrap_err();
+        assert!(matches!(err.kind(), ErrorKind::UnexpectedEof { .. }));
+    }
+
+    #[test]
+    fn take_while_stops_at_predicate_boundary() {
+        let mut c = Cursor::new("abc123");
+        assert_eq!(c.take_while(|ch| ch.is_ascii_alphabetic()), "abc");
+        assert_eq!(c.rest(), "123");
+    }
+
+    #[test]
+    fn skip_whitespace_reports_presence() {
+        let mut c = Cursor::new("  x");
+        assert!(c.skip_whitespace());
+        assert!(!c.skip_whitespace());
+        assert_eq!(c.peek(), Some('x'));
+    }
+
+    #[test]
+    fn multibyte_characters_advance_by_full_width() {
+        let mut c = Cursor::new("é<");
+        assert_eq!(c.bump(), Some('é'));
+        assert_eq!(c.peek(), Some('<'));
+        assert_eq!(c.position().offset, 'é'.len_utf8());
+    }
+}

@@ -1,0 +1,171 @@
+//! Entity escaping and unescaping.
+
+use crate::error::{ErrorKind, Position, XmlError};
+
+/// Escapes text content: `&`, `<`, `>` become entity references.
+///
+/// `>` is escaped too (it is only mandatory in the `]]>` sequence, but
+/// escaping it unconditionally is harmless and keeps output canonical).
+pub fn escape_text(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len());
+    for ch in raw.chars() {
+        match ch {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            _ => out.push(ch),
+        }
+    }
+    out
+}
+
+/// Escapes an attribute value for inclusion in double quotes.
+pub fn escape_attribute(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len());
+    for ch in raw.chars() {
+        match ch {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            // Literal tabs/newlines in attribute values would be
+            // normalized to spaces on re-parse; keep them round-trippable.
+            '\n' => out.push_str("&#10;"),
+            '\r' => out.push_str("&#13;"),
+            '\t' => out.push_str("&#9;"),
+            _ => out.push(ch),
+        }
+    }
+    out
+}
+
+/// Resolves a single entity body (the text between `&` and `;`).
+///
+/// Handles the five predefined entities and decimal/hex character
+/// references.
+///
+/// # Errors
+///
+/// Returns [`ErrorKind::UnknownEntity`] or [`ErrorKind::InvalidCharRef`]
+/// at `pos`.
+pub fn resolve_entity(entity: &str, pos: Position) -> Result<char, XmlError> {
+    match entity {
+        "lt" => Ok('<'),
+        "gt" => Ok('>'),
+        "amp" => Ok('&'),
+        "apos" => Ok('\''),
+        "quot" => Ok('"'),
+        _ => {
+            if let Some(body) = entity.strip_prefix('#') {
+                let value = if let Some(hex) = body.strip_prefix('x').or_else(|| body.strip_prefix('X')) {
+                    u32::from_str_radix(hex, 16)
+                } else {
+                    body.parse::<u32>()
+                };
+                value
+                    .ok()
+                    .and_then(char::from_u32)
+                    .filter(|ch| is_xml_char(*ch))
+                    .ok_or_else(|| {
+                        XmlError::new(
+                            ErrorKind::InvalidCharRef { reference: entity.to_owned() },
+                            pos,
+                        )
+                    })
+            } else {
+                Err(XmlError::new(ErrorKind::UnknownEntity { entity: entity.to_owned() }, pos))
+            }
+        }
+    }
+}
+
+/// Unescapes a string that may contain entity and character references.
+///
+/// # Errors
+///
+/// Propagates the errors of [`resolve_entity`], and reports an
+/// [`ErrorKind::UnexpectedEof`] style error if a `&` is never closed by
+/// `;`.
+pub fn unescape(raw: &str, pos: Position) -> Result<String, XmlError> {
+    if !raw.contains('&') {
+        return Ok(raw.to_owned());
+    }
+    let mut out = String::with_capacity(raw.len());
+    let mut rest = raw;
+    while let Some(amp) = rest.find('&') {
+        out.push_str(&rest[..amp]);
+        let after = &rest[amp + 1..];
+        let semi = after.find(';').ok_or_else(|| {
+            XmlError::new(ErrorKind::UnexpectedEof { expecting: "';' closing an entity" }, pos)
+        })?;
+        out.push(resolve_entity(&after[..semi], pos)?);
+        rest = &after[semi + 1..];
+    }
+    out.push_str(rest);
+    Ok(out)
+}
+
+/// Whether `ch` is a legal XML 1.0 character.
+pub fn is_xml_char(ch: char) -> bool {
+    matches!(ch,
+        '\u{9}' | '\u{A}' | '\u{D}'
+        | '\u{20}'..='\u{D7FF}'
+        | '\u{E000}'..='\u{FFFD}'
+        | '\u{10000}'..='\u{10FFFF}')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p() -> Position {
+        Position::start()
+    }
+
+    #[test]
+    fn escape_then_unescape_is_identity_for_specials() {
+        let raw = "a<b&c>\"d'e";
+        assert_eq!(unescape(&escape_text(raw), p()).unwrap(), raw);
+        assert_eq!(unescape(&escape_attribute(raw), p()).unwrap(), raw);
+    }
+
+    #[test]
+    fn predefined_entities_resolve() {
+        assert_eq!(unescape("&lt;&gt;&amp;&apos;&quot;", p()).unwrap(), "<>&'\"");
+    }
+
+    #[test]
+    fn numeric_references_decimal_and_hex() {
+        assert_eq!(unescape("&#65;&#x42;&#x63;", p()).unwrap(), "ABc");
+    }
+
+    #[test]
+    fn unknown_entity_is_rejected() {
+        let err = unescape("&nbsp;", p()).unwrap_err();
+        assert!(matches!(err.kind(), ErrorKind::UnknownEntity { .. }));
+    }
+
+    #[test]
+    fn char_ref_to_illegal_code_point_is_rejected() {
+        // 0x0 is not an XML char; 0xD800 is a surrogate.
+        assert!(unescape("&#0;", p()).is_err());
+        assert!(unescape("&#xD800;", p()).is_err());
+    }
+
+    #[test]
+    fn unterminated_entity_is_rejected() {
+        assert!(unescape("tail &amp", p()).is_err());
+    }
+
+    #[test]
+    fn attribute_escaping_preserves_whitespace_exactly() {
+        let raw = "line1\nline2\ttabbed";
+        assert_eq!(unescape(&escape_attribute(raw), p()).unwrap(), raw);
+    }
+
+    #[test]
+    fn plain_text_passes_through_without_allocation_surprises() {
+        assert_eq!(unescape("plain text", p()).unwrap(), "plain text");
+        assert_eq!(escape_text("plain"), "plain");
+    }
+}

@@ -1,0 +1,52 @@
+//! A self-contained XML 1.0 parser and writer.
+//!
+//! This crate is the parsing substrate of the Open Metadata Formats
+//! reproduction. The original `xml2wire` tool (Widener, Schwan &
+//! Eisenhauer, GIT-CC-00-21) used off-the-shelf parsers such as expat or
+//! Xerces; per the reproduction ground rules every substrate is built from
+//! scratch, so this crate provides:
+//!
+//! * a byte-[`Cursor`](cursor::Cursor) with line/column tracking,
+//! * a pull [`Reader`] producing [`Event`]s (start/end tags, text, CDATA,
+//!   comments, processing instructions, the XML declaration),
+//! * a [`Document`]/[`Element`] DOM built on top of the pull reader,
+//! * namespace resolution ([`namespace::NamespaceResolver`], [`QName`]),
+//! * a configurable [`Writer`] that serializes DOM trees back to XML.
+//!
+//! The dialect implemented is the subset needed for metadata documents:
+//! well-formed XML 1.0 with the five predefined entities, numeric
+//! character references, CDATA sections, comments, processing
+//! instructions, and a skipped-but-validated `<!DOCTYPE ...>` declaration.
+//! It is a non-validating processor in the sense of the XML spec.
+//!
+//! # Examples
+//!
+//! ```
+//! # fn main() -> Result<(), xmlparse::XmlError> {
+//! let doc = xmlparse::Document::parse_str(
+//!     "<greeting kind=\"warm\">hello <b>world</b></greeting>",
+//! )?;
+//! assert_eq!(doc.root.name, "greeting");
+//! assert_eq!(doc.root.attr("kind"), Some("warm"));
+//! assert_eq!(doc.root.text_content(), "hello world");
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cursor;
+pub mod dom;
+pub mod error;
+pub mod escape;
+pub mod namespace;
+pub mod qname;
+pub mod reader;
+pub mod writer;
+
+pub use dom::{Document, Element, Node};
+pub use error::{ErrorKind, Position, XmlError};
+pub use qname::QName;
+pub use reader::{Attribute, Event, Reader, XmlDecl};
+pub use writer::{Writer, WriterConfig};

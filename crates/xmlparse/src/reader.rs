@@ -1,0 +1,595 @@
+//! The pull parser: a streaming [`Reader`] producing [`Event`]s.
+
+use crate::cursor::{is_xml_whitespace, Cursor};
+use crate::error::{ErrorKind, Position, XmlError};
+use crate::escape::unescape;
+use crate::qname::{is_name_char, is_name_start_char};
+
+/// A single `name="value"` attribute as parsed from a start tag.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Attribute {
+    /// The attribute name exactly as written (possibly prefixed).
+    pub name: String,
+    /// The attribute value with entities resolved.
+    pub value: String,
+}
+
+impl Attribute {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, value: impl Into<String>) -> Self {
+        Attribute { name: name.into(), value: value.into() }
+    }
+}
+
+/// The `<?xml ...?>` declaration, if the document has one.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct XmlDecl {
+    /// The `version` pseudo-attribute (usually `"1.0"`).
+    pub version: String,
+    /// The `encoding` pseudo-attribute, if present.
+    pub encoding: Option<String>,
+    /// The `standalone` pseudo-attribute, if present.
+    pub standalone: Option<String>,
+}
+
+/// A parse event produced by [`Reader::next_event`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// The XML declaration. Emitted at most once, first.
+    XmlDecl(XmlDecl),
+    /// `<name attr="v" ...>`; for an empty-element tag (`<name/>`) this is
+    /// immediately followed by a matching [`Event::EndElement`].
+    StartElement {
+        /// Element name as written.
+        name: String,
+        /// Attributes in document order.
+        attributes: Vec<Attribute>,
+    },
+    /// `</name>` (or the synthetic end of an empty-element tag).
+    EndElement {
+        /// Element name as written.
+        name: String,
+    },
+    /// Character data with entities resolved. Whitespace-only runs are
+    /// still reported; DOM construction decides what to keep.
+    Text(String),
+    /// A `<![CDATA[...]]>` section, verbatim.
+    CData(String),
+    /// A `<!-- ... -->` comment, verbatim (without delimiters).
+    Comment(String),
+    /// A `<?target data?>` processing instruction.
+    ProcessingInstruction {
+        /// The PI target.
+        target: String,
+        /// Everything between the target and `?>`, trimmed of one leading
+        /// space.
+        data: String,
+    },
+    /// A `<!DOCTYPE ...>` declaration; the raw body is preserved but not
+    /// interpreted (this is a non-validating processor).
+    Doctype(String),
+    /// End of input after the root element closed.
+    Eof,
+}
+
+/// A streaming pull parser over a `&str`.
+///
+/// The reader enforces well-formedness: tags must nest and match, a
+/// document has exactly one root element, attribute names are unique per
+/// element, and names are syntactically valid.
+///
+/// ```
+/// use xmlparse::{Event, Reader};
+/// # fn main() -> Result<(), xmlparse::XmlError> {
+/// let mut r = Reader::new("<a><b/>text</a>");
+/// assert!(matches!(r.next_event()?, Event::StartElement { name, .. } if name == "a"));
+/// assert!(matches!(r.next_event()?, Event::StartElement { name, .. } if name == "b"));
+/// assert!(matches!(r.next_event()?, Event::EndElement { name } if name == "b"));
+/// assert!(matches!(r.next_event()?, Event::Text(t) if t == "text"));
+/// assert!(matches!(r.next_event()?, Event::EndElement { name } if name == "a"));
+/// assert!(matches!(r.next_event()?, Event::Eof));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Reader<'a> {
+    cursor: Cursor<'a>,
+    open: Vec<String>,
+    /// Synthetic end-tag queued by an empty-element tag.
+    pending_end: Option<String>,
+    seen_root: bool,
+    root_closed: bool,
+    produced_first: bool,
+}
+
+impl<'a> Reader<'a> {
+    /// Creates a reader over `input`.
+    pub fn new(input: &'a str) -> Self {
+        Reader {
+            cursor: Cursor::new(input),
+            open: Vec::new(),
+            pending_end: None,
+            seen_root: false,
+            root_closed: false,
+            produced_first: false,
+        }
+    }
+
+    /// The current position in the input.
+    pub fn position(&self) -> Position {
+        self.cursor.position()
+    }
+
+    /// Parses and returns the next event.
+    ///
+    /// # Errors
+    ///
+    /// Any well-formedness violation is reported as an [`XmlError`] with
+    /// the position of the offending construct. After an error the reader
+    /// state is unspecified and parsing should not continue.
+    pub fn next_event(&mut self) -> Result<Event, XmlError> {
+        if let Some(name) = self.pending_end.take() {
+            let popped = self.open.pop();
+            debug_assert_eq!(popped.as_deref(), Some(name.as_str()));
+            self.note_element_closed();
+            return Ok(Event::EndElement { name });
+        }
+
+        // XML declaration is only legal as the very first bytes.
+        if !self.produced_first {
+            self.produced_first = true;
+            if self.cursor.rest().starts_with("<?xml")
+                && self
+                    .cursor
+                    .rest()
+                    .chars()
+                    .nth(5)
+                    .is_some_and(|ch| is_xml_whitespace(ch) || ch == '?')
+            {
+                return self.parse_xml_decl();
+            }
+        }
+
+        if self.cursor.is_at_end() {
+            return self.finish();
+        }
+
+        if self.open.is_empty() {
+            // Between top-level constructs only whitespace, comments, PIs
+            // and the DOCTYPE are legal.
+            if self.cursor.peek() != Some('<') {
+                let pos = self.cursor.position();
+                let text = self.cursor.take_while(|ch| ch != '<');
+                if text.chars().all(is_xml_whitespace) {
+                    if self.cursor.is_at_end() {
+                        return self.finish();
+                    }
+                } else {
+                    return Err(XmlError::new(ErrorKind::ContentOutsideRoot, pos));
+                }
+            }
+            return self.parse_markup();
+        }
+
+        match self.cursor.peek() {
+            Some('<') => self.parse_markup(),
+            Some(_) => self.parse_text(),
+            None => self.finish(),
+        }
+    }
+
+    /// Runs the reader to completion, collecting all events (excluding the
+    /// final [`Event::Eof`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first parse error.
+    pub fn collect_events(mut self) -> Result<Vec<Event>, XmlError> {
+        let mut events = Vec::new();
+        loop {
+            match self.next_event()? {
+                Event::Eof => return Ok(events),
+                event => events.push(event),
+            }
+        }
+    }
+
+    fn finish(&mut self) -> Result<Event, XmlError> {
+        if let Some(name) = self.open.last() {
+            return Err(XmlError::new(
+                ErrorKind::UnclosedElement { name: name.clone() },
+                self.cursor.position(),
+            ));
+        }
+        if !self.seen_root {
+            return Err(XmlError::new(ErrorKind::NoRootElement, self.cursor.position()));
+        }
+        Ok(Event::Eof)
+    }
+
+    fn note_element_opened(&mut self, name: &str) -> Result<(), XmlError> {
+        if self.open.is_empty() {
+            if self.root_closed {
+                return Err(XmlError::new(
+                    ErrorKind::ContentOutsideRoot,
+                    self.cursor.position(),
+                ));
+            }
+            self.seen_root = true;
+        }
+        self.open.push(name.to_owned());
+        Ok(())
+    }
+
+    fn note_element_closed(&mut self) {
+        if self.open.is_empty() {
+            self.root_closed = true;
+        }
+    }
+
+    fn parse_xml_decl(&mut self) -> Result<Event, XmlError> {
+        self.cursor.expect("<?xml", "the XML declaration")?;
+        let mut decl = XmlDecl { version: "1.0".to_owned(), ..XmlDecl::default() };
+        loop {
+            self.cursor.skip_whitespace();
+            if self.cursor.eat("?>") {
+                break;
+            }
+            let pos = self.cursor.position();
+            let name = self.parse_name()?;
+            self.cursor.skip_whitespace();
+            self.cursor.expect("=", "'=' in the XML declaration")?;
+            self.cursor.skip_whitespace();
+            let value = self.parse_quoted_value()?;
+            match name.as_str() {
+                "version" => decl.version = value,
+                "encoding" => decl.encoding = Some(value),
+                "standalone" => decl.standalone = Some(value),
+                _ => {
+                    return Err(XmlError::custom(
+                        format!("unknown XML declaration attribute {name:?}"),
+                        pos,
+                    ))
+                }
+            }
+        }
+        Ok(Event::XmlDecl(decl))
+    }
+
+    fn parse_markup(&mut self) -> Result<Event, XmlError> {
+        debug_assert_eq!(self.cursor.peek(), Some('<'));
+        if self.cursor.eat("<!--") {
+            let body = self.cursor.take_until("-->", "'-->' closing a comment")?;
+            return Ok(Event::Comment(body.to_owned()));
+        }
+        if self.cursor.eat("<![CDATA[") {
+            if self.open.is_empty() {
+                return Err(XmlError::new(
+                    ErrorKind::ContentOutsideRoot,
+                    self.cursor.position(),
+                ));
+            }
+            let body = self.cursor.take_until("]]>", "']]>' closing CDATA")?;
+            return Ok(Event::CData(body.to_owned()));
+        }
+        if self.cursor.rest().starts_with("<!DOCTYPE") {
+            return self.parse_doctype();
+        }
+        if self.cursor.eat("<?") {
+            let target = self.parse_name()?;
+            let raw = self.cursor.take_until("?>", "'?>' closing a processing instruction")?;
+            let data = raw.strip_prefix(|ch| is_xml_whitespace(ch)).unwrap_or(raw);
+            return Ok(Event::ProcessingInstruction { target, data: data.to_owned() });
+        }
+        if self.cursor.rest().starts_with("</") {
+            return self.parse_end_tag();
+        }
+        self.parse_start_tag()
+    }
+
+    fn parse_doctype(&mut self) -> Result<Event, XmlError> {
+        let start = self.cursor.position();
+        self.cursor.expect("<!DOCTYPE", "a DOCTYPE declaration")?;
+        // Scan to the matching '>', honouring an internal subset in [...].
+        let mut depth: usize = 0;
+        let mut body = String::new();
+        loop {
+            let ch = self.cursor.bump().ok_or_else(|| {
+                XmlError::new(
+                    ErrorKind::UnexpectedEof { expecting: "'>' closing DOCTYPE" },
+                    start,
+                )
+            })?;
+            match ch {
+                '[' => depth += 1,
+                ']' => depth = depth.saturating_sub(1),
+                '>' if depth == 0 => break,
+                _ => {}
+            }
+            body.push(ch);
+        }
+        Ok(Event::Doctype(body.trim().to_owned()))
+    }
+
+    fn parse_start_tag(&mut self) -> Result<Event, XmlError> {
+        self.cursor.expect("<", "a start tag")?;
+        let name = self.parse_name()?;
+        let mut attributes: Vec<Attribute> = Vec::new();
+        loop {
+            let had_space = self.cursor.skip_whitespace();
+            if self.cursor.eat("/>") {
+                self.note_element_opened(&name)?;
+                self.pending_end = Some(name.clone());
+                return Ok(Event::StartElement { name, attributes });
+            }
+            if self.cursor.eat(">") {
+                self.note_element_opened(&name)?;
+                return Ok(Event::StartElement { name, attributes });
+            }
+            if !had_space {
+                let pos = self.cursor.position();
+                let found = self.cursor.peek().ok_or_else(|| {
+                    XmlError::new(
+                        ErrorKind::UnexpectedEof { expecting: "'>' closing a start tag" },
+                        pos,
+                    )
+                })?;
+                return Err(XmlError::new(
+                    ErrorKind::UnexpectedChar {
+                        found,
+                        expecting: "whitespace, '>' or '/>' in a start tag",
+                    },
+                    pos,
+                ));
+            }
+            let attr_pos = self.cursor.position();
+            let attr_name = self.parse_name()?;
+            if attributes.iter().any(|a| a.name == attr_name) {
+                return Err(XmlError::new(
+                    ErrorKind::DuplicateAttribute { name: attr_name },
+                    attr_pos,
+                ));
+            }
+            self.cursor.skip_whitespace();
+            self.cursor.expect("=", "'=' after an attribute name")?;
+            self.cursor.skip_whitespace();
+            let value = self.parse_quoted_value()?;
+            attributes.push(Attribute { name: attr_name, value });
+        }
+    }
+
+    fn parse_end_tag(&mut self) -> Result<Event, XmlError> {
+        let pos = self.cursor.position();
+        self.cursor.expect("</", "an end tag")?;
+        let name = self.parse_name()?;
+        self.cursor.skip_whitespace();
+        self.cursor.expect(">", "'>' closing an end tag")?;
+        match self.open.pop() {
+            Some(expected) if expected == name => {
+                self.note_element_closed();
+                Ok(Event::EndElement { name })
+            }
+            Some(expected) => {
+                Err(XmlError::new(ErrorKind::MismatchedTag { expected, found: name }, pos))
+            }
+            None => Err(XmlError::new(ErrorKind::UnmatchedCloseTag { name }, pos)),
+        }
+    }
+
+    fn parse_text(&mut self) -> Result<Event, XmlError> {
+        let pos = self.cursor.position();
+        let raw = self.cursor.take_while(|ch| ch != '<');
+        if let Some(bad) = raw.find("]]>") {
+            let _ = bad;
+            return Err(XmlError::custom("']]>' is not allowed in character data", pos));
+        }
+        Ok(Event::Text(unescape(raw, pos)?))
+    }
+
+    fn parse_name(&mut self) -> Result<String, XmlError> {
+        let pos = self.cursor.position();
+        match self.cursor.peek() {
+            Some(ch) if is_name_start_char(ch) => {}
+            Some(found) => {
+                return Err(XmlError::new(
+                    ErrorKind::UnexpectedChar { found, expecting: "an XML name" },
+                    pos,
+                ))
+            }
+            None => {
+                return Err(XmlError::new(
+                    ErrorKind::UnexpectedEof { expecting: "an XML name" },
+                    pos,
+                ))
+            }
+        }
+        let name = self.cursor.take_while(is_name_char);
+        Ok(name.to_owned())
+    }
+
+    fn parse_quoted_value(&mut self) -> Result<String, XmlError> {
+        let pos = self.cursor.position();
+        let quote = match self.cursor.peek() {
+            Some(q @ ('"' | '\'')) => q,
+            Some(found) => {
+                return Err(XmlError::new(
+                    ErrorKind::UnexpectedChar { found, expecting: "a quoted attribute value" },
+                    pos,
+                ))
+            }
+            None => {
+                return Err(XmlError::new(
+                    ErrorKind::UnexpectedEof { expecting: "a quoted attribute value" },
+                    pos,
+                ))
+            }
+        };
+        self.cursor.bump();
+        let mut delim = [0u8; 4];
+        let delim = quote.encode_utf8(&mut delim);
+        let raw = self.cursor.take_until(delim, "the closing attribute quote")?;
+        if raw.contains('<') {
+            return Err(XmlError::custom("'<' is not allowed in attribute values", pos));
+        }
+        unescape(raw, pos)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn events(input: &str) -> Vec<Event> {
+        Reader::new(input).collect_events().unwrap()
+    }
+
+    fn err_kind(input: &str) -> ErrorKind {
+        Reader::new(input).collect_events().unwrap_err().kind().clone()
+    }
+
+    #[test]
+    fn minimal_document() {
+        assert_eq!(
+            events("<a/>"),
+            vec![
+                Event::StartElement { name: "a".into(), attributes: vec![] },
+                Event::EndElement { name: "a".into() },
+            ]
+        );
+    }
+
+    #[test]
+    fn xml_declaration_is_parsed() {
+        let evs = events("<?xml version=\"1.0\" encoding=\"UTF-8\"?><a/>");
+        match &evs[0] {
+            Event::XmlDecl(decl) => {
+                assert_eq!(decl.version, "1.0");
+                assert_eq!(decl.encoding.as_deref(), Some("UTF-8"));
+                assert_eq!(decl.standalone, None);
+            }
+            other => panic!("expected XmlDecl, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn attributes_in_order_with_entities() {
+        let evs = events("<a x=\"1\" y='two &amp; three'/>");
+        match &evs[0] {
+            Event::StartElement { attributes, .. } => {
+                assert_eq!(attributes[0], Attribute::new("x", "1"));
+                assert_eq!(attributes[1], Attribute::new("y", "two & three"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn nested_elements_and_text() {
+        let evs = events("<a>pre<b>inner</b>post</a>");
+        let names: Vec<String> = evs
+            .iter()
+            .map(|e| match e {
+                Event::StartElement { name, .. } => format!("+{name}"),
+                Event::EndElement { name } => format!("-{name}"),
+                Event::Text(t) => format!("t:{t}"),
+                other => format!("{other:?}"),
+            })
+            .collect();
+        assert_eq!(names, vec!["+a", "t:pre", "+b", "t:inner", "-b", "t:post", "-a"]);
+    }
+
+    #[test]
+    fn comments_cdata_and_pi() {
+        let evs = events("<a><!-- note --><![CDATA[1<2&3]]><?proc do it?></a>");
+        assert!(evs.contains(&Event::Comment(" note ".into())));
+        assert!(evs.contains(&Event::CData("1<2&3".into())));
+        assert!(evs.contains(&Event::ProcessingInstruction {
+            target: "proc".into(),
+            data: "do it".into()
+        }));
+    }
+
+    #[test]
+    fn doctype_with_internal_subset() {
+        let evs = events("<!DOCTYPE note [<!ELEMENT note (#PCDATA)>]><note/>");
+        assert!(matches!(&evs[0], Event::Doctype(body) if body.contains("ELEMENT")));
+    }
+
+    #[test]
+    fn mismatched_tags_are_rejected() {
+        assert!(matches!(err_kind("<a><b></a></b>"), ErrorKind::MismatchedTag { .. }));
+    }
+
+    #[test]
+    fn unmatched_close_is_rejected() {
+        assert!(matches!(err_kind("<a/></b>"), ErrorKind::ContentOutsideRoot | ErrorKind::UnmatchedCloseTag { .. }));
+    }
+
+    #[test]
+    fn unclosed_element_is_rejected() {
+        assert!(matches!(err_kind("<a><b></b>"), ErrorKind::UnclosedElement { .. }));
+    }
+
+    #[test]
+    fn two_roots_are_rejected() {
+        assert!(matches!(err_kind("<a/><b/>"), ErrorKind::ContentOutsideRoot));
+    }
+
+    #[test]
+    fn empty_input_has_no_root() {
+        assert!(matches!(err_kind("   "), ErrorKind::NoRootElement));
+    }
+
+    #[test]
+    fn duplicate_attribute_is_rejected() {
+        assert!(matches!(err_kind("<a x=\"1\" x=\"2\"/>"), ErrorKind::DuplicateAttribute { .. }));
+    }
+
+    #[test]
+    fn text_outside_root_is_rejected() {
+        assert!(matches!(err_kind("<a/>junk"), ErrorKind::ContentOutsideRoot));
+        assert!(matches!(err_kind("junk<a/>"), ErrorKind::ContentOutsideRoot));
+    }
+
+    #[test]
+    fn whitespace_and_comments_outside_root_are_fine() {
+        let evs = events("  <!-- head -->\n<a/>\n<!-- tail -->  ");
+        assert!(evs.iter().any(|e| matches!(e, Event::Comment(_))));
+    }
+
+    #[test]
+    fn bad_name_start_is_rejected() {
+        assert!(matches!(err_kind("<1a/>"), ErrorKind::UnexpectedChar { .. }));
+    }
+
+    #[test]
+    fn cdata_end_marker_in_text_is_rejected() {
+        assert!(matches!(err_kind("<a>oops ]]> here</a>"), ErrorKind::Custom { .. }));
+    }
+
+    #[test]
+    fn attribute_value_with_left_angle_is_rejected() {
+        assert!(matches!(err_kind("<a x=\"1<2\"/>"), ErrorKind::Custom { .. }));
+    }
+
+    #[test]
+    fn self_closing_with_attributes_and_space() {
+        let evs = events("<a b=\"c\" />");
+        assert_eq!(evs.len(), 2);
+    }
+
+    #[test]
+    fn error_positions_point_at_the_problem() {
+        let err = Reader::new("<a>\n  <b></c>\n</a>").collect_events().unwrap_err();
+        assert_eq!(err.position().line, 2);
+    }
+
+    #[test]
+    fn pi_named_xml_mid_document_is_a_plain_pi() {
+        // Only the very first bytes form an XML declaration.
+        let evs = events("<a><?xmlish data?></a>");
+        assert!(evs
+            .iter()
+            .any(|e| matches!(e, Event::ProcessingInstruction { target, .. } if target == "xmlish")));
+    }
+}

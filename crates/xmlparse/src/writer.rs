@@ -1,0 +1,230 @@
+//! XML serialization.
+
+use crate::dom::{Document, Element, Node};
+use crate::escape::{escape_attribute, escape_text};
+
+/// Formatting options for the [`Writer`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WriterConfig {
+    /// Pretty-print with newlines and indentation. When `false` the
+    /// output is a single line with no inter-element whitespace.
+    pub pretty: bool,
+    /// The string used for one indentation level (default two spaces).
+    pub indent: String,
+    /// Emit an `<?xml ...?>` declaration for documents that carry one.
+    pub emit_declaration: bool,
+}
+
+impl Default for WriterConfig {
+    fn default() -> Self {
+        WriterConfig { pretty: true, indent: "  ".to_owned(), emit_declaration: true }
+    }
+}
+
+/// Serializes [`Document`]s and [`Element`]s to strings.
+///
+/// ```
+/// use xmlparse::{Element, Writer};
+/// let el = Element::new("point").with_attr("x", "1").with_attr("y", "2");
+/// let xml = Writer::compact().element_to_string(&el);
+/// assert_eq!(xml, "<point x=\"1\" y=\"2\"/>");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Writer {
+    config: WriterConfig,
+}
+
+impl Writer {
+    /// A writer with the given configuration.
+    pub fn new(config: WriterConfig) -> Self {
+        Writer { config }
+    }
+
+    /// A writer producing single-line output (useful for wire formats).
+    pub fn compact() -> Self {
+        Writer::new(WriterConfig { pretty: false, ..WriterConfig::default() })
+    }
+
+    /// Serializes a whole document.
+    pub fn document_to_string(&self, doc: &Document) -> String {
+        let mut out = String::new();
+        if self.config.emit_declaration {
+            if let Some(decl) = &doc.decl {
+                out.push_str("<?xml version=\"");
+                out.push_str(&decl.version);
+                out.push('"');
+                if let Some(enc) = &decl.encoding {
+                    out.push_str(" encoding=\"");
+                    out.push_str(enc);
+                    out.push('"');
+                }
+                if let Some(sa) = &decl.standalone {
+                    out.push_str(" standalone=\"");
+                    out.push_str(sa);
+                    out.push('"');
+                }
+                out.push_str("?>");
+                if self.config.pretty {
+                    out.push('\n');
+                }
+            }
+        }
+        if let Some(doctype) = &doc.doctype {
+            out.push_str("<!DOCTYPE ");
+            out.push_str(doctype);
+            out.push('>');
+            if self.config.pretty {
+                out.push('\n');
+            }
+        }
+        self.write_element(&doc.root, 0, &mut out);
+        if self.config.pretty {
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Serializes a single element (and its subtree).
+    pub fn element_to_string(&self, element: &Element) -> String {
+        let mut out = String::new();
+        self.write_element(element, 0, &mut out);
+        out
+    }
+
+    fn write_indent(&self, depth: usize, out: &mut String) {
+        if self.config.pretty {
+            for _ in 0..depth {
+                out.push_str(&self.config.indent);
+            }
+        }
+    }
+
+    fn write_element(&self, element: &Element, depth: usize, out: &mut String) {
+        out.push('<');
+        out.push_str(&element.name);
+        for attr in &element.attributes {
+            out.push(' ');
+            out.push_str(&attr.name);
+            out.push_str("=\"");
+            out.push_str(&escape_attribute(&attr.value));
+            out.push('"');
+        }
+        if element.children.is_empty() {
+            out.push_str("/>");
+            return;
+        }
+        out.push('>');
+
+        // Mixed content (any text child) is written inline to preserve the
+        // text exactly; element-only content may be pretty-printed.
+        let has_text = element
+            .children
+            .iter()
+            .any(|n| matches!(n, Node::Text(_) | Node::CData(_)));
+        let indent_children = self.config.pretty && !has_text;
+
+        for child in &element.children {
+            if indent_children {
+                out.push('\n');
+                self.write_indent(depth + 1, out);
+            }
+            match child {
+                Node::Element(el) => self.write_element(el, depth + 1, out),
+                Node::Text(text) => out.push_str(&escape_text(text)),
+                Node::CData(text) => {
+                    out.push_str("<![CDATA[");
+                    out.push_str(text);
+                    out.push_str("]]>");
+                }
+                Node::Comment(text) => {
+                    out.push_str("<!--");
+                    out.push_str(text);
+                    out.push_str("-->");
+                }
+                Node::ProcessingInstruction { target, data } => {
+                    out.push_str("<?");
+                    out.push_str(target);
+                    if !data.is_empty() {
+                        out.push(' ');
+                        out.push_str(data);
+                    }
+                    out.push_str("?>");
+                }
+            }
+        }
+        if indent_children {
+            out.push('\n');
+            self.write_indent(depth, out);
+        }
+        out.push_str("</");
+        out.push_str(&element.name);
+        out.push('>');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dom::Document;
+
+    #[test]
+    fn compact_output_has_no_extra_whitespace() {
+        let el = Element::new("a").with_child(Element::new("b").with_text("x"));
+        assert_eq!(Writer::compact().element_to_string(&el), "<a><b>x</b></a>");
+    }
+
+    #[test]
+    fn pretty_output_indents_element_only_content() {
+        let el = Element::new("a").with_child(Element::new("b"));
+        let xml = Writer::default().element_to_string(&el);
+        assert_eq!(xml, "<a>\n  <b/>\n</a>");
+    }
+
+    #[test]
+    fn mixed_content_is_not_reindented() {
+        let el = Element::new("a").with_text("one ").with_child(Element::new("b"));
+        let xml = Writer::default().element_to_string(&el);
+        assert_eq!(xml, "<a>one <b/></a>");
+    }
+
+    #[test]
+    fn attributes_and_text_are_escaped() {
+        let el = Element::new("a").with_attr("q", "say \"hi\" & go").with_text("1 < 2");
+        let xml = Writer::compact().element_to_string(&el);
+        assert!(xml.contains("&quot;hi&quot; &amp; go"), "{xml}");
+        assert!(xml.contains("1 &lt; 2"), "{xml}");
+    }
+
+    #[test]
+    fn declaration_is_emitted_for_documents() {
+        let doc = Document::new(Element::new("root"));
+        let xml = doc.to_xml_string();
+        assert!(xml.starts_with("<?xml version=\"1.0\"?>"), "{xml}");
+    }
+
+    #[test]
+    fn cdata_round_trips() {
+        let mut el = Element::new("a");
+        el.children.push(Node::CData("x < y".into()));
+        let xml = Writer::compact().element_to_string(&el);
+        assert_eq!(xml, "<a><![CDATA[x < y]]></a>");
+        let doc = Document::parse_str(&xml).unwrap();
+        assert_eq!(doc.root.text_content(), "x < y");
+    }
+
+    #[test]
+    fn write_then_parse_preserves_structure() {
+        let original = Element::new("schema")
+            .with_attr("targetNamespace", "urn:x")
+            .with_child(
+                Element::new("complexType")
+                    .with_attr("name", "T")
+                    .with_child(Element::new("element").with_attr("name", "f")),
+            );
+        for writer in [Writer::default(), Writer::compact()] {
+            let xml = writer.element_to_string(&original);
+            let doc = Document::parse_str(&xml).unwrap();
+            assert_eq!(doc.root, original, "via {xml}");
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Property tests: arbitrary DOM trees survive a write→parse round trip,
+//! and arbitrary text survives escaping.
+
+use proptest::prelude::*;
+use xmlparse::{Document, Element, Writer};
+
+/// Strategy for XML names (conservative ASCII subset).
+fn name_strategy() -> impl Strategy<Value = String> {
+    "[A-Za-z_][A-Za-z0-9_.-]{0,11}".prop_filter("avoid xml-reserved names", |s| {
+        !s.eq_ignore_ascii_case("xml") && !s.starts_with("xmlns")
+    })
+}
+
+/// Strategy for text content, including characters that need escaping.
+/// Excludes control characters, which are not legal XML chars.
+fn text_strategy() -> impl Strategy<Value = String> {
+    proptest::collection::vec(
+        prop_oneof![
+            Just('<'),
+            Just('>'),
+            Just('&'),
+            Just('"'),
+            Just('\''),
+            proptest::char::range('a', 'z'),
+            proptest::char::range('A', 'Z'),
+            proptest::char::range('0', '9'),
+            Just(' '),
+            Just('é'),
+            Just('λ'),
+        ],
+        1..40,
+    )
+    .prop_map(|chars| chars.into_iter().collect())
+}
+
+fn element_strategy() -> impl Strategy<Value = Element> {
+    let leaf = (name_strategy(), proptest::collection::vec((name_strategy(), text_strategy()), 0..4))
+        .prop_map(|(name, attrs)| {
+            let mut el = Element::new(name);
+            for (aname, avalue) in attrs {
+                if el.attr(&aname).is_none() {
+                    el = el.with_attr(aname, avalue);
+                }
+            }
+            el
+        });
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        (
+            name_strategy(),
+            proptest::collection::vec((name_strategy(), text_strategy()), 0..3),
+            proptest::collection::vec(inner, 0..4),
+            proptest::option::of(text_strategy()),
+        )
+            .prop_map(|(name, attrs, children, text)| {
+                let mut el = Element::new(name);
+                for (aname, avalue) in attrs {
+                    if el.attr(&aname).is_none() {
+                        el = el.with_attr(aname, avalue);
+                    }
+                }
+                // A single optional text child keeps mixed-content
+                // comparisons well-defined (whitespace-only text nodes
+                // between elements are dropped by the DOM parser).
+                if let Some(t) = text {
+                    if !t.trim().is_empty() {
+                        el = el.with_text(t);
+                    }
+                }
+                for child in children {
+                    el = el.with_child(child);
+                }
+                el
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn write_parse_round_trip_pretty(el in element_strategy()) {
+        let xml = Writer::default().element_to_string(&el);
+        let doc = Document::parse_str(&xml).unwrap();
+        prop_assert_eq!(doc.root, el);
+    }
+
+    #[test]
+    fn write_parse_round_trip_compact(el in element_strategy()) {
+        let xml = Writer::compact().element_to_string(&el);
+        let doc = Document::parse_str(&xml).unwrap();
+        prop_assert_eq!(doc.root, el);
+    }
+
+    #[test]
+    fn escape_unescape_round_trip(text in text_strategy()) {
+        let escaped = xmlparse::escape::escape_text(&text);
+        let back = xmlparse::escape::unescape(&escaped, xmlparse::Position::start()).unwrap();
+        prop_assert_eq!(back, text);
+    }
+
+    #[test]
+    fn attribute_escape_round_trip(text in text_strategy()) {
+        let escaped = xmlparse::escape::escape_attribute(&text);
+        let back = xmlparse::escape::unescape(&escaped, xmlparse::Position::start()).unwrap();
+        prop_assert_eq!(back, text);
+    }
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_input(input in "\\PC{0,200}") {
+        // Errors are fine; panics are not.
+        let _ = Document::parse_str(&input);
+    }
+}

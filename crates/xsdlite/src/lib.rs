@@ -1,0 +1,59 @@
+//! An XML Schema subset for describing message formats.
+//!
+//! This crate implements the metadata language of the Open Metadata
+//! Formats paper (§4.1.1): message formats are `xsd:complexType`
+//! definitions whose `xsd:element` children reference either XML Schema
+//! primitive datatypes or previously defined complex types, with array
+//! semantics expressed through `maxOccurs`:
+//!
+//! * a numeric `maxOccurs` is a **fixed-size array** laid out inline,
+//! * `maxOccurs="*"` (also `"unbounded"`) is a **dynamically allocated
+//!   array**, and
+//! * a string-valued `maxOccurs` names a sibling integer element that
+//!   holds the **runtime element count** (the paper's `eta`/`eta_count`
+//!   idiom).
+//!
+//! Both the 1999-draft datatype spellings the paper uses
+//! (`xsd:unsigned-long`) and the final 2001 recommendation spellings
+//! (`xsd:unsignedLong`) are accepted, as are the corresponding namespace
+//! URIs.
+//!
+//! The crate parses schema documents into a [`Schema`] model
+//! ([`parser`]), writes models back out as XML ([`writer`]) — used by the
+//! metadata server to generate scoped schemas dynamically — and validates
+//! XML *instance* documents against a schema ([`validate`]), which is the
+//! paper's "schema-checking tools will be applicable to live messages".
+//!
+//! # Examples
+//!
+//! ```
+//! # fn main() -> Result<(), xsdlite::SchemaError> {
+//! let doc = "<xsd:schema xmlns:xsd=\"http://www.w3.org/1999/XMLSchema\"
+//!                        targetNamespace=\"urn:example\">
+//!   <xsd:complexType name=\"Point\">
+//!     <xsd:element name=\"x\" type=\"xsd:double\"/>
+//!     <xsd:element name=\"y\" type=\"xsd:double\"/>
+//!     <xsd:element name=\"label\" type=\"xsd:string\"/>
+//!   </xsd:complexType>
+//! </xsd:schema>";
+//! let schema = xsdlite::Schema::parse_str(doc)?;
+//! let point = schema.complex_type("Point").unwrap();
+//! assert_eq!(point.elements.len(), 3);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod datatypes;
+pub mod error;
+pub mod model;
+pub mod parser;
+pub mod validate;
+pub mod writer;
+
+pub use datatypes::XsdType;
+pub use error::SchemaError;
+pub use model::{ComplexType, ElementDecl, Occurs, Schema, TypeRef};
+pub use validate::{best_match, match_score, validate_instance, ValidationIssue};

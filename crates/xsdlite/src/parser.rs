@@ -1,0 +1,711 @@
+//! Parsing schema documents into the [`Schema`] model.
+
+use std::collections::HashMap;
+
+use xmlparse::namespace::NamespaceResolver;
+use xmlparse::{Document, Element};
+
+use crate::datatypes::{is_xsd_namespace, XsdType};
+use crate::error::SchemaError;
+use crate::model::{ComplexType, ElementDecl, Facet, Occurs, Schema, SimpleType, TypeRef};
+
+/// Parses a schema from its textual XML form.
+///
+/// # Errors
+///
+/// See [`SchemaError`].
+pub fn parse_schema_str(input: &str) -> Result<Schema, SchemaError> {
+    let doc = Document::parse_str(input)?;
+    parse_schema_document(&doc)
+}
+
+/// Parses a schema from an already-parsed XML document.
+///
+/// # Errors
+///
+/// See [`SchemaError`].
+pub fn parse_schema_document(doc: &Document) -> Result<Schema, SchemaError> {
+    let root = &doc.root;
+    let mut resolver = NamespaceResolver::new();
+    resolver.push_scope(root);
+
+    if root.local_name() != "schema" || !in_xsd_namespace(root, &resolver) {
+        return Err(SchemaError::NotASchema { found: root.name.clone() });
+    }
+
+    let mut schema = Schema {
+        target_namespace: root.attr("targetNamespace").map(str::to_owned),
+        documentation: None,
+        complex_types: Vec::new(),
+        simple_types: Vec::new(),
+    };
+
+    for child in root.child_elements() {
+        resolver.push_scope(child);
+        let result = match child.local_name() {
+            "annotation" if in_xsd_namespace(child, &resolver) => {
+                schema.documentation = documentation_text(child);
+                Ok(())
+            }
+            "complexType" if in_xsd_namespace(child, &resolver) => {
+                parse_complex_type(child, &mut resolver)
+                    .and_then(|ty| schema.add_complex_type(ty))
+            }
+            "simpleType" if in_xsd_namespace(child, &resolver) => {
+                parse_simple_type(child, &resolver, &schema)
+                    .and_then(|ty| schema.add_simple_type(ty))
+            }
+            // Unknown top-level constructs (simpleType, import, ...) are
+            // skipped: this is a subset processor, and the paper's tool
+            // likewise only consumed complexType definitions.
+            _ => Ok(()),
+        };
+        resolver.pop_scope();
+        result?;
+    }
+
+    // Element type references were parsed as Named; those that match a
+    // user-defined simple type are really Simple references.
+    rewrite_simple_refs(&mut schema);
+    resolve_schema(&schema)?;
+    Ok(schema)
+}
+
+/// Rewrites `Named` references that target simple types into `Simple`.
+fn rewrite_simple_refs(schema: &mut Schema) {
+    let simple_names: Vec<String> =
+        schema.simple_types.iter().map(|t| t.name.clone()).collect();
+    for ty in &mut schema.complex_types {
+        for el in &mut ty.elements {
+            if let TypeRef::Named(name) = &el.type_ref {
+                if simple_names.iter().any(|s| s == name) {
+                    el.type_ref = TypeRef::Simple(name.clone());
+                }
+            }
+        }
+    }
+}
+
+/// Parses `<xsd:simpleType name="..."><xsd:restriction base="...">
+/// facets... </xsd:restriction></xsd:simpleType>`. The base may be a
+/// primitive or a previously defined simple type (facets accumulate and
+/// the base bottoms out at the primitive).
+fn parse_simple_type(
+    el: &Element,
+    resolver: &NamespaceResolver,
+    schema: &Schema,
+) -> Result<SimpleType, SchemaError> {
+    let name = el
+        .attr("name")
+        .ok_or_else(|| SchemaError::MissingAttribute {
+            element: el.name.clone(),
+            attribute: "name".to_owned(),
+        })?
+        .to_owned();
+    let restriction = el
+        .child_elements()
+        .find(|c| c.local_name() == "restriction")
+        .ok_or_else(|| SchemaError::Invalid {
+            detail: format!(
+                "simpleType {name:?} has no <restriction> (only restriction is supported)"
+            ),
+        })?;
+    let base_attr = restriction.attr("base").ok_or_else(|| SchemaError::MissingAttribute {
+        element: format!("restriction in simpleType {name:?}"),
+        attribute: "base".to_owned(),
+    })?;
+
+    // Resolve the base: primitive, or a prior simple type (chained).
+    let (base, mut facets) = match resolve_type_ref(base_attr, resolver, &name)? {
+        TypeRef::Primitive(p) => (p, Vec::new()),
+        TypeRef::Named(base_name) | TypeRef::Simple(base_name) => {
+            match schema.simple_type(&base_name) {
+                Some(parent) => (parent.base, parent.facets.clone()),
+                None => {
+                    return Err(SchemaError::UnknownType {
+                        element: format!("simpleType {name}"),
+                        type_name: base_attr.to_owned(),
+                    })
+                }
+            }
+        }
+    };
+
+    let mut enumeration: Vec<String> = Vec::new();
+    for facet_el in restriction.child_elements() {
+        let value = || -> Result<&str, SchemaError> {
+            facet_el.attr("value").ok_or_else(|| SchemaError::MissingAttribute {
+                element: facet_el.name.clone(),
+                attribute: "value".to_owned(),
+            })
+        };
+        let numeric = |v: &str| -> Result<f64, SchemaError> {
+            v.trim().parse::<f64>().map_err(|_| SchemaError::Invalid {
+                detail: format!(
+                    "facet <{}> of simpleType {name:?} has non-numeric value {v:?}",
+                    facet_el.name
+                ),
+            })
+        };
+        let length = |v: &str| -> Result<usize, SchemaError> {
+            v.trim().parse::<usize>().map_err(|_| SchemaError::Invalid {
+                detail: format!(
+                    "facet <{}> of simpleType {name:?} has non-integer value {v:?}",
+                    facet_el.name
+                ),
+            })
+        };
+        match facet_el.local_name() {
+            "minInclusive" => facets.push(Facet::MinInclusive(numeric(value()?)?)),
+            "maxInclusive" => facets.push(Facet::MaxInclusive(numeric(value()?)?)),
+            "minExclusive" => facets.push(Facet::MinExclusive(numeric(value()?)?)),
+            "maxExclusive" => facets.push(Facet::MaxExclusive(numeric(value()?)?)),
+            "minLength" => facets.push(Facet::MinLength(length(value()?)?)),
+            "maxLength" => facets.push(Facet::MaxLength(length(value()?)?)),
+            "enumeration" => enumeration.push(value()?.to_owned()),
+            "annotation" => {}
+            other => {
+                return Err(SchemaError::Invalid {
+                    detail: format!(
+                        "unsupported facet <{other}> in simpleType {name:?}"
+                    ),
+                })
+            }
+        }
+    }
+    if !enumeration.is_empty() {
+        facets.push(Facet::Enumeration(enumeration));
+    }
+    Ok(SimpleType { name, base, facets })
+}
+
+fn in_xsd_namespace(el: &Element, resolver: &NamespaceResolver) -> bool {
+    match resolver.resolve(&el.name) {
+        Ok((Some(uri), _)) => is_xsd_namespace(&uri),
+        // Tolerate undeclared-but-conventional prefixes; real documents
+        // from the paper's era were frequently sloppy about this.
+        _ => matches!(el.prefix(), Some("xsd") | Some("xs") | None),
+    }
+}
+
+fn documentation_text(annotation: &Element) -> Option<String> {
+    annotation
+        .find_child("documentation")
+        .map(|d| d.text_content().trim().to_owned())
+        .filter(|s| !s.is_empty())
+}
+
+fn parse_complex_type(
+    el: &Element,
+    resolver: &mut NamespaceResolver,
+) -> Result<ComplexType, SchemaError> {
+    let name = el
+        .attr("name")
+        .ok_or_else(|| SchemaError::MissingAttribute {
+            element: el.name.clone(),
+            attribute: "name".to_owned(),
+        })?
+        .to_owned();
+    let mut ty = ComplexType::new(name, Vec::new());
+    collect_elements(el, resolver, &mut ty)?;
+    Ok(ty)
+}
+
+/// Gathers `xsd:element` children, descending through an optional
+/// `xsd:sequence`/`xsd:all` wrapper (2001-style schemas) and skipping
+/// annotations.
+fn collect_elements(
+    parent: &Element,
+    resolver: &mut NamespaceResolver,
+    ty: &mut ComplexType,
+) -> Result<(), SchemaError> {
+    for child in parent.child_elements() {
+        resolver.push_scope(child);
+        let result = match child.local_name() {
+            "annotation" if in_xsd_namespace(child, resolver) => {
+                if ty.documentation.is_none() {
+                    ty.documentation = documentation_text(child);
+                }
+                Ok(())
+            }
+            "sequence" | "all" if in_xsd_namespace(child, resolver) => {
+                collect_elements(child, resolver, ty)
+            }
+            "element" if in_xsd_namespace(child, resolver) => {
+                parse_element(child, resolver).and_then(|decl| {
+                    if ty.element(&decl.name).is_some() {
+                        Err(SchemaError::DuplicateElement {
+                            complex_type: ty.name.clone(),
+                            element: decl.name,
+                        })
+                    } else {
+                        ty.elements.push(decl);
+                        Ok(())
+                    }
+                })
+            }
+            other => Err(SchemaError::Invalid {
+                detail: format!(
+                    "unsupported construct <{other}> inside complexType {:?}",
+                    ty.name
+                ),
+            }),
+        };
+        resolver.pop_scope();
+        result?;
+    }
+    Ok(())
+}
+
+fn parse_element(
+    el: &Element,
+    resolver: &NamespaceResolver,
+) -> Result<ElementDecl, SchemaError> {
+    let name = el
+        .attr("name")
+        .ok_or_else(|| SchemaError::MissingAttribute {
+            element: el.name.clone(),
+            attribute: "name".to_owned(),
+        })?
+        .to_owned();
+    let type_attr = el.attr("type").ok_or_else(|| SchemaError::MissingAttribute {
+        element: format!("{} name=\"{name}\"", el.name),
+        attribute: "type".to_owned(),
+    })?;
+
+    let type_ref = resolve_type_ref(type_attr, resolver, &name)?;
+    let occurs = parse_occurs(el, &name)?;
+    Ok(ElementDecl { name, type_ref, occurs })
+}
+
+fn resolve_type_ref(
+    type_attr: &str,
+    resolver: &NamespaceResolver,
+    element: &str,
+) -> Result<TypeRef, SchemaError> {
+    let (prefix, local) = match type_attr.split_once(':') {
+        Some((p, l)) if !p.is_empty() => (Some(p), l),
+        _ => (None, type_attr),
+    };
+    let is_xsd = match prefix {
+        Some(p) => match resolver.uri_for(Some(p)) {
+            Some(uri) => is_xsd_namespace(uri),
+            None => p == "xsd" || p == "xs",
+        },
+        // Unprefixed type names reference user-defined complex types, as
+        // in the paper's `type="ASDOffEvent"`.
+        None => false,
+    };
+    if is_xsd {
+        XsdType::from_name(local)
+            .map(TypeRef::Primitive)
+            .ok_or_else(|| SchemaError::UnknownType {
+                element: element.to_owned(),
+                type_name: type_attr.to_owned(),
+            })
+    } else {
+        Ok(TypeRef::Named(local.to_owned()))
+    }
+}
+
+fn parse_occurs(el: &Element, name: &str) -> Result<Occurs, SchemaError> {
+    let min = el.attr("minOccurs");
+    let max = el.attr("maxOccurs");
+    let Some(max) = max else {
+        // No maxOccurs: scalar regardless of minOccurs (minOccurs="0"
+        // optionality is not representable in a C struct; treat as 1).
+        return Ok(Occurs::Scalar);
+    };
+    if max == "*" || max == "unbounded" {
+        return Ok(Occurs::Unbounded);
+    }
+    if let Ok(n) = max.parse::<usize>() {
+        if n == 0 {
+            return Err(SchemaError::BadOccurs {
+                element: name.to_owned(),
+                detail: "maxOccurs=\"0\" declares no storage".to_owned(),
+            });
+        }
+        // A fixed array must be genuinely fixed: when minOccurs is also
+        // numeric it must agree, otherwise the length is not static.
+        if let Some(min) = min {
+            if let Ok(m) = min.parse::<usize>() {
+                if m != n && n != 1 {
+                    return Err(SchemaError::BadOccurs {
+                        element: name.to_owned(),
+                        detail: format!(
+                            "minOccurs={m} differs from numeric maxOccurs={n}; \
+                             use maxOccurs=\"*\" or a count-field name for variable arrays"
+                        ),
+                    });
+                }
+            }
+        }
+        return Ok(if n == 1 { Occurs::Scalar } else { Occurs::Fixed(n) });
+    }
+    // A non-numeric, non-wildcard maxOccurs names the count element
+    // (paper §4.1.1: "if the value is a string, an element of type
+    // xsd:integer with an identical name attribute must be present").
+    Ok(Occurs::CountField(max.to_owned()))
+}
+
+/// Verifies cross-type constraints over a complete schema: unique type
+/// names, resolvable references, integer count fields, and no recursion.
+///
+/// # Errors
+///
+/// See [`SchemaError`].
+pub fn resolve_schema(schema: &Schema) -> Result<(), SchemaError> {
+    // Unique type names.
+    let mut by_name: HashMap<&str, &ComplexType> = HashMap::new();
+    for ty in &schema.complex_types {
+        if by_name.insert(ty.name.as_str(), ty).is_some() {
+            return Err(SchemaError::DuplicateType { name: ty.name.clone() });
+        }
+    }
+
+    for ty in &schema.complex_types {
+        for el in &ty.elements {
+            match &el.type_ref {
+                TypeRef::Named(target) => {
+                    if !by_name.contains_key(target.as_str()) {
+                        return Err(SchemaError::UnknownType {
+                            element: format!("{}.{}", ty.name, el.name),
+                            type_name: target.clone(),
+                        });
+                    }
+                }
+                TypeRef::Simple(target) => {
+                    if schema.simple_type(target).is_none() {
+                        return Err(SchemaError::UnknownType {
+                            element: format!("{}.{}", ty.name, el.name),
+                            type_name: target.clone(),
+                        });
+                    }
+                }
+                TypeRef::Primitive(_) => {}
+            }
+            if let Occurs::CountField(count) = &el.occurs {
+                match ty.element(count) {
+                    None => {
+                        return Err(SchemaError::BadCountReference {
+                            element: el.name.clone(),
+                            count: count.clone(),
+                            reason: "no element of that name in the same complex type",
+                        })
+                    }
+                    Some(count_el) => {
+                        let integer_typed = match &count_el.type_ref {
+                            TypeRef::Primitive(p) => p.is_integer(),
+                            TypeRef::Simple(s) => schema
+                                .simple_type(s)
+                                .is_some_and(|st| st.base.is_integer()),
+                            TypeRef::Named(_) => false,
+                        };
+                        let ok = integer_typed && count_el.occurs == Occurs::Scalar;
+                        if !ok {
+                            return Err(SchemaError::BadCountReference {
+                                element: el.name.clone(),
+                                count: count.clone(),
+                                reason: "count element must be a scalar integer",
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Cycle detection over named references.
+    #[derive(Clone, Copy, PartialEq)]
+    enum Mark {
+        White,
+        Grey,
+        Black,
+    }
+    fn visit(
+        name: &str,
+        by_name: &HashMap<&str, &ComplexType>,
+        marks: &mut HashMap<String, Mark>,
+    ) -> Result<(), SchemaError> {
+        match marks.get(name).copied().unwrap_or(Mark::White) {
+            Mark::Black => return Ok(()),
+            Mark::Grey => return Err(SchemaError::RecursiveType { name: name.to_owned() }),
+            Mark::White => {}
+        }
+        marks.insert(name.to_owned(), Mark::Grey);
+        if let Some(ty) = by_name.get(name) {
+            for el in &ty.elements {
+                if let TypeRef::Named(target) = &el.type_ref {
+                    visit(target, by_name, marks)?;
+                }
+            }
+        }
+        marks.insert(name.to_owned(), Mark::Black);
+        Ok(())
+    }
+    let mut marks = HashMap::new();
+    for ty in &schema.complex_types {
+        visit(&ty.name, &by_name, &mut marks)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Figure 9 schema (Structure B), verbatim apart from the
+    /// URL whitespace glitch in the original listing.
+    const FIGURE_9: &str = r#"<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/1999/XMLSchema"
+            targetNamespace="http://www.cc.gatech.edu/~pmw/schemas">
+  <xsd:annotation>
+    <xsd:documentation>
+      ASDOff
+    </xsd:documentation>
+  </xsd:annotation>
+  <xsd:complexType name="ASDOffEvent">
+    <xsd:element name="cntrID" type="xsd:string" />
+    <xsd:element name="arln" type="xsd:string" />
+    <xsd:element name="fltNum" type="xsd:integer" />
+    <xsd:element name="equip" type="xsd:string" />
+    <xsd:element name="org" type="xsd:string" />
+    <xsd:element name="dest" type="xsd:string" />
+    <xsd:element name="off" type="xsd:unsigned-long" minOccurs="5" maxOccurs="5" />
+    <xsd:element name="eta" type="xsd:unsigned-long" minOccurs="0" maxOccurs="*" />
+  </xsd:complexType>
+</xsd:schema>"#;
+
+    #[test]
+    fn parses_the_papers_figure_9() {
+        let schema = parse_schema_str(FIGURE_9).unwrap();
+        assert_eq!(
+            schema.target_namespace.as_deref(),
+            Some("http://www.cc.gatech.edu/~pmw/schemas")
+        );
+        assert_eq!(schema.documentation.as_deref(), Some("ASDOff"));
+        let ty = schema.complex_type("ASDOffEvent").unwrap();
+        assert_eq!(ty.elements.len(), 8);
+        assert_eq!(ty.element("off").unwrap().occurs, Occurs::Fixed(5));
+        assert_eq!(ty.element("eta").unwrap().occurs, Occurs::Unbounded);
+        assert_eq!(
+            ty.element("fltNum").unwrap().type_ref,
+            TypeRef::Primitive(XsdType::Integer)
+        );
+        assert_eq!(
+            ty.element("off").unwrap().type_ref,
+            TypeRef::Primitive(XsdType::UnsignedLong)
+        );
+    }
+
+    #[test]
+    fn parses_nested_composition_figure_12() {
+        let doc = r#"<xsd:schema xmlns:xsd="http://www.w3.org/1999/XMLSchema">
+  <xsd:complexType name="ASDOffEvent">
+    <xsd:element name="cntrID" type="xsd:string"/>
+  </xsd:complexType>
+  <xsd:complexType name="threeASDOffs">
+    <xsd:element name="one" type="ASDOffEvent"/>
+    <xsd:element name="bart" type="xsd:double"/>
+    <xsd:element name="two" type="ASDOffEvent"/>
+    <xsd:element name="lisa" type="xsd:double"/>
+    <xsd:element name="three" type="ASDOffEvent"/>
+  </xsd:complexType>
+</xsd:schema>"#;
+        let schema = parse_schema_str(doc).unwrap();
+        let ty = schema.complex_type("threeASDOffs").unwrap();
+        assert_eq!(ty.element("one").unwrap().type_ref, TypeRef::Named("ASDOffEvent".into()));
+        assert_eq!(
+            ty.element("bart").unwrap().type_ref,
+            TypeRef::Primitive(XsdType::Double)
+        );
+    }
+
+    #[test]
+    fn count_field_max_occurs_is_recognized() {
+        let doc = r#"<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:complexType name="T">
+    <xsd:element name="eta" type="xsd:unsignedLong" maxOccurs="eta_count"/>
+    <xsd:element name="eta_count" type="xsd:integer"/>
+  </xsd:complexType>
+</xsd:schema>"#;
+        let schema = parse_schema_str(doc).unwrap();
+        let ty = schema.complex_type("T").unwrap();
+        assert_eq!(ty.element("eta").unwrap().occurs, Occurs::CountField("eta_count".into()));
+    }
+
+    #[test]
+    fn count_field_must_exist() {
+        let doc = r#"<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:complexType name="T">
+    <xsd:element name="eta" type="xsd:unsignedLong" maxOccurs="missing"/>
+  </xsd:complexType>
+</xsd:schema>"#;
+        assert!(matches!(
+            parse_schema_str(doc),
+            Err(SchemaError::BadCountReference { .. })
+        ));
+    }
+
+    #[test]
+    fn count_field_must_be_integer() {
+        let doc = r#"<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:complexType name="T">
+    <xsd:element name="eta" type="xsd:unsignedLong" maxOccurs="n"/>
+    <xsd:element name="n" type="xsd:string"/>
+  </xsd:complexType>
+</xsd:schema>"#;
+        assert!(matches!(
+            parse_schema_str(doc),
+            Err(SchemaError::BadCountReference { reason, .. })
+                if reason.contains("integer")
+        ));
+    }
+
+    #[test]
+    fn unknown_named_type_is_rejected() {
+        let doc = r#"<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:complexType name="T">
+    <xsd:element name="x" type="NoSuch"/>
+  </xsd:complexType>
+</xsd:schema>"#;
+        assert!(matches!(parse_schema_str(doc), Err(SchemaError::UnknownType { .. })));
+    }
+
+    #[test]
+    fn unknown_primitive_is_rejected() {
+        let doc = r#"<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:complexType name="T">
+    <xsd:element name="x" type="xsd:quaternion"/>
+  </xsd:complexType>
+</xsd:schema>"#;
+        assert!(matches!(parse_schema_str(doc), Err(SchemaError::UnknownType { .. })));
+    }
+
+    #[test]
+    fn recursive_types_are_rejected() {
+        let doc = r#"<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:complexType name="A">
+    <xsd:element name="b" type="B"/>
+  </xsd:complexType>
+  <xsd:complexType name="B">
+    <xsd:element name="a" type="A"/>
+  </xsd:complexType>
+</xsd:schema>"#;
+        assert!(matches!(parse_schema_str(doc), Err(SchemaError::RecursiveType { .. })));
+    }
+
+    #[test]
+    fn self_recursion_is_rejected() {
+        let doc = r#"<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:complexType name="A">
+    <xsd:element name="next" type="A"/>
+  </xsd:complexType>
+</xsd:schema>"#;
+        assert!(matches!(parse_schema_str(doc), Err(SchemaError::RecursiveType { .. })));
+    }
+
+    #[test]
+    fn forward_references_resolve() {
+        let doc = r#"<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:complexType name="Outer">
+    <xsd:element name="in" type="Inner"/>
+  </xsd:complexType>
+  <xsd:complexType name="Inner">
+    <xsd:element name="x" type="xsd:int"/>
+  </xsd:complexType>
+</xsd:schema>"#;
+        assert!(parse_schema_str(doc).is_ok());
+    }
+
+    #[test]
+    fn sequence_wrapper_is_descended() {
+        let doc = r#"<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:complexType name="T">
+    <xs:sequence>
+      <xs:element name="x" type="xs:int"/>
+      <xs:element name="y" type="xs:int"/>
+    </xs:sequence>
+  </xs:complexType>
+</xs:schema>"#;
+        let schema = parse_schema_str(doc).unwrap();
+        assert_eq!(schema.complex_type("T").unwrap().elements.len(), 2);
+    }
+
+    #[test]
+    fn non_schema_root_is_rejected() {
+        assert!(matches!(
+            parse_schema_str("<not-a-schema/>"),
+            Err(SchemaError::NotASchema { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_elements_are_rejected() {
+        let doc = r#"<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:complexType name="T">
+    <xsd:element name="x" type="xsd:int"/>
+    <xsd:element name="x" type="xsd:int"/>
+  </xsd:complexType>
+</xsd:schema>"#;
+        assert!(matches!(
+            parse_schema_str(doc),
+            Err(SchemaError::DuplicateElement { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_types_are_rejected() {
+        let doc = r#"<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:complexType name="T"><xsd:element name="x" type="xsd:int"/></xsd:complexType>
+  <xsd:complexType name="T"><xsd:element name="y" type="xsd:int"/></xsd:complexType>
+</xsd:schema>"#;
+        assert!(matches!(parse_schema_str(doc), Err(SchemaError::DuplicateType { .. })));
+    }
+
+    #[test]
+    fn missing_type_attribute_is_rejected() {
+        let doc = r#"<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:complexType name="T"><xsd:element name="x"/></xsd:complexType>
+</xsd:schema>"#;
+        assert!(matches!(
+            parse_schema_str(doc),
+            Err(SchemaError::MissingAttribute { .. })
+        ));
+    }
+
+    #[test]
+    fn mismatched_fixed_occurs_is_rejected() {
+        let doc = r#"<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:complexType name="T">
+    <xsd:element name="x" type="xsd:int" minOccurs="2" maxOccurs="7"/>
+  </xsd:complexType>
+</xsd:schema>"#;
+        assert!(matches!(parse_schema_str(doc), Err(SchemaError::BadOccurs { .. })));
+    }
+
+    #[test]
+    fn max_occurs_one_is_scalar() {
+        let doc = r#"<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:complexType name="T">
+    <xsd:element name="x" type="xsd:int" minOccurs="1" maxOccurs="1"/>
+  </xsd:complexType>
+</xsd:schema>"#;
+        let schema = parse_schema_str(doc).unwrap();
+        assert_eq!(schema.complex_type("T").unwrap().element("x").unwrap().occurs, Occurs::Scalar);
+    }
+
+    #[test]
+    fn malformed_xml_is_reported_as_xml_error() {
+        assert!(matches!(parse_schema_str("<xsd:schema"), Err(SchemaError::Xml(_))));
+    }
+
+    #[test]
+    fn unsupported_construct_inside_complex_type_is_rejected() {
+        let doc = r#"<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:complexType name="T"><xsd:attribute name="x" type="xsd:int"/></xsd:complexType>
+</xsd:schema>"#;
+        assert!(matches!(parse_schema_str(doc), Err(SchemaError::Invalid { .. })));
+    }
+}

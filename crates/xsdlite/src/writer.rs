@@ -1,0 +1,176 @@
+//! Generating schema documents from the model.
+//!
+//! The metadata server uses this to serve programmatically built or
+//! *scoped* schemas (paper §4.4: "the server can also be extended to
+//! dynamically generate metadata").
+
+use xmlparse::{Document, Element, Writer};
+
+use crate::datatypes::XSD_NS_2001;
+use crate::model::{Facet, Occurs, Schema, TypeRef};
+
+/// Renders `schema` as a pretty-printed XML document using 2001
+/// spellings and the `xsd:` prefix.
+pub fn schema_to_xml(schema: &Schema) -> String {
+    let mut root = Element::new("xsd:schema").with_attr("xmlns:xsd", XSD_NS_2001);
+    if let Some(tns) = &schema.target_namespace {
+        root = root.with_attr("targetNamespace", tns.clone());
+    }
+    if let Some(doc) = &schema.documentation {
+        root = root.with_child(annotation(doc));
+    }
+    for ty in &schema.simple_types {
+        let mut restriction = Element::new("xsd:restriction")
+            .with_attr("base", format!("xsd:{}", ty.base.canonical_name()));
+        for facet in &ty.facets {
+            match facet {
+                Facet::MinInclusive(v) => {
+                    restriction = restriction
+                        .with_child(facet_el("xsd:minInclusive", &fmt_num(*v)));
+                }
+                Facet::MaxInclusive(v) => {
+                    restriction = restriction
+                        .with_child(facet_el("xsd:maxInclusive", &fmt_num(*v)));
+                }
+                Facet::MinExclusive(v) => {
+                    restriction = restriction
+                        .with_child(facet_el("xsd:minExclusive", &fmt_num(*v)));
+                }
+                Facet::MaxExclusive(v) => {
+                    restriction = restriction
+                        .with_child(facet_el("xsd:maxExclusive", &fmt_num(*v)));
+                }
+                Facet::MinLength(n) => {
+                    restriction =
+                        restriction.with_child(facet_el("xsd:minLength", &n.to_string()));
+                }
+                Facet::MaxLength(n) => {
+                    restriction =
+                        restriction.with_child(facet_el("xsd:maxLength", &n.to_string()));
+                }
+                Facet::Enumeration(values) => {
+                    for value in values {
+                        restriction =
+                            restriction.with_child(facet_el("xsd:enumeration", value));
+                    }
+                }
+            }
+        }
+        root = root.with_child(
+            Element::new("xsd:simpleType")
+                .with_attr("name", ty.name.clone())
+                .with_child(restriction),
+        );
+    }
+    for ty in &schema.complex_types {
+        let mut ct = Element::new("xsd:complexType").with_attr("name", ty.name.clone());
+        if let Some(doc) = &ty.documentation {
+            ct = ct.with_child(annotation(doc));
+        }
+        for el in &ty.elements {
+            let type_attr = match &el.type_ref {
+                TypeRef::Primitive(p) => format!("xsd:{}", p.canonical_name()),
+                TypeRef::Named(n) | TypeRef::Simple(n) => n.clone(),
+            };
+            let mut decl = Element::new("xsd:element")
+                .with_attr("name", el.name.clone())
+                .with_attr("type", type_attr);
+            match &el.occurs {
+                Occurs::Scalar => {}
+                Occurs::Fixed(n) => {
+                    decl = decl
+                        .with_attr("minOccurs", n.to_string())
+                        .with_attr("maxOccurs", n.to_string());
+                }
+                Occurs::Unbounded => {
+                    decl = decl.with_attr("minOccurs", "0").with_attr("maxOccurs", "*");
+                }
+                Occurs::CountField(count) => {
+                    decl = decl.with_attr("maxOccurs", count.clone());
+                }
+            }
+            ct = ct.with_child(decl);
+        }
+        root = root.with_child(ct);
+    }
+    Writer::default().document_to_string(&Document::new(root))
+}
+
+fn facet_el(name: &str, value: &str) -> Element {
+    Element::new(name).with_attr("value", value)
+}
+
+/// Integer-valued bounds print without a trailing `.0` so they re-parse
+/// as the same number and read like the source document.
+fn fmt_num(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+fn annotation(text: &str) -> Element {
+    Element::new("xsd:annotation")
+        .with_child(Element::new("xsd:documentation").with_text(text))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datatypes::XsdType;
+    use crate::model::{ComplexType, ElementDecl};
+
+    fn sample_schema() -> Schema {
+        let mut schema = Schema::new("urn:test");
+        schema.documentation = Some("sample".to_owned());
+        schema
+            .add_complex_type(ComplexType::new(
+                "Inner",
+                vec![ElementDecl::primitive("x", XsdType::Double)],
+            ))
+            .unwrap();
+        schema
+            .add_complex_type(ComplexType::new(
+                "Outer",
+                vec![
+                    ElementDecl::named("in", "Inner"),
+                    ElementDecl::primitive("tag", XsdType::String),
+                    ElementDecl::primitive("off", XsdType::UnsignedLong)
+                        .with_occurs(Occurs::Fixed(5)),
+                    ElementDecl::primitive("eta", XsdType::UnsignedLong)
+                        .with_occurs(Occurs::CountField("eta_count".into())),
+                    ElementDecl::primitive("eta_count", XsdType::Integer),
+                    ElementDecl::primitive("extra", XsdType::Float)
+                        .with_occurs(Occurs::Unbounded),
+                ],
+            ))
+            .unwrap();
+        schema
+    }
+
+    #[test]
+    fn write_then_parse_round_trips_the_model() {
+        let schema = sample_schema();
+        let xml = schema.to_xml_string();
+        let back = Schema::parse_str(&xml).unwrap();
+        assert_eq!(back, schema);
+    }
+
+    #[test]
+    fn output_contains_expected_constructs() {
+        let xml = sample_schema().to_xml_string();
+        assert!(xml.contains("targetNamespace=\"urn:test\""), "{xml}");
+        assert!(xml.contains("maxOccurs=\"eta_count\""), "{xml}");
+        assert!(xml.contains("maxOccurs=\"*\""), "{xml}");
+        assert!(xml.contains("type=\"Inner\""), "{xml}");
+        assert!(xml.contains("type=\"xsd:unsignedLong\""), "{xml}");
+    }
+
+    #[test]
+    fn empty_schema_round_trips() {
+        let schema = Schema::default();
+        let back = Schema::parse_str(&schema.to_xml_string()).unwrap();
+        assert_eq!(back, schema);
+    }
+}

@@ -1,0 +1,92 @@
+//! Property test: arbitrary well-formed schema models survive a
+//! write→parse round trip.
+
+use proptest::prelude::*;
+use xsdlite::{ComplexType, ElementDecl, Occurs, Schema, TypeRef, XsdType};
+
+fn xsd_type_strategy() -> impl Strategy<Value = XsdType> {
+    proptest::sample::select(XsdType::ALL.to_vec())
+}
+
+fn occurs_strategy() -> impl Strategy<Value = Occurs> {
+    prop_oneof![
+        4 => Just(Occurs::Scalar),
+        1 => (2usize..10).prop_map(Occurs::Fixed),
+        1 => Just(Occurs::Unbounded),
+    ]
+}
+
+/// Builds schemas where type i may reference types 0..i (guaranteeing
+/// acyclicity), element names are unique per type, and a sprinkling of
+/// count-field arrays is added with their integer count elements.
+fn schema_strategy() -> impl Strategy<Value = Schema> {
+    proptest::collection::vec(
+        proptest::collection::vec(
+            (xsd_type_strategy(), occurs_strategy(), proptest::bool::weighted(0.2)),
+            1..6,
+        ),
+        1..5,
+    )
+    .prop_map(|types| {
+        let mut schema = Schema::new("urn:proptest");
+        for (ti, elements) in types.iter().enumerate() {
+            let mut decls = Vec::new();
+            for (ei, (ty, occurs, use_named)) in elements.iter().enumerate() {
+                let name = format!("el{ei}");
+                if *use_named && ti > 0 {
+                    // Reference an earlier type (scalar only, like the
+                    // paper's nesting examples).
+                    decls.push(ElementDecl::named(name, format!("Type{}", ti - 1)));
+                } else if matches!(occurs, Occurs::Unbounded) && ei % 2 == 0 {
+                    // Express some dynamic arrays via count fields.
+                    let count = format!("el{ei}_count");
+                    decls.push(
+                        ElementDecl::primitive(&name, *ty)
+                            .with_occurs(Occurs::CountField(count.clone())),
+                    );
+                    decls.push(ElementDecl::primitive(count, XsdType::Integer));
+                } else {
+                    decls.push(ElementDecl::primitive(name, *ty).with_occurs(occurs.clone()));
+                }
+            }
+            schema
+                .add_complex_type(ComplexType::new(format!("Type{ti}"), decls))
+                .unwrap();
+        }
+        schema
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn write_parse_round_trip(schema in schema_strategy()) {
+        schema.resolve().unwrap();
+        let xml = schema.to_xml_string();
+        let back = Schema::parse_str(&xml).unwrap();
+        prop_assert_eq!(back, schema);
+    }
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_xmlish_input(input in "\\PC{0,300}") {
+        let _ = Schema::parse_str(&input);
+    }
+
+    #[test]
+    fn count_arrays_always_reference_integers(schema in schema_strategy()) {
+        for ty in &schema.complex_types {
+            for el in &ty.elements {
+                if let Occurs::CountField(count) = &el.occurs {
+                    let count_el = ty.element(count).unwrap();
+                    match &count_el.type_ref {
+                        TypeRef::Primitive(p) => prop_assert!(p.is_integer()),
+                        TypeRef::Named(_) | TypeRef::Simple(_) => {
+                            prop_assert!(false, "count must be primitive")
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

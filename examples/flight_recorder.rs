@@ -1,0 +1,72 @@
+//! Flight recorder: typed message objects + self-contained archives.
+//!
+//! Combines two future-work features of the paper (§7): language-level
+//! message objects (the `wire_message!` macro) and open metadata applied
+//! to *storage* — the archive embeds its own XML Schema documents, so a
+//! reader with zero prior knowledge (even the `x2w cat` command-line
+//! tool) can decode it years later.
+//!
+//! Run with: `cargo run --example flight_recorder`
+
+use std::sync::Arc;
+
+use openmeta::prelude::*;
+use xml2wire::typed::WireMessage;
+use xml2wire::{wire_message, ArchiveReader, ArchiveWriter};
+
+wire_message! {
+    /// A position report, declared once as a plain Rust struct.
+    pub struct PositionReport("PositionReport") {
+        arln: String,
+        fltNum: i32,
+        lat: f64,
+        lon: f64,
+        altitudeFt: u32,
+        waypoints: Vec<String>,
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let path = std::env::temp_dir().join("flight_recorder_demo.x2w");
+
+    // --- Recording side -------------------------------------------------
+    let session = Arc::new(Xml2Wire::builder().build());
+    session.register_message::<PositionReport>()?;
+
+    let file = std::fs::File::create(&path)?;
+    let mut recorder = ArchiveWriter::create(file, Arc::clone(&session));
+    recorder.declare_format(PositionReport::FORMAT_NAME)?;
+
+    for i in 0..5 {
+        let report = PositionReport {
+            arln: "DL".into(),
+            fltNum: 1200 + i,
+            lat: 33.6367 + f64::from(i) * 0.25,
+            lon: -84.4281 + f64::from(i) * 0.4,
+            altitudeFt: 31_000 + (i as u32) * 500,
+            waypoints: vec!["ODF".into(), "SPA".into()],
+        };
+        recorder.append(&report.to_record(), PositionReport::FORMAT_NAME)?;
+    }
+    recorder.finish()?;
+    println!("recorded 5 position reports to {}", path.display());
+
+    // --- Replay side: a fresh process with NO prior knowledge ------------
+    let file = std::fs::File::open(&path)?;
+    let mut replay = ArchiveReader::open(file)?;
+    println!("archive self-describes formats: {:?}", replay.format_names());
+    while let Some((format, record)) = replay.next_record()? {
+        // Generic consumers read the dynamic record...
+        println!("[{format}] {record}");
+        // ...and typed consumers can still reconstruct the struct.
+        let report = PositionReport::from_record(&record)?;
+        assert!(report.altitudeFt >= 31_000);
+    }
+
+    println!(
+        "\ntry it from the shell too:  cargo run --bin x2w -- cat {}",
+        path.display()
+    );
+    std::fs::remove_file(&path)?;
+    Ok(())
+}

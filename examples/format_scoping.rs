@@ -1,0 +1,100 @@
+//! Format scoping (paper §4.4): per-subscriber slices of a stream,
+//! served by dynamically generated metadata.
+//!
+//! The metadata server answers schema requests *differently per
+//! requestor attribute* (here a `role=` query parameter): public
+//! subscribers get a schema without the sensitive fields, dispatchers
+//! get everything. The publisher projects records accordingly before
+//! encoding for each subscriber class.
+//!
+//! Run with: `cargo run --example format_scoping`
+
+use openmeta::prelude::*;
+use xsdlite::Schema;
+
+const FULL_SCHEMA: &str = r#"<xsd:schema xmlns:xsd="http://www.w3.org/1999/XMLSchema">
+  <xsd:complexType name="FlightOps">
+    <xsd:element name="arln" type="xsd:string"/>
+    <xsd:element name="fltNum" type="xsd:integer"/>
+    <xsd:element name="dest" type="xsd:string"/>
+    <xsd:element name="paxCount" type="xsd:integer"/>
+    <xsd:element name="crewNotes" type="xsd:string"/>
+    <xsd:element name="eta" type="xsd:unsigned-long" maxOccurs="eta_count"/>
+    <xsd:element name="eta_count" type="xsd:integer"/>
+  </xsd:complexType>
+</xsd:schema>"#;
+
+fn scope_for_role(role: &str) -> FormatScope {
+    match role {
+        "dispatcher" => FormatScope::new(
+            "dispatcher",
+            ["arln", "fltNum", "dest", "paxCount", "crewNotes", "eta"],
+        ),
+        _ => FormatScope::new("public", ["arln", "fltNum", "dest", "eta"]),
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let full = Schema::parse_str(FULL_SCHEMA)?;
+
+    // The server generates scoped metadata on demand, keyed by the
+    // requestor's role attribute — "dynamically generate metadata …
+    // based on information such as requestor location or authentication
+    // credentials".
+    let server = MetadataServer::bind("127.0.0.1:0")?;
+    {
+        let full = full.clone();
+        server.publish_dynamic(
+            "/scoped/flight-ops.xsd",
+            Box::new(move |path| {
+                let role = path
+                    .split_once('?')
+                    .and_then(|(_, q)| {
+                        q.split('&').find_map(|kv| kv.strip_prefix("role="))
+                    })
+                    .unwrap_or("public");
+                scope_for_role(role)
+                    .scoped_schema(&full, "FlightOps")
+                    .ok()
+                    .map(|s| s.to_xml_string())
+            }),
+        );
+    }
+
+    // Two subscriber classes discover "the same" stream.
+    let public = Xml2Wire::builder().source(Box::new(UrlSource::new())).build();
+    public.discover(&server.url_for("/scoped/flight-ops.xsd?role=public"))?;
+    let dispatcher = Xml2Wire::builder().source(Box::new(UrlSource::new())).build();
+    dispatcher.discover(&server.url_for("/scoped/flight-ops.xsd?role=dispatcher"))?;
+
+    println!(
+        "public sees {} fields; dispatcher sees {} fields",
+        public.require_format("FlightOps")?.struct_type().fields.len(),
+        dispatcher.require_format("FlightOps")?.struct_type().fields.len(),
+    );
+
+    // The publisher holds the full record and projects per class.
+    let record = Record::new()
+        .with("arln", "DL")
+        .with("fltNum", 1202i64)
+        .with("dest", "BOS")
+        .with("paxCount", 148i64)
+        .with("crewNotes", "medical assistance requested at arrival")
+        .with("eta", vec![1_000_000u64, 1_000_300]);
+    let full_type = full.complex_type("FlightOps").unwrap();
+
+    for (role, session) in [("public", &public), ("dispatcher", &dispatcher)] {
+        let projected = scope_for_role(role).project(&record, full_type);
+        let wire = session.encode(&projected, "FlightOps")?;
+        let (_, decoded) = session.decode(&wire)?;
+        println!("\n[{role}] {} bytes on the wire", wire.len());
+        println!("[{role}] {decoded}");
+        match role {
+            "public" => assert!(decoded.get("crewNotes").is_none()),
+            _ => assert!(decoded.get("crewNotes").is_some()),
+        }
+    }
+
+    println!("\nhidden fields never left the publisher for public subscribers.");
+    Ok(())
+}

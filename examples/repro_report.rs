@@ -1,0 +1,412 @@
+//! One-shot reproduction report: quick versions of every experiment,
+//! printed as paper-claim vs measured-here tables. The `cargo bench`
+//! targets are the rigorous (criterion) variants of the same
+//! measurements; this binary exists so `EXPERIMENTS.md` can be checked
+//! against a single fast run.
+//!
+//! Run with: `cargo run --release --example repro_report`
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use backbone::{EventClient, EventServer, Frame};
+use clayout::{Architecture, Endianness};
+use openmeta::prelude::*;
+use pbio::{ConversionPlan, PlanCache};
+
+// The paper's Appendix A structures (Figures 6, 9, 12).
+const SCHEMA_A: &str = r#"<xsd:schema xmlns:xsd="http://www.w3.org/1999/XMLSchema">
+  <xsd:complexType name="ASDOffEvent">
+    <xsd:element name="cntrID" type="xsd:string" />
+    <xsd:element name="arln" type="xsd:string" />
+    <xsd:element name="fltNum" type="xsd:integer" />
+    <xsd:element name="equip" type="xsd:string" />
+    <xsd:element name="org" type="xsd:string" />
+    <xsd:element name="dest" type="xsd:string" />
+    <xsd:element name="off" type="xsd:unsigned-long" />
+    <xsd:element name="eta" type="xsd:unsigned-long" />
+  </xsd:complexType>
+</xsd:schema>"#;
+const SCHEMA_B: &str = backbone::airline::ASD_SCHEMA;
+const SCHEMA_CD: &str = r#"<xsd:schema xmlns:xsd="http://www.w3.org/1999/XMLSchema">
+  <xsd:complexType name="ASDOffEvent">
+    <xsd:element name="cntrID" type="xsd:string" />
+    <xsd:element name="arln" type="xsd:string" />
+    <xsd:element name="fltNum" type="xsd:integer" />
+    <xsd:element name="equip" type="xsd:string" />
+    <xsd:element name="org" type="xsd:string" />
+    <xsd:element name="dest" type="xsd:string" />
+    <xsd:element name="off" type="xsd:unsigned-long" minOccurs="5" maxOccurs="5" />
+    <xsd:element name="eta" type="xsd:unsigned-long" minOccurs="1" maxOccurs="*" />
+  </xsd:complexType>
+  <xsd:complexType name="threeASDOffs">
+    <xsd:element name="one" type="ASDOffEvent" />
+    <xsd:element name="bart" type="xsd:double" />
+    <xsd:element name="two" type="ASDOffEvent" />
+    <xsd:element name="lisa" type="xsd:double" />
+    <xsd:element name="three" type="ASDOffEvent" />
+  </xsd:complexType>
+</xsd:schema>"#;
+
+fn record_a() -> Record {
+    Record::new()
+        .with("cntrID", "ZTL")
+        .with("arln", "DL")
+        .with("fltNum", 1202i64)
+        .with("equip", "B752")
+        .with("org", "ATL")
+        .with("dest", "BOS")
+        .with("off", 1_748_707_200u64)
+        .with("eta", 1_748_710_800u64)
+}
+
+fn record_b() -> Record {
+    Record::new()
+        .with("cntrID", "ZTL")
+        .with("arln", "DL")
+        .with("fltNum", 1202i64)
+        .with("equip", "B752")
+        .with("org", "ATL")
+        .with("dest", "BOS")
+        .with("off", vec![10u64, 20, 30, 40, 50])
+        .with("eta", vec![100u64, 200, 300])
+}
+
+fn record_cd() -> Record {
+    Record::new()
+        .with("one", record_b())
+        .with("bart", 1.5f64)
+        .with("two", record_b())
+        .with("lisa", -2.5f64)
+        .with("three", record_b())
+}
+
+fn doubles(n: usize) -> (clayout::StructType, Record) {
+    use clayout::{CType, Primitive, StructField, StructType, Value};
+    let st = StructType::new(
+        "Samples",
+        vec![
+            StructField::new("values", CType::dynamic_array(CType::Prim(Primitive::Double), "n")),
+            StructField::new("n", CType::Prim(Primitive::Int)),
+        ],
+    );
+    let record = Record::new().with(
+        "values",
+        (0..n).map(|i| Value::Float((i as f64).sin() * 1e3)).collect::<Vec<_>>(),
+    );
+    (st, record)
+}
+
+/// Minimum over `reps` timings of `f` repeated `inner` times, in ns/op.
+fn time_ns(reps: usize, inner: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        for _ in 0..inner {
+            f();
+        }
+        best = best.min(start.elapsed().as_nanos() as f64 / inner as f64);
+    }
+    best
+}
+
+fn us(ns: f64) -> String {
+    format!("{:.2}us", ns / 1000.0)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let arch = Architecture::SPARC32;
+
+    // ---- T1: Table 1 ----------------------------------------------------
+    println!("== T1  Table 1: format registration (paper: xml2wire ~1.9-2x PBIO, sub-ms, linear)");
+    println!(
+        "{:<14} {:>7} {:>9} {:>12} {:>12} {:>6}",
+        "structure", "bytes", "paper", "pbio", "xml2wire", "ratio"
+    );
+    for (label, schema, index, paper_bytes) in [
+        ("A", SCHEMA_A, 0usize, 32usize),
+        ("B", SCHEMA_B, 0, 52),
+        ("C+D", SCHEMA_CD, 1, 180),
+    ] {
+        let probe = Xml2Wire::builder().arch(arch).build();
+        let st = probe.register_schema_str(schema)?[index].struct_type().clone();
+        let size = probe.register_schema_str(schema)?[index].record_size();
+        let pbio_ns = time_ns(7, 50, || {
+            let registry = FormatRegistry::new();
+            std::hint::black_box(registry.register(st.clone(), arch).unwrap());
+        });
+        let x2w_ns = time_ns(7, 50, || {
+            let session = Xml2Wire::builder().arch(arch).build();
+            std::hint::black_box(session.register_schema_str(schema).unwrap());
+        });
+        println!(
+            "{label:<14} {size:>7} {paper_bytes:>9} {:>12} {:>12} {:>5.1}x",
+            us(pbio_ns),
+            us(x2w_ns),
+            x2w_ns / pbio_ns
+        );
+    }
+
+    // ---- E2: NDR vs XDR vs CDR -------------------------------------------
+    println!("\n== E2  binary codecs, receive path (paper: NDR gains often >50% vs XDR)");
+    println!(
+        "{:<14} {:>13} {:>13} {:>10} {:>10}",
+        "workload", "ndr-homog", "ndr-hetero", "xdr", "cdr"
+    );
+    let x86 = Architecture::X86_64;
+    let e2 = |label: &str, st: clayout::StructType, record: Record| {
+        let native = pbio::Format::new(pbio::format::FormatId(0), st.clone(), x86).unwrap();
+        let sender = native.rebind(Architecture::SPARC32).unwrap();
+        let homo = pbio::ndr::encode(&record, &native).unwrap();
+        let hetero = pbio::ndr::encode(&record, &sender).unwrap();
+        let xdr = pbio::xdr::encode(&record, &st).unwrap();
+        let cdr = pbio::cdr::encode(&record, &st, Endianness::Little).unwrap();
+        let plans = PlanCache::new();
+        let t_homo =
+            time_ns(7, 200, || {
+                std::hint::black_box(pbio::ndr::to_native_image(&homo, &native, &plans).unwrap());
+            });
+        let t_hetero = time_ns(7, 200, || {
+            std::hint::black_box(pbio::ndr::to_native_image(&hetero, &native, &plans).unwrap());
+        });
+        let t_xdr = time_ns(7, 200, || {
+            std::hint::black_box(pbio::xdr::decode(&xdr, &st).unwrap());
+        });
+        let t_cdr = time_ns(7, 200, || {
+            std::hint::black_box(pbio::cdr::decode(&cdr, &st).unwrap());
+        });
+        println!(
+            "{label:<14} {:>13} {:>13} {:>10} {:>10}",
+            us(t_homo),
+            us(t_hetero),
+            us(t_xdr),
+            us(t_cdr)
+        );
+    };
+    {
+        let probe = Xml2Wire::builder().arch(x86).build();
+        let st = probe.register_schema_str(SCHEMA_B)?[0].struct_type().clone();
+        e2("structB", st, record_b());
+    }
+    for n in [256usize, 4096] {
+        let (st, record) = doubles(n);
+        e2(&format!("double[{n}]"), st, record);
+    }
+
+    // ---- E3: binary vs text ----------------------------------------------
+    println!("\n== E3  NDR vs text XML, encode+decode (paper: an order of magnitude)");
+    println!("{:<14} {:>10} {:>12} {:>7}", "workload", "ndr", "xml-text", "ratio");
+    let e3 = |label: &str, st: clayout::StructType, record: Record| {
+        let format = pbio::Format::new(pbio::format::FormatId(0), st.clone(), x86).unwrap();
+        let t_ndr = time_ns(7, 100, || {
+            let wire = pbio::ndr::encode(&record, &format).unwrap();
+            std::hint::black_box(pbio::ndr::decode_with(&wire, &format).unwrap());
+        });
+        let t_text = time_ns(7, 100, || {
+            let wire = pbio::textxml::encode(&record, &st).unwrap();
+            std::hint::black_box(pbio::textxml::decode(&wire, &st).unwrap());
+        });
+        println!(
+            "{label:<14} {:>10} {:>12} {:>6.1}x",
+            us(t_ndr),
+            us(t_text),
+            t_text / t_ndr
+        );
+    };
+    {
+        let probe = Xml2Wire::builder().arch(x86).build();
+        let st = probe.register_schema_str(SCHEMA_B)?[0].struct_type().clone();
+        e3("structB", st, record_b());
+    }
+    for n in [64usize, 1024] {
+        let (st, record) = doubles(n);
+        e3(&format!("double[{n}]"), st, record);
+    }
+
+    // ---- E4: wire sizes ---------------------------------------------------
+    println!("\n== E4  wire sizes (paper: text expansion 6-8x on binary data)");
+    println!(
+        "{:<14} {:>8} {:>8} {:>8} {:>8} {:>9} {:>8}",
+        "workload", "native", "NDR", "XDR", "CDR", "XML-text", "expand"
+    );
+    let e4 = |label: &str, st: clayout::StructType, record: Record| {
+        let format =
+            pbio::Format::new(pbio::format::FormatId(0), st.clone(), arch).unwrap();
+        let native = clayout::encode_record(&record, &st, &arch).unwrap().bytes.len();
+        let ndr = pbio::ndr::encode(&record, &format).unwrap().len();
+        let xdr = pbio::xdr::encode(&record, &st).unwrap().len();
+        let cdr = pbio::cdr::encode(&record, &st, arch.endianness).unwrap().len();
+        let text = pbio::textxml::encode(&record, &st).unwrap().len();
+        println!(
+            "{label:<14} {native:>8} {ndr:>8} {xdr:>8} {cdr:>8} {text:>9} {:>7.1}x",
+            text as f64 / native as f64
+        );
+    };
+    for (label, schema, index, record) in [
+        ("A", SCHEMA_A, 0usize, record_a()),
+        ("B", SCHEMA_B, 0, record_b()),
+        ("C+D", SCHEMA_CD, 1, record_cd()),
+    ] {
+        let probe = Xml2Wire::builder().arch(arch).build();
+        let st = probe.register_schema_str(schema)?[index].struct_type().clone();
+        e4(label, st, record);
+    }
+    {
+        use clayout::{CType, Primitive, StructField, StructType, Value};
+        let st = StructType::new(
+            "Telemetry",
+            vec![
+                StructField::new(
+                    "counters",
+                    CType::dynamic_array(CType::Prim(Primitive::ULong), "n"),
+                ),
+                StructField::new("n", CType::Prim(Primitive::Int)),
+            ],
+        );
+        let record = Record::new().with(
+            "counters",
+            (0..1024u64)
+                .map(|i| Value::UInt(i.wrapping_mul(2_654_435_761) & 0xFFFF_FFFF))
+                .collect::<Vec<_>>(),
+        );
+        e4("ulong[1024]", st, record);
+    }
+
+    // ---- E5: amortization --------------------------------------------------
+    println!("\n== E5  discovery amortization (paper: tolerable, amortized across messages)");
+    println!("{:<10} {:>12} {:>14} {:>10}", "messages", "pbio", "xml2wire", "overhead");
+    {
+        let probe = Xml2Wire::builder().arch(x86).build();
+        let st = probe.register_schema_str(SCHEMA_B)?[0].struct_type().clone();
+        let record = record_b();
+        for n in [1usize, 100, 10_000] {
+            let t_pbio = time_ns(5, 1, || {
+                let session = Xml2Wire::builder().arch(x86).build();
+                let format = session.register_compiled(st.clone()).unwrap();
+                for _ in 0..n {
+                    std::hint::black_box(pbio::ndr::encode(&record, &format).unwrap());
+                }
+            });
+            let t_x2w = time_ns(5, 1, || {
+                let session = Xml2Wire::builder().arch(x86).build();
+                let format = session.register_schema_str(SCHEMA_B).unwrap()[0].clone();
+                for _ in 0..n {
+                    std::hint::black_box(pbio::ndr::encode(&record, &format).unwrap());
+                }
+            });
+            println!(
+                "{n:<10} {:>12} {:>14} {:>9.1}%",
+                us(t_pbio),
+                us(t_x2w),
+                100.0 * (t_x2w - t_pbio) / t_pbio
+            );
+        }
+    }
+
+    // ---- E6: end-to-end latency ---------------------------------------------
+    println!("\n== E6  end-to-end RTT over localhost TCP (paper: metadata source is invisible)");
+    println!("{:<36} {:>10}", "path", "median");
+    {
+        let host = Architecture::host();
+        let compiled_session = Xml2Wire::builder().arch(host).build();
+        let probe = Xml2Wire::builder().arch(host).build();
+        let st = probe.register_schema_str(SCHEMA_B)?[0].struct_type().clone();
+        let compiled = compiled_session.register_compiled(st)?;
+
+        let metadata = MetadataServer::bind("127.0.0.1:0")?;
+        metadata.publish("/b.xsd", SCHEMA_B);
+        let discovered_session =
+            Xml2Wire::builder().arch(host).source(Box::new(UrlSource::new())).build();
+        let discovered = discovered_session.discover(&metadata.url_for("/b.xsd"))?[0].clone();
+
+        for (label, format) in [
+            ("ndr + compiled-in metadata", &compiled),
+            ("ndr + discovered metadata", &discovered),
+        ] {
+            let server = {
+                let format = format.clone();
+                EventServer::bind(
+                    "127.0.0.1:0",
+                    Arc::new(move |frame: Frame| {
+                        std::hint::black_box(
+                            pbio::ndr::decode_with(&frame.payload, &format).unwrap(),
+                        );
+                        Some(Frame::new(frame.stream, vec![1]))
+                    }),
+                )?
+            };
+            let mut client = EventClient::connect(server.local_addr())?;
+            let record = record_b();
+            let mut samples: Vec<f64> = (0..600)
+                .map(|_| {
+                    let wire = pbio::ndr::encode(&record, format).unwrap();
+                    let start = Instant::now();
+                    client.request(&Frame::new("b", wire)).unwrap();
+                    start.elapsed().as_nanos() as f64
+                })
+                .collect();
+            samples.sort_by(f64::total_cmp);
+            println!("{label:<36} {:>10}", us(samples[samples.len() / 2]));
+        }
+    }
+
+    // ---- E7: conversion matrix -------------------------------------------
+    println!("\n== E7  conversion plans (ablation: identity ≪ swap < relayout; build once)");
+    {
+        let probe = Xml2Wire::builder().arch(x86).build();
+        let st = probe.register_schema_str(SCHEMA_B)?[0].struct_type().clone();
+        let record = record_b();
+        for (label, src, dst) in [
+            ("identity (x86_64→x86_64)", x86, x86),
+            ("swap-only (x86_64→power64)", x86, Architecture::POWER64),
+            ("relayout (sparc32→x86_64)", Architecture::SPARC32, x86),
+        ] {
+            let image = clayout::encode_record(&record, &st, &src).unwrap();
+            let plan = ConversionPlan::build(&st, &src, &dst).unwrap();
+            let t = time_ns(7, 500, || {
+                std::hint::black_box(plan.convert(&image.bytes).unwrap());
+            });
+            let t_build = time_ns(7, 100, || {
+                std::hint::black_box(ConversionPlan::build(&st, &src, &dst).unwrap());
+            });
+            println!(
+                "{label:<30} convert {:>9}   build-once {:>9}   ops {}",
+                us(t),
+                us(t_build),
+                plan.op_count()
+            );
+        }
+    }
+
+    // ---- E8: schema scaling ---------------------------------------------
+    println!("\n== E8  metadata scaling (paper: parse time grows proportionally)");
+    println!("{:<10} {:>12} {:>14}", "fields", "doc bytes", "bind+register");
+    for fields in [2usize, 16, 64, 256] {
+        let doc = generated_schema(fields);
+        let t = time_ns(5, 20, || {
+            let session = Xml2Wire::builder().arch(x86).build();
+            std::hint::black_box(session.register_schema_str(&doc).unwrap());
+        });
+        println!("{fields:<10} {:>12} {:>14}", doc.len(), us(t));
+    }
+
+    println!("\nsee EXPERIMENTS.md for the paper-vs-measured discussion of each table.");
+    Ok(())
+}
+
+fn generated_schema(fields: usize) -> String {
+    let mut body = String::new();
+    for i in 0..fields {
+        let ty = match i % 4 {
+            0 => "xsd:string",
+            1 => "xsd:integer",
+            2 => "xsd:double",
+            _ => "xsd:unsigned-long",
+        };
+        body.push_str(&format!("    <xsd:element name=\"f{i}\" type=\"{ty}\"/>\n"));
+    }
+    format!(
+        "<xsd:schema xmlns:xsd=\"http://www.w3.org/1999/XMLSchema\">\n  \
+         <xsd:complexType name=\"Generated\">\n{body}  </xsd:complexType>\n</xsd:schema>"
+    )
+}

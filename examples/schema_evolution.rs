@@ -1,0 +1,105 @@
+//! Format evolution without recompilation (paper §3.3, §4.3, §6).
+//!
+//! The paper's usability argument: with compiled-in or IDL-generated
+//! metadata, "message format changes … require source-code-level
+//! modification and recompilation of all affected installations". With
+//! xml2wire, a format change is *an edit to the document behind a URL*.
+//! This example walks that exact scenario: the producer upgrades its
+//! format, republished metadata propagates at discovery time, an old
+//! receiver keeps working through PBIO-style restricted evolution.
+//!
+//! Run with: `cargo run --example schema_evolution`
+
+use openmeta::prelude::*;
+use pbio::evolution;
+
+const FLIGHT_V1: &str = r#"<xsd:schema xmlns:xsd="http://www.w3.org/1999/XMLSchema">
+  <xsd:complexType name="FlightStatus">
+    <xsd:element name="arln" type="xsd:string"/>
+    <xsd:element name="fltNum" type="xsd:integer"/>
+    <xsd:element name="status" type="xsd:string"/>
+  </xsd:complexType>
+</xsd:schema>"#;
+
+// Version 2 adds gate and delay information — additive, so restricted
+// evolution applies.
+const FLIGHT_V2: &str = r#"<xsd:schema xmlns:xsd="http://www.w3.org/1999/XMLSchema">
+  <xsd:complexType name="FlightStatus">
+    <xsd:element name="arln" type="xsd:string"/>
+    <xsd:element name="fltNum" type="xsd:integer"/>
+    <xsd:element name="status" type="xsd:string"/>
+    <xsd:element name="gate" type="xsd:string"/>
+    <xsd:element name="delayMin" type="xsd:integer"/>
+  </xsd:complexType>
+</xsd:schema>"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let server = MetadataServer::bind("127.0.0.1:0")?;
+    let url = server.url_for("/schemas/flight-status.xsd");
+    server.publish("/schemas/flight-status.xsd", FLIGHT_V1);
+
+    // An old receiver, deployed while v1 was current. Its *application
+    // logic* expects v1 fields (that part is compiled); its metadata is
+    // discovered.
+    let old_receiver = Xml2Wire::builder().source(Box::new(UrlSource::new())).build();
+    let v1_formats = old_receiver.discover(&url)?;
+    let v1_struct = v1_formats[0].struct_type().clone();
+    println!("old receiver bound v1: {} fields", v1_struct.fields.len());
+
+    // The producer upgrades. The only deployment action is republishing
+    // the metadata document — compare the paper's "a change in the
+    // message structure now becomes a change to the document indicated
+    // by the URL".
+    server.publish("/schemas/flight-status.xsd", FLIGHT_V2);
+    let producer = Xml2Wire::builder().source(Box::new(UrlSource::new())).build();
+    producer.discover(&url)?;
+    println!(
+        "producer bound v2: {} fields (additive change: compatible = {})",
+        producer.require_format("FlightStatus")?.struct_type().fields.len(),
+        evolution::is_compatible_evolution(
+            &v1_struct,
+            producer.require_format("FlightStatus")?.struct_type()
+        )
+    );
+
+    // v2 traffic flows.
+    let record = Record::new()
+        .with("arln", "DL")
+        .with("fltNum", 1202i64)
+        .with("status", "BOARDING")
+        .with("gate", "B12")
+        .with("delayMin", 5i64);
+    let wire = producer.encode(&record, "FlightStatus")?;
+
+    // The old receiver re-discovers on format change notification (or
+    // a decode failure would prompt it to), decodes with v2 metadata,
+    // and reconciles down to the v1 view its logic expects.
+    let refreshed = old_receiver.discover(&url)?;
+    let (_, full) = old_receiver.decode(&wire)?;
+    let as_v1 = evolution::reconcile(&full, &v1_struct)?;
+    println!("\nv2 message as seen by v2 logic: {full}");
+    println!("v2 message as seen by v1 logic: {as_v1}");
+    assert!(as_v1.get("gate").is_none());
+    assert_eq!(as_v1.get("status").unwrap().as_str(), Some("BOARDING"));
+
+    // The reverse direction: a v2 consumer receiving archived v1
+    // messages sees zero defaults for the added fields.
+    let old_producer = Xml2Wire::builder().build();
+    old_producer.register_schema_str(FLIGHT_V1)?;
+    let v1_wire = old_producer.encode(
+        &Record::new().with("arln", "AA").with("fltNum", 9i64).with("status", "DEPARTED"),
+        "FlightStatus",
+    )?;
+    let v1_decoded = {
+        let session = Xml2Wire::builder().build();
+        session.register_schema_str(FLIGHT_V1)?;
+        session.decode(&v1_wire)?.1
+    };
+    let as_v2 = evolution::reconcile(&v1_decoded, refreshed[0].struct_type())?;
+    println!("\nv1 message as seen by v2 logic: {as_v2}");
+    assert_eq!(as_v2.get("gate").unwrap().as_str(), Some(""));
+    assert_eq!(as_v2.get("delayMin").unwrap().as_i64(), Some(0));
+
+    println!("\nno participant was recompiled. that is the point.");
+    Ok(())
+}

@@ -1,0 +1,125 @@
+//! Integration: failure injection around metadata discovery — the §3.3
+//! "remote primary, compiled-in degraded mode" policy under real
+//! failures.
+
+use backbone::airline::ASD_SCHEMA;
+use openmeta::prelude::*;
+
+/// A server that dies mid-run: sessions that discovered before the
+/// failure keep communicating (metadata cost is paid once); sessions that
+/// come up after the failure fall back to compiled-in documents.
+#[test]
+fn server_death_degrades_but_does_not_stop_the_system() {
+    let url;
+    let early;
+    {
+        let metadata = MetadataServer::bind("127.0.0.1:0").unwrap();
+        metadata.publish("/asd.xsd", ASD_SCHEMA);
+        url = metadata.url_for("/asd.xsd");
+        early = Xml2Wire::builder().source(Box::new(UrlSource::new())).build();
+        early.discover(&url).unwrap();
+    } // metadata server crashes here
+
+    // The early subscriber is unaffected: marshaling never touches the
+    // metadata server.
+    let record = backbone::airline::AirlineGenerator::seeded(1).flight_event();
+    let wire = early.encode(&record, "ASDOffEvent").unwrap();
+    assert!(early.decode(&wire).is_ok());
+
+    // A late joiner with only the URL source cannot discover...
+    let stranded = Xml2Wire::builder().source(Box::new(UrlSource::new())).build();
+    let err = stranded.discover(&url).unwrap_err();
+    assert!(matches!(err, X2wError::Discovery { .. }), "{err}");
+
+    // ...but one with the compiled-in fallback comes up degraded and
+    // interoperates with the early subscriber.
+    let degraded = Xml2Wire::builder()
+        .source(Box::new(UrlSource::new()))
+        .source(Box::new(CompiledSource::new().with_document(url.clone(), ASD_SCHEMA)))
+        .build();
+    degraded.discover(&url).unwrap();
+    let (_, decoded) = degraded.decode(&wire).unwrap();
+    assert_eq!(
+        decoded.get("fltNum").unwrap().as_i64(),
+        record.get("fltNum").unwrap().as_i64()
+    );
+}
+
+/// The error from a failed chain names every source tried, so operators
+/// can tell a dead server from a typo'd locator.
+#[test]
+fn discovery_errors_enumerate_all_attempts() {
+    let session = Xml2Wire::builder()
+        .source(Box::new(UrlSource::new()))
+        .source(Box::new(FileSource::new("/nonexistent-base")))
+        .source(Box::new(CompiledSource::new()))
+        .build();
+    let err = session.discover("http://127.0.0.1:1/dead.xsd").unwrap_err();
+    let text = err.to_string();
+    assert!(text.contains("url:"), "{text}");
+    assert!(text.contains("compiled-in:"), "{text}");
+}
+
+/// Recovery: the server comes back (a new instance on a new port) and a
+/// re-discovery picks up a newer format version, while the old version's
+/// registration stays usable for in-flight messages.
+#[test]
+fn rediscovery_after_recovery_picks_up_new_versions() {
+    const V2: &str = r#"<xsd:schema xmlns:xsd="http://www.w3.org/1999/XMLSchema">
+  <xsd:complexType name="ASDOffEvent">
+    <xsd:element name="cntrID" type="xsd:string" />
+    <xsd:element name="arln" type="xsd:string" />
+    <xsd:element name="fltNum" type="xsd:integer" />
+    <xsd:element name="equip" type="xsd:string" />
+    <xsd:element name="org" type="xsd:string" />
+    <xsd:element name="dest" type="xsd:string" />
+    <xsd:element name="off" type="xsd:unsigned-long" minOccurs="5" maxOccurs="5" />
+    <xsd:element name="eta" type="xsd:unsigned-long" minOccurs="0" maxOccurs="*" />
+    <xsd:element name="squawk" type="xsd:integer" />
+  </xsd:complexType>
+</xsd:schema>"#;
+
+    let session = Xml2Wire::builder().source(Box::new(UrlSource::new())).build();
+
+    // First server instance serves v1.
+    let v1_format = {
+        let server = MetadataServer::bind("127.0.0.1:0").unwrap();
+        server.publish("/asd.xsd", ASD_SCHEMA);
+        session.discover(&server.url_for("/asd.xsd")).unwrap()[0].clone()
+    };
+    let old_wire = {
+        let record = backbone::airline::AirlineGenerator::seeded(4).flight_event();
+        session.encode(&record, "ASDOffEvent").unwrap()
+    };
+
+    // Replacement server serves v2.
+    let server = MetadataServer::bind("127.0.0.1:0").unwrap();
+    server.publish("/asd.xsd", V2);
+    let v2_format = session.discover(&server.url_for("/asd.xsd")).unwrap()[0].clone();
+
+    assert_ne!(v1_format.id(), v2_format.id());
+    assert_eq!(v2_format.struct_type().fields.len(), v1_format.struct_type().fields.len() + 1);
+    // Current name resolves to v2.
+    assert_eq!(session.require_format("ASDOffEvent").unwrap().id(), v2_format.id());
+    // The old message still decodes: its header names the format, and
+    // evolution reconciles it to the new shape.
+    let (_, old_record) = session.decode(&old_wire).unwrap();
+    let as_v2 = pbio::evolution::reconcile(&old_record, v2_format.struct_type()).unwrap();
+    assert_eq!(as_v2.get("squawk").unwrap().as_i64(), Some(0));
+}
+
+/// File-source discovery works against a real directory tree, and a bad
+/// document in the tree produces a schema error, not a crash.
+#[test]
+fn file_discovery_and_malformed_documents() {
+    let dir = std::env::temp_dir().join(format!("omf-it-{}", std::process::id()));
+    std::fs::create_dir_all(dir.join("schemas")).unwrap();
+    std::fs::write(dir.join("schemas/asd.xsd"), ASD_SCHEMA).unwrap();
+    std::fs::write(dir.join("schemas/broken.xsd"), "<xsd:schema xmlns:xsd='u'><oops>").unwrap();
+
+    let session = Xml2Wire::builder().source(Box::new(FileSource::new(&dir))).build();
+    assert!(session.discover("schemas/asd.xsd").is_ok());
+    let err = session.discover("schemas/broken.xsd").unwrap_err();
+    assert!(matches!(err, X2wError::Schema(_)), "{err}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
