@@ -1,6 +1,7 @@
 //! The in-process publish/subscribe broker.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::RwLock;
@@ -11,14 +12,18 @@ use crate::error::BackboneError;
 ///
 /// The payload is whatever the stream's codec produced (usually a full
 /// NDR message); the broker never interprets it — that is the whole
-/// point of keeping metadata handling orthogonal to transport.
+/// point of keeping metadata handling orthogonal to transport. Routing
+/// names are `Arc<str>` so a long-lived publisher hands them out by
+/// reference-count bump instead of copying per message; the broker
+/// likewise fans one `Arc<Event>` out to every subscriber, so the
+/// payload bytes are allocated exactly once no matter the fan-out.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Event {
     /// The stream this event was published on.
-    pub stream: String,
+    pub stream: Arc<str>,
     /// The message format name (mirrors the wire header, but lets
     /// consumers route without parsing payloads).
-    pub format_name: String,
+    pub format_name: Arc<str>,
     /// The encoded message.
     pub payload: Vec<u8>,
 }
@@ -26,8 +31,8 @@ pub struct Event {
 impl Event {
     /// Creates an event.
     pub fn new(
-        stream: impl Into<String>,
-        format_name: impl Into<String>,
+        stream: impl Into<Arc<str>>,
+        format_name: impl Into<Arc<str>>,
         payload: Vec<u8>,
     ) -> Self {
         Event { stream: stream.into(), format_name: format_name.into(), payload }
@@ -51,14 +56,20 @@ pub struct StreamInfo {
 #[derive(Debug)]
 struct StreamState {
     metadata_locator: Option<String>,
-    senders: Vec<Sender<Event>>,
+    senders: Vec<Sender<Arc<Event>>>,
     published: u64,
 }
 
 /// A subscription: the consuming end of a stream.
+///
+/// Events arrive as [`Arc<Event>`]: every subscriber of a stream shares
+/// the single allocation the publisher made, so receiving is free of
+/// copies. `Arc<Event>` dereferences to [`Event`], so `.payload` et al.
+/// read as before; clone the `Arc` (cheap) to retain an event, or clone
+/// the `Event` (copies the payload) to mutate one.
 #[derive(Debug)]
 pub struct Subscription {
-    receiver: Receiver<Event>,
+    receiver: Receiver<Arc<Event>>,
 }
 
 impl Subscription {
@@ -68,7 +79,7 @@ impl Subscription {
     ///
     /// Returns [`BackboneError::Disconnected`] when every publisher
     /// handle to the broker is gone.
-    pub fn recv(&self) -> Result<Event, BackboneError> {
+    pub fn recv(&self) -> Result<Arc<Event>, BackboneError> {
         self.receiver.recv().map_err(|_| BackboneError::Disconnected)
     }
 
@@ -80,12 +91,12 @@ impl Subscription {
     pub fn recv_timeout(
         &self,
         timeout: std::time::Duration,
-    ) -> Result<Event, BackboneError> {
+    ) -> Result<Arc<Event>, BackboneError> {
         self.receiver.recv_timeout(timeout).map_err(|_| BackboneError::Disconnected)
     }
 
     /// Non-blocking poll.
-    pub fn try_recv(&self) -> Option<Event> {
+    pub fn try_recv(&self) -> Option<Arc<Event>> {
         self.receiver.try_recv().ok()
     }
 
@@ -142,16 +153,21 @@ impl Broker {
     /// Publishes an event to its stream, returning how many subscribers
     /// received it. Dead subscriptions are pruned.
     ///
+    /// The event is wrapped in one [`Arc`] and every subscriber receives
+    /// a reference-count clone of it — fan-out cost is independent of
+    /// payload size and performs no allocation here.
+    ///
     /// # Errors
     ///
     /// Unknown streams.
     pub fn publish(&self, event: Event) -> Result<usize, BackboneError> {
         let mut streams = self.streams.write();
         let state = streams
-            .get_mut(&event.stream)
-            .ok_or_else(|| BackboneError::UnknownStream { name: event.stream.clone() })?;
+            .get_mut(&*event.stream)
+            .ok_or_else(|| BackboneError::UnknownStream { name: event.stream.to_string() })?;
         state.published += 1;
-        state.senders.retain(|tx| tx.send(event.clone()).is_ok());
+        let event = Arc::new(event);
+        state.senders.retain(|tx| tx.send(Arc::clone(&event)).is_ok());
         Ok(state.senders.len())
     }
 

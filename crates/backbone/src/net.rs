@@ -7,7 +7,7 @@
 //! could be swapped for multicast or a cluster interconnect without
 //! touching metadata handling.
 
-use std::io::{BufReader, BufWriter, Read, Write};
+use std::io::{BufReader, BufWriter, IoSlice, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -36,18 +36,63 @@ impl Frame {
 /// corrupt length prefixes).
 const MAX_SECTION: u32 = 64 * 1024 * 1024;
 
-/// Writes one frame.
+/// Writes one frame and flushes.
 ///
 /// # Errors
 ///
 /// Propagates I/O failures.
 pub fn write_frame(writer: &mut impl Write, frame: &Frame) -> Result<(), BackboneError> {
-    let name = frame.stream.as_bytes();
-    writer.write_all(&(name.len() as u32).to_le_bytes())?;
-    writer.write_all(name)?;
-    writer.write_all(&(frame.payload.len() as u32).to_le_bytes())?;
-    writer.write_all(&frame.payload)?;
+    write_frame_unflushed(writer, frame)?;
     writer.flush()?;
+    Ok(())
+}
+
+/// Writes a batch of frames with a single flush at the end — the
+/// transport-side half of batched publishing: the kernel sees one
+/// coalesced write per buffer fill instead of one per frame section.
+///
+/// # Errors
+///
+/// Propagates I/O failures; frames before the failure may have been
+/// sent.
+pub fn write_frames(writer: &mut impl Write, frames: &[Frame]) -> Result<(), BackboneError> {
+    for frame in frames {
+        write_frame_unflushed(writer, frame)?;
+    }
+    writer.flush()?;
+    Ok(())
+}
+
+/// Writes a frame's four sections (two length prefixes, name, payload)
+/// as one vectored write instead of four `write_all` calls — on a
+/// `BufWriter` the sections land in the buffer in one pass, and on a raw
+/// socket the whole frame goes out in a single `writev`. Partial writes
+/// loop, advancing across section boundaries.
+fn write_frame_unflushed(writer: &mut impl Write, frame: &Frame) -> Result<(), BackboneError> {
+    let name = frame.stream.as_bytes();
+    let name_len = (name.len() as u32).to_le_bytes();
+    let payload_len = (frame.payload.len() as u32).to_le_bytes();
+    let mut slices = [
+        IoSlice::new(&name_len),
+        IoSlice::new(name),
+        IoSlice::new(&payload_len),
+        IoSlice::new(&frame.payload),
+    ];
+    let mut remaining = name_len.len() + name.len() + payload_len.len() + frame.payload.len();
+    let mut bufs: &mut [IoSlice<'_>] = &mut slices;
+    while remaining > 0 {
+        match writer.write_vectored(bufs) {
+            Ok(0) => {
+                return Err(std::io::Error::from(std::io::ErrorKind::WriteZero).into());
+            }
+            Ok(n) => {
+                remaining -= n.min(remaining);
+                IoSlice::advance_slices(&mut bufs, n);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
     Ok(())
 }
 
@@ -202,6 +247,15 @@ impl EventClient {
         write_frame(&mut self.writer, frame)
     }
 
+    /// Sends a batch of frames with one flush (see [`write_frames`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn send_batch(&mut self, frames: &[Frame]) -> Result<(), BackboneError> {
+        write_frames(&mut self.writer, frames)
+    }
+
     /// Receives one frame; `None` means the server closed the
     /// connection.
     ///
@@ -252,6 +306,42 @@ mod tests {
             let frame = Frame::new("s", i.to_le_bytes().to_vec());
             assert_eq!(client.request(&frame).unwrap().payload, i.to_le_bytes());
         }
+    }
+
+    #[test]
+    fn batched_frames_round_trip_with_one_flush() {
+        let server = echo_server();
+        let mut client = EventClient::connect(server.local_addr()).unwrap();
+        let frames: Vec<Frame> =
+            (0..10u8).map(|i| Frame::new("batch", vec![i; i as usize])).collect();
+        client.send_batch(&frames).unwrap();
+        for frame in &frames {
+            assert_eq!(client.recv().unwrap().unwrap(), *frame);
+        }
+    }
+
+    #[test]
+    fn vectored_write_survives_partial_writes() {
+        /// A writer accepting at most 3 bytes per call; its default
+        /// `write_vectored` forwards only the first non-empty slice, so
+        /// this exercises both the partial-write loop and slice
+        /// advancing across section boundaries.
+        struct Trickle(Vec<u8>);
+        impl Write for Trickle {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                let n = buf.len().min(3);
+                self.0.extend_from_slice(&buf[..n]);
+                Ok(n)
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut writer = Trickle(Vec::new());
+        let frame = Frame::new("stream-name", (0..100u8).collect());
+        write_frame(&mut writer, &frame).unwrap();
+        let got = read_frame(&mut writer.0.as_slice()).unwrap().unwrap();
+        assert_eq!(got, frame);
     }
 
     #[test]

@@ -4,6 +4,7 @@
 use std::sync::Arc;
 
 use clayout::Record;
+use parking_lot::Mutex;
 use pbio::Format;
 use xml2wire::Xml2Wire;
 
@@ -12,12 +13,19 @@ use crate::error::BackboneError;
 
 /// A capture point: publishes records of one format onto one stream
 /// (the FAA feed, the NOAA feed, the data-mining process of §2).
+///
+/// The hot path is allocation-pooled: records are encoded into a
+/// retained scratch buffer (header prefix memoized in the resolved
+/// [`Format`], payload built in place), so the only allocation per
+/// published message is the exact-size payload the broker fans out by
+/// [`Arc`].
 #[derive(Debug)]
 pub struct CapturePoint {
     broker: Arc<Broker>,
-    session: Arc<Xml2Wire>,
-    stream: String,
-    format_name: String,
+    stream: Arc<str>,
+    format_name: Arc<str>,
+    format: Arc<Format>,
+    scratch: Mutex<Vec<u8>>,
 }
 
 impl CapturePoint {
@@ -25,7 +33,9 @@ impl CapturePoint {
     /// advertising `metadata_locator` for subscribers to discover.
     ///
     /// The session must already know `format_name` (the producer always
-    /// knows its own format — typically it *published* the metadata).
+    /// knows its own format — typically it *published* the metadata);
+    /// the resolved format is pinned here so publishing skips the
+    /// per-message registry lookup.
     ///
     /// # Errors
     ///
@@ -33,15 +43,15 @@ impl CapturePoint {
     pub fn new(
         broker: Arc<Broker>,
         session: Arc<Xml2Wire>,
-        stream: impl Into<String>,
-        format_name: impl Into<String>,
+        stream: impl Into<Arc<str>>,
+        format_name: impl Into<Arc<str>>,
         metadata_locator: Option<String>,
     ) -> Result<Self, BackboneError> {
         let stream = stream.into();
         let format_name = format_name.into();
-        session.require_format(&format_name)?;
-        broker.create_stream(stream.clone(), metadata_locator);
-        Ok(CapturePoint { broker, session, stream, format_name })
+        let format = session.require_format(&format_name)?;
+        broker.create_stream(stream.to_string(), metadata_locator);
+        Ok(CapturePoint { broker, stream, format_name, format, scratch: Mutex::new(Vec::new()) })
     }
 
     /// Encodes and publishes one record; returns the subscriber count
@@ -51,26 +61,34 @@ impl CapturePoint {
     ///
     /// Encoding or broker failures.
     pub fn publish(&self, record: &Record) -> Result<usize, BackboneError> {
-        let payload = self.session.encode(record, &self.format_name)?;
-        self.broker.publish(Event::new(
-            self.stream.clone(),
-            self.format_name.clone(),
-            payload,
-        ))
-        .map_err(Into::into)
+        let mut scratch = self.scratch.lock();
+        self.publish_from(&mut scratch, record)
     }
 
-    /// Publishes a batch, returning the total deliveries.
+    /// Publishes a batch, returning the total deliveries. The scratch
+    /// buffer is locked once for the whole batch.
     ///
     /// # Errors
     ///
     /// As [`publish`](Self::publish); stops at the first failure.
     pub fn publish_batch(&self, records: &[Record]) -> Result<usize, BackboneError> {
+        let mut scratch = self.scratch.lock();
         let mut total = 0;
         for record in records {
-            total += self.publish(record)?;
+            total += self.publish_from(&mut scratch, record)?;
         }
         Ok(total)
+    }
+
+    /// Encodes into `scratch` (reusing its capacity) and publishes the
+    /// exact-size copy — the one allocation the message needs.
+    fn publish_from(&self, scratch: &mut Vec<u8>, record: &Record) -> Result<usize, BackboneError> {
+        pbio::ndr::encode_into(scratch, record, &self.format)?;
+        self.broker.publish(Event::new(
+            Arc::clone(&self.stream),
+            Arc::clone(&self.format_name),
+            scratch.to_vec(),
+        ))
     }
 
     /// The stream this capture point feeds.

@@ -1,0 +1,64 @@
+//! **E-hot**: steady-state publish throughput on the NDR hot path.
+//!
+//! The paper's efficiency claim (§4) is about *marginal* message cost:
+//! after formats are registered and plans are cached, moving one event
+//! from a producer's record to N subscribers should cost one image build
+//! and no per-subscriber payload work. This bench measures that marginal
+//! cost end to end — encode + broker fan-out + drain — for 1, 8 and 64
+//! subscribers, reporting messages/second (Throughput::Elements(1) per
+//! iteration).
+//!
+//! Pair with `crates/bench/tests/alloc_count.rs`, which asserts the
+//! allocation counts this bench's numbers rely on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::sync::Arc;
+use std::time::Duration;
+
+use backbone::{Broker, CapturePoint};
+use clayout::Architecture;
+use omf_bench::{record_b, SCHEMA_B};
+
+fn hot_path(c: &mut Criterion) {
+    let record = record_b();
+
+    let mut group = c.benchmark_group("e_hot");
+    group.sample_size(50).measurement_time(Duration::from_secs(2));
+
+    for subscribers in [1usize, 8, 64] {
+        let broker = Arc::new(Broker::new());
+        let session = Arc::new(
+            xml2wire::Xml2Wire::builder().arch(Architecture::host()).build(),
+        );
+        session.register_schema_str(SCHEMA_B).unwrap();
+        let capture = CapturePoint::new(
+            Arc::clone(&broker),
+            session,
+            "hot",
+            "ASDOffEvent",
+            None,
+        )
+        .unwrap();
+        let subs: Vec<_> =
+            (0..subscribers).map(|_| broker.subscribe("hot").unwrap()).collect();
+
+        group.throughput(Throughput::Elements(1));
+        group.bench_with_input(
+            BenchmarkId::new("publish", subscribers),
+            &(),
+            |b, ()| {
+                b.iter(|| {
+                    let delivered = capture.publish(&record).unwrap();
+                    assert_eq!(delivered, subscribers);
+                    for sub in &subs {
+                        std::hint::black_box(sub.try_recv());
+                    }
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, hot_path);
+criterion_main!(benches);

@@ -107,7 +107,9 @@ fn round_trip_benches(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("ndr", &label), &(), |b, ()| {
             b.iter(|| {
                 let wire = pbio::ndr::encode(&record, &format).unwrap();
-                pbio::ndr::to_native_image(&wire, &format, &plans).unwrap()
+                std::hint::black_box(
+                    pbio::ndr::to_native_image(&wire, &format, &plans).unwrap(),
+                );
             });
         });
         group.bench_with_input(BenchmarkId::new("xdr", &label), &(), |b, ()| {

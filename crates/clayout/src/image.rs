@@ -135,20 +135,49 @@ pub fn encode_record(
     arch: &Architecture,
 ) -> Result<Image, LayoutError> {
     let layout = Layout::of_struct(st, arch)?;
-    let mut buf = vec![0u8; layout.size];
-    encode_struct_at(&mut buf, 0, record, &layout, arch)?;
-    Ok(Image { bytes: buf, fixed_len: layout.size })
+    let mut buf = Vec::with_capacity(layout.size);
+    let fixed_len = encode_record_into(&mut buf, record, &layout, arch)?;
+    Ok(Image { bytes: buf, fixed_len })
+}
+
+/// Appends a native byte image of `record` to `buf`, reusing the
+/// caller's buffer (and its capacity) instead of allocating one — the
+/// zero-allocation encode primitive behind [`encode_record`] and pbio's
+/// pooled message encoder.
+///
+/// The image starts at `buf.len()` at entry; image-relative pointers
+/// (strings, dynamic arrays) are measured from there, so the appended
+/// bytes are exactly what [`encode_record`] would have produced on an
+/// empty buffer. `layout` must be `st`'s layout on `arch` — passing it
+/// in lets callers with a precomputed layout (pbio's `Format`) skip the
+/// per-message layout computation. Returns the image's fixed-part
+/// length (`layout.size`).
+///
+/// # Errors
+///
+/// As [`encode_record`]. On error the buffer's length beyond the entry
+/// point is unspecified; callers reusing buffers should truncate back.
+pub fn encode_record_into(
+    buf: &mut Vec<u8>,
+    record: &Record,
+    layout: &Layout,
+    arch: &Architecture,
+) -> Result<usize, LayoutError> {
+    let image_start = buf.len();
+    buf.resize(image_start + layout.size, 0);
+    encode_struct_at(buf, image_start, image_start, record, layout, arch)?;
+    Ok(layout.size)
 }
 
 fn encode_struct_at(
     buf: &mut Vec<u8>,
+    image_start: usize,
     base: usize,
     record: &Record,
     layout: &Layout,
     arch: &Architecture,
 ) -> Result<(), LayoutError> {
-    // Pre-compute authoritative count values from dynamic array lengths.
-    let mut counts: Vec<(String, u64)> = Vec::new();
+    // Validate supplied counts against their dynamic arrays' lengths.
     for field in &layout.fields {
         if let CType::Array { len: ArrayLen::CountField(count_name), .. } = &field.ty {
             let value = record
@@ -159,9 +188,8 @@ fn encode_struct_at(
                 expected: "array".into(),
                 found: value.type_name().into(),
             })?;
-            let n = arr.len() as u64;
             if let Some(supplied) = record.get(count_name).and_then(Value::as_u64) {
-                if supplied != n {
+                if supplied != arr.len() as u64 {
                     return Err(LayoutError::ArrayLengthMismatch {
                         field: field.name.clone(),
                         declared: supplied as usize,
@@ -169,32 +197,53 @@ fn encode_struct_at(
                     });
                 }
             }
-            counts.push((count_name.clone(), n));
         }
     }
 
     for field in &layout.fields {
-        // Borrow the value where present; only synthesized counts are
-        // materialized (cloning here would copy whole arrays per encode).
+        // Borrow the value where present; a count field the record omits
+        // is synthesized in place from its array's length (no side table
+        // — this loop must not allocate on the pooled encode path).
         match record.get(&field.name) {
-            Some(value) => {
-                encode_value_at(buf, base + field.offset, value, &field.ty, &field.name, arch)?
-            }
+            Some(value) => encode_value_at(
+                buf,
+                image_start,
+                base + field.offset,
+                value,
+                &field.ty,
+                &field.name,
+                arch,
+            )?,
             None => {
-                let synthetic = counts
+                let n = layout
+                    .fields
                     .iter()
-                    .find(|(n, _)| n == &field.name)
-                    .map(|(_, v)| Value::UInt(*v))
+                    .find_map(|f| match &f.ty {
+                        CType::Array { len: ArrayLen::CountField(c), .. } if *c == field.name => {
+                            record.get(&f.name).and_then(Value::as_array).map(|a| a.len() as u64)
+                        }
+                        _ => None,
+                    })
                     .ok_or_else(|| LayoutError::MissingField { field: field.name.clone() })?;
-                encode_value_at(buf, base + field.offset, &synthetic, &field.ty, &field.name, arch)?
+                encode_value_at(
+                    buf,
+                    image_start,
+                    base + field.offset,
+                    &Value::UInt(n),
+                    &field.ty,
+                    &field.name,
+                    arch,
+                )?
             }
         }
     }
     Ok(())
 }
 
+#[allow(clippy::too_many_arguments)]
 fn encode_value_at(
     buf: &mut Vec<u8>,
+    image_start: usize,
     at: usize,
     value: &Value,
     ty: &CType,
@@ -209,7 +258,9 @@ fn encode_value_at(
                 expected: "string".into(),
                 found: value.type_name().into(),
             })?;
-            let target = buf.len() as u64;
+            // Pointers are image-relative, not buffer-relative: the image
+            // may sit after other content (e.g. a wire header).
+            let target = (buf.len() - image_start) as u64;
             buf.extend_from_slice(s.as_bytes());
             buf.push(0);
             put_uint(buf, at, arch.pointer.size, arch.endianness, target);
@@ -232,7 +283,15 @@ fn encode_value_at(
                         });
                     }
                     for (i, item) in items.iter().enumerate() {
-                        encode_value_at(buf, at + i * elem_sa.size, item, elem, field, arch)?;
+                        encode_value_at(
+                            buf,
+                            image_start,
+                            at + i * elem_sa.size,
+                            item,
+                            elem,
+                            field,
+                            arch,
+                        )?;
                     }
                     Ok(())
                 }
@@ -242,12 +301,22 @@ fn encode_value_at(
                         put_uint(buf, at, arch.pointer.size, arch.endianness, 0);
                         return Ok(());
                     }
-                    let region = align_up(buf.len(), elem_sa.align);
+                    // Align the region within the *image*, not the buffer.
+                    let region_rel = align_up(buf.len() - image_start, elem_sa.align);
+                    let region = image_start + region_rel;
                     buf.resize(region + items.len() * elem_sa.size, 0);
-                    put_uint(buf, at, arch.pointer.size, arch.endianness, region as u64);
-                    check_pointer_width(region as u64, arch, field)?;
+                    put_uint(buf, at, arch.pointer.size, arch.endianness, region_rel as u64);
+                    check_pointer_width(region_rel as u64, arch, field)?;
                     for (i, item) in items.iter().enumerate() {
-                        encode_value_at(buf, region + i * elem_sa.size, item, elem, field, arch)?;
+                        encode_value_at(
+                            buf,
+                            image_start,
+                            region + i * elem_sa.size,
+                            item,
+                            elem,
+                            field,
+                            arch,
+                        )?;
                     }
                     Ok(())
                 }
@@ -260,7 +329,7 @@ fn encode_value_at(
                 found: value.type_name().into(),
             })?;
             let inner_layout = Layout::of_struct(inner, arch)?;
-            encode_struct_at(buf, at, rec, &inner_layout, arch)
+            encode_struct_at(buf, image_start, at, rec, &inner_layout, arch)
         }
     }
 }

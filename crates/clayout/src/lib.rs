@@ -55,6 +55,6 @@ pub mod value;
 pub use arch::{Architecture, Endianness, SizeAlign};
 pub use ctype::{ArrayLen, CType, Primitive, StructField, StructType};
 pub use error::LayoutError;
-pub use image::{decode_record, encode_record, Image};
+pub use image::{decode_record, encode_record, encode_record_into, Image};
 pub use layout::{FieldLayout, Layout};
 pub use value::{Record, Value};

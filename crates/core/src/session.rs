@@ -3,8 +3,8 @@
 
 use std::sync::Arc;
 
-use clayout::{Architecture, Image, Record, StructType};
-use pbio::{Catalog, Format, FormatRegistry, PlanCache};
+use clayout::{Architecture, Record, StructType};
+use pbio::{Catalog, Format, FormatRegistry, ImageCow, PlanCache};
 use xsdlite::Schema;
 
 use crate::binding::Binder;
@@ -121,6 +121,23 @@ impl Xml2Wire {
         Ok(pbio::ndr::encode(record, &format)?)
     }
 
+    /// Encodes `record` into `out`, reusing the buffer's capacity — the
+    /// pooled-buffer variant of [`encode`](Self::encode) for callers
+    /// publishing at rate (see `pbio::ndr::encode_into`).
+    ///
+    /// # Errors
+    ///
+    /// Unknown format or encoding failures.
+    pub fn encode_into(
+        &self,
+        out: &mut Vec<u8>,
+        record: &Record,
+        format_name: &str,
+    ) -> Result<(), X2wError> {
+        let format = self.require_format(format_name)?;
+        Ok(pbio::ndr::encode_into(out, record, &format)?)
+    }
+
     /// Decodes an NDR message, resolving its format by name in this
     /// session's registry.
     ///
@@ -132,12 +149,14 @@ impl Xml2Wire {
     }
 
     /// Converts a message to a native image for this session's
-    /// architecture (zero conversion when the sender's layout matches).
+    /// architecture. When the sender's layout matches, the returned
+    /// [`ImageCow`] borrows the payload inside `bytes` — zero copies;
+    /// call [`ImageCow::into_owned`] to detach.
     ///
     /// # Errors
     ///
     /// Unknown formats, conversion overflow, malformed messages.
-    pub fn to_native_image(&self, bytes: &[u8]) -> Result<Image, X2wError> {
+    pub fn to_native_image<'a>(&self, bytes: &'a [u8]) -> Result<ImageCow<'a>, X2wError> {
         let (header, _) = pbio::header::WireHeader::parse(bytes)?;
         let format = self.require_format(&header.format_name)?;
         Ok(pbio::ndr::to_native_image(bytes, &format, &self.plans)?)

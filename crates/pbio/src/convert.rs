@@ -8,11 +8,13 @@
 //! that a tight interpreter loop executes per message — same asymptotics
 //! (all metadata interpretation happens at plan-build time, first
 //! contact), same homogeneous fast path (a layout-compatible pair
-//! produces an *identity* plan whose conversion is one `memcpy`).
+//! produces an *identity* plan whose conversion borrows the payload
+//! outright — zero copies; see [`ImageCow`]).
 //!
 //! Plans are cached in a [`PlanCache`] keyed by format name and the two
 //! architecture descriptors.
 
+use std::borrow::Cow;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -65,6 +67,40 @@ enum Op {
         elem: ElemPlan,
         field: u32,
     },
+}
+
+/// The result of [`ConversionPlan::convert`]: a native image whose
+/// bytes are **borrowed** from the source payload on the identity fast
+/// path (layout-compatible sender, zero copies) and owned otherwise.
+///
+/// Mirrors [`clayout::Image`] — same `bytes`/`fixed_len` shape, same
+/// [`var_section`](ImageCow::var_section) accessor — so decode helpers
+/// taking `&[u8]` work on either through deref.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ImageCow<'a> {
+    /// The raw bytes: fixed part first, then the variable section.
+    pub bytes: Cow<'a, [u8]>,
+    /// Length of the fixed part (`sizeof` the root struct).
+    pub fixed_len: usize,
+}
+
+impl ImageCow<'_> {
+    /// Whether the bytes are borrowed straight from the source payload —
+    /// true exactly when the plan was an identity (the NDR homogeneous
+    /// fast path).
+    pub fn is_borrowed(&self) -> bool {
+        matches!(self.bytes, Cow::Borrowed(_))
+    }
+
+    /// The variable-section bytes (everything after the fixed part).
+    pub fn var_section(&self) -> &[u8] {
+        &self.bytes[self.fixed_len.min(self.bytes.len())..]
+    }
+
+    /// Detaches from the source buffer, copying only if still borrowed.
+    pub fn into_owned(self) -> Image {
+        Image { bytes: self.bytes.into_owned(), fixed_len: self.fixed_len }
+    }
 }
 
 /// A compiled conversion from one format's wire image to another
@@ -139,28 +175,24 @@ impl ConversionPlan {
     /// Converts one wire payload (fixed part + variable section, as
     /// produced by [`clayout::encode_record`] on the source
     /// architecture) into a native image for the destination
-    /// architecture.
+    /// architecture. An identity plan borrows the payload outright
+    /// (zero copies, zero allocations); call
+    /// [`ImageCow::into_owned`] to detach from the wire buffer.
     ///
     /// # Errors
     ///
     /// Reports truncated/corrupt source images and values that cannot be
     /// represented on the destination (narrowing overflow).
-    pub fn convert(&self, payload: &[u8]) -> Result<Image, PbioError> {
-        if self.identity {
-            if payload.len() < self.src_fixed_len {
-                return Err(PbioError::Truncated {
-                    need: self.src_fixed_len,
-                    have: payload.len(),
-                });
-            }
-            return Ok(Image { bytes: payload.to_vec(), fixed_len: self.src_fixed_len });
-        }
+    pub fn convert<'a>(&self, payload: &'a [u8]) -> Result<ImageCow<'a>, PbioError> {
         if payload.len() < self.src_fixed_len {
             return Err(PbioError::Truncated { need: self.src_fixed_len, have: payload.len() });
         }
+        if self.identity {
+            return Ok(ImageCow { bytes: Cow::Borrowed(payload), fixed_len: self.src_fixed_len });
+        }
         let mut dst = vec![0u8; self.dst_fixed_len];
         self.run_ops(&self.ops, payload, 0, &mut dst, 0)?;
-        Ok(Image { bytes: dst, fixed_len: self.dst_fixed_len })
+        Ok(ImageCow { bytes: Cow::Owned(dst), fixed_len: self.dst_fixed_len })
     }
 
     fn run_ops(
@@ -547,6 +579,10 @@ fn coalesce(ops: Vec<Op>) -> Vec<Op> {
     out
 }
 
+/// Cache key: struct-type name plus the source and destination
+/// architecture descriptors.
+type PlanKey = (String, [u8; 6], [u8; 6]);
+
 /// A cache of compiled plans, keyed by format name and the source and
 /// destination architecture descriptors.
 ///
@@ -555,7 +591,7 @@ fn coalesce(ops: Vec<Op>) -> Vec<Op> {
 /// compilation; every later message executes the cached plan.
 #[derive(Debug, Default)]
 pub struct PlanCache {
-    plans: RwLock<HashMap<(String, [u8; 6], [u8; 6]), Arc<ConversionPlan>>>,
+    plans: RwLock<HashMap<PlanKey, Arc<ConversionPlan>>>,
 }
 
 impl PlanCache {
@@ -695,7 +731,7 @@ mod tests {
     }
 
     #[test]
-    fn identity_conversion_preserves_bytes() {
+    fn identity_conversion_borrows_the_payload() {
         let st = structure_b();
         let rec = sample();
         let wire = encode_record(&rec, &st, &Architecture::X86_64).unwrap();
@@ -703,6 +739,26 @@ mod tests {
             ConversionPlan::build(&st, &Architecture::X86_64, &Architecture::X86_64).unwrap();
         let out = plan.convert(&wire.bytes).unwrap();
         assert_eq!(out.bytes, wire.bytes);
+        assert_eq!(out.fixed_len, wire.fixed_len);
+        // Not merely equal bytes: the identity path must alias the source
+        // buffer, not copy it.
+        assert!(out.is_borrowed());
+        assert_eq!(out.bytes.as_ptr(), wire.bytes.as_ptr());
+        assert_eq!(out.var_section(), wire.var_section());
+        // into_owned detaches; the copy outlives the source.
+        let owned = out.into_owned();
+        assert_eq!(owned.bytes, wire.bytes);
+    }
+
+    #[test]
+    fn heterogeneous_conversion_owns_its_bytes() {
+        let st = structure_b();
+        let rec = sample();
+        let wire = encode_record(&rec, &st, &Architecture::X86_64).unwrap();
+        let plan =
+            ConversionPlan::build(&st, &Architecture::X86_64, &Architecture::SPARC32).unwrap();
+        let out = plan.convert(&wire.bytes).unwrap();
+        assert!(!out.is_borrowed());
     }
 
     #[test]

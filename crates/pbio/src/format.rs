@@ -27,6 +27,12 @@ pub struct Format {
     arch: Architecture,
     layout: Layout,
     fingerprint: u64,
+    /// Memoized wire-header bytes: everything in this format's header —
+    /// magic, id, arch descriptor, name, fingerprint — is per-format
+    /// constant except the two length fields, which encoders patch after
+    /// the payload is built. One memcpy replaces per-message header
+    /// assembly.
+    header_prefix: Vec<u8>,
 }
 
 /// A stable fingerprint of a struct *definition* (independent of
@@ -61,7 +67,24 @@ impl Format {
     ) -> Result<Format, PbioError> {
         let layout = Layout::of_struct(&struct_type, &arch)?;
         let fingerprint = struct_fingerprint(&struct_type);
-        Ok(Format { id, struct_type, arch, layout, fingerprint })
+        let header = crate::header::WireHeader {
+            format_id: id,
+            arch,
+            format_name: struct_type.name.clone(),
+            fingerprint,
+            fixed_len: 0,
+            payload_len: 0,
+        };
+        let mut header_prefix = Vec::with_capacity(header.encoded_len());
+        header.write_to(&mut header_prefix);
+        Ok(Format { id, struct_type, arch, layout, fingerprint, header_prefix })
+    }
+
+    /// The memoized wire-header bytes for this format, with the two
+    /// per-message length fields (`fixed_len` at offset 16, `payload_len`
+    /// at offset 20) left zero for the encoder to patch.
+    pub fn header_prefix(&self) -> &[u8] {
+        &self.header_prefix
     }
 
     /// The registry-assigned id.

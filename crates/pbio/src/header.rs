@@ -18,6 +18,12 @@ pub const MAGIC: [u8; 2] = *b"ND";
 pub const VERSION: u8 = 1;
 /// Size of the fixed portion of the header, before the format name.
 pub const FIXED_HEADER_LEN: usize = 32;
+/// Byte offset of the `fixed_len` field — with [`PAYLOAD_LEN_OFFSET`],
+/// one of the only two header fields that vary per message (everything
+/// else is per-format constant; see `Format::header_prefix`).
+pub const FIXED_LEN_OFFSET: usize = 16;
+/// Byte offset of the `payload_len` field (see [`FIXED_LEN_OFFSET`]).
+pub const PAYLOAD_LEN_OFFSET: usize = 20;
 
 /// A parsed (or to-be-written) NDR message header.
 #[derive(Debug, Clone, PartialEq)]
@@ -57,8 +63,8 @@ impl WireHeader {
         put_uint(buf, 4, 4, Endianness::Little, self.format_id.0 as u64);
         buf[8..14].copy_from_slice(&self.arch.descriptor());
         put_uint(buf, 14, 2, Endianness::Little, self.format_name.len() as u64);
-        put_uint(buf, 16, 4, Endianness::Little, self.fixed_len as u64);
-        put_uint(buf, 20, 4, Endianness::Little, self.payload_len as u64);
+        put_uint(buf, FIXED_LEN_OFFSET, 4, Endianness::Little, self.fixed_len as u64);
+        put_uint(buf, PAYLOAD_LEN_OFFSET, 4, Endianness::Little, self.payload_len as u64);
         put_uint(buf, 24, 8, Endianness::Little, self.fingerprint);
         buf[FIXED_HEADER_LEN..FIXED_HEADER_LEN + self.format_name.len()]
             .copy_from_slice(self.format_name.as_bytes());

@@ -72,13 +72,15 @@ pub mod ndr;
 pub mod recfile;
 pub mod registry;
 pub mod textxml;
+pub mod view;
 pub mod wire;
 pub mod xdr;
 
 pub use catalog::Catalog;
-pub use convert::{ConversionPlan, PlanCache};
+pub use convert::{ConversionPlan, ImageCow, PlanCache};
 pub use error::PbioError;
 pub use field::IoField;
 pub use format::{Format, FormatId};
 pub use registry::FormatRegistry;
+pub use view::{ArrayView, FieldView, RecordView};
 pub use wire::WireCodec;

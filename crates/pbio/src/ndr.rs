@@ -7,7 +7,7 @@
 //!
 //! * [`decode`] / [`decode_with`] — read values straight out of the wire
 //!   image using the sender's layout (reader-makes-right at the value
-//!   level), or
+//!   level), with [`view_with`] as the zero-copy lazy variant, or
 //! * [`to_native_image`] — produce a byte image in the *receiver's*
 //!   layout via a cached [`ConversionPlan`](crate::convert::ConversionPlan),
 //!   which is free (one bulk
@@ -15,13 +15,14 @@
 
 use std::sync::Arc;
 
-use clayout::{decode_record, encode_record, Architecture, Image, Record};
+use clayout::{decode_record, Architecture, Record};
 
-use crate::convert::PlanCache;
+use crate::convert::{ImageCow, PlanCache};
 use crate::error::PbioError;
 use crate::format::Format;
 use crate::header::WireHeader;
 use crate::registry::FormatRegistry;
+use crate::view::RecordView;
 
 /// Encodes `record` in `format` as a complete NDR message.
 ///
@@ -29,19 +30,43 @@ use crate::registry::FormatRegistry;
 ///
 /// Propagates image-encoding failures (missing fields, range overflow).
 pub fn encode(record: &Record, format: &Format) -> Result<Vec<u8>, PbioError> {
-    let image = encode_record(record, format.struct_type(), format.arch())?;
-    let header = WireHeader {
-        format_id: format.id(),
-        arch: *format.arch(),
-        format_name: format.name().to_owned(),
-        fingerprint: format.fingerprint(),
-        fixed_len: image.fixed_len as u32,
-        payload_len: image.bytes.len() as u32,
-    };
-    let mut out = Vec::with_capacity(header.encoded_len() + image.bytes.len());
-    header.write_to(&mut out);
-    out.extend_from_slice(&image.bytes);
+    let mut out = Vec::new();
+    encode_into(&mut out, record, format)?;
     Ok(out)
+}
+
+/// Encodes `record` in `format` into `out`, reusing the buffer's
+/// capacity — the zero-allocation hot path behind [`encode`].
+///
+/// The buffer is cleared, the format's memoized header prefix is copied
+/// in, and the payload image is built directly after it in one pass;
+/// the only per-message header work is patching the two length fields.
+/// A caller that keeps `out` pooled (e.g. backbone's `CapturePoint`)
+/// performs no allocations per message once the buffer has grown to the
+/// working-set size.
+///
+/// # Errors
+///
+/// As [`encode`]. On error `out` holds partially written bytes and must
+/// not be transmitted (the next `encode_into` clears it).
+pub fn encode_into(
+    out: &mut Vec<u8>,
+    record: &Record,
+    format: &Format,
+) -> Result<(), PbioError> {
+    use crate::header::{FIXED_LEN_OFFSET, PAYLOAD_LEN_OFFSET};
+    use clayout::image::put_uint;
+    use clayout::Endianness;
+
+    out.clear();
+    out.extend_from_slice(format.header_prefix());
+    let header_len = out.len();
+    let fixed_len =
+        clayout::encode_record_into(out, record, format.layout(), format.arch())?;
+    let payload_len = out.len() - header_len;
+    put_uint(out, FIXED_LEN_OFFSET, 4, Endianness::Little, fixed_len as u64);
+    put_uint(out, PAYLOAD_LEN_OFFSET, 4, Endianness::Little, payload_len as u64);
+    Ok(())
 }
 
 /// Splits a message into its parsed header and payload bytes.
@@ -83,6 +108,26 @@ pub fn decode_with(buf: &[u8], format: &Format) -> Result<Record, PbioError> {
         });
     }
     Ok(decode_record(payload, format.struct_type(), &header.arch)?)
+}
+
+/// Opens a borrowed [`RecordView`] over a message's payload — the
+/// zero-copy counterpart of [`decode_with`]: no `Record` is
+/// materialized, fields decode lazily on access, and strings come back
+/// as slices of `buf` itself.
+///
+/// # Errors
+///
+/// Reports header problems, format-name mismatches, and payloads
+/// shorter than the sender's fixed part.
+pub fn view_with<'a>(buf: &'a [u8], format: &'a Format) -> Result<RecordView<'a>, PbioError> {
+    let (header, payload) = split(buf)?;
+    if header.format_name != format.name() {
+        return Err(PbioError::FormatMismatch {
+            expected: format.name().to_owned(),
+            found: header.format_name,
+        });
+    }
+    RecordView::over(payload, format, &header.arch)
 }
 
 /// Decodes a message by resolving its format in `registry`.
@@ -130,19 +175,20 @@ pub fn decode(
 /// Converts a message's payload into a native image for
 /// `native_format`'s architecture, using (and populating) `plans`.
 ///
-/// Between layout-compatible architectures this is a single copy of the
-/// payload — the paper's "directly from the transmission medium into
-/// memory".
+/// Between layout-compatible architectures the returned [`ImageCow`]
+/// *borrows* the payload in place — the paper's "directly from the
+/// transmission medium into memory", with zero copies. Call
+/// [`ImageCow::into_owned`] to detach from the wire buffer.
 ///
 /// # Errors
 ///
 /// Reports header problems, name mismatches, conversion overflow and
 /// malformed payloads.
-pub fn to_native_image(
-    buf: &[u8],
+pub fn to_native_image<'a>(
+    buf: &'a [u8],
     native_format: &Format,
     plans: &PlanCache,
-) -> Result<Image, PbioError> {
+) -> Result<ImageCow<'a>, PbioError> {
     let (header, payload) = split(buf)?;
     if header.format_name != native_format.name() {
         return Err(PbioError::FormatMismatch {
@@ -281,13 +327,16 @@ mod tests {
     }
 
     #[test]
-    fn to_native_image_homogeneous_is_payload_copy() {
+    fn to_native_image_homogeneous_borrows_payload() {
         let format = format_on(Architecture::X86_64);
         let wire = encode(&sample(), &format).unwrap();
         let plans = PlanCache::new();
         let image = to_native_image(&wire, &format, &plans).unwrap();
         let (_, payload) = split(&wire).unwrap();
         assert_eq!(image.bytes, payload);
+        // The homogeneous fast path aliases the wire buffer in place.
+        assert!(image.is_borrowed());
+        assert_eq!(image.bytes.as_ptr(), payload.as_ptr());
     }
 
     #[test]

@@ -1,0 +1,626 @@
+//! Borrowed decode views over NDR payloads.
+//!
+//! [`RecordView`] is the zero-copy counterpart of
+//! [`ndr::decode_with`](crate::ndr::decode_with): instead of
+//! materializing a [`Record`] (one allocation per field name, one per
+//! string, one per array), it wraps the wire payload and decodes fields
+//! lazily on access — NDR's whole point is that the payload *is* the
+//! sender's native memory image, so a receiver that shares the sender's
+//! layout can read values straight out of it. Strings come back as
+//! validated `&str` slices of the payload, arrays as iterators that
+//! decode one element per step, and nested structs as nested views.
+//!
+//! The sender's layout is reused from the receiver's [`Format`] when the
+//! architectures are layout-compatible (the common homogeneous-cluster
+//! case: zero allocation to build the view); otherwise the sender's
+//! layout is computed once per view. [`RecordView::to_record`] is the
+//! escape hatch back to the eager world and decodes exactly what
+//! `decode_record` would.
+
+use std::borrow::Cow;
+
+use clayout::image::{get_int, get_uint};
+use clayout::{
+    Architecture, ArrayLen, CType, Layout, LayoutError, Primitive, Record, StructType, Value,
+};
+
+use crate::error::PbioError;
+use crate::format::Format;
+
+/// A lazily-decoded view of one record's NDR payload.
+///
+/// Obtained from [`ndr::view_with`](crate::ndr::view_with) (whole wire
+/// message) or [`RecordView::over`] (bare payload). Field access via
+/// [`get`](Self::get) decodes on demand and borrows from the payload
+/// wherever the data allows it.
+#[derive(Debug, Clone)]
+pub struct RecordView<'a> {
+    payload: &'a [u8],
+    struct_type: &'a StructType,
+    layout: Cow<'a, Layout>,
+    arch: Architecture,
+    /// Offset of this struct's fixed part within `payload` (non-zero for
+    /// nested struct views; pointers stay payload-relative throughout).
+    base: usize,
+}
+
+/// One field of a [`RecordView`], decoded on access.
+///
+/// The borrowing variants ([`Str`](Self::Str), [`Array`](Self::Array),
+/// [`Record`](Self::Record)) reference the wire payload directly; the
+/// accessors mirror [`Value`]'s so eager and lazy decoding can be
+/// compared field-for-field.
+#[derive(Debug, Clone)]
+pub enum FieldView<'a> {
+    /// A signed integer (sign-extended from its wire width).
+    Int(i64),
+    /// An unsigned integer.
+    UInt(u64),
+    /// A floating-point number (widened from `float` if necessary).
+    Float(f64),
+    /// A string, borrowed from the payload's variable section and
+    /// validated as UTF-8. A null pointer views as `""`.
+    Str(&'a str),
+    /// An array; elements decode as the iterator advances.
+    Array(ArrayView<'a>),
+    /// A nested struct, viewed lazily like its parent.
+    Record(RecordView<'a>),
+}
+
+/// An iterator over one array field's elements, decoding each element
+/// from the payload as it is consumed.
+#[derive(Debug, Clone)]
+pub struct ArrayView<'a> {
+    payload: &'a [u8],
+    elem: &'a CType,
+    arch: Architecture,
+    field: &'a str,
+    at: usize,
+    stride: usize,
+    remaining: usize,
+}
+
+impl<'a> RecordView<'a> {
+    /// Wraps a bare NDR payload (no wire header) written by a sender on
+    /// `sender_arch` in `format`'s struct type.
+    ///
+    /// When `sender_arch` is layout-compatible with the format's
+    /// architecture the format's precomputed layout is borrowed and
+    /// constructing the view allocates nothing; otherwise the sender's
+    /// layout is computed once here.
+    ///
+    /// # Errors
+    ///
+    /// Reports layout failures on the sender's architecture and payloads
+    /// shorter than the fixed part.
+    pub fn over(
+        payload: &'a [u8],
+        format: &'a Format,
+        sender_arch: &Architecture,
+    ) -> Result<RecordView<'a>, PbioError> {
+        let (layout, arch) = if sender_arch.layout_compatible(format.arch()) {
+            (Cow::Borrowed(format.layout()), *format.arch())
+        } else {
+            (Cow::Owned(Layout::of_struct(format.struct_type(), sender_arch)?), *sender_arch)
+        };
+        if payload.len() < layout.size {
+            return Err(PbioError::Truncated { need: layout.size, have: payload.len() });
+        }
+        Ok(RecordView { payload, struct_type: format.struct_type(), layout, arch, base: 0 })
+    }
+
+    /// The struct type this view decodes.
+    pub fn struct_type(&self) -> &'a StructType {
+        self.struct_type
+    }
+
+    /// The architecture the payload is laid out for (the sender's).
+    pub fn arch(&self) -> &Architecture {
+        &self.arch
+    }
+
+    /// Decodes one field by name.
+    ///
+    /// # Errors
+    ///
+    /// Reports unknown fields and the same truncation/bad-pointer/
+    /// bad-string conditions `decode_record` reports for the field.
+    pub fn get(&self, name: &str) -> Result<FieldView<'a>, PbioError> {
+        let field = self.struct_type.field(name).ok_or_else(|| {
+            PbioError::Layout(LayoutError::MissingField { field: name.to_owned() })
+        })?;
+        let fl = self.layout.field(name).ok_or_else(|| {
+            PbioError::Layout(LayoutError::MissingField { field: name.to_owned() })
+        })?;
+        self.view_at(self.base + fl.offset, &field.ty, &field.name)
+    }
+
+    /// Decodes every field in declaration order, yielding
+    /// `(name, field)` pairs.
+    pub fn fields(&self) -> impl Iterator<Item = (&'a str, Result<FieldView<'a>, PbioError>)> + '_ {
+        self.struct_type.fields.iter().map(move |f| (f.name.as_str(), self.get(&f.name)))
+    }
+
+    /// Eagerly decodes the whole view into a [`Record`] — the escape
+    /// hatch back to the allocating world, equal to what
+    /// [`clayout::decode_record`] produces from the same payload.
+    ///
+    /// # Errors
+    ///
+    /// As [`get`](Self::get), for whichever field fails first.
+    pub fn to_record(&self) -> Result<Record, PbioError> {
+        let mut record = Record::new();
+        for field in &self.struct_type.fields {
+            record.set(field.name.clone(), self.get(&field.name)?.to_value()?);
+        }
+        Ok(record)
+    }
+
+    /// Decodes the value of type `ty` at absolute payload offset `at`.
+    fn view_at(&self, at: usize, ty: &'a CType, field: &'a str) -> Result<FieldView<'a>, PbioError> {
+        match ty {
+            CType::Prim(p) => prim_view(self.payload, at, *p, field, &self.arch),
+            CType::String => {
+                bounds_check(self.payload, at, self.arch.pointer.size, field)?;
+                let target = get_uint(self.payload, at, self.arch.pointer.size, self.arch.endianness);
+                Ok(FieldView::Str(str_at(self.payload, target, field)?))
+            }
+            CType::Array { elem, len } => {
+                let elem_sa = Layout::size_align(elem, &self.arch)?;
+                let (start, count) = match len {
+                    ArrayLen::Fixed(n) => (at, *n),
+                    ArrayLen::CountField(count_name) => {
+                        let cf = self.layout.field(count_name).ok_or_else(|| {
+                            PbioError::Layout(LayoutError::MissingCountField {
+                                array: field.to_owned(),
+                                count_field: count_name.clone(),
+                            })
+                        })?;
+                        let count_at = self.base + cf.offset;
+                        bounds_check(self.payload, count_at, cf.size, count_name)?;
+                        let count = get_int(self.payload, count_at, cf.size, self.arch.endianness);
+                        if count < 0 || count as usize > self.payload.len() {
+                            return Err(PbioError::Layout(LayoutError::BadCount {
+                                field: count_name.clone(),
+                                count,
+                            }));
+                        }
+                        let count = count as usize;
+                        bounds_check(self.payload, at, self.arch.pointer.size, field)?;
+                        let target =
+                            get_uint(self.payload, at, self.arch.pointer.size, self.arch.endianness);
+                        if count == 0 {
+                            (0, 0)
+                        } else {
+                            let target = usize::try_from(target).map_err(|_| {
+                                PbioError::Layout(LayoutError::BadPointer {
+                                    field: field.to_owned(),
+                                    target,
+                                })
+                            })?;
+                            bounds_check(self.payload, target, count * elem_sa.size, field)?;
+                            (target, count)
+                        }
+                    }
+                };
+                Ok(FieldView::Array(ArrayView {
+                    payload: self.payload,
+                    elem,
+                    arch: self.arch,
+                    field,
+                    at: start,
+                    stride: elem_sa.size,
+                    remaining: count,
+                }))
+            }
+            CType::Struct(inner) => {
+                let inner_layout = Layout::of_struct(inner, &self.arch)?;
+                bounds_check(self.payload, at, inner_layout.size, field)?;
+                Ok(FieldView::Record(RecordView {
+                    payload: self.payload,
+                    struct_type: inner,
+                    layout: Cow::Owned(inner_layout),
+                    arch: self.arch,
+                    base: at,
+                }))
+            }
+        }
+    }
+}
+
+impl<'a> FieldView<'a> {
+    /// A short name for the field's runtime type, used in error messages
+    /// (matches [`Value::type_name`] for the corresponding value).
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            FieldView::Int(_) => "int",
+            FieldView::UInt(_) => "uint",
+            FieldView::Float(_) => "float",
+            FieldView::Str(_) => "string",
+            FieldView::Array(_) => "array",
+            FieldView::Record(_) => "record",
+        }
+    }
+
+    /// The field as `i64` if it is an integer of either signedness that
+    /// fits (same semantics as [`Value::as_i64`]).
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            FieldView::Int(v) => Some(*v),
+            FieldView::UInt(v) => i64::try_from(*v).ok(),
+            _ => None,
+        }
+    }
+
+    /// The field as `u64` if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            FieldView::UInt(v) => Some(*v),
+            FieldView::Int(v) => u64::try_from(*v).ok(),
+            _ => None,
+        }
+    }
+
+    /// The field as `f64` if it is a float.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            FieldView::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The field as a payload-borrowed `&str` if it is a string.
+    pub fn as_str(&self) -> Option<&'a str> {
+        match self {
+            FieldView::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The field as an element iterator if it is an array.
+    pub fn as_array(&self) -> Option<ArrayView<'a>> {
+        match self {
+            FieldView::Array(a) => Some(a.clone()),
+            _ => None,
+        }
+    }
+
+    /// The field as a nested view if it is a struct.
+    pub fn as_record(&self) -> Option<&RecordView<'a>> {
+        match self {
+            FieldView::Record(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Eagerly converts this field into a [`Value`] (allocating for
+    /// strings, arrays and nested records).
+    ///
+    /// # Errors
+    ///
+    /// Array and record conversion can hit the same decode errors as
+    /// element access.
+    pub fn to_value(&self) -> Result<Value, PbioError> {
+        Ok(match self {
+            FieldView::Int(v) => Value::Int(*v),
+            FieldView::UInt(v) => Value::UInt(*v),
+            FieldView::Float(v) => Value::Float(*v),
+            FieldView::Str(s) => Value::String((*s).to_owned()),
+            FieldView::Array(a) => {
+                let mut items = Vec::with_capacity(a.len());
+                for item in a.clone() {
+                    items.push(item?.to_value()?);
+                }
+                Value::Array(items)
+            }
+            FieldView::Record(r) => Value::Record(r.to_record()?),
+        })
+    }
+}
+
+impl<'a> ArrayView<'a> {
+    /// Elements not yet consumed.
+    pub fn len(&self) -> usize {
+        self.remaining
+    }
+
+    /// Whether no elements remain.
+    pub fn is_empty(&self) -> bool {
+        self.remaining == 0
+    }
+}
+
+impl<'a> Iterator for ArrayView<'a> {
+    type Item = Result<FieldView<'a>, PbioError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let at = self.at;
+        self.at += self.stride;
+        self.remaining -= 1;
+        Some(element_view(self.payload, at, self.elem, self.field, &self.arch))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for ArrayView<'_> {}
+
+/// Decodes one array element (the layout engine guarantees no
+/// arrays-of-arrays reach here).
+fn element_view<'a>(
+    payload: &'a [u8],
+    at: usize,
+    elem: &'a CType,
+    field: &'a str,
+    arch: &Architecture,
+) -> Result<FieldView<'a>, PbioError> {
+    match elem {
+        CType::Prim(p) => prim_view(payload, at, *p, field, arch),
+        CType::String => {
+            bounds_check(payload, at, arch.pointer.size, field)?;
+            let target = get_uint(payload, at, arch.pointer.size, arch.endianness);
+            Ok(FieldView::Str(str_at(payload, target, field)?))
+        }
+        CType::Struct(inner) => {
+            let inner_layout = Layout::of_struct(inner, arch)?;
+            bounds_check(payload, at, inner_layout.size, field)?;
+            Ok(FieldView::Record(RecordView {
+                payload,
+                struct_type: inner,
+                layout: Cow::Owned(inner_layout),
+                arch: *arch,
+                base: at,
+            }))
+        }
+        CType::Array { .. } => {
+            Err(PbioError::Layout(LayoutError::NestedArray { field: field.to_owned() }))
+        }
+    }
+}
+
+fn prim_view<'a>(
+    payload: &[u8],
+    at: usize,
+    prim: Primitive,
+    field: &str,
+    arch: &Architecture,
+) -> Result<FieldView<'a>, PbioError> {
+    let sa = arch.primitive(prim);
+    bounds_check(payload, at, sa.size, field)?;
+    if prim.is_float() {
+        let value = match sa.size {
+            4 => f32::from_bits(get_uint(payload, at, 4, arch.endianness) as u32) as f64,
+            _ => f64::from_bits(get_uint(payload, at, 8, arch.endianness)),
+        };
+        return Ok(FieldView::Float(value));
+    }
+    if prim.is_signed_integer() {
+        return Ok(FieldView::Int(get_int(payload, at, sa.size, arch.endianness)));
+    }
+    Ok(FieldView::UInt(get_uint(payload, at, sa.size, arch.endianness)))
+}
+
+/// Borrows the NUL-terminated string at payload-relative `target` (a
+/// swizzled pointer slot value; `0` is the null pointer and views as
+/// the empty string).
+fn str_at<'a>(payload: &'a [u8], target: u64, field: &str) -> Result<&'a str, PbioError> {
+    if target == 0 {
+        return Ok("");
+    }
+    let start = usize::try_from(target)
+        .ok()
+        .filter(|t| *t < payload.len())
+        .ok_or(PbioError::Layout(LayoutError::BadPointer { field: field.to_owned(), target }))?;
+    let end = payload[start..]
+        .iter()
+        .position(|b| *b == 0)
+        .map(|rel| start + rel)
+        .ok_or_else(|| {
+            PbioError::Layout(LayoutError::Truncated {
+                reading: format!("string field {field}"),
+                offset: start,
+                len: payload.len(),
+            })
+        })?;
+    std::str::from_utf8(&payload[start..end])
+        .map_err(|_| PbioError::Layout(LayoutError::BadString { field: field.to_owned() }))
+}
+
+fn bounds_check(payload: &[u8], at: usize, need: usize, what: &str) -> Result<(), PbioError> {
+    if at.checked_add(need).is_none_or(|end| end > payload.len()) {
+        Err(PbioError::Layout(LayoutError::Truncated {
+            reading: what.to_owned(),
+            offset: at,
+            len: payload.len(),
+        }))
+    } else {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::FormatId;
+    use crate::ndr;
+    use clayout::StructField;
+
+    fn prim(p: Primitive) -> CType {
+        CType::Prim(p)
+    }
+
+    /// Paper Appendix A structure B.
+    fn structure_b() -> StructType {
+        StructType::new(
+            "ASDOffEvent",
+            vec![
+                StructField::new("cntrId", CType::String),
+                StructField::new("arln", CType::String),
+                StructField::new("fltNum", prim(Primitive::Int)),
+                StructField::new("equip", CType::String),
+                StructField::new("org", CType::String),
+                StructField::new("dest", CType::String),
+                StructField::new("off", CType::fixed_array(prim(Primitive::ULong), 5)),
+                StructField::new("eta", CType::dynamic_array(prim(Primitive::ULong), "eta_count")),
+                StructField::new("eta_count", prim(Primitive::Int)),
+            ],
+        )
+    }
+
+    fn sample_b() -> Record {
+        Record::new()
+            .with("cntrId", "ZTL")
+            .with("arln", "DL")
+            .with("fltNum", 1202i64)
+            .with("equip", "B752")
+            .with("org", "ATL")
+            .with("dest", "BOS")
+            .with("off", vec![1u64, 2, 3, 4, 5])
+            .with("eta", vec![100u64, 200, 300])
+    }
+
+    fn format_on(arch: Architecture) -> Format {
+        Format::new(FormatId(1), structure_b(), arch).unwrap()
+    }
+
+    #[test]
+    fn view_reads_scalars_and_strings_without_copying() {
+        let format = format_on(Architecture::X86_64);
+        let wire = ndr::encode(&sample_b(), &format).unwrap();
+        let view = ndr::view_with(&wire, &format).unwrap();
+        assert_eq!(view.get("fltNum").unwrap().as_i64(), Some(1202));
+        let arln = view.get("arln").unwrap().as_str().unwrap();
+        assert_eq!(arln, "DL");
+        // The string is a slice of the wire buffer itself.
+        let wire_range = wire.as_ptr() as usize..wire.as_ptr() as usize + wire.len();
+        assert!(wire_range.contains(&(arln.as_ptr() as usize)));
+    }
+
+    #[test]
+    fn arrays_iterate_with_exact_len() {
+        let format = format_on(Architecture::X86_64);
+        let wire = ndr::encode(&sample_b(), &format).unwrap();
+        let view = ndr::view_with(&wire, &format).unwrap();
+        let off = view.get("off").unwrap().as_array().unwrap();
+        assert_eq!(off.len(), 5);
+        let values: Vec<u64> = off.map(|v| v.unwrap().as_u64().unwrap()).collect();
+        assert_eq!(values, vec![1, 2, 3, 4, 5]);
+        let eta = view.get("eta").unwrap().as_array().unwrap();
+        assert_eq!(eta.len(), 3);
+        let values: Vec<u64> = eta.map(|v| v.unwrap().as_u64().unwrap()).collect();
+        assert_eq!(values, vec![100, 200, 300]);
+    }
+
+    #[test]
+    fn view_agrees_with_eager_decode_cross_architecture() {
+        // A big-endian ILP32 sender read by an x86-64 receiver: the view
+        // must build the sender's layout and still agree with
+        // decode_record.
+        let sender = format_on(Architecture::SPARC32);
+        let receiver = format_on(Architecture::X86_64);
+        let wire = ndr::encode(&sample_b(), &sender).unwrap();
+        let eager = ndr::decode_with(&wire, &receiver).unwrap();
+        let view = ndr::view_with(&wire, &receiver).unwrap();
+        assert_eq!(view.to_record().unwrap(), eager);
+    }
+
+    #[test]
+    fn nested_structs_view_lazily() {
+        let inner = StructType::new(
+            "pt",
+            vec![
+                StructField::new("x", prim(Primitive::Double)),
+                StructField::new("label", CType::String),
+            ],
+        );
+        let outer = StructType::new(
+            "wrap",
+            vec![
+                StructField::new("head", prim(Primitive::Int)),
+                StructField::new("p", CType::Struct(inner)),
+            ],
+        );
+        let rec = Record::new()
+            .with("head", 7i64)
+            .with("p", Record::new().with("x", 3.5f64).with("label", "origin"));
+        for arch in [Architecture::X86_64, Architecture::SPARC32] {
+            let format = Format::new(FormatId(9), outer.clone(), arch).unwrap();
+            let wire = ndr::encode(&rec, &format).unwrap();
+            let view = ndr::view_with(&wire, &format).unwrap();
+            let field = view.get("p").unwrap();
+            let p = field.as_record().unwrap();
+            assert_eq!(p.get("x").unwrap().as_f64(), Some(3.5), "{arch}");
+            assert_eq!(p.get("label").unwrap().as_str(), Some("origin"), "{arch}");
+        }
+    }
+
+    #[test]
+    fn empty_dynamic_array_views_as_empty() {
+        let st = StructType::new(
+            "t",
+            vec![
+                StructField::new("a", CType::dynamic_array(prim(Primitive::Int), "n")),
+                StructField::new("n", prim(Primitive::Int)),
+            ],
+        );
+        let format = Format::new(FormatId(2), st, Architecture::X86_64).unwrap();
+        let rec = Record::new().with("a", Vec::<i64>::new());
+        let wire = ndr::encode(&rec, &format).unwrap();
+        let view = ndr::view_with(&wire, &format).unwrap();
+        let a = view.get("a").unwrap().as_array().unwrap();
+        assert!(a.is_empty());
+        assert_eq!(a.count(), 0);
+    }
+
+    #[test]
+    fn truncated_payload_is_rejected_not_panicking() {
+        let format = format_on(Architecture::X86_64);
+        let rec = sample_b();
+        let image = clayout::encode_record(&rec, format.struct_type(), format.arch()).unwrap();
+        for cut in 0..image.bytes.len() {
+            let view = match RecordView::over(&image.bytes[..cut], &format, format.arch()) {
+                Ok(view) => view,
+                Err(_) => continue, // fixed part missing: rejected at construction
+            };
+            // Whatever survives construction must fail cleanly (or
+            // legitimately succeed for cuts inside trailing bytes).
+            for (_, field) in view.fields() {
+                let _ = field.and_then(|f| f.to_value());
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_field_is_an_error() {
+        let format = format_on(Architecture::X86_64);
+        let wire = ndr::encode(&sample_b(), &format).unwrap();
+        let view = ndr::view_with(&wire, &format).unwrap();
+        assert!(view.get("nope").is_err());
+    }
+
+    #[test]
+    fn corrupt_string_pointer_is_rejected() {
+        let st = StructType::new("t", vec![StructField::new("s", CType::String)]);
+        let format = Format::new(FormatId(3), st, Architecture::X86_64).unwrap();
+        let rec = Record::new().with("s", "hi");
+        let mut wire = ndr::encode(&rec, &format).unwrap();
+        let payload_at = wire.len() - (format.record_size() + 3); // fixed + "hi\0"
+        clayout::image::put_uint(
+            &mut wire,
+            payload_at,
+            8,
+            clayout::Endianness::Little,
+            1 << 40,
+        );
+        let view = ndr::view_with(&wire, &format).unwrap();
+        assert!(matches!(
+            view.get("s"),
+            Err(PbioError::Layout(LayoutError::BadPointer { .. }))
+        ));
+    }
+}

@@ -7,7 +7,7 @@ use clayout::{
     Architecture, CType, Primitive, Record, StructField, StructType, Value,
 };
 use pbio::format::{Format, FormatId};
-use pbio::wire::{all_codecs, WireCodec};
+use pbio::wire::all_codecs;
 use pbio::{ConversionPlan, PbioError};
 use proptest::prelude::*;
 

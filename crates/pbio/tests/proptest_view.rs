@@ -1,0 +1,178 @@
+//! Property tests for the borrowed decoder: [`pbio::RecordView`] must
+//! agree field-for-field with the allocating [`pbio::ndr::decode_with`]
+//! path on the architecture matrix the paper exercises (little-endian
+//! LP64 x86-64 and big-endian ILP32 sparc32), and must reject truncated
+//! buffers cleanly at every cut point.
+
+use clayout::{
+    Architecture, CType, Primitive, Record, StructField, StructType, Value,
+};
+use pbio::format::{Format, FormatId};
+use proptest::prelude::*;
+
+/// Primitives restricted to values that fit every modelled architecture
+/// (ILP32 `long` is 32-bit).
+fn prim_strategy() -> impl Strategy<Value = Primitive> {
+    proptest::sample::select(vec![
+        Primitive::Char,
+        Primitive::UChar,
+        Primitive::Short,
+        Primitive::UShort,
+        Primitive::Int,
+        Primitive::UInt,
+        Primitive::Long,
+        Primitive::ULong,
+        Primitive::Float,
+        Primitive::Double,
+    ])
+}
+
+/// The paper's heterogeneity axis in miniature: opposite endianness,
+/// word size and pointer width.
+fn arch_strategy() -> impl Strategy<Value = Architecture> {
+    proptest::sample::select(vec![Architecture::X86_64, Architecture::SPARC32])
+}
+
+#[derive(Debug, Clone)]
+enum Spec {
+    Prim(Primitive, i64),
+    Str(String),
+    FixedArr(Primitive, Vec<i64>),
+    DynArr(Primitive, Vec<i64>),
+}
+
+fn spec_strategy() -> impl Strategy<Value = Spec> {
+    prop_oneof![
+        3 => (prim_strategy(), any::<i64>()).prop_map(|(p, s)| Spec::Prim(p, s)),
+        2 => "[ -~]{0,20}".prop_map(Spec::Str),
+        1 => (prim_strategy(), proptest::collection::vec(any::<i64>(), 1..5))
+            .prop_map(|(p, xs)| Spec::FixedArr(p, xs)),
+        1 => (prim_strategy(), proptest::collection::vec(any::<i64>(), 0..5))
+            .prop_map(|(p, xs)| Spec::DynArr(p, xs)),
+    ]
+}
+
+fn prim_value(p: Primitive, seed: i64) -> Value {
+    if p.is_float() {
+        // Stay in f32-exact territory so Float fields compare exactly.
+        return Value::Float((seed % 4096) as f64 * 0.5);
+    }
+    let m = match p {
+        Primitive::Char => seed.rem_euclid(128),
+        Primitive::UChar => seed.rem_euclid(256),
+        Primitive::Short => seed.rem_euclid(1 << 15),
+        Primitive::UShort => seed.rem_euclid(1 << 16),
+        _ => seed.rem_euclid(1 << 31),
+    };
+    if p.is_unsigned_integer() {
+        Value::UInt(m as u64)
+    } else if seed % 2 == 0 {
+        Value::Int(m)
+    } else {
+        Value::Int(-(m / 2) - 1)
+    }
+}
+
+fn build(specs: &[Spec]) -> (StructType, Record) {
+    let mut fields = Vec::new();
+    let mut record = Record::new();
+    for (i, spec) in specs.iter().enumerate() {
+        let name = format!("f{i}");
+        match spec {
+            Spec::Prim(p, seed) => {
+                fields.push(StructField::new(&name, CType::Prim(*p)));
+                record.set(name, prim_value(*p, *seed));
+            }
+            Spec::Str(s) => {
+                fields.push(StructField::new(&name, CType::String));
+                record.set(name, s.clone());
+            }
+            Spec::FixedArr(p, seeds) => {
+                fields.push(StructField::new(
+                    &name,
+                    CType::fixed_array(CType::Prim(*p), seeds.len()),
+                ));
+                record.set(
+                    name,
+                    Value::Array(seeds.iter().map(|s| prim_value(*p, *s)).collect()),
+                );
+            }
+            Spec::DynArr(p, seeds) => {
+                let count = format!("{name}_count");
+                fields.push(StructField::new(
+                    &name,
+                    CType::dynamic_array(CType::Prim(*p), count.clone()),
+                ));
+                fields.push(StructField::new(count, CType::Prim(Primitive::Int)));
+                record.set(
+                    name,
+                    Value::Array(seeds.iter().map(|s| prim_value(*p, *s)).collect()),
+                );
+            }
+        }
+    }
+    (StructType::new("Gen", fields), record)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The lazy view and the eager decoder read the same wire bytes, so
+    /// they must produce identical values — per field through
+    /// `RecordView::get`, and wholesale through `to_record` — for every
+    /// (sender, receiver) pair in the matrix, including the
+    /// heterogeneous ones where the view falls back to an owned layout.
+    #[test]
+    fn view_agrees_with_decode(
+        specs in proptest::collection::vec(spec_strategy(), 1..6),
+        sender in arch_strategy(),
+        receiver in arch_strategy(),
+    ) {
+        let (st, record) = build(&specs);
+        let sender_fmt = Format::new(FormatId(1), st.clone(), sender).unwrap();
+        let wire = pbio::ndr::encode(&record, &sender_fmt).unwrap();
+
+        // The receiver resolves the same struct type on its own arch.
+        let receiver_fmt = Format::new(FormatId(1), st, receiver).unwrap();
+        let decoded = pbio::ndr::decode_with(&wire, &receiver_fmt).unwrap();
+        let view = pbio::ndr::view_with(&wire, &receiver_fmt).unwrap();
+
+        prop_assert_eq!(view.arch(), &sender, "view reports the sender arch");
+        for (name, _) in decoded.iter() {
+            let via_view = view.get(name).unwrap().to_value().unwrap();
+            prop_assert_eq!(
+                Some(&via_view), decoded.get(name),
+                "field {} ({} -> {})", name, sender, receiver
+            );
+        }
+        prop_assert_eq!(&view.to_record().unwrap(), &decoded);
+    }
+
+    /// Cutting the wire buffer anywhere must never panic: either view
+    /// construction fails, or some field access reports an error —
+    /// truncation is always detected because the variable section
+    /// carries no trailing don't-care bytes.
+    #[test]
+    fn view_rejects_truncation_at_every_cut(
+        specs in proptest::collection::vec(spec_strategy(), 1..5),
+        sender in arch_strategy(),
+    ) {
+        let (st, record) = build(&specs);
+        let format = Format::new(FormatId(1), st, sender).unwrap();
+        let wire = pbio::ndr::encode(&record, &format).unwrap();
+
+        for cut in 0..wire.len() {
+            match pbio::ndr::view_with(&wire[..cut], &format) {
+                Err(_) => {}
+                Ok(view) => {
+                    prop_assert!(
+                        view.to_record().is_err(),
+                        "cut {} of {} produced a fully readable view",
+                        cut,
+                        wire.len()
+                    );
+                }
+            }
+        }
+    }
+}

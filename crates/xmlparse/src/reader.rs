@@ -278,7 +278,7 @@ impl<'a> Reader<'a> {
         if self.cursor.eat("<?") {
             let target = self.parse_name()?;
             let raw = self.cursor.take_until("?>", "'?>' closing a processing instruction")?;
-            let data = raw.strip_prefix(|ch| is_xml_whitespace(ch)).unwrap_or(raw);
+            let data = raw.strip_prefix(is_xml_whitespace).unwrap_or(raw);
             return Ok(Event::ProcessingInstruction { target, data: data.to_owned() });
         }
         if self.cursor.rest().starts_with("</") {

@@ -1,0 +1,280 @@
+//! Offline shim for `criterion`: a minimal wall-clock benchmark harness
+//! exposing the API surface the `omf-bench` targets use
+//! (`benchmark_group`, `bench_with_input`, `Throughput`, the
+//! `criterion_group!`/`criterion_main!` macros).
+//!
+//! Measurement model: a short warm-up, then timed batches until the
+//! group's `measurement_time` elapses; the reported figure is the mean
+//! ns/iteration over all timed batches. `--test` on the command line (as
+//! passed by `cargo bench -- --test`) switches to a single-iteration
+//! smoke run, and any other free argument is treated as a substring
+//! filter on benchmark ids, both mirroring criterion's CLI.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug, Clone, Default)]
+pub struct Criterion {
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Applies command-line arguments (`--test`, id filters).
+    #[must_use]
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--test" => self.test_mode = true,
+                // Flags cargo's bench harness protocol may pass; ignore
+                // their values where they take one.
+                "--bench" | "--profile-time" | "--save-baseline" | "--baseline"
+                | "--measurement-time" | "--warm-up-time" | "--sample-size" => {
+                    if arg != "--bench" {
+                        let _ = args.next();
+                    }
+                }
+                other if other.starts_with("--") => {}
+                filter => self.filter = Some(filter.to_owned()),
+            }
+        }
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            measurement_time: Duration::from_secs(2),
+            throughput: None,
+        }
+    }
+
+    /// Runs a single standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut group = self.benchmark_group(id.clone());
+        group.bench_with_input(BenchmarkId::from_id(id), &(), |b, ()| f(b));
+        group.finish();
+    }
+}
+
+/// Identifies one benchmark within a group: a function name plus a
+/// parameter rendered with `Display`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    fn from_id(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Units for derived throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The measured routine processes this many elements per iteration.
+    Elements(u64),
+    /// The measured routine processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// A group of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for criterion compatibility; the shim sizes samples by
+    /// time alone.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for criterion compatibility.
+    pub fn warm_up_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    /// Sets how long each benchmark is measured.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Sets the per-iteration throughput used in reports.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Measures `f` with access to `input`.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        if let Some(filter) = &self.criterion.filter {
+            if !full.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut bencher = Bencher {
+            test_mode: self.criterion.test_mode,
+            measurement_time: self.measurement_time,
+            mean_ns: 0.0,
+        };
+        f(&mut bencher, input);
+        if bencher.test_mode {
+            println!("{full}: ok (test mode)");
+        } else {
+            let per_iter = bencher.mean_ns;
+            let rate = match self.throughput {
+                Some(Throughput::Elements(n)) => {
+                    format!("  thrpt: {:.3e} elem/s", n as f64 * 1e9 / per_iter)
+                }
+                Some(Throughput::Bytes(n)) => {
+                    format!("  thrpt: {:.3} MiB/s", n as f64 * 1e9 / per_iter / (1 << 20) as f64)
+                }
+                None => String::new(),
+            };
+            println!("{full}: {:.1} ns/iter{rate}", per_iter);
+        }
+        self
+    }
+
+    /// Measures `f` without an input.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.bench_with_input(BenchmarkId::from_id(id.into()), &(), |b, ()| f(b))
+    }
+
+    /// Ends the group (reports are printed as benchmarks run).
+    pub fn finish(self) {}
+}
+
+/// Passed to the measured closure; call [`iter`](Bencher::iter) with the
+/// routine to time.
+#[derive(Debug)]
+pub struct Bencher {
+    test_mode: bool,
+    measurement_time: Duration,
+    mean_ns: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the mean ns/iteration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+        // Warm-up: run for ~10% of measurement time to settle caches and
+        // pools, and to size timed batches.
+        let warmup = self.measurement_time / 10;
+        let start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while start.elapsed() < warmup {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warmup.as_nanos() as f64 / warm_iters.max(1) as f64;
+        // Aim for ~50 timed batches over the measurement window.
+        let batch = ((self.measurement_time.as_nanos() as f64 / per_iter / 50.0) as u64).max(1);
+
+        let mut total_iters: u64 = 0;
+        let measure_start = Instant::now();
+        while measure_start.elapsed() < self.measurement_time {
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            total_iters += batch;
+        }
+        self.mean_ns = measure_start.elapsed().as_nanos() as f64 / total_iters.max(1) as f64;
+    }
+}
+
+/// Declares a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, criterion-style.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.measurement_time(Duration::from_millis(50));
+        let mut ran = false;
+        group.bench_with_input(BenchmarkId::new("noop", 1), &(), |b, ()| {
+            b.iter(|| black_box(1 + 1));
+            ran = true;
+        });
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut c = Criterion { test_mode: true, filter: None };
+        let mut count = 0;
+        let mut group = c.benchmark_group("shim");
+        group.bench_with_input(BenchmarkId::new("counted", 1), &(), |b, ()| {
+            b.iter(|| count += 1);
+        });
+        group.finish();
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = Criterion { test_mode: true, filter: Some("match-me".into()) };
+        let mut ran = false;
+        let mut group = c.benchmark_group("shim");
+        group.bench_with_input(BenchmarkId::new("other", 1), &(), |b, _| {
+            b.iter(|| ());
+            ran = true;
+        });
+        group.finish();
+        assert!(!ran);
+    }
+}

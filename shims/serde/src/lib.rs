@@ -1,0 +1,5 @@
+//! Offline placeholder for `serde`.
+//!
+//! The workspace's `serde` integration is behind clayout's off-by-default
+//! `serde` feature; this stub only exists so dependency resolution works
+//! without network access. Enabling that feature requires the real crate.

@@ -1,0 +1,1 @@
+//! Offline placeholder for `serde_json`; see the `serde` shim.
