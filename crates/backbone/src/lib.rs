@@ -8,12 +8,15 @@
 //! message structure at runtime* instead of being compiled against it.
 //! This crate is that backbone:
 //!
-//! * [`broker`] — an in-process publish/subscribe broker over crossbeam
-//!   channels; streams carry a metadata locator so subscribers know where
-//!   to discover the format.
+//! * [`broker`] — an in-process publish/subscribe broker, sharded by
+//!   stream name across per-core dispatch workers that fan events out in
+//!   batches; streams carry a metadata locator so subscribers know where
+//!   to discover the format, and a per-stream [`broker::Overflow`]
+//!   policy decides what happens to slow subscribers.
 //! * [`net`] — a length-prefixed TCP event transport
-//!   ([`net::EventServer`], [`net::EventClient`]) so the end-to-end
-//!   latency experiment crosses real sockets.
+//!   ([`net::EventServer`], [`net::EventClient`]) with blocking accepts
+//!   and per-connection write coalescing, so the end-to-end latency
+//!   experiment crosses real sockets.
 //! * [`stream`] — capture points (synthetic producers) and consumers
 //!   that run the full discover → bind → decode pipeline on
 //!   subscription.
@@ -33,7 +36,9 @@ pub mod net;
 pub mod scoping;
 pub mod stream;
 
-pub use broker::{Broker, Event, StreamInfo, Subscription};
+pub use broker::{
+    Broker, Event, Overflow, PublishHandle, StreamConfig, StreamInfo, Subscription,
+};
 pub use error::BackboneError;
 pub use net::{EventClient, EventServer, Frame};
 pub use scoping::FormatScope;

@@ -6,13 +6,26 @@
 //! the data* is a codec concern, not a transport concern, so TCP here
 //! could be swapped for multicast or a cluster interconnect without
 //! touching metadata handling.
+//!
+//! The server accepts with a **blocking** accept loop (woken by a
+//! self-connect on shutdown — no sleep-polling, zero idle wakeups) and
+//! runs one reader and one writer thread per connection. Replies are
+//! queued to the writer, which **coalesces** every frame waiting in its
+//! queue into a single vectored write: the batch adapts to load — under
+//! light traffic each reply flushes immediately (the queue drains), and
+//! under bursts the kernel sees one `writev` for dozens of frames. A
+//! write error marks the connection dead, shuts both directions down,
+//! and the reaper removes the entry instead of leaking threads.
 
+use std::collections::HashMap;
 use std::io::{BufReader, BufWriter, IoSlice, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+use parking_lot::Mutex;
 
 use crate::error::BackboneError;
 
@@ -35,6 +48,14 @@ impl Frame {
 /// Upper bound on frame section lengths (guards against hostile or
 /// corrupt length prefixes).
 const MAX_SECTION: u32 = 64 * 1024 * 1024;
+
+/// Most frames a single `writev` covers: 4 `IoSlice`s per frame and
+/// Linux caps an iovec at 1024 entries.
+const MAX_FRAMES_PER_WRITEV: usize = 256;
+
+/// Depth of a connection's outbound reply queue; the reader
+/// backpressures (stops consuming requests) when the peer reads slowly.
+const WRITER_QUEUE_DEPTH: usize = 512;
 
 /// Writes one frame and flushes.
 ///
@@ -72,14 +93,66 @@ fn write_frame_unflushed(writer: &mut impl Write, frame: &Frame) -> Result<(), B
     let name = frame.stream.as_bytes();
     let name_len = (name.len() as u32).to_le_bytes();
     let payload_len = (frame.payload.len() as u32).to_le_bytes();
-    let mut slices = [
+    let slices = [
         IoSlice::new(&name_len),
         IoSlice::new(name),
         IoSlice::new(&payload_len),
         IoSlice::new(&frame.payload),
     ];
-    let mut remaining = name_len.len() + name.len() + payload_len.len() + frame.payload.len();
-    let mut bufs: &mut [IoSlice<'_>] = &mut slices;
+    write_all_vectored(writer, slices)
+}
+
+/// Coalesces a whole batch of frames into as few `writev` calls as
+/// possible: every section of every frame (up to the iovec cap) goes out
+/// in one vectored write, with no intermediate copying. This is what a
+/// connection's writer thread calls on whatever its queue holds.
+///
+/// # Errors
+///
+/// Propagates I/O failures; frames before the failure may have been
+/// partly sent.
+pub fn write_frame_batch(
+    writer: &mut impl Write,
+    frames: &[Frame],
+) -> Result<(), BackboneError> {
+    for chunk in frames.chunks(MAX_FRAMES_PER_WRITEV) {
+        // Length prefixes must live somewhere while the IoSlices borrow
+        // them; one Vec of fixed arrays serves the whole chunk.
+        let lens: Vec<[u8; 8]> = chunk
+            .iter()
+            .map(|frame| {
+                let mut len8 = [0u8; 8];
+                len8[..4].copy_from_slice(&(frame.stream.len() as u32).to_le_bytes());
+                len8[4..].copy_from_slice(&(frame.payload.len() as u32).to_le_bytes());
+                len8
+            })
+            .collect();
+        let mut slices = Vec::with_capacity(chunk.len() * 4);
+        for (frame, len8) in chunk.iter().zip(&lens) {
+            slices.push(IoSlice::new(&len8[..4]));
+            slices.push(IoSlice::new(frame.stream.as_bytes()));
+            slices.push(IoSlice::new(&len8[4..]));
+            slices.push(IoSlice::new(&frame.payload));
+        }
+        write_all_vectored_slices(writer, &mut slices)?;
+    }
+    writer.flush()?;
+    Ok(())
+}
+
+fn write_all_vectored<const N: usize>(
+    writer: &mut impl Write,
+    mut slices: [IoSlice<'_>; N],
+) -> Result<(), BackboneError> {
+    write_all_vectored_slices(writer, &mut slices)
+}
+
+fn write_all_vectored_slices(
+    writer: &mut impl Write,
+    slices: &mut [IoSlice<'_>],
+) -> Result<(), BackboneError> {
+    let mut remaining: usize = slices.iter().map(|s| s.len()).sum();
+    let mut bufs: &mut [IoSlice<'_>] = slices;
     while remaining > 0 {
         match writer.write_vectored(bufs) {
             Ok(0) => {
@@ -134,12 +207,37 @@ pub fn read_frame(reader: &mut impl Read) -> Result<Option<Frame>, BackboneError
 /// any) is written back on the same connection (request/reply).
 pub type FrameHandler = Arc<dyn Fn(Frame) -> Option<Frame> + Send + Sync>;
 
+/// One live connection as the server tracks it: the socket (for
+/// shutdown), a done flag the connection's threads set on exit, and the
+/// thread handles the reaper joins.
+struct ConnEntry {
+    stream: TcpStream,
+    done: Arc<AtomicBool>,
+    reader: Option<JoinHandle<()>>,
+    writer: Option<JoinHandle<()>>,
+}
+
+impl ConnEntry {
+    fn join(&mut self) {
+        if let Some(handle) = self.reader.take() {
+            let _ = handle.join();
+        }
+        if let Some(handle) = self.writer.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+type ConnTable = Arc<Mutex<HashMap<u64, ConnEntry>>>;
+
 /// A TCP event server: accepts connections and feeds frames to a
 /// handler.
 pub struct EventServer {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     handle: Option<JoinHandle<()>>,
+    conns: ConnTable,
+    wakeups: Arc<AtomicU64>,
 }
 
 impl std::fmt::Debug for EventServer {
@@ -157,63 +255,180 @@ impl EventServer {
     pub fn bind(addr: impl ToSocketAddrs, handler: FrameHandler) -> Result<Self, BackboneError> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
-        listener.set_nonblocking(true)?;
         let stop = Arc::new(AtomicBool::new(false));
+        let conns: ConnTable = Arc::new(Mutex::new(HashMap::new()));
+        let wakeups = Arc::new(AtomicU64::new(0));
         let handle = {
             let stop = Arc::clone(&stop);
+            let conns = Arc::clone(&conns);
+            let wakeups = Arc::clone(&wakeups);
             std::thread::Builder::new().name("event-server".to_owned()).spawn(move || {
-                accept_loop(listener, handler, stop)
+                accept_loop(&listener, &handler, &stop, &conns, &wakeups)
             })?
         };
-        Ok(EventServer { addr, stop, handle: Some(handle) })
+        Ok(EventServer { addr, stop, handle: Some(handle), conns, wakeups })
     }
 
     /// The bound address.
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
     }
+
+    /// How many times the accept loop has woken so far. The loop blocks
+    /// in `accept(2)`, so this advances only when a connection actually
+    /// arrives — an idle server stays at zero instead of burning CPU in
+    /// a sleep-poll cycle.
+    pub fn accept_wakeups(&self) -> u64 {
+        self.wakeups.load(Ordering::SeqCst)
+    }
+
+    /// Number of currently tracked (not yet reaped) connections.
+    pub fn connection_count(&self) -> usize {
+        self.conns.lock().len()
+    }
 }
 
 impl Drop for EventServer {
     fn drop(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
+        // Wake the blocking accept with a self-connect.
         let _ = TcpStream::connect(self.addr);
         if let Some(handle) = self.handle.take() {
             let _ = handle.join();
         }
+        // Shut every connection down and join its threads.
+        let mut conns = self.conns.lock();
+        for (_, entry) in conns.iter_mut() {
+            let _ = entry.stream.shutdown(Shutdown::Both);
+        }
+        for (_, mut entry) in conns.drain() {
+            entry.join();
+        }
     }
 }
 
-fn accept_loop(listener: TcpListener, handler: FrameHandler, stop: Arc<AtomicBool>) {
-    while !stop.load(Ordering::SeqCst) {
+/// Removes and joins connections whose threads have finished — run on
+/// each accept so dead peers (write errors, disconnects) release their
+/// threads instead of accumulating.
+fn reap_finished(conns: &ConnTable) {
+    let mut finished = Vec::new();
+    {
+        let mut conns = conns.lock();
+        let ids: Vec<u64> = conns
+            .iter()
+            .filter(|(_, entry)| entry.done.load(Ordering::SeqCst))
+            .map(|(id, _)| *id)
+            .collect();
+        for id in ids {
+            if let Some(entry) = conns.remove(&id) {
+                finished.push(entry);
+            }
+        }
+    }
+    // Join outside the lock so a slow exit cannot stall accepts.
+    for mut entry in finished {
+        entry.join();
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    handler: &FrameHandler,
+    stop: &Arc<AtomicBool>,
+    conns: &ConnTable,
+    wakeups: &Arc<AtomicU64>,
+) {
+    let mut next_id = 0u64;
+    loop {
+        // Blocking accept: no polling, no idle wakeups. Shutdown wakes
+        // it with a self-connect after setting `stop`.
         match listener.accept() {
             Ok((stream, _)) => {
+                wakeups.fetch_add(1, Ordering::SeqCst);
                 if stop.load(Ordering::SeqCst) {
                     break;
                 }
-                let handler = Arc::clone(&handler);
-                std::thread::spawn(move || {
-                    let _ = serve_connection(stream, handler);
-                });
+                reap_finished(conns);
+                let id = next_id;
+                next_id += 1;
+                if let Ok(entry) = spawn_connection(stream, Arc::clone(handler)) {
+                    conns.lock().insert(id, entry);
+                }
             }
-            Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_micros(500));
+            Err(_) => {
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
             }
-            Err(_) => break,
         }
     }
 }
 
-fn serve_connection(stream: TcpStream, handler: FrameHandler) -> Result<(), BackboneError> {
+/// Starts the reader and writer threads for one connection.
+fn spawn_connection(stream: TcpStream, handler: FrameHandler) -> std::io::Result<ConnEntry> {
     stream.set_nodelay(true)?;
+    let done = Arc::new(AtomicBool::new(false));
+    let (reply_tx, reply_rx) = bounded::<Frame>(WRITER_QUEUE_DEPTH);
+
+    let writer = {
+        let stream = stream.try_clone()?;
+        let done = Arc::clone(&done);
+        std::thread::Builder::new().name("event-conn-writer".to_owned()).spawn(move || {
+            writer_loop(&stream, &reply_rx);
+            // A write error (or reader exit) ends the connection both
+            // ways; the reaper removes the entry on the next accept.
+            let _ = stream.shutdown(Shutdown::Both);
+            done.store(true, Ordering::SeqCst);
+        })?
+    };
+
+    let reader = {
+        let stream = stream.try_clone()?;
+        let done = Arc::clone(&done);
+        std::thread::Builder::new().name("event-conn-reader".to_owned()).spawn(move || {
+            let _ = reader_loop(&stream, &handler, &reply_tx);
+            // Dropping reply_tx lets the writer drain then exit.
+            done.store(true, Ordering::SeqCst);
+        })?
+    };
+
+    Ok(ConnEntry { stream, done, reader: Some(reader), writer: Some(writer) })
+}
+
+fn reader_loop(
+    stream: &TcpStream,
+    handler: &FrameHandler,
+    reply_tx: &Sender<Frame>,
+) -> Result<(), BackboneError> {
     let mut reader = BufReader::new(stream.try_clone()?);
-    let mut writer = BufWriter::new(stream);
     while let Some(frame) = read_frame(&mut reader)? {
         if let Some(reply) = handler(frame) {
-            write_frame(&mut writer, &reply)?;
+            if reply_tx.send(reply).is_err() {
+                break; // writer died (write error): stop consuming
+            }
         }
     }
     Ok(())
+}
+
+/// Drains the reply queue in batches and writes each batch as one
+/// coalesced vectored write. The batch is exactly what was queued when
+/// the writer woke: light load flushes per reply, bursts coalesce.
+fn writer_loop(stream: &TcpStream, replies: &Receiver<Frame>) {
+    let mut raw = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let mut batch: Vec<Frame> = Vec::new();
+    loop {
+        batch.clear();
+        if replies.recv_batch(&mut batch, MAX_FRAMES_PER_WRITEV).is_err() {
+            return; // reader gone and queue drained
+        }
+        if write_frame_batch(&mut raw, &batch).is_err() {
+            return; // dead peer: caller shuts the socket down
+        }
+    }
 }
 
 /// A TCP event client: a framed connection to an [`EventServer`].
@@ -247,13 +462,14 @@ impl EventClient {
         write_frame(&mut self.writer, frame)
     }
 
-    /// Sends a batch of frames with one flush (see [`write_frames`]).
+    /// Sends a batch of frames as one coalesced vectored write (see
+    /// [`write_frame_batch`]).
     ///
     /// # Errors
     ///
     /// Propagates I/O failures.
     pub fn send_batch(&mut self, frames: &[Frame]) -> Result<(), BackboneError> {
-        write_frames(&mut self.writer, frames)
+        write_frame_batch(&mut self.writer, frames)
     }
 
     /// Receives one frame; `None` means the server closed the
@@ -284,6 +500,7 @@ impl EventClient {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Duration;
 
     fn echo_server() -> EventServer {
         EventServer::bind("127.0.0.1:0", Arc::new(Some)).unwrap()
@@ -318,6 +535,21 @@ mod tests {
         for frame in &frames {
             assert_eq!(client.recv().unwrap().unwrap(), *frame);
         }
+    }
+
+    #[test]
+    fn large_batches_cross_the_writev_chunk_limit() {
+        // More frames than fit in one iovec: the batch writer must chunk.
+        let frames: Vec<Frame> = (0..(MAX_FRAMES_PER_WRITEV + 10) as u32)
+            .map(|i| Frame::new(format!("s{i}"), i.to_le_bytes().to_vec()))
+            .collect();
+        let mut buf = Vec::new();
+        write_frame_batch(&mut buf, &frames).unwrap();
+        let mut cursor: &[u8] = &buf;
+        for frame in &frames {
+            assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), *frame);
+        }
+        assert!(read_frame(&mut cursor).unwrap().is_none());
     }
 
     #[test]
@@ -420,5 +652,39 @@ mod tests {
         let mut cursor: &[u8] = &buf;
         assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), frame);
         assert!(read_frame(&mut cursor).unwrap().is_none());
+    }
+
+    #[test]
+    fn idle_server_never_wakes() {
+        // The accept loop blocks in accept(2); an idle server must not
+        // spin. Give it time to misbehave, then check the counter.
+        let server = echo_server();
+        std::thread::sleep(Duration::from_millis(200));
+        assert_eq!(server.accept_wakeups(), 0, "idle accept loop woke up");
+        // A real connection wakes it exactly once.
+        let mut client = EventClient::connect(server.local_addr()).unwrap();
+        let _ = client.request(&Frame::new("s", vec![1])).unwrap();
+        assert_eq!(server.accept_wakeups(), 1);
+    }
+
+    #[test]
+    fn dead_connections_are_reaped() {
+        let server = echo_server();
+        for _ in 0..3 {
+            let mut client = EventClient::connect(server.local_addr()).unwrap();
+            let _ = client.request(&Frame::new("s", vec![1])).unwrap();
+            drop(client);
+        }
+        // Each new accept reaps finished predecessors; after the last
+        // client disconnects, one more connection triggers the sweep.
+        std::thread::sleep(Duration::from_millis(100));
+        let mut probe = EventClient::connect(server.local_addr()).unwrap();
+        let _ = probe.request(&Frame::new("s", vec![1])).unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(
+            server.connection_count() <= 2,
+            "dead connections not reaped: {}",
+            server.connection_count()
+        );
     }
 }

@@ -8,7 +8,7 @@ use parking_lot::Mutex;
 use pbio::Format;
 use xml2wire::Xml2Wire;
 
-use crate::broker::{Broker, Event, Subscription};
+use crate::broker::{Broker, PublishHandle, Subscription};
 use crate::error::BackboneError;
 
 /// A capture point: publishes records of one format onto one stream
@@ -18,10 +18,16 @@ use crate::error::BackboneError;
 /// retained scratch buffer (header prefix memoized in the resolved
 /// [`Format`], payload built in place), so the only allocation per
 /// published message is the exact-size payload the broker fans out by
-/// [`Arc`].
+/// [`Arc`]. The publish route itself is pinned too: a
+/// [`PublishHandle`] resolved at creation time routes straight to the
+/// stream's shard, so publishing touches neither the format registry
+/// nor the broker's stream registry per message.
 #[derive(Debug)]
 pub struct CapturePoint {
-    broker: Arc<Broker>,
+    /// Kept so the broker's dispatch workers outlive every capture
+    /// point that can still publish through them.
+    _broker: Arc<Broker>,
+    handle: PublishHandle,
     stream: Arc<str>,
     format_name: Arc<str>,
     format: Arc<Format>,
@@ -51,7 +57,15 @@ impl CapturePoint {
         let format_name = format_name.into();
         let format = session.require_format(&format_name)?;
         broker.create_stream(stream.to_string(), metadata_locator);
-        Ok(CapturePoint { broker, stream, format_name, format, scratch: Mutex::new(Vec::new()) })
+        let handle = broker.publish_handle(&stream)?;
+        Ok(CapturePoint {
+            _broker: broker,
+            handle,
+            stream,
+            format_name,
+            format,
+            scratch: Mutex::new(Vec::new()),
+        })
     }
 
     /// Encodes and publishes one record; returns the subscriber count
@@ -84,11 +98,7 @@ impl CapturePoint {
     /// exact-size copy — the one allocation the message needs.
     fn publish_from(&self, scratch: &mut Vec<u8>, record: &Record) -> Result<usize, BackboneError> {
         pbio::ndr::encode_into(scratch, record, &self.format)?;
-        self.broker.publish(Event::new(
-            Arc::clone(&self.stream),
-            Arc::clone(&self.format_name),
-            scratch.to_vec(),
-        ))
+        self.handle.publish(Arc::clone(&self.format_name), scratch.to_vec())
     }
 
     /// The stream this capture point feeds.

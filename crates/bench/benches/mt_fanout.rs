@@ -1,0 +1,229 @@
+//! **E-mt**: aggregate publish throughput under multi-threaded load.
+//!
+//! Compares two dispatch architectures at increasing publisher counts:
+//!
+//! * `single-lock` — a faithful replica of the pre-shard broker: one
+//!   `RwLock` registry, and `publish` fans the `Arc<Event>` out to every
+//!   subscriber channel *inline*, under the registry read lock. Every
+//!   publisher pays `subs`-per-stream channel sends per message, and all
+//!   publishers contend on the same registry lock.
+//! * `sharded` — the current broker: streams hash onto shards, `publish`
+//!   is a single bounded-queue push, and each shard's worker drains its
+//!   queue in batches, amortising every subscriber-channel lock over the
+//!   whole batch.
+//!
+//! Two metrics per architecture, timed with `iter_custom` so setup
+//! (broker construction, subscriptions, thread spawning) stays outside
+//! the measured region:
+//!
+//! * `publish` — wall time from releasing the publisher threads (a
+//!   barrier) until their last `publish()` returns. This is what
+//!   capture points experience: for the single-lock broker it includes
+//!   inline fan-out by construction; for the sharded broker it is the
+//!   enqueue rate, with dispatch workers running concurrently.
+//! * `round` — same start, but until every subscriber holds its
+//!   complete backlog: delivery complete, not merely enqueue complete.
+//!   This is the honest end-to-end number; the sharded broker gets no
+//!   credit for deferring work to its workers.
+//!
+//! The per-publisher message count is sized so a round's burst fits in
+//! the shard dispatch queue; sustained overload beyond the queue depth
+//! backpressures publishers to the drain rate by design (see
+//! DESIGN.md).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use backbone::{Broker, Event};
+
+const MSGS_PER_PUBLISHER: usize = 1000;
+const PAYLOAD: usize = 64;
+
+/// The pre-shard dispatch architecture, kept as the bench baseline.
+mod legacy {
+    use super::Event;
+    use crossbeam::channel::{unbounded, Receiver, Sender};
+    use parking_lot::RwLock;
+    use std::collections::HashMap;
+    use std::sync::Arc;
+
+    /// One registry lock, inline fanout — the shape the seed broker had.
+    #[derive(Default)]
+    pub struct SingleLockBroker {
+        streams: RwLock<HashMap<String, Vec<Sender<Arc<Event>>>>>,
+    }
+
+    impl SingleLockBroker {
+        pub fn create_stream(&self, name: &str) {
+            self.streams.write().entry(name.to_owned()).or_default();
+        }
+
+        pub fn subscribe(&self, name: &str) -> Receiver<Arc<Event>> {
+            let (tx, rx) = unbounded();
+            self.streams.write().get_mut(name).expect("unknown stream").push(tx);
+            rx
+        }
+
+        pub fn publish(&self, event: Event) {
+            let event = Arc::new(event);
+            let streams = self.streams.read();
+            for tx in streams.get(event.stream.as_ref()).expect("unknown stream") {
+                let _ = tx.send(Arc::clone(&event));
+            }
+        }
+    }
+}
+
+/// Which phase of a measured round a bench row reports.
+#[derive(Clone, Copy, PartialEq)]
+enum Phase {
+    /// Until the last `publish()` call returns.
+    Publish,
+    /// Until every subscriber holds its full backlog.
+    Round,
+}
+
+/// One measured round: spawns `publishers` threads (outside the timed
+/// window), releases them together, and returns (publish-phase wall
+/// time, delivery-complete wall time). `publish_msg` runs on the
+/// publisher thread per message; `backlogs` reports every subscriber's
+/// current backlog for the drain wait.
+fn measure_round(
+    publishers: usize,
+    publish_all: impl Fn(usize) + Send + Sync,
+    backlog_complete: impl Fn() -> bool,
+) -> (Duration, Duration) {
+    let publish_all = &publish_all;
+    let barrier = Barrier::new(publishers + 1);
+    let barrier = &barrier;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..publishers)
+            .map(|p| {
+                scope.spawn(move || {
+                    barrier.wait();
+                    publish_all(p);
+                })
+            })
+            .collect();
+        barrier.wait();
+        let start = Instant::now();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let publish_elapsed = start.elapsed();
+        // Sleep-wait rather than spin: a busy-wait would steal cycles
+        // from the dispatch workers on small machines.
+        while !backlog_complete() {
+            std::thread::sleep(Duration::from_micros(50));
+        }
+        (publish_elapsed, start.elapsed())
+    })
+}
+
+fn round_single_lock(publishers: usize, subs_total: usize) -> (Duration, Duration) {
+    let broker = legacy::SingleLockBroker::default();
+    let streams: Vec<Arc<str>> = (0..publishers).map(|i| format!("s{i}").into()).collect();
+    for s in &streams {
+        broker.create_stream(s);
+    }
+    let per_stream = subs_total / publishers;
+    let subs: Vec<_> = streams
+        .iter()
+        .flat_map(|s| {
+            let broker = &broker;
+            (0..per_stream).map(move |_| broker.subscribe(s))
+        })
+        .collect();
+    let format: Arc<str> = "F".into();
+    measure_round(
+        publishers,
+        |p| {
+            for _ in 0..MSGS_PER_PUBLISHER {
+                broker.publish(Event::new(
+                    Arc::clone(&streams[p]),
+                    Arc::clone(&format),
+                    vec![0u8; PAYLOAD],
+                ));
+            }
+        },
+        || subs.iter().all(|sub| sub.len() >= MSGS_PER_PUBLISHER),
+    )
+}
+
+fn round_sharded(publishers: usize, subs_total: usize) -> (Duration, Duration) {
+    let broker = Broker::new();
+    let streams: Vec<Arc<str>> = (0..publishers).map(|i| format!("s{i}").into()).collect();
+    for s in &streams {
+        broker.create_stream(s.to_string(), None);
+    }
+    let per_stream = subs_total / publishers;
+    let subs: Vec<_> = streams
+        .iter()
+        .flat_map(|s| {
+            let broker = &broker;
+            (0..per_stream).map(move |_| broker.subscribe(s).unwrap())
+        })
+        .collect();
+    let handles: Vec<_> =
+        streams.iter().map(|s| broker.publish_handle(s).unwrap()).collect();
+    let format: Arc<str> = "F".into();
+    measure_round(
+        publishers,
+        |p| {
+            for _ in 0..MSGS_PER_PUBLISHER {
+                handles[p]
+                    .publish(Arc::clone(&format), vec![0u8; PAYLOAD])
+                    .unwrap();
+            }
+        },
+        || subs.iter().all(|sub| sub.backlog() >= MSGS_PER_PUBLISHER),
+    )
+}
+
+fn bench_phase(
+    group: &mut criterion::BenchmarkGroup<'_>,
+    label: &str,
+    phase: Phase,
+    publishers: usize,
+    subs_total: usize,
+    round: impl Fn(usize, usize) -> (Duration, Duration),
+) {
+    group.bench_with_input(
+        BenchmarkId::new(label, format!("{publishers}p-{subs_total}s")),
+        &(),
+        |b, ()| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    let (publish, complete) = round(publishers, subs_total);
+                    total += if phase == Phase::Publish { publish } else { complete };
+                }
+                total
+            })
+        },
+    );
+}
+
+fn mt_fanout(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e_mt");
+    group.measurement_time(Duration::from_secs(3));
+    for (publishers, subs_total) in [(1usize, 64usize), (4, 64), (8, 64)] {
+        group.throughput(Throughput::Elements((publishers * MSGS_PER_PUBLISHER) as u64));
+        for (label, phase) in [
+            ("single-lock-publish", Phase::Publish),
+            ("single-lock-round", Phase::Round),
+        ] {
+            bench_phase(&mut group, label, phase, publishers, subs_total, round_single_lock);
+        }
+        for (label, phase) in
+            [("sharded-publish", Phase::Publish), ("sharded-round", Phase::Round)]
+        {
+            bench_phase(&mut group, label, phase, publishers, subs_total, round_sharded);
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, mt_fanout);
+criterion_main!(benches);

@@ -74,11 +74,14 @@ fn pipeline(subscribers: usize) -> (CapturePoint, Vec<Subscription>) {
 /// allocation count, which must divide evenly.
 fn publish_allocs_per_message(capture: &CapturePoint, subs: &[Subscription]) -> usize {
     let record = record_b();
-    // Warm-up: grow the scratch buffer and the subscriber queues.
+    // Warm-up: grow the scratch buffer, the shard queue, the dispatch
+    // worker's reused batch buffers, and the subscriber queues.
+    // Delivery is asynchronous (a shard worker fans out), so each round
+    // blocks on recv() until the event lands.
     for _ in 0..16 {
         capture.publish(&record).unwrap();
         for sub in subs {
-            sub.try_recv().unwrap();
+            sub.recv().unwrap();
         }
     }
     let rounds = 50;
@@ -86,7 +89,7 @@ fn publish_allocs_per_message(capture: &CapturePoint, subs: &[Subscription]) -> 
     for _ in 0..rounds {
         capture.publish(&record).unwrap();
         for sub in subs {
-            sub.try_recv().unwrap();
+            sub.recv().unwrap();
         }
     }
     let total = allocations() - before;

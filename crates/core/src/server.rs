@@ -10,7 +10,7 @@
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -49,6 +49,7 @@ pub struct MetadataServer {
     routes: Arc<RwLock<Routes>>,
     stop: Arc<AtomicBool>,
     handle: Option<JoinHandle<()>>,
+    wakeups: Arc<AtomicU64>,
 }
 
 impl std::fmt::Debug for MetadataServer {
@@ -67,19 +68,18 @@ impl MetadataServer {
     pub fn bind(addr: impl ToSocketAddrs) -> Result<MetadataServer, X2wError> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
-        listener.set_nonblocking(true)?;
         let routes: Arc<RwLock<Routes>> = Arc::new(RwLock::new(Routes::default()));
         let stop = Arc::new(AtomicBool::new(false));
+        let wakeups = Arc::new(AtomicU64::new(0));
         let handle = {
             let routes = Arc::clone(&routes);
             let stop = Arc::clone(&stop);
+            let wakeups = Arc::clone(&wakeups);
             std::thread::Builder::new()
                 .name("metadata-server".to_owned())
-                .spawn(move ||
-
- serve_loop(listener, routes, stop))?
+                .spawn(move || serve_loop(&listener, &routes, &stop, &wakeups))?
         };
-        Ok(MetadataServer { addr, routes, stop, handle: Some(handle) })
+        Ok(MetadataServer { addr, routes, stop, handle: Some(handle), wakeups })
     }
 
     /// The address the server is listening on.
@@ -111,6 +111,13 @@ impl MetadataServer {
         self.routes.write().generators.push((prefix.to_owned(), generator));
     }
 
+    /// How many times the accept loop has woken so far. The loop blocks
+    /// in `accept(2)` — it advances only when a connection arrives, so
+    /// an idle server stays at zero (no sleep-polling).
+    pub fn accept_wakeups(&self) -> u64 {
+        self.wakeups.load(Ordering::SeqCst)
+    }
+
     /// Paths of all static documents currently published.
     pub fn published_paths(&self) -> Vec<String> {
         let mut paths: Vec<String> =
@@ -131,24 +138,33 @@ impl Drop for MetadataServer {
     }
 }
 
-fn serve_loop(listener: TcpListener, routes: Arc<RwLock<Routes>>, stop: Arc<AtomicBool>) {
-    while !stop.load(Ordering::SeqCst) {
+fn serve_loop(
+    listener: &TcpListener,
+    routes: &Arc<RwLock<Routes>>,
+    stop: &Arc<AtomicBool>,
+    wakeups: &Arc<AtomicU64>,
+) {
+    loop {
+        // Blocking accept: zero idle wakeups. Drop wakes it by
+        // self-connecting after setting `stop`.
         match listener.accept() {
             Ok((stream, _)) => {
+                wakeups.fetch_add(1, Ordering::SeqCst);
                 if stop.load(Ordering::SeqCst) {
                     break;
                 }
-                let routes = Arc::clone(&routes);
+                let routes = Arc::clone(routes);
                 // One thread per connection: metadata requests are rare
                 // (discovery-time only), so simplicity wins.
                 std::thread::spawn(move || {
                     let _ = handle_connection(stream, &routes);
                 });
             }
-            Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_micros(500));
+            Err(_) => {
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
             }
-            Err(_) => break,
         }
     }
 }
@@ -430,6 +446,16 @@ mod tests {
         server.publish("/z.xsd", DOC);
         server.publish("/a.xsd", DOC);
         assert_eq!(server.published_paths(), vec!["/a.xsd", "/z.xsd"]);
+    }
+
+    #[test]
+    fn idle_server_never_wakes() {
+        let server = MetadataServer::bind("127.0.0.1:0").unwrap();
+        server.publish("/a.xsd", DOC);
+        std::thread::sleep(Duration::from_millis(200));
+        assert_eq!(server.accept_wakeups(), 0, "idle accept loop woke up");
+        assert!(http_get(&server.url_for("/a.xsd")).is_ok());
+        assert_eq!(server.accept_wakeups(), 1);
     }
 
     #[test]

@@ -212,6 +212,36 @@ impl Bencher {
         }
         self.mean_ns = measure_start.elapsed().as_nanos() as f64 / total_iters.max(1) as f64;
     }
+
+    /// Times a routine that measures itself: `routine` receives an
+    /// iteration count and returns the total measured duration for that
+    /// many iterations (as real criterion's `iter_custom`). Use this
+    /// when setup/teardown must stay outside the timed region, or when
+    /// only a phase of each iteration should count.
+    pub fn iter_custom<R: FnMut(u64) -> Duration>(&mut self, mut routine: R) {
+        if self.test_mode {
+            black_box(routine(1));
+            return;
+        }
+        let warmup = self.measurement_time / 10;
+        let start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while start.elapsed() < warmup {
+            black_box(routine(1));
+            warm_iters += 1;
+        }
+        let per_iter = warmup.as_nanos() as f64 / warm_iters.max(1) as f64;
+        let batch = ((self.measurement_time.as_nanos() as f64 / per_iter / 50.0) as u64).max(1);
+
+        let mut total_iters: u64 = 0;
+        let mut measured = Duration::ZERO;
+        let measure_start = Instant::now();
+        while measure_start.elapsed() < self.measurement_time {
+            measured += routine(batch);
+            total_iters += batch;
+        }
+        self.mean_ns = measured.as_nanos() as f64 / total_iters.max(1) as f64;
+    }
 }
 
 /// Declares a benchmark group function, criterion-style.

@@ -1,16 +1,25 @@
 //! Offline shim for `crossbeam`, providing the `channel` module used by
-//! the backbone broker: an unbounded MPMC channel built on
-//! `Mutex<VecDeque>` + `Condvar`, with disconnect detection.
+//! the backbone broker: unbounded and bounded MPMC channels built on
+//! `Mutex<VecDeque>` + `Condvar`, with disconnect detection, timed and
+//! non-blocking sends, and batch extensions (`send_many`,
+//! `try_send_many`, `force_send_many`, `recv_batch`) that move several
+//! messages under a single lock acquisition — the primitive the broker's
+//! batched fan-out dispatch is built on.
 
 pub mod channel {
     use std::collections::VecDeque;
-    use std::sync::atomic::{AtomicUsize, Ordering};
-    use std::sync::{Arc, Condvar, Mutex, PoisonError};
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
     use std::time::{Duration, Instant};
 
     struct Shared<T> {
         queue: Mutex<VecDeque<T>>,
+        /// Signalled when the queue gains a message.
         available: Condvar,
+        /// Signalled when a bounded queue gains free space.
+        space: Condvar,
+        /// `None` = unbounded.
+        cap: Option<usize>,
         senders: AtomicUsize,
         receivers: AtomicUsize,
         /// Receivers currently blocked in `wait`. Senders skip the
@@ -18,20 +27,59 @@ pub mod channel {
         /// wake syscall even with no waiters, which would otherwise
         /// dominate high-fan-out publish paths whose consumers poll.
         waiters: AtomicUsize,
+        /// Senders currently blocked waiting for space.
+        send_waiters: AtomicUsize,
+        /// Set when a receiver wake is already in flight; collapses the
+        /// one-syscall-per-push storm a producer would otherwise cause
+        /// while the consumer is runnable but not yet scheduled.
+        notify_pending: AtomicBool,
     }
 
     impl<T> Shared<T> {
-        fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+        fn lock(&self) -> MutexGuard<'_, VecDeque<T>> {
             self.queue.lock().unwrap_or_else(PoisonError::into_inner)
+        }
+
+        /// Wake one receiver if any is blocked and no wake is pending.
+        fn wake_receiver(&self) {
+            if self.waiters.load(Ordering::SeqCst) > 0
+                && !self.notify_pending.swap(true, Ordering::SeqCst)
+            {
+                self.available.notify_one();
+            }
+        }
+
+        /// After popping `freed` messages: chain-wake a further receiver
+        /// if messages remain (a collapsed notify may have stood for
+        /// several pushes), and wake senders blocked on space — all of
+        /// them when a batch drain freed several slots, since each woken
+        /// sender re-checks capacity under the lock anyway and a single
+        /// `notify_one` would leave the rest asleep for a whole batch
+        /// cycle.
+        fn after_pop(&self, queue: &VecDeque<T>, freed: usize) {
+            if !queue.is_empty() && self.waiters.load(Ordering::SeqCst) > 0 {
+                self.available.notify_one();
+            }
+            if self.send_waiters.load(Ordering::SeqCst) > 0 {
+                if freed > 1 {
+                    self.space.notify_all();
+                } else {
+                    self.space.notify_one();
+                }
+            }
+        }
+
+        fn is_full(&self, queue: &VecDeque<T>) -> bool {
+            self.cap.is_some_and(|cap| queue.len() >= cap)
         }
     }
 
-    /// The sending half of an unbounded channel.
+    /// The sending half of a channel.
     pub struct Sender<T> {
         shared: Arc<Shared<T>>,
     }
 
-    /// The receiving half of an unbounded channel.
+    /// The receiving half of a channel.
     pub struct Receiver<T> {
         shared: Arc<Shared<T>>,
     }
@@ -39,6 +87,24 @@ pub mod channel {
     /// Error returned by [`Sender::send`] when every receiver is gone.
     #[derive(Debug, PartialEq, Eq)]
     pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Sender::try_send`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The bounded channel is at capacity.
+        Full(T),
+        /// Every receiver is gone.
+        Disconnected(T),
+    }
+
+    /// Error returned by [`Sender::send_timeout`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum SendTimeoutError<T> {
+        /// No space appeared within the timeout.
+        Timeout(T),
+        /// Every receiver is gone.
+        Disconnected(T),
+    }
 
     /// Error returned by [`Receiver::recv`] when every sender is gone.
     #[derive(Debug, PartialEq, Eq)]
@@ -62,16 +128,35 @@ pub mod channel {
         Disconnected,
     }
 
-    /// Creates an unbounded channel.
-    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    fn channel<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
         let shared = Arc::new(Shared {
             queue: Mutex::new(VecDeque::new()),
             available: Condvar::new(),
+            space: Condvar::new(),
+            cap,
             senders: AtomicUsize::new(1),
             receivers: AtomicUsize::new(1),
             waiters: AtomicUsize::new(0),
+            send_waiters: AtomicUsize::new(0),
+            notify_pending: AtomicBool::new(false),
         });
         (Sender { shared: Arc::clone(&shared) }, Receiver { shared })
+    }
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        channel(None)
+    }
+
+    /// Creates a bounded channel holding at most `cap` messages.
+    ///
+    /// # Panics
+    ///
+    /// `cap` must be at least 1; the zero-capacity rendezvous channel of
+    /// real crossbeam is not supported by this shim.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        assert!(cap >= 1, "zero-capacity channels are not supported by this shim");
+        channel(Some(cap))
     }
 
     impl<T> Clone for Sender<T> {
@@ -100,7 +185,11 @@ pub mod channel {
 
     impl<T> Drop for Receiver<T> {
         fn drop(&mut self) {
-            self.shared.receivers.fetch_sub(1, Ordering::SeqCst);
+            if self.shared.receivers.fetch_sub(1, Ordering::SeqCst) == 1 {
+                // Last receiver: wake senders blocked on space so they
+                // observe the disconnect.
+                self.shared.space.notify_all();
+            }
         }
     }
 
@@ -117,29 +206,204 @@ pub mod channel {
     }
 
     impl<T> Sender<T> {
-        /// Enqueues a message, failing if every receiver has hung up.
+        /// Enqueues a message, blocking while a bounded channel is full;
+        /// fails if every receiver has hung up.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut queue = self.shared.lock();
+            loop {
+                if self.shared.receivers.load(Ordering::SeqCst) == 0 {
+                    return Err(SendError(value));
+                }
+                if !self.shared.is_full(&queue) {
+                    queue.push_back(value);
+                    drop(queue);
+                    // A blocked receiver increments `waiters` under the
+                    // queue lock before sleeping, so after the push above
+                    // this load cannot miss a receiver that went to sleep
+                    // before the message became visible.
+                    self.shared.wake_receiver();
+                    return Ok(());
+                }
+                self.shared.send_waiters.fetch_add(1, Ordering::SeqCst);
+                let woken =
+                    self.shared.space.wait(queue).unwrap_or_else(PoisonError::into_inner);
+                self.shared.send_waiters.fetch_sub(1, Ordering::SeqCst);
+                queue = woken;
+            }
+        }
+
+        /// Enqueues without blocking; fails with `Full` when a bounded
+        /// channel is at capacity.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let mut queue = self.shared.lock();
+            if self.shared.receivers.load(Ordering::SeqCst) == 0 {
+                return Err(TrySendError::Disconnected(value));
+            }
+            if self.shared.is_full(&queue) {
+                return Err(TrySendError::Full(value));
+            }
+            queue.push_back(value);
+            drop(queue);
+            self.shared.wake_receiver();
+            Ok(())
+        }
+
+        /// Enqueues, waiting up to `timeout` for space in a bounded
+        /// channel.
+        pub fn send_timeout(
+            &self,
+            value: T,
+            timeout: Duration,
+        ) -> Result<(), SendTimeoutError<T>> {
+            let deadline = Instant::now() + timeout;
+            let mut queue = self.shared.lock();
+            loop {
+                if self.shared.receivers.load(Ordering::SeqCst) == 0 {
+                    return Err(SendTimeoutError::Disconnected(value));
+                }
+                if !self.shared.is_full(&queue) {
+                    queue.push_back(value);
+                    drop(queue);
+                    self.shared.wake_receiver();
+                    return Ok(());
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(SendTimeoutError::Timeout(value));
+                }
+                self.shared.send_waiters.fetch_add(1, Ordering::SeqCst);
+                let (guard, _) = self
+                    .shared
+                    .space
+                    .wait_timeout(queue, deadline - now)
+                    .unwrap_or_else(PoisonError::into_inner);
+                self.shared.send_waiters.fetch_sub(1, Ordering::SeqCst);
+                queue = guard;
+            }
+        }
+
+        /// Shim extension: enqueues unconditionally, evicting the oldest
+        /// queued message when a bounded channel is full. Returns the
+        /// evicted message, if any — the `DropOldest` overflow primitive.
+        pub fn force_send(&self, value: T) -> Result<Option<T>, SendError<T>> {
+            let mut queue = self.shared.lock();
             if self.shared.receivers.load(Ordering::SeqCst) == 0 {
                 return Err(SendError(value));
             }
-            self.shared.lock().push_back(value);
-            // A blocked receiver increments `waiters` under the queue
-            // lock before sleeping, so after the push+unlock above this
-            // load cannot miss a receiver that went to sleep before the
-            // message became visible.
-            if self.shared.waiters.load(Ordering::SeqCst) > 0 {
-                self.shared.available.notify_one();
+            let evicted =
+                if self.shared.is_full(&queue) { queue.pop_front() } else { None };
+            queue.push_back(value);
+            drop(queue);
+            self.shared.wake_receiver();
+            Ok(evicted)
+        }
+
+        /// Shim extension: enqueues every message of `values` under a
+        /// single lock acquisition, blocking for space as needed (the
+        /// `Block` overflow primitive, batched). Returns the number
+        /// enqueued; on disconnect the remaining messages are dropped.
+        pub fn send_many<I>(&self, values: I) -> Result<usize, SendError<usize>>
+        where
+            I: IntoIterator<Item = T>,
+        {
+            let mut queue = self.shared.lock();
+            let mut pushed = 0usize;
+            for value in values {
+                loop {
+                    if self.shared.receivers.load(Ordering::SeqCst) == 0 {
+                        return Err(SendError(pushed));
+                    }
+                    if !self.shared.is_full(&queue) {
+                        queue.push_back(value);
+                        pushed += 1;
+                        self.shared.wake_receiver();
+                        break;
+                    }
+                    self.shared.send_waiters.fetch_add(1, Ordering::SeqCst);
+                    let woken = self
+                        .shared
+                        .space
+                        .wait(queue)
+                        .unwrap_or_else(PoisonError::into_inner);
+                    self.shared.send_waiters.fetch_sub(1, Ordering::SeqCst);
+                    queue = woken;
+                }
             }
-            Ok(())
+            drop(queue);
+            Ok(pushed)
+        }
+
+        /// Shim extension: enqueues messages under a single lock
+        /// acquisition until the channel fills, dropping the rest (the
+        /// `DropNewest` overflow primitive, batched). Returns the number
+        /// accepted.
+        pub fn try_send_many<I>(&self, values: I) -> Result<usize, SendError<usize>>
+        where
+            I: IntoIterator<Item = T>,
+        {
+            let mut queue = self.shared.lock();
+            if self.shared.receivers.load(Ordering::SeqCst) == 0 {
+                return Err(SendError(0));
+            }
+            let mut pushed = 0usize;
+            for value in values {
+                if self.shared.is_full(&queue) {
+                    break;
+                }
+                queue.push_back(value);
+                pushed += 1;
+            }
+            drop(queue);
+            if pushed > 0 {
+                self.shared.wake_receiver();
+            }
+            Ok(pushed)
+        }
+
+        /// Shim extension: enqueues every message under a single lock
+        /// acquisition, evicting the oldest queued messages as needed
+        /// (the `DropOldest` overflow primitive, batched). Returns the
+        /// number evicted.
+        pub fn force_send_many<I>(&self, values: I) -> Result<usize, SendError<usize>>
+        where
+            I: IntoIterator<Item = T>,
+        {
+            let mut queue = self.shared.lock();
+            if self.shared.receivers.load(Ordering::SeqCst) == 0 {
+                return Err(SendError(0));
+            }
+            let mut evicted = 0usize;
+            let mut pushed = false;
+            for value in values {
+                if self.shared.is_full(&queue) {
+                    queue.pop_front();
+                    evicted += 1;
+                }
+                queue.push_back(value);
+                pushed = true;
+            }
+            drop(queue);
+            if pushed {
+                self.shared.wake_receiver();
+            }
+            Ok(evicted)
         }
     }
 
     impl<T> Receiver<T> {
+        /// Pops under the lock, running the chain-wake / space-wake
+        /// protocol on success.
+        fn pop(&self, queue: &mut MutexGuard<'_, VecDeque<T>>) -> Option<T> {
+            let value = queue.pop_front()?;
+            self.shared.after_pop(queue, 1);
+            Some(value)
+        }
+
         /// Blocks until a message arrives or every sender disconnects.
         pub fn recv(&self) -> Result<T, RecvError> {
             let mut queue = self.shared.lock();
             loop {
-                if let Some(value) = queue.pop_front() {
+                if let Some(value) = self.pop(&mut queue) {
                     return Ok(value);
                 }
                 if self.shared.senders.load(Ordering::SeqCst) == 0 {
@@ -152,6 +416,7 @@ pub mod channel {
                     .wait(queue)
                     .unwrap_or_else(PoisonError::into_inner);
                 self.shared.waiters.fetch_sub(1, Ordering::SeqCst);
+                self.shared.notify_pending.store(false, Ordering::SeqCst);
                 queue = woken;
             }
         }
@@ -161,7 +426,7 @@ pub mod channel {
             let deadline = Instant::now() + timeout;
             let mut queue = self.shared.lock();
             loop {
-                if let Some(value) = queue.pop_front() {
+                if let Some(value) = self.pop(&mut queue) {
                     return Ok(value);
                 }
                 if self.shared.senders.load(Ordering::SeqCst) == 0 {
@@ -178,6 +443,7 @@ pub mod channel {
                     .wait_timeout(queue, deadline - now)
                     .unwrap_or_else(PoisonError::into_inner);
                 self.shared.waiters.fetch_sub(1, Ordering::SeqCst);
+                self.shared.notify_pending.store(false, Ordering::SeqCst);
                 queue = guard;
             }
         }
@@ -185,13 +451,62 @@ pub mod channel {
         /// Non-blocking receive.
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
             let mut queue = self.shared.lock();
-            match queue.pop_front() {
+            match self.pop(&mut queue) {
                 Some(value) => Ok(value),
                 None if self.shared.senders.load(Ordering::SeqCst) == 0 => {
                     Err(TryRecvError::Disconnected)
                 }
                 None => Err(TryRecvError::Empty),
             }
+        }
+
+        /// Shim extension: blocks until at least one message is
+        /// available, then drains up to `max` messages into `out` under a
+        /// single lock acquisition (appending; `out` is not cleared).
+        /// Returns the number received. This is the consuming half of
+        /// batched dispatch: a worker pays one lock per batch instead of
+        /// one per message.
+        pub fn recv_batch(&self, out: &mut Vec<T>, max: usize) -> Result<usize, RecvError> {
+            debug_assert!(max >= 1);
+            let mut queue = self.shared.lock();
+            loop {
+                if !queue.is_empty() {
+                    let take = queue.len().min(max);
+                    out.extend(queue.drain(..take));
+                    self.shared.after_pop(&queue, take);
+                    return Ok(take);
+                }
+                if self.shared.senders.load(Ordering::SeqCst) == 0 {
+                    return Err(RecvError);
+                }
+                self.shared.waiters.fetch_add(1, Ordering::SeqCst);
+                let woken = self
+                    .shared
+                    .available
+                    .wait(queue)
+                    .unwrap_or_else(PoisonError::into_inner);
+                self.shared.waiters.fetch_sub(1, Ordering::SeqCst);
+                self.shared.notify_pending.store(false, Ordering::SeqCst);
+                queue = woken;
+            }
+        }
+
+        /// Shim extension: non-blocking batch drain — pops up to `max`
+        /// messages into `out` (appending) under a single lock
+        /// acquisition, without waiting. Returns the number received,
+        /// which is 0 both for an empty live channel and a drained
+        /// disconnected one; callers that must distinguish fall back to
+        /// [`recv_batch`](Receiver::recv_batch). This is the polling
+        /// half of spin-then-park consumers: while they poll, senders
+        /// skip wake syscalls entirely.
+        pub fn try_recv_batch(&self, out: &mut Vec<T>, max: usize) -> usize {
+            let mut queue = self.shared.lock();
+            let take = queue.len().min(max);
+            if take > 0 {
+                out.extend(queue.drain(..take));
+                self.shared.after_pop(&queue, take);
+            }
+            take
         }
 
         /// Number of messages currently queued.
@@ -260,6 +575,123 @@ pub mod channel {
             }
             handle.join().unwrap();
             assert_eq!(got, (0..100).collect::<Vec<_>>());
+        }
+
+        #[test]
+        fn bounded_try_send_reports_full() {
+            let (tx, rx) = bounded(2);
+            tx.try_send(1).unwrap();
+            tx.try_send(2).unwrap();
+            assert_eq!(tx.try_send(3), Err(TrySendError::Full(3)));
+            assert_eq!(rx.recv(), Ok(1));
+            tx.try_send(3).unwrap();
+            drop(rx);
+            assert_eq!(tx.try_send(4), Err(TrySendError::Disconnected(4)));
+        }
+
+        #[test]
+        fn bounded_send_blocks_until_space() {
+            let (tx, rx) = bounded(1);
+            tx.send(1).unwrap();
+            let handle = std::thread::spawn(move || tx.send(2));
+            std::thread::sleep(Duration::from_millis(20));
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.recv(), Ok(2));
+            handle.join().unwrap().unwrap();
+        }
+
+        #[test]
+        fn send_timeout_expires_when_full() {
+            let (tx, rx) = bounded(1);
+            tx.send(1).unwrap();
+            assert_eq!(
+                tx.send_timeout(2, Duration::from_millis(10)),
+                Err(SendTimeoutError::Timeout(2))
+            );
+            rx.recv().unwrap();
+            tx.send_timeout(2, Duration::from_millis(10)).unwrap();
+            assert_eq!(rx.recv(), Ok(2));
+        }
+
+        #[test]
+        fn blocked_send_observes_receiver_disconnect() {
+            let (tx, rx) = bounded(1);
+            tx.send(1).unwrap();
+            let handle = std::thread::spawn(move || tx.send(2));
+            std::thread::sleep(Duration::from_millis(20));
+            drop(rx);
+            assert_eq!(handle.join().unwrap(), Err(SendError(2)));
+        }
+
+        #[test]
+        fn force_send_evicts_oldest() {
+            let (tx, rx) = bounded(2);
+            assert_eq!(tx.force_send(1), Ok(None));
+            assert_eq!(tx.force_send(2), Ok(None));
+            assert_eq!(tx.force_send(3), Ok(Some(1)));
+            assert_eq!(rx.try_recv(), Ok(2));
+            assert_eq!(rx.try_recv(), Ok(3));
+        }
+
+        #[test]
+        fn batch_send_and_recv() {
+            let (tx, rx) = unbounded();
+            assert_eq!(tx.send_many(0..5), Ok(5));
+            let mut out = Vec::new();
+            assert_eq!(rx.recv_batch(&mut out, 3), Ok(3));
+            assert_eq!(out, vec![0, 1, 2]);
+            assert_eq!(rx.recv_batch(&mut out, 10), Ok(2));
+            assert_eq!(out, vec![0, 1, 2, 3, 4]);
+        }
+
+        #[test]
+        fn try_send_many_stops_at_capacity() {
+            let (tx, rx) = bounded(3);
+            assert_eq!(tx.try_send_many(0..10), Ok(3));
+            assert_eq!(rx.len(), 3);
+            let mut out = Vec::new();
+            rx.recv_batch(&mut out, 10).unwrap();
+            assert_eq!(out, vec![0, 1, 2]);
+        }
+
+        #[test]
+        fn force_send_many_evicts_and_keeps_newest() {
+            let (tx, rx) = bounded(3);
+            tx.send_many(0..3).unwrap();
+            assert_eq!(tx.force_send_many(3..6), Ok(3));
+            let mut out = Vec::new();
+            rx.recv_batch(&mut out, 10).unwrap();
+            assert_eq!(out, vec![3, 4, 5]);
+        }
+
+        #[test]
+        fn recv_batch_blocks_for_first_message() {
+            let (tx, rx) = unbounded();
+            let handle = std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(20));
+                tx.send_many([1, 2, 3]).unwrap();
+            });
+            let mut out = Vec::new();
+            assert_eq!(rx.recv_batch(&mut out, 8), Ok(3));
+            assert_eq!(out, vec![1, 2, 3]);
+            handle.join().unwrap();
+            assert_eq!(rx.recv_batch(&mut out, 8), Err(RecvError));
+        }
+
+        #[test]
+        fn two_blocked_receivers_both_wake() {
+            let (tx, rx) = unbounded();
+            let rx2 = rx.clone();
+            let h1 = std::thread::spawn(move || rx.recv());
+            let h2 = std::thread::spawn(move || rx2.recv());
+            std::thread::sleep(Duration::from_millis(20));
+            // Two rapid sends: the collapsed-notify protocol must still
+            // wake both receivers (chain wake on pop).
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            let mut got = vec![h1.join().unwrap().unwrap(), h2.join().unwrap().unwrap()];
+            got.sort_unstable();
+            assert_eq!(got, vec![1, 2]);
         }
     }
 }
