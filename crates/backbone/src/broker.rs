@@ -85,7 +85,8 @@ pub struct StreamConfig {
     /// Where subscribers can discover the stream's metadata.
     pub metadata_locator: Option<String>,
     /// Subscriber queue capacity; `None` (default) is unbounded, which
-    /// makes the overflow policy moot.
+    /// makes the overflow policy moot. `Some(0)` is clamped to `Some(1)`
+    /// at registration (rendezvous queues are not supported).
     pub capacity: Option<usize>,
     /// What to do when a bounded subscriber queue fills.
     pub overflow: Overflow,
@@ -228,13 +229,43 @@ impl Subscription {
                 ack: Some(ack_tx),
             })
             .is_ok();
-        if sent {
-            // Err means the worker shut down, which deregisters us too.
-            let _ = ack_rx.recv();
+        if !sent {
+            // The worker shut down, which deregisters us too.
+            return receiver;
+        }
+        // Wait for the ack while draining our own queue: under the Block
+        // policy the worker may be parked in send_many on this very
+        // (full) queue, and it can only reach our Unsubscribe message
+        // once we make room. Drained events are kept so the returned
+        // receiver still holds the whole pre-deregistration backlog.
+        let mut drained: Vec<Arc<Event>> = Vec::new();
+        loop {
+            match ack_rx.recv_timeout(std::time::Duration::from_millis(1)) {
+                Ok(()) => break,
+                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                    while let Ok(event) = receiver.try_recv() {
+                        drained.push(event);
+                    }
+                }
+                // The worker shut down mid-wait; that deregisters us too.
+                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
+            }
         }
         // Drop runs next and decrements the subscriber count; the worker
         // ignores unsubscribes for ids it no longer knows.
-        receiver
+        if drained.is_empty() {
+            return receiver;
+        }
+        // Reassemble the backlog in order on a fresh channel: the events
+        // drained while waiting, then whatever is still queued.
+        let (tx, rx) = unbounded();
+        for event in drained {
+            let _ = tx.send(event);
+        }
+        while let Ok(event) = receiver.try_recv() {
+            let _ = tx.send(event);
+        }
+        rx
     }
 }
 
@@ -278,10 +309,10 @@ impl PublishHandle {
     ) -> Result<usize, BackboneError> {
         let event =
             Event { stream: Arc::clone(&self.meta.name), format_name, payload };
-        self.meta.published.fetch_add(1, Ordering::Relaxed);
         self.shard_tx
             .send(ShardMsg::Event(Arc::new(event)))
             .map_err(|_| BackboneError::Disconnected)?;
+        self.meta.published.fetch_add(1, Ordering::Relaxed);
         Ok(self.meta.subscribers.load(Ordering::SeqCst))
     }
 
@@ -385,7 +416,9 @@ impl Broker {
                         subscribers: AtomicUsize::new(0),
                         published: AtomicU64::new(0),
                         dropped: AtomicU64::new(0),
-                        capacity: config.capacity,
+                        // Clamp here rather than panic in subscribe():
+                        // the channel shim rejects zero-capacity queues.
+                        capacity: config.capacity.map(|cap| cap.max(1)),
                         overflow: config.overflow,
                     }),
                 );
@@ -448,11 +481,11 @@ impl Broker {
     /// Unknown streams.
     pub fn publish(&self, event: Event) -> Result<usize, BackboneError> {
         let (shard, meta) = self.lookup(&event.stream)?;
-        meta.published.fetch_add(1, Ordering::Relaxed);
         shard
             .tx
             .send(ShardMsg::Event(Arc::new(event)))
             .map_err(|_| BackboneError::Disconnected)?;
+        meta.published.fetch_add(1, Ordering::Relaxed);
         Ok(meta.subscribers.load(Ordering::SeqCst))
     }
 
@@ -811,6 +844,50 @@ mod tests {
         let delivered = broker.publish(event("asd", 1)).unwrap();
         assert_eq!(delivered, 1);
         assert_eq!(keep.recv().unwrap().payload, vec![1]);
+    }
+
+    #[test]
+    fn unsubscribe_with_full_blocking_queue_does_not_deadlock() {
+        // The shard worker parks in send_many on the subscriber's full
+        // queue; unsubscribe must make room while waiting for the ack or
+        // the whole shard wedges.
+        let broker = Broker::new();
+        broker.create_stream_with(
+            "full",
+            StreamConfig { capacity: Some(1), overflow: Overflow::Block, ..Default::default() },
+        );
+        let sub = broker.subscribe("full").unwrap();
+        for n in 0..4 {
+            broker.publish(event("full", n)).unwrap();
+        }
+        // Let the worker fill the queue and block.
+        std::thread::sleep(Duration::from_millis(50));
+        let (done_tx, done_rx) = bounded(1);
+        std::thread::spawn(move || {
+            let rest = sub.unsubscribe();
+            let mut got = Vec::new();
+            while let Ok(event) = rest.recv() {
+                got.push(event.payload[0]);
+            }
+            let _ = done_tx.send(got);
+        });
+        let got = done_rx
+            .recv_timeout(Duration::from_secs(5))
+            .expect("unsubscribe deadlocked on a full Block-policy queue");
+        // The backlog survives deregistration, in order.
+        assert_eq!(got, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_not_a_panic() {
+        let broker = Broker::new();
+        broker.create_stream_with(
+            "tiny",
+            StreamConfig { capacity: Some(0), overflow: Overflow::DropOldest, ..Default::default() },
+        );
+        let sub = broker.subscribe("tiny").unwrap(); // must not panic
+        broker.publish(event("tiny", 7)).unwrap();
+        assert_eq!(sub.recv_timeout(Duration::from_secs(2)).unwrap().payload, vec![7]);
     }
 
     #[test]

@@ -20,7 +20,7 @@
 use std::collections::HashMap;
 use std::io::{BufReader, BufWriter, IoSlice, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -208,11 +208,13 @@ pub fn read_frame(reader: &mut impl Read) -> Result<Option<Frame>, BackboneError
 pub type FrameHandler = Arc<dyn Fn(Frame) -> Option<Frame> + Send + Sync>;
 
 /// One live connection as the server tracks it: the socket (for
-/// shutdown), a done flag the connection's threads set on exit, and the
-/// thread handles the reaper joins.
+/// shutdown), a count of its still-running threads, and the thread
+/// handles the reaper joins. The reaper only touches entries whose
+/// count has reached zero, so joining can never block the accept loop
+/// on a writer stuck in a socket write to a slow peer.
 struct ConnEntry {
     stream: TcpStream,
-    done: Arc<AtomicBool>,
+    live_threads: Arc<AtomicUsize>,
     reader: Option<JoinHandle<()>>,
     writer: Option<JoinHandle<()>>,
 }
@@ -316,7 +318,7 @@ fn reap_finished(conns: &ConnTable) {
         let mut conns = conns.lock();
         let ids: Vec<u64> = conns
             .iter()
-            .filter(|(_, entry)| entry.done.load(Ordering::SeqCst))
+            .filter(|(_, entry)| entry.live_threads.load(Ordering::SeqCst) == 0)
             .map(|(id, _)| *id)
             .collect();
         for id in ids {
@@ -325,7 +327,8 @@ fn reap_finished(conns: &ConnTable) {
             }
         }
     }
-    // Join outside the lock so a slow exit cannot stall accepts.
+    // Both threads have already exited, so these joins cannot block;
+    // they run outside the lock regardless.
     for mut entry in finished {
         entry.join();
     }
@@ -359,6 +362,10 @@ fn accept_loop(
                 if stop.load(Ordering::SeqCst) {
                     break;
                 }
+                // Error backoff (not idle polling — the idle path blocks
+                // in accept): a persistent failure such as EMFILE would
+                // otherwise busy-spin this loop at 100% CPU.
+                std::thread::sleep(std::time::Duration::from_millis(10));
             }
         }
     }
@@ -367,32 +374,32 @@ fn accept_loop(
 /// Starts the reader and writer threads for one connection.
 fn spawn_connection(stream: TcpStream, handler: FrameHandler) -> std::io::Result<ConnEntry> {
     stream.set_nodelay(true)?;
-    let done = Arc::new(AtomicBool::new(false));
+    let live_threads = Arc::new(AtomicUsize::new(2));
     let (reply_tx, reply_rx) = bounded::<Frame>(WRITER_QUEUE_DEPTH);
 
     let writer = {
         let stream = stream.try_clone()?;
-        let done = Arc::clone(&done);
+        let live = Arc::clone(&live_threads);
         std::thread::Builder::new().name("event-conn-writer".to_owned()).spawn(move || {
             writer_loop(&stream, &reply_rx);
             // A write error (or reader exit) ends the connection both
             // ways; the reaper removes the entry on the next accept.
             let _ = stream.shutdown(Shutdown::Both);
-            done.store(true, Ordering::SeqCst);
+            live.fetch_sub(1, Ordering::SeqCst);
         })?
     };
 
     let reader = {
         let stream = stream.try_clone()?;
-        let done = Arc::clone(&done);
+        let live = Arc::clone(&live_threads);
         std::thread::Builder::new().name("event-conn-reader".to_owned()).spawn(move || {
             let _ = reader_loop(&stream, &handler, &reply_tx);
             // Dropping reply_tx lets the writer drain then exit.
-            done.store(true, Ordering::SeqCst);
+            live.fetch_sub(1, Ordering::SeqCst);
         })?
     };
 
-    Ok(ConnEntry { stream, done, reader: Some(reader), writer: Some(writer) })
+    Ok(ConnEntry { stream, live_threads, reader: Some(reader), writer: Some(writer) })
 }
 
 fn reader_loop(
@@ -665,6 +672,41 @@ mod tests {
         let mut client = EventClient::connect(server.local_addr()).unwrap();
         let _ = client.request(&Frame::new("s", vec![1])).unwrap();
         assert_eq!(server.accept_wakeups(), 1);
+    }
+
+    #[test]
+    fn blocked_writer_does_not_stall_the_accept_loop() {
+        // A peer that sends requests, half-closes, and never reads its
+        // replies leaves the connection's reader exited (EOF) but its
+        // writer wedged in a socket write once the kernel buffers fill.
+        // The reaper must not join that half-dead connection, or the
+        // accept loop stalls for every other client.
+        let server = echo_server();
+        let wedged = TcpStream::connect(server.local_addr()).unwrap();
+        {
+            let mut tx = BufWriter::new(wedged.try_clone().unwrap());
+            let big = Frame::new("big", vec![0xAB; 1 << 20]);
+            for _ in 0..32 {
+                write_frame(&mut tx, &big).unwrap();
+            }
+        }
+        // Half-close: the server's reader sees EOF and exits while the
+        // replies (32 MiB, unread by us) block the server's writer.
+        wedged.shutdown(Shutdown::Write).unwrap();
+        std::thread::sleep(Duration::from_millis(200));
+        // A fresh client must still get served promptly; its accept is
+        // what triggers the reap sweep.
+        let probe = TcpStream::connect(server.local_addr()).unwrap();
+        probe.set_nodelay(true).unwrap();
+        probe.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let mut writer = BufWriter::new(probe.try_clone().unwrap());
+        write_frame(&mut writer, &Frame::new("ping", vec![1])).unwrap();
+        let mut reader = BufReader::new(probe);
+        let reply = read_frame(&mut reader)
+            .expect("accept loop stalled joining a blocked writer")
+            .unwrap();
+        assert_eq!(reply.payload, vec![1]);
+        drop(wedged); // keep the wedged socket alive until here
     }
 
     #[test]

@@ -164,6 +164,10 @@ fn serve_loop(
                 if stop.load(Ordering::SeqCst) {
                     break;
                 }
+                // Error backoff (not idle polling — the idle path blocks
+                // in accept): a persistent failure such as EMFILE would
+                // otherwise busy-spin this loop at 100% CPU.
+                std::thread::sleep(Duration::from_millis(10));
             }
         }
     }
