@@ -491,7 +491,11 @@ fn decode_value_at(
                     bounds_check(bytes, count_at, count_field.size, count_name)?;
                     let count =
                         get_int(bytes, count_at, count_field.size, arch.endianness);
-                    if count < 0 || count as usize > bytes.len() {
+                    // An honest count is bounded by the image size over
+                    // the element size; clamping here (rather than only
+                    // at the region bounds check) also keeps the
+                    // `count * size` products below from overflowing.
+                    if count < 0 || count as usize > bytes.len() / elem_sa.size.max(1) {
                         return Err(LayoutError::BadCount {
                             field: count_name.clone(),
                             count,

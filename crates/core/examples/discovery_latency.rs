@@ -1,0 +1,91 @@
+//! Measures discovery failover latency under the failure matrix of
+//! `tests/discovery_failover.rs` — the numbers behind EXPERIMENTS.md's
+//! E-disc entry.
+//!
+//! Run with: `cargo run -p xml2wire --release --example discovery_latency`
+
+use std::net::{TcpListener, TcpStream};
+use std::time::{Duration, Instant};
+
+use xml2wire::{CompiledSource, DiscoveryChain, DiscoveryPolicy, UrlSource};
+
+const DOC: &str = "<xsd:schema xmlns:xsd=\"http://www.w3.org/1999/XMLSchema\"/>";
+
+fn chain_for(locator: &str, policy: DiscoveryPolicy) -> DiscoveryChain {
+    let mut chain = DiscoveryChain::new();
+    chain.push(Box::new(UrlSource::new().policy(policy)));
+    chain.push(Box::new(CompiledSource::new().with_document(locator, DOC)));
+    chain
+}
+
+fn timed_failover(label: &str, locator: &str, policy: DiscoveryPolicy) {
+    let chain = chain_for(locator, policy);
+    let start = Instant::now();
+    let result = chain.fetch(locator);
+    let elapsed = start.elapsed();
+    let snap = chain.stats().snapshot();
+    println!(
+        "{label:<28} {:>8.1} ms  ok={} retries={} url={}:{}",
+        elapsed.as_secs_f64() * 1e3,
+        result.is_ok(),
+        snap.retries,
+        snap.source("url").map_or(0, |s| s.attempts),
+        snap.source("url").map_or(0, |s| s.failures),
+    );
+}
+
+fn main() {
+    let policy = DiscoveryPolicy::default();
+    println!(
+        "policy: connect={:?} read={:?} attempts={} total={:?}\n",
+        policy.connect_timeout, policy.read_timeout, policy.attempts, policy.total_deadline
+    );
+
+    // Healthy primary (baseline).
+    let server = xml2wire::MetadataServer::bind("127.0.0.1:0").unwrap();
+    server.publish("/s.xsd", DOC);
+    timed_failover("healthy primary", &server.url_for("/s.xsd"), policy.clone());
+
+    // Dead server: bound then dropped, connects answered with RST.
+    let dead = {
+        let l = TcpListener::bind("127.0.0.1:0").unwrap();
+        format!("http://{}/s.xsd", l.local_addr().unwrap())
+    };
+    timed_failover("dead primary (RST)", &dead, policy.clone());
+
+    // Black hole: listener that never accepts, backlog pre-filled.
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let mut filler = Vec::new();
+    for _ in 0..600 {
+        match TcpStream::connect_timeout(&addr, Duration::from_millis(50)) {
+            Ok(s) => filler.push(s),
+            Err(_) => break,
+        }
+    }
+    timed_failover(
+        "black-holed primary",
+        &format!("http://{addr}/s.xsd"),
+        policy.clone(),
+    );
+    drop(filler);
+
+    // Broken-but-alive primary answering HTTP 500 (no retry burned).
+    let broken = TcpListener::bind("127.0.0.1:0").unwrap();
+    let broken_addr = broken.local_addr().unwrap();
+    std::thread::spawn(move || {
+        while let Ok((mut stream, _)) = broken.accept() {
+            let mut buf = [0u8; 1024];
+            let _ = std::io::Read::read(&mut stream, &mut buf);
+            let _ = std::io::Write::write_all(
+                &mut stream,
+                b"HTTP/1.0 500 Internal Server Error\r\n\r\nboom",
+            );
+        }
+    });
+    timed_failover(
+        "http-500 primary",
+        &format!("http://{broken_addr}/s.xsd"),
+        policy,
+    );
+}

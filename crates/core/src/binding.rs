@@ -340,6 +340,36 @@ mod tests {
     }
 
     #[test]
+    fn absurdly_long_type_names_fail_binding_not_the_wire() {
+        // A type name past the wire header's 2-byte length field must be
+        // refused here, at binding time, with a telling error — not
+        // silently truncated into a corrupt header later.
+        let long = "T".repeat(u16::MAX as usize + 1);
+        let doc = format!(
+            r#"<xsd:schema xmlns:xsd="http://www.w3.org/1999/XMLSchema">
+  <xsd:complexType name="{long}">
+    <xsd:element name="x" type="xsd:integer" />
+  </xsd:complexType>
+</xsd:schema>"#
+        );
+        let schema = Schema::parse_str(&doc).unwrap();
+        let catalog = Catalog::new();
+        let registry = FormatRegistry::new();
+        let err = bind_schema(&schema, &catalog, &registry, Architecture::host()).unwrap_err();
+        assert!(err.to_string().contains("wire header caps names"), "{err}");
+        // The boundary itself is fine.
+        let at_max = "T".repeat(u16::MAX as usize);
+        let ok = format!(
+            r#"<xsd:schema xmlns:xsd="http://www.w3.org/1999/XMLSchema">
+  <xsd:complexType name="{at_max}">
+    <xsd:element name="x" type="xsd:integer" />
+  </xsd:complexType>
+</xsd:schema>"#
+        );
+        assert_eq!(bind_on(Architecture::host(), &ok).len(), 1);
+    }
+
+    #[test]
     fn field_size_tracks_local_architecture_not_metadata() {
         // The same document binds to different sizes on different
         // machines — the paper's architecture-independence argument.

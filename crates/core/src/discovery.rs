@@ -11,12 +11,248 @@
 
 use std::collections::HashMap;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use parking_lot::RwLock;
 
 use crate::error::X2wError;
-use crate::server::http_get;
 use crate::url::Locator;
+
+/// Deadlines and retry discipline for one remote metadata fetch.
+///
+/// §3.3's degraded mode only works if remote failures are *fast*: a
+/// blackholed metadata server (dropped SYNs, dead link) must not stall
+/// discovery for the OS connect timeout (~2 minutes) before the chain
+/// can fall through to its compiled-in source. Every network operation
+/// in [`crate::server::http_get_with`]/[`crate::server::http_post_with`]
+/// is bounded by this policy, and the whole fetch — all retries, all
+/// backoff sleeps — is capped by `total_deadline`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiscoveryPolicy {
+    /// Per-address TCP connect deadline.
+    pub connect_timeout: Duration,
+    /// Socket read deadline (also re-armed between reads so a
+    /// drip-feeding server cannot extend a response past
+    /// `total_deadline`).
+    pub read_timeout: Duration,
+    /// Socket write deadline.
+    pub write_timeout: Duration,
+    /// Total attempts per fetch (1 = no retries). Only transport-level
+    /// failures are retried; a definitive HTTP response — any status —
+    /// is returned immediately.
+    pub attempts: u32,
+    /// Backoff before retry `k` starts at `backoff_base * 2^(k-1)`…
+    pub backoff_base: Duration,
+    /// …and is capped here. Up to 50% deterministic-per-process jitter
+    /// is added so restarting fleets do not retry in lockstep.
+    pub backoff_max: Duration,
+    /// Hard wall-clock cap on one fetch: connects, writes, reads and
+    /// backoff sleeps all clamp to the time remaining under it.
+    pub total_deadline: Duration,
+}
+
+impl Default for DiscoveryPolicy {
+    /// Defaults tuned so a completely unresponsive primary still lets a
+    /// [`DiscoveryChain`] resolve from its fallback in well under two
+    /// seconds: 250 ms connects, 750 ms reads, two attempts, 1.5 s
+    /// total.
+    fn default() -> Self {
+        DiscoveryPolicy {
+            connect_timeout: Duration::from_millis(250),
+            read_timeout: Duration::from_millis(750),
+            write_timeout: Duration::from_millis(500),
+            attempts: 2,
+            backoff_base: Duration::from_millis(50),
+            backoff_max: Duration::from_millis(400),
+            total_deadline: Duration::from_millis(1500),
+        }
+    }
+}
+
+impl DiscoveryPolicy {
+    /// A policy that never retries and allows `deadline` overall (each
+    /// socket operation is clamped to it as well).
+    pub fn one_shot(deadline: Duration) -> Self {
+        DiscoveryPolicy {
+            connect_timeout: deadline,
+            read_timeout: deadline,
+            write_timeout: deadline,
+            attempts: 1,
+            backoff_base: Duration::ZERO,
+            backoff_max: Duration::ZERO,
+            total_deadline: deadline,
+        }
+    }
+
+    /// The backoff to sleep before attempt `attempt` (1-based retry
+    /// index), jittered by `jitter` in `[0, 1)`.
+    pub(crate) fn backoff_before(&self, attempt: u32, jitter: f64) -> Duration {
+        let base = self
+            .backoff_base
+            .saturating_mul(1u32 << (attempt - 1).min(16))
+            .min(self.backoff_max);
+        base + base.mul_f64(jitter * 0.5)
+    }
+}
+
+/// Per-source attempt/failure counters inside [`DiscoveryStats`].
+#[derive(Debug, Default)]
+struct SourceCounters {
+    attempts: AtomicU64,
+    failures: AtomicU64,
+}
+
+/// Shared counters making degraded discovery *observable*: which
+/// sources are failing, how often fetches retry, how long they take,
+/// and how the cache is absorbing the damage (hits, stale serves,
+/// negative hits).
+///
+/// One instance is shared by a [`DiscoveryChain`] and any
+/// [`SchemaCache`](crate::cache::SchemaCache) wrapping it; read it with
+/// [`snapshot`](Self::snapshot).
+#[derive(Debug, Default)]
+pub struct DiscoveryStats {
+    per_source: RwLock<HashMap<&'static str, SourceCounters>>,
+    retries: AtomicU64,
+    fetches: AtomicU64,
+    fetch_nanos: AtomicU64,
+    cache_hits: AtomicU64,
+    stale_serves: AtomicU64,
+    negative_hits: AtomicU64,
+    singleflight_waits: AtomicU64,
+    background_refreshes: AtomicU64,
+}
+
+impl DiscoveryStats {
+    /// Counts one attempt against `source`, and the failure if it
+    /// failed.
+    pub fn note_source_attempt(&self, source: &'static str, failed: bool) {
+        {
+            let map = self.per_source.read();
+            if let Some(c) = map.get(source) {
+                c.attempts.fetch_add(1, Ordering::Relaxed);
+                if failed {
+                    c.failures.fetch_add(1, Ordering::Relaxed);
+                }
+                return;
+            }
+        }
+        let mut map = self.per_source.write();
+        let c = map.entry(source).or_default();
+        c.attempts.fetch_add(1, Ordering::Relaxed);
+        if failed {
+            c.failures.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Counts one transport-level retry inside a fetch.
+    pub fn note_retry(&self) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one completed chain fetch and its wall-clock latency.
+    pub fn note_fetch(&self, elapsed: Duration) {
+        self.fetches.fetch_add(1, Ordering::Relaxed);
+        self.fetch_nanos.fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_cache_hit(&self) {
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_stale_serve(&self) {
+        self.stale_serves.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_negative_hit(&self) {
+        self.negative_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_singleflight_wait(&self) {
+        self.singleflight_waits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_background_refresh(&self) {
+        self.background_refreshes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A consistent-enough point-in-time copy of every counter.
+    pub fn snapshot(&self) -> DiscoveryStatsSnapshot {
+        let mut sources: Vec<SourceStatsSnapshot> = self
+            .per_source
+            .read()
+            .iter()
+            .map(|(name, c)| SourceStatsSnapshot {
+                source: name,
+                attempts: c.attempts.load(Ordering::Relaxed),
+                failures: c.failures.load(Ordering::Relaxed),
+            })
+            .collect();
+        sources.sort_by_key(|s| s.source);
+        DiscoveryStatsSnapshot {
+            sources,
+            retries: self.retries.load(Ordering::Relaxed),
+            fetches: self.fetches.load(Ordering::Relaxed),
+            fetch_nanos: self.fetch_nanos.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            stale_serves: self.stale_serves.load(Ordering::Relaxed),
+            negative_hits: self.negative_hits.load(Ordering::Relaxed),
+            singleflight_waits: self.singleflight_waits.load(Ordering::Relaxed),
+            background_refreshes: self.background_refreshes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Attempts and failures for one named source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SourceStatsSnapshot {
+    /// The source's [`DiscoverySource::source_name`].
+    pub source: &'static str,
+    /// Fetches routed to this source.
+    pub attempts: u64,
+    /// How many of them failed.
+    pub failures: u64,
+}
+
+/// Point-in-time [`DiscoveryStats`] (see [`DiscoveryStats::snapshot`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DiscoveryStatsSnapshot {
+    /// Per-source attempts/failures, sorted by source name.
+    pub sources: Vec<SourceStatsSnapshot>,
+    /// Transport-level retries across all fetches.
+    pub retries: u64,
+    /// Completed chain fetches (hits served from cache not included).
+    pub fetches: u64,
+    /// Total wall-clock nanoseconds across those fetches.
+    pub fetch_nanos: u64,
+    /// Fetches answered from a fresh cache entry without touching the
+    /// chain.
+    pub cache_hits: u64,
+    /// Fetches answered with an *expired* cached document because every
+    /// remote source failed — the paper's degraded mode, generalized.
+    pub stale_serves: u64,
+    /// Fetches short-circuited by a recent negative (miss) entry.
+    pub negative_hits: u64,
+    /// Fetches that joined an in-flight fetch of the same locator
+    /// instead of duplicating it.
+    pub singleflight_waits: u64,
+    /// Background revalidation attempts spawned after a stale serve.
+    pub background_refreshes: u64,
+}
+
+impl DiscoveryStatsSnapshot {
+    /// The attempt/failure counters for `source`, if it was ever tried.
+    pub fn source(&self, name: &str) -> Option<&SourceStatsSnapshot> {
+        self.sources.iter().find(|s| s.source == name)
+    }
+
+    /// Mean fetch latency, if any fetch completed.
+    pub fn mean_fetch_latency(&self) -> Option<Duration> {
+        (self.fetches > 0).then(|| Duration::from_nanos(self.fetch_nanos / self.fetches))
+    }
+}
 
 /// A source of metadata documents.
 pub trait DiscoverySource: Send + Sync {
@@ -29,6 +265,18 @@ pub trait DiscoverySource: Send + Sync {
     ///
     /// Any failure; the chain records it and moves on.
     fn fetch(&self, locator: &str) -> Result<String, X2wError>;
+
+    /// As [`fetch`](Self::fetch), with a [`DiscoveryStats`] handle for
+    /// sources that can report internal retries. The default ignores the
+    /// stats (the chain still records the attempt and its outcome).
+    fn fetch_observed(
+        &self,
+        locator: &str,
+        stats: &DiscoveryStats,
+    ) -> Result<String, X2wError> {
+        let _ = stats;
+        self.fetch(locator)
+    }
 }
 
 /// Reads schema documents from the local filesystem, resolving relative
@@ -76,23 +324,50 @@ impl DiscoverySource for FileSource {
     }
 }
 
-/// Fetches schema documents over HTTP from a metadata server.
+/// Fetches schema documents over HTTP from a metadata server, under a
+/// [`DiscoveryPolicy`]'s deadlines and retry discipline.
 #[derive(Debug, Clone, Default)]
 pub struct UrlSource {
     /// Optional base URL for relative locators (e.g.
     /// `http://meta:8080/schemas`).
     base: Option<String>,
+    policy: DiscoveryPolicy,
 }
 
 impl UrlSource {
     /// A source that only accepts absolute `http://` locators.
     pub fn new() -> Self {
-        UrlSource { base: None }
+        UrlSource::default()
     }
 
     /// A source that resolves relative locators against `base`.
     pub fn with_base(base: impl Into<String>) -> Self {
-        UrlSource { base: Some(base.into()) }
+        UrlSource { base: Some(base.into()), policy: DiscoveryPolicy::default() }
+    }
+
+    /// Replaces the fetch policy (builder style).
+    #[must_use]
+    pub fn policy(mut self, policy: DiscoveryPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    fn resolve(&self, locator: &str) -> Result<String, X2wError> {
+        if locator.starts_with("http://") {
+            Ok(locator.to_owned())
+        } else if let Some(base) = &self.base {
+            Ok(format!(
+                "{}/{}",
+                base.trim_end_matches('/'),
+                locator.trim_start_matches('/')
+            ))
+        } else {
+            Err(X2wError::BadLocator {
+                locator: locator.to_owned(),
+                reason: "url source requires an absolute http:// locator (no base set)"
+                    .to_owned(),
+            })
+        }
     }
 }
 
@@ -102,18 +377,19 @@ impl DiscoverySource for UrlSource {
     }
 
     fn fetch(&self, locator: &str) -> Result<String, X2wError> {
-        let url = if locator.starts_with("http://") {
-            locator.to_owned()
-        } else if let Some(base) = &self.base {
-            format!("{}/{}", base.trim_end_matches('/'), locator.trim_start_matches('/'))
-        } else {
-            return Err(X2wError::BadLocator {
-                locator: locator.to_owned(),
-                reason: "url source requires an absolute http:// locator (no base set)"
-                    .to_owned(),
-            });
-        };
-        http_get(&url)
+        crate::server::http_get_with(&self.resolve(locator)?, &self.policy)
+    }
+
+    fn fetch_observed(
+        &self,
+        locator: &str,
+        stats: &DiscoveryStats,
+    ) -> Result<String, X2wError> {
+        crate::server::http_get_observed(
+            &self.resolve(locator)?,
+            &self.policy,
+            Some(stats),
+        )
     }
 }
 
@@ -169,6 +445,7 @@ impl DiscoverySource for CompiledSource {
 #[derive(Default)]
 pub struct DiscoveryChain {
     sources: Vec<Box<dyn DiscoverySource>>,
+    stats: Arc<DiscoveryStats>,
 }
 
 impl std::fmt::Debug for DiscoveryChain {
@@ -199,23 +476,38 @@ impl DiscoveryChain {
         self.sources.is_empty()
     }
 
-    /// Fetches `locator` from the first source that succeeds.
+    /// The chain's shared counters (also shared with any
+    /// [`SchemaCache`](crate::cache::SchemaCache) wrapping this chain).
+    pub fn stats(&self) -> &Arc<DiscoveryStats> {
+        &self.stats
+    }
+
+    /// Fetches `locator` from the first source that succeeds, recording
+    /// per-source attempts/failures and the fetch latency in
+    /// [`stats`](Self::stats).
     ///
     /// # Errors
     ///
     /// Returns [`X2wError::Discovery`] carrying one line per failed
     /// source when every source fails.
     pub fn fetch(&self, locator: &str) -> Result<String, X2wError> {
+        let start = Instant::now();
         let mut attempts = Vec::new();
         for source in &self.sources {
-            match source.fetch(locator) {
-                Ok(document) => return Ok(document),
+            let result = source.fetch_observed(locator, &self.stats);
+            self.stats.note_source_attempt(source.source_name(), result.is_err());
+            match result {
+                Ok(document) => {
+                    self.stats.note_fetch(start.elapsed());
+                    return Ok(document);
+                }
                 Err(e) => attempts.push(format!("{}: {e}", source.source_name())),
             }
         }
         if attempts.is_empty() {
             attempts.push("no discovery sources configured".to_owned());
         }
+        self.stats.note_fetch(start.elapsed());
         Err(X2wError::Discovery { locator: locator.to_owned(), attempts })
     }
 }

@@ -54,6 +54,7 @@
 
 pub mod archive;
 pub mod binding;
+pub mod cache;
 pub mod discovery;
 pub mod error;
 pub mod idserver;
@@ -65,8 +66,10 @@ pub mod url;
 pub use binding::{
     bind_complex_type, bind_schema, complex_type_for_struct, schema_for_struct, Binder,
 };
+pub use cache::{CachePolicy, SchemaCache};
 pub use discovery::{
-    CompiledSource, DiscoveryChain, DiscoverySource, FileSource, UrlSource,
+    CompiledSource, DiscoveryChain, DiscoveryPolicy, DiscoverySource, DiscoveryStats,
+    DiscoveryStatsSnapshot, FileSource, SourceStatsSnapshot, UrlSource,
 };
 pub use archive::{ArchiveReader, ArchiveWriter};
 pub use error::X2wError;

@@ -13,12 +13,24 @@ use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use parking_lot::RwLock;
 
+use crate::discovery::{DiscoveryPolicy, DiscoveryStats};
 use crate::error::X2wError;
 use crate::url::Locator;
+
+/// Cap on the request line + headers of one inbound request. A
+/// slow-loris client feeding header bytes that never end must not grow
+/// server memory without bound; past this budget the server answers
+/// `431 Request Header Fields Too Large` and closes.
+pub const MAX_HEADER_BYTES: usize = 8 * 1024;
+
+/// Cap on one HTTP response body accepted by the client side
+/// ([`http_get_with`]); a hostile or broken server cannot balloon a
+/// discovery fetch into an unbounded buffer.
+const MAX_RESPONSE_BYTES: usize = 64 * 1024 * 1024;
 
 /// A dynamic document generator: receives the full request path (with
 /// query string, if any) and produces a document, or `None` for 404.
@@ -173,17 +185,75 @@ fn serve_loop(
     }
 }
 
+/// Reads one header line (through `\n`) within the caller's byte
+/// budget. Returns `Ok(None)` when the budget ran out before a newline
+/// arrived — the slow-loris case — and the line (possibly empty, at
+/// EOF) otherwise. Bytes are consumed incrementally, so memory is
+/// bounded by the budget no matter how the client drips them.
+fn read_header_line(
+    reader: &mut impl BufRead,
+    budget: &mut usize,
+) -> std::io::Result<Option<String>> {
+    let mut line = Vec::new();
+    loop {
+        if *budget == 0 {
+            return Ok(None);
+        }
+        let buf = reader.fill_buf()?;
+        if buf.is_empty() {
+            return Ok(Some(String::from_utf8_lossy(&line).into_owned()));
+        }
+        let window = buf.len().min(*budget);
+        if let Some(pos) = buf[..window].iter().position(|b| *b == b'\n') {
+            line.extend_from_slice(&buf[..=pos]);
+            reader.consume(pos + 1);
+            *budget -= pos + 1;
+            return Ok(Some(String::from_utf8_lossy(&line).into_owned()));
+        }
+        line.extend_from_slice(&buf[..window]);
+        reader.consume(window);
+        *budget -= window;
+    }
+}
+
+/// Answers a header-flooding client with `431` in a way it can actually
+/// read: the write side is shut down so the client sees EOF after the
+/// response, and a bounded amount of its remaining input is drained so
+/// closing the socket does not RST the response out of its receive
+/// buffer.
+fn refuse_oversized_header(
+    stream: &mut TcpStream,
+    reader: &mut impl BufRead,
+) -> std::io::Result<()> {
+    respond(stream, 431, "request header too large", "text/plain")?;
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let mut sink = [0u8; 4096];
+    for _ in 0..64 {
+        match reader.read(&mut sink) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+    }
+    Ok(())
+}
+
 fn handle_connection(stream: TcpStream, routes: &RwLock<Routes>) -> std::io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_secs(5)))?;
     stream.set_nodelay(true)?;
     let mut reader = BufReader::new(stream.try_clone()?);
-    let mut request_line = String::new();
-    reader.read_line(&mut request_line)?;
+    let mut stream = stream;
+    let mut budget = MAX_HEADER_BYTES;
+    let Some(request_line) = read_header_line(&mut reader, &mut budget)? else {
+        return refuse_oversized_header(&mut stream, &mut reader);
+    };
     // Drain headers, noting Content-Length for uploads.
     let mut content_length = 0usize;
     loop {
-        let mut line = String::new();
-        if reader.read_line(&mut line)? == 0 || line == "\r\n" || line == "\n" {
+        let Some(line) = read_header_line(&mut reader, &mut budget)? else {
+            return refuse_oversized_header(&mut stream, &mut reader);
+        };
+        if line.is_empty() || line == "\r\n" || line == "\n" {
             break;
         }
         if let Some((name, value)) = line.split_once(':') {
@@ -192,8 +262,6 @@ fn handle_connection(stream: TcpStream, routes: &RwLock<Routes>) -> std::io::Res
             }
         }
     }
-
-    let mut stream = stream;
     let mut parts = request_line.split_whitespace();
     let method = parts.next().unwrap_or("").to_owned();
     let path = parts.next().unwrap_or("/").to_owned();
@@ -255,6 +323,7 @@ fn respond(
         405 => "Method Not Allowed",
         413 => "Payload Too Large",
         422 => "Unprocessable Entity",
+        431 => "Request Header Fields Too Large",
         _ => "Error",
     };
     let header = format!(
@@ -275,23 +344,33 @@ fn respond(
 /// Connection failures, malformed responses, or a non-2xx status (the
 /// server rejects documents that are not well-formed schemas).
 pub fn http_post(url: &str, document: &str) -> Result<(), X2wError> {
-    let Locator::Http { host, port, path } = Locator::parse(url)? else {
+    http_post_with(url, document, &DiscoveryPolicy::default())
+}
+
+/// [`http_post`] under an explicit [`DiscoveryPolicy`]: connect, write
+/// and read deadlines, bounded retries, and a total wall-clock cap.
+///
+/// # Errors
+///
+/// As [`http_post`]; transport failures are retried per the policy, a
+/// definitive HTTP status (even 5xx) is returned immediately.
+pub fn http_post_with(
+    url: &str,
+    document: &str,
+    policy: &DiscoveryPolicy,
+) -> Result<(), X2wError> {
+    let locator = Locator::parse(url)?;
+    let Locator::Http { host, path, .. } = &locator else {
         return Err(X2wError::BadLocator {
             locator: url.to_owned(),
             reason: "http_post requires an http:// URL".to_owned(),
         });
     };
-    let mut stream = TcpStream::connect((host.as_str(), port))?;
-    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
-    stream.set_nodelay(true)?;
-    let request = format!(
+    let head = format!(
         "POST {path} HTTP/1.0\r\nHost: {host}\r\nContent-Type: text/xml\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
         document.len()
     );
-    stream.write_all(request.as_bytes())?;
-    stream.write_all(document.as_bytes())?;
-    let mut response = Vec::new();
-    stream.read_to_end(&mut response)?;
+    let response = http_exchange(&locator, url, &head, document.as_bytes(), policy, None)?;
     let text = String::from_utf8_lossy(&response);
     let status: u16 = text
         .lines()
@@ -320,20 +399,170 @@ pub fn http_post(url: &str, document: &str) -> Result<(), X2wError> {
 /// Reports connection failures, malformed responses and non-200
 /// statuses.
 pub fn http_get(url: &str) -> Result<String, X2wError> {
-    let Locator::Http { host, port, path } = Locator::parse(url)? else {
+    http_get_with(url, &DiscoveryPolicy::default())
+}
+
+/// [`http_get`] under an explicit [`DiscoveryPolicy`]: connect, write
+/// and read deadlines, bounded retries with jittered exponential
+/// backoff, and a total wall-clock cap across all of them.
+///
+/// # Errors
+///
+/// As [`http_get`]; transport failures are retried per the policy, a
+/// definitive HTTP status (even 5xx) is returned immediately.
+pub fn http_get_with(url: &str, policy: &DiscoveryPolicy) -> Result<String, X2wError> {
+    http_get_observed(url, policy, None)
+}
+
+/// [`http_get_with`] that additionally records retries into `stats`.
+pub(crate) fn http_get_observed(
+    url: &str,
+    policy: &DiscoveryPolicy,
+    stats: Option<&DiscoveryStats>,
+) -> Result<String, X2wError> {
+    let locator = Locator::parse(url)?;
+    let Locator::Http { host, path, .. } = &locator else {
         return Err(X2wError::BadLocator {
             locator: url.to_owned(),
             reason: "http_get requires an http:// URL".to_owned(),
         });
     };
-    let mut stream = TcpStream::connect((host.as_str(), port))?;
-    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
-    stream.set_nodelay(true)?;
-    let request = format!("GET {path} HTTP/1.0\r\nHost: {host}\r\nConnection: close\r\n\r\n");
-    stream.write_all(request.as_bytes())?;
-    let mut response = Vec::new();
-    stream.read_to_end(&mut response)?;
+    let head = format!("GET {path} HTTP/1.0\r\nHost: {host}\r\nConnection: close\r\n\r\n");
+    let response = http_exchange(&locator, url, &head, b"", policy, stats)?;
     parse_http_response(&response, url)
+}
+
+/// Runs one request/response exchange under `policy`: up to
+/// `policy.attempts` tries, exponential backoff with jitter between
+/// them, everything clamped to one total deadline. Transport failures
+/// accumulate into the final [`X2wError::Discovery`] so a caller sees
+/// *why* every attempt failed, not just that the last one did.
+fn http_exchange(
+    locator: &Locator,
+    url: &str,
+    head: &str,
+    body: &[u8],
+    policy: &DiscoveryPolicy,
+    stats: Option<&DiscoveryStats>,
+) -> Result<Vec<u8>, X2wError> {
+    let deadline = Instant::now() + policy.total_deadline;
+    let mut failures = Vec::new();
+    for attempt in 0..policy.attempts.max(1) {
+        if attempt > 0 {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                failures.push("total deadline exhausted before retry".to_owned());
+                break;
+            }
+            if let Some(stats) = stats {
+                stats.note_retry();
+            }
+            std::thread::sleep(policy.backoff_before(attempt, jitter_unit()).min(remaining));
+        }
+        match attempt_exchange(locator, head, body, policy, deadline) {
+            Ok(response) => return Ok(response),
+            Err(e) => failures.push(format!("attempt {}: {e}", attempt + 1)),
+        }
+        if Instant::now() >= deadline {
+            break;
+        }
+    }
+    Err(X2wError::Discovery { locator: url.to_owned(), attempts: failures })
+}
+
+fn timed_out(message: &str) -> X2wError {
+    X2wError::Io(std::io::Error::new(std::io::ErrorKind::TimedOut, message.to_owned()))
+}
+
+/// One connect/write/read round trip, every socket operation clamped to
+/// the time left before `deadline`.
+fn attempt_exchange(
+    locator: &Locator,
+    head: &str,
+    body: &[u8],
+    policy: &DiscoveryPolicy,
+    deadline: Instant,
+) -> Result<Vec<u8>, X2wError> {
+    // `set_*_timeout(ZERO)` is an invalid argument, so deadline clamps
+    // floor at one millisecond; the explicit deadline checks around them
+    // keep that floor from compounding into real overrun.
+    const MIN_TIMEOUT: Duration = Duration::from_millis(1);
+    let addrs = locator.socket_addrs()?;
+    let mut stream = None;
+    let mut last_err = None;
+    for addr in &addrs {
+        let left = deadline.saturating_duration_since(Instant::now());
+        if left.is_zero() {
+            return Err(timed_out("total discovery deadline exhausted before connect"));
+        }
+        match TcpStream::connect_timeout(
+            addr,
+            policy.connect_timeout.min(left).max(MIN_TIMEOUT),
+        ) {
+            Ok(s) => {
+                stream = Some(s);
+                break;
+            }
+            Err(e) => last_err = Some(e),
+        }
+    }
+    let mut stream = stream.ok_or_else(|| {
+        X2wError::Io(last_err.unwrap_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::NotConnected, "no address to connect to")
+        }))
+    })?;
+    stream.set_nodelay(true)?;
+    let left = deadline.saturating_duration_since(Instant::now());
+    if left.is_zero() {
+        return Err(timed_out("total discovery deadline exhausted before write"));
+    }
+    stream.set_write_timeout(Some(policy.write_timeout.min(left).max(MIN_TIMEOUT)))?;
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()?;
+    // Bounded read loop: the timeout is re-armed against the remaining
+    // total deadline between reads, so a server drip-feeding one byte
+    // per read cannot stretch the fetch past `policy.total_deadline`.
+    let mut response = Vec::new();
+    let mut chunk = [0u8; 8 * 1024];
+    loop {
+        let left = deadline.saturating_duration_since(Instant::now());
+        if left.is_zero() {
+            return Err(timed_out("total discovery deadline exhausted mid-read"));
+        }
+        stream.set_read_timeout(Some(policy.read_timeout.min(left).max(MIN_TIMEOUT)))?;
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => {
+                if response.len() + n > MAX_RESPONSE_BYTES {
+                    return Err(X2wError::Io(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        "response exceeds the discovery response cap",
+                    )));
+                }
+                response.extend_from_slice(&chunk[..n]);
+            }
+            Err(e) => return Err(X2wError::Io(e)),
+        }
+    }
+    Ok(response)
+}
+
+/// A jitter sample in `[0, 1)` xorshifted from the clock's subsecond
+/// nanoseconds — enough to de-correlate retry stampedes across
+/// processes without pulling in an RNG dependency.
+fn jitter_unit() -> f64 {
+    let nanos = u64::from(
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.subsec_nanos())
+            .unwrap_or(0),
+    ) | 1;
+    let mut x = nanos.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    (x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64
 }
 
 fn parse_http_response(response: &[u8], url: &str) -> Result<String, X2wError> {
@@ -460,6 +689,81 @@ mod tests {
         assert_eq!(server.accept_wakeups(), 0, "idle accept loop woke up");
         assert!(http_get(&server.url_for("/a.xsd")).is_ok());
         assert_eq!(server.accept_wakeups(), 1);
+    }
+
+    #[test]
+    fn slow_loris_headers_are_cut_off_with_431() {
+        let server = MetadataServer::bind("127.0.0.1:0").unwrap();
+        server.publish("/a.xsd", DOC);
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        stream.write_all(b"GET /a.xsd HTTP/1.0\r\n").unwrap();
+        // Feed unterminated header bytes past the budget: the server
+        // must answer 431 and close instead of buffering forever.
+        let filler = vec![b'x'; MAX_HEADER_BYTES + 1024];
+        stream.write_all(b"X-Flood: ").unwrap();
+        stream.write_all(&filler).unwrap();
+        let mut response = Vec::new();
+        stream.read_to_end(&mut response).unwrap();
+        let text = String::from_utf8_lossy(&response);
+        assert!(text.starts_with("HTTP/1.0 431"), "{text}");
+        // The server itself is still healthy for well-formed requests.
+        assert_eq!(http_get(&server.url_for("/a.xsd")).unwrap(), DOC);
+    }
+
+    #[test]
+    fn header_lines_up_to_the_budget_still_work() {
+        let server = MetadataServer::bind("127.0.0.1:0").unwrap();
+        server.publish("/a.xsd", DOC);
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        // A large-but-legal header set (well under the budget).
+        let mut request = String::from("GET /a.xsd HTTP/1.0\r\n");
+        for i in 0..20 {
+            request.push_str(&format!("X-Pad-{i}: {}\r\n", "y".repeat(200)));
+        }
+        request.push_str("\r\n");
+        stream.write_all(request.as_bytes()).unwrap();
+        let mut response = Vec::new();
+        stream.read_to_end(&mut response).unwrap();
+        let text = String::from_utf8_lossy(&response);
+        assert!(text.starts_with("HTTP/1.0 200"), "{text}");
+    }
+
+    #[test]
+    fn http_status_failures_are_not_retried() {
+        // A definitive HTTP response — even an error — must come back
+        // immediately, without burning the policy's retry budget.
+        let server = MetadataServer::bind("127.0.0.1:0").unwrap();
+        let policy = DiscoveryPolicy {
+            attempts: 3,
+            backoff_base: Duration::from_millis(200),
+            ..DiscoveryPolicy::default()
+        };
+        let start = Instant::now();
+        let err = http_get_with(&server.url_for("/missing.xsd"), &policy).unwrap_err();
+        assert!(err.to_string().contains("404"), "{err}");
+        assert!(
+            start.elapsed() < Duration::from_millis(400),
+            "definitive status took {:?} — was it retried?",
+            start.elapsed()
+        );
+    }
+
+    #[test]
+    fn dead_port_fails_within_the_policy_deadline() {
+        // Bind then drop: the port now answers RST. Every attempt fails
+        // fast and the error lists each one.
+        let port = {
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            listener.local_addr().unwrap().port()
+        };
+        let policy = DiscoveryPolicy::default();
+        let start = Instant::now();
+        let err = http_get_with(&format!("http://127.0.0.1:{port}/x"), &policy).unwrap_err();
+        assert!(start.elapsed() < policy.total_deadline + Duration::from_millis(500));
+        let X2wError::Discovery { attempts, .. } = err else {
+            panic!("expected Discovery, got {err}");
+        };
+        assert_eq!(attempts.len(), policy.attempts as usize, "{attempts:?}");
     }
 
     #[test]

@@ -8,7 +8,8 @@ use pbio::{Catalog, Format, FormatRegistry, ImageCow, PlanCache};
 use xsdlite::Schema;
 
 use crate::binding::Binder;
-use crate::discovery::{DiscoveryChain, DiscoverySource};
+use crate::cache::{CachePolicy, SchemaCache};
+use crate::discovery::{DiscoveryChain, DiscoverySource, DiscoveryStatsSnapshot};
 use crate::error::X2wError;
 
 /// A configured xml2wire instance: the runtime counterpart of the
@@ -21,7 +22,7 @@ pub struct Xml2Wire {
     registry: Arc<FormatRegistry>,
     catalog: Arc<Catalog>,
     plans: Arc<PlanCache>,
-    chain: DiscoveryChain,
+    cache: SchemaCache,
     arch: Architecture,
 }
 
@@ -53,15 +54,34 @@ impl Xml2Wire {
 
     // -- discovery ---------------------------------------------------------
 
-    /// Discovers metadata at `locator` through the source chain, then
-    /// parses and binds every complex type in the document.
+    /// Discovers metadata at `locator` through the cached source chain,
+    /// then parses and binds every complex type in the document.
+    ///
+    /// By default every discovery revalidates against the chain (so
+    /// re-published documents propagate immediately), but concurrent
+    /// discoveries of one locator collapse into a single fetch and an
+    /// outage is bridged by the last good document
+    /// ([`CachePolicy::revalidating`]). Use
+    /// [`Xml2WireBuilder::cache_policy`] for TTL-based caching.
     ///
     /// # Errors
     ///
     /// Discovery, schema and binding failures; see [`X2wError`].
     pub fn discover(&self, locator: &str) -> Result<Vec<Arc<Format>>, X2wError> {
-        let document = self.chain.fetch(locator)?;
+        let document = self.cache.fetch(locator)?;
         self.register_schema_str(&document)
+    }
+
+    /// The session's schema-document cache (shared clones are cheap).
+    pub fn schema_cache(&self) -> &SchemaCache {
+        &self.cache
+    }
+
+    /// A point-in-time copy of the session's discovery counters:
+    /// per-source attempts and failures, retries, fetch latency, cache
+    /// hits, stale serves, negative hits.
+    pub fn discovery_stats(&self) -> DiscoveryStatsSnapshot {
+        self.cache.stats().snapshot()
     }
 
     /// Parses a schema document already in hand and binds its types.
@@ -281,6 +301,7 @@ impl Xml2Wire {
 pub struct Xml2WireBuilder {
     arch: Option<Architecture>,
     chain: DiscoveryChain,
+    cache_policy: Option<CachePolicy>,
     shared_registry: Option<Arc<FormatRegistry>>,
 }
 
@@ -317,13 +338,25 @@ impl Xml2WireBuilder {
         self
     }
 
+    /// Overrides the schema-cache TTLs and refresh behaviour
+    /// ([`CachePolicy::revalidating`] is used otherwise, so that
+    /// re-published metadata propagates immediately).
+    #[must_use]
+    pub fn cache_policy(mut self, policy: CachePolicy) -> Self {
+        self.cache_policy = Some(policy);
+        self
+    }
+
     /// Finishes the session.
     pub fn build(self) -> Xml2Wire {
         Xml2Wire {
             registry: self.shared_registry.unwrap_or_default(),
             catalog: Arc::new(Catalog::new()),
             plans: Arc::new(PlanCache::new()),
-            chain: self.chain,
+            cache: SchemaCache::with_policy(
+                self.chain,
+                self.cache_policy.unwrap_or_else(CachePolicy::revalidating),
+            ),
             arch: self.arch.unwrap_or_else(Architecture::host),
         }
     }
@@ -385,6 +418,24 @@ mod tests {
         // Primary fails (connection refused), compiled-in serves it.
         let formats = x2w.discover(&dead_url).unwrap();
         assert_eq!(formats[0].name(), "Flight");
+    }
+
+    #[test]
+    fn rediscovery_survives_a_server_outage_via_stale_cache() {
+        let server = MetadataServer::bind("127.0.0.1:0").unwrap();
+        server.publish("/schemas/flight.xsd", FLIGHT);
+        let url = server.url_for("/schemas/flight.xsd");
+        let x2w = Xml2Wire::builder().source(Box::new(UrlSource::new())).build();
+        x2w.discover(&url).unwrap();
+        drop(server); // outage
+        // The default session policy revalidates, fails against the dead
+        // server, and bridges with the document fetched before the
+        // outage — §3.3's degraded mode without compiled-in fallbacks.
+        let formats = x2w.discover(&url).unwrap();
+        assert_eq!(formats[0].name(), "Flight");
+        let snap = x2w.discovery_stats();
+        assert_eq!(snap.stale_serves, 1, "{snap:?}");
+        assert_eq!(snap.source("url").map(|s| s.failures), Some(1), "{snap:?}");
     }
 
     #[test]

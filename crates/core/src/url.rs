@@ -5,6 +5,7 @@
 //! to accept documents indicated by URLs of remote network locations"
 //! (§4.2.1). This reproduction implements both forms.
 
+use std::net::{SocketAddr, ToSocketAddrs};
 use std::path::PathBuf;
 
 use crate::error::X2wError;
@@ -84,6 +85,37 @@ impl Locator {
         }
         Ok(Locator::File(PathBuf::from(raw)))
     }
+
+    /// Resolves an HTTP locator's authority to concrete socket
+    /// addresses, as required by [`std::net::TcpStream::connect_timeout`]
+    /// (which, unlike `connect`, does not accept unresolved host names).
+    ///
+    /// # Errors
+    ///
+    /// [`X2wError::BadLocator`] for non-HTTP locators, hosts that do not
+    /// resolve, or hosts that resolve to nothing.
+    pub fn socket_addrs(&self) -> Result<Vec<SocketAddr>, X2wError> {
+        let Locator::Http { host, port, .. } = self else {
+            return Err(X2wError::BadLocator {
+                locator: self.to_string(),
+                reason: "only http:// locators name a network endpoint".to_owned(),
+            });
+        };
+        let addrs: Vec<SocketAddr> = (host.as_str(), *port)
+            .to_socket_addrs()
+            .map_err(|e| X2wError::BadLocator {
+                locator: self.to_string(),
+                reason: format!("host does not resolve: {e}"),
+            })?
+            .collect();
+        if addrs.is_empty() {
+            return Err(X2wError::BadLocator {
+                locator: self.to_string(),
+                reason: "host resolved to no addresses".to_owned(),
+            });
+        }
+        Ok(addrs)
+    }
 }
 
 impl std::fmt::Display for Locator {
@@ -150,5 +182,13 @@ mod tests {
     fn display_round_trips_http() {
         let raw = "http://h:9000/p/q.xsd";
         assert_eq!(Locator::parse(raw).unwrap().to_string(), raw);
+    }
+
+    #[test]
+    fn socket_addrs_resolves_http_and_rejects_files() {
+        let addrs =
+            Locator::parse("http://127.0.0.1:8080/x").unwrap().socket_addrs().unwrap();
+        assert_eq!(addrs, vec!["127.0.0.1:8080".parse().unwrap()]);
+        assert!(Locator::parse("file:///x").unwrap().socket_addrs().is_err());
     }
 }

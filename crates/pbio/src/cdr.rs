@@ -221,6 +221,24 @@ pub fn decode(bytes: &[u8], st: &StructType) -> Result<Record, PbioError> {
     decode_struct(&mut reader, st)
 }
 
+/// The smallest number of wire bytes any value of `ty` can occupy in
+/// CDR (alignment padding ignored — undercounting only makes the clamp
+/// more permissive, never less safe). Used to bound hostile claimed
+/// counts against the remaining input before allocating.
+fn min_wire_size(ty: &CType) -> usize {
+    match ty {
+        CType::Prim(p) => cdr_width(*p),
+        CType::String => 5, // u32 length + the mandatory NUL
+        CType::Array { elem, len } => match len {
+            ArrayLen::Fixed(n) => n.saturating_mul(min_wire_size(elem)),
+            ArrayLen::CountField(_) => 4, // count word; may be empty
+        },
+        CType::Struct(inner) => {
+            inner.fields.iter().map(|f| min_wire_size(&f.ty)).sum()
+        }
+    }
+}
+
 struct CdrReader<'a> {
     bytes: &'a [u8],
     at: usize,
@@ -229,6 +247,11 @@ struct CdrReader<'a> {
 }
 
 impl CdrReader<'_> {
+    /// Bytes left between the cursor and the end of input.
+    fn remaining(&self) -> usize {
+        self.bytes.len().saturating_sub(self.at)
+    }
+
     fn align(&mut self, align: usize) {
         let pos = self.at - self.base;
         self.at = self.base + clayout::layout::align_up(pos, align);
@@ -298,7 +321,10 @@ fn decode_value(
         }
         CType::String => {
             let len = reader.take(4)? as usize;
-            if len == 0 || len > reader.bytes.len() {
+            // CDR lengths include the NUL, so zero is malformed; clamp
+            // against the *remaining* input before `take_bytes` so a
+            // hostile length is rejected prior to any allocation.
+            if len == 0 || len > reader.remaining() {
                 return Err(PbioError::Layout(LayoutError::BadCount {
                     field: field.to_owned(),
                     count: len as i64,
@@ -318,7 +344,11 @@ fn decode_value(
                 ArrayLen::Fixed(n) => *n,
                 ArrayLen::CountField(_) => {
                     let c = reader.take(4)? as usize;
-                    if c > reader.bytes.len() {
+                    // Any honest count is bounded by the remaining input
+                    // over the element's minimum wire size (`max(1)`
+                    // guards zero-size elements); a claimed 0xFFFFFFFF
+                    // fails here before the allocation below.
+                    if c > reader.remaining() / min_wire_size(elem).max(1) {
                         return Err(PbioError::Layout(LayoutError::BadCount {
                             field: field.to_owned(),
                             count: c as i64,
@@ -454,6 +484,35 @@ mod tests {
         let mut bad_flag = wire.clone();
         bad_flag[0] = 9;
         assert!(decode(&bad_flag, &st).is_err());
+    }
+
+    #[test]
+    fn hostile_claimed_lengths_are_clamped_against_remaining_input() {
+        // Array of doubles: count claims u32::MAX with 64 bytes of body.
+        let st = StructType::new(
+            "t",
+            vec![
+                StructField::new("xs", CType::dynamic_array(prim(Primitive::Double), "n")),
+                StructField::new("n", prim(Primitive::Int)),
+            ],
+        );
+        let mut bytes = vec![0u8, 0, 0, 0]; // big-endian flag + pad
+        bytes.extend_from_slice(&u32::MAX.to_be_bytes());
+        bytes.extend_from_slice(&[0u8; 64]);
+        assert!(matches!(
+            decode(&bytes, &st),
+            Err(PbioError::Layout(LayoutError::BadCount { .. }))
+        ));
+
+        // String: length (incl. NUL) claims more than remains.
+        let st = StructType::new("t", vec![StructField::new("s", CType::String)]);
+        let mut bytes = vec![0u8, 0, 0, 0];
+        bytes.extend_from_slice(&100u32.to_be_bytes());
+        bytes.extend_from_slice(&[0u8; 8]);
+        assert!(matches!(
+            decode(&bytes, &st),
+            Err(PbioError::Layout(LayoutError::BadCount { .. }))
+        ));
     }
 
     #[test]

@@ -60,6 +60,16 @@ pub enum PbioError {
         /// Explanation.
         detail: String,
     },
+    /// A format name does not fit the wire header's 2-byte length field.
+    ///
+    /// Rejected at [`Format`](crate::format::Format) construction so a
+    /// header that cannot round-trip is never written.
+    FormatNameTooLong {
+        /// The offending name length in bytes.
+        len: usize,
+        /// The maximum representable length (65535).
+        max: usize,
+    },
 }
 
 impl fmt::Display for PbioError {
@@ -86,6 +96,9 @@ impl fmt::Display for PbioError {
                 write!(f, "field {field:?}: value {value} does not fit the destination format")
             }
             PbioError::Text { detail } => write!(f, "text codec: {detail}"),
+            PbioError::FormatNameTooLong { len, max } => {
+                write!(f, "format name is {len} bytes; the wire header caps names at {max}")
+            }
         }
     }
 }

@@ -65,6 +65,15 @@ impl Format {
         struct_type: StructType,
         arch: Architecture,
     ) -> Result<Format, PbioError> {
+        // The wire header stores the name length in 2 bytes; a longer
+        // name would silently truncate into a header that cannot
+        // round-trip, so reject it before any header is ever written.
+        if struct_type.name.len() > crate::header::MAX_FORMAT_NAME_LEN {
+            return Err(PbioError::FormatNameTooLong {
+                len: struct_type.name.len(),
+                max: crate::header::MAX_FORMAT_NAME_LEN,
+            });
+        }
         let layout = Layout::of_struct(&struct_type, &arch)?;
         let fingerprint = struct_fingerprint(&struct_type);
         let header = crate::header::WireHeader {
@@ -202,6 +211,35 @@ mod tests {
             )],
         );
         assert!(Format::new(FormatId(1), bad, Architecture::X86_64).is_err());
+    }
+
+    #[test]
+    fn format_name_length_is_validated_at_the_header_boundary() {
+        let fields =
+            || vec![StructField::new("x", CType::Prim(Primitive::Int))];
+        // 65535 bytes: the longest name the header can carry — accepted,
+        // and its memoized header prefix parses back intact.
+        let longest = "n".repeat(crate::header::MAX_FORMAT_NAME_LEN);
+        let ok = Format::new(
+            FormatId(1),
+            StructType::new(longest.clone(), fields()),
+            Architecture::X86_64,
+        )
+        .unwrap();
+        let (parsed, _) = crate::header::WireHeader::parse(ok.header_prefix()).unwrap();
+        assert_eq!(parsed.format_name, longest);
+        // 65536 bytes: one past the boundary — rejected, not truncated.
+        let too_long = "n".repeat(crate::header::MAX_FORMAT_NAME_LEN + 1);
+        let err = Format::new(
+            FormatId(1),
+            StructType::new(too_long, fields()),
+            Architecture::X86_64,
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, PbioError::FormatNameTooLong { len: 65536, max: 65535 }),
+            "{err}"
+        );
     }
 
     #[test]

@@ -24,6 +24,10 @@ pub const FIXED_HEADER_LEN: usize = 32;
 pub const FIXED_LEN_OFFSET: usize = 16;
 /// Byte offset of the `payload_len` field (see [`FIXED_LEN_OFFSET`]).
 pub const PAYLOAD_LEN_OFFSET: usize = 20;
+/// The longest format name the header's 2-byte `name_len` field can
+/// carry. [`crate::format::Format::new`] rejects longer names so a
+/// truncated, non-round-trippable header is never produced.
+pub const MAX_FORMAT_NAME_LEN: usize = u16::MAX as usize;
 
 /// A parsed (or to-be-written) NDR message header.
 #[derive(Debug, Clone, PartialEq)]
@@ -53,7 +57,17 @@ impl WireHeader {
     }
 
     /// Appends the encoded header to `out`.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that the format name fits the 2-byte length field
+    /// ([`MAX_FORMAT_NAME_LEN`]); [`crate::format::Format`] construction
+    /// guarantees this for every registered format.
     pub fn write_to(&self, out: &mut Vec<u8>) {
+        debug_assert!(
+            self.format_name.len() <= MAX_FORMAT_NAME_LEN,
+            "format name longer than the header's 2-byte length field"
+        );
         let start = out.len();
         out.resize(start + self.encoded_len(), 0);
         let buf = &mut out[start..];
@@ -175,6 +189,29 @@ mod tests {
         for cut in 0..buf.len() {
             assert!(WireHeader::parse(&buf[..cut]).is_err(), "cut {cut}");
         }
+    }
+
+    #[test]
+    fn name_at_the_two_byte_boundary_round_trips() {
+        // 65535 bytes is the longest representable name; it must survive
+        // a round trip exactly (no truncation into the length field).
+        let header = WireHeader { format_name: "n".repeat(MAX_FORMAT_NAME_LEN), ..sample() };
+        let mut buf = Vec::new();
+        header.write_to(&mut buf);
+        let (parsed, len) = WireHeader::parse(&buf).unwrap();
+        assert_eq!(parsed.format_name.len(), MAX_FORMAT_NAME_LEN);
+        assert_eq!(parsed, header);
+        assert_eq!(len, buf.len());
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "2-byte length field")]
+    fn name_past_the_boundary_is_refused_by_write_to() {
+        let header =
+            WireHeader { format_name: "n".repeat(MAX_FORMAT_NAME_LEN + 1), ..sample() };
+        let mut buf = Vec::new();
+        header.write_to(&mut buf);
     }
 
     #[test]

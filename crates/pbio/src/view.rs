@@ -179,7 +179,11 @@ impl<'a> RecordView<'a> {
                         let count_at = self.base + cf.offset;
                         bounds_check(self.payload, count_at, cf.size, count_name)?;
                         let count = get_int(self.payload, count_at, cf.size, self.arch.endianness);
-                        if count < 0 || count as usize > self.payload.len() {
+                        // Clamp by element size so `count * size` below
+                        // cannot overflow and absurd counts fail fast.
+                        if count < 0
+                            || count as usize > self.payload.len() / elem_sa.size.max(1)
+                        {
                             return Err(PbioError::Layout(LayoutError::BadCount {
                                 field: count_name.clone(),
                                 count,

@@ -207,12 +207,34 @@ pub fn decode(bytes: &[u8], st: &StructType) -> Result<Record, PbioError> {
     Ok(record)
 }
 
+/// The smallest number of wire bytes any value of `ty` can occupy in
+/// this encoding — the divisor for clamping a hostile claimed count
+/// against the remaining input *before* any allocation or decode loop.
+fn min_wire_size(ty: &CType) -> usize {
+    match ty {
+        CType::Prim(p) => xdr_width(*p),
+        CType::String => UNIT, // length word; the body may be empty
+        CType::Array { elem, len } => match len {
+            ArrayLen::Fixed(n) => n.saturating_mul(min_wire_size(elem)),
+            ArrayLen::CountField(_) => UNIT, // count word; may be empty
+        },
+        CType::Struct(inner) => {
+            inner.fields.iter().map(|f| min_wire_size(&f.ty)).sum()
+        }
+    }
+}
+
 struct XdrReader<'a> {
     bytes: &'a [u8],
     at: usize,
 }
 
 impl XdrReader<'_> {
+    /// Bytes left between the cursor and the end of input.
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.at
+    }
+
     fn take(&mut self, n: usize) -> Result<&[u8], PbioError> {
         match self.at.checked_add(n) {
             Some(end) if end <= self.bytes.len() => {
@@ -266,7 +288,10 @@ fn decode_value(
         CType::Prim(p) => decode_prim(reader, *p),
         CType::String => {
             let len = reader.u32()? as usize;
-            if len > reader.bytes.len() {
+            // Clamp against the *remaining* input, not the whole buffer:
+            // a hostile length must be rejected before the allocation in
+            // `to_vec`, and bytes already consumed cannot back it.
+            if len > reader.remaining() {
                 return Err(PbioError::Layout(LayoutError::BadCount {
                     field: field.to_owned(),
                     count: len as i64,
@@ -284,7 +309,13 @@ fn decode_value(
                 ArrayLen::Fixed(n) => *n,
                 ArrayLen::CountField(_) => {
                     let c = reader.u32()? as usize;
-                    if c > reader.bytes.len() {
+                    // Each element occupies at least `min_wire_size`
+                    // bytes, so any honest count is bounded by the
+                    // remaining input divided by that size (`max(1)`
+                    // guards degenerate zero-size elements). A message
+                    // claiming 0xFFFFFFFF elements fails here, before
+                    // the allocation below.
+                    if c > reader.remaining() / min_wire_size(elem).max(1) {
                         return Err(PbioError::Layout(LayoutError::BadCount {
                             field: field.to_owned(),
                             count: c as i64,
@@ -487,6 +518,62 @@ mod tests {
         assert!(matches!(
             decode(&bytes, &st),
             Err(PbioError::Layout(LayoutError::BadCount { .. }))
+        ));
+    }
+
+    #[test]
+    fn claimed_lengths_are_clamped_against_remaining_not_total_input() {
+        // String: the length word claims 10 bytes when only 8 remain
+        // (but the whole buffer is 16) — must fail as BadCount, before
+        // any read or allocation.
+        let st = StructType::new(
+            "t",
+            vec![
+                StructField::new("a", prim(Primitive::Int)),
+                StructField::new("s", CType::String),
+            ],
+        );
+        let mut bytes = vec![0u8; 4]; // a = 0
+        bytes.extend_from_slice(&10u32.to_be_bytes()); // s claims 10
+        bytes.extend_from_slice(&[0u8; 8]); // only 8 bytes remain
+        assert!(matches!(
+            decode(&bytes, &st),
+            Err(PbioError::Layout(LayoutError::BadCount { .. }))
+        ));
+
+        // Array: 8-byte elements, 16 bytes remain, count claims 3 —
+        // bounded by remaining/elem_size = 2, so rejected up front.
+        let st = StructType::new(
+            "t",
+            vec![
+                StructField::new("xs", CType::dynamic_array(prim(Primitive::ULong), "n")),
+                StructField::new("n", prim(Primitive::Int)),
+            ],
+        );
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&3u32.to_be_bytes());
+        bytes.extend_from_slice(&[0u8; 16]);
+        assert!(matches!(
+            decode(&bytes, &st),
+            Err(PbioError::Layout(LayoutError::BadCount { .. }))
+        ));
+    }
+
+    #[test]
+    fn hostile_u32_max_count_is_rejected_without_allocation() {
+        let st = StructType::new(
+            "t",
+            vec![
+                StructField::new("xs", CType::dynamic_array(prim(Primitive::Int), "n")),
+                StructField::new("n", prim(Primitive::Int)),
+            ],
+        );
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&u32::MAX.to_be_bytes());
+        bytes.extend_from_slice(&[0u8; 64]);
+        assert!(matches!(
+            decode(&bytes, &st),
+            Err(PbioError::Layout(LayoutError::BadCount { count, .. })) if count == u32::MAX as i64
         ));
     }
 

@@ -1,0 +1,155 @@
+//! Adversarial-input hardening across every wire codec.
+//!
+//! A hostile sender controls every byte on the wire, so each decoder
+//! must treat claimed lengths — string lengths, dynamic-array counts —
+//! as untrusted until clamped against the input that actually arrived.
+//! These tests take an honestly encoded message per codec, corrupt its
+//! length/count words to absurd values (up to `0xFFFFFFFF`), and assert
+//! the decoder rejects the message instead of attempting a multi-GB
+//! allocation or a runaway decode loop.
+
+use clayout::image::put_uint;
+use clayout::{Architecture, CType, Primitive, Record, StructField, StructType};
+use pbio::format::{Format, FormatId};
+use pbio::wire::all_codecs;
+use pbio::WireCodec;
+
+fn adversarial_format() -> Format {
+    Format::new(
+        FormatId(9),
+        StructType::new(
+            "Adv",
+            vec![
+                StructField::new(
+                    "xs",
+                    CType::dynamic_array(CType::Prim(Primitive::Int), "n"),
+                ),
+                StructField::new("n", CType::Prim(Primitive::Int)),
+                StructField::new("tag", CType::String),
+            ],
+        ),
+        Architecture::host(),
+    )
+    .unwrap()
+}
+
+fn sample() -> Record {
+    Record::new().with("xs", vec![1i64, 2, 3]).with("tag", "ok")
+}
+
+/// Patches the dynamic-array count inside an honestly encoded message
+/// to `claimed`, per codec framing. Returns `None` for codecs whose
+/// counts are not a fixed wire word (xml-text derives counts from the
+/// elements present, so there is nothing to forge).
+fn forge_count(codec: &str, wire: &mut [u8], format: &Format, claimed: u32) -> bool {
+    match codec {
+        "ndr" => {
+            // The count field lives in the fixed region at its layout
+            // offset, in the sender's byte order, after the header.
+            let (_, header_len) = pbio::header::WireHeader::parse(wire).unwrap();
+            let field = format.layout().field("n").unwrap();
+            put_uint(
+                wire,
+                header_len + field.offset,
+                field.size,
+                format.arch().endianness,
+                u64::from(claimed),
+            );
+            true
+        }
+        "xdr" => {
+            // `xs` is the first field: its count word is bytes 0..4,
+            // big-endian.
+            wire[0..4].copy_from_slice(&claimed.to_be_bytes());
+            true
+        }
+        "cdr" => {
+            // Byte-order flag + 3 pad bytes, then the count word in the
+            // flagged order.
+            put_uint(wire, 4, 4, format.arch().endianness, u64::from(claimed));
+            true
+        }
+        _ => false,
+    }
+}
+
+#[test]
+fn forged_u32_max_counts_are_rejected_by_every_binary_codec() {
+    let format = adversarial_format();
+    for codec in all_codecs() {
+        let mut wire = codec.encode(&sample(), &format).unwrap();
+        if !forge_count(codec.name(), &mut wire, &format, u32::MAX) {
+            continue;
+        }
+        let err = codec.decode(&wire, &format).unwrap_err();
+        let text = err.to_string();
+        assert!(
+            text.contains("count") || text.contains("truncated"),
+            "{}: unexpected error {text}",
+            codec.name()
+        );
+    }
+}
+
+#[test]
+fn forged_counts_just_past_the_input_are_rejected() {
+    // Not only the absurd extreme: a count that is merely one element
+    // more than the input can back must also fail cleanly.
+    let format = adversarial_format();
+    for codec in all_codecs() {
+        let mut wire = codec.encode(&sample(), &format).unwrap();
+        let too_many = (wire.len() / 4 + 1) as u32;
+        if !forge_count(codec.name(), &mut wire, &format, too_many) {
+            continue;
+        }
+        assert!(
+            codec.decode(&wire, &format).is_err(),
+            "{}: accepted a count the input cannot back",
+            codec.name()
+        );
+    }
+}
+
+#[test]
+fn truncated_messages_are_rejected_at_every_cut_by_every_codec() {
+    let format = adversarial_format();
+    for codec in all_codecs() {
+        let wire = codec.encode(&sample(), &format).unwrap();
+        for cut in 0..wire.len() {
+            assert!(
+                codec.decode(&wire[..cut], &format).is_err(),
+                "{} accepted a message cut at {cut}",
+                codec.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn ndr_view_rejects_forged_counts_too() {
+    // The zero-copy view path must apply the same clamp as the eager
+    // decoder.
+    let format = adversarial_format();
+    let mut wire = pbio::ndr::encode(&sample(), &format).unwrap();
+    assert!(forge_count("ndr", &mut wire, &format, u32::MAX));
+    let view = pbio::ndr::view_with(&wire, &format).unwrap();
+    assert!(view.get("xs").is_err(), "view served a forged count");
+}
+
+#[test]
+fn xml_text_with_absurd_count_value_stays_bounded() {
+    // The text codec derives array counts from the elements actually
+    // present; a forged count *value* must not drive any allocation.
+    let format = adversarial_format();
+    let wire = pbio::wire::TextXmlCodec
+        .encode(&sample(), &format)
+        .unwrap();
+    let text = String::from_utf8(wire).unwrap();
+    let forged = text.replace(">3<", ">4294967295<");
+    let out = pbio::wire::TextXmlCodec.decode(forged.as_bytes(), &format);
+    // Either rejected or decoded with the three real elements — never a
+    // 0xFFFFFFFF-element allocation.
+    if let Ok(record) = out {
+        assert_eq!(record.get("xs").unwrap().as_array().unwrap().len(), 3);
+    }
+}
