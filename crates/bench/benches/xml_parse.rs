@@ -1,0 +1,196 @@
+//! **E-xml**: raw XML tokenization throughput, before vs after the
+//! zero-copy fast path.
+//!
+//! "Before" is measured honestly inside this binary: the pre-change
+//! `char`-at-a-time tokenizer is preserved verbatim as
+//! [`xmlparse::classic::Reader`], so both generations parse the same
+//! corpus in the same process. "After" is the byte/SWAR [`xmlparse::Reader`],
+//! measured through three API tiers (borrowed events, owned events, DOM)
+//! plus the consumers that ride on it (interned DOM, `pbio::textxml`
+//! decode).
+//!
+//! Expected shape: ≥2× parse throughput for the borrowed pull API over
+//! the classic reader on every corpus document, with the owned adapter
+//! and DOM keeping most of the win.
+//!
+//! Writes `BENCH_xml.json` at the repository root with the measured
+//! before/after numbers (skipped in `--test` smoke mode).
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+use clayout::Architecture;
+use omf_bench::{bind, fmt_ns, generated_schema, record_cd, SCHEMA_A, SCHEMA_B, SCHEMA_CD};
+use xmlparse::{classic, Atoms, BorrowedEvent, Document, Reader};
+
+/// Measures `f` repeatedly and returns ns/iteration. In smoke mode runs
+/// the routine exactly once (correctness only).
+fn time<O>(smoke: bool, mut f: impl FnMut() -> O) -> f64 {
+    if smoke {
+        black_box(f());
+        return 0.0;
+    }
+    // Warm up, then size batches to ~50ms and take the best of 5.
+    let mut iters = 1u64;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let elapsed = start.elapsed();
+        if elapsed >= Duration::from_millis(50) {
+            let mut best = elapsed.as_nanos() as f64 / iters as f64;
+            for _ in 0..4 {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    black_box(f());
+                }
+                best = best.min(start.elapsed().as_nanos() as f64 / iters as f64);
+            }
+            return best;
+        }
+        iters = iters.saturating_mul(4);
+    }
+}
+
+fn mib_per_s(bytes: usize, ns_per_iter: f64) -> f64 {
+    if ns_per_iter == 0.0 {
+        return 0.0;
+    }
+    bytes as f64 / (1024.0 * 1024.0) / (ns_per_iter / 1e9)
+}
+
+/// One corpus document's measurements, all in ns/iteration.
+struct Row {
+    name: String,
+    bytes: usize,
+    classic: f64,
+    borrowed: f64,
+    owned: f64,
+    dom: f64,
+}
+
+fn measure(name: &str, doc: &str, smoke: bool) -> Row {
+    // Every generation parses to completion; results are consumed via
+    // black_box so the work cannot be elided.
+    let classic = time(smoke, || classic::Reader::new(doc).collect_events().unwrap());
+    let borrowed = time(smoke, || {
+        let mut reader = Reader::new(doc);
+        let mut events = 0usize;
+        loop {
+            match reader.next_borrowed().unwrap() {
+                BorrowedEvent::Eof => break,
+                ev => {
+                    black_box(&ev);
+                    events += 1;
+                }
+            }
+        }
+        events
+    });
+    let owned = time(smoke, || Reader::new(doc).collect_events().unwrap());
+    let dom = time(smoke, || Document::parse_str(doc).unwrap());
+    Row {
+        name: name.to_owned(),
+        bytes: doc.len(),
+        classic,
+        borrowed,
+        owned,
+        dom,
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--test");
+
+    let gen256 = generated_schema(256);
+    let record_doc = {
+        let format = bind(SCHEMA_CD, 1, Architecture::X86_64);
+        pbio::textxml::encode(&record_cd(), format.struct_type()).unwrap()
+    };
+    let corpus: Vec<(&str, &str)> = vec![
+        ("schemaA", SCHEMA_A),
+        ("schemaB", SCHEMA_B),
+        ("schemaCD", SCHEMA_CD),
+        ("gen256", &gen256),
+        ("recordCD-doc", &record_doc),
+    ];
+
+    println!("e_xml_parse: classic (pre-change) vs SWAR/borrowed tokenizer");
+    println!(
+        "{:<14} {:>7} {:>12} {:>12} {:>12} {:>12} {:>8} {:>11}",
+        "doc", "bytes", "classic", "borrowed", "owned", "dom", "speedup", "borrowed"
+    );
+    let mut rows = Vec::new();
+    for (name, doc) in &corpus {
+        let row = measure(name, doc, smoke);
+        let speedup = if row.borrowed > 0.0 { row.classic / row.borrowed } else { 0.0 };
+        println!(
+            "{:<14} {:>7} {:>12} {:>12} {:>12} {:>12} {:>7.2}x {:>9.1}MiB/s",
+            row.name,
+            row.bytes,
+            fmt_ns(row.classic),
+            fmt_ns(row.borrowed),
+            fmt_ns(row.owned),
+            fmt_ns(row.dom),
+            speedup,
+            mib_per_s(row.bytes, row.borrowed),
+        );
+        rows.push(row);
+    }
+
+    // Downstream consumers of the fast path.
+    let interned = time(smoke, || {
+        let mut atoms = Atoms::new();
+        Document::parse_str_interned(&gen256, &mut atoms).unwrap()
+    });
+    let textxml_decode = {
+        let format = bind(SCHEMA_CD, 1, Architecture::X86_64);
+        time(smoke, || pbio::textxml::decode(&record_doc, format.struct_type()).unwrap())
+    };
+    println!();
+    println!("dom-interned (gen256):     {}", fmt_ns(interned));
+    println!("textxml-decode (recordCD): {}", fmt_ns(textxml_decode));
+
+    if smoke {
+        println!("smoke mode: each routine ran once, no timings recorded");
+        return;
+    }
+
+    // Acceptance gate: the borrowed API must be >= 2x the classic reader
+    // on every corpus document.
+    for row in &rows {
+        assert!(
+            row.classic / row.borrowed >= 2.0,
+            "{}: borrowed path only {:.2}x over classic",
+            row.name,
+            row.classic / row.borrowed
+        );
+    }
+
+    // Machine-readable before/after record at the repo root.
+    let mut json = String::from("{\n  \"bench\": \"xml_parse\",\n  \"unit\": \"ns/iter\",\n  \"docs\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"doc\": \"{}\", \"bytes\": {}, \"before_classic\": {:.1}, \
+             \"after_borrowed\": {:.1}, \"after_owned\": {:.1}, \"after_dom\": {:.1}, \
+             \"speedup_borrowed\": {:.2}, \"after_borrowed_mib_s\": {:.1}}}{}\n",
+            row.name,
+            row.bytes,
+            row.classic,
+            row.borrowed,
+            row.owned,
+            row.dom,
+            row.classic / row.borrowed,
+            mib_per_s(row.bytes, row.borrowed),
+            if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    json.push_str(&format!(
+        "  ],\n  \"consumers\": {{\"dom_interned_gen256\": {interned:.1}, \
+         \"textxml_decode_recordCD\": {textxml_decode:.1}}}\n}}\n"
+    ));
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_xml.json");
+    std::fs::write(path, json).expect("write BENCH_xml.json");
+    println!("\nwrote {path}");
+}

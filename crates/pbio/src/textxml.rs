@@ -9,10 +9,12 @@
 //! 6–8× expansion of the wire image — fall directly out of this encoding
 //! and are measured by the `wire_sizes` and `binary_vs_text` benchmarks.
 
+use std::borrow::Cow;
+
 use clayout::{ArrayLen, CType, LayoutError, Record, StructType, Value};
 #[cfg(test)]
 use clayout::Primitive;
-use xmlparse::{Document, Element, Writer};
+use xmlparse::{BorrowedEvent, Element, Reader, Writer};
 
 use crate::error::PbioError;
 
@@ -107,7 +109,7 @@ fn append_field(
         CType::Struct(inner) => {
             let rec = value.as_record().ok_or_else(|| type_mismatch(name, "record", value))?;
             let mut el = element_for_struct(rec, inner)?;
-            el.name = name.to_owned();
+            el.name = name.into();
             parent.children.push(xmlparse::Node::Element(el));
             Ok(())
         }
@@ -166,25 +168,116 @@ fn type_mismatch(field: &str, expected: &str, value: &Value) -> PbioError {
 
 /// Decodes an XML document produced by [`encode`] back into a record.
 ///
+/// The document is parsed through the zero-copy borrowed pull API
+/// ([`Reader::next_borrowed`]) into a lightweight tree whose names and
+/// text are slices of the input, so markup and entity-free content cost
+/// no string allocations; owned storage is only created for the decoded
+/// [`Value`]s themselves.
+///
 /// # Errors
 ///
 /// Reports malformed XML, wrong root elements, occurrence mismatches and
 /// unparseable values.
 pub fn decode(text: &str, st: &StructType) -> Result<Record, PbioError> {
-    let doc = Document::parse_str(text)?;
-    if doc.root.name != st.name {
+    let root = parse_tree(text)?;
+    if root.name != st.name {
         return Err(PbioError::FormatMismatch {
             expected: st.name.clone(),
-            found: doc.root.name.clone(),
+            found: root.name.to_owned(),
         });
     }
-    record_from_element(&doc.root, st)
+    record_from_element(&root, st)
 }
 
-fn record_from_element(el: &Element, st: &StructType) -> Result<Record, PbioError> {
+/// An element of the borrowed decode tree: the name is a slice of the
+/// input and text children borrow it unless entity expansion forced a
+/// copy. Mirrors the DOM's content model for decoding purposes —
+/// whitespace-only text is dropped (element-content whitespace), CDATA
+/// is kept verbatim, comments/PIs are skipped.
+struct XElem<'a> {
+    name: &'a str,
+    children: Vec<XChild<'a>>,
+}
+
+enum XChild<'a> {
+    Elem(XElem<'a>),
+    Text(Cow<'a, str>),
+}
+
+fn parse_tree(text: &str) -> Result<XElem<'_>, PbioError> {
+    let mut reader = Reader::new(text);
+    let mut stack: Vec<XElem<'_>> = Vec::new();
+    let mut root = None;
+    loop {
+        match reader.next_borrowed()? {
+            BorrowedEvent::StartElement { name, .. } => {
+                stack.push(XElem { name, children: Vec::new() });
+            }
+            BorrowedEvent::EndElement { .. } => {
+                let done = stack.pop().expect("reader guarantees matched tags");
+                match stack.last_mut() {
+                    Some(parent) => parent.children.push(XChild::Elem(done)),
+                    None => root = Some(done),
+                }
+            }
+            BorrowedEvent::Text(t) => {
+                if let Some(parent) = stack.last_mut() {
+                    if !t.bytes().all(|b| b.is_ascii_whitespace()) {
+                        parent.children.push(XChild::Text(t));
+                    }
+                }
+            }
+            BorrowedEvent::CData(t) => {
+                if let Some(parent) = stack.last_mut() {
+                    parent.children.push(XChild::Text(Cow::Borrowed(t)));
+                }
+            }
+            BorrowedEvent::XmlDecl(_)
+            | BorrowedEvent::Comment(_)
+            | BorrowedEvent::ProcessingInstruction { .. }
+            | BorrowedEvent::Doctype(_) => {}
+            BorrowedEvent::Eof => break,
+        }
+    }
+    Ok(root.expect("reader rejects documents without a root"))
+}
+
+impl<'a> XElem<'a> {
+    fn child_elements(&self) -> impl Iterator<Item = &XElem<'a>> {
+        self.children.iter().filter_map(|c| match c {
+            XChild::Elem(el) => Some(el),
+            XChild::Text(_) => None,
+        })
+    }
+
+    /// Concatenated text of this element and its descendants (CDATA
+    /// included), borrowed when a single text child makes that possible.
+    fn text_content(&self) -> Cow<'_, str> {
+        match self.children.as_slice() {
+            [] => Cow::Borrowed(""),
+            [XChild::Text(t)] => Cow::Borrowed(t.as_ref()),
+            _ => {
+                let mut out = String::new();
+                self.collect_text(&mut out);
+                Cow::Owned(out)
+            }
+        }
+    }
+
+    fn collect_text(&self, out: &mut String) {
+        for child in &self.children {
+            match child {
+                XChild::Text(t) => out.push_str(t),
+                XChild::Elem(el) => el.collect_text(out),
+            }
+        }
+    }
+}
+
+fn record_from_element(el: &XElem<'_>, st: &StructType) -> Result<Record, PbioError> {
     let mut record = Record::new();
     for field in &st.fields {
-        let occurrences: Vec<&Element> =
+        let occurrences: Vec<&XElem<'_>> =
             el.child_elements().filter(|c| c.name == field.name).collect();
         let value = match &field.ty {
             CType::Prim(_) | CType::String => {
@@ -222,7 +315,10 @@ fn record_from_element(el: &Element, st: &StructType) -> Result<Record, PbioErro
     Ok(record)
 }
 
-fn single<'a>(occurrences: &[&'a Element], field: &str) -> Result<&'a Element, PbioError> {
+fn single<'a, 'b>(
+    occurrences: &[&'a XElem<'b>],
+    field: &str,
+) -> Result<&'a XElem<'b>, PbioError> {
     match occurrences {
         [one] => Ok(one),
         other => Err(PbioError::Text {

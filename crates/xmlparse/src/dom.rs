@@ -1,10 +1,16 @@
 //! A small DOM built on top of the pull [`Reader`].
+//!
+//! Trees are built from the zero-copy borrowed event stream
+//! ([`Reader::next_borrowed`]) and element/attribute names are interned
+//! through an [`Atoms`] pool, so a schema document repeating
+//! `xs:element` hundreds of times allocates that name once.
 
 use std::fmt;
 use std::path::Path;
 
+use crate::atoms::{Atom, Atoms};
 use crate::error::{ErrorKind, Position, XmlError};
-use crate::reader::{Attribute, Event, Reader, XmlDecl};
+use crate::reader::{Attribute, BorrowedEvent, Reader, XmlDecl};
 
 /// A child node of an [`Element`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -30,7 +36,7 @@ pub enum Node {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Element {
     /// The element name exactly as written (possibly prefixed).
-    pub name: String,
+    pub name: Atom,
     /// Attributes in document order.
     pub attributes: Vec<Attribute>,
     /// Child nodes in document order.
@@ -39,12 +45,12 @@ pub struct Element {
 
 impl Element {
     /// Creates an element with no attributes or children.
-    pub fn new(name: impl Into<String>) -> Self {
+    pub fn new(name: impl Into<Atom>) -> Self {
         Element { name: name.into(), attributes: Vec::new(), children: Vec::new() }
     }
 
     /// Builder-style: adds an attribute.
-    pub fn with_attr(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
+    pub fn with_attr(mut self, name: impl Into<Atom>, value: impl Into<String>) -> Self {
         self.attributes.push(Attribute::new(name, value));
         self
     }
@@ -63,7 +69,7 @@ impl Element {
 
     /// The value of attribute `name`, if present.
     pub fn attr(&self, name: &str) -> Option<&str> {
-        self.attributes.iter().find(|a| a.name == name).map(|a| a.value.as_str())
+        self.attributes.iter().find(|a| a.name == *name).map(|a| a.value.as_str())
     }
 
     /// The value of attribute `name`, or an error naming the element.
@@ -174,6 +180,18 @@ impl Document {
     ///
     /// Propagates any well-formedness error from the [`Reader`].
     pub fn parse_str(input: &str) -> Result<Document, XmlError> {
+        let mut atoms = Atoms::new();
+        Document::parse_str_interned(input, &mut atoms)
+    }
+
+    /// Parses a document, interning names through a caller-supplied pool
+    /// so repeated parses of documents with a shared vocabulary (e.g.
+    /// schema compiles) reuse name allocations.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any well-formedness error from the [`Reader`].
+    pub fn parse_str_interned(input: &str, atoms: &mut Atoms) -> Result<Document, XmlError> {
         let mut reader = Reader::new(input);
         let mut decl = None;
         let mut doctype = None;
@@ -181,45 +199,55 @@ impl Document {
         let mut root: Option<Element> = None;
         loop {
             let pos = reader.position();
-            match reader.next_event()? {
-                Event::XmlDecl(d) => decl = Some(d),
-                Event::Doctype(d) => doctype = Some(d),
-                Event::StartElement { name, attributes } => {
-                    stack.push(Element { name, attributes, children: Vec::new() });
+            match reader.next_borrowed()? {
+                BorrowedEvent::XmlDecl(d) => decl = Some(d),
+                BorrowedEvent::Doctype(d) => doctype = Some(d.to_owned()),
+                BorrowedEvent::StartElement { name, attributes } => {
+                    let attributes = attributes
+                        .iter()
+                        .map(|a| Attribute {
+                            name: atoms.intern(a.name),
+                            value: a.value.as_ref().to_owned(),
+                        })
+                        .collect();
+                    stack.push(Element { name: atoms.intern(name), attributes, children: Vec::new() });
                 }
-                Event::EndElement { .. } => {
+                BorrowedEvent::EndElement { .. } => {
                     let done = stack.pop().expect("reader guarantees matched tags");
                     match stack.last_mut() {
                         Some(parent) => parent.children.push(Node::Element(done)),
                         None => root = Some(done),
                     }
                 }
-                Event::Text(text) => {
+                BorrowedEvent::Text(text) => {
                     if let Some(parent) = stack.last_mut() {
-                        let keep = !text.chars().all(|ch| ch.is_ascii_whitespace());
+                        let keep = !text.bytes().all(|b| b.is_ascii_whitespace());
                         if keep {
-                            parent.children.push(Node::Text(text));
+                            parent.children.push(Node::Text(text.into_owned()));
                         }
                     } else if !text.trim().is_empty() {
                         return Err(XmlError::new(ErrorKind::ContentOutsideRoot, pos));
                     }
                 }
-                Event::CData(text) => {
+                BorrowedEvent::CData(text) => {
                     if let Some(parent) = stack.last_mut() {
-                        parent.children.push(Node::CData(text));
+                        parent.children.push(Node::CData(text.to_owned()));
                     }
                 }
-                Event::Comment(text) => {
+                BorrowedEvent::Comment(text) => {
                     if let Some(parent) = stack.last_mut() {
-                        parent.children.push(Node::Comment(text));
+                        parent.children.push(Node::Comment(text.to_owned()));
                     }
                 }
-                Event::ProcessingInstruction { target, data } => {
+                BorrowedEvent::ProcessingInstruction { target, data } => {
                     if let Some(parent) = stack.last_mut() {
-                        parent.children.push(Node::ProcessingInstruction { target, data });
+                        parent.children.push(Node::ProcessingInstruction {
+                            target: target.to_owned(),
+                            data: data.to_owned(),
+                        });
                     }
                 }
-                Event::Eof => break,
+                BorrowedEvent::Eof => break,
             }
         }
         let root = root
@@ -327,5 +355,19 @@ mod tests {
         let doc = Document::parse_str("<a x=\"1\"><b>body</b></a>").unwrap();
         let reparsed = Document::parse_str(&doc.to_string()).unwrap();
         assert_eq!(doc.root, reparsed.root);
+    }
+
+    #[test]
+    fn repeated_names_share_one_interned_allocation() {
+        let mut atoms = Atoms::new();
+        let doc = Document::parse_str_interned(
+            "<list><item k=\"1\"/><item k=\"2\"/><item k=\"3\"/></list>",
+            &mut atoms,
+        )
+        .unwrap();
+        // list, item, k
+        assert_eq!(atoms.len(), 3);
+        let items: Vec<_> = doc.root.find_children("item").collect();
+        assert!(std::ptr::eq(items[0].name.as_str(), items[1].name.as_str()));
     }
 }

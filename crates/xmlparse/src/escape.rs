@@ -1,42 +1,102 @@
 //! Entity escaping and unescaping.
+//!
+//! Both directions are zero-copy when there is nothing to do:
+//! [`unescape`] returns `Cow::Borrowed` for input without `&`, and the
+//! escape functions return `Cow::Borrowed` for input without special
+//! characters. The `_into` variants copy clean runs in bulk (located
+//! with the SWAR byte search from [`crate::cursor`]) instead of pushing
+//! character by character.
 
+use std::borrow::Cow;
+
+use crate::cursor::{find_byte, find_byte3};
 use crate::error::{ErrorKind, Position, XmlError};
 
 /// Escapes text content: `&`, `<`, `>` become entity references.
 ///
 /// `>` is escaped too (it is only mandatory in the `]]>` sequence, but
 /// escaping it unconditionally is harmless and keeps output canonical).
-pub fn escape_text(raw: &str) -> String {
-    let mut out = String::with_capacity(raw.len());
-    for ch in raw.chars() {
-        match ch {
-            '&' => out.push_str("&amp;"),
-            '<' => out.push_str("&lt;"),
-            '>' => out.push_str("&gt;"),
-            _ => out.push(ch),
+/// Returns the input unchanged (borrowed) when nothing needs escaping.
+pub fn escape_text(raw: &str) -> Cow<'_, str> {
+    match find_byte3(raw.as_bytes(), b'&', b'<', b'>') {
+        None => Cow::Borrowed(raw),
+        Some(_) => {
+            let mut out = String::with_capacity(raw.len() + 8);
+            escape_text_into(&mut out, raw);
+            Cow::Owned(out)
         }
     }
-    out
 }
 
-/// Escapes an attribute value for inclusion in double quotes.
-pub fn escape_attribute(raw: &str) -> String {
-    let mut out = String::with_capacity(raw.len());
-    for ch in raw.chars() {
-        match ch {
-            '&' => out.push_str("&amp;"),
-            '<' => out.push_str("&lt;"),
-            '>' => out.push_str("&gt;"),
-            '"' => out.push_str("&quot;"),
-            // Literal tabs/newlines in attribute values would be
-            // normalized to spaces on re-parse; keep them round-trippable.
-            '\n' => out.push_str("&#10;"),
-            '\r' => out.push_str("&#13;"),
-            '\t' => out.push_str("&#9;"),
-            _ => out.push(ch),
-        }
+/// Appends `raw` to `out` with text-content escaping applied, copying
+/// clean runs in bulk.
+pub fn escape_text_into(out: &mut String, raw: &str) {
+    let bytes = raw.as_bytes();
+    let mut start = 0;
+    while let Some(rel) = find_byte3(&bytes[start..], b'&', b'<', b'>') {
+        let at = start + rel;
+        out.push_str(&raw[start..at]);
+        out.push_str(match bytes[at] {
+            b'&' => "&amp;",
+            b'<' => "&lt;",
+            _ => "&gt;",
+        });
+        start = at + 1;
     }
-    out
+    out.push_str(&raw[start..]);
+}
+
+/// Bytes needing escaping inside a double-quoted attribute value:
+/// the markup specials plus literal whitespace that would otherwise be
+/// normalized to spaces on re-parse.
+const ATTR_SPECIAL: [bool; 256] = {
+    let mut t = [false; 256];
+    t[b'&' as usize] = true;
+    t[b'<' as usize] = true;
+    t[b'>' as usize] = true;
+    t[b'"' as usize] = true;
+    t[b'\n' as usize] = true;
+    t[b'\r' as usize] = true;
+    t[b'\t' as usize] = true;
+    t
+};
+
+/// Escapes an attribute value for inclusion in double quotes. Returns
+/// the input unchanged (borrowed) when nothing needs escaping.
+pub fn escape_attribute(raw: &str) -> Cow<'_, str> {
+    if raw.bytes().any(|b| ATTR_SPECIAL[b as usize]) {
+        let mut out = String::with_capacity(raw.len() + 8);
+        escape_attribute_into(&mut out, raw);
+        Cow::Owned(out)
+    } else {
+        Cow::Borrowed(raw)
+    }
+}
+
+/// Appends `raw` to `out` with attribute-value escaping applied, copying
+/// clean runs in bulk.
+pub fn escape_attribute_into(out: &mut String, raw: &str) {
+    let bytes = raw.as_bytes();
+    let mut start = 0;
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if ATTR_SPECIAL[b as usize] {
+            out.push_str(&raw[start..i]);
+            out.push_str(match b {
+                b'&' => "&amp;",
+                b'<' => "&lt;",
+                b'>' => "&gt;",
+                b'"' => "&quot;",
+                b'\n' => "&#10;",
+                b'\r' => "&#13;",
+                _ => "&#9;",
+            });
+            start = i + 1;
+        }
+        i += 1;
+    }
+    out.push_str(&raw[start..]);
 }
 
 /// Resolves a single entity body (the text between `&` and `;`).
@@ -81,28 +141,33 @@ pub fn resolve_entity(entity: &str, pos: Position) -> Result<char, XmlError> {
 
 /// Unescapes a string that may contain entity and character references.
 ///
+/// Allocation-free when `raw` contains no `&`: the input is returned
+/// borrowed.
+///
 /// # Errors
 ///
 /// Propagates the errors of [`resolve_entity`], and reports an
 /// [`ErrorKind::UnexpectedEof`] style error if a `&` is never closed by
 /// `;`.
-pub fn unescape(raw: &str, pos: Position) -> Result<String, XmlError> {
-    if !raw.contains('&') {
-        return Ok(raw.to_owned());
-    }
+pub fn unescape(raw: &str, pos: Position) -> Result<Cow<'_, str>, XmlError> {
+    let first = match find_byte(raw.as_bytes(), b'&') {
+        None => return Ok(Cow::Borrowed(raw)),
+        Some(first) => first,
+    };
     let mut out = String::with_capacity(raw.len());
-    let mut rest = raw;
-    while let Some(amp) = rest.find('&') {
+    out.push_str(&raw[..first]);
+    let mut rest = &raw[first..];
+    while let Some(amp) = find_byte(rest.as_bytes(), b'&') {
         out.push_str(&rest[..amp]);
         let after = &rest[amp + 1..];
-        let semi = after.find(';').ok_or_else(|| {
+        let semi = find_byte(after.as_bytes(), b';').ok_or_else(|| {
             XmlError::new(ErrorKind::UnexpectedEof { expecting: "';' closing an entity" }, pos)
         })?;
         out.push(resolve_entity(&after[..semi], pos)?);
         rest = &after[semi + 1..];
     }
     out.push_str(rest);
-    Ok(out)
+    Ok(Cow::Owned(out))
 }
 
 /// Whether `ch` is a legal XML 1.0 character.
@@ -164,8 +229,38 @@ mod tests {
     }
 
     #[test]
-    fn plain_text_passes_through_without_allocation_surprises() {
-        assert_eq!(unescape("plain text", p()).unwrap(), "plain text");
-        assert_eq!(escape_text("plain"), "plain");
+    fn clean_input_round_trips_borrowed() {
+        assert!(matches!(unescape("plain text", p()).unwrap(), Cow::Borrowed(_)));
+        assert!(matches!(escape_text("plain"), Cow::Borrowed(_)));
+        assert!(matches!(escape_attribute("plain value"), Cow::Borrowed(_)));
+        // Multibyte content without specials stays borrowed too.
+        assert!(matches!(escape_text("héllo wörld"), Cow::Borrowed(_)));
+    }
+
+    #[test]
+    fn escaped_forms_match_the_per_char_reference() {
+        let raw = "a<b&c>\"d'e\n\tf\rg";
+        let mut text_ref = String::new();
+        let mut attr_ref = String::new();
+        for ch in raw.chars() {
+            match ch {
+                '&' => text_ref.push_str("&amp;"),
+                '<' => text_ref.push_str("&lt;"),
+                '>' => text_ref.push_str("&gt;"),
+                _ => text_ref.push(ch),
+            }
+            match ch {
+                '&' => attr_ref.push_str("&amp;"),
+                '<' => attr_ref.push_str("&lt;"),
+                '>' => attr_ref.push_str("&gt;"),
+                '"' => attr_ref.push_str("&quot;"),
+                '\n' => attr_ref.push_str("&#10;"),
+                '\r' => attr_ref.push_str("&#13;"),
+                '\t' => attr_ref.push_str("&#9;"),
+                _ => attr_ref.push(ch),
+            }
+        }
+        assert_eq!(escape_text(raw), text_ref);
+        assert_eq!(escape_attribute(raw), attr_ref);
     }
 }

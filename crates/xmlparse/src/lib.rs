@@ -6,9 +6,14 @@
 //! Xerces; per the reproduction ground rules every substrate is built from
 //! scratch, so this crate provides:
 //!
-//! * a byte-[`Cursor`](cursor::Cursor) with line/column tracking,
-//! * a pull [`Reader`] producing [`Event`]s (start/end tags, text, CDATA,
-//!   comments, processing instructions, the XML declaration),
+//! * a byte-[`Cursor`](cursor::Cursor) scanning word-at-a-time (SWAR)
+//!   with lazy line/column tracking,
+//! * a pull [`Reader`] with a zero-copy borrowed event API
+//!   ([`BorrowedEvent`], via [`Reader::next_borrowed`]) and an owned
+//!   [`Event`] adapter (start/end tags, text, CDATA, comments,
+//!   processing instructions, the XML declaration),
+//! * an [`Atoms`] interner deduplicating repeated element/attribute
+//!   names into cheap [`Atom`] handles,
 //! * a [`Document`]/[`Element`] DOM built on top of the pull reader,
 //! * namespace resolution ([`namespace::NamespaceResolver`], [`QName`]),
 //! * a configurable [`Writer`] that serializes DOM trees back to XML.
@@ -36,6 +41,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod atoms;
+pub mod classic;
 pub mod cursor;
 pub mod dom;
 pub mod error;
@@ -45,8 +52,9 @@ pub mod qname;
 pub mod reader;
 pub mod writer;
 
+pub use atoms::{Atom, Atoms};
 pub use dom::{Document, Element, Node};
 pub use error::{ErrorKind, Position, XmlError};
 pub use qname::QName;
-pub use reader::{Attribute, Event, Reader, XmlDecl};
+pub use reader::{Attribute, BorrowedAttr, BorrowedEvent, Event, Reader, XmlDecl};
 pub use writer::{Writer, WriterConfig};

@@ -1,24 +1,55 @@
-//! The pull parser: a streaming [`Reader`] producing [`Event`]s.
+//! The pull parser: a streaming [`Reader`] producing events.
+//!
+//! The reader has two faces over one tokenizer:
+//!
+//! * [`Reader::next_borrowed`] — the zero-copy fast path. It yields
+//!   [`BorrowedEvent`]s whose names and content are `&str` slices of the
+//!   input (or `Cow::Borrowed` when no entity expansion was needed), and
+//!   start-tag attributes live in a vector pooled inside the reader and
+//!   reused across calls. Steady-state markup and entity-free text parse
+//!   with zero allocations per event.
+//! * [`Reader::next_event`] — the owned adapter. It wraps the borrowed
+//!   path and copies each event into an owned [`Event`], which is what
+//!   pre-existing callers consume.
+//!
+//! Scanning is byte-oriented: delimiters are found with the SWAR word
+//! loops in [`crate::cursor`] and names/whitespace via 256-entry byte
+//! tables, so no `char` decoding happens on the hot path.
 
-use crate::cursor::{is_xml_whitespace, Cursor};
+use std::borrow::Cow;
+
+use crate::atoms::Atom;
+use crate::cursor::{find_byte, is_xml_whitespace, Cursor, NAME_BYTE, NAME_START_BYTE, WS_BYTE};
 use crate::error::{ErrorKind, Position, XmlError};
 use crate::escape::unescape;
-use crate::qname::{is_name_char, is_name_start_char};
 
-/// A single `name="value"` attribute as parsed from a start tag.
+/// A single `name="value"` attribute as parsed from a start tag, with
+/// owned (interned) storage.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Attribute {
     /// The attribute name exactly as written (possibly prefixed).
-    pub name: String,
+    pub name: Atom,
     /// The attribute value with entities resolved.
     pub value: String,
 }
 
 impl Attribute {
     /// Convenience constructor.
-    pub fn new(name: impl Into<String>, value: impl Into<String>) -> Self {
+    pub fn new(name: impl Into<Atom>, value: impl Into<String>) -> Self {
         Attribute { name: name.into(), value: value.into() }
     }
+}
+
+/// A `name="value"` attribute borrowing the input: the name is a slice
+/// of the document and the value only owns storage when entity expansion
+/// forced a copy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BorrowedAttr<'a> {
+    /// The attribute name exactly as written (possibly prefixed).
+    pub name: &'a str,
+    /// The attribute value with entities resolved; borrowed when the
+    /// raw value contained no references.
+    pub value: Cow<'a, str>,
 }
 
 /// The `<?xml ...?>` declaration, if the document has one.
@@ -72,6 +103,73 @@ pub enum Event {
     Eof,
 }
 
+/// A parse event produced by [`Reader::next_borrowed`]: the zero-copy
+/// sibling of [`Event`]. Lifetime `'a` is the input document; `'r` is
+/// the reader borrow (attribute slices live in the reader's pooled
+/// vector and are only valid until the next event is pulled).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BorrowedEvent<'r, 'a> {
+    /// The XML declaration. Emitted at most once, first.
+    XmlDecl(XmlDecl),
+    /// `<name attr="v" ...>`; for an empty-element tag (`<name/>`) this is
+    /// immediately followed by a matching [`BorrowedEvent::EndElement`].
+    StartElement {
+        /// Element name as written — a slice of the input.
+        name: &'a str,
+        /// Attributes in document order, pooled in the reader.
+        attributes: &'r [BorrowedAttr<'a>],
+    },
+    /// `</name>` (or the synthetic end of an empty-element tag).
+    EndElement {
+        /// Element name as written — a slice of the input.
+        name: &'a str,
+    },
+    /// Character data with entities resolved; borrowed from the input
+    /// when no entity expansion was needed.
+    Text(Cow<'a, str>),
+    /// A `<![CDATA[...]]>` section, verbatim.
+    CData(&'a str),
+    /// A `<!-- ... -->` comment, verbatim (without delimiters).
+    Comment(&'a str),
+    /// A `<?target data?>` processing instruction.
+    ProcessingInstruction {
+        /// The PI target.
+        target: &'a str,
+        /// Everything between the target and `?>`, trimmed of one leading
+        /// space.
+        data: &'a str,
+    },
+    /// A `<!DOCTYPE ...>` declaration, raw and uninterpreted.
+    Doctype(&'a str),
+    /// End of input after the root element closed.
+    Eof,
+}
+
+impl BorrowedEvent<'_, '_> {
+    /// Copies this event into an owned [`Event`].
+    pub fn to_owned_event(&self) -> Event {
+        match self {
+            BorrowedEvent::XmlDecl(decl) => Event::XmlDecl(decl.clone()),
+            BorrowedEvent::StartElement { name, attributes } => Event::StartElement {
+                name: (*name).to_owned(),
+                attributes: attributes
+                    .iter()
+                    .map(|a| Attribute { name: Atom::new(a.name), value: a.value.as_ref().to_owned() })
+                    .collect(),
+            },
+            BorrowedEvent::EndElement { name } => Event::EndElement { name: (*name).to_owned() },
+            BorrowedEvent::Text(text) => Event::Text(text.as_ref().to_owned()),
+            BorrowedEvent::CData(text) => Event::CData((*text).to_owned()),
+            BorrowedEvent::Comment(text) => Event::Comment((*text).to_owned()),
+            BorrowedEvent::ProcessingInstruction { target, data } => {
+                Event::ProcessingInstruction { target: (*target).to_owned(), data: (*data).to_owned() }
+            }
+            BorrowedEvent::Doctype(body) => Event::Doctype((*body).to_owned()),
+            BorrowedEvent::Eof => Event::Eof,
+        }
+    }
+}
+
 /// A streaming pull parser over a `&str`.
 ///
 /// The reader enforces well-formedness: tags must nest and match, a
@@ -94,12 +192,14 @@ pub enum Event {
 #[derive(Debug, Clone)]
 pub struct Reader<'a> {
     cursor: Cursor<'a>,
-    open: Vec<String>,
+    open: Vec<&'a str>,
     /// Synthetic end-tag queued by an empty-element tag.
-    pending_end: Option<String>,
+    pending_end: Option<&'a str>,
     seen_root: bool,
     root_closed: bool,
     produced_first: bool,
+    /// Attribute pool reused across start tags (cleared, never shrunk).
+    attrs: Vec<BorrowedAttr<'a>>,
 }
 
 impl<'a> Reader<'a> {
@@ -112,6 +212,7 @@ impl<'a> Reader<'a> {
             seen_root: false,
             root_closed: false,
             produced_first: false,
+            attrs: Vec::new(),
         }
     }
 
@@ -120,7 +221,9 @@ impl<'a> Reader<'a> {
         self.cursor.position()
     }
 
-    /// Parses and returns the next event.
+    /// Parses and returns the next event as an owned [`Event`].
+    ///
+    /// This is a thin adapter over [`Reader::next_borrowed`].
     ///
     /// # Errors
     ///
@@ -128,23 +231,31 @@ impl<'a> Reader<'a> {
     /// the position of the offending construct. After an error the reader
     /// state is unspecified and parsing should not continue.
     pub fn next_event(&mut self) -> Result<Event, XmlError> {
+        Ok(self.next_borrowed()?.to_owned_event())
+    }
+
+    /// Parses and returns the next event borrowing from the input (and,
+    /// for attributes, from the reader's pooled storage).
+    ///
+    /// # Errors
+    ///
+    /// Any well-formedness violation is reported as an [`XmlError`] with
+    /// the position of the offending construct. After an error the reader
+    /// state is unspecified and parsing should not continue.
+    pub fn next_borrowed(&mut self) -> Result<BorrowedEvent<'_, 'a>, XmlError> {
         if let Some(name) = self.pending_end.take() {
             let popped = self.open.pop();
-            debug_assert_eq!(popped.as_deref(), Some(name.as_str()));
+            debug_assert_eq!(popped, Some(name));
             self.note_element_closed();
-            return Ok(Event::EndElement { name });
+            return Ok(BorrowedEvent::EndElement { name });
         }
 
         // XML declaration is only legal as the very first bytes.
         if !self.produced_first {
             self.produced_first = true;
-            if self.cursor.rest().starts_with("<?xml")
-                && self
-                    .cursor
-                    .rest()
-                    .chars()
-                    .nth(5)
-                    .is_some_and(|ch| is_xml_whitespace(ch) || ch == '?')
+            let rest = self.cursor.rest_bytes();
+            if rest.starts_with(b"<?xml")
+                && rest.get(5).is_some_and(|&b| WS_BYTE[b as usize] || b == b'?')
             {
                 return self.parse_xml_decl();
             }
@@ -157,22 +268,24 @@ impl<'a> Reader<'a> {
         if self.open.is_empty() {
             // Between top-level constructs only whitespace, comments, PIs
             // and the DOCTYPE are legal.
-            if self.cursor.peek() != Some('<') {
+            if self.cursor.peek_byte() != Some(b'<') {
                 let pos = self.cursor.position();
-                let text = self.cursor.take_while(|ch| ch != '<');
-                if text.chars().all(is_xml_whitespace) {
-                    if self.cursor.is_at_end() {
-                        return self.finish();
-                    }
-                } else {
+                let rest = self.cursor.rest_bytes();
+                let end = find_byte(rest, b'<').unwrap_or(rest.len());
+                let all_ws = rest[..end].iter().all(|&b| WS_BYTE[b as usize]);
+                if !all_ws {
                     return Err(XmlError::new(ErrorKind::ContentOutsideRoot, pos));
+                }
+                self.cursor.advance(end);
+                if self.cursor.is_at_end() {
+                    return self.finish();
                 }
             }
             return self.parse_markup();
         }
 
-        match self.cursor.peek() {
-            Some('<') => self.parse_markup(),
+        match self.cursor.peek_byte() {
+            Some(b'<') => self.parse_markup(),
             Some(_) => self.parse_text(),
             None => self.finish(),
         }
@@ -194,20 +307,20 @@ impl<'a> Reader<'a> {
         }
     }
 
-    fn finish(&mut self) -> Result<Event, XmlError> {
+    fn finish(&mut self) -> Result<BorrowedEvent<'_, 'a>, XmlError> {
         if let Some(name) = self.open.last() {
             return Err(XmlError::new(
-                ErrorKind::UnclosedElement { name: name.clone() },
+                ErrorKind::UnclosedElement { name: (*name).to_owned() },
                 self.cursor.position(),
             ));
         }
         if !self.seen_root {
             return Err(XmlError::new(ErrorKind::NoRootElement, self.cursor.position()));
         }
-        Ok(Event::Eof)
+        Ok(BorrowedEvent::Eof)
     }
 
-    fn note_element_opened(&mut self, name: &str) -> Result<(), XmlError> {
+    fn note_element_opened(&mut self, name: &'a str) -> Result<(), XmlError> {
         if self.open.is_empty() {
             if self.root_closed {
                 return Err(XmlError::new(
@@ -217,7 +330,7 @@ impl<'a> Reader<'a> {
             }
             self.seen_root = true;
         }
-        self.open.push(name.to_owned());
+        self.open.push(name);
         Ok(())
     }
 
@@ -227,7 +340,7 @@ impl<'a> Reader<'a> {
         }
     }
 
-    fn parse_xml_decl(&mut self) -> Result<Event, XmlError> {
+    fn parse_xml_decl(&mut self) -> Result<BorrowedEvent<'_, 'a>, XmlError> {
         self.cursor.expect("<?xml", "the XML declaration")?;
         let mut decl = XmlDecl { version: "1.0".to_owned(), ..XmlDecl::default() };
         loop {
@@ -240,8 +353,8 @@ impl<'a> Reader<'a> {
             self.cursor.skip_whitespace();
             self.cursor.expect("=", "'=' in the XML declaration")?;
             self.cursor.skip_whitespace();
-            let value = self.parse_quoted_value()?;
-            match name.as_str() {
+            let value = self.parse_quoted_value()?.into_owned();
+            match name {
                 "version" => decl.version = value,
                 "encoding" => decl.encoding = Some(value),
                 "standalone" => decl.standalone = Some(value),
@@ -253,14 +366,14 @@ impl<'a> Reader<'a> {
                 }
             }
         }
-        Ok(Event::XmlDecl(decl))
+        Ok(BorrowedEvent::XmlDecl(decl))
     }
 
-    fn parse_markup(&mut self) -> Result<Event, XmlError> {
-        debug_assert_eq!(self.cursor.peek(), Some('<'));
+    fn parse_markup(&mut self) -> Result<BorrowedEvent<'_, 'a>, XmlError> {
+        debug_assert_eq!(self.cursor.peek_byte(), Some(b'<'));
         if self.cursor.eat("<!--") {
             let body = self.cursor.take_until("-->", "'-->' closing a comment")?;
-            return Ok(Event::Comment(body.to_owned()));
+            return Ok(BorrowedEvent::Comment(body));
         }
         if self.cursor.eat("<![CDATA[") {
             if self.open.is_empty() {
@@ -270,61 +383,72 @@ impl<'a> Reader<'a> {
                 ));
             }
             let body = self.cursor.take_until("]]>", "']]>' closing CDATA")?;
-            return Ok(Event::CData(body.to_owned()));
+            return Ok(BorrowedEvent::CData(body));
         }
-        if self.cursor.rest().starts_with("<!DOCTYPE") {
+        if self.cursor.rest_bytes().starts_with(b"<!DOCTYPE") {
             return self.parse_doctype();
         }
         if self.cursor.eat("<?") {
             let target = self.parse_name()?;
             let raw = self.cursor.take_until("?>", "'?>' closing a processing instruction")?;
             let data = raw.strip_prefix(is_xml_whitespace).unwrap_or(raw);
-            return Ok(Event::ProcessingInstruction { target, data: data.to_owned() });
+            return Ok(BorrowedEvent::ProcessingInstruction { target, data });
         }
-        if self.cursor.rest().starts_with("</") {
+        if self.cursor.rest_bytes().starts_with(b"</") {
             return self.parse_end_tag();
         }
         self.parse_start_tag()
     }
 
-    fn parse_doctype(&mut self) -> Result<Event, XmlError> {
+    fn parse_doctype(&mut self) -> Result<BorrowedEvent<'_, 'a>, XmlError> {
         let start = self.cursor.position();
         self.cursor.expect("<!DOCTYPE", "a DOCTYPE declaration")?;
         // Scan to the matching '>', honouring an internal subset in [...].
+        let rest = self.cursor.rest();
+        let bytes = rest.as_bytes();
         let mut depth: usize = 0;
-        let mut body = String::new();
+        let mut i = 0;
         loop {
-            let ch = self.cursor.bump().ok_or_else(|| {
-                XmlError::new(
-                    ErrorKind::UnexpectedEof { expecting: "'>' closing DOCTYPE" },
-                    start,
-                )
-            })?;
-            match ch {
-                '[' => depth += 1,
-                ']' => depth = depth.saturating_sub(1),
-                '>' if depth == 0 => break,
-                _ => {}
+            match crate::cursor::find_byte3(&bytes[i..], b'[', b']', b'>') {
+                None => {
+                    return Err(XmlError::new(
+                        ErrorKind::UnexpectedEof { expecting: "'>' closing DOCTYPE" },
+                        start,
+                    ))
+                }
+                Some(rel) => {
+                    let at = i + rel;
+                    i = at + 1;
+                    match bytes[at] {
+                        b'[' => depth += 1,
+                        b']' => depth = depth.saturating_sub(1),
+                        _ => {
+                            if depth == 0 {
+                                let body = rest[..at].trim();
+                                self.cursor.advance(i);
+                                return Ok(BorrowedEvent::Doctype(body));
+                            }
+                        }
+                    }
+                }
             }
-            body.push(ch);
         }
-        Ok(Event::Doctype(body.trim().to_owned()))
     }
 
-    fn parse_start_tag(&mut self) -> Result<Event, XmlError> {
+    fn parse_start_tag(&mut self) -> Result<BorrowedEvent<'_, 'a>, XmlError> {
         self.cursor.expect("<", "a start tag")?;
         let name = self.parse_name()?;
-        let mut attributes: Vec<Attribute> = Vec::new();
+        self.attrs.clear();
         loop {
             let had_space = self.cursor.skip_whitespace();
             if self.cursor.eat("/>") {
-                self.note_element_opened(&name)?;
-                self.pending_end = Some(name.clone());
-                return Ok(Event::StartElement { name, attributes });
+                self.note_element_opened(name)?;
+                self.pending_end = Some(name);
+                return Ok(BorrowedEvent::StartElement { name, attributes: &self.attrs });
             }
             if self.cursor.eat(">") {
-                self.note_element_opened(&name)?;
-                return Ok(Event::StartElement { name, attributes });
+                self.note_element_opened(name)?;
+                return Ok(BorrowedEvent::StartElement { name, attributes: &self.attrs });
             }
             if !had_space {
                 let pos = self.cursor.position();
@@ -344,9 +468,9 @@ impl<'a> Reader<'a> {
             }
             let attr_pos = self.cursor.position();
             let attr_name = self.parse_name()?;
-            if attributes.iter().any(|a| a.name == attr_name) {
+            if self.attrs.iter().any(|a| a.name == attr_name) {
                 return Err(XmlError::new(
-                    ErrorKind::DuplicateAttribute { name: attr_name },
+                    ErrorKind::DuplicateAttribute { name: attr_name.to_owned() },
                     attr_pos,
                 ));
             }
@@ -354,11 +478,11 @@ impl<'a> Reader<'a> {
             self.cursor.expect("=", "'=' after an attribute name")?;
             self.cursor.skip_whitespace();
             let value = self.parse_quoted_value()?;
-            attributes.push(Attribute { name: attr_name, value });
+            self.attrs.push(BorrowedAttr { name: attr_name, value });
         }
     }
 
-    fn parse_end_tag(&mut self) -> Result<Event, XmlError> {
+    fn parse_end_tag(&mut self) -> Result<BorrowedEvent<'_, 'a>, XmlError> {
         let pos = self.cursor.position();
         self.cursor.expect("</", "an end tag")?;
         let name = self.parse_name()?;
@@ -367,55 +491,63 @@ impl<'a> Reader<'a> {
         match self.open.pop() {
             Some(expected) if expected == name => {
                 self.note_element_closed();
-                Ok(Event::EndElement { name })
+                Ok(BorrowedEvent::EndElement { name })
             }
-            Some(expected) => {
-                Err(XmlError::new(ErrorKind::MismatchedTag { expected, found: name }, pos))
-            }
-            None => Err(XmlError::new(ErrorKind::UnmatchedCloseTag { name }, pos)),
+            Some(expected) => Err(XmlError::new(
+                ErrorKind::MismatchedTag { expected: expected.to_owned(), found: name.to_owned() },
+                pos,
+            )),
+            None => Err(XmlError::new(
+                ErrorKind::UnmatchedCloseTag { name: name.to_owned() },
+                pos,
+            )),
         }
     }
 
-    fn parse_text(&mut self) -> Result<Event, XmlError> {
+    fn parse_text(&mut self) -> Result<BorrowedEvent<'_, 'a>, XmlError> {
         let pos = self.cursor.position();
-        let raw = self.cursor.take_while(|ch| ch != '<');
-        if let Some(bad) = raw.find("]]>") {
-            let _ = bad;
+        let rest = self.cursor.rest();
+        let end = find_byte(rest.as_bytes(), b'<').unwrap_or(rest.len());
+        let raw = &rest[..end];
+        if raw.contains("]]>") {
             return Err(XmlError::custom("']]>' is not allowed in character data", pos));
         }
-        Ok(Event::Text(unescape(raw, pos)?))
+        self.cursor.advance(end);
+        Ok(BorrowedEvent::Text(unescape(raw, pos)?))
     }
 
-    fn parse_name(&mut self) -> Result<String, XmlError> {
-        let pos = self.cursor.position();
-        match self.cursor.peek() {
-            Some(ch) if is_name_start_char(ch) => {}
-            Some(found) => {
+    fn parse_name(&mut self) -> Result<&'a str, XmlError> {
+        match self.cursor.peek_byte() {
+            Some(b) if NAME_START_BYTE[b as usize] => {}
+            Some(_) => {
+                // Only ASCII bytes can be rejected (all non-ASCII bytes
+                // are name bytes), so decoding the char here is safe.
+                let found = self.cursor.peek().expect("peek_byte saw a byte");
                 return Err(XmlError::new(
                     ErrorKind::UnexpectedChar { found, expecting: "an XML name" },
-                    pos,
-                ))
+                    self.cursor.position(),
+                ));
             }
             None => {
                 return Err(XmlError::new(
                     ErrorKind::UnexpectedEof { expecting: "an XML name" },
-                    pos,
+                    self.cursor.position(),
                 ))
             }
         }
-        let name = self.cursor.take_while(is_name_char);
-        Ok(name.to_owned())
+        Ok(self.cursor.take_class(&NAME_BYTE))
     }
 
-    fn parse_quoted_value(&mut self) -> Result<String, XmlError> {
+    fn parse_quoted_value(&mut self) -> Result<Cow<'a, str>, XmlError> {
         let pos = self.cursor.position();
-        let quote = match self.cursor.peek() {
-            Some(q @ ('"' | '\'')) => q,
-            Some(found) => {
+        let quote = match self.cursor.peek_byte() {
+            Some(q @ (b'"' | b'\'')) => q,
+            Some(_) => {
+                let found = self.cursor.peek().expect("peek_byte saw a byte");
                 return Err(XmlError::new(
                     ErrorKind::UnexpectedChar { found, expecting: "a quoted attribute value" },
                     pos,
-                ))
+                ));
             }
             None => {
                 return Err(XmlError::new(
@@ -424,13 +556,19 @@ impl<'a> Reader<'a> {
                 ))
             }
         };
-        self.cursor.bump();
-        let mut delim = [0u8; 4];
-        let delim = quote.encode_utf8(&mut delim);
-        let raw = self.cursor.take_until(delim, "the closing attribute quote")?;
-        if raw.contains('<') {
+        self.cursor.advance(1);
+        let rest = self.cursor.rest();
+        let end = find_byte(rest.as_bytes(), quote).ok_or_else(|| {
+            XmlError::new(
+                ErrorKind::UnexpectedEof { expecting: "the closing attribute quote" },
+                self.cursor.position(),
+            )
+        })?;
+        let raw = &rest[..end];
+        if find_byte(raw.as_bytes(), b'<').is_some() {
             return Err(XmlError::custom("'<' is not allowed in attribute values", pos));
         }
+        self.cursor.advance(end + 1);
         unescape(raw, pos)
     }
 }
@@ -591,5 +729,49 @@ mod tests {
         assert!(evs
             .iter()
             .any(|e| matches!(e, Event::ProcessingInstruction { target, .. } if target == "xmlish")));
+    }
+
+    #[test]
+    fn borrowed_events_reference_the_input() {
+        let doc = "<a x=\"1\">plain &amp; fancy<b/></a>";
+        let mut r = Reader::new(doc);
+        match r.next_borrowed().unwrap() {
+            BorrowedEvent::StartElement { name, attributes } => {
+                assert_eq!(name, "a");
+                // Name and entity-free value are slices of the document.
+                assert_eq!(attributes[0].name.as_ptr(), doc[3..].as_ptr());
+                assert!(matches!(attributes[0].value, Cow::Borrowed(_)));
+            }
+            other => panic!("{other:?}"),
+        }
+        match r.next_borrowed().unwrap() {
+            // Entity expansion forces an owned copy.
+            BorrowedEvent::Text(Cow::Owned(t)) => assert_eq!(t, "plain & fancy"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn entity_free_text_is_borrowed() {
+        let mut r = Reader::new("<a>just text</a>");
+        r.next_borrowed().unwrap();
+        match r.next_borrowed().unwrap() {
+            BorrowedEvent::Text(Cow::Borrowed(t)) => assert_eq!(t, "just text"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn multibyte_names_and_text_parse_borrowed() {
+        let doc = "<héllo attr-ü=\"wörld\">ünïcode</héllo>";
+        let evs = Reader::new(doc).collect_events().unwrap();
+        match &evs[0] {
+            Event::StartElement { name, attributes } => {
+                assert_eq!(name, "héllo");
+                assert_eq!(attributes[0], Attribute::new("attr-ü", "wörld"));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(evs.contains(&Event::Text("ünïcode".into())));
     }
 }

@@ -1,7 +1,7 @@
 //! XML serialization.
 
 use crate::dom::{Document, Element, Node};
-use crate::escape::{escape_attribute, escape_text};
+use crate::escape::{escape_attribute_into, escape_text_into};
 
 /// Formatting options for the [`Writer`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -106,7 +106,7 @@ impl Writer {
             out.push(' ');
             out.push_str(&attr.name);
             out.push_str("=\"");
-            out.push_str(&escape_attribute(&attr.value));
+            escape_attribute_into(out, &attr.value);
             out.push('"');
         }
         if element.children.is_empty() {
@@ -130,7 +130,7 @@ impl Writer {
             }
             match child {
                 Node::Element(el) => self.write_element(el, depth + 1, out),
-                Node::Text(text) => out.push_str(&escape_text(text)),
+                Node::Text(text) => escape_text_into(out, text),
                 Node::CData(text) => {
                     out.push_str("<![CDATA[");
                     out.push_str(text);

@@ -1,13 +1,21 @@
 //! Parsing schema documents into the [`Schema`] model.
 
 use std::collections::HashMap;
+use std::sync::Mutex;
 
 use xmlparse::namespace::NamespaceResolver;
-use xmlparse::{Document, Element};
+use xmlparse::{Atoms, Document, Element};
 
 use crate::datatypes::{is_xsd_namespace, XsdType};
 use crate::error::SchemaError;
 use crate::model::{ComplexType, ElementDecl, Facet, Occurs, Schema, SimpleType, TypeRef};
+
+/// Process-wide name interner for schema documents. The XSD markup
+/// vocabulary (`xs:schema`, `xs:element`, `name`, `type`, ...) is small
+/// and shared across every schema a process compiles, so repeated
+/// compiles reuse one allocation per distinct name instead of
+/// re-allocating it per document.
+static SCHEMA_ATOMS: Mutex<Option<Atoms>> = Mutex::new(None);
 
 /// Parses a schema from its textual XML form.
 ///
@@ -15,7 +23,17 @@ use crate::model::{ComplexType, ElementDecl, Facet, Occurs, Schema, SimpleType, 
 ///
 /// See [`SchemaError`].
 pub fn parse_schema_str(input: &str) -> Result<Schema, SchemaError> {
-    let doc = Document::parse_str(input)?;
+    let doc = {
+        let mut guard = SCHEMA_ATOMS.lock().unwrap_or_else(|e| e.into_inner());
+        let atoms = guard.get_or_insert_with(Atoms::new);
+        let result = Document::parse_str_interned(input, atoms);
+        // Hostile documents can mint unbounded distinct names; don't let
+        // them pin memory for the life of the process.
+        if atoms.len() > 4096 {
+            *guard = None;
+        }
+        result?
+    };
     parse_schema_document(&doc)
 }
 
@@ -30,7 +48,7 @@ pub fn parse_schema_document(doc: &Document) -> Result<Schema, SchemaError> {
     resolver.push_scope(root);
 
     if root.local_name() != "schema" || !in_xsd_namespace(root, &resolver) {
-        return Err(SchemaError::NotASchema { found: root.name.clone() });
+        return Err(SchemaError::NotASchema { found: root.name.to_string() });
     }
 
     let mut schema = Schema {
@@ -98,7 +116,7 @@ fn parse_simple_type(
     let name = el
         .attr("name")
         .ok_or_else(|| SchemaError::MissingAttribute {
-            element: el.name.clone(),
+            element: el.name.to_string(),
             attribute: "name".to_owned(),
         })?
         .to_owned();
@@ -135,7 +153,7 @@ fn parse_simple_type(
     for facet_el in restriction.child_elements() {
         let value = || -> Result<&str, SchemaError> {
             facet_el.attr("value").ok_or_else(|| SchemaError::MissingAttribute {
-                element: facet_el.name.clone(),
+                element: facet_el.name.to_string(),
                 attribute: "value".to_owned(),
             })
         };
@@ -202,7 +220,7 @@ fn parse_complex_type(
     let name = el
         .attr("name")
         .ok_or_else(|| SchemaError::MissingAttribute {
-            element: el.name.clone(),
+            element: el.name.to_string(),
             attribute: "name".to_owned(),
         })?
         .to_owned();
@@ -264,7 +282,7 @@ fn parse_element(
     let name = el
         .attr("name")
         .ok_or_else(|| SchemaError::MissingAttribute {
-            element: el.name.clone(),
+            element: el.name.to_string(),
             attribute: "name".to_owned(),
         })?
         .to_owned();
@@ -389,7 +407,7 @@ pub fn resolve_schema(schema: &Schema) -> Result<(), SchemaError> {
                 match ty.element(count) {
                     None => {
                         return Err(SchemaError::BadCountReference {
-                            element: el.name.clone(),
+                            element: el.name.to_string(),
                             count: count.clone(),
                             reason: "no element of that name in the same complex type",
                         })
@@ -405,7 +423,7 @@ pub fn resolve_schema(schema: &Schema) -> Result<(), SchemaError> {
                         let ok = integer_typed && count_el.occurs == Occurs::Scalar;
                         if !ok {
                             return Err(SchemaError::BadCountReference {
-                                element: el.name.clone(),
+                                element: el.name.to_string(),
                                 count: count.clone(),
                                 reason: "count element must be a scalar integer",
                             });
