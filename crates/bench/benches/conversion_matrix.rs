@@ -1,80 +1,293 @@
-//! **E7 (ablation)**: receiver-side conversion cost across the
-//! architecture matrix, and plan compilation vs cached execution.
+//! **E-conv (ablation)**: receiver-side conversion cost, interpreter vs
+//! tiered engine, across the architecture matrix.
 //!
-//! This substantiates the paper's mechanism claims (§1, §4.1.2): the
-//! homogeneous case costs one bulk copy; heterogeneous cases pay a
-//! per-message conversion executed by a routine compiled *once* on first
-//! contact (PBIO's dynamic code generation; compiled op-programs here).
+//! "Before" is measured honestly inside this binary: the pre-change
+//! per-element op interpreter is preserved verbatim as
+//! [`pbio::ConversionPlan::build_reference`], so both generations
+//! convert the same payloads in the same process. "After" is the tiered
+//! engine — `Identity` (bulk copy), `PureSwap` (memcpy + flat swap-span
+//! list), `General` (fused ops, hoisted bounds checks, unchecked
+//! widenings) — through the pooled `convert_into` path both engines
+//! share, so the measured delta is engine-only.
 //!
-//! Expected shape: identity ≪ byte-swap-only (x86_64↔power64) <
-//! full relayout (sparc32→x86_64); plan compilation is microseconds and
-//! only ever paid once per (format, architecture pair).
+//! Expected shape: the PureSwap tier ≥3× the interpreter on a
+//! scalar-heavy swap-only pair (x86-64 → POWER64 telemetry), and the
+//! General tier a measurable win on relayout pairs that keep pointer
+//! chasing (structure B with strings + a dynamic array).
+//!
+//! Writes `BENCH_convert.json` at the repository root with the measured
+//! before/after numbers (skipped in `--test` smoke mode).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
 
-use clayout::Architecture;
-use omf_bench::{bind, record_b, SCHEMA_B};
-use pbio::ConversionPlan;
+use clayout::{Architecture, Record, StructType};
+use omf_bench::{bind, fmt_ns, record_b, swap_workload, SCHEMA_B};
+use pbio::{ConversionPlan, PlanCache};
 
-fn convert_matrix(c: &mut Criterion) {
-    let record = record_b();
-    let st = bind(SCHEMA_B, 0, Architecture::X86_64).struct_type().clone();
+/// Measures `f` repeatedly and returns ns/iteration. In smoke mode runs
+/// the routine exactly once (correctness only).
+fn time<O>(smoke: bool, mut f: impl FnMut() -> O) -> f64 {
+    if smoke {
+        black_box(f());
+        return 0.0;
+    }
+    // Warm up, then size batches to ~50ms and take the best of 5.
+    let mut iters = 1u64;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let elapsed = start.elapsed();
+        if elapsed >= Duration::from_millis(50) {
+            let mut best = elapsed.as_nanos() as f64 / iters as f64;
+            for _ in 0..4 {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    black_box(f());
+                }
+                best = best.min(start.elapsed().as_nanos() as f64 / iters as f64);
+            }
+            return best;
+        }
+        iters = iters.saturating_mul(4);
+    }
+}
 
-    let mut group = c.benchmark_group("e7_convert");
-    group.sample_size(40).measurement_time(Duration::from_secs(1));
+fn msgs_per_s(ns_per_iter: f64) -> f64 {
+    if ns_per_iter == 0.0 {
+        return 0.0;
+    }
+    1e9 / ns_per_iter
+}
 
-    // Representative pairs: identity, pure byte-swap (same widths),
-    // widening relayout (32→64), narrowing relayout (64→32).
-    let pairs = [
-        ("identity", Architecture::X86_64, Architecture::X86_64),
-        ("swap-only", Architecture::X86_64, Architecture::POWER64),
-        ("widen-32to64", Architecture::SPARC32, Architecture::X86_64),
-        ("narrow-64to32", Architecture::X86_64, Architecture::ARM32),
-        ("swap+widen", Architecture::SPARC32, Architecture::ARM32),
+/// One (workload, architecture pair) measurement.
+struct Row {
+    label: String,
+    bytes: usize,
+    tier: &'static str,
+    ops: usize,
+    spans: usize,
+    interp: f64,
+    tiered: f64,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        if self.tiered > 0.0 {
+            self.interp / self.tiered
+        } else {
+            0.0
+        }
+    }
+}
+
+fn measure(
+    label: &str,
+    st: &StructType,
+    record: &Record,
+    src: Architecture,
+    dst: Architecture,
+    smoke: bool,
+) -> Row {
+    let payload = clayout::encode_record(record, st, &src).unwrap().bytes;
+    let tiered = ConversionPlan::build(st, &src, &dst).unwrap();
+    let reference = ConversionPlan::build_reference(st, &src, &dst).unwrap();
+    // Both engines run through the pooled path with a warm buffer, so
+    // the measured difference is tiering/fusion/check-hoisting alone.
+    let mut pool = Vec::new();
+    let interp_ns = time(smoke, || reference.convert_into(&payload, &mut pool).unwrap());
+    let tiered_ns = time(smoke, || tiered.convert_into(&payload, &mut pool).unwrap());
+    Row {
+        label: label.to_owned(),
+        bytes: payload.len(),
+        tier: tiered.tier().name(),
+        ops: tiered.op_count(),
+        spans: tiered.swap_span_count(),
+        interp: interp_ns,
+        tiered: tiered_ns,
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--test");
+
+    let (telemetry, telemetry_record) = swap_workload();
+    let structure_b = bind(SCHEMA_B, 0, Architecture::X86_64).struct_type().clone();
+    let b_record = record_b();
+
+    // Telemetry plus one string: the pointer keeps it off PureSwap, so
+    // this is the General tier on a workload where fusion has something
+    // to fuse (the B rows are dominated by string chases both engines
+    // share).
+    let tagged = {
+        let mut fields = telemetry.fields.clone();
+        fields.push(clayout::StructField::new("tag", clayout::CType::String));
+        StructType::new("TaggedTelemetry", fields)
+    };
+    let tagged_record = {
+        let mut r = telemetry_record.clone();
+        r.set("tag", "unit-7");
+        r
+    };
+
+    // The ablation matrix: the swap-only pair that reaches PureSwap, the
+    // same pair on a pointer-bearing struct (stays General), relayout
+    // pairs in both directions, and identity for scale.
+    let cases: Vec<Row> = vec![
+        measure(
+            "tele x86->ppc64",
+            &telemetry,
+            &telemetry_record,
+            Architecture::X86_64,
+            Architecture::POWER64,
+            smoke,
+        ),
+        measure(
+            "tele x86->sparc32",
+            &telemetry,
+            &telemetry_record,
+            Architecture::X86_64,
+            Architecture::SPARC32,
+            smoke,
+        ),
+        measure(
+            "teleS x86->ppc64",
+            &tagged,
+            &tagged_record,
+            Architecture::X86_64,
+            Architecture::POWER64,
+            smoke,
+        ),
+        measure(
+            "B    x86->ppc64",
+            &structure_b,
+            &b_record,
+            Architecture::X86_64,
+            Architecture::POWER64,
+            smoke,
+        ),
+        measure(
+            "B    x86->sparc32",
+            &structure_b,
+            &b_record,
+            Architecture::X86_64,
+            Architecture::SPARC32,
+            smoke,
+        ),
+        measure(
+            "B    sparc32->x86",
+            &structure_b,
+            &b_record,
+            Architecture::SPARC32,
+            Architecture::X86_64,
+            smoke,
+        ),
+        measure(
+            "B    identity",
+            &structure_b,
+            &b_record,
+            Architecture::X86_64,
+            Architecture::X86_64,
+            smoke,
+        ),
     ];
 
-    for (label, src, dst) in pairs {
-        let image = clayout::encode_record(&record, &st, &src).unwrap();
-        let plan = ConversionPlan::build(&st, &src, &dst).unwrap();
-        group.bench_with_input(BenchmarkId::new("cached-plan", label), &(), |b, ()| {
-            b.iter(|| plan.convert(&image.bytes).unwrap());
-        });
+    println!("e_conv: per-element interpreter (pre-change) vs tiered engine");
+    println!(
+        "{:<18} {:>6} {:>9} {:>5} {:>6} {:>11} {:>11} {:>8} {:>12}",
+        "pair", "bytes", "tier", "ops", "spans", "interp", "tiered", "speedup", "msgs/s"
+    );
+    for row in &cases {
+        println!(
+            "{:<18} {:>6} {:>9} {:>5} {:>6} {:>11} {:>11} {:>7.2}x {:>12.0}",
+            row.label,
+            row.bytes,
+            row.tier,
+            row.ops,
+            row.spans,
+            fmt_ns(row.interp),
+            fmt_ns(row.tiered),
+            row.speedup(),
+            msgs_per_s(row.tiered),
+        );
     }
-    group.finish();
-}
 
-fn plan_compilation(c: &mut Criterion) {
-    let st = bind(SCHEMA_B, 0, Architecture::X86_64).struct_type().clone();
-    let mut group = c.benchmark_group("e7_plan_build");
-    group.sample_size(60).measurement_time(Duration::from_secs(1));
-    for (label, src, dst) in [
-        ("identity", Architecture::X86_64, Architecture::X86_64),
-        ("hetero", Architecture::SPARC32, Architecture::X86_64),
-    ] {
-        group.bench_with_input(BenchmarkId::new("build", label), &(), |b, ()| {
-            b.iter(|| ConversionPlan::build(&st, &src, &dst).unwrap());
-        });
+    // First-contact vs steady-state: plan compilation happens once per
+    // (format, pair); every later message is a cache hit.
+    let build_ns = time(smoke, || {
+        ConversionPlan::build(&structure_b, &Architecture::X86_64, &Architecture::SPARC32).unwrap()
+    });
+    let cache = PlanCache::new();
+    cache.plan_for(&structure_b, &Architecture::X86_64, &Architecture::SPARC32).unwrap();
+    let hit_ns = time(smoke, || {
+        cache.plan_for(&structure_b, &Architecture::X86_64, &Architecture::SPARC32).unwrap()
+    });
+    println!();
+    println!("plan build (B, x86->sparc32):  {}", fmt_ns(build_ns));
+    println!("plan cache hit:                {}", fmt_ns(hit_ns));
+
+    if smoke {
+        println!("smoke mode: each routine ran once, no timings recorded");
+        return;
     }
-    group.finish();
-}
 
-/// Value-level decode straight from the wire layout, for comparison with
-/// the native-image conversion path.
-fn value_decode(c: &mut Criterion) {
-    let record = record_b();
-    let st = bind(SCHEMA_B, 0, Architecture::X86_64).struct_type().clone();
-    let mut group = c.benchmark_group("e7_value_decode");
-    group.sample_size(40).measurement_time(Duration::from_secs(1));
-    for (label, src) in [("homogeneous", Architecture::X86_64), ("foreign", Architecture::SPARC32)]
-    {
-        let image = clayout::encode_record(&record, &st, &src).unwrap();
-        group.bench_with_input(BenchmarkId::new("decode", label), &(), |b, ()| {
-            b.iter(|| clayout::decode_record(&image.bytes, &st, &src).unwrap());
-        });
+    // Acceptance gates: the PureSwap tier must clear 3x over the
+    // interpreter; the General tier must never regress and must win
+    // measurably where fusion applies (the scalar-heavy tagged
+    // telemetry — structure B's cost is string chases both engines
+    // share, so parity there is the expected outcome, not a win).
+    let mut best_general = 0.0f64;
+    for row in &cases {
+        match row.tier {
+            "pureswap" => assert!(
+                row.speedup() >= 3.0,
+                "{}: PureSwap only {:.2}x over the interpreter",
+                row.label,
+                row.speedup()
+            ),
+            "general" => {
+                assert!(
+                    row.speedup() >= 0.9,
+                    "{}: General tier regressed to {:.2}x of the interpreter",
+                    row.label,
+                    row.speedup()
+                );
+                best_general = best_general.max(row.speedup());
+            }
+            _ => {}
+        }
     }
-    group.finish();
-}
+    assert!(
+        best_general > 1.1,
+        "no General-tier pair beat the interpreter measurably (best {best_general:.2}x)"
+    );
 
-criterion_group!(benches, convert_matrix, plan_compilation, value_decode);
-criterion_main!(benches);
+    // Machine-readable before/after record at the repo root.
+    let mut json =
+        String::from("{\n  \"bench\": \"conversion_matrix\",\n  \"unit\": \"ns/iter\",\n  \"pairs\": [\n");
+    for (i, row) in cases.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"pair\": \"{}\", \"bytes\": {}, \"tier\": \"{}\", \"ops\": {}, \
+             \"swap_spans\": {}, \"before_interp\": {:.1}, \"after_tiered\": {:.1}, \
+             \"speedup\": {:.2}, \"after_msgs_per_s\": {:.0}}}{}\n",
+            row.label.trim(),
+            row.bytes,
+            row.tier,
+            row.ops,
+            row.spans,
+            row.interp,
+            row.tiered,
+            row.speedup(),
+            msgs_per_s(row.tiered),
+            if i + 1 == cases.len() { "" } else { "," },
+        ));
+    }
+    json.push_str(&format!(
+        "  ],\n  \"plan\": {{\"build_ns\": {build_ns:.1}, \"cache_hit_ns\": {hit_ns:.1}}}\n}}\n"
+    ));
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_convert.json");
+    std::fs::write(path, json).expect("write BENCH_convert.json");
+    println!("\nwrote {path}");
+}

@@ -138,6 +138,50 @@ pub fn doubles_workload(n: usize) -> (StructType, Record) {
     (st, record)
 }
 
+/// A pure-scalar telemetry workload for the conversion ablation: no
+/// pointer-bearing fields, so same-size/opposite-endianness pairs
+/// (x86-64 <-> POWER64) land on the PureSwap tier, and the per-element
+/// interpreter baseline has ~60 scalars to dispatch.
+pub fn swap_workload() -> (StructType, Record) {
+    let st = StructType::new(
+        "Telemetry",
+        vec![
+            StructField::new("seq", CType::Prim(Primitive::ULongLong)),
+            StructField::new("ts", CType::Prim(Primitive::ULongLong)),
+            StructField::new("temp", CType::Prim(Primitive::Double)),
+            StructField::new("lat", CType::Prim(Primitive::Double)),
+            StructField::new("lon", CType::Prim(Primitive::Double)),
+            StructField::new("flags", CType::Prim(Primitive::UInt)),
+            StructField::new("mode", CType::Prim(Primitive::UInt)),
+            StructField::new(
+                "samples",
+                CType::fixed_array(CType::Prim(Primitive::Double), 32),
+            ),
+            StructField::new(
+                "counters",
+                CType::fixed_array(CType::Prim(Primitive::ULongLong), 16),
+            ),
+        ],
+    );
+    let record = Record::new()
+        .with("seq", 7_654_321u64)
+        .with("ts", 1_748_710_800u64)
+        .with("temp", 21.5f64)
+        .with("lat", 33.6367f64)
+        .with("lon", -84.4281f64)
+        .with("flags", 0x5Au64)
+        .with("mode", 3u64)
+        .with(
+            "samples",
+            (0..32).map(|i| Value::Float(f64::from(i) * 0.25 - 3.0)).collect::<Vec<_>>(),
+        )
+        .with(
+            "counters",
+            (0..16).map(|i| Value::UInt(1 << i)).collect::<Vec<_>>(),
+        );
+    (st, record)
+}
+
 /// Builds a `Format` directly from a struct type (the "plain PBIO" path).
 pub fn format_for(st: StructType, arch: Architecture) -> Format {
     Format::new(FormatId(0), st, arch).expect("benchmark struct lays out")

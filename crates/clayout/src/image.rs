@@ -41,15 +41,11 @@ impl Image {
 /// Panics if `offset + size` exceeds the buffer or `size` is not 1/2/4/8;
 /// callers are expected to have sized buffers from layout data.
 pub fn put_uint(buf: &mut [u8], offset: usize, size: usize, endianness: Endianness, value: u64) {
-    let bytes = value.to_le_bytes();
     let dst = &mut buf[offset..offset + size];
     match endianness {
-        Endianness::Little => dst.copy_from_slice(&bytes[..size]),
-        Endianness::Big => {
-            for (i, slot) in dst.iter_mut().enumerate() {
-                *slot = bytes[size - 1 - i];
-            }
-        }
+        Endianness::Little => dst.copy_from_slice(&value.to_le_bytes()[..size]),
+        // The low `size` bytes of a big-endian u64 are its trailing ones.
+        Endianness::Big => dst.copy_from_slice(&value.to_be_bytes()[8 - size..]),
     }
 }
 
@@ -71,14 +67,15 @@ pub fn get_uint(buf: &[u8], offset: usize, size: usize, endianness: Endianness) 
     let src = &buf[offset..offset + size];
     let mut out = [0u8; 8];
     match endianness {
-        Endianness::Little => out[..size].copy_from_slice(src),
+        Endianness::Little => {
+            out[..size].copy_from_slice(src);
+            u64::from_le_bytes(out)
+        }
         Endianness::Big => {
-            for (i, byte) in src.iter().enumerate() {
-                out[size - 1 - i] = *byte;
-            }
+            out[8 - size..].copy_from_slice(src);
+            u64::from_be_bytes(out)
         }
     }
-    u64::from_le_bytes(out)
 }
 
 /// Reads a sign-extended integer of `size` bytes at `offset`.

@@ -182,6 +182,32 @@ impl Xml2Wire {
         Ok(pbio::ndr::to_native_image(bytes, &format, &self.plans)?)
     }
 
+    /// Pooled-destination variant of
+    /// [`to_native_image`](Self::to_native_image): converts the message
+    /// into `out` (cleared first), reusing its allocation, and returns
+    /// the fixed-part length. Steady-state heterogeneous delivery with a
+    /// warm pool performs zero conversion allocations per message.
+    ///
+    /// # Errors
+    ///
+    /// As [`to_native_image`](Self::to_native_image); `out` contents are
+    /// unspecified after an error.
+    pub fn to_native_image_into(
+        &self,
+        bytes: &[u8],
+        out: &mut Vec<u8>,
+    ) -> Result<usize, X2wError> {
+        let (header, _) = pbio::header::WireHeader::parse(bytes)?;
+        let format = self.require_format(&header.format_name)?;
+        Ok(pbio::ndr::to_native_image_into(bytes, &format, &self.plans, out)?)
+    }
+
+    /// Snapshot of this session's conversion-plan cache counters
+    /// (hits/misses/builds and resident plan count).
+    pub fn plan_stats(&self) -> pbio::PlanCacheStats {
+        self.plans.stats()
+    }
+
     // -- format server (globally negotiated ids) ------------------------
 
     /// Binds a schema document and registers every type under ids
@@ -463,6 +489,21 @@ mod tests {
         let via_image =
             clayout::decode_record(&image.bytes, native.struct_type(), receiver.arch()).unwrap();
         assert_eq!(via_image.get("arln").unwrap().as_str(), Some("DL"));
+
+        // Pooled delivery: same image bytes, reused buffer, plan cache
+        // compiled exactly one plan and served the rest as hits.
+        let mut pool = Vec::new();
+        let fixed = receiver.to_native_image_into(&wire, &mut pool).unwrap();
+        assert_eq!(fixed, image.fixed_len);
+        assert_eq!(pool.as_slice(), image.bytes.as_ref());
+        let cap = pool.capacity();
+        for _ in 0..8 {
+            receiver.to_native_image_into(&wire, &mut pool).unwrap();
+        }
+        assert_eq!(pool.capacity(), cap);
+        let stats = receiver.plan_stats();
+        assert_eq!(stats.built, 1, "{stats:?}");
+        assert!(stats.hits >= 9, "{stats:?}");
     }
 
     #[test]

@@ -16,6 +16,7 @@
 
 use std::borrow::Cow;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use clayout::image::{fits_signed, fits_unsigned, get_int, get_uint, put_int, put_uint};
@@ -31,8 +32,15 @@ use crate::format::Format;
 enum ElemPlan {
     /// Source and destination representations are identical: raw copy.
     Copy { len: usize },
-    /// Integer resize/byte-swap, with overflow checking on narrowing.
-    Int { src_size: u8, dst_size: u8, signed: bool, field: u32 },
+    /// Same-size scalar whose only difference is byte order: reverse
+    /// `width` bytes in place. Applies to integers *and* floats (a raw
+    /// bit swap is exact; no round trip through `f64`).
+    Swap { width: u8 },
+    /// Integer resize/byte-swap. `checked` is true only on genuine
+    /// narrowings (`dst_size < src_size`); widenings and same-size
+    /// re-encodes cannot overflow (`fits_*` is vacuously true), so their
+    /// overflow branch is compiled away at plan-build time.
+    Int { src_size: u8, dst_size: u8, signed: bool, checked: bool, field: u32 },
     /// IEEE float between binary32/binary64 (and byte orders).
     Float { src_size: u8, dst_size: u8 },
     /// Out-of-line string: follow the source pointer, re-append in the
@@ -51,6 +59,12 @@ enum Op {
     Copy { src: usize, dst: usize, len: usize },
     /// A single element at fixed offsets.
     Scalar { src: usize, dst: usize, elem: ElemPlan },
+    /// `count` consecutive `width`-byte byte-swaps at the given offsets —
+    /// the fused form of adjacent same-width [`ElemPlan::Swap`] scalars
+    /// and of `Repeat`-of-swap with stride == width. Executes as
+    /// `chunks_exact` + `u{16,32,64}::swap_bytes` (safe,
+    /// autovectorizable), no per-element dispatch.
+    SwapRun { src: usize, dst: usize, width: u8, count: usize },
     /// A fixed-size array: `count` elements at the given strides.
     Repeat { src: usize, dst: usize, count: usize, src_stride: usize, dst_stride: usize, elem: ElemPlan },
     /// A dynamic (count-field) array: pointer slots plus a runtime count
@@ -68,6 +82,44 @@ enum Op {
         field: u32,
     },
 }
+
+/// Execution tier of a compiled plan, decided once at build time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PlanTier {
+    /// Layout-compatible pair: conversion borrows the payload outright.
+    Identity,
+    /// Identical sizes and offsets, endianness the only difference, no
+    /// pointer-bearing fields: one bulk copy plus a flat list of
+    /// [`SwapSpan`] kernels — no op interpreter at all.
+    PureSwap,
+    /// Everything else: the (fused) op interpreter.
+    General,
+}
+
+impl PlanTier {
+    /// Short stable name, used by benches and stats snapshots.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PlanTier::Identity => "identity",
+            PlanTier::PureSwap => "pureswap",
+            PlanTier::General => "general",
+        }
+    }
+}
+
+/// One run of the `PureSwap` tier's flat program: `count` consecutive
+/// `width`-byte swaps starting at `off` (identical in source and
+/// destination by construction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct SwapSpan {
+    off: usize,
+    width: u8,
+    count: usize,
+}
+
+/// Cap on the flat span program; plans whose swap structure would
+/// explode past this (huge fixed arrays of structs) stay `General`.
+const SWAP_SPAN_BUDGET: usize = 4096;
 
 /// The result of [`ConversionPlan::convert`]: a native image whose
 /// bytes are **borrowed** from the source payload on the identity fast
@@ -113,7 +165,15 @@ pub struct ConversionPlan {
     dst_arch: Architecture,
     src_fixed_len: usize,
     dst_fixed_len: usize,
-    identity: bool,
+    tier: PlanTier,
+    /// Flat swap program; non-empty only on the `PureSwap` tier (empty
+    /// there too when the pair is byte-identical but not
+    /// layout-compatible — a pure memcpy).
+    swap_spans: Vec<SwapSpan>,
+    /// Reference (pre-fusion) engine: per-element classification,
+    /// always-checked integer conversions, per-element bounds checks.
+    /// Kept as the differential-test oracle and the ablation baseline.
+    reference: bool,
 }
 
 impl ConversionPlan {
@@ -129,15 +189,55 @@ impl ConversionPlan {
         src_arch: &Architecture,
         dst_arch: &Architecture,
     ) -> Result<ConversionPlan, PbioError> {
+        Self::build_inner(struct_type, src_arch, dst_arch, false)
+    }
+
+    /// Compiles a plan with the pre-fusion **reference** engine:
+    /// per-element scalar classification (no [`ElemPlan::Swap`], no
+    /// [`Op::SwapRun`]), always-checked integer conversions, and a
+    /// bounds check per element at run time. Semantically identical to
+    /// [`build`](Self::build) — it is the differential-test oracle and
+    /// the "before" side of the conversion ablation bench.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`build`](Self::build).
+    pub fn build_reference(
+        struct_type: &StructType,
+        src_arch: &Architecture,
+        dst_arch: &Architecture,
+    ) -> Result<ConversionPlan, PbioError> {
+        Self::build_inner(struct_type, src_arch, dst_arch, true)
+    }
+
+    fn build_inner(
+        struct_type: &StructType,
+        src_arch: &Architecture,
+        dst_arch: &Architecture,
+        reference: bool,
+    ) -> Result<ConversionPlan, PbioError> {
         let src_layout = Layout::of_struct(struct_type, src_arch)?;
         let dst_layout = Layout::of_struct(struct_type, dst_arch)?;
         let identity = src_arch.layout_compatible(dst_arch);
         let mut names = Vec::new();
+        let mut tier = if identity { PlanTier::Identity } else { PlanTier::General };
+        let mut swap_spans = Vec::new();
         let ops = if identity {
             Vec::new()
         } else {
-            let raw = build_ops(struct_type, src_arch, dst_arch, &mut names, "")?;
-            coalesce(raw)
+            let raw = build_ops(struct_type, src_arch, dst_arch, &mut names, "", reference)?;
+            let fused = if reference { coalesce(raw) } else { fuse(raw) };
+            // PureSwap candidacy: identical total size and every op a
+            // same-offset copy or swap (recursively) — which also rules
+            // out pointer-bearing fields, keeping error behaviour
+            // identical to the General interpreter.
+            if !reference && src_layout.size == dst_layout.size {
+                if let Some(spans) = pure_swap_spans(&fused) {
+                    swap_spans = spans;
+                    tier = PlanTier::PureSwap;
+                }
+            }
+            fused
         };
         Ok(ConversionPlan {
             ops,
@@ -146,14 +246,33 @@ impl ConversionPlan {
             dst_arch: *dst_arch,
             src_fixed_len: src_layout.size,
             dst_fixed_len: dst_layout.size,
-            identity,
+            tier,
+            swap_spans,
+            reference,
         })
     }
 
     /// Whether the two layouts are identical, making conversion a single
     /// bulk copy (the NDR homogeneous fast path).
     pub fn is_identity(&self) -> bool {
-        self.identity
+        self.tier == PlanTier::Identity
+    }
+
+    /// The execution tier this plan was classified into at build time.
+    pub fn tier(&self) -> PlanTier {
+        self.tier
+    }
+
+    /// Number of fused swap spans in the `PureSwap` flat program
+    /// (0 on other tiers, and on byte-identical memcpy pairs).
+    pub fn swap_span_count(&self) -> usize {
+        self.swap_spans.len()
+    }
+
+    /// Size of the destination fixed part (what
+    /// [`convert_into`](Self::convert_into) returns on success).
+    pub fn dst_fixed_len(&self) -> usize {
+        self.dst_fixed_len
     }
 
     /// Number of interpreter ops (after coalescing); exposed for the
@@ -187,12 +306,63 @@ impl ConversionPlan {
         if payload.len() < self.src_fixed_len {
             return Err(PbioError::Truncated { need: self.src_fixed_len, have: payload.len() });
         }
-        if self.identity {
+        if self.tier == PlanTier::Identity {
             return Ok(ImageCow { bytes: Cow::Borrowed(payload), fixed_len: self.src_fixed_len });
         }
-        let mut dst = vec![0u8; self.dst_fixed_len];
-        self.run_ops(&self.ops, payload, 0, &mut dst, 0)?;
+        let mut dst = Vec::new();
+        self.fill(payload, &mut dst)?;
         Ok(ImageCow { bytes: Cow::Owned(dst), fixed_len: self.dst_fixed_len })
+    }
+
+    /// Converts one wire payload into `out`, reusing its allocation —
+    /// the pooled-destination mirror of `convert` (cf. PR 1's
+    /// `encode_record_into`). `out` is cleared first and afterwards
+    /// holds the native image bytes (fixed part then variable section);
+    /// the returned value is the fixed-part length. On the identity
+    /// tier the payload is copied (a pool cannot borrow); callers that
+    /// can hold the source buffer should prefer [`convert`](Self::convert)
+    /// there.
+    ///
+    /// Steady state (warm `out`, no variable-section growth) performs
+    /// zero heap allocations per message on every tier.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`convert`](Self::convert); `out` contents are
+    /// unspecified after an error.
+    pub fn convert_into(&self, payload: &[u8], out: &mut Vec<u8>) -> Result<usize, PbioError> {
+        if payload.len() < self.src_fixed_len {
+            return Err(PbioError::Truncated { need: self.src_fixed_len, have: payload.len() });
+        }
+        if self.tier == PlanTier::Identity {
+            out.clear();
+            out.extend_from_slice(payload);
+            return Ok(self.src_fixed_len);
+        }
+        self.fill(payload, out)?;
+        Ok(self.dst_fixed_len)
+    }
+
+    /// Non-identity conversion into a caller-owned buffer.
+    fn fill(&self, payload: &[u8], out: &mut Vec<u8>) -> Result<(), PbioError> {
+        out.clear();
+        match self.tier {
+            PlanTier::PureSwap => {
+                // One bulk copy of the fixed part, then the flat swap
+                // program in place. No variable section can exist on
+                // this tier (no pointer-bearing fields).
+                out.extend_from_slice(&payload[..self.src_fixed_len]);
+                for span in &self.swap_spans {
+                    let end = span.off + span.width as usize * span.count;
+                    swap_in_place(&mut out[span.off..end], span.width);
+                }
+                Ok(())
+            }
+            _ => {
+                out.resize(self.dst_fixed_len, 0);
+                self.run_ops(&self.ops, payload, 0, out, 0)
+            }
+        }
     }
 
     fn run_ops(
@@ -203,12 +373,26 @@ impl ConversionPlan {
         dst: &mut Vec<u8>,
         dst_base: usize,
     ) -> Result<(), PbioError> {
+        // Bounds-check hoisting: `convert`/`convert_into` verify the
+        // whole source fixed part up front, and every dynamic region is
+        // verified once (below) before its elements run, so the
+        // fused engine performs no per-op checks — layout guarantees
+        // each op's extent lies inside its enclosing (checked) extent.
+        // The reference engine keeps the original check-per-element.
         for op in ops {
             match op {
                 Op::Copy { src: s, dst: d, len } => {
                     let s = src_base + s;
-                    check(src, s, *len)?;
+                    if self.reference {
+                        check(src, s, *len)?;
+                    }
                     dst[dst_base + d..dst_base + d + len].copy_from_slice(&src[s..s + len]);
+                }
+                Op::SwapRun { src: s, dst: d, width, count } => {
+                    let len = *width as usize * count;
+                    let s = src_base + s;
+                    let d = dst_base + d;
+                    swap_into(&mut dst[d..d + len], &src[s..s + len], *width);
                 }
                 Op::Scalar { src: s, dst: d, elem } => {
                     self.run_elem(elem, src, src_base + s, dst, dst_base + d)?;
@@ -237,7 +421,9 @@ impl ConversionPlan {
                     field,
                 } => {
                     let count_at = src_base + count_off;
-                    check(src, count_at, *count_size as usize)?;
+                    if self.reference {
+                        check(src, count_at, *count_size as usize)?;
+                    }
                     let count = if *count_signed {
                         get_int(src, count_at, *count_size as usize, self.src_arch.endianness)
                     } else {
@@ -252,7 +438,9 @@ impl ConversionPlan {
                     }
                     let count = count as usize;
                     let slot_at = src_base + src_slot;
-                    check(src, slot_at, self.src_arch.pointer.size)?;
+                    if self.reference {
+                        check(src, slot_at, self.src_arch.pointer.size)?;
+                    }
                     if count == 0 {
                         put_uint(
                             dst,
@@ -269,9 +457,24 @@ impl ConversionPlan {
                         self.src_arch.pointer.size,
                         self.src_arch.endianness,
                     ) as usize;
-                    check(src, target, count * src_stride)?;
+                    // A forged count near usize::MAX / stride must
+                    // error, not overflow into a tiny "valid" extent
+                    // (or panic in the resize arithmetic below).
+                    let bad_count = || {
+                        PbioError::Layout(clayout::LayoutError::BadCount {
+                            field: self.names[*field as usize].clone(),
+                            count: count as i64,
+                        })
+                    };
+                    let src_len = count.checked_mul(*src_stride).ok_or_else(bad_count)?;
+                    let dst_len = count.checked_mul(*dst_stride).ok_or_else(bad_count)?;
+                    // The one dynamic-region bounds check: covers every
+                    // element read below (element extents lie inside
+                    // their stride).
+                    check(src, target, src_len)?;
                     let region = clayout::layout::align_up(dst.len(), *dst_align);
-                    dst.resize(region + count * dst_stride, 0);
+                    let new_len = region.checked_add(dst_len).ok_or_else(bad_count)?;
+                    dst.resize(new_len, 0);
                     put_uint(
                         dst,
                         dst_base + dst_slot,
@@ -279,14 +482,36 @@ impl ConversionPlan {
                         self.dst_arch.endianness,
                         region as u64,
                     );
-                    for i in 0..count {
-                        self.run_elem(
-                            elem,
-                            src,
-                            target + i * src_stride,
-                            dst,
-                            region + i * dst_stride,
-                        )?;
+                    match elem {
+                        // Bulk fast paths: a dynamic array of swap or
+                        // copy scalars is one region-sized copy (plus an
+                        // in-place swap pass), not `count` dispatches.
+                        ElemPlan::Swap { width }
+                            if !self.reference
+                                && *src_stride == *width as usize
+                                && *dst_stride == *width as usize =>
+                        {
+                            dst[region..region + dst_len]
+                                .copy_from_slice(&src[target..target + src_len]);
+                            swap_in_place(&mut dst[region..region + dst_len], *width);
+                        }
+                        ElemPlan::Copy { len }
+                            if !self.reference && *len == *src_stride && *len == *dst_stride =>
+                        {
+                            dst[region..region + dst_len]
+                                .copy_from_slice(&src[target..target + src_len]);
+                        }
+                        _ => {
+                            for i in 0..count {
+                                self.run_elem(
+                                    elem,
+                                    src,
+                                    target + i * src_stride,
+                                    dst,
+                                    region + i * dst_stride,
+                                )?;
+                            }
+                        }
                     }
                 }
             }
@@ -304,15 +529,25 @@ impl ConversionPlan {
     ) -> Result<(), PbioError> {
         match elem {
             ElemPlan::Copy { len } => {
-                check(src, s_at, *len)?;
+                if self.reference {
+                    check(src, s_at, *len)?;
+                }
                 dst[d_at..d_at + len].copy_from_slice(&src[s_at..s_at + len]);
                 Ok(())
             }
-            ElemPlan::Int { src_size, dst_size, signed, field } => {
-                check(src, s_at, *src_size as usize)?;
+            ElemPlan::Swap { width } => {
+                let w = *width as usize;
+                dst[d_at..d_at + w].copy_from_slice(&src[s_at..s_at + w]);
+                dst[d_at..d_at + w].reverse();
+                Ok(())
+            }
+            ElemPlan::Int { src_size, dst_size, signed, checked, field } => {
+                if self.reference {
+                    check(src, s_at, *src_size as usize)?;
+                }
                 if *signed {
                     let v = get_int(src, s_at, *src_size as usize, self.src_arch.endianness);
-                    if !fits_signed(v, *dst_size as usize) {
+                    if *checked && !fits_signed(v, *dst_size as usize) {
                         return Err(PbioError::ConversionOverflow {
                             field: self.names[*field as usize].clone(),
                             value: v.to_string(),
@@ -321,7 +556,7 @@ impl ConversionPlan {
                     put_int(dst, d_at, *dst_size as usize, self.dst_arch.endianness, v);
                 } else {
                     let v = get_uint(src, s_at, *src_size as usize, self.src_arch.endianness);
-                    if !fits_unsigned(v, *dst_size as usize) {
+                    if *checked && !fits_unsigned(v, *dst_size as usize) {
                         return Err(PbioError::ConversionOverflow {
                             field: self.names[*field as usize].clone(),
                             value: v.to_string(),
@@ -332,7 +567,9 @@ impl ConversionPlan {
                 Ok(())
             }
             ElemPlan::Float { src_size, dst_size } => {
-                check(src, s_at, *src_size as usize)?;
+                if self.reference {
+                    check(src, s_at, *src_size as usize)?;
+                }
                 let value = match src_size {
                     4 => f32::from_bits(get_uint(src, s_at, 4, self.src_arch.endianness) as u32)
                         as f64,
@@ -364,12 +601,13 @@ impl ConversionPlan {
                     );
                     return Ok(());
                 }
-                let start = usize::try_from(target).ok().filter(|t| *t < src.len()).ok_or(
-                    PbioError::Layout(clayout::LayoutError::BadPointer {
-                        field: self.names[*field as usize].clone(),
-                        target,
-                    }),
-                )?;
+                let start =
+                    usize::try_from(target).ok().filter(|t| *t < src.len()).ok_or_else(|| {
+                        PbioError::Layout(clayout::LayoutError::BadPointer {
+                            field: self.names[*field as usize].clone(),
+                            target,
+                        })
+                    })?;
                 let end = src[start..].iter().position(|b| *b == 0).map(|r| start + r).ok_or(
                     PbioError::Truncated { need: src.len() + 1, have: src.len() },
                 )?;
@@ -421,22 +659,51 @@ fn prim_elem(
     src_arch: &Architecture,
     dst_arch: &Architecture,
     field: u32,
+    reference: bool,
 ) -> ElemPlan {
     let s = src_arch.primitive(p);
     let d = dst_arch.primitive(p);
-    if p.is_float() {
-        if s.size == d.size && src_arch.endianness == dst_arch.endianness {
+    if reference {
+        // Pre-fusion classification: no Swap tier, integers always
+        // carry their overflow check, same-size floats re-encode
+        // through f32/f64.
+        return if p.is_float() {
+            if s.size == d.size && src_arch.endianness == dst_arch.endianness {
+                ElemPlan::Copy { len: s.size }
+            } else {
+                ElemPlan::Float { src_size: s.size as u8, dst_size: d.size as u8 }
+            }
+        } else if s.size == d.size && (src_arch.endianness == dst_arch.endianness || s.size == 1) {
             ElemPlan::Copy { len: s.size }
         } else {
-            ElemPlan::Float { src_size: s.size as u8, dst_size: d.size as u8 }
+            ElemPlan::Int {
+                src_size: s.size as u8,
+                dst_size: d.size as u8,
+                signed: p.is_signed_integer(),
+                checked: true,
+                field,
+            }
+        };
+    }
+    if s.size == d.size {
+        if src_arch.endianness == dst_arch.endianness || s.size == 1 {
+            ElemPlan::Copy { len: s.size }
+        } else {
+            // Same width, opposite byte order: a raw swap is exact for
+            // integers and floats alike (bit-preserving, unlike the
+            // reference float path's f32->f64->f32 round trip).
+            ElemPlan::Swap { width: s.size as u8 }
         }
-    } else if s.size == d.size && (src_arch.endianness == dst_arch.endianness || s.size == 1) {
-        ElemPlan::Copy { len: s.size }
+    } else if p.is_float() {
+        ElemPlan::Float { src_size: s.size as u8, dst_size: d.size as u8 }
     } else {
+        // Widening can never overflow (`fits_*` vacuously true), so its
+        // check is compiled away; only genuine narrowings keep it.
         ElemPlan::Int {
             src_size: s.size as u8,
             dst_size: d.size as u8,
             signed: p.is_signed_integer(),
+            checked: d.size < s.size,
             field,
         }
     }
@@ -449,12 +716,13 @@ fn elem_for(
     names: &mut Vec<String>,
     field_name: &str,
     field: u32,
+    reference: bool,
 ) -> Result<(ElemPlan, usize, usize, usize), PbioError> {
     match ty {
         CType::Prim(p) => {
             let s = src_arch.primitive(*p);
             let d = dst_arch.primitive(*p);
-            Ok((prim_elem(*p, src_arch, dst_arch, field), s.size, d.size, d.align))
+            Ok((prim_elem(*p, src_arch, dst_arch, field, reference), s.size, d.size, d.align))
         }
         CType::String => Ok((
             ElemPlan::String { field },
@@ -463,10 +731,12 @@ fn elem_for(
             dst_arch.pointer.align,
         )),
         CType::Struct(inner) => {
-            let ops = build_ops(inner, src_arch, dst_arch, names, &format!("{field_name}."))?;
+            let ops =
+                build_ops(inner, src_arch, dst_arch, names, &format!("{field_name}."), reference)?;
+            let ops = if reference { coalesce(ops) } else { fuse(ops) };
             let s = Layout::of_struct(inner, src_arch)?;
             let d = Layout::of_struct(inner, dst_arch)?;
-            Ok((ElemPlan::Struct { ops: coalesce(ops) }, s.size, d.size, d.align))
+            Ok((ElemPlan::Struct { ops }, s.size, d.size, d.align))
         }
         CType::Array { .. } => Err(PbioError::Layout(clayout::LayoutError::NestedArray {
             field: field_name.to_owned(),
@@ -480,6 +750,7 @@ fn build_ops(
     dst_arch: &Architecture,
     names: &mut Vec<String>,
     prefix: &str,
+    reference: bool,
 ) -> Result<Vec<Op>, PbioError> {
     let src_layout = Layout::of_struct(st, src_arch)?;
     let dst_layout = Layout::of_struct(st, dst_arch)?;
@@ -493,7 +764,7 @@ fn build_ops(
         match &sf.ty {
             CType::Prim(_) | CType::String | CType::Struct(_) => {
                 let (elem, _, _, _) =
-                    elem_for(&sf.ty, src_arch, dst_arch, names, &sf.name, field)?;
+                    elem_for(&sf.ty, src_arch, dst_arch, names, &sf.name, field, reference)?;
                 ops.push(match elem {
                     ElemPlan::Copy { len } => Op::Copy { src: sf.offset, dst: df.offset, len },
                     elem => Op::Scalar { src: sf.offset, dst: df.offset, elem },
@@ -501,7 +772,7 @@ fn build_ops(
             }
             CType::Array { elem: elem_ty, len } => {
                 let (elem, src_stride, dst_stride, dst_align) =
-                    elem_for(elem_ty, src_arch, dst_arch, names, &sf.name, field)?;
+                    elem_for(elem_ty, src_arch, dst_arch, names, &sf.name, field, reference)?;
                 match len {
                     ArrayLen::Fixed(n) => {
                         // A fixed array of identically-represented
@@ -579,19 +850,226 @@ fn coalesce(ops: Vec<Op>) -> Vec<Op> {
     out
 }
 
-/// Cache key: struct-type name plus the source and destination
-/// architecture descriptors.
-type PlanKey = (String, [u8; 6], [u8; 6]);
+/// Op fusion for the tiered engine: everything [`coalesce`] does, plus
+/// swap normalization — `Scalar`-of-swap and `Repeat`-of-swap with
+/// stride == width become [`Op::SwapRun`]s, adjacent same-width
+/// contiguous runs merge, and `Repeat`-of-`Copy` with stride == element
+/// length collapses into one `Copy`.
+fn fuse(ops: Vec<Op>) -> Vec<Op> {
+    let mut out: Vec<Op> = Vec::with_capacity(ops.len());
+    for raw in ops {
+        let op = normalize(raw);
+        if let Some(last) = out.last_mut() {
+            if merge(last, &op) {
+                continue;
+            }
+        }
+        out.push(op);
+    }
+    out
+}
+
+/// Rewrites one op into its cheapest equivalent form.
+fn normalize(op: Op) -> Op {
+    match op {
+        Op::Scalar { src, dst, elem: ElemPlan::Swap { width } } => {
+            Op::SwapRun { src, dst, width, count: 1 }
+        }
+        Op::Scalar { src, dst, elem: ElemPlan::Copy { len } } => Op::Copy { src, dst, len },
+        Op::Repeat { src, dst, count, src_stride, dst_stride, elem: ElemPlan::Swap { width } }
+            if src_stride == width as usize && dst_stride == width as usize =>
+        {
+            Op::SwapRun { src, dst, width, count }
+        }
+        Op::Repeat { src, dst, count, src_stride, dst_stride, elem: ElemPlan::Copy { len } }
+            if src_stride == len && dst_stride == len =>
+        {
+            Op::Copy { src, dst, len: count * len }
+        }
+        op => op,
+    }
+}
+
+/// Merges `op` into `last` when they are contiguous compatible bulk
+/// ops; returns whether the merge happened.
+fn merge(last: &mut Op, op: &Op) -> bool {
+    match (last, op) {
+        (Op::Copy { src, dst, len }, Op::Copy { src: s2, dst: d2, len: l2 }) => {
+            let src_gap = s2.checked_sub(*src + *len);
+            let dst_gap = d2.checked_sub(*dst + *len);
+            if let (Some(sg), Some(dg)) = (src_gap, dst_gap) {
+                if sg == dg {
+                    *len += sg + l2;
+                    return true;
+                }
+            }
+            false
+        }
+        (
+            Op::SwapRun { src, dst, width, count },
+            Op::SwapRun { src: s2, dst: d2, width: w2, count: c2 },
+        ) => {
+            let step = *width as usize * *count;
+            if width == w2 && *s2 == *src + step && *d2 == *dst + step {
+                *count += c2;
+                return true;
+            }
+            false
+        }
+        _ => false,
+    }
+}
+
+/// Attempts to lower a fused op list to the `PureSwap` tier's flat span
+/// program. Succeeds only when every op (recursively) is a same-offset
+/// copy or swap run — i.e. the two layouts are byte-identical modulo
+/// byte order and carry no pointer-bearing fields. Returns `None` (stay
+/// `General`) otherwise, or when the program would exceed
+/// [`SWAP_SPAN_BUDGET`].
+fn pure_swap_spans(ops: &[Op]) -> Option<Vec<SwapSpan>> {
+    let mut spans = Vec::new();
+    collect_spans(ops, 0, &mut spans)?;
+    spans.sort_unstable_by_key(|s| s.off);
+    let mut out: Vec<SwapSpan> = Vec::new();
+    for span in spans {
+        if let Some(last) = out.last_mut() {
+            if last.width == span.width
+                && last.off + last.width as usize * last.count == span.off
+            {
+                last.count += span.count;
+                continue;
+            }
+        }
+        out.push(span);
+    }
+    Some(out)
+}
+
+fn collect_spans(ops: &[Op], base: usize, spans: &mut Vec<SwapSpan>) -> Option<()> {
+    for op in ops {
+        if spans.len() > SWAP_SPAN_BUDGET {
+            return None;
+        }
+        match op {
+            Op::Copy { src, dst, .. } if src == dst => {}
+            Op::SwapRun { src, dst, width, count } if src == dst => {
+                spans.push(SwapSpan { off: base + src, width: *width, count: *count });
+            }
+            Op::Scalar { src, dst, elem: ElemPlan::Struct { ops } } if src == dst => {
+                collect_spans(ops, base + src, spans)?;
+            }
+            Op::Repeat { src, dst, count, src_stride, dst_stride, elem }
+                if src == dst && src_stride == dst_stride =>
+            {
+                match elem {
+                    ElemPlan::Copy { .. } => {}
+                    ElemPlan::Swap { width } => {
+                        for i in 0..*count {
+                            spans.push(SwapSpan {
+                                off: base + src + i * src_stride,
+                                width: *width,
+                                count: 1,
+                            });
+                        }
+                    }
+                    ElemPlan::Struct { ops } => {
+                        for i in 0..*count {
+                            collect_spans(ops, base + src + i * src_stride, spans)?;
+                        }
+                    }
+                    _ => return None,
+                }
+            }
+            _ => return None,
+        }
+    }
+    Some(())
+}
+
+/// Byte-swaps `count = buf.len() / width` scalars in place.
+fn swap_in_place(buf: &mut [u8], width: u8) {
+    match width {
+        2 => {
+            for c in buf.chunks_exact_mut(2) {
+                let v = u16::from_ne_bytes(c.try_into().unwrap()).swap_bytes();
+                c.copy_from_slice(&v.to_ne_bytes());
+            }
+        }
+        4 => {
+            for c in buf.chunks_exact_mut(4) {
+                let v = u32::from_ne_bytes(c.try_into().unwrap()).swap_bytes();
+                c.copy_from_slice(&v.to_ne_bytes());
+            }
+        }
+        8 => {
+            for c in buf.chunks_exact_mut(8) {
+                let v = u64::from_ne_bytes(c.try_into().unwrap()).swap_bytes();
+                c.copy_from_slice(&v.to_ne_bytes());
+            }
+        }
+        _ => debug_assert!(false, "swap width {width}"),
+    }
+}
+
+/// Byte-swaps scalars from `src` into `dst` (equal lengths, a multiple
+/// of `width`).
+fn swap_into(dst: &mut [u8], src: &[u8], width: u8) {
+    match width {
+        2 => {
+            for (d, s) in dst.chunks_exact_mut(2).zip(src.chunks_exact(2)) {
+                let v = u16::from_ne_bytes(s.try_into().unwrap()).swap_bytes();
+                d.copy_from_slice(&v.to_ne_bytes());
+            }
+        }
+        4 => {
+            for (d, s) in dst.chunks_exact_mut(4).zip(src.chunks_exact(4)) {
+                let v = u32::from_ne_bytes(s.try_into().unwrap()).swap_bytes();
+                d.copy_from_slice(&v.to_ne_bytes());
+            }
+        }
+        8 => {
+            for (d, s) in dst.chunks_exact_mut(8).zip(src.chunks_exact(8)) {
+                let v = u64::from_ne_bytes(s.try_into().unwrap()).swap_bytes();
+                d.copy_from_slice(&v.to_ne_bytes());
+            }
+        }
+        _ => debug_assert!(false, "swap width {width}"),
+    }
+}
+
+/// Counter snapshot from a [`PlanCache`], for session stats.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that found no cached plan.
+    pub misses: u64,
+    /// Plans actually compiled (≤ misses: concurrent first contacts on
+    /// one key all miss, but exactly one build wins).
+    pub built: u64,
+    /// Plans currently cached.
+    pub plans: usize,
+}
+
+/// Plans for one (src, dst) architecture pair, keyed by format name.
+type PairPlans = HashMap<String, Arc<ConversionPlan>>;
 
 /// A cache of compiled plans, keyed by format name and the source and
 /// destination architecture descriptors.
 ///
 /// This mirrors PBIO's cache of generated conversion routines: the first
 /// message from a new (format, architecture) pair pays for plan
-/// compilation; every later message executes the cached plan.
+/// compilation; every later message executes the cached plan. The hit
+/// path allocates nothing: the outer key is the two fixed-size
+/// architecture descriptors concatenated, and the inner map is queried
+/// by `&str` — the steady-state per-message lookup cost is two hash
+/// probes under a read lock.
 #[derive(Debug, Default)]
 pub struct PlanCache {
-    plans: RwLock<HashMap<PlanKey, Arc<ConversionPlan>>>,
+    plans: RwLock<HashMap<[u8; 12], PairPlans>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    built: AtomicU64,
 }
 
 impl PlanCache {
@@ -601,7 +1079,10 @@ impl PlanCache {
     }
 
     /// Returns the cached plan for converting `struct_type` from
-    /// `src_arch` to `dst_arch`, compiling it on first use.
+    /// `src_arch` to `dst_arch`, compiling it on first use. Concurrent
+    /// first contacts on the same key are single-flighted: the build
+    /// happens under the write lock (plans compile in microseconds), so
+    /// exactly one build wins and the rest observe it.
     ///
     /// # Errors
     ///
@@ -612,23 +1093,48 @@ impl PlanCache {
         src_arch: &Architecture,
         dst_arch: &Architecture,
     ) -> Result<Arc<ConversionPlan>, PbioError> {
-        let key = (struct_type.name.clone(), src_arch.descriptor(), dst_arch.descriptor());
-        if let Some(plan) = self.plans.read().get(&key) {
+        let mut arch_key = [0u8; 12];
+        arch_key[..6].copy_from_slice(&src_arch.descriptor());
+        arch_key[6..].copy_from_slice(&dst_arch.descriptor());
+        if let Some(plan) = self
+            .plans
+            .read()
+            .get(&arch_key)
+            .and_then(|inner| inner.get(struct_type.name.as_str()))
+        {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(plan));
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let mut map = self.plans.write();
+        let inner = map.entry(arch_key).or_default();
+        if let Some(plan) = inner.get(struct_type.name.as_str()) {
             return Ok(Arc::clone(plan));
         }
         let plan = Arc::new(ConversionPlan::build(struct_type, src_arch, dst_arch)?);
-        self.plans.write().entry(key).or_insert_with(|| Arc::clone(&plan));
+        self.built.fetch_add(1, Ordering::Relaxed);
+        inner.insert(struct_type.name.clone(), Arc::clone(&plan));
         Ok(plan)
     }
 
     /// Number of cached plans.
     pub fn len(&self) -> usize {
-        self.plans.read().len()
+        self.plans.read().values().map(HashMap::len).sum()
     }
 
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Snapshot of the hit/miss/build counters.
+    pub fn stats(&self) -> PlanCacheStats {
+        PlanCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            built: self.built.load(Ordering::Relaxed),
+            plans: self.len(),
+        }
     }
 }
 
@@ -895,6 +1401,172 @@ mod tests {
         assert_eq!(cache.len(), 1);
         cache.plan_for(&st, &Architecture::SPARC32, &Architecture::X86_64).unwrap();
         assert_eq!(cache.len(), 2);
+    }
+
+    fn telemetry() -> StructType {
+        StructType::new(
+            "tele",
+            vec![
+                StructField::new("a", prim(Primitive::ULongLong)),
+                StructField::new("b", prim(Primitive::Double)),
+                StructField::new("c", prim(Primitive::UInt)),
+                StructField::new("d", prim(Primitive::UInt)),
+                StructField::new("pts", CType::fixed_array(prim(Primitive::Double), 8)),
+            ],
+        )
+    }
+
+    #[test]
+    fn tier_classification() {
+        // Pure scalars, same sizes, opposite endianness: PureSwap.
+        let st = telemetry();
+        let plan =
+            ConversionPlan::build(&st, &Architecture::X86_64, &Architecture::POWER64).unwrap();
+        assert_eq!(plan.tier(), PlanTier::PureSwap);
+        // a+b fuse into one 8-byte run, c+d into one 4-byte run, pts is
+        // its own 8-byte run (width break at c).
+        assert_eq!(plan.swap_span_count(), 3);
+        assert_eq!(plan.op_count(), 3);
+        // A pointer-bearing struct must stay on the General tier even on
+        // a swap-only pair, so forged pointers keep erroring identically.
+        let plan2 = ConversionPlan::build(
+            &structure_b(),
+            &Architecture::X86_64,
+            &Architecture::POWER64,
+        )
+        .unwrap();
+        assert_eq!(plan2.tier(), PlanTier::General);
+        // Layout-compatible pairs are Identity, not PureSwap.
+        let plan3 =
+            ConversionPlan::build(&st, &Architecture::POWER64, &Architecture::SPARC64).unwrap();
+        assert_eq!(plan3.tier(), PlanTier::Identity);
+        // The reference engine never tiers.
+        let r = ConversionPlan::build_reference(
+            &st,
+            &Architecture::X86_64,
+            &Architecture::POWER64,
+        )
+        .unwrap();
+        assert_eq!(r.tier(), PlanTier::General);
+        assert!(r.op_count() > plan.op_count());
+    }
+
+    #[test]
+    fn pure_swap_matches_reference_bytes() {
+        let st = telemetry();
+        let rec = Record::new()
+            .with("a", 0x0102_0304_0506_0708u64)
+            .with("b", -2.5f64)
+            .with("c", 7u64)
+            .with("d", 0xDEAD_BEEFu64)
+            .with("pts", vec![1.5f64, -0.0, 3.25, 4.0, 5.0, 6.0, 7.0, 8.0]);
+        for (src, dst) in [
+            (Architecture::X86_64, Architecture::POWER64),
+            (Architecture::POWER64, Architecture::X86_64),
+        ] {
+            let wire = encode_record(&rec, &st, &src).unwrap();
+            let tiered = ConversionPlan::build(&st, &src, &dst).unwrap();
+            assert_eq!(tiered.tier(), PlanTier::PureSwap);
+            let reference = ConversionPlan::build_reference(&st, &src, &dst).unwrap();
+            let a = tiered.convert(&wire.bytes).unwrap();
+            let b = reference.convert(&wire.bytes).unwrap();
+            assert_eq!(a.bytes, b.bytes, "{src} -> {dst}");
+            assert_eq!(a.fixed_len, b.fixed_len);
+        }
+    }
+
+    #[test]
+    fn convert_into_reuses_buffer_and_matches_convert() {
+        let st = structure_b();
+        let rec = sample();
+        let wire = encode_record(&rec, &st, &Architecture::X86_64).unwrap();
+        // General tier (strings + dynamic array).
+        let plan =
+            ConversionPlan::build(&st, &Architecture::X86_64, &Architecture::SPARC32).unwrap();
+        let mut buf = Vec::new();
+        let fixed = plan.convert_into(&wire.bytes, &mut buf).unwrap();
+        let whole = plan.convert(&wire.bytes).unwrap();
+        assert_eq!(buf.as_slice(), whole.bytes.as_ref());
+        assert_eq!(fixed, whole.fixed_len);
+        let cap = buf.capacity();
+        for _ in 0..16 {
+            plan.convert_into(&wire.bytes, &mut buf).unwrap();
+        }
+        assert_eq!(buf.capacity(), cap, "steady-state convert_into must not reallocate");
+        assert_eq!(buf.as_slice(), whole.bytes.as_ref());
+        // Identity tier copies into the pool.
+        let id = ConversionPlan::build(&st, &Architecture::X86_64, &Architecture::X86_64).unwrap();
+        let fixed = id.convert_into(&wire.bytes, &mut buf).unwrap();
+        assert_eq!(fixed, wire.fixed_len);
+        assert_eq!(buf.as_slice(), wire.bytes.as_slice());
+    }
+
+    #[test]
+    fn widenings_compile_unchecked_narrowings_checked() {
+        let st = StructType::new("t", vec![StructField::new("x", prim(Primitive::Long))]);
+        // Long: 4 bytes on i386, 8 on x86_64, same endianness.
+        let widen =
+            ConversionPlan::build(&st, &Architecture::I386, &Architecture::X86_64).unwrap();
+        match &widen.ops[0] {
+            Op::Scalar { elem: ElemPlan::Int { checked, .. }, .. } => {
+                assert!(!checked, "widening must compile unchecked")
+            }
+            other => panic!("expected Int scalar, got {other:?}"),
+        }
+        let narrow =
+            ConversionPlan::build(&st, &Architecture::X86_64, &Architecture::I386).unwrap();
+        match &narrow.ops[0] {
+            Op::Scalar { elem: ElemPlan::Int { checked, .. }, .. } => {
+                assert!(checked, "narrowing must keep its overflow check")
+            }
+            other => panic!("expected Int scalar, got {other:?}"),
+        }
+        // The reference engine checks even widenings.
+        let r = ConversionPlan::build_reference(&st, &Architecture::I386, &Architecture::X86_64)
+            .unwrap();
+        match &r.ops[0] {
+            Op::Scalar { elem: ElemPlan::Int { checked, .. }, .. } => assert!(checked),
+            other => panic!("expected Int scalar, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn plan_cache_stats_count_hits_misses_builds() {
+        let st = structure_b();
+        let cache = PlanCache::new();
+        cache.plan_for(&st, &Architecture::X86_64, &Architecture::SPARC32).unwrap();
+        cache.plan_for(&st, &Architecture::X86_64, &Architecture::SPARC32).unwrap();
+        cache.plan_for(&st, &Architecture::X86_64, &Architecture::SPARC32).unwrap();
+        let stats = cache.stats();
+        assert_eq!(stats.built, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 2);
+        assert_eq!(stats.plans, 1);
+    }
+
+    #[test]
+    fn concurrent_first_contact_builds_once() {
+        let st = structure_b();
+        let cache = Arc::new(PlanCache::new());
+        let barrier = Arc::new(std::sync::Barrier::new(8));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let st = st.clone();
+                let cache = Arc::clone(&cache);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    cache.plan_for(&st, &Architecture::X86_64, &Architecture::SPARC32).unwrap()
+                })
+            })
+            .collect();
+        let plans: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for p in &plans[1..] {
+            assert!(Arc::ptr_eq(&plans[0], p), "all callers must observe the same plan");
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.built, 1, "racing first contacts must build exactly once");
+        assert_eq!(stats.plans, 1);
     }
 
     #[test]

@@ -77,7 +77,7 @@ pub mod wire;
 pub mod xdr;
 
 pub use catalog::Catalog;
-pub use convert::{ConversionPlan, ImageCow, PlanCache};
+pub use convert::{ConversionPlan, ImageCow, PlanCache, PlanCacheStats, PlanTier};
 pub use error::PbioError;
 pub use field::IoField;
 pub use format::{Format, FormatId};

@@ -201,6 +201,38 @@ pub fn to_native_image<'a>(
     plan.convert(payload)
 }
 
+/// Pooled-destination variant of [`to_native_image`]: converts the
+/// payload into `out` (cleared first), reusing its allocation, and
+/// returns the native image's fixed-part length. The steady-state
+/// heterogeneous receive path does zero heap allocations per message
+/// once `out` has grown to the working-set size.
+///
+/// Identity (layout-compatible) pairs copy the payload into `out`;
+/// callers that can hold the source buffer should use
+/// [`to_native_image`] there to borrow instead.
+///
+/// # Errors
+///
+/// As [`to_native_image`]; `out` contents are unspecified after an
+/// error.
+pub fn to_native_image_into(
+    buf: &[u8],
+    native_format: &Format,
+    plans: &PlanCache,
+    out: &mut Vec<u8>,
+) -> Result<usize, PbioError> {
+    let (header, payload) = split(buf)?;
+    if header.format_name != native_format.name() {
+        return Err(PbioError::FormatMismatch {
+            expected: native_format.name().to_owned(),
+            found: header.format_name,
+        });
+    }
+    let plan =
+        plans.plan_for(native_format.struct_type(), &header.arch, native_format.arch())?;
+    plan.convert_into(payload, out)
+}
+
 /// The number of wire bytes [`encode`] would produce for `record`,
 /// without building the message (used by size-accounting benchmarks).
 ///
@@ -354,6 +386,27 @@ mod tests {
         assert_eq!(plans.len(), 1);
         to_native_image(&wire, &native, &plans).unwrap();
         assert_eq!(plans.len(), 1);
+    }
+
+    #[test]
+    fn to_native_image_into_matches_and_reuses_buffer() {
+        let sender = format_on(Architecture::SPARC32);
+        let wire = encode(&sample(), &sender).unwrap();
+        let native = format_on(Architecture::X86_64);
+        let plans = PlanCache::new();
+        let image = to_native_image(&wire, &native, &plans).unwrap();
+        let mut pool = Vec::new();
+        let fixed = to_native_image_into(&wire, &native, &plans, &mut pool).unwrap();
+        assert_eq!(fixed, image.fixed_len);
+        assert_eq!(pool.as_slice(), image.bytes.as_ref());
+        let cap = pool.capacity();
+        for _ in 0..8 {
+            to_native_image_into(&wire, &native, &plans, &mut pool).unwrap();
+        }
+        assert_eq!(pool.capacity(), cap);
+        let stats = plans.stats();
+        assert_eq!(stats.built, 1);
+        assert!(stats.hits >= 9);
     }
 
     #[test]

@@ -33,6 +33,14 @@ use crate::format::Format;
 /// message) or [`RecordView::over`] (bare payload). Field access via
 /// [`get`](Self::get) decodes on demand and borrows from the payload
 /// wherever the data allows it.
+///
+/// Bounds checks are hoisted, not per access: [`over`](Self::over)
+/// verifies the whole fixed part once, every dynamic array verifies its
+/// region once before handing out an iterator, and nested views inherit
+/// their parent's verified extent (the layout engine guarantees each
+/// field's extent lies inside its enclosing struct's size). Only
+/// pointer chases ([`str_at`]) still check per access — their targets
+/// are data, not layout.
 #[derive(Debug, Clone)]
 pub struct RecordView<'a> {
     payload: &'a [u8],
@@ -159,9 +167,10 @@ impl<'a> RecordView<'a> {
     /// Decodes the value of type `ty` at absolute payload offset `at`.
     fn view_at(&self, at: usize, ty: &'a CType, field: &'a str) -> Result<FieldView<'a>, PbioError> {
         match ty {
-            CType::Prim(p) => prim_view(self.payload, at, *p, field, &self.arch),
+            CType::Prim(p) => Ok(prim_view(self.payload, at, *p, &self.arch)),
             CType::String => {
-                bounds_check(self.payload, at, self.arch.pointer.size, field)?;
+                // Slot read covered by this view's verified extent; only
+                // the chase needs checking.
                 let target = get_uint(self.payload, at, self.arch.pointer.size, self.arch.endianness);
                 Ok(FieldView::Str(str_at(self.payload, target, field)?))
             }
@@ -177,7 +186,6 @@ impl<'a> RecordView<'a> {
                             })
                         })?;
                         let count_at = self.base + cf.offset;
-                        bounds_check(self.payload, count_at, cf.size, count_name)?;
                         let count = get_int(self.payload, count_at, cf.size, self.arch.endianness);
                         // Clamp by element size so `count * size` below
                         // cannot overflow and absurd counts fail fast.
@@ -190,7 +198,6 @@ impl<'a> RecordView<'a> {
                             }));
                         }
                         let count = count as usize;
-                        bounds_check(self.payload, at, self.arch.pointer.size, field)?;
                         let target =
                             get_uint(self.payload, at, self.arch.pointer.size, self.arch.endianness);
                         if count == 0 {
@@ -202,6 +209,8 @@ impl<'a> RecordView<'a> {
                                     target,
                                 })
                             })?;
+                            // The one dynamic-region check: covers every
+                            // element the iterator will read.
                             bounds_check(self.payload, target, count * elem_sa.size, field)?;
                             (target, count)
                         }
@@ -218,8 +227,8 @@ impl<'a> RecordView<'a> {
                 }))
             }
             CType::Struct(inner) => {
+                // The nested extent lies inside this view's verified one.
                 let inner_layout = Layout::of_struct(inner, &self.arch)?;
-                bounds_check(self.payload, at, inner_layout.size, field)?;
                 Ok(FieldView::Record(RecordView {
                     payload: self.payload,
                     struct_type: inner,
@@ -364,15 +373,16 @@ fn element_view<'a>(
     arch: &Architecture,
 ) -> Result<FieldView<'a>, PbioError> {
     match elem {
-        CType::Prim(p) => prim_view(payload, at, *p, field, arch),
+        CType::Prim(p) => Ok(prim_view(payload, at, *p, arch)),
         CType::String => {
-            bounds_check(payload, at, arch.pointer.size, field)?;
+            // Slot covered by the array's verified region (or the fixed
+            // part); only the chase needs checking.
             let target = get_uint(payload, at, arch.pointer.size, arch.endianness);
             Ok(FieldView::Str(str_at(payload, target, field)?))
         }
         CType::Struct(inner) => {
+            // Element extent covered by the array's verified region.
             let inner_layout = Layout::of_struct(inner, arch)?;
-            bounds_check(payload, at, inner_layout.size, field)?;
             Ok(FieldView::Record(RecordView {
                 payload,
                 struct_type: inner,
@@ -387,26 +397,22 @@ fn element_view<'a>(
     }
 }
 
-fn prim_view<'a>(
-    payload: &[u8],
-    at: usize,
-    prim: Primitive,
-    field: &str,
-    arch: &Architecture,
-) -> Result<FieldView<'a>, PbioError> {
+/// Reads one primitive; the caller's verified extent (view fixed part
+/// or dynamic-array region) guarantees the read is in bounds, so this
+/// is infallible.
+fn prim_view<'a>(payload: &[u8], at: usize, prim: Primitive, arch: &Architecture) -> FieldView<'a> {
     let sa = arch.primitive(prim);
-    bounds_check(payload, at, sa.size, field)?;
     if prim.is_float() {
         let value = match sa.size {
             4 => f32::from_bits(get_uint(payload, at, 4, arch.endianness) as u32) as f64,
             _ => f64::from_bits(get_uint(payload, at, 8, arch.endianness)),
         };
-        return Ok(FieldView::Float(value));
+        return FieldView::Float(value);
     }
     if prim.is_signed_integer() {
-        return Ok(FieldView::Int(get_int(payload, at, sa.size, arch.endianness)));
+        return FieldView::Int(get_int(payload, at, sa.size, arch.endianness));
     }
-    Ok(FieldView::UInt(get_uint(payload, at, sa.size, arch.endianness)))
+    FieldView::UInt(get_uint(payload, at, sa.size, arch.endianness))
 }
 
 /// Borrows the NUL-terminated string at payload-relative `target` (a

@@ -137,6 +137,76 @@ fn ndr_view_rejects_forged_counts_too() {
 }
 
 #[test]
+fn conversion_plans_reject_forged_counts_on_both_engines() {
+    // The heterogeneous receive path runs ConversionPlan, not the eager
+    // decoder — it must apply the same count clamp. Exercise the fused
+    // engine and the reference oracle across swapped and resized pairs.
+    let st = adversarial_format().struct_type().clone();
+    let src = *adversarial_format().arch();
+    let native_wire = {
+        let format = adversarial_format();
+        let mut wire = pbio::ndr::encode(&sample(), &format).unwrap();
+        assert!(forge_count("ndr", &mut wire, &format, u32::MAX));
+        let (_, header_len) = pbio::header::WireHeader::parse(&wire).unwrap();
+        wire.split_off(header_len)
+    };
+    for dst in Architecture::ALL {
+        for (plan, engine) in [
+            (pbio::ConversionPlan::build(&st, &src, &dst).unwrap(), "fused"),
+            (pbio::ConversionPlan::build_reference(&st, &src, &dst).unwrap(), "reference"),
+        ] {
+            if plan.is_identity() {
+                continue; // identity borrows; the decoder clamps later
+            }
+            let err = plan.convert(&native_wire).unwrap_err();
+            let text = err.to_string();
+            assert!(
+                text.contains("count") || text.contains("truncated"),
+                "{engine} {src} -> {dst}: unexpected error {text}"
+            );
+        }
+    }
+}
+
+#[test]
+fn conversion_plans_reject_forged_string_pointers() {
+    let st = StructType::new("P", vec![StructField::new("s", CType::String)]);
+    let src = Architecture::X86_64;
+    let rec = Record::new().with("s", "hi");
+    let mut payload =
+        clayout::encode_record(&rec, &st, &src).unwrap().bytes;
+    // Point the string slot far past the payload.
+    put_uint(&mut payload, 0, src.pointer.size, src.endianness, 1 << 40);
+    for dst in [Architecture::SPARC32, Architecture::POWER64] {
+        let plan = pbio::ConversionPlan::build(&st, &src, &dst).unwrap();
+        assert!(
+            plan.convert(&payload).is_err(),
+            "{src} -> {dst}: followed a forged pointer"
+        );
+    }
+}
+
+#[test]
+fn conversion_plans_reject_truncation_at_every_cut() {
+    // Both engines, a swap-only pair and a general pair: every prefix of
+    // an honest payload must error, never panic.
+    let format = adversarial_format();
+    let st = format.struct_type().clone();
+    let src = *format.arch();
+    let wire = pbio::ndr::encode(&sample(), &format).unwrap();
+    let (_, header_len) = pbio::header::WireHeader::parse(&wire).unwrap();
+    let payload = &wire[header_len..];
+    for dst in [Architecture::POWER64, Architecture::SPARC32] {
+        let fused = pbio::ConversionPlan::build(&st, &src, &dst).unwrap();
+        let reference = pbio::ConversionPlan::build_reference(&st, &src, &dst).unwrap();
+        for cut in 0..payload.len() {
+            assert!(fused.convert(&payload[..cut]).is_err(), "fused {dst} cut {cut}");
+            assert!(reference.convert(&payload[..cut]).is_err(), "reference {dst} cut {cut}");
+        }
+    }
+}
+
+#[test]
 fn xml_text_with_absurd_count_value_stays_bounded() {
     // The text codec derives array counts from the elements actually
     // present; a forged count *value* must not drive any allocation.

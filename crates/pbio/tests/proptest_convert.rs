@@ -1,0 +1,238 @@
+//! Differential property tests for the tiered conversion engine:
+//! [`pbio::ConversionPlan::build`] (fused swap runs, hoisted checks,
+//! unchecked widenings) must be observationally identical to
+//! [`pbio::ConversionPlan::build_reference`] (the pre-fusion
+//! per-element interpreter, kept as the oracle) — byte-identical native
+//! images on honest encodes, matching error kinds on corrupt ones —
+//! across random struct types and the full architecture matrix.
+
+use clayout::{Architecture, CType, Primitive, Record, StructField, StructType, Value};
+use pbio::{ConversionPlan, PbioError, PlanTier};
+use proptest::prelude::*;
+
+/// Primitives restricted to values that fit every modelled architecture
+/// (ILP32 `long` is 32-bit).
+fn prim_strategy() -> impl Strategy<Value = Primitive> {
+    proptest::sample::select(vec![
+        Primitive::Char,
+        Primitive::UChar,
+        Primitive::Short,
+        Primitive::UShort,
+        Primitive::Int,
+        Primitive::UInt,
+        Primitive::Long,
+        Primitive::ULong,
+        Primitive::Float,
+        Primitive::Double,
+    ])
+}
+
+/// The whole matrix, not just its extremes: every (src, dst) pair of
+/// the six modelled architectures can be drawn.
+fn arch_strategy() -> impl Strategy<Value = Architecture> {
+    proptest::sample::select(Architecture::ALL.to_vec())
+}
+
+#[derive(Debug, Clone)]
+enum Spec {
+    Prim(Primitive, i64),
+    Str(String),
+    FixedArr(Primitive, Vec<i64>),
+    DynArr(Primitive, Vec<i64>),
+    Nested(Vec<(Primitive, i64)>),
+}
+
+fn spec_strategy() -> impl Strategy<Value = Spec> {
+    prop_oneof![
+        3 => (prim_strategy(), any::<i64>()).prop_map(|(p, s)| Spec::Prim(p, s)),
+        2 => "[ -~]{0,20}".prop_map(Spec::Str),
+        1 => (prim_strategy(), proptest::collection::vec(any::<i64>(), 1..6))
+            .prop_map(|(p, xs)| Spec::FixedArr(p, xs)),
+        1 => (prim_strategy(), proptest::collection::vec(any::<i64>(), 0..5))
+            .prop_map(|(p, xs)| Spec::DynArr(p, xs)),
+        1 => proptest::collection::vec((prim_strategy(), any::<i64>()), 1..4)
+            .prop_map(Spec::Nested),
+    ]
+}
+
+fn prim_value(p: Primitive, seed: i64) -> Value {
+    if p.is_float() {
+        // Stay in f32-exact territory so Float fields compare exactly.
+        return Value::Float((seed % 4096) as f64 * 0.5);
+    }
+    let m = match p {
+        Primitive::Char => seed.rem_euclid(128),
+        Primitive::UChar => seed.rem_euclid(256),
+        Primitive::Short => seed.rem_euclid(1 << 15),
+        Primitive::UShort => seed.rem_euclid(1 << 16),
+        _ => seed.rem_euclid(1 << 31),
+    };
+    if p.is_unsigned_integer() {
+        Value::UInt(m as u64)
+    } else if seed % 2 == 0 {
+        Value::Int(m)
+    } else {
+        Value::Int(-(m / 2) - 1)
+    }
+}
+
+fn build(specs: &[Spec]) -> (StructType, Record) {
+    let mut fields = Vec::new();
+    let mut record = Record::new();
+    for (i, spec) in specs.iter().enumerate() {
+        let name = format!("f{i}");
+        match spec {
+            Spec::Prim(p, seed) => {
+                fields.push(StructField::new(&name, CType::Prim(*p)));
+                record.set(name, prim_value(*p, *seed));
+            }
+            Spec::Str(s) => {
+                fields.push(StructField::new(&name, CType::String));
+                record.set(name, s.clone());
+            }
+            Spec::FixedArr(p, seeds) => {
+                fields.push(StructField::new(
+                    &name,
+                    CType::fixed_array(CType::Prim(*p), seeds.len()),
+                ));
+                record.set(
+                    name,
+                    Value::Array(seeds.iter().map(|s| prim_value(*p, *s)).collect()),
+                );
+            }
+            Spec::DynArr(p, seeds) => {
+                let count = format!("{name}_count");
+                fields.push(StructField::new(
+                    &name,
+                    CType::dynamic_array(CType::Prim(*p), count.clone()),
+                ));
+                fields.push(StructField::new(count, CType::Prim(Primitive::Int)));
+                record.set(
+                    name,
+                    Value::Array(seeds.iter().map(|s| prim_value(*p, *s)).collect()),
+                );
+            }
+            Spec::Nested(inner_specs) => {
+                let mut inner_fields = Vec::new();
+                let mut inner_record = Record::new();
+                for (j, (p, seed)) in inner_specs.iter().enumerate() {
+                    let iname = format!("g{j}");
+                    inner_fields.push(StructField::new(&iname, CType::Prim(*p)));
+                    inner_record.set(iname, prim_value(*p, *seed));
+                }
+                fields.push(StructField::new(
+                    &name,
+                    CType::Struct(StructType::new(format!("N{i}"), inner_fields)),
+                ));
+                record.set(name, Value::Record(inner_record));
+            }
+        }
+    }
+    (StructType::new("Gen", fields), record)
+}
+
+/// Whether any field (recursively) carries a pointer — strings and
+/// dynamic arrays (their slot is a swizzled pointer). Such structs can
+/// never reach the PureSwap tier.
+fn has_pointers(st: &StructType) -> bool {
+    st.fields.iter().any(|f| match &f.ty {
+        CType::String => true,
+        CType::Struct(inner) => has_pointers(inner),
+        CType::Array { len: clayout::ArrayLen::CountField(_), .. } => true,
+        CType::Array { elem, .. } => {
+            matches!(**elem, CType::String) || matches!(&**elem, CType::Struct(i) if has_pointers(i))
+        }
+        CType::Prim(_) => false,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// On honest encodes the fused/tiered engine and the reference
+    /// interpreter must produce byte-identical native images (encoders
+    /// zero padding, so bulk copies that bridge padding match the
+    /// reference's untouched zeros), and the pooled `convert_into` must
+    /// equal `convert`. x86-64 <-> POWER64 pairs without pointer-bearing
+    /// fields must additionally land on the PureSwap tier.
+    #[test]
+    fn tiered_engine_matches_reference_bytes(
+        specs in proptest::collection::vec(spec_strategy(), 1..6),
+        src in arch_strategy(),
+        dst in arch_strategy(),
+    ) {
+        let (st, record) = build(&specs);
+        let wire = clayout::encode_record(&record, &st, &src).unwrap();
+
+        let fused = ConversionPlan::build(&st, &src, &dst).unwrap();
+        let reference = ConversionPlan::build_reference(&st, &src, &dst).unwrap();
+        prop_assert_eq!(fused.is_identity(), reference.is_identity());
+
+        let a = fused.convert(&wire.bytes).unwrap();
+        let b = reference.convert(&wire.bytes).unwrap();
+        prop_assert_eq!(a.fixed_len, b.fixed_len, "{} -> {}", src, dst);
+        prop_assert_eq!(a.bytes.as_ref(), b.bytes.as_ref(), "{} -> {}", src, dst);
+
+        let mut pool = Vec::new();
+        let fixed = fused.convert_into(&wire.bytes, &mut pool).unwrap();
+        prop_assert_eq!(fixed, a.fixed_len);
+        prop_assert_eq!(pool.as_slice(), a.bytes.as_ref());
+
+        // Tier classification is a plan property, assert it directly.
+        let swap_pair = (src == Architecture::X86_64 && dst == Architecture::POWER64)
+            || (src == Architecture::POWER64 && dst == Architecture::X86_64);
+        if swap_pair && !has_pointers(&st) {
+            prop_assert_eq!(fused.tier(), PlanTier::PureSwap);
+        }
+        prop_assert_eq!(reference.tier() == PlanTier::Identity, reference.is_identity());
+    }
+
+    /// Corrupting by truncation: at every cut point both engines must
+    /// fail (never panic) with the same error kind — the hoisted checks
+    /// may *coarsen* where truncation is noticed, but not what is
+    /// reported or whether it is.
+    #[test]
+    fn error_kinds_agree_at_every_cut(
+        specs in proptest::collection::vec(spec_strategy(), 1..5),
+        src in arch_strategy(),
+        dst in arch_strategy(),
+    ) {
+        let (st, record) = build(&specs);
+        let wire = clayout::encode_record(&record, &st, &src).unwrap();
+        let fused = ConversionPlan::build(&st, &src, &dst).unwrap();
+        let reference = ConversionPlan::build_reference(&st, &src, &dst).unwrap();
+        // Identity plans borrow without inspecting the variable section;
+        // nothing to compare beyond the (shared) entry check.
+        let cuts = if fused.is_identity() { 0 } else { wire.bytes.len() };
+        for cut in 0..cuts {
+            let a = fused.convert(&wire.bytes[..cut]);
+            let b = reference.convert(&wire.bytes[..cut]);
+            match (a, b) {
+                (Err(ea), Err(eb)) => prop_assert_eq!(
+                    std::mem::discriminant(&ea),
+                    std::mem::discriminant(&eb),
+                    "cut {} ({} -> {}): fused {:?} vs reference {:?}",
+                    cut, src, dst, ea, eb
+                ),
+                (a, b) => prop_assert_eq!(
+                    a.is_ok(), b.is_ok(),
+                    "cut {} ({} -> {}) diverged", cut, src, dst
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn narrowing_overflow_reported_identically_by_both_engines() {
+    let st = StructType::new("t", vec![StructField::new("big", CType::Prim(Primitive::ULong))]);
+    let rec = Record::new().with("big", (1u64 << 40) + 5);
+    let wire = clayout::encode_record(&rec, &st, &Architecture::X86_64).unwrap();
+    for build in [ConversionPlan::build, ConversionPlan::build_reference] {
+        let plan = build(&st, &Architecture::X86_64, &Architecture::I386).unwrap();
+        match plan.convert(&wire.bytes) {
+            Err(PbioError::ConversionOverflow { field, .. }) => assert_eq!(field, "big"),
+            other => panic!("expected overflow, got {other:?}"),
+        }
+    }
+}
