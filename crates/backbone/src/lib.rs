@@ -14,9 +14,11 @@
 //!   to discover the format, and a per-stream [`broker::Overflow`]
 //!   policy decides what happens to slow subscribers.
 //! * [`net`] — a length-prefixed TCP event transport
-//!   ([`net::EventServer`], [`net::EventClient`]) with blocking accepts
-//!   and per-connection write coalescing, so the end-to-end latency
-//!   experiment crosses real sockets.
+//!   ([`net::EventServer`], [`net::EventClient`]): a readiness event
+//!   loop over epoll (sharded, nonblocking connection state machines,
+//!   write coalescing) as the default, with the original
+//!   thread-per-connection implementation selectable as a differential
+//!   oracle, so the scale and latency experiments cross real sockets.
 //! * [`stream`] — capture points (synthetic producers) and consumers
 //!   that run the full discover → bind → decode pipeline on
 //!   subscription.
@@ -40,6 +42,8 @@ pub use broker::{
     Broker, Event, Overflow, PublishHandle, StreamConfig, StreamInfo, Subscription,
 };
 pub use error::BackboneError;
-pub use net::{EventClient, EventServer, Frame};
+pub use net::{
+    ConnId, EventClient, EventServer, Frame, NetConfig, NetStats, ServerHandle, Transport,
+};
 pub use scoping::FormatScope;
 pub use stream::{CapturePoint, Consumer};

@@ -1,0 +1,502 @@
+//! The readiness event-loop transport: one acceptor plus a few loop
+//! shards replace two OS threads per connection.
+//!
+//! Every accepted socket becomes **nonblocking** and is hashed (by
+//! connection id, like broker streams) onto a loop shard. A shard owns
+//! a [`Poller`] (epoll on Linux, `poll(2)` elsewhere — both via the
+//! vendored `polling` shim), a [`Waker`] (eventfd, pipe fallback), an
+//! inbox of commands from other threads, and the [`ConnMachine`] state
+//! machine for each of its connections. The shard thread sleeps in the
+//! kernel until a socket can make progress or another thread (the
+//! acceptor registering a connection, broker fanout pushing frames)
+//! pokes the waker.
+//!
+//! Invariants the loop maintains:
+//!
+//! * **`EPOLLOUT` interest exists only while a connection has queued
+//!   output.** Writes are attempted eagerly; only a `WouldBlock`
+//!   leaves residue that arms write interest, so an idle connection
+//!   costs zero wakeups.
+//! * **Reply-queue backpressure without blocking.** When a
+//!   connection's outbound queue reaches the configured depth the
+//!   shard stops *parsing* (and drops read interest), leaving unread
+//!   bytes to TCP flow control — the nonblocking analogue of the
+//!   threaded reader blocking on a full queue. Parsing resumes at half
+//!   depth. Server-side pushes to a full queue are dropped and counted
+//!   (`DropNewest`) because fanout must never stall the loop.
+//! * **Each fd closes exactly once.** A connection dies only by being
+//!   removed from its shard's table (poller deregistration, then the
+//!   `TcpStream` drop closes the fd); the table removal is the
+//!   once-guard, so peer resets racing mid-write cannot double-close.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::io::AsRawFd;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::Mutex;
+use polling::{Interest, Poller, Waker};
+
+use crate::error::BackboneError;
+
+use super::machine::ConnMachine;
+use super::{ConnId, Frame, NetCounters, RoutedHandler};
+
+/// Reserved poller key for each shard's waker (connection ids count up
+/// from zero and can never reach it).
+const WAKE_KEY: u64 = u64::MAX;
+
+/// Most bytes one readiness notification reads from a single
+/// connection before yielding — fairness under a firehose peer;
+/// level-triggered polling re-reports the remainder immediately.
+const READ_BUDGET: usize = 256 * 1024;
+
+/// A command delivered to a loop shard from another thread.
+enum Cmd {
+    /// A freshly accepted socket to take ownership of.
+    Register(ConnId, TcpStream),
+    /// A server-initiated frame (broker fanout) for one connection.
+    Push(ConnId, Frame),
+}
+
+/// The cross-thread face of one shard: its command inbox and waker.
+struct ShardShared {
+    inbox: Mutex<VecDeque<Cmd>>,
+    waker: Waker,
+}
+
+/// State shared between the server, acceptor, and push handles.
+pub(super) struct Shared {
+    shards: Vec<Arc<ShardShared>>,
+    counters: Arc<NetCounters>,
+    stop: Arc<AtomicBool>,
+}
+
+impl Shared {
+    fn shard_for(&self, conn: ConnId) -> &Arc<ShardShared> {
+        &self.shards[(conn as usize) % self.shards.len()]
+    }
+
+    /// Enqueues a push to the owning shard and wakes it (the broker
+    /// fanout → eventfd path). Returns `false` once the server is
+    /// shutting down; queue-overflow and unknown-connection drops are
+    /// resolved on the shard and surface in the `pushes_dropped`
+    /// counter.
+    pub(super) fn push(&self, conn: ConnId, frame: Frame) -> bool {
+        if self.stop.load(Ordering::SeqCst) {
+            return false;
+        }
+        let shard = self.shard_for(conn);
+        shard.inbox.lock().push_back(Cmd::Push(conn, frame));
+        shard.waker.wake();
+        true
+    }
+}
+
+/// The readiness event-loop server implementation.
+pub(super) struct Server {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_handle: Option<JoinHandle<()>>,
+    shard_handles: Vec<JoinHandle<()>>,
+    shared: Arc<Shared>,
+    wakeups: Arc<AtomicU64>,
+    backend: &'static str,
+}
+
+impl Server {
+    pub(super) fn bind(
+        listener: TcpListener,
+        handler: RoutedHandler,
+        shard_count: usize,
+        queue_depth: usize,
+        force_poll_fallback: bool,
+        counters: Arc<NetCounters>,
+    ) -> Result<Server, BackboneError> {
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        // Build every poller/waker pair before spawning anything so a
+        // failure unwinds with no threads to clean up.
+        let mut parts = Vec::with_capacity(shard_count);
+        let mut shard_shared = Vec::with_capacity(shard_count);
+        let mut backend = "poll";
+        for _ in 0..shard_count {
+            let poller =
+                if force_poll_fallback { Poller::new_poll_fallback() } else { Poller::new() }?;
+            let waker = if force_poll_fallback { Waker::new_pipe() } else { Waker::new() }?;
+            backend = poller.backend_name();
+            poller.add(waker.read_fd(), WAKE_KEY, Interest::READ)?;
+            let shared =
+                Arc::new(ShardShared { inbox: Mutex::new(VecDeque::new()), waker });
+            shard_shared.push(Arc::clone(&shared));
+            parts.push((poller, shared));
+        }
+        let shared = Arc::new(Shared {
+            shards: shard_shared,
+            counters: Arc::clone(&counters),
+            stop: Arc::clone(&stop),
+        });
+        let mut shard_handles = Vec::with_capacity(shard_count);
+        for (index, (poller, shard)) in parts.into_iter().enumerate() {
+            let shard = Shard {
+                shared: shard,
+                counters: Arc::clone(&counters),
+                stop: Arc::clone(&stop),
+                handler: Arc::clone(&handler),
+                poller,
+                queue_depth,
+                conns: HashMap::new(),
+                scratch: vec![0u8; 64 * 1024],
+            };
+            shard_handles.push(
+                std::thread::Builder::new()
+                    .name(format!("event-loop-{index}"))
+                    .spawn(move || shard.run())?,
+            );
+        }
+        let wakeups = Arc::new(AtomicU64::new(0));
+        let accept_handle = {
+            let stop = Arc::clone(&stop);
+            let shared = Arc::clone(&shared);
+            let wakeups = Arc::clone(&wakeups);
+            std::thread::Builder::new()
+                .name("event-accept".to_owned())
+                .spawn(move || accept_loop(&listener, &stop, &shared, &wakeups))?
+        };
+        Ok(Server {
+            addr,
+            stop,
+            accept_handle: Some(accept_handle),
+            shard_handles,
+            shared,
+            wakeups,
+            backend,
+        })
+    }
+
+    pub(super) fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    pub(super) fn accept_wakeups(&self) -> u64 {
+        self.wakeups.load(Ordering::SeqCst)
+    }
+
+    pub(super) fn connection_count(&self) -> usize {
+        self.shared.counters.connections_open.load(Ordering::SeqCst) as usize
+    }
+
+    pub(super) fn shared(&self) -> Arc<Shared> {
+        Arc::clone(&self.shared)
+    }
+
+    pub(super) fn backend(&self) -> &'static str {
+        self.backend
+    }
+
+    pub(super) fn counters(&self) -> &NetCounters {
+        &self.shared.counters
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the blocking accept with a self-connect, then pull every
+        // shard out of its kernel wait.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+        for shard in &self.shared.shards {
+            shard.waker.wake();
+        }
+        for handle in self.shard_handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    stop: &Arc<AtomicBool>,
+    shared: &Arc<Shared>,
+    wakeups: &Arc<AtomicU64>,
+) {
+    let mut next_id: ConnId = 0;
+    loop {
+        // Blocking accept: no polling, no idle wakeups — identical to
+        // the threaded transport's accept discipline.
+        match listener.accept() {
+            Ok((stream, _)) => {
+                wakeups.fetch_add(1, Ordering::SeqCst);
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                shared.counters.note_accepted();
+                let id = next_id;
+                next_id += 1;
+                let shard = shared.shard_for(id);
+                shard.inbox.lock().push_back(Cmd::Register(id, stream));
+                shard.waker.wake();
+            }
+            Err(_) => {
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                // Error backoff: a persistent EMFILE must not busy-spin.
+                std::thread::sleep(std::time::Duration::from_millis(10));
+            }
+        }
+    }
+}
+
+/// One connection owned by a loop shard.
+struct Conn {
+    stream: TcpStream,
+    machine: ConnMachine,
+    /// Interest currently registered with the poller.
+    interest: Interest,
+    /// Peer closed its write side (or a socket read failed cleanly):
+    /// no more socket reads, but buffered frames still get processed
+    /// and queued output still drains before the close.
+    eof: bool,
+    /// A frame parse error poisoned the input: never parse again.
+    input_dead: bool,
+    /// Reply-queue backpressure engaged: read interest dropped and
+    /// parsing suspended until the queue drains to half depth.
+    paused: bool,
+}
+
+/// A loop shard: the single thread that owns `conns` and the poller.
+struct Shard {
+    shared: Arc<ShardShared>,
+    counters: Arc<NetCounters>,
+    stop: Arc<AtomicBool>,
+    handler: RoutedHandler,
+    poller: Poller,
+    queue_depth: usize,
+    conns: HashMap<ConnId, Conn>,
+    scratch: Vec<u8>,
+}
+
+impl Shard {
+    fn run(mut self) {
+        let mut events: Vec<polling::Event> = Vec::new();
+        loop {
+            events.clear();
+            if self.poller.wait(&mut events, None).is_err() {
+                break; // poller broken beyond repair; drop all conns
+            }
+            self.counters.loop_wakeups.fetch_add(1, Ordering::Relaxed);
+            if events.iter().any(|ev| ev.key == WAKE_KEY) {
+                self.shared.waker.drain();
+            }
+            if self.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            // Commands first, so a push and its readiness coalesce into
+            // one service pass.
+            self.drain_inbox();
+            for ev in &events {
+                if ev.key != WAKE_KEY {
+                    self.service(ev.key, ev.readable, ev.hangup);
+                }
+            }
+        }
+        // Shutdown: deregister and close every connection exactly once.
+        for (_, conn) in self.conns.drain() {
+            let _ = self.poller.delete(conn.stream.as_raw_fd());
+            self.counters.note_closed();
+        }
+    }
+
+    fn drain_inbox(&mut self) {
+        loop {
+            let cmds: Vec<Cmd> = {
+                let mut inbox = self.shared.inbox.lock();
+                if inbox.is_empty() {
+                    return;
+                }
+                inbox.drain(..).collect()
+            };
+            for cmd in cmds {
+                match cmd {
+                    Cmd::Register(id, stream) => self.register(id, stream),
+                    Cmd::Push(id, frame) => self.push(id, frame),
+                }
+            }
+        }
+    }
+
+    fn register(&mut self, id: ConnId, stream: TcpStream) {
+        if stream.set_nonblocking(true).is_err()
+            || stream.set_nodelay(true).is_err()
+            || self.poller.add(stream.as_raw_fd(), id, Interest::READ).is_err()
+        {
+            return; // dropping the stream closes the only fd reference
+        }
+        self.counters.note_open();
+        self.conns.insert(
+            id,
+            Conn {
+                stream,
+                machine: ConnMachine::new(),
+                interest: Interest::READ,
+                eof: false,
+                input_dead: false,
+                paused: false,
+            },
+        );
+    }
+
+    fn push(&mut self, id: ConnId, frame: Frame) {
+        let Some(conn) = self.conns.get_mut(&id) else {
+            self.counters.pushes_dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        };
+        if conn.machine.queued_frames() >= self.queue_depth {
+            self.counters.pushes_dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        conn.machine.queue(frame);
+        self.counters.note_queue_depth(conn.machine.queued_frames());
+        // Flush eagerly: only a WouldBlock leaves residue (and arms
+        // write interest).
+        self.service(id, false, false);
+    }
+
+    /// Runs one connection's state machine forward: optional socket
+    /// reads, frame processing under the queue bound, eager writes,
+    /// backpressure pause/resume, interest resync, and the close
+    /// decision.
+    fn service(&mut self, id: ConnId, readable: bool, hangup: bool) {
+        let Shard { conns, counters, handler, poller, queue_depth, scratch, .. } = self;
+        let depth = *queue_depth;
+        let Some(conn) = conns.get_mut(&id) else { return };
+        let mut dead = false;
+
+        // 1. Socket reads. A paused connection leaves bytes to TCP flow
+        // control, but a hangup forces a probe so a reset peer is
+        // noticed even mid-backpressure.
+        if !conn.eof && ((readable && !conn.paused) || hangup) {
+            let mut taken = 0usize;
+            loop {
+                match conn.stream.read(scratch) {
+                    Ok(0) => {
+                        conn.eof = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        conn.machine.ingest(&scratch[..n]);
+                        taken += n;
+                        if taken >= READ_BUDGET {
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        dead = true;
+                        break;
+                    }
+                }
+            }
+        }
+
+        // 2. Process buffered frames and drain output.
+        if !dead {
+            dead = !Self::process_and_flush(conn, handler, counters, depth, id);
+        }
+
+        // 3. Close or resync interest. A connection drains queued
+        // output and processes already-received frames before an EOF
+        // close (mirroring the threaded writer's drain-then-shutdown),
+        // but an I/O error closes immediately.
+        let drained = conn.eof && !conn.paused && !conn.machine.has_output();
+        if dead || drained {
+            let conn = conns.remove(&id).expect("serviced connection vanished");
+            let _ = poller.delete(conn.stream.as_raw_fd());
+            counters.note_closed();
+            return;
+        }
+        let desired = Interest {
+            read: !conn.eof && !conn.paused,
+            write: conn.machine.has_output(),
+        };
+        if desired != conn.interest
+            && poller.modify(conn.stream.as_raw_fd(), id, desired).is_ok()
+        {
+            conn.interest = desired;
+        }
+    }
+
+    /// Parse → handle → write until nothing can move. Returns `false`
+    /// on a fatal socket write error.
+    fn process_and_flush(
+        conn: &mut Conn,
+        handler: &RoutedHandler,
+        counters: &NetCounters,
+        depth: usize,
+        id: ConnId,
+    ) -> bool {
+        loop {
+            if !conn.input_dead {
+                while conn.machine.queued_frames() < depth {
+                    match conn.machine.next_frame() {
+                        Ok(Some(frame)) => {
+                            counters.frames_read.fetch_add(1, Ordering::Relaxed);
+                            if let Some(reply) = handler(id, frame) {
+                                conn.machine.queue(reply);
+                                counters.note_queue_depth(conn.machine.queued_frames());
+                            }
+                        }
+                        Ok(None) => break,
+                        Err(_) => {
+                            // Poisoned input: stop reading and parsing;
+                            // drain what was already queued, then close.
+                            conn.input_dead = true;
+                            conn.eof = true;
+                            break;
+                        }
+                    }
+                }
+            }
+            if conn.machine.queued_frames() >= depth && !conn.paused {
+                conn.paused = true;
+                counters.read_pauses.fetch_add(1, Ordering::Relaxed);
+            }
+            let mut blocked = false;
+            while conn.machine.has_output() {
+                match conn.machine.write_some(&mut conn.stream) {
+                    Ok(outcome) => {
+                        counters.writev_calls.fetch_add(1, Ordering::Relaxed);
+                        counters
+                            .frames_written
+                            .fetch_add(outcome.frames_completed as u64, Ordering::Relaxed);
+                        if outcome.partial {
+                            counters.partial_writes.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        blocked = true;
+                        break;
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(_) => return false,
+                }
+            }
+            if blocked {
+                return true; // residue arms write interest in service()
+            }
+            if conn.paused && conn.machine.queued_frames() <= depth / 2 {
+                conn.paused = false;
+                continue; // parse the backlog skipped while paused
+            }
+            return true;
+        }
+    }
+}

@@ -1,0 +1,296 @@
+//! The per-connection framing state machine.
+//!
+//! A nonblocking connection cannot use `read_exact`/`write_all`: bytes
+//! arrive and drain in arbitrary slices decided by the kernel, so the
+//! transport keeps an explicit machine per connection — *reading frame
+//! header → reading body → frame complete* on the inbound side, and a
+//! resumable cursor over a coalesced `writev` batch on the outbound
+//! side. The machine is **pure**: it touches no sockets, which is what
+//! lets the property tests drive it with one-byte deliveries, partial
+//! writes at every cut point, and interleaved read/write readiness, and
+//! compare the byte streams against the blocking oracle
+//! ([`read_frame`]/[`write_frame_batch`]).
+//!
+//! [`read_frame`]: super::read_frame
+//! [`write_frame_batch`]: super::write_frame_batch
+
+use std::collections::VecDeque;
+use std::io::{IoSlice, Write};
+
+use crate::error::BackboneError;
+
+use super::{Frame, MAX_FRAMES_PER_WRITEV, MAX_SECTION};
+
+/// Bytes one frame occupies on the wire (two `u32` length prefixes plus
+/// both sections).
+fn wire_len(frame: &Frame) -> usize {
+    8 + frame.stream.len() + frame.payload.len()
+}
+
+/// What one [`ConnMachine::write_some`] call accomplished.
+#[derive(Clone, Copy, Debug)]
+pub struct WriteOutcome {
+    /// Bytes accepted by the writer in this call.
+    pub bytes: usize,
+    /// Whether the writer took fewer bytes than the batch offered — a
+    /// partial write whose cursor the machine keeps for resumption.
+    pub partial: bool,
+    /// Frames fully drained onto the wire by this call.
+    pub frames_completed: usize,
+}
+
+/// Incremental frame codec state for one nonblocking connection.
+///
+/// Inbound bytes accumulate via [`ingest`](Self::ingest) and surface as
+/// complete frames via [`next_frame`](Self::next_frame); outbound
+/// frames queue via [`queue`](Self::queue) and drain through
+/// [`write_some`](Self::write_some), which coalesces up to
+/// [`MAX_FRAMES_PER_WRITEV`] frames into one vectored write and keeps a
+/// byte cursor so a short write resumes exactly where the kernel
+/// stopped — mid-length-prefix, mid-name, or mid-payload.
+#[derive(Debug, Default)]
+pub struct ConnMachine {
+    /// Inbound bytes not yet parsed; `rstart` marks the consumed
+    /// prefix, compacted periodically so the buffer stays small.
+    rbuf: Vec<u8>,
+    rstart: usize,
+    /// Outbound frames not yet fully written.
+    out: VecDeque<Frame>,
+    /// Total wire bytes represented by `out`.
+    out_bytes: usize,
+    /// Bytes of the queue head's wire image already written — the
+    /// resumable partial-write cursor.
+    written: usize,
+}
+
+impl ConnMachine {
+    /// A fresh machine with empty buffers.
+    pub fn new() -> ConnMachine {
+        ConnMachine::default()
+    }
+
+    /// Appends bytes received from the socket.
+    pub fn ingest(&mut self, bytes: &[u8]) {
+        self.rbuf.extend_from_slice(bytes);
+    }
+
+    /// Bytes ingested but not yet consumed as frames.
+    pub fn buffered_input(&self) -> usize {
+        self.rbuf.len() - self.rstart
+    }
+
+    /// Parses the next complete frame out of the ingest buffer, or
+    /// `None` if more bytes are needed.
+    ///
+    /// # Errors
+    ///
+    /// `BadFrame` on hostile length prefixes or non-UTF-8 stream names
+    /// — the same rejections (and messages) as the blocking
+    /// [`read_frame`](super::read_frame) oracle.
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, BackboneError> {
+        let buf = &self.rbuf[self.rstart..];
+        if buf.len() < 4 {
+            self.compact();
+            return Ok(None);
+        }
+        let name_len = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]);
+        if name_len > MAX_SECTION {
+            return Err(BackboneError::BadFrame {
+                detail: format!("stream name length {name_len} exceeds limit"),
+            });
+        }
+        let name_len = name_len as usize;
+        if buf.len() < 4 + name_len + 4 {
+            self.compact();
+            return Ok(None);
+        }
+        let at = 4 + name_len;
+        let payload_len = u32::from_le_bytes([buf[at], buf[at + 1], buf[at + 2], buf[at + 3]]);
+        if payload_len > MAX_SECTION {
+            return Err(BackboneError::BadFrame {
+                detail: format!("payload length {payload_len} exceeds limit"),
+            });
+        }
+        let payload_len = payload_len as usize;
+        let total = 8 + name_len + payload_len;
+        if buf.len() < total {
+            self.compact();
+            return Ok(None);
+        }
+        let stream = std::str::from_utf8(&buf[4..4 + name_len])
+            .map_err(|_| BackboneError::BadFrame { detail: "stream name is not UTF-8".into() })?
+            .to_owned();
+        let payload = buf[8 + name_len..total].to_vec();
+        self.rstart += total;
+        self.compact();
+        Ok(Some(Frame { stream, payload }))
+    }
+
+    /// Reclaims consumed prefix bytes and releases burst capacity so
+    /// 100k idle connections do not pin the memory of their busiest
+    /// moment.
+    fn compact(&mut self) {
+        if self.rstart == self.rbuf.len() {
+            self.rbuf.clear();
+            self.rstart = 0;
+            if self.rbuf.capacity() > 1 << 20 {
+                self.rbuf.shrink_to(64 * 1024);
+            }
+        } else if self.rstart >= 8 * 1024 && self.rstart * 2 >= self.rbuf.len() {
+            let tail = self.rbuf.len() - self.rstart;
+            self.rbuf.copy_within(self.rstart.., 0);
+            self.rbuf.truncate(tail);
+            self.rstart = 0;
+        }
+    }
+
+    /// Queues a frame for writing.
+    pub fn queue(&mut self, frame: Frame) {
+        self.out_bytes += wire_len(&frame);
+        self.out.push_back(frame);
+    }
+
+    /// Frames queued and not yet fully written.
+    pub fn queued_frames(&self) -> usize {
+        self.out.len()
+    }
+
+    /// Wire bytes still owed to the socket.
+    pub fn pending_output(&self) -> usize {
+        self.out_bytes - self.written
+    }
+
+    /// Whether any output (whole frames or a partially-written head)
+    /// remains.
+    pub fn has_output(&self) -> bool {
+        !self.out.is_empty()
+    }
+
+    /// Attempts one coalesced vectored write of up to
+    /// [`MAX_FRAMES_PER_WRITEV`] queued frames, resuming from the
+    /// partial-write cursor. Call repeatedly until the queue empties or
+    /// the writer reports `WouldBlock`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the writer's I/O error (including `WouldBlock` on a
+    /// nonblocking socket); a zero-length write surfaces as
+    /// `WriteZero`. The cursor only advances on success, so a failed
+    /// call can be retried verbatim.
+    ///
+    /// # Panics
+    ///
+    /// If called with an empty queue (callers gate on
+    /// [`has_output`](Self::has_output)).
+    pub fn write_some(&mut self, writer: &mut impl Write) -> std::io::Result<WriteOutcome> {
+        assert!(!self.out.is_empty(), "write_some on an empty queue");
+        let count = self.out.len().min(MAX_FRAMES_PER_WRITEV);
+        // Length prefixes must live somewhere while the IoSlices borrow
+        // them; one Vec of fixed arrays serves the whole batch.
+        let lens: Vec<[u8; 8]> = self
+            .out
+            .iter()
+            .take(count)
+            .map(|frame| {
+                let mut len8 = [0u8; 8];
+                len8[..4].copy_from_slice(&(frame.stream.len() as u32).to_le_bytes());
+                len8[4..].copy_from_slice(&(frame.payload.len() as u32).to_le_bytes());
+                len8
+            })
+            .collect();
+        let mut slices: Vec<IoSlice<'_>> = Vec::with_capacity(count * 4);
+        let mut batch_bytes = 0usize;
+        for (frame, len8) in self.out.iter().take(count).zip(&lens) {
+            slices.push(IoSlice::new(&len8[..4]));
+            slices.push(IoSlice::new(frame.stream.as_bytes()));
+            slices.push(IoSlice::new(&len8[4..]));
+            slices.push(IoSlice::new(&frame.payload));
+            batch_bytes += wire_len(frame);
+        }
+        let offered = batch_bytes - self.written;
+        let mut bufs: &mut [IoSlice<'_>] = &mut slices;
+        IoSlice::advance_slices(&mut bufs, self.written);
+        let n = writer.write_vectored(bufs)?;
+        if n == 0 {
+            return Err(std::io::Error::from(std::io::ErrorKind::WriteZero));
+        }
+        self.written += n;
+        let mut frames_completed = 0;
+        while let Some(front) = self.out.front() {
+            let size = wire_len(front);
+            if self.written < size {
+                break;
+            }
+            self.written -= size;
+            self.out_bytes -= size;
+            self.out.pop_front();
+            frames_completed += 1;
+        }
+        Ok(WriteOutcome { bytes: n, partial: n < offered, frames_completed })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{read_frame, write_frame_batch};
+    use super::*;
+
+    #[test]
+    fn frames_parse_across_arbitrary_splits() {
+        let frames =
+            vec![Frame::new("a", vec![1, 2, 3]), Frame::new("", vec![]), Frame::new("s", vec![9; 300])];
+        let mut wire = Vec::new();
+        write_frame_batch(&mut wire, &frames).unwrap();
+
+        // One byte at a time: the harshest delivery schedule.
+        let mut machine = ConnMachine::new();
+        let mut got = Vec::new();
+        for byte in &wire {
+            machine.ingest(std::slice::from_ref(byte));
+            while let Some(frame) = machine.next_frame().unwrap() {
+                got.push(frame);
+            }
+        }
+        assert_eq!(got, frames);
+        assert_eq!(machine.buffered_input(), 0);
+    }
+
+    #[test]
+    fn hostile_lengths_error_like_the_oracle() {
+        let mut machine = ConnMachine::new();
+        machine.ingest(&[0xFF, 0xFF, 0xFF, 0xFF]);
+        let machine_err = machine.next_frame().unwrap_err().to_string();
+        let mut bytes: &[u8] = &[0xFF, 0xFF, 0xFF, 0xFF];
+        let oracle_err = read_frame(&mut bytes).unwrap_err().to_string();
+        assert_eq!(machine_err, oracle_err);
+    }
+
+    #[test]
+    fn partial_writes_resume_mid_frame() {
+        /// Accepts at most 3 bytes per call.
+        struct Trickle(Vec<u8>);
+        impl std::io::Write for Trickle {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                let n = buf.len().min(3);
+                self.0.extend_from_slice(&buf[..n]);
+                Ok(n)
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let frames = vec![Frame::new("stream-name", (0..100u8).collect()), Frame::new("x", vec![7; 40])];
+        let mut machine = ConnMachine::new();
+        for frame in &frames {
+            machine.queue(frame.clone());
+        }
+        let mut sink = Trickle(Vec::new());
+        while machine.has_output() {
+            let outcome = machine.write_some(&mut sink).unwrap();
+            assert!(outcome.bytes > 0);
+        }
+        let mut expected = Vec::new();
+        write_frame_batch(&mut expected, &frames).unwrap();
+        assert_eq!(sink.0, expected);
+    }
+}

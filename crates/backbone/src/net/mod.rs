@@ -1,0 +1,1024 @@
+//! Length-prefixed TCP event transport.
+//!
+//! A frame is `u32 stream-name length ∥ name bytes ∥ u32 payload length ∥
+//! payload bytes` (lengths little-endian). The transport never inspects
+//! payloads; the paper's argument is precisely that the *wire format of
+//! the data* is a codec concern, not a transport concern, so TCP here
+//! could be swapped for multicast or a cluster interconnect without
+//! touching metadata handling.
+//!
+//! Two server transports implement the same observable contract and are
+//! selected by [`NetConfig`] (or the `X2W_NET_TRANSPORT` environment
+//! variable):
+//!
+//! * [`Transport::Readiness`] (default) — one blocking acceptor plus a
+//!   few event-loop shards over epoll (`poll(2)` fallback off Linux);
+//!   each connection is a nonblocking [`machine::ConnMachine`] state
+//!   machine, so 100k mostly-idle subscribers cost a handful of
+//!   threads and flat memory. See [`events`](self) internals.
+//! * [`Transport::Threaded`] — the original reader/writer thread pair
+//!   per connection, kept as the differential oracle the equivalence
+//!   tests hold the event loop against.
+//!
+//! Both share the framing functions below, coalesce queued replies into
+//! vectored writes, bound each connection's reply queue (backpressuring
+//! slow readers), support server-initiated pushes via [`ServerHandle`],
+//! and expose the same [`NetStats`] observability snapshot.
+
+use std::io::{BufReader, BufWriter, IoSlice, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::error::BackboneError;
+
+mod events;
+pub mod machine;
+mod threaded;
+
+pub use machine::{ConnMachine, WriteOutcome};
+
+/// One transport frame: a stream name and an opaque payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// The stream (topic) name.
+    pub stream: String,
+    /// The encoded message.
+    pub payload: Vec<u8>,
+}
+
+impl Frame {
+    /// Creates a frame.
+    pub fn new(stream: impl Into<String>, payload: Vec<u8>) -> Self {
+        Frame { stream: stream.into(), payload }
+    }
+}
+
+/// Upper bound on frame section lengths (guards against hostile or
+/// corrupt length prefixes).
+const MAX_SECTION: u32 = 64 * 1024 * 1024;
+
+/// Most frames a single `writev` covers: 4 `IoSlice`s per frame and
+/// Linux caps an iovec at 1024 entries.
+const MAX_FRAMES_PER_WRITEV: usize = 256;
+
+/// Default depth of a connection's outbound reply queue; both
+/// transports backpressure (stop consuming requests) when a peer reads
+/// slowly, and drop server pushes rather than stall fanout.
+const WRITER_QUEUE_DEPTH: usize = 512;
+
+/// Writes one frame and flushes.
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn write_frame(writer: &mut impl Write, frame: &Frame) -> Result<(), BackboneError> {
+    write_frame_unflushed(writer, frame)?;
+    writer.flush()?;
+    Ok(())
+}
+
+/// Writes a batch of frames with a single flush at the end — the
+/// transport-side half of batched publishing: the kernel sees one
+/// coalesced write per buffer fill instead of one per frame section.
+///
+/// # Errors
+///
+/// Propagates I/O failures; frames before the failure may have been
+/// sent.
+pub fn write_frames(writer: &mut impl Write, frames: &[Frame]) -> Result<(), BackboneError> {
+    for frame in frames {
+        write_frame_unflushed(writer, frame)?;
+    }
+    writer.flush()?;
+    Ok(())
+}
+
+/// Writes a frame's four sections (two length prefixes, name, payload)
+/// as one vectored write instead of four `write_all` calls — on a
+/// `BufWriter` the sections land in the buffer in one pass, and on a raw
+/// socket the whole frame goes out in a single `writev`. Partial writes
+/// loop, advancing across section boundaries.
+fn write_frame_unflushed(writer: &mut impl Write, frame: &Frame) -> Result<(), BackboneError> {
+    let name = frame.stream.as_bytes();
+    let name_len = (name.len() as u32).to_le_bytes();
+    let payload_len = (frame.payload.len() as u32).to_le_bytes();
+    let slices = [
+        IoSlice::new(&name_len),
+        IoSlice::new(name),
+        IoSlice::new(&payload_len),
+        IoSlice::new(&frame.payload),
+    ];
+    write_all_vectored(writer, slices)
+}
+
+/// Coalesces a whole batch of frames into as few `writev` calls as
+/// possible: every section of every frame (up to the iovec cap) goes out
+/// in one vectored write, with no intermediate copying. This is what a
+/// connection's writer calls on whatever its queue holds.
+///
+/// # Errors
+///
+/// Propagates I/O failures; frames before the failure may have been
+/// partly sent.
+pub fn write_frame_batch(
+    writer: &mut impl Write,
+    frames: &[Frame],
+) -> Result<(), BackboneError> {
+    for chunk in frames.chunks(MAX_FRAMES_PER_WRITEV) {
+        // Length prefixes must live somewhere while the IoSlices borrow
+        // them; one Vec of fixed arrays serves the whole chunk.
+        let lens: Vec<[u8; 8]> = chunk
+            .iter()
+            .map(|frame| {
+                let mut len8 = [0u8; 8];
+                len8[..4].copy_from_slice(&(frame.stream.len() as u32).to_le_bytes());
+                len8[4..].copy_from_slice(&(frame.payload.len() as u32).to_le_bytes());
+                len8
+            })
+            .collect();
+        let mut slices = Vec::with_capacity(chunk.len() * 4);
+        for (frame, len8) in chunk.iter().zip(&lens) {
+            slices.push(IoSlice::new(&len8[..4]));
+            slices.push(IoSlice::new(frame.stream.as_bytes()));
+            slices.push(IoSlice::new(&len8[4..]));
+            slices.push(IoSlice::new(&frame.payload));
+        }
+        write_all_vectored_slices(writer, &mut slices)?;
+    }
+    writer.flush()?;
+    Ok(())
+}
+
+fn write_all_vectored<const N: usize>(
+    writer: &mut impl Write,
+    mut slices: [IoSlice<'_>; N],
+) -> Result<(), BackboneError> {
+    write_all_vectored_slices(writer, &mut slices)
+}
+
+fn write_all_vectored_slices(
+    writer: &mut impl Write,
+    slices: &mut [IoSlice<'_>],
+) -> Result<(), BackboneError> {
+    let mut remaining: usize = slices.iter().map(|s| s.len()).sum();
+    let mut bufs: &mut [IoSlice<'_>] = slices;
+    while remaining > 0 {
+        match writer.write_vectored(bufs) {
+            Ok(0) => {
+                return Err(std::io::Error::from(std::io::ErrorKind::WriteZero).into());
+            }
+            Ok(n) => {
+                remaining -= n.min(remaining);
+                IoSlice::advance_slices(&mut bufs, n);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(())
+}
+
+/// Reads one frame; returns `None` on a clean end-of-stream boundary.
+///
+/// # Errors
+///
+/// Propagates I/O failures and rejects implausible lengths.
+pub fn read_frame(reader: &mut impl Read) -> Result<Option<Frame>, BackboneError> {
+    let mut len4 = [0u8; 4];
+    match reader.read_exact(&mut len4) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e.into()),
+    }
+    let name_len = u32::from_le_bytes(len4);
+    if name_len > MAX_SECTION {
+        return Err(BackboneError::BadFrame {
+            detail: format!("stream name length {name_len} exceeds limit"),
+        });
+    }
+    let mut name = vec![0u8; name_len as usize];
+    reader.read_exact(&mut name)?;
+    let stream = String::from_utf8(name)
+        .map_err(|_| BackboneError::BadFrame { detail: "stream name is not UTF-8".into() })?;
+    reader.read_exact(&mut len4)?;
+    let payload_len = u32::from_le_bytes(len4);
+    if payload_len > MAX_SECTION {
+        return Err(BackboneError::BadFrame {
+            detail: format!("payload length {payload_len} exceeds limit"),
+        });
+    }
+    let mut payload = vec![0u8; payload_len as usize];
+    reader.read_exact(&mut payload)?;
+    Ok(Some(Frame { stream, payload }))
+}
+
+/// Identifies one accepted connection for the life of a server
+/// (monotonic, never reused).
+pub type ConnId = u64;
+
+/// The handler invoked for each inbound frame; the returned frame (if
+/// any) is written back on the same connection (request/reply).
+pub type FrameHandler = Arc<dyn Fn(Frame) -> Option<Frame> + Send + Sync>;
+
+/// A connection-aware handler: receives the [`ConnId`] the frame
+/// arrived on, so brokers can track subscribers and push to them later
+/// via [`ServerHandle::send`].
+pub type RoutedHandler = Arc<dyn Fn(ConnId, Frame) -> Option<Frame> + Send + Sync>;
+
+/// Which server implementation carries the frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transport {
+    /// Readiness event loop: epoll shards, nonblocking connections
+    /// (the default).
+    Readiness,
+    /// One reader + one writer thread per connection (the differential
+    /// oracle).
+    Threaded,
+}
+
+/// Server construction knobs. `Default` honours two environment
+/// variables so a deployment (or a differential test run) can flip
+/// implementations without code changes: `X2W_NET_TRANSPORT=threaded`
+/// selects the thread-per-connection oracle, and `X2W_NET_BACKEND=poll`
+/// forces the portable `poll(2)` backend under the readiness loop.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Which transport to run.
+    pub transport: Transport,
+    /// Event-loop shard count; `0` sizes to available parallelism
+    /// (capped at 4 — shards are I/O bound, not compute bound).
+    pub shards: usize,
+    /// Per-connection outbound queue bound; reaching it pauses request
+    /// consumption and drops pushes.
+    pub reply_queue_depth: usize,
+    /// Use the `poll(2)` backend even where epoll is available (for
+    /// differential coverage of the fallback).
+    pub force_poll_fallback: bool,
+}
+
+impl Default for NetConfig {
+    fn default() -> NetConfig {
+        let transport = match std::env::var("X2W_NET_TRANSPORT").as_deref() {
+            Ok("threaded") => Transport::Threaded,
+            _ => Transport::Readiness,
+        };
+        let force_poll_fallback = matches!(std::env::var("X2W_NET_BACKEND").as_deref(), Ok("poll"));
+        NetConfig {
+            transport,
+            shards: 0,
+            reply_queue_depth: WRITER_QUEUE_DEPTH,
+            force_poll_fallback,
+        }
+    }
+}
+
+fn default_shards() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get).min(4)
+}
+
+/// Internal atomic tallies behind [`NetStats`]: one instance per
+/// server, shared by every transport thread. Relaxed ordering — these
+/// are monotonic counters, not synchronization.
+#[derive(Debug, Default)]
+pub(crate) struct NetCounters {
+    pub(crate) connections_accepted: AtomicU64,
+    pub(crate) connections_open: AtomicU64,
+    pub(crate) connections_reaped: AtomicU64,
+    pub(crate) loop_wakeups: AtomicU64,
+    pub(crate) frames_read: AtomicU64,
+    pub(crate) frames_written: AtomicU64,
+    pub(crate) writev_calls: AtomicU64,
+    pub(crate) partial_writes: AtomicU64,
+    pub(crate) reply_queue_high_water: AtomicU64,
+    pub(crate) read_pauses: AtomicU64,
+    pub(crate) pushes_dropped: AtomicU64,
+}
+
+impl NetCounters {
+    pub(crate) fn note_accepted(&self) {
+        self.connections_accepted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_open(&self) {
+        self.connections_open.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_closed(&self) {
+        self.connections_reaped.fetch_add(1, Ordering::Relaxed);
+        let _ = self.connections_open.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+            v.checked_sub(1)
+        });
+    }
+
+    pub(crate) fn note_queue_depth(&self, depth: usize) {
+        self.reply_queue_high_water.fetch_max(depth as u64, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self, transport: &'static str) -> NetStats {
+        NetStats {
+            transport,
+            connections_accepted: self.connections_accepted.load(Ordering::Relaxed),
+            connections_open: self.connections_open.load(Ordering::Relaxed),
+            connections_reaped: self.connections_reaped.load(Ordering::Relaxed),
+            loop_wakeups: self.loop_wakeups.load(Ordering::Relaxed),
+            frames_read: self.frames_read.load(Ordering::Relaxed),
+            frames_written: self.frames_written.load(Ordering::Relaxed),
+            writev_calls: self.writev_calls.load(Ordering::Relaxed),
+            partial_writes: self.partial_writes.load(Ordering::Relaxed),
+            reply_queue_high_water: self.reply_queue_high_water.load(Ordering::Relaxed),
+            read_pauses: self.read_pauses.load(Ordering::Relaxed),
+            pushes_dropped: self.pushes_dropped.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time snapshot of a server's transport counters (the
+/// `DiscoveryStats` pattern from `xml2wire` applied to the socket
+/// layer). Cheap to take — a handful of relaxed atomic loads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetStats {
+    /// Which implementation produced these numbers: `"threaded"`,
+    /// `"readiness-epoll"`, or `"readiness-poll"`.
+    pub transport: &'static str,
+    /// Connections the acceptor has handed to the transport.
+    pub connections_accepted: u64,
+    /// Connections currently registered (a gauge, not a tally).
+    pub connections_open: u64,
+    /// Connections fully closed and deregistered — each one closed its
+    /// fd exactly once.
+    pub connections_reaped: u64,
+    /// Kernel-wait returns across all loop shards (always `0` for the
+    /// threaded transport). An idle server's loops stay asleep, so this
+    /// advancing at rest indicates a spin bug.
+    pub loop_wakeups: u64,
+    /// Frames parsed off sockets and handed to the handler.
+    pub frames_read: u64,
+    /// Frames fully drained onto sockets.
+    pub frames_written: u64,
+    /// Vectored writes issued — `frames_written / writev_calls` is the
+    /// realized coalescing factor.
+    pub writev_calls: u64,
+    /// Vectored writes the kernel cut short (resumed later from the
+    /// write cursor).
+    pub partial_writes: u64,
+    /// Deepest any connection's reply queue has been.
+    pub reply_queue_high_water: u64,
+    /// Times backpressure suspended request consumption on a
+    /// connection (readiness transport only).
+    pub read_pauses: u64,
+    /// Server pushes dropped because the target was unknown, closed, or
+    /// its queue was full.
+    pub pushes_dropped: u64,
+}
+
+enum ServerImpl {
+    Readiness(events::Server),
+    Threaded(threaded::Server),
+}
+
+/// A TCP event server: accepts connections and feeds frames to a
+/// handler. The transport behind it is chosen by [`NetConfig`].
+pub struct EventServer {
+    imp: ServerImpl,
+}
+
+impl std::fmt::Debug for EventServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventServer")
+            .field("addr", &self.local_addr())
+            .field("transport", &self.transport())
+            .finish_non_exhaustive()
+    }
+}
+
+impl EventServer {
+    /// Binds and serves on `addr` with `handler`, using the default
+    /// (environment-sensitive) configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket failures.
+    pub fn bind(addr: impl ToSocketAddrs, handler: FrameHandler) -> Result<Self, BackboneError> {
+        Self::bind_with(addr, handler, NetConfig::default())
+    }
+
+    /// Binds with an explicit configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket failures.
+    pub fn bind_with(
+        addr: impl ToSocketAddrs,
+        handler: FrameHandler,
+        config: NetConfig,
+    ) -> Result<Self, BackboneError> {
+        let routed: RoutedHandler = Arc::new(move |_conn, frame| handler(frame));
+        Self::bind_routed(addr, routed, config)
+    }
+
+    /// Binds with a connection-aware handler — the broker entry point:
+    /// the handler learns which connection each frame came from, and
+    /// [`handle`](Self::handle) pushes frames back to any of them.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket failures.
+    pub fn bind_routed(
+        addr: impl ToSocketAddrs,
+        handler: RoutedHandler,
+        config: NetConfig,
+    ) -> Result<Self, BackboneError> {
+        let listener = TcpListener::bind(addr)?;
+        let counters = Arc::new(NetCounters::default());
+        let depth = config.reply_queue_depth.max(1);
+        let imp = match config.transport {
+            Transport::Threaded => ServerImpl::Threaded(threaded::Server::bind(
+                listener, handler, depth, counters,
+            )?),
+            Transport::Readiness => {
+                let shards =
+                    if config.shards == 0 { default_shards() } else { config.shards };
+                ServerImpl::Readiness(events::Server::bind(
+                    listener,
+                    handler,
+                    shards,
+                    depth,
+                    config.force_poll_fallback,
+                    counters,
+                )?)
+            }
+        };
+        Ok(EventServer { imp })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        match &self.imp {
+            ServerImpl::Readiness(s) => s.local_addr(),
+            ServerImpl::Threaded(s) => s.local_addr(),
+        }
+    }
+
+    /// Which transport this server runs.
+    pub fn transport(&self) -> Transport {
+        match &self.imp {
+            ServerImpl::Readiness(_) => Transport::Readiness,
+            ServerImpl::Threaded(_) => Transport::Threaded,
+        }
+    }
+
+    /// How many times the accept loop has woken so far. Both transports
+    /// block in `accept(2)`, so this advances only when a connection
+    /// actually arrives — an idle server stays at zero instead of
+    /// burning CPU in a sleep-poll cycle.
+    pub fn accept_wakeups(&self) -> u64 {
+        match &self.imp {
+            ServerImpl::Readiness(s) => s.accept_wakeups(),
+            ServerImpl::Threaded(s) => s.accept_wakeups(),
+        }
+    }
+
+    /// Number of currently tracked (not yet reaped) connections.
+    pub fn connection_count(&self) -> usize {
+        match &self.imp {
+            ServerImpl::Readiness(s) => s.connection_count(),
+            ServerImpl::Threaded(s) => s.connection_count(),
+        }
+    }
+
+    /// A snapshot of the transport counters.
+    pub fn net_stats(&self) -> NetStats {
+        match &self.imp {
+            ServerImpl::Readiness(s) => {
+                let label = match s.backend() {
+                    "epoll" => "readiness-epoll",
+                    _ => "readiness-poll",
+                };
+                s.counters().snapshot(label)
+            }
+            ServerImpl::Threaded(s) => s.counters().snapshot("threaded"),
+        }
+    }
+
+    /// A cloneable handle for pushing server-initiated frames (broker
+    /// fanout). Outlives nothing: pushes after the server drops are
+    /// no-ops returning `false`.
+    pub fn handle(&self) -> ServerHandle {
+        match &self.imp {
+            ServerImpl::Readiness(s) => {
+                ServerHandle { inner: HandleInner::Readiness(s.shared()) }
+            }
+            ServerImpl::Threaded(s) => ServerHandle { inner: HandleInner::Threaded(s.shared()) },
+        }
+    }
+}
+
+#[derive(Clone)]
+enum HandleInner {
+    Readiness(Arc<events::Shared>),
+    Threaded(Arc<threaded::Shared>),
+}
+
+/// Pushes frames to specific connections from outside the handler — the
+/// broker fanout path. Cloneable and thread-safe.
+#[derive(Clone)]
+pub struct ServerHandle {
+    inner: HandleInner,
+}
+
+impl std::fmt::Debug for ServerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerHandle").finish_non_exhaustive()
+    }
+}
+
+impl ServerHandle {
+    /// Queues `frame` to connection `conn` without blocking. Returns
+    /// `false` when the push definitely went nowhere (unknown or closed
+    /// connection, full queue, server shutting down); `true` means it
+    /// was queued — delivery still depends on the peer staying alive.
+    /// Drops are counted in [`NetStats::pushes_dropped`].
+    pub fn send(&self, conn: ConnId, frame: Frame) -> bool {
+        match &self.inner {
+            HandleInner::Readiness(shared) => shared.push(conn, frame),
+            HandleInner::Threaded(shared) => shared.push(conn, frame),
+        }
+    }
+}
+
+/// A TCP event client: a framed connection to an [`EventServer`].
+#[derive(Debug)]
+pub struct EventClient {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl EventClient {
+    /// Connects to a server.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, BackboneError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(EventClient {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// Sends one frame.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn send(&mut self, frame: &Frame) -> Result<(), BackboneError> {
+        write_frame(&mut self.writer, frame)
+    }
+
+    /// Sends a batch of frames as one coalesced vectored write (see
+    /// [`write_frame_batch`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn send_batch(&mut self, frames: &[Frame]) -> Result<(), BackboneError> {
+        write_frame_batch(&mut self.writer, frames)
+    }
+
+    /// Receives one frame; `None` means the server closed the
+    /// connection.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn recv(&mut self) -> Result<Option<Frame>, BackboneError> {
+        read_frame(&mut self.reader)
+    }
+
+    /// Sends a frame and waits for the reply (request/reply round trip,
+    /// the end-to-end latency primitive).
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, or `BadFrame` if the server closed without
+    /// replying.
+    pub fn request(&mut self, frame: &Frame) -> Result<Frame, BackboneError> {
+        self.send(frame)?;
+        self.recv()?.ok_or(BackboneError::BadFrame {
+            detail: "server closed the connection without replying".to_owned(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::Mutex;
+    use std::net::Shutdown;
+    use std::time::Duration;
+
+    /// Both transports under their test configuration; every behavioral
+    /// test runs against each.
+    fn configs() -> Vec<NetConfig> {
+        vec![
+            NetConfig {
+                transport: Transport::Readiness,
+                shards: 2,
+                reply_queue_depth: WRITER_QUEUE_DEPTH,
+                force_poll_fallback: false,
+            },
+            NetConfig {
+                transport: Transport::Threaded,
+                shards: 0,
+                reply_queue_depth: WRITER_QUEUE_DEPTH,
+                force_poll_fallback: false,
+            },
+        ]
+    }
+
+    fn echo_with(config: NetConfig) -> EventServer {
+        EventServer::bind_with("127.0.0.1:0", Arc::new(Some), config).unwrap()
+    }
+
+    /// Polls `cond` for up to a second — for counters that are
+    /// incremented just after the observable effect they count.
+    fn eventually(cond: impl Fn() -> bool) -> bool {
+        for _ in 0..200 {
+            if cond() {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        false
+    }
+
+    #[test]
+    fn round_trip_over_a_real_socket() {
+        for config in configs() {
+            let server = echo_with(config);
+            let mut client = EventClient::connect(server.local_addr()).unwrap();
+            let frame = Frame::new("asd", b"payload bytes".to_vec());
+            let reply = client.request(&frame).unwrap();
+            assert_eq!(reply, frame);
+        }
+    }
+
+    #[test]
+    fn many_frames_on_one_connection() {
+        for config in configs() {
+            let server = echo_with(config);
+            let mut client = EventClient::connect(server.local_addr()).unwrap();
+            for i in 0..100u32 {
+                let frame = Frame::new("s", i.to_le_bytes().to_vec());
+                assert_eq!(client.request(&frame).unwrap().payload, i.to_le_bytes());
+            }
+        }
+    }
+
+    #[test]
+    fn batched_frames_round_trip_with_one_flush() {
+        for config in configs() {
+            let server = echo_with(config);
+            let mut client = EventClient::connect(server.local_addr()).unwrap();
+            let frames: Vec<Frame> =
+                (0..10u8).map(|i| Frame::new("batch", vec![i; i as usize])).collect();
+            client.send_batch(&frames).unwrap();
+            for frame in &frames {
+                assert_eq!(client.recv().unwrap().unwrap(), *frame);
+            }
+        }
+    }
+
+    #[test]
+    fn large_batches_cross_the_writev_chunk_limit() {
+        // More frames than fit in one iovec: the batch writer must chunk.
+        let frames: Vec<Frame> = (0..(MAX_FRAMES_PER_WRITEV + 10) as u32)
+            .map(|i| Frame::new(format!("s{i}"), i.to_le_bytes().to_vec()))
+            .collect();
+        let mut buf = Vec::new();
+        write_frame_batch(&mut buf, &frames).unwrap();
+        let mut cursor: &[u8] = &buf;
+        for frame in &frames {
+            assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), *frame);
+        }
+        assert!(read_frame(&mut cursor).unwrap().is_none());
+    }
+
+    #[test]
+    fn vectored_write_survives_partial_writes() {
+        /// A writer accepting at most 3 bytes per call; its default
+        /// `write_vectored` forwards only the first non-empty slice, so
+        /// this exercises both the partial-write loop and slice
+        /// advancing across section boundaries.
+        struct Trickle(Vec<u8>);
+        impl Write for Trickle {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                let n = buf.len().min(3);
+                self.0.extend_from_slice(&buf[..n]);
+                Ok(n)
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut writer = Trickle(Vec::new());
+        let frame = Frame::new("stream-name", (0..100u8).collect());
+        write_frame(&mut writer, &frame).unwrap();
+        let got = read_frame(&mut writer.0.as_slice()).unwrap().unwrap();
+        assert_eq!(got, frame);
+    }
+
+    #[test]
+    fn server_can_transform_frames() {
+        for config in configs() {
+            let server = EventServer::bind_with(
+                "127.0.0.1:0",
+                Arc::new(|mut frame: Frame| {
+                    frame.payload.reverse();
+                    Some(frame)
+                }),
+                config,
+            )
+            .unwrap();
+            let mut client = EventClient::connect(server.local_addr()).unwrap();
+            let reply = client.request(&Frame::new("s", vec![1, 2, 3])).unwrap();
+            assert_eq!(reply.payload, vec![3, 2, 1]);
+        }
+    }
+
+    #[test]
+    fn one_way_frames_are_allowed() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        for config in configs() {
+            let seen = Arc::new(AtomicUsize::new(0));
+            let server = {
+                let seen = Arc::clone(&seen);
+                EventServer::bind_with(
+                    "127.0.0.1:0",
+                    Arc::new(move |_frame| {
+                        seen.fetch_add(1, Ordering::SeqCst);
+                        None
+                    }),
+                    config,
+                )
+                .unwrap()
+            };
+            let mut client = EventClient::connect(server.local_addr()).unwrap();
+            for _ in 0..10 {
+                client.send(&Frame::new("s", vec![0])).unwrap();
+            }
+            drop(client);
+            // Wait for the connection to drain.
+            for _ in 0..100 {
+                if seen.load(Ordering::SeqCst) == 10 {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            assert_eq!(seen.load(Ordering::SeqCst), 10);
+        }
+    }
+
+    #[test]
+    fn empty_payload_and_empty_stream_name() {
+        for config in configs() {
+            let server = echo_with(config);
+            let mut client = EventClient::connect(server.local_addr()).unwrap();
+            let frame = Frame::new("", Vec::new());
+            assert_eq!(client.request(&frame).unwrap(), frame);
+        }
+    }
+
+    #[test]
+    fn hostile_length_prefix_is_rejected() {
+        let mut bytes: &[u8] = &[0xFF, 0xFF, 0xFF, 0xFF];
+        assert!(matches!(
+            read_frame(&mut bytes),
+            Err(BackboneError::BadFrame { .. })
+        ));
+    }
+
+    #[test]
+    fn clean_eof_yields_none() {
+        let mut bytes: &[u8] = &[];
+        assert!(read_frame(&mut bytes).unwrap().is_none());
+    }
+
+    #[test]
+    fn frame_bytes_round_trip_without_sockets() {
+        let frame = Frame::new("stream-α", vec![0, 1, 2, 255]);
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &frame).unwrap();
+        let mut cursor: &[u8] = &buf;
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), frame);
+        assert!(read_frame(&mut cursor).unwrap().is_none());
+    }
+
+    #[test]
+    fn idle_server_never_wakes() {
+        for config in configs() {
+            // The accept loop blocks in accept(2) and event-loop shards
+            // sleep in the kernel; an idle server must not spin. Give it
+            // time to misbehave, then check the counters.
+            let server = echo_with(config);
+            let settle_wakeups = server.net_stats().loop_wakeups;
+            std::thread::sleep(Duration::from_millis(200));
+            assert_eq!(server.accept_wakeups(), 0, "idle accept loop woke up");
+            assert_eq!(
+                server.net_stats().loop_wakeups,
+                settle_wakeups,
+                "idle event loop woke up"
+            );
+            // A real connection wakes the acceptor exactly once.
+            let mut client = EventClient::connect(server.local_addr()).unwrap();
+            let _ = client.request(&Frame::new("s", vec![1])).unwrap();
+            assert_eq!(server.accept_wakeups(), 1);
+        }
+    }
+
+    #[test]
+    fn blocked_writer_does_not_stall_the_accept_loop() {
+        for config in configs() {
+            // A peer that sends requests, half-closes, and never reads
+            // its replies leaves megabytes of output waiting on a socket
+            // that can't take them. Neither transport may let that stall
+            // other clients: the threaded reaper must not join the
+            // wedged writer, and the event loop must park the connection
+            // on write interest and move on.
+            let server = echo_with(config);
+            let wedged = TcpStream::connect(server.local_addr()).unwrap();
+            {
+                let mut tx = BufWriter::new(wedged.try_clone().unwrap());
+                let big = Frame::new("big", vec![0xAB; 1 << 20]);
+                for _ in 0..32 {
+                    write_frame(&mut tx, &big).unwrap();
+                }
+            }
+            // Half-close: the server sees EOF on the read side while the
+            // replies (32 MiB, unread by us) remain queued.
+            wedged.shutdown(Shutdown::Write).unwrap();
+            std::thread::sleep(Duration::from_millis(200));
+            // A fresh client must still get served promptly.
+            let probe = TcpStream::connect(server.local_addr()).unwrap();
+            probe.set_nodelay(true).unwrap();
+            probe.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+            let mut writer = BufWriter::new(probe.try_clone().unwrap());
+            write_frame(&mut writer, &Frame::new("ping", vec![1])).unwrap();
+            let mut reader = BufReader::new(probe);
+            let reply = read_frame(&mut reader)
+                .expect("server stalled behind a blocked writer")
+                .unwrap();
+            assert_eq!(reply.payload, vec![1]);
+            drop(wedged); // keep the wedged socket alive until here
+        }
+    }
+
+    #[test]
+    fn dead_connections_are_reaped() {
+        for config in configs() {
+            let server = echo_with(config);
+            for _ in 0..3 {
+                let mut client = EventClient::connect(server.local_addr()).unwrap();
+                let _ = client.request(&Frame::new("s", vec![1])).unwrap();
+                drop(client);
+            }
+            // The event loop closes on EOF directly; the threaded
+            // transport reaps finished predecessors on each new accept.
+            std::thread::sleep(Duration::from_millis(100));
+            let mut probe = EventClient::connect(server.local_addr()).unwrap();
+            let _ = probe.request(&Frame::new("s", vec![1])).unwrap();
+            std::thread::sleep(Duration::from_millis(50));
+            assert!(
+                server.connection_count() <= 2,
+                "dead connections not reaped: {}",
+                server.connection_count()
+            );
+            assert!(server.net_stats().connections_reaped >= 3);
+        }
+    }
+
+    #[test]
+    fn net_stats_track_traffic() {
+        for config in configs() {
+            let server = echo_with(config);
+            let mut client = EventClient::connect(server.local_addr()).unwrap();
+            for i in 0..10u32 {
+                let _ = client.request(&Frame::new("s", i.to_le_bytes().to_vec())).unwrap();
+            }
+            // Counters are bumped just after their observable effect
+            // (the reply reaching the client), so poll briefly.
+            assert!(
+                eventually(|| server.net_stats().frames_written == 10),
+                "frames_written never reached 10: {:?}",
+                server.net_stats()
+            );
+            let stats = server.net_stats();
+            assert_eq!(stats.connections_accepted, 1);
+            assert_eq!(stats.connections_open, 1);
+            assert_eq!(stats.frames_read, 10);
+            assert!(stats.writev_calls >= 1);
+            assert!(stats.reply_queue_high_water >= 1);
+            match server.transport() {
+                Transport::Readiness => assert_eq!(stats.transport, "readiness-epoll"),
+                Transport::Threaded => assert_eq!(stats.transport, "threaded"),
+            }
+        }
+    }
+
+    #[test]
+    fn server_push_reaches_subscribers() {
+        for config in configs() {
+            // A routed handler records which connection said hello; the
+            // server then pushes frames to it unprompted (broker fanout).
+            let subscriber: Arc<Mutex<Option<ConnId>>> = Arc::new(Mutex::new(None));
+            let server = {
+                let subscriber = Arc::clone(&subscriber);
+                EventServer::bind_routed(
+                    "127.0.0.1:0",
+                    Arc::new(move |conn, frame: Frame| {
+                        *subscriber.lock() = Some(conn);
+                        Some(frame) // ack the subscribe
+                    }),
+                    config,
+                )
+                .unwrap()
+            };
+            let mut client = EventClient::connect(server.local_addr()).unwrap();
+            let _ = client.request(&Frame::new("subscribe", vec![])).unwrap();
+            let conn = subscriber.lock().expect("handler saw the subscribe");
+            let handle = server.handle();
+            for i in 0..5u8 {
+                assert!(handle.send(conn, Frame::new("push", vec![i])));
+            }
+            for i in 0..5u8 {
+                let frame = client.recv().unwrap().unwrap();
+                assert_eq!(frame.stream, "push");
+                assert_eq!(frame.payload, vec![i]);
+            }
+            // Pushes to a connection that never existed are dropped and
+            // counted, not errors.
+            assert!(!handle.send(9999, Frame::new("push", vec![0])) || {
+                // The readiness push resolves asynchronously on the
+                // shard; poll the drop counter instead.
+                let mut dropped = false;
+                for _ in 0..100 {
+                    if server.net_stats().pushes_dropped >= 1 {
+                        dropped = true;
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                dropped
+            });
+        }
+    }
+
+    #[test]
+    fn poll_fallback_round_trips() {
+        // The portable poll(2) backend must carry the same traffic as
+        // epoll (differential coverage for non-Linux builds).
+        let server = echo_with(NetConfig {
+            transport: Transport::Readiness,
+            shards: 2,
+            reply_queue_depth: WRITER_QUEUE_DEPTH,
+            force_poll_fallback: true,
+        });
+        assert_eq!(server.net_stats().transport, "readiness-poll");
+        let mut client = EventClient::connect(server.local_addr()).unwrap();
+        for i in 0..50u32 {
+            let frame = Frame::new("s", i.to_le_bytes().to_vec());
+            assert_eq!(client.request(&frame).unwrap(), frame);
+        }
+    }
+
+    #[test]
+    fn backpressure_pauses_reads_instead_of_unbounded_buffering() {
+        // A tiny reply queue plus a client that sends a flood before
+        // reading anything forces the event loop to suspend parsing
+        // (read_pauses) rather than queue replies without bound — and
+        // every reply must still arrive, in order, once the client
+        // starts reading.
+        let server = echo_with(NetConfig {
+            transport: Transport::Readiness,
+            shards: 1,
+            reply_queue_depth: 2,
+            force_poll_fallback: false,
+        });
+        // Hundreds of small frames arrive in each socket read, so the
+        // parse loop hits the depth-2 bound long before the flood is
+        // consumed and must pause/resume repeatedly.
+        let mut client = EventClient::connect(server.local_addr()).unwrap();
+        let frames: Vec<Frame> =
+            (0..400u16).map(|i| Frame::new("flood", i.to_le_bytes().repeat(512))).collect();
+        client.send_batch(&frames).unwrap();
+        for frame in &frames {
+            assert_eq!(client.recv().unwrap().unwrap(), *frame);
+        }
+        let stats = server.net_stats();
+        assert!(stats.read_pauses >= 1, "flood never engaged backpressure");
+        assert!(stats.reply_queue_high_water <= 2);
+    }
+}

@@ -1,0 +1,358 @@
+//! The thread-per-connection transport — the pre-event-loop
+//! architecture, kept as a runtime-selectable **differential oracle**:
+//! one blocking reader thread and one coalescing writer thread per
+//! socket, a bounded reply queue between them, and a reaper that joins
+//! finished pairs. Its observable behaviour (frame byte streams,
+//! delivery ordering, backpressure, drain-on-close) defines what the
+//! readiness transport must reproduce; the equivalence tests hold the
+//! two implementations against each other.
+//!
+//! The model is simple and latency-friendly at small fan-in, but costs
+//! two OS threads (and two stacks) per connection — the scaling wall
+//! that motivated the event loop.
+
+use std::collections::HashMap;
+use std::io::BufReader;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use parking_lot::Mutex;
+
+use crate::error::BackboneError;
+
+use super::{
+    read_frame, write_frame_batch, ConnId, Frame, NetCounters, RoutedHandler,
+    MAX_FRAMES_PER_WRITEV,
+};
+
+/// One live connection as the server tracks it: the socket (for
+/// shutdown), a count of its still-running threads, a push sender for
+/// server-initiated frames, and the thread handles the reaper joins.
+/// The reaper only touches entries whose count has reached zero, so
+/// joining can never block the accept loop on a writer stuck in a
+/// socket write to a slow peer.
+struct ConnEntry {
+    stream: TcpStream,
+    live_threads: Arc<AtomicUsize>,
+    /// Cleared when the reader exits so the writer (which drains until
+    /// every sender is gone) can observe disconnection.
+    push_tx: Option<Sender<Frame>>,
+    /// Current reply-queue depth, shared by both producers (reader
+    /// replies and external pushes) and the consumer (writer).
+    queued: Arc<AtomicUsize>,
+    reader: Option<JoinHandle<()>>,
+    writer: Option<JoinHandle<()>>,
+}
+
+impl ConnEntry {
+    fn join(&mut self) {
+        // Drop the push sender first: a writer idling in recv would
+        // otherwise never see disconnection and the join would hang.
+        self.push_tx = None;
+        if let Some(handle) = self.reader.take() {
+            let _ = handle.join();
+        }
+        if let Some(handle) = self.writer.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// State shared between the server, its accept loop, and the
+/// [`ServerHandle`](super::ServerHandle) push path.
+pub(super) struct Shared {
+    conns: Mutex<HashMap<ConnId, ConnEntry>>,
+    counters: Arc<NetCounters>,
+    queue_depth: usize,
+}
+
+impl Shared {
+    /// Queues a server-initiated frame to a connection's writer.
+    /// Returns `false` if the connection is unknown, its reader has
+    /// exited, or its reply queue is full (the frame is dropped and
+    /// counted — `DropNewest`, matching what a full bounded queue means
+    /// for a push that must not block broker fanout).
+    pub(super) fn push(&self, conn: ConnId, frame: Frame) -> bool {
+        let conns = self.conns.lock();
+        let Some(entry) = conns.get(&conn) else {
+            self.counters.pushes_dropped.fetch_add(1, Ordering::Relaxed);
+            return false;
+        };
+        let Some(tx) = &entry.push_tx else {
+            self.counters.pushes_dropped.fetch_add(1, Ordering::Relaxed);
+            return false;
+        };
+        // Count before sending: the writer decrements as it drains, so
+        // incrementing after the send could race it below zero.
+        let depth = entry.queued.fetch_add(1, Ordering::Relaxed) + 1;
+        match tx.try_send(frame) {
+            Ok(()) => {
+                self.counters.note_queue_depth(depth);
+                true
+            }
+            Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
+                entry.queued.fetch_sub(1, Ordering::Relaxed);
+                self.counters.pushes_dropped.fetch_add(1, Ordering::Relaxed);
+                false
+            }
+        }
+    }
+}
+
+/// The thread-per-connection event server implementation.
+pub(super) struct Server {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+    shared: Arc<Shared>,
+    wakeups: Arc<AtomicU64>,
+}
+
+impl Server {
+    pub(super) fn bind(
+        listener: TcpListener,
+        handler: RoutedHandler,
+        queue_depth: usize,
+        counters: Arc<NetCounters>,
+    ) -> Result<Server, BackboneError> {
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let shared = Arc::new(Shared {
+            conns: Mutex::new(HashMap::new()),
+            counters,
+            queue_depth,
+        });
+        let wakeups = Arc::new(AtomicU64::new(0));
+        let handle = {
+            let stop = Arc::clone(&stop);
+            let shared = Arc::clone(&shared);
+            let wakeups = Arc::clone(&wakeups);
+            std::thread::Builder::new().name("event-server".to_owned()).spawn(move || {
+                accept_loop(&listener, &handler, &stop, &shared, &wakeups)
+            })?
+        };
+        Ok(Server { addr, stop, handle: Some(handle), shared, wakeups })
+    }
+
+    pub(super) fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    pub(super) fn accept_wakeups(&self) -> u64 {
+        self.wakeups.load(Ordering::SeqCst)
+    }
+
+    pub(super) fn connection_count(&self) -> usize {
+        self.shared.conns.lock().len()
+    }
+
+    pub(super) fn shared(&self) -> Arc<Shared> {
+        Arc::clone(&self.shared)
+    }
+
+    pub(super) fn counters(&self) -> &NetCounters {
+        &self.shared.counters
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the blocking accept with a self-connect.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+        // Take every connection out of the table *before* joining:
+        // exiting readers lock the table to clear their push sender,
+        // and joining while holding the lock would deadlock with them.
+        let entries: Vec<ConnEntry> = {
+            let mut conns = self.shared.conns.lock();
+            conns.drain().map(|(_, entry)| entry).collect()
+        };
+        for mut entry in entries {
+            let _ = entry.stream.shutdown(Shutdown::Both);
+            entry.join();
+            self.shared.counters.note_closed();
+        }
+    }
+}
+
+/// Removes and joins connections whose threads have finished — run on
+/// each accept so dead peers (write errors, disconnects) release their
+/// threads instead of accumulating.
+fn reap_finished(shared: &Shared) {
+    let mut finished = Vec::new();
+    {
+        let mut conns = shared.conns.lock();
+        let ids: Vec<ConnId> = conns
+            .iter()
+            .filter(|(_, entry)| entry.live_threads.load(Ordering::SeqCst) == 0)
+            .map(|(id, _)| *id)
+            .collect();
+        for id in ids {
+            if let Some(entry) = conns.remove(&id) {
+                finished.push(entry);
+            }
+        }
+    }
+    // Both threads have already exited, so these joins cannot block;
+    // they run outside the lock regardless.
+    for mut entry in finished {
+        entry.join();
+        shared.counters.note_closed();
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    handler: &RoutedHandler,
+    stop: &Arc<AtomicBool>,
+    shared: &Arc<Shared>,
+    wakeups: &Arc<AtomicU64>,
+) {
+    let mut next_id: ConnId = 0;
+    loop {
+        // Blocking accept: no polling, no idle wakeups. Shutdown wakes
+        // it with a self-connect after setting `stop`.
+        match listener.accept() {
+            Ok((stream, _)) => {
+                wakeups.fetch_add(1, Ordering::SeqCst);
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                reap_finished(shared);
+                let id = next_id;
+                next_id += 1;
+                if let Ok(entry) =
+                    spawn_connection(id, stream, Arc::clone(handler), Arc::clone(shared))
+                {
+                    shared.counters.note_accepted();
+                    shared.counters.note_open();
+                    shared.conns.lock().insert(id, entry);
+                }
+            }
+            Err(_) => {
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                // Error backoff (not idle polling — the idle path blocks
+                // in accept): a persistent failure such as EMFILE would
+                // otherwise busy-spin this loop at 100% CPU.
+                std::thread::sleep(std::time::Duration::from_millis(10));
+            }
+        }
+    }
+}
+
+/// Starts the reader and writer threads for one connection.
+fn spawn_connection(
+    id: ConnId,
+    stream: TcpStream,
+    handler: RoutedHandler,
+    shared: Arc<Shared>,
+) -> std::io::Result<ConnEntry> {
+    stream.set_nodelay(true)?;
+    let live_threads = Arc::new(AtomicUsize::new(2));
+    let (reply_tx, reply_rx) = bounded::<Frame>(shared.queue_depth);
+    let queued = Arc::new(AtomicUsize::new(0));
+
+    let writer = {
+        let stream = stream.try_clone()?;
+        let live = Arc::clone(&live_threads);
+        let counters = Arc::clone(&shared.counters);
+        let queued = Arc::clone(&queued);
+        std::thread::Builder::new().name("event-conn-writer".to_owned()).spawn(move || {
+            writer_loop(&stream, &reply_rx, &counters, &queued);
+            // A write error (or reader exit) ends the connection both
+            // ways; the reaper removes the entry on the next accept.
+            let _ = stream.shutdown(Shutdown::Both);
+            live.fetch_sub(1, Ordering::SeqCst);
+        })?
+    };
+
+    let push_tx = reply_tx.clone();
+    let reader = {
+        let stream = stream.try_clone()?;
+        let live = Arc::clone(&live_threads);
+        let shared = Arc::clone(&shared);
+        let queued = Arc::clone(&queued);
+        std::thread::Builder::new().name("event-conn-reader".to_owned()).spawn(move || {
+            let _ = reader_loop(id, &stream, &handler, &reply_tx, &shared, &queued);
+            // Clear the push sender so the writer can drain and exit;
+            // dropping our own reply_tx alone is not enough once the
+            // table holds a second sender.
+            if let Some(entry) = shared.conns.lock().get_mut(&id) {
+                entry.push_tx = None;
+            }
+            live.fetch_sub(1, Ordering::SeqCst);
+        })?
+    };
+
+    Ok(ConnEntry {
+        stream,
+        live_threads,
+        push_tx: Some(push_tx),
+        queued,
+        reader: Some(reader),
+        writer: Some(writer),
+    })
+}
+
+fn reader_loop(
+    id: ConnId,
+    stream: &TcpStream,
+    handler: &RoutedHandler,
+    reply_tx: &Sender<Frame>,
+    shared: &Shared,
+    queued: &AtomicUsize,
+) -> Result<(), BackboneError> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    while let Some(frame) = read_frame(&mut reader)? {
+        shared.counters.frames_read.fetch_add(1, Ordering::Relaxed);
+        if let Some(reply) = handler(id, frame) {
+            // Count before sending — the writer decrements as it
+            // drains, and incrementing after the send races it.
+            let depth = queued.fetch_add(1, Ordering::Relaxed) + 1;
+            shared.counters.note_queue_depth(depth);
+            if reply_tx.send(reply).is_err() {
+                queued.fetch_sub(1, Ordering::Relaxed);
+                break; // writer died (write error): stop consuming
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Drains the reply queue in batches and writes each batch as one
+/// coalesced vectored write. The batch is exactly what was queued when
+/// the writer woke: light load flushes per reply, bursts coalesce.
+fn writer_loop(
+    stream: &TcpStream,
+    replies: &Receiver<Frame>,
+    counters: &NetCounters,
+    queued: &AtomicUsize,
+) {
+    let mut raw = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let mut batch: Vec<Frame> = Vec::new();
+    loop {
+        batch.clear();
+        if replies.recv_batch(&mut batch, MAX_FRAMES_PER_WRITEV).is_err() {
+            return; // every sender gone and queue drained
+        }
+        queued.fetch_sub(batch.len(), Ordering::Relaxed);
+        // One writev per chunk inside write_frame_batch; a batch never
+        // exceeds the chunk size here, so this is one call.
+        counters.writev_calls.fetch_add(1, Ordering::Relaxed);
+        if write_frame_batch(&mut raw, &batch).is_err() {
+            return; // dead peer: caller shuts the socket down
+        }
+        counters.frames_written.fetch_add(batch.len() as u64, Ordering::Relaxed);
+    }
+}

@@ -25,7 +25,7 @@
 use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -55,6 +55,7 @@ pub struct FormatIdServer {
     stop: Arc<AtomicBool>,
     handle: Option<JoinHandle<()>>,
     state: Arc<RwLock<State>>,
+    wakeups: Arc<AtomicU64>,
 }
 
 impl std::fmt::Debug for FormatIdServer {
@@ -72,7 +73,6 @@ impl FormatIdServer {
     pub fn bind(addr: impl ToSocketAddrs) -> Result<FormatIdServer, X2wError> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
-        listener.set_nonblocking(true)?;
         let state: Arc<RwLock<State>> = Arc::new(RwLock::new(State {
             by_fingerprint: HashMap::new(),
             by_id: HashMap::new(),
@@ -81,14 +81,16 @@ impl FormatIdServer {
             next: 1,
         }));
         let stop = Arc::new(AtomicBool::new(false));
+        let wakeups = Arc::new(AtomicU64::new(0));
         let handle = {
             let state = Arc::clone(&state);
             let stop = Arc::clone(&stop);
+            let wakeups = Arc::clone(&wakeups);
             std::thread::Builder::new()
                 .name("format-id-server".to_owned())
-                .spawn(move || accept_loop(listener, state, stop))?
+                .spawn(move || accept_loop(&listener, &state, &stop, &wakeups))?
         };
-        Ok(FormatIdServer { addr, stop, handle: Some(handle), state })
+        Ok(FormatIdServer { addr, stop, handle: Some(handle), state, wakeups })
     }
 
     /// The bound address.
@@ -99,6 +101,13 @@ impl FormatIdServer {
     /// Number of distinct formats registered.
     pub fn format_count(&self) -> usize {
         self.state.read().by_id.len()
+    }
+
+    /// How many times the accept loop has woken. It blocks in
+    /// `accept(2)` (no sleep-polling), so an idle server stays at zero;
+    /// shutdown wakes it once via a self-connect.
+    pub fn accept_wakeups(&self) -> u64 {
+        self.wakeups.load(Ordering::SeqCst)
     }
 }
 
@@ -112,22 +121,34 @@ impl Drop for FormatIdServer {
     }
 }
 
-fn accept_loop(listener: TcpListener, state: Arc<RwLock<State>>, stop: Arc<AtomicBool>) {
-    while !stop.load(Ordering::SeqCst) {
+fn accept_loop(
+    listener: &TcpListener,
+    state: &Arc<RwLock<State>>,
+    stop: &Arc<AtomicBool>,
+    wakeups: &Arc<AtomicU64>,
+) {
+    loop {
+        // Blocking accept: an idle format server sleeps in the kernel
+        // instead of burning a 500µs sleep-poll cycle. `Drop` sets
+        // `stop` and self-connects to wake it for shutdown.
         match listener.accept() {
             Ok((stream, _)) => {
+                wakeups.fetch_add(1, Ordering::SeqCst);
                 if stop.load(Ordering::SeqCst) {
                     break;
                 }
-                let state = Arc::clone(&state);
+                let state = Arc::clone(state);
                 std::thread::spawn(move || {
                     let _ = handle_request(stream, &state);
                 });
             }
-            Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_micros(500));
+            Err(_) => {
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                // Error backoff so a persistent EMFILE cannot busy-spin.
+                std::thread::sleep(Duration::from_millis(10));
             }
-            Err(_) => break,
         }
     }
 }
@@ -401,6 +422,20 @@ mod tests {
         let ids: Vec<u32> = handles.into_iter().map(|h| h.join().unwrap()).collect();
         assert!(ids.windows(2).all(|w| w[0] == w[1]), "{ids:?}");
         assert_eq!(server.format_count(), 1);
+    }
+
+    #[test]
+    fn idle_id_server_never_wakes() {
+        // The accept loop must block in accept(2), not sleep-poll: an
+        // idle format server that wakes 2000 times a second would drag
+        // down exactly the constrained devices §4.2 cares about.
+        let server = FormatIdServer::bind("127.0.0.1:0").unwrap();
+        std::thread::sleep(Duration::from_millis(200));
+        assert_eq!(server.accept_wakeups(), 0, "idle accept loop woke up");
+        // A real request wakes it exactly once.
+        let client = FormatIdClient::new(server.local_addr()).unwrap();
+        let _ = client.register("Flight", FLIGHT).unwrap();
+        assert_eq!(server.accept_wakeups(), 1);
     }
 
     #[test]

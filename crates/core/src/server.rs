@@ -15,6 +15,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use crossbeam::channel::{bounded, Receiver, Sender};
 use parking_lot::RwLock;
 
 use crate::discovery::{DiscoveryPolicy, DiscoveryStats};
@@ -62,6 +63,10 @@ pub struct MetadataServer {
     stop: Arc<AtomicBool>,
     handle: Option<JoinHandle<()>>,
     wakeups: Arc<AtomicU64>,
+    /// Closing the sender (in `Drop`) is what tells the worker pool to
+    /// finish its queue and exit.
+    work_tx: Option<Sender<TcpStream>>,
+    workers: Vec<JoinHandle<()>>,
 }
 
 impl std::fmt::Debug for MetadataServer {
@@ -83,15 +88,46 @@ impl MetadataServer {
         let routes: Arc<RwLock<Routes>> = Arc::new(RwLock::new(Routes::default()));
         let stop = Arc::new(AtomicBool::new(false));
         let wakeups = Arc::new(AtomicU64::new(0));
-        let handle = {
+        // A small bounded worker pool instead of a thread per
+        // connection: discovery fetches are rare but can stampede when
+        // a fleet of subscribers restarts, and an accept storm must not
+        // translate into an unbounded thread storm. The acceptor blocks
+        // on a full queue, which parks the overflow in the TCP backlog.
+        // Connection handling keeps its per-request read deadlines (the
+        // PR-3 slow-loris hardening), so one dripping client stalls one
+        // worker for at most ~5s, not forever.
+        let (work_tx, work_rx) = bounded::<TcpStream>(WORKER_QUEUE_DEPTH);
+        let mut workers = Vec::with_capacity(WORKER_POOL_SIZE);
+        for index in 0..WORKER_POOL_SIZE {
             let routes = Arc::clone(&routes);
+            let work_rx: Receiver<TcpStream> = work_rx.clone();
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("metadata-worker-{index}"))
+                    .spawn(move || {
+                        while let Ok(stream) = work_rx.recv() {
+                            let _ = handle_connection(stream, &routes);
+                        }
+                    })?,
+            );
+        }
+        let handle = {
             let stop = Arc::clone(&stop);
             let wakeups = Arc::clone(&wakeups);
+            let work_tx = work_tx.clone();
             std::thread::Builder::new()
                 .name("metadata-server".to_owned())
-                .spawn(move || serve_loop(&listener, &routes, &stop, &wakeups))?
+                .spawn(move || serve_loop(&listener, &work_tx, &stop, &wakeups))?
         };
-        Ok(MetadataServer { addr, routes, stop, handle: Some(handle), wakeups })
+        Ok(MetadataServer {
+            addr,
+            routes,
+            stop,
+            handle: Some(handle),
+            wakeups,
+            work_tx: Some(work_tx),
+            workers,
+        })
     }
 
     /// The address the server is listening on.
@@ -147,12 +183,27 @@ impl Drop for MetadataServer {
         if let Some(handle) = self.handle.take() {
             let _ = handle.join();
         }
+        // With the acceptor gone, dropping the last sender lets the
+        // workers drain whatever was queued and exit.
+        self.work_tx = None;
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
     }
 }
 
+/// Handler threads serving accepted connections; requests are short
+/// (one document each) so a handful of workers covers a discovery
+/// stampede without spawning a thread per socket.
+const WORKER_POOL_SIZE: usize = 4;
+
+/// Accepted-but-unserved connections the acceptor will hold before it
+/// leans on the TCP backlog.
+const WORKER_QUEUE_DEPTH: usize = 64;
+
 fn serve_loop(
     listener: &TcpListener,
-    routes: &Arc<RwLock<Routes>>,
+    work_tx: &Sender<TcpStream>,
     stop: &Arc<AtomicBool>,
     wakeups: &Arc<AtomicU64>,
 ) {
@@ -165,12 +216,12 @@ fn serve_loop(
                 if stop.load(Ordering::SeqCst) {
                     break;
                 }
-                let routes = Arc::clone(routes);
-                // One thread per connection: metadata requests are rare
-                // (discovery-time only), so simplicity wins.
-                std::thread::spawn(move || {
-                    let _ = handle_connection(stream, &routes);
-                });
+                // A full queue blocks here, parking further clients in
+                // the TCP backlog — bounded memory under an accept
+                // storm.
+                if work_tx.send(stream).is_err() {
+                    break;
+                }
             }
             Err(_) => {
                 if stop.load(Ordering::SeqCst) {
@@ -679,6 +730,32 @@ mod tests {
         server.publish("/z.xsd", DOC);
         server.publish("/a.xsd", DOC);
         assert_eq!(server.published_paths(), vec!["/a.xsd", "/z.xsd"]);
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn connection_handling_does_not_spawn_per_request_threads() {
+        fn thread_count() -> usize {
+            std::fs::read_to_string("/proc/self/status")
+                .unwrap()
+                .lines()
+                .find_map(|line| line.strip_prefix("Threads:"))
+                .and_then(|v| v.trim().parse().ok())
+                .unwrap()
+        }
+        let server = MetadataServer::bind("127.0.0.1:0").unwrap();
+        server.publish("/a.xsd", DOC);
+        let baseline = thread_count();
+        for _ in 0..50 {
+            assert_eq!(http_get(&server.url_for("/a.xsd")).unwrap(), DOC);
+        }
+        // The worker pool was fully spawned at bind: request traffic
+        // must not create any further threads.
+        assert!(
+            thread_count() <= baseline,
+            "requests spawned threads: {baseline} -> {}",
+            thread_count()
+        );
     }
 
     #[test]
