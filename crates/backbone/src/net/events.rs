@@ -29,7 +29,7 @@
 //!   `TcpStream` drop closes the fd); the table removal is the
 //!   once-guard, so peer resets racing mid-write cannot double-close.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::io::Read;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::unix::io::AsRawFd;
@@ -68,6 +68,44 @@ struct ShardShared {
     waker: Waker,
 }
 
+impl ShardShared {
+    /// Enqueues one command, writing the waker's eventfd only on the
+    /// empty→non-empty transition. Safe because the shard's
+    /// `drain_inbox` re-locks and loops until the inbox is observed
+    /// empty: a command appended while the inbox is non-empty is
+    /// collected by the drain already in flight, so a second kernel
+    /// wakeup would be redundant.
+    fn enqueue(&self, cmd: Cmd) {
+        let was_empty = {
+            let mut inbox = self.inbox.lock();
+            let was_empty = inbox.is_empty();
+            inbox.push_back(cmd);
+            was_empty
+        };
+        if was_empty {
+            self.waker.wake();
+        }
+    }
+
+    /// Enqueues a whole command batch under one inbox lock with at most
+    /// one waker write — the broker-fanout fast path (per-frame syscall
+    /// cost becomes per-batch).
+    fn enqueue_batch(&self, cmds: Vec<Cmd>) {
+        if cmds.is_empty() {
+            return;
+        }
+        let was_empty = {
+            let mut inbox = self.inbox.lock();
+            let was_empty = inbox.is_empty();
+            inbox.extend(cmds);
+            was_empty
+        };
+        if was_empty {
+            self.waker.wake();
+        }
+    }
+}
+
 /// State shared between the server, acceptor, and push handles.
 pub(super) struct Shared {
     shards: Vec<Arc<ShardShared>>,
@@ -89,10 +127,29 @@ impl Shared {
         if self.stop.load(Ordering::SeqCst) {
             return false;
         }
-        let shard = self.shard_for(conn);
-        shard.inbox.lock().push_back(Cmd::Push(conn, frame));
-        shard.waker.wake();
+        self.shard_for(conn).enqueue(Cmd::Push(conn, frame));
         true
+    }
+
+    /// Enqueues a whole fanout batch, grouping frames by owning shard
+    /// so each shard pays one inbox lock and at most one eventfd write
+    /// for the batch instead of one per frame. Returns the frames that
+    /// were definitely not enqueued (only when the server is shutting
+    /// down); per-connection overflow is still resolved on the shard
+    /// and counted in `pushes_dropped`.
+    pub(super) fn push_batch(&self, frames: Vec<(ConnId, Frame)>) -> Vec<(ConnId, Frame)> {
+        if self.stop.load(Ordering::SeqCst) {
+            return frames;
+        }
+        let shard_count = self.shards.len();
+        let mut groups: Vec<Vec<Cmd>> = (0..shard_count).map(|_| Vec::new()).collect();
+        for (conn, frame) in frames {
+            groups[(conn as usize) % shard_count].push(Cmd::Push(conn, frame));
+        }
+        for (index, cmds) in groups.into_iter().enumerate() {
+            self.shards[index].enqueue_batch(cmds);
+        }
+        Vec::new()
     }
 }
 
@@ -239,9 +296,7 @@ fn accept_loop(
                 shared.counters.note_accepted();
                 let id = next_id;
                 next_id += 1;
-                let shard = shared.shard_for(id);
-                shard.inbox.lock().push_back(Cmd::Register(id, stream));
-                shard.waker.wake();
+                shared.shard_for(id).enqueue(Cmd::Register(id, stream));
             }
             Err(_) => {
                 if stop.load(Ordering::SeqCst) {
@@ -315,20 +370,35 @@ impl Shard {
     }
 
     fn drain_inbox(&mut self) {
+        // Queue every pushed frame first, then service each touched
+        // connection once: frames that accumulated for one connection
+        // while the shard was busy leave in a single writev instead of
+        // one syscall per frame.
+        let mut touched: Vec<ConnId> = Vec::new();
+        let mut seen: HashSet<ConnId> = HashSet::new();
         loop {
             let cmds: Vec<Cmd> = {
                 let mut inbox = self.shared.inbox.lock();
                 if inbox.is_empty() {
-                    return;
+                    break;
                 }
                 inbox.drain(..).collect()
             };
             for cmd in cmds {
                 match cmd {
                     Cmd::Register(id, stream) => self.register(id, stream),
-                    Cmd::Push(id, frame) => self.push(id, frame),
+                    Cmd::Push(id, frame) => {
+                        if self.queue_push(id, frame) && seen.insert(id) {
+                            touched.push(id);
+                        }
+                    }
                 }
             }
+        }
+        for id in touched {
+            // Flush eagerly: only a WouldBlock leaves residue (and arms
+            // write interest).
+            self.service(id, false, false);
         }
     }
 
@@ -353,20 +423,21 @@ impl Shard {
         );
     }
 
-    fn push(&mut self, id: ConnId, frame: Frame) {
+    /// Queues one pushed frame under the reply-queue bound without
+    /// flushing. Returns whether the frame was accepted (so the caller
+    /// knows the connection needs a service pass).
+    fn queue_push(&mut self, id: ConnId, frame: Frame) -> bool {
         let Some(conn) = self.conns.get_mut(&id) else {
             self.counters.pushes_dropped.fetch_add(1, Ordering::Relaxed);
-            return;
+            return false;
         };
         if conn.machine.queued_frames() >= self.queue_depth {
             self.counters.pushes_dropped.fetch_add(1, Ordering::Relaxed);
-            return;
+            return false;
         }
         conn.machine.queue(frame);
         self.counters.note_queue_depth(conn.machine.queued_frames());
-        // Flush eagerly: only a WouldBlock leaves residue (and arms
-        // write interest).
-        self.service(id, false, false);
+        true
     }
 
     /// Runs one connection's state machine forward: optional socket

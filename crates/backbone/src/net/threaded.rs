@@ -100,6 +100,42 @@ impl Shared {
             }
         }
     }
+
+    /// Queues a fanout batch under one connection-table lock, returning
+    /// the frames that were rejected (unknown connection, dead writer,
+    /// full queue) so the caller can retry or drop them. The threaded
+    /// transport has no per-push syscall to coalesce — this exists for
+    /// API parity with the readiness batch path and to amortize the
+    /// table lock.
+    pub(super) fn push_batch(&self, frames: Vec<(ConnId, Frame)>) -> Vec<(ConnId, Frame)> {
+        let mut rejected = Vec::new();
+        let conns = self.conns.lock();
+        for (conn, frame) in frames {
+            let entry = match conns.get(&conn) {
+                Some(entry) => entry,
+                None => {
+                    self.counters.pushes_dropped.fetch_add(1, Ordering::Relaxed);
+                    rejected.push((conn, frame));
+                    continue;
+                }
+            };
+            let Some(tx) = &entry.push_tx else {
+                self.counters.pushes_dropped.fetch_add(1, Ordering::Relaxed);
+                rejected.push((conn, frame));
+                continue;
+            };
+            let depth = entry.queued.fetch_add(1, Ordering::Relaxed) + 1;
+            match tx.try_send(frame) {
+                Ok(()) => self.counters.note_queue_depth(depth),
+                Err(TrySendError::Full(frame)) | Err(TrySendError::Disconnected(frame)) => {
+                    entry.queued.fetch_sub(1, Ordering::Relaxed);
+                    self.counters.pushes_dropped.fetch_add(1, Ordering::Relaxed);
+                    rejected.push((conn, frame));
+                }
+            }
+        }
+        rejected
+    }
 }
 
 /// The thread-per-connection event server implementation.

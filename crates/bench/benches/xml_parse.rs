@@ -20,8 +20,14 @@ use std::hint::black_box;
 use std::time::{Duration, Instant};
 
 use clayout::Architecture;
-use omf_bench::{bind, fmt_ns, generated_schema, record_cd, SCHEMA_A, SCHEMA_B, SCHEMA_CD};
-use xmlparse::{classic, Atoms, BorrowedEvent, Document, Reader};
+use omf_bench::{
+    bind, fmt_ns, generated_schema, generated_schema_set, record_cd, SchemaSetSource, SCHEMA_A,
+    SCHEMA_B, SCHEMA_CD,
+};
+use xmlparse::{
+    classic, Atoms, BorrowedEvent, Document, Event, IndexReader, Reader, StreamingReader,
+    TapeBuilder,
+};
 
 /// Measures `f` repeatedly and returns ns/iteration. In smoke mode runs
 /// the routine exactly once (correctness only).
@@ -100,8 +106,93 @@ fn measure(name: &str, doc: &str, smoke: bool) -> Row {
     }
 }
 
+/// Peak resident set (VmHWM) in KiB from `/proc/self/status`, or 0
+/// where /proc is unavailable.
+fn vm_hwm_kb() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else { return 0 };
+    status
+        .lines()
+        .find_map(|line| line.strip_prefix("VmHWM:"))
+        .and_then(|rest| rest.trim().trim_end_matches(" kB").trim().parse().ok())
+        .unwrap_or(0)
+}
+
+/// FNV-1a over the debug form of one event — a canonical event-stream
+/// fingerprint that two readers can compute without both event vectors
+/// being alive at once.
+fn fnv_event(hash: &mut u64, ev: &Event) {
+    for b in format!("{ev:?}").bytes() {
+        *hash ^= u64::from(b);
+        *hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Tracks how many bytes a source produced, so the RSS gate can prove
+/// the streamed document really was ≥ 8 MiB.
+struct CountingRead<R> {
+    inner: R,
+    bytes: u64,
+}
+
+impl<R: std::io::Read> std::io::Read for CountingRead<R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.bytes += n as u64;
+        Ok(n)
+    }
+}
+
+/// Streams the generated schema set straight out of the generator —
+/// the document never exists in memory — counting events and hashing
+/// the event stream, with the VmHWM delta across the run.
+fn stream_schema_set(types: usize, fields: usize) -> (u64, u64, u64, u64) {
+    let before = vm_hwm_kb();
+    let mut source = CountingRead { inner: SchemaSetSource::new(types, fields), bytes: 0 };
+    let mut reader = StreamingReader::new(&mut source);
+    let mut events = 0u64;
+    let mut hash = FNV_OFFSET;
+    loop {
+        match reader.next_event().expect("generated schema set is well-formed") {
+            Event::Eof => break,
+            ev => {
+                fnv_event(&mut hash, &ev);
+                events += 1;
+            }
+        }
+    }
+    let bytes = source.bytes;
+    let delta = vm_hwm_kb().saturating_sub(before);
+    (events, hash, bytes, delta)
+}
+
+/// `--rss-smoke`: the CI bounded-memory gate, run in a clean process so
+/// the peak-RSS delta is attributable to the streaming parse alone. An
+/// ≥ 8 MiB schema document flows from the generator through
+/// [`StreamingReader`] without ever being materialized; the parse must
+/// not raise the process peak RSS by more than 2 MiB.
+fn rss_streaming_smoke() {
+    let (events, hash, bytes, delta_kb) = stream_schema_set(2_400, 80);
+    println!(
+        "rss-smoke: streamed {bytes} bytes, {events} events, fnv {hash:016x}, \
+         peak-RSS delta {delta_kb} KiB"
+    );
+    assert!(bytes >= 8 * 1024 * 1024, "corpus only {bytes} bytes — below the 8 MiB floor");
+    assert!(events > 0, "streaming produced no events");
+    assert!(
+        delta_kb <= 2 * 1024,
+        "streaming raised peak RSS by {delta_kb} KiB — over the 2 MiB ceiling"
+    );
+    println!("rss-smoke: ceiling held");
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--test");
+    if std::env::args().any(|a| a == "--rss-smoke") {
+        rss_streaming_smoke();
+        return;
+    }
 
     let gen256 = generated_schema(256);
     let record_doc = {
@@ -152,10 +243,143 @@ fn main() {
     println!("dom-interned (gen256):     {}", fmt_ns(interned));
     println!("textxml-decode (recordCD): {}", fmt_ns(textxml_decode));
 
+    // ---- E-index: structural-index ingest on a multi-MB schema set ----
+    // Smoke mode shrinks the corpus (correctness only); timed runs use
+    // the full ≥ 8 MiB document.
+    let (set_types, set_fields) = if smoke { (300, 40) } else { (2_400, 80) };
+
+    // Bounded-memory streaming first, before the in-memory corpus and
+    // event vectors inflate the process peak: the document flows out of
+    // the generator, never materialized.
+    let (stream_events_n, stream_fnv, stream_bytes, rss_delta_kb) =
+        stream_schema_set(set_types, set_fields);
+
+    let schema_set = generated_schema_set(set_types, set_fields);
+    assert_eq!(schema_set.len() as u64, stream_bytes);
+
+    // Phase 1 alone: the delimiter tape pass over the whole document.
+    let mut tape_builder = TapeBuilder::new();
+    let tape_ns = time(smoke, || tape_builder.build(&schema_set).len());
+    // Phase 1 + 2: build the tape, then replay it as borrowed events.
+    let mut index_builder = TapeBuilder::new();
+    let index_ns = time(smoke, || {
+        let tape = index_builder.build(&schema_set);
+        let mut reader = IndexReader::new(&schema_set, tape);
+        let mut events = 0usize;
+        loop {
+            match reader.next_borrowed().unwrap() {
+                BorrowedEvent::Eof => break,
+                ev => {
+                    black_box(&ev);
+                    events += 1;
+                }
+            }
+        }
+        events
+    });
+    // The scanning baseline on the same document.
+    let set_borrowed_ns = time(smoke, || {
+        let mut reader = Reader::new(&schema_set);
+        let mut events = 0usize;
+        loop {
+            match reader.next_borrowed().unwrap() {
+                BorrowedEvent::Eof => break,
+                ev => {
+                    black_box(&ev);
+                    events += 1;
+                }
+            }
+        }
+        events
+    });
+    // Windowed streaming over in-memory bytes (owned events).
+    let set_stream_ns = time(smoke, || {
+        let mut reader = StreamingReader::new(schema_set.as_bytes());
+        let mut events = 0usize;
+        loop {
+            match reader.next_event().unwrap() {
+                Event::Eof => break,
+                ev => {
+                    black_box(&ev);
+                    events += 1;
+                }
+            }
+        }
+        events
+    });
+
+    // Fidelity: all three ingest paths must produce identical event
+    // streams on the same bytes (vectors compared pairwise so only two
+    // are alive at once).
+    let reader_events = Reader::new(&schema_set).collect_events().unwrap();
+    let mut eq_builder = TapeBuilder::new();
+    let index_events =
+        IndexReader::new(&schema_set, eq_builder.build(&schema_set)).collect_events().unwrap();
+    assert_eq!(reader_events, index_events, "index reader diverged from scanning reader");
+    drop(index_events);
+    let streaming_events =
+        StreamingReader::new(schema_set.as_bytes()).collect_events().unwrap();
+    assert_eq!(reader_events, streaming_events, "streaming reader diverged from scanning reader");
+    drop(streaming_events);
+    let mut reader_fnv = FNV_OFFSET;
+    let mut reader_events_n = 0u64;
+    for ev in &reader_events {
+        fnv_event(&mut reader_fnv, ev);
+        reader_events_n += 1;
+    }
+    assert_eq!(
+        (stream_events_n, stream_fnv),
+        (reader_events_n, reader_fnv),
+        "generator-fed streaming events diverged from the in-memory reader"
+    );
+    drop(reader_events);
+
+    println!();
+    println!(
+        "e_index: schema set {} bytes ({set_types} types x {set_fields} fields), {} events",
+        schema_set.len(),
+        reader_events_n
+    );
+    println!(
+        "tape-pass:       {:>12} {:>9.1} MiB/s",
+        fmt_ns(tape_ns),
+        mib_per_s(schema_set.len(), tape_ns)
+    );
+    println!(
+        "index events:    {:>12} {:>9.1} MiB/s",
+        fmt_ns(index_ns),
+        mib_per_s(schema_set.len(), index_ns)
+    );
+    println!(
+        "borrowed events: {:>12} {:>9.1} MiB/s",
+        fmt_ns(set_borrowed_ns),
+        mib_per_s(schema_set.len(), set_borrowed_ns)
+    );
+    println!(
+        "streaming:       {:>12} {:>9.1} MiB/s (peak-RSS delta {rss_delta_kb} KiB from generator)",
+        fmt_ns(set_stream_ns),
+        mib_per_s(schema_set.len(), set_stream_ns)
+    );
+
     if smoke {
         println!("smoke mode: each routine ran once, no timings recorded");
         return;
     }
+
+    // Acceptance gates for the structural-index ingest: the pure tape
+    // pass must clear 2x the full borrowed-event parse on the same
+    // bytes, and generator-fed streaming must stay under the 2 MiB
+    // peak-RSS ceiling (the clean-process version of this gate runs as
+    // `--rss-smoke` in CI).
+    let tape_vs_borrowed = set_borrowed_ns / tape_ns;
+    assert!(
+        tape_vs_borrowed >= 2.0,
+        "tape pass only {tape_vs_borrowed:.2}x over borrowed event throughput"
+    );
+    assert!(
+        rss_delta_kb <= 2 * 1024,
+        "streaming raised peak RSS by {rss_delta_kb} KiB — over the 2 MiB ceiling"
+    );
 
     // Acceptance gate: the borrowed API must be >= 2x the classic reader
     // on every corpus document.
@@ -188,7 +412,22 @@ fn main() {
     }
     json.push_str(&format!(
         "  ],\n  \"consumers\": {{\"dom_interned_gen256\": {interned:.1}, \
-         \"textxml_decode_recordCD\": {textxml_decode:.1}}}\n}}\n"
+         \"textxml_decode_recordCD\": {textxml_decode:.1}}},\n"
+    ));
+    json.push_str(&format!(
+        "  \"index\": {{\"doc_bytes\": {}, \"events\": {reader_events_n}, \
+         \"event_stream_fnv\": \"{stream_fnv:016x}\", \
+         \"tape_pass_mib_s\": {:.1}, \"index_events_mib_s\": {:.1}, \
+         \"borrowed_events_mib_s\": {:.1}, \"streaming_mib_s\": {:.1}, \
+         \"tape_vs_borrowed\": {tape_vs_borrowed:.2}, \
+         \"streaming_window_bytes\": {}, \
+         \"streaming_peak_rss_delta_kb\": {rss_delta_kb}}}\n}}\n",
+        schema_set.len(),
+        mib_per_s(schema_set.len(), tape_ns),
+        mib_per_s(schema_set.len(), index_ns),
+        mib_per_s(schema_set.len(), set_borrowed_ns),
+        mib_per_s(schema_set.len(), set_stream_ns),
+        xmlparse::DEFAULT_WINDOW,
     ));
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_xml.json");
     std::fs::write(path, json).expect("write BENCH_xml.json");

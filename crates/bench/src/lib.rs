@@ -206,6 +206,109 @@ pub fn generated_schema(fields: usize) -> String {
     )
 }
 
+/// Incremental generator for a large schema-*set* document: `types`
+/// complex types of `fields` elements each, produced as an
+/// [`std::io::Read`] stream one line at a time so arbitrarily large
+/// documents never exist in memory — the fixture for the
+/// bounded-memory streaming-ingest experiment (E-index).
+///
+/// The byte stream is exactly what [`generated_schema_set`] returns,
+/// so in-memory readers and the streaming reader can be compared on
+/// identical input.
+pub struct SchemaSetSource {
+    types: usize,
+    fields: usize,
+    state: SchemaSetState,
+    pending: Vec<u8>,
+    cursor: usize,
+}
+
+enum SchemaSetState {
+    Preamble,
+    TypeOpen(usize),
+    Field(usize, usize),
+    Done,
+}
+
+impl SchemaSetSource {
+    /// A source producing `types` complex types of `fields` fields each.
+    pub fn new(types: usize, fields: usize) -> Self {
+        SchemaSetSource {
+            types,
+            fields,
+            state: SchemaSetState::Preamble,
+            pending: Vec::new(),
+            cursor: 0,
+        }
+    }
+
+    fn next_chunk(&mut self) -> Option<String> {
+        match self.state {
+            SchemaSetState::Preamble => {
+                self.state = SchemaSetState::TypeOpen(0);
+                Some(
+                    "<xsd:schema xmlns:xsd=\"http://www.w3.org/1999/XMLSchema\">\n"
+                        .to_owned(),
+                )
+            }
+            SchemaSetState::TypeOpen(t) if t == self.types => {
+                self.state = SchemaSetState::Done;
+                Some("</xsd:schema>\n".to_owned())
+            }
+            SchemaSetState::TypeOpen(t) => {
+                self.state = SchemaSetState::Field(t, 0);
+                Some(format!("  <xsd:complexType name=\"T{t}\">\n"))
+            }
+            SchemaSetState::Field(t, f) if f == self.fields => {
+                self.state = SchemaSetState::TypeOpen(t + 1);
+                Some("  </xsd:complexType>\n".to_owned())
+            }
+            SchemaSetState::Field(t, f) => {
+                self.state = SchemaSetState::Field(t, f + 1);
+                let ty = match f % 4 {
+                    0 => "xsd:string",
+                    1 => "xsd:integer",
+                    2 => "xsd:double",
+                    _ => "xsd:unsigned-long",
+                };
+                Some(format!("    <xsd:element name=\"f{f}\" type=\"{ty}\"/>\n"))
+            }
+            SchemaSetState::Done => None,
+        }
+    }
+}
+
+impl std::io::Read for SchemaSetSource {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        loop {
+            if self.cursor < self.pending.len() {
+                let n = (self.pending.len() - self.cursor).min(buf.len());
+                buf[..n].copy_from_slice(&self.pending[self.cursor..self.cursor + n]);
+                self.cursor += n;
+                return Ok(n);
+            }
+            match self.next_chunk() {
+                Some(chunk) => {
+                    self.pending = chunk.into_bytes();
+                    self.cursor = 0;
+                }
+                None => return Ok(0),
+            }
+        }
+    }
+}
+
+/// Materializes the full schema-set document [`SchemaSetSource`]
+/// streams, for in-memory readers and byte-level comparisons.
+pub fn generated_schema_set(types: usize, fields: usize) -> String {
+    use std::io::Read;
+    let mut doc = String::new();
+    SchemaSetSource::new(types, fields)
+        .read_to_string(&mut doc)
+        .expect("schema-set generator is valid UTF-8");
+    doc
+}
+
 /// Formats nanoseconds as a human-friendly quantity for printed tables.
 pub fn fmt_ns(ns: f64) -> String {
     if ns < 1_000.0 {
@@ -250,5 +353,29 @@ mod tests {
             let formats = session.register_schema_str(&doc).unwrap();
             assert_eq!(formats[0].struct_type().fields.len(), n);
         }
+    }
+
+    #[test]
+    fn schema_set_source_streams_the_materialized_document() {
+        use std::io::Read;
+        // Byte identity between the incremental source and the
+        // materialized string, across awkward read sizes.
+        let doc = generated_schema_set(7, 5);
+        for cap in [1usize, 3, 64, 8192] {
+            let mut src = SchemaSetSource::new(7, 5);
+            let mut buf = vec![0u8; cap];
+            let mut streamed = Vec::new();
+            loop {
+                let n = src.read(&mut buf).unwrap();
+                if n == 0 {
+                    break;
+                }
+                streamed.extend_from_slice(&buf[..n]);
+            }
+            assert_eq!(streamed, doc.as_bytes());
+        }
+        // And the streamed bytes compile as a schema set.
+        let schema = xsdlite::Schema::parse_stream(SchemaSetSource::new(7, 5)).unwrap();
+        assert_eq!(schema.complex_types.len(), 7);
     }
 }

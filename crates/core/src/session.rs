@@ -90,7 +90,7 @@ impl Xml2Wire {
     ///
     /// Schema and binding failures.
     pub fn register_schema_str(&self, document: &str) -> Result<Vec<Arc<Format>>, X2wError> {
-        let schema = Schema::parse_str(document)?;
+        let schema = Schema::parse_stream(document.as_bytes())?;
         self.register_schema(&schema)
     }
 
@@ -222,7 +222,7 @@ impl Xml2Wire {
         document: &str,
         client: &crate::idserver::FormatIdClient,
     ) -> Result<Vec<Arc<Format>>, X2wError> {
-        let schema = xsdlite::Schema::parse_str(document)?;
+        let schema = xsdlite::Schema::parse_stream(document.as_bytes())?;
         let binder = crate::binding::Binder::new(&self.catalog, &self.registry, self.arch);
         for simple in &schema.simple_types {
             binder.register_simple(simple.name.clone(), simple.base);

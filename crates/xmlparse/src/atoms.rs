@@ -169,36 +169,76 @@ impl From<Atom> for String {
 /// `intern` returns the existing atom for previously seen text (a hash
 /// lookup plus an `Arc` clone — no allocation) and allocates exactly
 /// once for each distinct name.
+///
+/// An interner built with [`Atoms::bounded`] additionally caps retained
+/// memory with two-generation (hot/cold epoch) eviction: when the hot
+/// generation reaches the cap, it becomes the cold generation and the
+/// previous cold generation is dropped. Names still in active use are
+/// promoted from cold back to hot on their next `intern` — keeping
+/// their `Arc` identity — while names a hostile document minted once
+/// age out after at most two epochs. Live size never exceeds twice the
+/// cap.
 #[derive(Debug, Default)]
 pub struct Atoms {
     set: HashSet<Atom>,
+    cold: HashSet<Atom>,
+    cap: Option<usize>,
 }
 
 impl Atoms {
-    /// Creates an empty interner.
+    /// Creates an empty, unbounded interner.
     pub fn new() -> Self {
         Atoms::default()
     }
 
+    /// Creates an interner that retains at most `2 * cap` distinct
+    /// names via hot/cold epoch eviction (`cap` is clamped to at
+    /// least 1).
+    pub fn bounded(cap: usize) -> Self {
+        Atoms {
+            set: HashSet::new(),
+            cold: HashSet::new(),
+            cap: Some(cap.max(1)),
+        }
+    }
+
     /// Returns the interned atom for `text`, allocating only on first
-    /// sight.
+    /// sight (or first sight since eviction, for bounded interners).
     pub fn intern(&mut self, text: &str) -> Atom {
         if let Some(existing) = self.set.get(text) {
             return existing.clone();
         }
+        if let Some(atom) = self.cold.take(text) {
+            // Promote: still in use, keep its allocation another epoch.
+            self.rotate_if_full();
+            self.set.insert(atom.clone());
+            return atom;
+        }
         let atom = Atom::new(text);
+        self.rotate_if_full();
         self.set.insert(atom.clone());
         atom
     }
 
-    /// The number of distinct names interned so far.
-    pub fn len(&self) -> usize {
-        self.set.len()
+    /// Starts a new epoch if the hot generation is at capacity: hot
+    /// becomes cold, the old cold generation is dropped.
+    fn rotate_if_full(&mut self) {
+        if let Some(cap) = self.cap {
+            if self.set.len() >= cap {
+                self.cold = std::mem::take(&mut self.set);
+            }
+        }
     }
 
-    /// Whether no names have been interned.
+    /// The number of distinct names currently retained (both
+    /// generations; they are disjoint).
+    pub fn len(&self) -> usize {
+        self.set.len() + self.cold.len()
+    }
+
+    /// Whether no names are retained.
     pub fn is_empty(&self) -> bool {
-        self.set.is_empty()
+        self.set.is_empty() && self.cold.is_empty()
     }
 }
 
@@ -236,6 +276,34 @@ mod tests {
         let mut sorted = [Atom::new("b"), Atom::new("a")];
         sorted.sort();
         assert_eq!(sorted[0], "a");
+    }
+
+    #[test]
+    fn bounded_interner_stays_bounded_under_name_churn() {
+        let cap = 64;
+        let mut atoms = Atoms::bounded(cap);
+        let hot = atoms.intern("xs:element");
+        for i in 0..10 * cap {
+            atoms.intern(&format!("hostile-{i}"));
+            // A name in active use survives every epoch with its
+            // allocation (hence pointer identity) intact.
+            let again = atoms.intern("xs:element");
+            assert!(Arc::ptr_eq(&hot.0, &again.0), "lost identity at churn {i}");
+            assert!(atoms.len() <= 2 * cap, "grew to {} at churn {i}", atoms.len());
+        }
+        // One-shot names age out; the interner did not pin 10*cap names.
+        assert!(atoms.len() <= 2 * cap);
+    }
+
+    #[test]
+    fn unbounded_interner_never_evicts() {
+        let mut atoms = Atoms::new();
+        let first = atoms.intern("keep");
+        for i in 0..10_000 {
+            atoms.intern(&format!("n{i}"));
+        }
+        assert_eq!(atoms.len(), 10_001);
+        assert!(Arc::ptr_eq(&first.0, &atoms.intern("keep").0));
     }
 
     #[test]

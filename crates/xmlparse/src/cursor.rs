@@ -189,6 +189,12 @@ impl<'a> Cursor<'a> {
         self.offset >= self.input.len()
     }
 
+    /// The current 0-based byte offset into the input.
+    #[inline]
+    pub fn offset(&self) -> usize {
+        self.offset
+    }
+
     /// The unconsumed remainder of the input.
     pub fn rest(&self) -> &'a str {
         &self.input[self.offset..]

@@ -1,0 +1,461 @@
+//! Phase two of the structural-index ingest: the tape-backed walker.
+//!
+//! An [`IndexReader`] yields the same [`BorrowedEvent`] stream as
+//! [`Reader::next_borrowed`](crate::Reader::next_borrowed), but instead
+//! of scanning for delimiters it walks a [`Tape`] built by the
+//! [`TapeBuilder`](crate::tape::TapeBuilder): character data, comments,
+//! CDATA sections and DOCTYPE bodies are sliced straight out of the
+//! input using the pre-computed spans, and only tags (whose attributes
+//! genuinely need parsing) go through the construct parsers shared with
+//! the scanning reader.
+//!
+//! Fidelity is structural, not best-effort: the walker keeps the exact
+//! state machine of the scanning reader (open-element stack, root
+//! tracking, the synthetic end event after `<name/>`), drives the same
+//! `pub(crate)` construct parsers over a cursor positioned on the same
+//! input, and treats the tape purely as an accelerator. Whenever the
+//! cursor's authoritative position disagrees with the next tape entry —
+//! which can only happen on documents where the delimiter scan's
+//! quote-blind heuristics over-split a construct — the walker falls back
+//! to scanning that one construct exactly as `Reader` would. Identical
+//! events and identical error kinds on every input are pinned by the
+//! differential property tests in `tests/proptest_index.rs`.
+
+use crate::cursor::{find_byte, Cursor, WS_BYTE};
+use crate::error::{ErrorKind, Position, XmlError};
+use crate::reader::{
+    finish_text, parse_doctype, parse_end_tag_name, parse_pi_rest, parse_start_tag_into,
+    parse_xml_decl, BorrowedAttr, BorrowedEvent, Event,
+};
+use crate::tape::{EntryKind, StructEntry, Tape};
+
+/// A pull parser over a pre-built structural index.
+///
+/// ```
+/// use xmlparse::{BorrowedEvent, IndexReader, TapeBuilder};
+/// # fn main() -> Result<(), xmlparse::XmlError> {
+/// let doc = "<a kind=\"demo\">hi</a>";
+/// let mut builder = TapeBuilder::new();
+/// let tape = builder.build(doc);
+/// let mut reader = IndexReader::new(doc, tape);
+/// assert!(matches!(reader.next_borrowed()?, BorrowedEvent::StartElement { name: "a", .. }));
+/// assert!(matches!(reader.next_borrowed()?, BorrowedEvent::Text(t) if t == "hi"));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct IndexReader<'a, 't> {
+    input: &'a str,
+    entries: &'t [StructEntry],
+    /// Next tape entry to consider (entries behind the cursor are stale
+    /// and skipped).
+    next: usize,
+    /// Authoritative position; the tape only short-circuits its scans.
+    cursor: Cursor<'a>,
+    open: Vec<&'a str>,
+    pending_end: Option<&'a str>,
+    seen_root: bool,
+    root_closed: bool,
+    produced_first: bool,
+    attrs: Vec<BorrowedAttr<'a>>,
+}
+
+impl<'a, 't> IndexReader<'a, 't> {
+    /// Creates a walker over `input` and its structural index. The tape
+    /// must have been built from exactly this input.
+    pub fn new(input: &'a str, tape: Tape<'t>) -> Self {
+        IndexReader {
+            input,
+            entries: tape.entries(),
+            next: 0,
+            cursor: Cursor::new(input),
+            open: Vec::new(),
+            pending_end: None,
+            seen_root: false,
+            root_closed: false,
+            produced_first: false,
+            attrs: Vec::new(),
+        }
+    }
+
+    /// The current position in the input.
+    pub fn position(&self) -> Position {
+        self.cursor.position()
+    }
+
+    /// The next event as an owned [`Event`].
+    ///
+    /// # Errors
+    ///
+    /// As [`IndexReader::next_borrowed`].
+    pub fn next_event(&mut self) -> Result<Event, XmlError> {
+        Ok(self.next_borrowed()?.to_owned_event())
+    }
+
+    /// The next event, borrowing names and content from the input.
+    ///
+    /// # Errors
+    ///
+    /// The same [`XmlError`]s, with the same kinds and positions, that
+    /// [`Reader::next_borrowed`](crate::Reader::next_borrowed) reports
+    /// on this input.
+    pub fn next_borrowed(&mut self) -> Result<BorrowedEvent<'_, 'a>, XmlError> {
+        if let Some(name) = self.pending_end.take() {
+            let popped = self.open.pop();
+            debug_assert_eq!(popped, Some(name));
+            self.note_element_closed();
+            return Ok(BorrowedEvent::EndElement { name });
+        }
+
+        if !self.produced_first {
+            self.produced_first = true;
+            let rest = self.cursor.rest_bytes();
+            if rest.starts_with(b"<?xml")
+                && rest.get(5).is_some_and(|&b| WS_BYTE[b as usize] || b == b'?')
+            {
+                return Ok(BorrowedEvent::XmlDecl(parse_xml_decl(&mut self.cursor)?));
+            }
+        }
+
+        if self.cursor.is_at_end() {
+            return self.finish();
+        }
+
+        if self.open.is_empty() {
+            if self.cursor.peek_byte() != Some(b'<') {
+                let pos = self.cursor.position();
+                let rest = self.cursor.rest_bytes();
+                let end = match self.take_entry(EntryKind::Text) {
+                    Some(e) => e.len as usize,
+                    None => find_byte(rest, b'<').unwrap_or(rest.len()),
+                };
+                let all_ws = rest[..end].iter().all(|&b| WS_BYTE[b as usize]);
+                if !all_ws {
+                    return Err(XmlError::new(ErrorKind::ContentOutsideRoot, pos));
+                }
+                self.cursor.advance(end);
+                if self.cursor.is_at_end() {
+                    return self.finish();
+                }
+            }
+            return self.parse_markup();
+        }
+
+        match self.cursor.peek_byte() {
+            Some(b'<') => self.parse_markup(),
+            Some(_) => self.parse_text(),
+            None => self.finish(),
+        }
+    }
+
+    /// Runs the walker to completion, collecting all events (excluding
+    /// the final [`Event::Eof`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first parse error.
+    pub fn collect_events(mut self) -> Result<Vec<Event>, XmlError> {
+        let mut events = Vec::new();
+        loop {
+            match self.next_event()? {
+                Event::Eof => return Ok(events),
+                event => events.push(event),
+            }
+        }
+    }
+
+    /// Consumes and returns the tape entry starting exactly at the
+    /// cursor if it has kind `want`. Entries behind the cursor (consumed
+    /// as part of a wider construct) are discarded.
+    fn take_entry(&mut self, want: EntryKind) -> Option<StructEntry> {
+        let e = self.peek_entry()?;
+        if e.kind == want {
+            self.next += 1;
+            return Some(e);
+        }
+        None
+    }
+
+    /// The tape entry starting exactly at the cursor, if any.
+    fn peek_entry(&mut self) -> Option<StructEntry> {
+        let offset = self.cursor.offset();
+        while let Some(e) = self.entries.get(self.next) {
+            if (e.start as usize) < offset {
+                self.next += 1;
+                continue;
+            }
+            if e.start as usize == offset {
+                return Some(*e);
+            }
+            return None;
+        }
+        None
+    }
+
+    fn finish(&mut self) -> Result<BorrowedEvent<'_, 'a>, XmlError> {
+        if let Some(name) = self.open.last() {
+            return Err(XmlError::new(
+                ErrorKind::UnclosedElement { name: (*name).to_owned() },
+                self.cursor.position(),
+            ));
+        }
+        if !self.seen_root {
+            return Err(XmlError::new(ErrorKind::NoRootElement, self.cursor.position()));
+        }
+        Ok(BorrowedEvent::Eof)
+    }
+
+    fn note_element_opened(&mut self, name: &'a str) -> Result<(), XmlError> {
+        if self.open.is_empty() {
+            if self.root_closed {
+                return Err(XmlError::new(
+                    ErrorKind::ContentOutsideRoot,
+                    self.cursor.position(),
+                ));
+            }
+            self.seen_root = true;
+        }
+        self.open.push(name);
+        Ok(())
+    }
+
+    fn note_element_closed(&mut self) {
+        if self.open.is_empty() {
+            self.root_closed = true;
+        }
+    }
+
+    fn parse_text(&mut self) -> Result<BorrowedEvent<'_, 'a>, XmlError> {
+        let pos = self.cursor.position();
+        let raw = match self.take_entry(EntryKind::Text) {
+            Some(e) => {
+                let raw = &self.input[e.range()];
+                self.cursor.advance(e.len as usize);
+                raw
+            }
+            None => {
+                let rest = self.cursor.rest();
+                let end = find_byte(rest.as_bytes(), b'<').unwrap_or(rest.len());
+                let raw = &rest[..end];
+                self.cursor.advance(end);
+                raw
+            }
+        };
+        Ok(BorrowedEvent::Text(finish_text(raw, pos)?))
+    }
+
+    fn parse_markup(&mut self) -> Result<BorrowedEvent<'_, 'a>, XmlError> {
+        debug_assert_eq!(self.cursor.peek_byte(), Some(b'<'));
+        match self.peek_entry() {
+            Some(e) => match e.kind {
+                EntryKind::Comment => {
+                    self.next += 1;
+                    let body = &self.input[e.start as usize + 4..e.range().end - 3];
+                    self.cursor.advance(e.len as usize);
+                    Ok(BorrowedEvent::Comment(body))
+                }
+                EntryKind::CData => {
+                    self.next += 1;
+                    // Mirror the scanning reader: the error position is
+                    // just past the `<![CDATA[` opener.
+                    self.cursor.advance(9);
+                    if self.open.is_empty() {
+                        return Err(XmlError::new(
+                            ErrorKind::ContentOutsideRoot,
+                            self.cursor.position(),
+                        ));
+                    }
+                    let body = &self.input[e.start as usize + 9..e.range().end - 3];
+                    self.cursor.advance(e.len as usize - 9);
+                    Ok(BorrowedEvent::CData(body))
+                }
+                EntryKind::Doctype => {
+                    self.next += 1;
+                    let body = self.input[e.start as usize + 9..e.range().end - 1].trim();
+                    self.cursor.advance(e.len as usize);
+                    Ok(BorrowedEvent::Doctype(body))
+                }
+                EntryKind::Pi => {
+                    self.next += 1;
+                    self.cursor.advance(2);
+                    let name_at = self.cursor.offset();
+                    let target = crate::reader::parse_name(&mut self.cursor)?;
+                    debug_assert_eq!(name_at + target.len(), self.cursor.offset());
+                    let raw = &self.input[self.cursor.offset()..e.range().end - 2];
+                    let data = raw
+                        .strip_prefix(crate::cursor::is_xml_whitespace)
+                        .unwrap_or(raw);
+                    self.cursor.advance(e.range().end - self.cursor.offset());
+                    Ok(BorrowedEvent::ProcessingInstruction { target, data })
+                }
+                EntryKind::StartTag | EntryKind::EmptyTag => {
+                    self.next += 1;
+                    self.parse_start_tag()
+                }
+                EntryKind::EndTag => {
+                    self.next += 1;
+                    self.parse_end_tag()
+                }
+                // Truncated construct or a span the scan mis-sized:
+                // replay it through the scanning parser for the exact
+                // event or error.
+                EntryKind::Incomplete | EntryKind::Text => {
+                    self.next += 1;
+                    self.parse_markup_scanning()
+                }
+            },
+            None => self.parse_markup_scanning(),
+        }
+    }
+
+    /// The scanning reader's markup dispatch, verbatim, for spans the
+    /// tape could not pre-classify (truncated constructs and the rare
+    /// inputs where the quote-blind delimiter scan over-split).
+    fn parse_markup_scanning(&mut self) -> Result<BorrowedEvent<'_, 'a>, XmlError> {
+        if self.cursor.eat("<!--") {
+            let body = self.cursor.take_until("-->", "'-->' closing a comment")?;
+            return Ok(BorrowedEvent::Comment(body));
+        }
+        if self.cursor.eat("<![CDATA[") {
+            if self.open.is_empty() {
+                return Err(XmlError::new(
+                    ErrorKind::ContentOutsideRoot,
+                    self.cursor.position(),
+                ));
+            }
+            let body = self.cursor.take_until("]]>", "']]>' closing CDATA")?;
+            return Ok(BorrowedEvent::CData(body));
+        }
+        if self.cursor.rest_bytes().starts_with(b"<!DOCTYPE") {
+            return Ok(BorrowedEvent::Doctype(parse_doctype(&mut self.cursor)?));
+        }
+        if self.cursor.eat("<?") {
+            let (target, data) = parse_pi_rest(&mut self.cursor)?;
+            return Ok(BorrowedEvent::ProcessingInstruction { target, data });
+        }
+        if self.cursor.rest_bytes().starts_with(b"</") {
+            return self.parse_end_tag();
+        }
+        self.parse_start_tag()
+    }
+
+    fn parse_start_tag(&mut self) -> Result<BorrowedEvent<'_, 'a>, XmlError> {
+        let tag = parse_start_tag_into(&mut self.cursor, &mut self.attrs)?;
+        self.note_element_opened(tag.name)?;
+        if tag.self_closing {
+            self.pending_end = Some(tag.name);
+        }
+        Ok(BorrowedEvent::StartElement { name: tag.name, attributes: &self.attrs })
+    }
+
+    fn parse_end_tag(&mut self) -> Result<BorrowedEvent<'_, 'a>, XmlError> {
+        let pos = self.cursor.position();
+        let name = parse_end_tag_name(&mut self.cursor)?;
+        match self.open.pop() {
+            Some(expected) if expected == name => {
+                self.note_element_closed();
+                Ok(BorrowedEvent::EndElement { name })
+            }
+            Some(expected) => Err(XmlError::new(
+                ErrorKind::MismatchedTag { expected: expected.to_owned(), found: name.to_owned() },
+                pos,
+            )),
+            None => Err(XmlError::new(
+                ErrorKind::UnmatchedCloseTag { name: name.to_owned() },
+                pos,
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tape::TapeBuilder;
+    use crate::Reader;
+    use std::borrow::Cow;
+
+    /// Both readers over `input`: same events (or same error kind at the
+    /// same position).
+    fn agree(input: &str) {
+        let mut builder = TapeBuilder::new();
+        let tape = builder.build(input);
+        let indexed = IndexReader::new(input, tape).collect_events();
+        let scanned = Reader::new(input).collect_events();
+        match (indexed, scanned) {
+            (Ok(a), Ok(b)) => assert_eq!(a, b, "events differ on {input:?}"),
+            (Err(a), Err(b)) => {
+                assert_eq!(a.kind(), b.kind(), "error kinds differ on {input:?}");
+                assert_eq!(a.position(), b.position(), "error positions differ on {input:?}");
+            }
+            (a, b) => panic!("outcomes differ on {input:?}: indexed={a:?} scanned={b:?}"),
+        }
+    }
+
+    #[test]
+    fn agrees_on_representative_documents() {
+        for doc in [
+            "<a/>",
+            "<?xml version=\"1.0\" encoding=\"UTF-8\"?><a x=\"1\" y='two &amp; three'>t</a>",
+            "<!DOCTYPE note [<!ELEMENT note (#PCDATA)>]><note/>",
+            "  <!-- head -->\n<a>pre<b>inner</b>post<![CDATA[1<2&3]]><?proc do it?></a>\n",
+            "<héllo attr-ü=\"wörld\">ünïcode</héllo>",
+            "<a x=\"1>2\">gt in attr</a>",
+        ] {
+            agree(doc);
+        }
+    }
+
+    #[test]
+    fn agrees_on_malformed_documents() {
+        for doc in [
+            "",
+            "   ",
+            "<a>",
+            "<a><b></a></b>",
+            "<a/></b>",
+            "<a/><b/>",
+            "<a x=\"1\" x=\"2\"/>",
+            "<a>oops ]]> here</a>",
+            "<a x=\"1<2\"/>",
+            "junk<a/>",
+            "<a/>junk",
+            "<1a/>",
+            "<a>t<!-- never closed",
+            "<a>t<![CDATA[x",
+            "<a>t<b x=\"1",
+            "<!-",
+            "<",
+            "<a>&unknown;</a>",
+            "<![CDATA[x]]>",
+        ] {
+            agree(doc);
+        }
+    }
+
+    #[test]
+    fn agrees_when_the_scan_over_splits() {
+        // A "?>" inside a quoted XML-declaration value ends the tape's
+        // Pi span early; the walker's cursor re-parses past it and the
+        // stale entries are skipped.
+        agree("<?xml version=\"1.0?>\"?><a/>");
+    }
+
+    #[test]
+    fn borrowed_events_reference_the_input() {
+        let doc = "<a x=\"1\">plain</a>";
+        let mut builder = TapeBuilder::new();
+        let tape = builder.build(doc);
+        let mut r = IndexReader::new(doc, tape);
+        match r.next_borrowed().unwrap() {
+            BorrowedEvent::StartElement { name, .. } => {
+                assert_eq!(name.as_ptr(), doc[1..].as_ptr());
+            }
+            other => panic!("{other:?}"),
+        }
+        match r.next_borrowed().unwrap() {
+            BorrowedEvent::Text(Cow::Borrowed(t)) => assert_eq!(t, "plain"),
+            other => panic!("{other:?}"),
+        }
+    }
+}

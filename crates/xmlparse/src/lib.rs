@@ -47,14 +47,20 @@ pub mod cursor;
 pub mod dom;
 pub mod error;
 pub mod escape;
+pub mod index;
 pub mod namespace;
 pub mod qname;
 pub mod reader;
+pub mod stream;
+pub mod tape;
 pub mod writer;
 
 pub use atoms::{Atom, Atoms};
 pub use dom::{Document, Element, Node};
 pub use error::{ErrorKind, Position, XmlError};
+pub use index::IndexReader;
 pub use qname::QName;
 pub use reader::{Attribute, BorrowedAttr, BorrowedEvent, Event, Reader, XmlDecl};
+pub use stream::{StreamingReader, DEFAULT_WINDOW};
+pub use tape::{EntryKind, StructEntry, Tape, TapeBuilder};
 pub use writer::{Writer, WriterConfig};

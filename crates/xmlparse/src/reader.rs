@@ -341,32 +341,7 @@ impl<'a> Reader<'a> {
     }
 
     fn parse_xml_decl(&mut self) -> Result<BorrowedEvent<'_, 'a>, XmlError> {
-        self.cursor.expect("<?xml", "the XML declaration")?;
-        let mut decl = XmlDecl { version: "1.0".to_owned(), ..XmlDecl::default() };
-        loop {
-            self.cursor.skip_whitespace();
-            if self.cursor.eat("?>") {
-                break;
-            }
-            let pos = self.cursor.position();
-            let name = self.parse_name()?;
-            self.cursor.skip_whitespace();
-            self.cursor.expect("=", "'=' in the XML declaration")?;
-            self.cursor.skip_whitespace();
-            let value = self.parse_quoted_value()?.into_owned();
-            match name {
-                "version" => decl.version = value,
-                "encoding" => decl.encoding = Some(value),
-                "standalone" => decl.standalone = Some(value),
-                _ => {
-                    return Err(XmlError::custom(
-                        format!("unknown XML declaration attribute {name:?}"),
-                        pos,
-                    ))
-                }
-            }
-        }
-        Ok(BorrowedEvent::XmlDecl(decl))
+        Ok(BorrowedEvent::XmlDecl(parse_xml_decl(&mut self.cursor)?))
     }
 
     fn parse_markup(&mut self) -> Result<BorrowedEvent<'_, 'a>, XmlError> {
@@ -386,12 +361,10 @@ impl<'a> Reader<'a> {
             return Ok(BorrowedEvent::CData(body));
         }
         if self.cursor.rest_bytes().starts_with(b"<!DOCTYPE") {
-            return self.parse_doctype();
+            return Ok(BorrowedEvent::Doctype(parse_doctype(&mut self.cursor)?));
         }
         if self.cursor.eat("<?") {
-            let target = self.parse_name()?;
-            let raw = self.cursor.take_until("?>", "'?>' closing a processing instruction")?;
-            let data = raw.strip_prefix(is_xml_whitespace).unwrap_or(raw);
+            let (target, data) = parse_pi_rest(&mut self.cursor)?;
             return Ok(BorrowedEvent::ProcessingInstruction { target, data });
         }
         if self.cursor.rest_bytes().starts_with(b"</") {
@@ -400,94 +373,18 @@ impl<'a> Reader<'a> {
         self.parse_start_tag()
     }
 
-    fn parse_doctype(&mut self) -> Result<BorrowedEvent<'_, 'a>, XmlError> {
-        let start = self.cursor.position();
-        self.cursor.expect("<!DOCTYPE", "a DOCTYPE declaration")?;
-        // Scan to the matching '>', honouring an internal subset in [...].
-        let rest = self.cursor.rest();
-        let bytes = rest.as_bytes();
-        let mut depth: usize = 0;
-        let mut i = 0;
-        loop {
-            match crate::cursor::find_byte3(&bytes[i..], b'[', b']', b'>') {
-                None => {
-                    return Err(XmlError::new(
-                        ErrorKind::UnexpectedEof { expecting: "'>' closing DOCTYPE" },
-                        start,
-                    ))
-                }
-                Some(rel) => {
-                    let at = i + rel;
-                    i = at + 1;
-                    match bytes[at] {
-                        b'[' => depth += 1,
-                        b']' => depth = depth.saturating_sub(1),
-                        _ => {
-                            if depth == 0 {
-                                let body = rest[..at].trim();
-                                self.cursor.advance(i);
-                                return Ok(BorrowedEvent::Doctype(body));
-                            }
-                        }
-                    }
-                }
-            }
-        }
-    }
-
     fn parse_start_tag(&mut self) -> Result<BorrowedEvent<'_, 'a>, XmlError> {
-        self.cursor.expect("<", "a start tag")?;
-        let name = self.parse_name()?;
-        self.attrs.clear();
-        loop {
-            let had_space = self.cursor.skip_whitespace();
-            if self.cursor.eat("/>") {
-                self.note_element_opened(name)?;
-                self.pending_end = Some(name);
-                return Ok(BorrowedEvent::StartElement { name, attributes: &self.attrs });
-            }
-            if self.cursor.eat(">") {
-                self.note_element_opened(name)?;
-                return Ok(BorrowedEvent::StartElement { name, attributes: &self.attrs });
-            }
-            if !had_space {
-                let pos = self.cursor.position();
-                let found = self.cursor.peek().ok_or_else(|| {
-                    XmlError::new(
-                        ErrorKind::UnexpectedEof { expecting: "'>' closing a start tag" },
-                        pos,
-                    )
-                })?;
-                return Err(XmlError::new(
-                    ErrorKind::UnexpectedChar {
-                        found,
-                        expecting: "whitespace, '>' or '/>' in a start tag",
-                    },
-                    pos,
-                ));
-            }
-            let attr_pos = self.cursor.position();
-            let attr_name = self.parse_name()?;
-            if self.attrs.iter().any(|a| a.name == attr_name) {
-                return Err(XmlError::new(
-                    ErrorKind::DuplicateAttribute { name: attr_name.to_owned() },
-                    attr_pos,
-                ));
-            }
-            self.cursor.skip_whitespace();
-            self.cursor.expect("=", "'=' after an attribute name")?;
-            self.cursor.skip_whitespace();
-            let value = self.parse_quoted_value()?;
-            self.attrs.push(BorrowedAttr { name: attr_name, value });
+        let tag = parse_start_tag_into(&mut self.cursor, &mut self.attrs)?;
+        self.note_element_opened(tag.name)?;
+        if tag.self_closing {
+            self.pending_end = Some(tag.name);
         }
+        Ok(BorrowedEvent::StartElement { name: tag.name, attributes: &self.attrs })
     }
 
     fn parse_end_tag(&mut self) -> Result<BorrowedEvent<'_, 'a>, XmlError> {
         let pos = self.cursor.position();
-        self.cursor.expect("</", "an end tag")?;
-        let name = self.parse_name()?;
-        self.cursor.skip_whitespace();
-        self.cursor.expect(">", "'>' closing an end tag")?;
+        let name = parse_end_tag_name(&mut self.cursor)?;
         match self.open.pop() {
             Some(expected) if expected == name => {
                 self.note_element_closed();
@@ -509,68 +406,228 @@ impl<'a> Reader<'a> {
         let rest = self.cursor.rest();
         let end = find_byte(rest.as_bytes(), b'<').unwrap_or(rest.len());
         let raw = &rest[..end];
-        if raw.contains("]]>") {
-            return Err(XmlError::custom("']]>' is not allowed in character data", pos));
-        }
         self.cursor.advance(end);
-        Ok(BorrowedEvent::Text(unescape(raw, pos)?))
+        Ok(BorrowedEvent::Text(finish_text(raw, pos)?))
     }
+}
 
-    fn parse_name(&mut self) -> Result<&'a str, XmlError> {
-        match self.cursor.peek_byte() {
-            Some(b) if NAME_START_BYTE[b as usize] => {}
-            Some(_) => {
-                // Only ASCII bytes can be rejected (all non-ASCII bytes
-                // are name bytes), so decoding the char here is safe.
-                let found = self.cursor.peek().expect("peek_byte saw a byte");
-                return Err(XmlError::new(
-                    ErrorKind::UnexpectedChar { found, expecting: "an XML name" },
-                    self.cursor.position(),
-                ));
-            }
-            None => {
-                return Err(XmlError::new(
-                    ErrorKind::UnexpectedEof { expecting: "an XML name" },
-                    self.cursor.position(),
-                ))
-            }
+// ---------------------------------------------------------------------------
+// Shared construct parsers.
+//
+// These free functions hold the one authoritative implementation of each
+// XML construct. [`Reader`] drives them with a scanning cursor; the
+// tape-backed [`IndexReader`](crate::index::IndexReader) and the windowed
+// [`StreamingReader`](crate::stream::StreamingReader) drive them with
+// cursors positioned by the structural index, so all three produce
+// byte-identical events and identical error kinds by construction.
+
+/// Parses `<?xml ...?>` with the cursor at the leading `<`.
+pub(crate) fn parse_xml_decl(cursor: &mut Cursor<'_>) -> Result<XmlDecl, XmlError> {
+    cursor.expect("<?xml", "the XML declaration")?;
+    let mut decl = XmlDecl { version: "1.0".to_owned(), ..XmlDecl::default() };
+    loop {
+        cursor.skip_whitespace();
+        if cursor.eat("?>") {
+            break;
         }
-        Ok(self.cursor.take_class(&NAME_BYTE))
-    }
-
-    fn parse_quoted_value(&mut self) -> Result<Cow<'a, str>, XmlError> {
-        let pos = self.cursor.position();
-        let quote = match self.cursor.peek_byte() {
-            Some(q @ (b'"' | b'\'')) => q,
-            Some(_) => {
-                let found = self.cursor.peek().expect("peek_byte saw a byte");
-                return Err(XmlError::new(
-                    ErrorKind::UnexpectedChar { found, expecting: "a quoted attribute value" },
-                    pos,
-                ));
-            }
-            None => {
-                return Err(XmlError::new(
-                    ErrorKind::UnexpectedEof { expecting: "a quoted attribute value" },
+        let pos = cursor.position();
+        let name = parse_name(cursor)?;
+        cursor.skip_whitespace();
+        cursor.expect("=", "'=' in the XML declaration")?;
+        cursor.skip_whitespace();
+        let value = parse_quoted_value(cursor)?.into_owned();
+        match name {
+            "version" => decl.version = value,
+            "encoding" => decl.encoding = Some(value),
+            "standalone" => decl.standalone = Some(value),
+            _ => {
+                return Err(XmlError::custom(
+                    format!("unknown XML declaration attribute {name:?}"),
                     pos,
                 ))
             }
-        };
-        self.cursor.advance(1);
-        let rest = self.cursor.rest();
-        let end = find_byte(rest.as_bytes(), quote).ok_or_else(|| {
-            XmlError::new(
-                ErrorKind::UnexpectedEof { expecting: "the closing attribute quote" },
-                self.cursor.position(),
-            )
-        })?;
-        let raw = &rest[..end];
-        if find_byte(raw.as_bytes(), b'<').is_some() {
-            return Err(XmlError::custom("'<' is not allowed in attribute values", pos));
         }
-        self.cursor.advance(end + 1);
-        unescape(raw, pos)
     }
+    Ok(decl)
+}
+
+/// Parses `<!DOCTYPE ...>` (cursor at the `<`), returning the trimmed
+/// body. Honours an internal subset in `[...]`.
+pub(crate) fn parse_doctype<'a>(cursor: &mut Cursor<'a>) -> Result<&'a str, XmlError> {
+    let start = cursor.position();
+    cursor.expect("<!DOCTYPE", "a DOCTYPE declaration")?;
+    // Scan to the matching '>', honouring an internal subset in [...].
+    let rest = cursor.rest();
+    let bytes = rest.as_bytes();
+    let mut depth: usize = 0;
+    let mut i = 0;
+    loop {
+        match crate::cursor::find_byte3(&bytes[i..], b'[', b']', b'>') {
+            None => {
+                return Err(XmlError::new(
+                    ErrorKind::UnexpectedEof { expecting: "'>' closing DOCTYPE" },
+                    start,
+                ))
+            }
+            Some(rel) => {
+                let at = i + rel;
+                i = at + 1;
+                match bytes[at] {
+                    b'[' => depth += 1,
+                    b']' => depth = depth.saturating_sub(1),
+                    _ => {
+                        if depth == 0 {
+                            let body = rest[..at].trim();
+                            cursor.advance(i);
+                            return Ok(body);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Parses the target and data of a processing instruction with the
+/// cursor just past the opening `<?`.
+pub(crate) fn parse_pi_rest<'a>(cursor: &mut Cursor<'a>) -> Result<(&'a str, &'a str), XmlError> {
+    let target = parse_name(cursor)?;
+    let raw = cursor.take_until("?>", "'?>' closing a processing instruction")?;
+    let data = raw.strip_prefix(is_xml_whitespace).unwrap_or(raw);
+    Ok((target, data))
+}
+
+/// A parsed start tag: the name plus whether it was `<name .../>`.
+/// Attributes land in the caller-pooled vector.
+pub(crate) struct StartTag<'a> {
+    pub(crate) name: &'a str,
+    pub(crate) self_closing: bool,
+}
+
+/// Parses a full start tag (cursor at the `<`), clearing and filling
+/// `attrs`. The cursor ends just past the closing `>`.
+pub(crate) fn parse_start_tag_into<'a>(
+    cursor: &mut Cursor<'a>,
+    attrs: &mut Vec<BorrowedAttr<'a>>,
+) -> Result<StartTag<'a>, XmlError> {
+    cursor.expect("<", "a start tag")?;
+    let name = parse_name(cursor)?;
+    attrs.clear();
+    loop {
+        let had_space = cursor.skip_whitespace();
+        if cursor.eat("/>") {
+            return Ok(StartTag { name, self_closing: true });
+        }
+        if cursor.eat(">") {
+            return Ok(StartTag { name, self_closing: false });
+        }
+        if !had_space {
+            let pos = cursor.position();
+            let found = cursor.peek().ok_or_else(|| {
+                XmlError::new(
+                    ErrorKind::UnexpectedEof { expecting: "'>' closing a start tag" },
+                    pos,
+                )
+            })?;
+            return Err(XmlError::new(
+                ErrorKind::UnexpectedChar {
+                    found,
+                    expecting: "whitespace, '>' or '/>' in a start tag",
+                },
+                pos,
+            ));
+        }
+        let attr_pos = cursor.position();
+        let attr_name = parse_name(cursor)?;
+        if attrs.iter().any(|a| a.name == attr_name) {
+            return Err(XmlError::new(
+                ErrorKind::DuplicateAttribute { name: attr_name.to_owned() },
+                attr_pos,
+            ));
+        }
+        cursor.skip_whitespace();
+        cursor.expect("=", "'=' after an attribute name")?;
+        cursor.skip_whitespace();
+        let value = parse_quoted_value(cursor)?;
+        attrs.push(BorrowedAttr { name: attr_name, value });
+    }
+}
+
+/// Parses `</name ... >` (cursor at the `<`) and returns the name; the
+/// caller matches it against its open-element stack.
+pub(crate) fn parse_end_tag_name<'a>(cursor: &mut Cursor<'a>) -> Result<&'a str, XmlError> {
+    cursor.expect("</", "an end tag")?;
+    let name = parse_name(cursor)?;
+    cursor.skip_whitespace();
+    cursor.expect(">", "'>' closing an end tag")?;
+    Ok(name)
+}
+
+/// Validates and unescapes a raw character-data run that starts at
+/// `pos`. Shared by the scanning and index-backed text paths.
+pub(crate) fn finish_text(raw: &str, pos: Position) -> Result<Cow<'_, str>, XmlError> {
+    if raw.contains("]]>") {
+        return Err(XmlError::custom("']]>' is not allowed in character data", pos));
+    }
+    unescape(raw, pos)
+}
+
+/// Parses an XML name at the cursor.
+pub(crate) fn parse_name<'a>(cursor: &mut Cursor<'a>) -> Result<&'a str, XmlError> {
+    match cursor.peek_byte() {
+        Some(b) if NAME_START_BYTE[b as usize] => {}
+        Some(_) => {
+            // Only ASCII bytes can be rejected (all non-ASCII bytes
+            // are name bytes), so decoding the char here is safe.
+            let found = cursor.peek().expect("peek_byte saw a byte");
+            return Err(XmlError::new(
+                ErrorKind::UnexpectedChar { found, expecting: "an XML name" },
+                cursor.position(),
+            ));
+        }
+        None => {
+            return Err(XmlError::new(
+                ErrorKind::UnexpectedEof { expecting: "an XML name" },
+                cursor.position(),
+            ))
+        }
+    }
+    Ok(cursor.take_class(&NAME_BYTE))
+}
+
+/// Parses a quoted attribute value at the cursor, resolving entities.
+pub(crate) fn parse_quoted_value<'a>(cursor: &mut Cursor<'a>) -> Result<Cow<'a, str>, XmlError> {
+    let pos = cursor.position();
+    let quote = match cursor.peek_byte() {
+        Some(q @ (b'"' | b'\'')) => q,
+        Some(_) => {
+            let found = cursor.peek().expect("peek_byte saw a byte");
+            return Err(XmlError::new(
+                ErrorKind::UnexpectedChar { found, expecting: "a quoted attribute value" },
+                pos,
+            ));
+        }
+        None => {
+            return Err(XmlError::new(
+                ErrorKind::UnexpectedEof { expecting: "a quoted attribute value" },
+                pos,
+            ))
+        }
+    };
+    cursor.advance(1);
+    let rest = cursor.rest();
+    let end = find_byte(rest.as_bytes(), quote).ok_or_else(|| {
+        XmlError::new(
+            ErrorKind::UnexpectedEof { expecting: "the closing attribute quote" },
+            cursor.position(),
+        )
+    })?;
+    let raw = &rest[..end];
+    if find_byte(raw.as_bytes(), b'<').is_some() {
+        return Err(XmlError::custom("'<' is not allowed in attribute values", pos));
+    }
+    cursor.advance(end + 1);
+    unescape(raw, pos)
 }
 
 #[cfg(test)]

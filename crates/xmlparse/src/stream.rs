@@ -1,0 +1,850 @@
+//! Bounded-memory streaming parse over any [`Read`] source.
+//!
+//! A [`StreamingReader`] applies the two-phase structural-index design
+//! to inputs that never fit in memory at once: it fills a refill window
+//! (default 128 KiB), runs the [`TapeBuilder`](crate::tape::TapeBuilder)
+//! delimiter scan over the window in *partial* mode, walks the complete
+//! spans, and carries the trailing incomplete construct's bytes to the
+//! front of the window before refilling. Peak memory is therefore
+//! bounded by `max(window, largest single construct)` plus the tape for
+//! one window — independent of document size. A construct larger than
+//! the window (a megabyte comment, say) grows the buffer to hold that
+//! one construct and the buffer stays at the high-water mark thereafter;
+//! schema documents, whose constructs are tags and short text runs,
+//! stream at the configured window.
+//!
+//! Span carryover keeps every span intact: spans begin and end at ASCII
+//! delimiters, so chunk boundaries that fall inside tags, entities or
+//! multi-byte UTF-8 sequences are invisible to the walker — the split
+//! bytes are simply rescanned once more data arrives. UTF-8 is validated
+//! one span at a time (spans are the only slices ever parsed), which is
+//! what lets the reader accept `&[u8]` windows without ever holding a
+//! validated copy of the document.
+//!
+//! Events are owned [`Event`]s (names cross window boundaries, so they
+//! cannot borrow). Error *kinds* are identical to the in-memory
+//! [`Reader`](crate::Reader)'s on every input and every chunk schedule —
+//! pinned by `tests/proptest_index.rs` — while error positions are
+//! window-relative (the reader does not retain consumed windows).
+
+use std::io::Read;
+
+use crate::atoms::Atom;
+use crate::cursor::{find_byte, Cursor, WS_BYTE};
+use crate::error::{ErrorKind, Position, XmlError};
+use crate::reader::{
+    finish_text, parse_doctype, parse_end_tag_name, parse_pi_rest, parse_start_tag_into,
+    parse_xml_decl, Attribute, BorrowedAttr, Event,
+};
+use crate::tape::{EntryKind, StructEntry, TapeBuilder};
+
+/// Default refill window: large enough that tag-dense documents spend
+/// their time parsing rather than shifting carry bytes, small enough
+/// that a metadata server can stream many documents concurrently.
+pub const DEFAULT_WINDOW: usize = 128 * 1024;
+
+/// Smallest permitted window. Tiny windows are only useful to tests
+/// (they force carryover on every construct), but they must still make
+/// progress on a multi-byte opener like `<![CDATA[`.
+const MIN_WINDOW: usize = 16;
+
+/// Validates a byte range of the window as UTF-8, returning early with
+/// [`ErrorKind::InvalidUtf8`] otherwise. A macro rather than a method so
+/// the borrow is of `buf` alone, leaving the walker state free to
+/// mutate while the slice is live.
+macro_rules! segment {
+    ($self:ident, $from:expr, $to:expr) => {
+        match std::str::from_utf8(&$self.buf[$from..$to]) {
+            Ok(seg) => seg,
+            Err(e) => {
+                let at = $from + e.valid_up_to();
+                return Err(XmlError::new(
+                    ErrorKind::InvalidUtf8,
+                    window_position(&$self.buf[..$self.filled], at),
+                ));
+            }
+        }
+    };
+}
+
+/// Element-nesting state shared by the tape walk and the scanning
+/// fallback. Split out of [`StreamingReader`] so it can be borrowed
+/// mutably while a span slice borrows the window buffer.
+struct Walker {
+    open: Vec<Box<str>>,
+    /// A self-closing tag queued its synthetic end event (the name is
+    /// the top of `open`).
+    pending_end: bool,
+    seen_root: bool,
+    root_closed: bool,
+}
+
+impl Walker {
+    /// `pos` is a thunk so the happy path never pays for a line/column
+    /// computation — it is only forced on the error branch.
+    fn note_element_opened(&mut self, pos: impl FnOnce() -> Position) -> Result<(), XmlError> {
+        if self.open.is_empty() {
+            if self.root_closed {
+                return Err(XmlError::new(ErrorKind::ContentOutsideRoot, pos()));
+            }
+            self.seen_root = true;
+        }
+        Ok(())
+    }
+
+    fn note_element_closed(&mut self) {
+        if self.open.is_empty() {
+            self.root_closed = true;
+        }
+    }
+}
+
+/// Amortized window-relative line/column state: remembers how far the
+/// newline scan has progressed so the monotonically increasing queries
+/// of the hot event paths cost O(new bytes) overall rather than
+/// O(offset) each (the same memo [`Cursor`] keeps for the in-memory
+/// reader). Reset whenever the window shifts.
+struct LineTracker {
+    upto: usize,
+    line: u32,
+    last_nl: Option<usize>,
+}
+
+impl LineTracker {
+    fn new() -> Self {
+        LineTracker { upto: 0, line: 1, last_nl: None }
+    }
+
+    fn reset(&mut self) {
+        *self = LineTracker::new();
+    }
+
+    fn position(&mut self, live: &[u8], offset: usize) -> Position {
+        let upto = offset.min(live.len());
+        if upto < self.upto {
+            self.reset();
+        }
+        for (i, &b) in live[self.upto..upto].iter().enumerate() {
+            if b == b'\n' {
+                self.line += 1;
+                self.last_nl = Some(self.upto + i);
+            }
+        }
+        self.upto = upto;
+        let column = (upto - self.last_nl.map_or(0, |i| i + 1)) as u32 + 1;
+        Position { offset, line: self.line, column }
+    }
+}
+
+/// A pull parser over an incremental byte source with bounded peak
+/// memory.
+///
+/// ```
+/// use xmlparse::{Event, StreamingReader};
+/// # fn main() -> Result<(), xmlparse::XmlError> {
+/// let doc = b"<greeting kind=\"warm\">hello</greeting>";
+/// let mut r = StreamingReader::new(&doc[..]);
+/// assert!(matches!(r.next_event()?, Event::StartElement { name, .. } if name == "greeting"));
+/// assert!(matches!(r.next_event()?, Event::Text(t) if t == "hello"));
+/// assert!(matches!(r.next_event()?, Event::EndElement { name } if name == "greeting"));
+/// assert!(matches!(r.next_event()?, Event::Eof));
+/// # Ok(())
+/// # }
+/// ```
+pub struct StreamingReader<R> {
+    source: R,
+    /// The window. `buf[..filled]` is live; `buf[..consumed]` has been
+    /// walked; `buf[..scanned]` is covered by the current tape.
+    buf: Vec<u8>,
+    filled: usize,
+    consumed: usize,
+    scanned: usize,
+    /// Next tape entry to consider.
+    next: usize,
+    builder: TapeBuilder,
+    /// Refill target (grows only when a single construct outsizes it).
+    window: usize,
+    /// The source returned 0 bytes: `buf[..filled]` is the document tail.
+    eof: bool,
+    /// Whether the current window has been scanned at all.
+    tape_valid: bool,
+    walker: Walker,
+    pos: LineTracker,
+    produced_first: bool,
+    done: bool,
+}
+
+impl<R: Read> StreamingReader<R> {
+    /// Streams `source` with the default 128 KiB window.
+    pub fn new(source: R) -> Self {
+        StreamingReader::with_window(source, DEFAULT_WINDOW)
+    }
+
+    /// Streams `source` with an explicit refill window (clamped to a
+    /// small minimum). Peak buffer memory is `max(window, largest
+    /// construct)`.
+    pub fn with_window(source: R, window: usize) -> Self {
+        let window = window.max(MIN_WINDOW);
+        StreamingReader {
+            source,
+            buf: Vec::new(),
+            filled: 0,
+            consumed: 0,
+            scanned: 0,
+            next: 0,
+            builder: TapeBuilder::new(),
+            window,
+            eof: false,
+            tape_valid: false,
+            walker: Walker {
+                open: Vec::new(),
+                pending_end: false,
+                seen_root: false,
+                root_closed: false,
+            },
+            pos: LineTracker::new(),
+            produced_first: false,
+            done: false,
+        }
+    }
+
+    /// The current window capacity in bytes (grows past the configured
+    /// window only if a single construct exceeded it).
+    pub fn window_capacity(&self) -> usize {
+        self.buf.len().max(self.window)
+    }
+
+    /// Parses and returns the next event. After [`Event::Eof`] every
+    /// further call returns `Eof` again.
+    ///
+    /// # Errors
+    ///
+    /// The same error kinds the in-memory reader reports, with
+    /// window-relative positions; [`ErrorKind::InvalidUtf8`] for invalid
+    /// input bytes; an [`ErrorKind::Custom`] error if the source fails.
+    pub fn next_event(&mut self) -> Result<Event, XmlError> {
+        if self.done {
+            return Ok(Event::Eof);
+        }
+        if self.walker.pending_end {
+            self.walker.pending_end = false;
+            let name = self
+                .walker
+                .open
+                .pop()
+                .expect("pending end without an open element");
+            self.walker.note_element_closed();
+            return Ok(Event::EndElement { name: name.into() });
+        }
+        loop {
+            if !self.tape_valid {
+                self.refill()?;
+                continue;
+            }
+            // Discard entries the walker's authoritative position has
+            // already passed (spans consumed as part of a wider
+            // construct, e.g. a pathological XML declaration).
+            while let Some(e) = self.builder.entries().get(self.next) {
+                if (e.start as usize) < self.consumed {
+                    self.next += 1;
+                } else {
+                    break;
+                }
+            }
+            match self.builder.entries().get(self.next).copied() {
+                Some(e) if e.start as usize == self.consumed => {
+                    self.next += 1;
+                    if let Some(event) = self.walk_entry(e)? {
+                        return Ok(event);
+                    }
+                    // Inter-construct whitespace consumed, or a retry
+                    // was scheduled; keep going.
+                }
+                Some(_) => {
+                    // Gap: the cursor landed inside a span the delimiter
+                    // scan mis-sized. Parse one construct by scanning.
+                    if let Some(event) = self.walk_gap()? {
+                        return Ok(event);
+                    }
+                }
+                None => {
+                    if self.consumed < self.scanned {
+                        if let Some(event) = self.walk_gap()? {
+                            return Ok(event);
+                        }
+                        continue;
+                    }
+                    if self.at_document_end() {
+                        return self.finish();
+                    }
+                    self.refill()?;
+                }
+            }
+        }
+    }
+
+    /// Runs the reader to completion, collecting all events (excluding
+    /// the final [`Event::Eof`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first parse error.
+    pub fn collect_events(mut self) -> Result<Vec<Event>, XmlError> {
+        let mut events = Vec::new();
+        loop {
+            match self.next_event()? {
+                Event::Eof => return Ok(events),
+                event => events.push(event),
+            }
+        }
+    }
+
+    /// Whether the walker has reached the end of the final window.
+    fn at_document_end(&self) -> bool {
+        self.eof && self.consumed == self.filled
+    }
+
+    /// Whether an `UnexpectedEof` from a window-bounded parse means "the
+    /// construct continues past the window" rather than a document
+    /// error.
+    fn may_extend(&self, kind: &ErrorKind) -> bool {
+        matches!(kind, ErrorKind::UnexpectedEof { .. })
+            && !(self.eof && self.scanned == self.filled)
+    }
+
+    /// Shifts out walked bytes, tops the window up from the source, and
+    /// rescans. Grows the window only when a construct spans it whole.
+    fn refill(&mut self) -> Result<(), XmlError> {
+        loop {
+            if self.consumed > 0 {
+                self.buf.copy_within(self.consumed..self.filled, 0);
+                self.filled -= self.consumed;
+                self.consumed = 0;
+            }
+            let mut target = self.window.max(self.filled);
+            if self.filled == target && !self.eof {
+                // A full window with no walkable progress: the current
+                // construct spans the whole window, so grow.
+                target = target.saturating_mul(2);
+            }
+            if self.buf.len() < target {
+                self.buf.resize(target, 0);
+            }
+            while !self.eof && self.filled < target {
+                match self.source.read(&mut self.buf[self.filled..target]) {
+                    Ok(0) => self.eof = true,
+                    Ok(n) => self.filled += n,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                    Err(e) => {
+                        let pos = window_position(&self.buf[..self.filled], self.filled);
+                        return Err(XmlError::custom(format!("read error: {e}"), pos));
+                    }
+                }
+            }
+            self.scanned = self.builder.scan(&self.buf[..self.filled], !self.eof);
+            self.next = 0;
+            self.tape_valid = true;
+            // The shift invalidated window coordinates.
+            self.pos.reset();
+            // Progress check: a non-final window whose first construct
+            // is incomplete yields no spans; grow and read more.
+            if self.scanned == 0 && !self.eof && self.filled > 0 {
+                continue;
+            }
+            return Ok(());
+        }
+    }
+
+    /// Schedules a retry of the current construct with more input: the
+    /// window is refilled (keeping `consumed`) on the next loop turn.
+    fn retry_with_more_input(&mut self) {
+        self.tape_valid = false;
+    }
+
+    /// Re-bases a segment-relative error onto window coordinates.
+    fn rebase(&self, err: XmlError, base: usize) -> XmlError {
+        let pos = window_position(&self.buf[..self.filled], base + err.position().offset);
+        XmlError::new(err.kind().clone(), pos)
+    }
+
+    /// Walks one complete tape entry. Returns `Ok(None)` when no event
+    /// was produced (top-level whitespace consumed, or a retry with
+    /// more input was scheduled).
+    fn walk_entry(&mut self, e: StructEntry) -> Result<Option<Event>, XmlError> {
+        let start = e.start as usize;
+        let end = e.range().end;
+
+        // The XML declaration is only legal as the very first bytes of
+        // the document. Parse it with an open-ended cursor: its true
+        // extent can exceed the tape's span when a quoted value contains
+        // "?>", so the walker's position is authoritative afterwards.
+        if !self.produced_first {
+            let rest = &self.buf[self.consumed..self.scanned];
+            if rest.starts_with(b"<?xml")
+                && rest.get(5).is_some_and(|&b| WS_BYTE[b as usize] || b == b'?')
+            {
+                let base = self.consumed;
+                let seg = segment!(self, base, self.scanned);
+                let mut cursor = Cursor::new(seg);
+                match parse_xml_decl(&mut cursor) {
+                    Ok(decl) => {
+                        let new_consumed = base + cursor.offset();
+                        self.produced_first = true;
+                        self.consumed = new_consumed;
+                        return Ok(Some(Event::XmlDecl(decl)));
+                    }
+                    Err(err) if self.may_extend(err.kind()) => {
+                        self.retry_with_more_input();
+                        return Ok(None);
+                    }
+                    Err(err) => return Err(self.rebase(err, base)),
+                }
+            }
+            self.produced_first = true;
+        }
+
+        match e.kind {
+            EntryKind::Text => {
+                let raw = segment!(self, start, end);
+                if self.walker.open.is_empty() {
+                    // Between top-level constructs only whitespace is
+                    // legal character data.
+                    if !raw.bytes().all(|b| WS_BYTE[b as usize]) {
+                        let pos = window_position(&self.buf[..self.filled], start);
+                        return Err(XmlError::new(ErrorKind::ContentOutsideRoot, pos));
+                    }
+                    self.consumed = end;
+                    return Ok(None);
+                }
+                let pos = self.pos.position(&self.buf[..self.filled], start);
+                let text = finish_text(raw, pos)?.into_owned();
+                self.consumed = end;
+                Ok(Some(Event::Text(text)))
+            }
+            EntryKind::Comment => {
+                let seg = segment!(self, start, end);
+                let body = seg[4..seg.len() - 3].to_owned();
+                self.consumed = end;
+                Ok(Some(Event::Comment(body)))
+            }
+            EntryKind::CData => {
+                if self.walker.open.is_empty() {
+                    let pos = window_position(&self.buf[..self.filled], start + 9);
+                    return Err(XmlError::new(ErrorKind::ContentOutsideRoot, pos));
+                }
+                let seg = segment!(self, start, end);
+                let body = seg[9..seg.len() - 3].to_owned();
+                self.consumed = end;
+                Ok(Some(Event::CData(body)))
+            }
+            EntryKind::Doctype => {
+                let seg = segment!(self, start, end);
+                let body = seg[9..seg.len() - 1].trim().to_owned();
+                self.consumed = end;
+                Ok(Some(Event::Doctype(body)))
+            }
+            EntryKind::Pi => {
+                let seg = segment!(self, start, end);
+                let mut cursor = Cursor::new(seg);
+                cursor.advance(2);
+                let (target, data) = match parse_pi_rest(&mut cursor) {
+                    Ok(parts) => parts,
+                    Err(err) => return Err(self.rebase(err, start)),
+                };
+                let event = Event::ProcessingInstruction {
+                    target: target.to_owned(),
+                    data: data.to_owned(),
+                };
+                self.consumed = end;
+                Ok(Some(event))
+            }
+            EntryKind::StartTag | EntryKind::EmptyTag => {
+                let seg = segment!(self, start, end);
+                let mut cursor = Cursor::new(seg);
+                let mut attrs: Vec<BorrowedAttr<'_>> = Vec::new();
+                let tag = match parse_start_tag_into(&mut cursor, &mut attrs) {
+                    Ok(tag) => tag,
+                    Err(err) => return Err(self.rebase(err, start)),
+                };
+                let attributes = attrs
+                    .iter()
+                    .map(|a| Attribute {
+                        name: Atom::new(a.name),
+                        value: a.value.as_ref().to_owned(),
+                    })
+                    .collect();
+                let name = tag.name.to_owned();
+                let self_closing = tag.self_closing;
+                self.consumed = end;
+                self.walker
+                    .note_element_opened(|| window_position(&self.buf[..self.filled], end))?;
+                self.walker.open.push(name.clone().into_boxed_str());
+                self.walker.pending_end = self_closing;
+                Ok(Some(Event::StartElement { name, attributes }))
+            }
+            EntryKind::EndTag => {
+                let seg = segment!(self, start, end);
+                let mut cursor = Cursor::new(seg);
+                let name = match parse_end_tag_name(&mut cursor) {
+                    Ok(name) => name.to_owned(),
+                    Err(err) => return Err(self.rebase(err, start)),
+                };
+                match self.walker.open.pop() {
+                    Some(expected) if *expected == *name => {
+                        self.consumed = end;
+                        self.walker.note_element_closed();
+                        Ok(Some(Event::EndElement { name }))
+                    }
+                    Some(expected) => Err(XmlError::new(
+                        ErrorKind::MismatchedTag {
+                            expected: expected.into(),
+                            found: name,
+                        },
+                        window_position(&self.buf[..self.filled], start),
+                    )),
+                    None => Err(XmlError::new(
+                        ErrorKind::UnmatchedCloseTag { name },
+                        window_position(&self.buf[..self.filled], start),
+                    )),
+                }
+            }
+            // Only emitted on the final window: replay the construct
+            // through the scanning dispatch for the exact truncation
+            // error (or, for pathological inputs, the exact event).
+            EntryKind::Incomplete => self.walk_gap(),
+        }
+    }
+
+    /// Parses one construct the scanning reader's way, starting at the
+    /// walker's position, without tape assistance. Used for truncated
+    /// trailing constructs and for the rare spans the delimiter scan
+    /// mis-sized.
+    fn walk_gap(&mut self) -> Result<Option<Event>, XmlError> {
+        let base = self.consumed;
+        let seg = segment!(self, base, self.scanned);
+        let mut cursor = Cursor::new(seg);
+        match scan_one(&mut self.walker, &mut cursor) {
+            Ok(outcome) => {
+                // A construct that ran to the very end of the scanned
+                // region may continue in the unread input: retry with
+                // more data rather than emit a truncated event.
+                if cursor.offset() == seg.len() && !(self.eof && self.scanned == self.filled) {
+                    self.retry_with_more_input();
+                    return Ok(None);
+                }
+                let new_consumed = base + cursor.offset();
+                self.consumed = new_consumed;
+                match outcome {
+                    ScanOutcome::Event(event) => Ok(Some(event)),
+                    ScanOutcome::Whitespace => Ok(None),
+                    ScanOutcome::Opened {
+                        name,
+                        attributes,
+                        self_closing,
+                    } => {
+                        self.walker.note_element_opened(|| {
+                            window_position(&self.buf[..self.filled], new_consumed)
+                        })?;
+                        self.walker.open.push(name.clone().into_boxed_str());
+                        self.walker.pending_end = self_closing;
+                        Ok(Some(Event::StartElement { name, attributes }))
+                    }
+                }
+            }
+            Err(err) if self.may_extend(err.kind()) => {
+                self.retry_with_more_input();
+                Ok(None)
+            }
+            Err(err) => Err(self.rebase(err, base)),
+        }
+    }
+
+    fn finish(&mut self) -> Result<Event, XmlError> {
+        let pos = window_position(&self.buf[..self.filled], self.consumed);
+        if let Some(name) = self.walker.open.last() {
+            return Err(XmlError::new(
+                ErrorKind::UnclosedElement {
+                    name: name.to_string(),
+                },
+                pos,
+            ));
+        }
+        if !self.walker.seen_root {
+            return Err(XmlError::new(ErrorKind::NoRootElement, pos));
+        }
+        self.done = true;
+        Ok(Event::Eof)
+    }
+}
+
+/// The result of parsing one construct by scanning: an event, silently
+/// consumed top-level whitespace, or an element opening whose stack
+/// bookkeeping the caller performs (so retries stay side-effect free).
+enum ScanOutcome {
+    Event(Event),
+    Whitespace,
+    Opened {
+        name: String,
+        attributes: Vec<Attribute>,
+        self_closing: bool,
+    },
+}
+
+/// The scanning reader's per-call dispatch (text or markup) over a
+/// window cursor, with segment-relative error positions. Mirrors
+/// `Reader::next_borrowed`'s dispatch order exactly so truncation
+/// errors land on the same kinds.
+fn scan_one(walker: &mut Walker, cursor: &mut Cursor<'_>) -> Result<ScanOutcome, XmlError> {
+    if cursor.peek_byte() != Some(b'<') {
+        let pos = cursor.position();
+        let rest = cursor.rest();
+        let end = find_byte(rest.as_bytes(), b'<').unwrap_or(rest.len());
+        let raw = &rest[..end];
+        if walker.open.is_empty() {
+            if !raw.bytes().all(|b| WS_BYTE[b as usize]) {
+                return Err(XmlError::new(ErrorKind::ContentOutsideRoot, pos));
+            }
+            cursor.advance(end);
+            return Ok(ScanOutcome::Whitespace);
+        }
+        let text = finish_text(raw, pos)?.into_owned();
+        cursor.advance(end);
+        return Ok(ScanOutcome::Event(Event::Text(text)));
+    }
+    if cursor.eat("<!--") {
+        let body = cursor.take_until("-->", "'-->' closing a comment")?;
+        return Ok(ScanOutcome::Event(Event::Comment(body.to_owned())));
+    }
+    if cursor.eat("<![CDATA[") {
+        if walker.open.is_empty() {
+            return Err(XmlError::new(
+                ErrorKind::ContentOutsideRoot,
+                cursor.position(),
+            ));
+        }
+        let body = cursor.take_until("]]>", "']]>' closing CDATA")?;
+        return Ok(ScanOutcome::Event(Event::CData(body.to_owned())));
+    }
+    if cursor.rest_bytes().starts_with(b"<!DOCTYPE") {
+        return Ok(ScanOutcome::Event(Event::Doctype(
+            parse_doctype(cursor)?.to_owned(),
+        )));
+    }
+    if cursor.rest_bytes().starts_with(b"<?") {
+        cursor.advance(2);
+        let (target, data) = parse_pi_rest(cursor)?;
+        return Ok(ScanOutcome::Event(Event::ProcessingInstruction {
+            target: target.to_owned(),
+            data: data.to_owned(),
+        }));
+    }
+    if cursor.rest_bytes().starts_with(b"</") {
+        let pos = cursor.position();
+        let name = parse_end_tag_name(cursor)?;
+        return match walker.open.pop() {
+            Some(expected) if *expected == *name => {
+                walker.note_element_closed();
+                Ok(ScanOutcome::Event(Event::EndElement {
+                    name: name.to_owned(),
+                }))
+            }
+            Some(expected) => Err(XmlError::new(
+                ErrorKind::MismatchedTag {
+                    expected: expected.into(),
+                    found: name.to_owned(),
+                },
+                pos,
+            )),
+            None => Err(XmlError::new(
+                ErrorKind::UnmatchedCloseTag {
+                    name: name.to_owned(),
+                },
+                pos,
+            )),
+        };
+    }
+    let mut attrs: Vec<BorrowedAttr<'_>> = Vec::new();
+    let tag = parse_start_tag_into(cursor, &mut attrs)?;
+    let attributes = attrs
+        .iter()
+        .map(|a| Attribute {
+            name: Atom::new(a.name),
+            value: a.value.as_ref().to_owned(),
+        })
+        .collect();
+    Ok(ScanOutcome::Opened {
+        name: tag.name.to_owned(),
+        attributes,
+        self_closing: tag.self_closing,
+    })
+}
+
+/// A window-relative position: line/column computed over the current
+/// window only (consumed windows are gone — that is the point of a
+/// streaming reader). Only reached on error paths.
+fn window_position(live: &[u8], offset: usize) -> Position {
+    let upto = offset.min(live.len());
+    let mut line = 1u32;
+    let mut last_nl = None;
+    for (i, &b) in live[..upto].iter().enumerate() {
+        if b == b'\n' {
+            line += 1;
+            last_nl = Some(i);
+        }
+    }
+    let column = (upto - last_nl.map_or(0, |i| i + 1)) as u32 + 1;
+    Position {
+        offset,
+        line,
+        column,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Reader;
+
+    /// A reader that returns at most `chunk` bytes per call, exercising
+    /// short reads independently of the window size.
+    struct Trickle<'a> {
+        data: &'a [u8],
+        at: usize,
+        chunk: usize,
+    }
+
+    impl Read for Trickle<'_> {
+        fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+            let n = self
+                .data
+                .len()
+                .saturating_sub(self.at)
+                .min(self.chunk)
+                .min(out.len());
+            out[..n].copy_from_slice(&self.data[self.at..self.at + n]);
+            self.at += n;
+            Ok(n)
+        }
+    }
+
+    fn agree(doc: &str, window: usize, chunk: usize) {
+        let streamed = StreamingReader::with_window(
+            Trickle {
+                data: doc.as_bytes(),
+                at: 0,
+                chunk,
+            },
+            window,
+        )
+        .collect_events();
+        let scanned = Reader::new(doc).collect_events();
+        match (streamed, scanned) {
+            (Ok(a), Ok(b)) => assert_eq!(a, b, "events differ on {doc:?} w={window} c={chunk}"),
+            (Err(a), Err(b)) => assert_eq!(
+                std::mem::discriminant(a.kind()),
+                std::mem::discriminant(b.kind()),
+                "error kinds differ on {doc:?} w={window} c={chunk}: {a:?} vs {b:?}"
+            ),
+            (a, b) => {
+                panic!("outcomes differ on {doc:?} w={window} c={chunk}: {a:?} vs {b:?}")
+            }
+        }
+    }
+
+    #[test]
+    fn agrees_with_the_scanning_reader_across_windows() {
+        let docs = [
+            "<a/>",
+            "<?xml version=\"1.0\" encoding=\"UTF-8\"?><a x=\"1\" y='two &amp; three'>t</a>",
+            "<?xml version=\"1.0?>\"?><a/>",
+            "<!DOCTYPE note [<!ELEMENT note (#PCDATA)>]><note/>",
+            "  <!-- head -->\n<a>pre<b>inner</b>post<![CDATA[1<2&3]]><?proc do it?></a>\n",
+            "<h\u{e9}llo attr=\"w\u{f6}rld\">\u{fc}n\u{ef}code &#xe9;</h\u{e9}llo>",
+            "<a x=\"1>2\">gt in attr</a>",
+            "",
+            "   ",
+            "<a>",
+            "<a><b></a></b>",
+            "<a/><b/>",
+            "<a x=\"1\" x=\"2\"/>",
+            "<a>oops ]]> here</a>",
+            "junk<a/>",
+            "<a/>junk",
+            "<a>t<!-- never closed",
+            "<a>t<b x=\"1",
+            "<a>&unknown;</a>",
+            "<a><![CDATA[big ]] almost ]]>done</a>",
+            "<?pi?><a/><?pi2 data?>",
+        ];
+        for doc in docs {
+            for window in [16, 23, 64, 4096] {
+                for chunk in [1, 7, 4096] {
+                    agree(doc, window, chunk);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn construct_larger_than_the_window_grows_the_buffer() {
+        let big_text = "x".repeat(1000);
+        let doc = format!("<a>{big_text}</a>");
+        let mut r = StreamingReader::with_window(doc.as_bytes(), 16);
+        assert!(matches!(r.next_event().unwrap(), Event::StartElement { .. }));
+        assert!(matches!(r.next_event().unwrap(), Event::Text(t) if t == big_text));
+        assert!(matches!(r.next_event().unwrap(), Event::EndElement { .. }));
+        assert!(matches!(r.next_event().unwrap(), Event::Eof));
+        assert!(r.window_capacity() >= 1000);
+    }
+
+    #[test]
+    fn multibyte_utf8_survives_every_split() {
+        // 2-, 3- and 4-byte sequences in names, text and attribute
+        // values; byte-level trickle reads with tiny windows hit every
+        // split point inside each sequence.
+        let doc = "<\u{e9}\u{4e2d}\u{1d11e} a=\"\u{e9}\u{4e2d}\u{1d11e}\">\u{e9}\u{4e2d}\u{1d11e}<\u{e9}x/></\u{e9}\u{4e2d}\u{1d11e}>";
+        for window in [16, 17, 18, 19, 33] {
+            agree(doc, window, 1);
+        }
+    }
+
+    #[test]
+    fn invalid_utf8_is_reported() {
+        let bytes: &[u8] = b"<a>\xffoops</a>";
+        let mut r = StreamingReader::new(bytes);
+        r.next_event().unwrap();
+        let err = r.next_event().unwrap_err();
+        assert!(matches!(err.kind(), ErrorKind::InvalidUtf8));
+    }
+
+    #[test]
+    fn eof_is_repeatable() {
+        let mut r = StreamingReader::new(&b"<a/>"[..]);
+        while !matches!(r.next_event().unwrap(), Event::Eof) {}
+        assert!(matches!(r.next_event().unwrap(), Event::Eof));
+    }
+
+    #[test]
+    fn large_document_streams_with_a_small_buffer() {
+        let mut doc = String::from("<root>");
+        for i in 0..2000 {
+            doc.push_str(&format!("<item id=\"{i}\">value {i}</item>"));
+        }
+        doc.push_str("</root>");
+        let mut r = StreamingReader::with_window(doc.as_bytes(), 256);
+        let mut items = 0;
+        loop {
+            match r.next_event().unwrap() {
+                Event::StartElement { name, .. } if name == "item" => items += 1,
+                Event::Eof => break,
+                _ => {}
+            }
+        }
+        assert_eq!(items, 2000);
+        assert!(
+            r.window_capacity() <= 512,
+            "buffer grew: {}",
+            r.window_capacity()
+        );
+    }
+}

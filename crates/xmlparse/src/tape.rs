@@ -1,0 +1,422 @@
+//! Phase one of the structural-index ingest: the **tape pass**.
+//!
+//! A [`TapeBuilder`] runs the SWAR byte scanners from [`crate::cursor`]
+//! in a dedicated delimiter-scan mode over the raw input and emits a
+//! flat index of span structs ([`StructEntry`]) — one per markup
+//! construct or character-data run — without parsing names, attributes
+//! or entities and without allocating per node. The entry vector is
+//! reused across documents, so steady-state indexing allocates nothing.
+//!
+//! The tape is deliberately *permissive*: it only finds construct
+//! boundaries. It never reports an error; a construct whose closing
+//! delimiter is missing becomes a single [`EntryKind::Incomplete`] entry
+//! covering the rest of the input, and every well-formedness question
+//! (tag matching, attribute syntax, entities) is answered later by the
+//! walker ([`crate::index::IndexReader`] /
+//! [`crate::stream::StreamingReader`]), which replays each span through
+//! the same construct parsers the scanning [`Reader`](crate::Reader)
+//! uses. That split is what makes the two-phase design safe: phase one
+//! is a pure accelerator, phase two is the single source of truth for
+//! events and errors.
+//!
+//! Scan rules mirror the reader's successful-parse extents exactly:
+//!
+//! * text runs extend to the next `<` (or end of input),
+//! * `<!--`, `<![CDATA[` and `<?` extend to their first closing
+//!   delimiter (`-->`, `]]>`, `?>`),
+//! * `<!DOCTYPE` honours an internal subset in `[...]`,
+//! * start tags scan for the first *unquoted* `>` (a `>` inside a
+//!   quoted attribute value does not terminate the tag), and
+//! * end tags extend to the first `>`.
+//!
+//! Spans begin and end at ASCII delimiters, so every span boundary is a
+//! UTF-8 character boundary — the property the bounded-memory streaming
+//! reader relies on when it validates one span at a time.
+
+use crate::cursor::{find_byte, find_byte3};
+
+/// Marks "no paired entry" in [`StructEntry::pair`].
+pub const NO_PAIR: u32 = u32::MAX;
+
+/// What kind of construct a tape entry spans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum EntryKind {
+    /// A character-data run (everything between two markup constructs).
+    Text,
+    /// `<name ...>` — pushes one nesting level.
+    StartTag,
+    /// `<name .../>` — self-closing; paired with itself.
+    EmptyTag,
+    /// `</name ...>` — pops one nesting level.
+    EndTag,
+    /// `<!-- ... -->` including delimiters.
+    Comment,
+    /// `<![CDATA[ ... ]]>` including delimiters.
+    CData,
+    /// `<? ... ?>` including delimiters (the XML declaration scans as a
+    /// PI; the walker re-classifies the first entry).
+    Pi,
+    /// `<!DOCTYPE ... >` including delimiters.
+    Doctype,
+    /// A markup construct whose closing delimiter is missing: the span
+    /// runs to the end of the input. The walker replays it through the
+    /// scanning parser to reproduce the exact truncation error.
+    Incomplete,
+}
+
+/// One span in the structural index: a half-open byte range
+/// `[start, start + len)` of the scanned input plus its nesting depth
+/// and, for tags, a link to the matching start/end entry.
+///
+/// 16 bytes per entry; a `Vec<StructEntry>` is the whole index.
+#[derive(Debug, Clone, Copy)]
+pub struct StructEntry {
+    /// Construct classification.
+    pub kind: EntryKind,
+    /// Number of elements open where this span begins (start tags record
+    /// the depth of the element they open; end tags match it).
+    pub depth: u32,
+    /// Byte offset of the span start.
+    pub start: u32,
+    /// Span length in bytes, delimiters included.
+    pub len: u32,
+    /// Tape index of the matching start/end entry ([`NO_PAIR`] when
+    /// unmatched; [`EntryKind::EmptyTag`] pairs with itself).
+    pub pair: u32,
+}
+
+impl StructEntry {
+    /// The half-open byte range this entry spans.
+    pub fn range(&self) -> std::ops::Range<usize> {
+        self.start as usize..(self.start + self.len) as usize
+    }
+}
+
+/// A finished structural index over one document: a borrowed view of the
+/// builder's entry vector.
+#[derive(Debug, Clone, Copy)]
+pub struct Tape<'t> {
+    entries: &'t [StructEntry],
+}
+
+impl<'t> Tape<'t> {
+    /// The index entries in document order.
+    pub fn entries(&self) -> &'t [StructEntry] {
+        self.entries
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the tape is empty (empty input).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Builds structural indexes, reusing one entry vector (and one
+/// tag-pairing stack) across documents.
+#[derive(Debug, Default)]
+pub struct TapeBuilder {
+    entries: Vec<StructEntry>,
+    /// Tape indices of currently-open start tags, for pair linking.
+    stack: Vec<u32>,
+}
+
+impl TapeBuilder {
+    /// A builder with empty pools.
+    pub fn new() -> Self {
+        TapeBuilder::default()
+    }
+
+    /// Scans `input` and returns its structural index. The returned tape
+    /// borrows this builder's pooled storage, which is cleared and
+    /// refilled; no per-entry allocation happens once the pool has grown
+    /// to the document's entry count.
+    ///
+    /// # Panics
+    ///
+    /// If `input` exceeds `u32::MAX` bytes (spans are 32-bit).
+    pub fn build(&mut self, input: &str) -> Tape<'_> {
+        let scanned = self.scan(input.as_bytes(), false);
+        debug_assert_eq!(scanned, input.len());
+        Tape { entries: &self.entries }
+    }
+
+    /// The windowed scan behind [`TapeBuilder::build`] and the streaming
+    /// reader. Scans `bytes` from the start, filling the entry vector.
+    ///
+    /// With `allow_partial` set (a streaming window that is not the final
+    /// one), the scan stops at the first construct whose extent cannot be
+    /// determined inside the window — a text run or markup construct
+    /// missing its terminator — and returns the byte offset where that
+    /// construct starts, so the caller can carry those bytes into the
+    /// next window. Without it (final window / whole document), a
+    /// trailing text run becomes a [`EntryKind::Text`] entry and a
+    /// truncated markup construct becomes [`EntryKind::Incomplete`]; the
+    /// full length is returned.
+    pub(crate) fn scan(&mut self, bytes: &[u8], allow_partial: bool) -> usize {
+        assert!(bytes.len() <= u32::MAX as usize, "input exceeds the 4 GiB tape limit");
+        self.entries.clear();
+        self.stack.clear();
+        let mut depth: u32 = 0;
+        let len = bytes.len();
+        let mut i = 0usize;
+        while i < len {
+            let start = i;
+            if bytes[i] != b'<' {
+                match find_byte(&bytes[i..], b'<') {
+                    Some(rel) => {
+                        self.push(EntryKind::Text, depth, start, i + rel, NO_PAIR);
+                        i += rel;
+                    }
+                    None => {
+                        if allow_partial {
+                            return start;
+                        }
+                        self.push(EntryKind::Text, depth, start, len, NO_PAIR);
+                        i = len;
+                    }
+                }
+                continue;
+            }
+            let rest = &bytes[i..];
+            // Classification mirrors the reader's dispatch order. A rest
+            // too short to decide is itself an incomplete construct.
+            let end = if rest.starts_with(b"<!--") {
+                find_seq(&rest[4..], b"-->").map(|rel| i + 4 + rel + 3).map(|e| (EntryKind::Comment, e))
+            } else if rest.starts_with(b"<![CDATA[") {
+                find_seq(&rest[9..], b"]]>").map(|rel| i + 9 + rel + 3).map(|e| (EntryKind::CData, e))
+            } else if rest.starts_with(b"<!DOCTYPE") {
+                scan_doctype(&rest[9..]).map(|rel| i + 9 + rel + 1).map(|e| (EntryKind::Doctype, e))
+            } else if rest.starts_with(b"<?") {
+                find_seq(&rest[2..], b"?>").map(|rel| i + 2 + rel + 2).map(|e| (EntryKind::Pi, e))
+            } else if rest.starts_with(b"</") {
+                find_byte(&rest[2..], b'>').map(|rel| i + 2 + rel + 1).map(|e| (EntryKind::EndTag, e))
+            } else if opener_truncated(rest) {
+                // Too few bytes to tell `<!-` from `<!D` etc.; the
+                // construct cannot be complete either way.
+                None
+            } else {
+                scan_start_tag(&rest[1..]).map(|(rel, empty)| {
+                    let kind = if empty { EntryKind::EmptyTag } else { EntryKind::StartTag };
+                    (kind, i + 1 + rel + 1)
+                })
+            };
+            match end {
+                None => {
+                    if allow_partial {
+                        return start;
+                    }
+                    self.push(EntryKind::Incomplete, depth, start, len, NO_PAIR);
+                    i = len;
+                }
+                Some((kind, end)) => {
+                    let idx = self.entries.len() as u32;
+                    match kind {
+                        EntryKind::StartTag => {
+                            self.push(kind, depth, start, end, NO_PAIR);
+                            self.stack.push(idx);
+                            depth += 1;
+                        }
+                        EntryKind::EmptyTag => self.push(kind, depth, start, end, idx),
+                        EntryKind::EndTag => match self.stack.pop() {
+                            Some(open) => {
+                                depth -= 1;
+                                self.push(kind, depth, start, end, open);
+                                self.entries[open as usize].pair = idx;
+                            }
+                            // Unbalanced close: record it at depth 0 and
+                            // let the walker produce the error.
+                            None => self.push(kind, 0, start, end, NO_PAIR),
+                        },
+                        _ => self.push(kind, depth, start, end, NO_PAIR),
+                    }
+                    i = end;
+                }
+            }
+        }
+        len
+    }
+
+    #[inline]
+    fn push(&mut self, kind: EntryKind, depth: u32, start: usize, end: usize, pair: u32) {
+        self.entries.push(StructEntry {
+            kind,
+            depth,
+            start: start as u32,
+            len: (end - start) as u32,
+            pair,
+        });
+    }
+
+    /// The entries produced by the last scan (window-relative offsets
+    /// when the scan was windowed).
+    pub(crate) fn entries(&self) -> &[StructEntry] {
+        &self.entries
+    }
+}
+
+/// Whether `rest` (starting with `<`) is a strict prefix of a multi-byte
+/// opener, i.e. too short to classify.
+fn opener_truncated(rest: &[u8]) -> bool {
+    const OPENERS: [&[u8]; 3] = [b"<!--", b"<![CDATA[", b"<!DOCTYPE"];
+    rest.len() < 9 && OPENERS.iter().any(|op| op.starts_with(rest))
+}
+
+/// First occurrence of `needle` in `hay`, using the SWAR single-byte
+/// scan to locate candidate positions.
+fn find_seq(hay: &[u8], needle: &[u8]) -> Option<usize> {
+    let first = needle[0];
+    let mut i = 0;
+    while let Some(rel) = find_byte(&hay[i..], first) {
+        let at = i + rel;
+        if hay[at..].len() < needle.len() {
+            return None;
+        }
+        if &hay[at..at + needle.len()] == needle {
+            return Some(at);
+        }
+        i = at + 1;
+    }
+    None
+}
+
+/// Offset of the `>` closing a DOCTYPE (relative to just past
+/// `<!DOCTYPE`), honouring an internal subset in `[...]`. Mirrors the
+/// reader's bracket-aware scan.
+fn scan_doctype(rest: &[u8]) -> Option<usize> {
+    let mut depth: usize = 0;
+    let mut i = 0;
+    loop {
+        let rel = find_byte3(&rest[i..], b'[', b']', b'>')?;
+        let at = i + rel;
+        i = at + 1;
+        match rest[at] {
+            b'[' => depth += 1,
+            b']' => depth = depth.saturating_sub(1),
+            _ => {
+                if depth == 0 {
+                    return Some(at);
+                }
+            }
+        }
+    }
+}
+
+/// Offset of the first unquoted `>` in `rest` (relative to just past the
+/// `<`), plus whether the byte before it is `/` (an empty-element tag).
+/// A `>` inside a quoted attribute value does not terminate the tag.
+fn scan_start_tag(rest: &[u8]) -> Option<(usize, bool)> {
+    let mut i = 0;
+    loop {
+        let rel = find_byte3(&rest[i..], b'>', b'"', b'\'')?;
+        let at = i + rel;
+        match rest[at] {
+            b'>' => {
+                let empty = at > 0 && rest[at - 1] == b'/';
+                return Some((at, empty));
+            }
+            quote => {
+                let close = find_byte(&rest[at + 1..], quote)?;
+                i = at + 1 + close + 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(input: &str) -> Vec<EntryKind> {
+        let mut b = TapeBuilder::new();
+        b.build(input).entries().iter().map(|e| e.kind).collect()
+    }
+
+    #[test]
+    fn spans_tile_the_input() {
+        let doc = "<?xml version=\"1.0\"?><!-- c --><a x=\"1\">text<b/><![CDATA[d]]></a>\n";
+        let mut b = TapeBuilder::new();
+        let tape = b.build(doc);
+        let mut at = 0;
+        for e in tape.entries() {
+            assert_eq!(e.start as usize, at, "gap before {e:?}");
+            at = e.range().end;
+        }
+        assert_eq!(at, doc.len());
+    }
+
+    #[test]
+    fn kinds_classify_every_construct() {
+        use EntryKind::*;
+        assert_eq!(
+            kinds("<?xml version=\"1.0\"?><!DOCTYPE a><a x=\"1\">t<b/><!--c--><![CDATA[d]]><?p q?></a>"),
+            vec![Pi, Doctype, StartTag, Text, EmptyTag, Comment, CData, Pi, EndTag]
+        );
+    }
+
+    #[test]
+    fn quoted_gt_does_not_close_a_start_tag() {
+        let doc = "<a x=\"1>2\" y='3>4'>t</a>";
+        let mut b = TapeBuilder::new();
+        let tape = b.build(doc);
+        let e = tape.entries()[0];
+        assert_eq!(e.kind, EntryKind::StartTag);
+        assert_eq!(&doc[e.range()], "<a x=\"1>2\" y='3>4'>");
+    }
+
+    #[test]
+    fn depth_and_pairs_link_tags() {
+        let doc = "<a><b>t</b><c/></a>";
+        let mut b = TapeBuilder::new();
+        let tape = b.build(doc);
+        let e = tape.entries();
+        assert_eq!(e[0].depth, 0); // <a>
+        assert_eq!(e[1].depth, 1); // <b>
+        assert_eq!(e[2].depth, 2); // t
+        assert_eq!(e[3].depth, 1); // </b>
+        assert_eq!((e[1].pair, e[3].pair), (3, 1));
+        assert_eq!(e[4].pair, 4); // <c/> pairs itself
+        assert_eq!((e[0].pair, e[5].pair), (5, 0));
+    }
+
+    #[test]
+    fn truncated_constructs_become_incomplete() {
+        use EntryKind::*;
+        assert_eq!(kinds("<a>t<!-- never closed"), vec![StartTag, Text, Incomplete]);
+        assert_eq!(kinds("<a>t<![CDATA[x"), vec![StartTag, Text, Incomplete]);
+        assert_eq!(kinds("<a>t<b x=\"1"), vec![StartTag, Text, Incomplete]);
+        assert_eq!(kinds("<!-"), vec![Incomplete]);
+        assert_eq!(kinds("<"), vec![Incomplete]);
+    }
+
+    #[test]
+    fn partial_scan_reports_the_carry_point() {
+        let mut b = TapeBuilder::new();
+        // Window ends inside the <b ...> tag: everything before it is
+        // complete, the carry point is the tag's '<'.
+        let window = b"<a>text<b x=\"un";
+        let consumed = b.scan(window, true);
+        assert_eq!(consumed, 7);
+        assert_eq!(
+            b.entries().iter().map(|e| e.kind).collect::<Vec<_>>(),
+            vec![EntryKind::StartTag, EntryKind::Text]
+        );
+        // A trailing text run is also carried (it may continue).
+        let consumed = b.scan(b"<a>some text", true);
+        assert_eq!(consumed, 3);
+    }
+
+    #[test]
+    fn pool_is_reused_across_documents() {
+        let mut b = TapeBuilder::new();
+        let n1 = b.build("<a><b/></a>").len();
+        assert_eq!(n1, 3);
+        let n2 = b.build("<x/>").len();
+        assert_eq!(n2, 1);
+    }
+}

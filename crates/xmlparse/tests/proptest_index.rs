@@ -1,0 +1,258 @@
+//! Differential property tests for the structural-index ingest path.
+//!
+//! The tape-backed [`IndexReader`] and the bounded-memory
+//! [`StreamingReader`] must produce exactly the event stream of the
+//! scanning [`Reader`] — on serialized trees, on markup soup, and on
+//! truncated prefixes — and the streaming reader must do so under every
+//! chunk-split schedule: reads that split tags, entities, multi-byte
+//! UTF-8 sequences and closing delimiters at arbitrary byte offsets.
+//! Error *kinds* must agree; positions are not compared (the index
+//! reader scans lazily and the streaming reader reports window-relative
+//! positions).
+
+use std::io::Read;
+
+use proptest::prelude::*;
+use xmlparse::{Element, Event, IndexReader, Reader, StreamingReader, TapeBuilder, Writer, XmlError};
+
+fn reference_events(input: &str) -> Result<Vec<Event>, XmlError> {
+    Reader::new(input).collect_events()
+}
+
+fn index_events(input: &str) -> Result<Vec<Event>, XmlError> {
+    let mut builder = TapeBuilder::new();
+    let tape = builder.build(input);
+    IndexReader::new(input, tape).collect_events()
+}
+
+/// A byte source that honours an arbitrary split schedule: the n-th
+/// `read` call returns at most `splits[n]` bytes (cycling), so chunk
+/// boundaries land wherever proptest puts them — including inside
+/// multi-byte characters and delimiter sequences.
+struct Scheduled<'a> {
+    data: &'a [u8],
+    at: usize,
+    splits: Vec<usize>,
+    turn: usize,
+}
+
+impl Read for Scheduled<'_> {
+    fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+        let quota = if self.splits.is_empty() {
+            out.len()
+        } else {
+            let q = self.splits[self.turn % self.splits.len()].max(1);
+            self.turn += 1;
+            q
+        };
+        let n = self
+            .data
+            .len()
+            .saturating_sub(self.at)
+            .min(quota)
+            .min(out.len());
+        out[..n].copy_from_slice(&self.data[self.at..self.at + n]);
+        self.at += n;
+        Ok(n)
+    }
+}
+
+fn streaming_events(
+    input: &str,
+    window: usize,
+    splits: Vec<usize>,
+) -> Result<Vec<Event>, XmlError> {
+    let source = Scheduled {
+        data: input.as_bytes(),
+        at: 0,
+        splits,
+        turn: 0,
+    };
+    StreamingReader::with_window(source, window).collect_events()
+}
+
+/// Asserts a candidate outcome matches the reference: equal event
+/// streams on success, same error kind (by variant) on failure.
+fn assert_matches_reference(
+    label: &str,
+    input: &str,
+    candidate: Result<Vec<Event>, XmlError>,
+    reference: &Result<Vec<Event>, XmlError>,
+) {
+    match (candidate, reference) {
+        (Ok(new), Ok(old)) => {
+            assert_eq!(&new, old, "{label} event stream diverges on {input:?}");
+        }
+        (Err(new), Err(old)) => {
+            assert_eq!(
+                std::mem::discriminant(new.kind()),
+                std::mem::discriminant(old.kind()),
+                "{label} error kind diverges on {input:?}: {:?} vs {:?}",
+                new.kind(),
+                old.kind()
+            );
+        }
+        (new, old) => panic!(
+            "{label} acceptance diverges on {input:?}: {:?} vs {:?}",
+            new.map(|e| e.len()),
+            old.as_ref().map(|e| e.len())
+        ),
+    }
+}
+
+/// Runs all three readers over `input` and checks both index-backed
+/// paths against the scanning reader, streaming under the given
+/// window/split schedule.
+fn assert_all_agree(input: &str, window: usize, splits: Vec<usize>) {
+    let reference = reference_events(input);
+    assert_matches_reference("index", input, index_events(input), &reference);
+    assert_matches_reference(
+        "streaming",
+        input,
+        streaming_events(input, window, splits),
+        &reference,
+    );
+}
+
+// --- strategies (mirroring tests/proptest_fastpath.rs) ---
+
+fn name_strategy() -> impl Strategy<Value = String> {
+    prop_oneof![
+        "[A-Za-z_][A-Za-z0-9_.-]{0,11}",
+        "[A-Za-z_éλü][A-Za-z0-9_.éλü\u{4e2d}-]{0,9}",
+    ]
+    .prop_filter("avoid xml-reserved names", |s| {
+        !s.eq_ignore_ascii_case("xml") && !s.starts_with("xmlns")
+    })
+}
+
+fn text_strategy() -> impl Strategy<Value = String> {
+    proptest::collection::vec(
+        prop_oneof![
+            Just('<'),
+            Just('>'),
+            Just('&'),
+            Just('"'),
+            Just('\''),
+            proptest::char::range('a', 'z'),
+            proptest::char::range('0', '9'),
+            Just(' '),
+            Just('\n'),
+            Just('é'),         // 2-byte UTF-8
+            Just('\u{4e2d}'),  // 3-byte UTF-8
+            Just('\u{1F600}'), // 4-byte UTF-8
+        ],
+        0..48,
+    )
+    .prop_map(|chars| chars.into_iter().collect())
+}
+
+fn element_strategy() -> impl Strategy<Value = Element> {
+    let leaf = (
+        name_strategy(),
+        proptest::collection::vec((name_strategy(), text_strategy()), 0..4),
+    )
+        .prop_map(|(name, attrs)| {
+            let mut el = Element::new(name);
+            for (aname, avalue) in attrs {
+                if el.attr(&aname).is_none() {
+                    el = el.with_attr(aname, avalue);
+                }
+            }
+            el
+        });
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        (
+            name_strategy(),
+            proptest::collection::vec((name_strategy(), text_strategy()), 0..3),
+            proptest::collection::vec(inner, 0..4),
+            proptest::option::of(text_strategy()),
+        )
+            .prop_map(|(name, attrs, children, text)| {
+                let mut el = Element::new(name);
+                for (aname, avalue) in attrs {
+                    if el.attr(&aname).is_none() {
+                        el = el.with_attr(aname, avalue);
+                    }
+                }
+                if let Some(t) = text {
+                    if !t.trim().is_empty() {
+                        el = el.with_text(t);
+                    }
+                }
+                for child in children {
+                    el = el.with_child(child);
+                }
+                el
+            })
+    })
+}
+
+/// Markup-ish fragments: mostly ill-formed, some accidentally valid,
+/// full of partial delimiters, split entity syntax, and declarations.
+fn fragment_strategy() -> impl Strategy<Value = &'static str> {
+    proptest::sample::select(vec![
+        "<a>", "</a>", "<a/>", "<b x=\"1\">", "</b>", "<a x='v'/>",
+        "&amp;", "&#65;", "&#x4e2d;", "&bogus;", "&", "&amp",
+        "<![CDATA[", "]]>", "<![CDATA[x]]>",
+        "<!--", "-->", "<!-- c -->",
+        "<?pi data?>", "<?", "?>",
+        "<!DOCTYPE a>", "<!DOCTYPE a [", "]",
+        "text", "é", "λ", "\u{1F600}", " ", "\n", "\t",
+        "\"", "'", "<", ">", "=", "/", "/>", "<1a>", "x=",
+        "<?xml version=\"1.0\"?>",
+        "<a x=\"1>2\">",
+    ])
+}
+
+fn window_strategy() -> impl Strategy<Value = usize> {
+    prop_oneof![Just(16usize), Just(17), Just(31), Just(64), Just(4096)]
+}
+
+fn splits_strategy() -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::vec(1usize..24, 0..8)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// All three readers yield identical event streams for serialized
+    /// trees, whatever the window size and read-split schedule.
+    #[test]
+    fn readers_agree_on_wellformed_documents(
+        el in element_strategy(),
+        window in window_strategy(),
+        splits in splits_strategy(),
+    ) {
+        for writer in [Writer::default(), Writer::compact()] {
+            let xml = writer.element_to_string(&el);
+            prop_assert!(reference_events(&xml).is_ok(), "serialized tree must parse: {:?}", xml);
+            assert_all_agree(&xml, window, splits.clone());
+        }
+    }
+
+    /// Same events or same error kind — never a panic, never a hang —
+    /// on arbitrary concatenations of markup fragments, across chunk
+    /// schedules that split tags, entities and delimiters anywhere.
+    #[test]
+    fn readers_agree_on_markup_soup(
+        frags in proptest::collection::vec(fragment_strategy(), 0..24),
+        window in window_strategy(),
+        splits in splits_strategy(),
+    ) {
+        let input: String = frags.concat();
+        assert_all_agree(&input, window, splits);
+    }
+
+    /// Truncating a valid document at every char boundary must produce
+    /// the same error kind from every reader (tape Incomplete-entry
+    /// replay and streaming EOF handling both funnel into the scanning
+    /// dispatch).
+    #[test]
+    fn truncated_inputs_error_identically(el in element_strategy()) {
+        let xml = Writer::compact().element_to_string(&el);
+        for end in (0..xml.len()).filter(|&i| xml.is_char_boundary(i)) {
+            assert_all_agree(&xml[..end], 32, vec![5]);
+        }
+    }
+}

@@ -225,6 +225,18 @@ impl Schema {
         crate::parser::parse_schema_str(input)
     }
 
+    /// Parses a schema document from an incremental byte source at
+    /// bounded peak memory (one refill window plus the largest single
+    /// type definition), for multi-megabyte schema sets.
+    ///
+    /// # Errors
+    ///
+    /// See [`SchemaError`]; XML error *kinds* match
+    /// [`Schema::parse_str`] on the same bytes.
+    pub fn parse_stream<R: std::io::Read>(source: R) -> Result<Schema, SchemaError> {
+        crate::parser::parse_schema_stream(source)
+    }
+
     /// Parses a schema document from a file.
     ///
     /// # Errors

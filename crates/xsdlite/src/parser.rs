@@ -4,7 +4,7 @@ use std::collections::HashMap;
 use std::sync::Mutex;
 
 use xmlparse::namespace::NamespaceResolver;
-use xmlparse::{Atoms, Document, Element};
+use xmlparse::{Atoms, Document, Element, Node};
 
 use crate::datatypes::{is_xsd_namespace, XsdType};
 use crate::error::SchemaError;
@@ -25,14 +25,12 @@ static SCHEMA_ATOMS: Mutex<Option<Atoms>> = Mutex::new(None);
 pub fn parse_schema_str(input: &str) -> Result<Schema, SchemaError> {
     let doc = {
         let mut guard = SCHEMA_ATOMS.lock().unwrap_or_else(|e| e.into_inner());
-        let atoms = guard.get_or_insert_with(Atoms::new);
-        let result = Document::parse_str_interned(input, atoms);
-        // Hostile documents can mint unbounded distinct names; don't let
-        // them pin memory for the life of the process.
-        if atoms.len() > 4096 {
-            *guard = None;
-        }
-        result?
+        // Bounded: hostile documents minting unbounded distinct names
+        // age out via epoch eviction instead of pinning memory for the
+        // life of the process, while the shared XSD vocabulary keeps
+        // its allocations (and pointer identity) across documents.
+        let atoms = guard.get_or_insert_with(|| Atoms::bounded(4096));
+        Document::parse_str_interned(input, atoms)?
     };
     parse_schema_document(&doc)
 }
@@ -59,34 +57,148 @@ pub fn parse_schema_document(doc: &Document) -> Result<Schema, SchemaError> {
     };
 
     for child in root.child_elements() {
-        resolver.push_scope(child);
-        let result = match child.local_name() {
-            "annotation" if in_xsd_namespace(child, &resolver) => {
-                schema.documentation = documentation_text(child);
-                Ok(())
-            }
-            "complexType" if in_xsd_namespace(child, &resolver) => {
-                parse_complex_type(child, &mut resolver)
-                    .and_then(|ty| schema.add_complex_type(ty))
-            }
-            "simpleType" if in_xsd_namespace(child, &resolver) => {
-                parse_simple_type(child, &resolver, &schema)
-                    .and_then(|ty| schema.add_simple_type(ty))
-            }
-            // Unknown top-level constructs (simpleType, import, ...) are
-            // skipped: this is a subset processor, and the paper's tool
-            // likewise only consumed complexType definitions.
-            _ => Ok(()),
-        };
-        resolver.pop_scope();
-        result?;
+        process_top_level_child(child, &mut resolver, &mut schema)?;
     }
 
-    // Element type references were parsed as Named; those that match a
-    // user-defined simple type are really Simple references.
+    finish_schema(schema)
+}
+
+/// Compiles one top-level schema child (`annotation`, `complexType`,
+/// `simpleType`; anything else is skipped — this is a subset processor,
+/// and the paper's tool likewise only consumed complexType definitions).
+/// Shared between the whole-document and streaming entry points.
+fn process_top_level_child(
+    child: &Element,
+    resolver: &mut NamespaceResolver,
+    schema: &mut Schema,
+) -> Result<(), SchemaError> {
+    resolver.push_scope(child);
+    let result = match child.local_name() {
+        "annotation" if in_xsd_namespace(child, resolver) => {
+            schema.documentation = documentation_text(child);
+            Ok(())
+        }
+        "complexType" if in_xsd_namespace(child, resolver) => {
+            parse_complex_type(child, resolver).and_then(|ty| schema.add_complex_type(ty))
+        }
+        "simpleType" if in_xsd_namespace(child, resolver) => {
+            parse_simple_type(child, resolver, schema).and_then(|ty| schema.add_simple_type(ty))
+        }
+        _ => Ok(()),
+    };
+    resolver.pop_scope();
+    result
+}
+
+/// Post-pass shared by every entry point: element type references were
+/// parsed as Named; those that match a user-defined simple type are
+/// really Simple references. Then resolve and validate.
+fn finish_schema(mut schema: Schema) -> Result<Schema, SchemaError> {
     rewrite_simple_refs(&mut schema);
     resolve_schema(&schema)?;
     Ok(schema)
+}
+
+/// Parses a schema from an incremental byte source at bounded peak
+/// memory.
+///
+/// Events stream through [`xmlparse::StreamingReader`] (128 KiB refill
+/// window); each top-level schema child is materialized as a mini-DOM
+/// subtree, compiled, and dropped before the next is read. A
+/// multi-megabyte schema set therefore never holds the whole document —
+/// or the whole DOM — in memory: peak usage is one window plus the
+/// largest single type definition.
+///
+/// # Errors
+///
+/// See [`SchemaError`]. XML error *kinds* match [`parse_schema_str`] on
+/// the same bytes; positions are window-relative.
+pub fn parse_schema_stream<R: std::io::Read>(source: R) -> Result<Schema, SchemaError> {
+    use xmlparse::{Event, StreamingReader};
+
+    let mut reader = StreamingReader::new(source);
+
+    // Skip past the prolog to the root start tag. The streaming reader
+    // reports NoRootElement/ContentOutsideRoot itself, so Eof here is
+    // unreachable, but map it defensively.
+    let root = loop {
+        match reader.next_event().map_err(SchemaError::Xml)? {
+            Event::StartElement { name, attributes } => {
+                let mut el = Element::new(name);
+                el.attributes = attributes;
+                break el;
+            }
+            Event::Eof => {
+                return Err(SchemaError::NotASchema {
+                    found: String::new(),
+                })
+            }
+            _ => continue,
+        }
+    };
+
+    let mut resolver = NamespaceResolver::new();
+    resolver.push_scope(&root);
+    if root.local_name() != "schema" || !in_xsd_namespace(&root, &resolver) {
+        return Err(SchemaError::NotASchema {
+            found: root.name.to_string(),
+        });
+    }
+
+    let mut schema = Schema {
+        target_namespace: root.attr("targetNamespace").map(str::to_owned),
+        documentation: None,
+        complex_types: Vec::new(),
+        simple_types: Vec::new(),
+    };
+
+    loop {
+        match reader.next_event().map_err(SchemaError::Xml)? {
+            Event::StartElement { name, attributes } => {
+                let child = read_subtree(&mut reader, name, attributes)?;
+                process_top_level_child(&child, &mut resolver, &mut schema)?;
+            }
+            // The root's end tag: drain the epilogue so trailing
+            // malformedness (content after root, unbalanced tags) is
+            // still reported, then finish.
+            Event::EndElement { .. } | Event::Eof => break,
+            _ => continue,
+        }
+    }
+    while reader.next_event().map_err(SchemaError::Xml)? != Event::Eof {}
+
+    finish_schema(schema)
+}
+
+/// Reads one element subtree (the start tag already consumed) from the
+/// streaming reader into a DOM [`Element`].
+fn read_subtree<R: std::io::Read>(
+    reader: &mut xmlparse::StreamingReader<R>,
+    name: String,
+    attributes: Vec<xmlparse::Attribute>,
+) -> Result<Element, SchemaError> {
+    use xmlparse::Event;
+
+    let mut el = Element::new(name);
+    el.attributes = attributes;
+    loop {
+        match reader.next_event().map_err(SchemaError::Xml)? {
+            Event::StartElement { name, attributes } => {
+                el.children
+                    .push(Node::Element(read_subtree(reader, name, attributes)?));
+            }
+            Event::EndElement { .. } => return Ok(el),
+            Event::Text(text) => el.children.push(Node::Text(text)),
+            Event::CData(text) => el.children.push(Node::CData(text)),
+            Event::Comment(text) => el.children.push(Node::Comment(text)),
+            Event::ProcessingInstruction { target, data } => el
+                .children
+                .push(Node::ProcessingInstruction { target, data }),
+            // The reader reports UnclosedElement before Eof and emits
+            // declarations/doctypes only at the document head.
+            Event::Doctype(_) | Event::XmlDecl(_) | Event::Eof => unreachable!(),
+        }
+    }
 }
 
 /// Rewrites `Named` references that target simple types into `Simple`.
@@ -472,6 +584,98 @@ pub fn resolve_schema(schema: &Schema) -> Result<(), SchemaError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Hostile schema documents minting arbitrarily many distinct names
+    /// must not grow the process-wide interner without bound: epoch
+    /// eviction caps it at twice the configured capacity.
+    #[test]
+    fn schema_interner_is_bounded_under_hostile_names() {
+        for round in 0..40 {
+            let mut doc = String::from(
+                "<xsd:schema xmlns:xsd=\"http://www.w3.org/1999/XMLSchema\">\
+                 <xsd:complexType name=\"T\">",
+            );
+            // Interning covers element/attribute *names*: mint distinct
+            // attribute names (ignored by the schema compiler) so every
+            // round feeds the interner 500 never-seen strings.
+            for i in 0..500 {
+                doc.push_str(&format!(
+                    "<xsd:element name=\"f{i}\" type=\"xsd:string\" h{round}x{i}=\"1\"/>"
+                ));
+            }
+            doc.push_str("</xsd:complexType></xsd:schema>");
+            parse_schema_str(&doc).unwrap();
+        }
+        let guard = SCHEMA_ATOMS.lock().unwrap_or_else(|e| e.into_inner());
+        let len = guard.as_ref().map_or(0, |atoms| atoms.len());
+        assert!(len <= 2 * 4096, "interner grew to {len} names");
+        assert!(len > 0, "interner unexpectedly empty");
+    }
+
+    /// The streaming entry point compiles the same schema value as the
+    /// whole-document path, on real and generated schema sets.
+    #[test]
+    fn streaming_matches_whole_document_parse() {
+        let by_str = parse_schema_str(FIGURE_9).unwrap();
+        let by_stream = parse_schema_stream(FIGURE_9.as_bytes()).unwrap();
+        assert_eq!(by_str, by_stream);
+
+        // A multi-type generated set with annotations and simple types.
+        let mut doc = String::from(
+            "<?xml version=\"1.0\"?>\n\
+             <xsd:schema xmlns:xsd=\"http://www.w3.org/1999/XMLSchema\"\n\
+                         targetNamespace=\"urn:stream-test\">\n\
+             <xsd:annotation><xsd:documentation>generated</xsd:documentation></xsd:annotation>\n\
+             <xsd:simpleType name=\"Code\"><xsd:restriction base=\"xsd:string\">\
+             <xsd:maxLength value=\"8\"/></xsd:restriction></xsd:simpleType>\n",
+        );
+        for t in 0..40 {
+            doc.push_str(&format!("<xsd:complexType name=\"T{t}\">"));
+            for f in 0..25 {
+                doc.push_str(&format!(
+                    "<xsd:element name=\"field{f}\" type=\"xsd:string\"/>"
+                ));
+            }
+            doc.push_str("<xsd:element name=\"code\" type=\"Code\"/>");
+            doc.push_str("</xsd:complexType>\n");
+        }
+        doc.push_str("</xsd:schema>\n");
+        let by_str = parse_schema_str(&doc).unwrap();
+        let by_stream = parse_schema_stream(doc.as_bytes()).unwrap();
+        assert_eq!(by_str, by_stream);
+        assert_eq!(by_stream.complex_types.len(), 40);
+        assert_eq!(by_stream.simple_types.len(), 1);
+    }
+
+    /// Malformed inputs fail through the streaming path with the same
+    /// error classification as the whole-document path.
+    #[test]
+    fn streaming_matches_whole_document_errors() {
+        // One defect per document: on doubly-invalid input the paths
+        // legitimately differ in which defect they surface (streaming
+        // compiles each child before reading on; whole-document parses
+        // all XML first).
+        let cases = [
+            "<xsd:schema xmlns:xsd=\"http://www.w3.org/1999/XMLSchema\">\
+             <xsd:complexType name=\"T\"/>",
+            "<xsd:schema xmlns:xsd=\"http://www.w3.org/1999/XMLSchema\">\
+             <xsd:complexType/></xsd:schema>",
+            "<notaschema/>",
+            "<xsd:schema xmlns:xsd=\"http://www.w3.org/1999/XMLSchema\">\
+             <xsd:complexType name=\"T\"><xsd:element name=\"f\" type=\"xsd:nosuch\"/>\
+             </xsd:complexType></xsd:schema>",
+            "junk",
+        ];
+        for doc in cases {
+            let by_str = parse_schema_str(doc).unwrap_err();
+            let by_stream = parse_schema_stream(doc.as_bytes()).unwrap_err();
+            assert_eq!(
+                std::mem::discriminant(&by_str),
+                std::mem::discriminant(&by_stream),
+                "error classes diverge on {doc:?}: {by_str:?} vs {by_stream:?}"
+            );
+        }
+    }
 
     /// The paper's Figure 9 schema (Structure B), verbatim apart from the
     /// URL whitespace glitch in the original listing.
