@@ -24,12 +24,14 @@
 //! oldest — the audit-log policy).
 
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use parking_lot::{Mutex, RwLock};
+use xml2wire::seglog::{SegLogConfig, SegReplay, SegmentLog};
 
 use crate::error::BackboneError;
 
@@ -51,16 +53,34 @@ pub struct Event {
     pub format_name: Arc<str>,
     /// The encoded message.
     pub payload: Vec<u8>,
+    /// Per-stream sequence number. `0` marks a non-durable event;
+    /// events on durable streams carry 1-based, contiguous, publish-order
+    /// sequences assigned by the owning broker and *preserved* across
+    /// federation hops, which is what makes replay/cutover dedup exact
+    /// at any broker in a chain.
+    pub seq: u64,
 }
 
 impl Event {
-    /// Creates an event.
+    /// Creates a (non-durable, seq 0) event.
     pub fn new(
         stream: impl Into<Arc<str>>,
         format_name: impl Into<Arc<str>>,
         payload: Vec<u8>,
     ) -> Self {
-        Event { stream: stream.into(), format_name: format_name.into(), payload }
+        Event { stream: stream.into(), format_name: format_name.into(), payload, seq: 0 }
+    }
+
+    /// Creates an event carrying an already-assigned sequence number
+    /// (forwarded traffic; locally published durable events get their
+    /// seq from the broker, not the caller).
+    pub fn with_seq(
+        stream: impl Into<Arc<str>>,
+        format_name: impl Into<Arc<str>>,
+        payload: Vec<u8>,
+        seq: u64,
+    ) -> Self {
+        Event { stream: stream.into(), format_name: format_name.into(), payload, seq }
     }
 }
 
@@ -92,6 +112,35 @@ pub struct StreamConfig {
     pub overflow: Overflow,
 }
 
+/// Where (and how) a durable stream's segment log lives. Passed to
+/// [`Broker::create_stream_durable`]; each durable stream owns one log
+/// directory.
+#[derive(Debug, Clone)]
+pub struct DurableSpec {
+    /// Directory holding the stream's segment files (created if absent).
+    pub dir: PathBuf,
+    /// Segment size / fsync policy.
+    pub log: SegLogConfig,
+}
+
+impl DurableSpec {
+    /// A spec with default segment-log tuning.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        DurableSpec { dir: dir.into(), log: SegLogConfig::default() }
+    }
+}
+
+/// The durable half of a stream: the segment log its shard worker
+/// appends to, plus the publish-side sequence counter. The counter is a
+/// mutex (not an atomic) because seq assignment and the shard-queue send
+/// must be one critical section — queue order must equal seq order or
+/// the log would see non-contiguous appends.
+#[derive(Debug)]
+struct DurableState {
+    log: Arc<Mutex<SegmentLog>>,
+    next_seq: Mutex<u64>,
+}
+
 /// Descriptive information about a registered stream.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StreamInfo {
@@ -106,6 +155,12 @@ pub struct StreamInfo {
     pub published: u64,
     /// Number of events dropped by overflow policies so far.
     pub dropped: u64,
+    /// Highest sequence assigned on this (durable) stream; `0` for
+    /// non-durable streams.
+    pub durable_seq: u64,
+    /// Number of events whose archive append failed (the event was
+    /// still fanned out live, but is missing from replay).
+    pub archive_errors: u64,
 }
 
 /// Synchronously queryable stream state; the subscriber *list* lives in
@@ -118,8 +173,10 @@ struct StreamMeta {
     subscribers: AtomicUsize,
     published: AtomicU64,
     dropped: AtomicU64,
+    archive_errors: AtomicU64,
     capacity: Option<usize>,
     overflow: Overflow,
+    durable: Option<DurableState>,
 }
 
 /// A subscriber as the shard worker sees it.
@@ -135,8 +192,12 @@ struct SubEntry {
 /// queue with events so their ordering relative to publishes is exact.
 enum ShardMsg {
     Event(Arc<Event>),
-    Subscribe { entry: SubEntry },
+    Subscribe { entry: SubEntry, ack: Option<Sender<()>> },
     Unsubscribe { stream: Arc<str>, id: u64, ack: Option<Sender<()>> },
+    /// Hands the worker a durable stream's segment log. Sent before the
+    /// stream becomes publishable, so it always precedes the stream's
+    /// first event on the queue.
+    RegisterLog { meta: Arc<StreamMeta>, log: Arc<Mutex<SegmentLog>> },
     Shutdown,
 }
 
@@ -200,6 +261,27 @@ impl Subscription {
         timeout: std::time::Duration,
     ) -> Result<Arc<Event>, BackboneError> {
         self.receiver.recv_timeout(timeout).map_err(|_| BackboneError::Disconnected)
+    }
+
+    /// Waits up to `timeout`, distinguishing an empty interval
+    /// (`Ok(None)`) from broker shutdown (an error) — the polling
+    /// primitive for pump loops (federation forwarders) that must tell
+    /// "nothing yet" apart from "never again".
+    ///
+    /// # Errors
+    ///
+    /// [`BackboneError::Disconnected`] only on real disconnection.
+    pub fn try_recv_for(
+        &self,
+        timeout: std::time::Duration,
+    ) -> Result<Option<Arc<Event>>, BackboneError> {
+        match self.receiver.recv_timeout(timeout) {
+            Ok(event) => Ok(Some(event)),
+            Err(crossbeam::channel::RecvTimeoutError::Timeout) => Ok(None),
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                Err(BackboneError::Disconnected)
+            }
+        }
     }
 
     /// Non-blocking poll.
@@ -269,6 +351,132 @@ impl Subscription {
     }
 }
 
+/// A catch-up subscription on a durable stream: replays archived
+/// history first, then hands over to the live feed at the exact
+/// sequence boundary, deduping by seq (see
+/// [`Broker::subscribe_replay`]).
+#[derive(Debug)]
+pub struct ReplaySubscription {
+    replay: Option<SegReplay>,
+    /// Last seq the archive snapshot covers; live events at or below it
+    /// are duplicates of replayed history and are skipped.
+    cutover: u64,
+    live: Subscription,
+    stream: Arc<str>,
+}
+
+impl ReplaySubscription {
+    /// The sequence boundary: the last event served from the archive;
+    /// everything after comes from the live feed.
+    pub fn cutover_seq(&self) -> u64 {
+        self.cutover
+    }
+
+    /// `true` while events are still being served from the archive.
+    pub fn replaying(&self) -> bool {
+        self.replay.is_some()
+    }
+
+    /// Next event: archived history until the snapshot is exhausted,
+    /// live (seq-deduped) after. `timeout` applies to the live wait;
+    /// archive reads don't block.
+    ///
+    /// # Errors
+    ///
+    /// Corrupt archive records, disconnection, or timeout (reported as
+    /// `Disconnected`, matching [`Subscription::recv_timeout`]).
+    pub fn recv_timeout(
+        &mut self,
+        timeout: std::time::Duration,
+    ) -> Result<Arc<Event>, BackboneError> {
+        while let Some(replay) = &mut self.replay {
+            match replay.next_record() {
+                Ok(Some((seq, record))) => {
+                    return decode_log_record(&self.stream, seq, record).map(Arc::new);
+                }
+                Ok(None) => self.replay = None,
+                Err(e) => return Err(e.into()),
+            }
+        }
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            let remaining = deadline
+                .checked_duration_since(std::time::Instant::now())
+                .unwrap_or_default();
+            let event = self.live.recv_timeout(remaining)?;
+            if event.seq == 0 || event.seq > self.cutover {
+                return Ok(event);
+            }
+            // seq ≤ cutover: already served from the archive — dedup.
+        }
+    }
+
+    /// Waits up to `timeout`, distinguishing an empty interval
+    /// (`Ok(None)`) from disconnection (an error); archive records are
+    /// served immediately (see [`Subscription::try_recv_for`]).
+    ///
+    /// # Errors
+    ///
+    /// Corrupt archive records, or disconnection.
+    pub fn try_recv_for(
+        &mut self,
+        timeout: std::time::Duration,
+    ) -> Result<Option<Arc<Event>>, BackboneError> {
+        while let Some(replay) = &mut self.replay {
+            match replay.next_record() {
+                Ok(Some((seq, record))) => {
+                    return decode_log_record(&self.stream, seq, record)
+                        .map(|event| Some(Arc::new(event)));
+                }
+                Ok(None) => self.replay = None,
+                Err(e) => return Err(e.into()),
+            }
+        }
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            let remaining = deadline
+                .checked_duration_since(std::time::Instant::now())
+                .unwrap_or_default();
+            match self.live.try_recv_for(remaining)? {
+                Some(event) if event.seq == 0 || event.seq > self.cutover => {
+                    return Ok(Some(event));
+                }
+                Some(_) => {} // seq ≤ cutover: replay duplicate — skip
+                None => return Ok(None),
+            }
+        }
+    }
+
+    /// Blocking variant of [`recv_timeout`](Self::recv_timeout).
+    ///
+    /// # Errors
+    ///
+    /// Corrupt archive records or disconnection.
+    pub fn recv(&mut self) -> Result<Arc<Event>, BackboneError> {
+        while let Some(replay) = &mut self.replay {
+            match replay.next_record() {
+                Ok(Some((seq, record))) => {
+                    return decode_log_record(&self.stream, seq, record).map(Arc::new);
+                }
+                Ok(None) => self.replay = None,
+                Err(e) => return Err(e.into()),
+            }
+        }
+        loop {
+            let event = self.live.recv()?;
+            if event.seq == 0 || event.seq > self.cutover {
+                return Ok(event);
+            }
+        }
+    }
+
+    /// Abandons any remaining replay and returns the underlying live
+    /// subscription (undeduped).
+    pub fn into_live(self) -> Subscription {
+        self.live
+    }
+}
+
 impl Drop for Subscription {
     fn drop(&mut self) {
         self.meta.subscribers.fetch_sub(1, Ordering::SeqCst);
@@ -307,19 +515,44 @@ impl PublishHandle {
         format_name: Arc<str>,
         payload: Vec<u8>,
     ) -> Result<usize, BackboneError> {
-        let event =
-            Event { stream: Arc::clone(&self.meta.name), format_name, payload };
-        self.shard_tx
-            .send(ShardMsg::Event(Arc::new(event)))
-            .map_err(|_| BackboneError::Disconnected)?;
-        self.meta.published.fetch_add(1, Ordering::Relaxed);
-        Ok(self.meta.subscribers.load(Ordering::SeqCst))
+        enqueue_event(&self.meta, &self.shard_tx, format_name, payload)
     }
 
     /// The stream this handle publishes to.
     pub fn stream(&self) -> &Arc<str> {
         &self.meta.name
     }
+}
+
+/// The one publish path: assigns the next sequence for durable streams
+/// (seq assignment and the queue send form one critical section so
+/// queue order equals seq order) and enqueues on the stream's shard.
+fn enqueue_event(
+    meta: &Arc<StreamMeta>,
+    shard_tx: &Sender<ShardMsg>,
+    format_name: Arc<str>,
+    payload: Vec<u8>,
+) -> Result<usize, BackboneError> {
+    if let Some(durable) = &meta.durable {
+        let mut next = durable.next_seq.lock();
+        let seq = *next + 1;
+        let event =
+            Event { stream: Arc::clone(&meta.name), format_name, payload, seq };
+        shard_tx
+            .send(ShardMsg::Event(Arc::new(event)))
+            .map_err(|_| BackboneError::Disconnected)?;
+        // Commit the seq only on a successful send, so a failed publish
+        // leaves no hole in the log's contiguous sequence.
+        *next = seq;
+    } else {
+        let event =
+            Event { stream: Arc::clone(&meta.name), format_name, payload, seq: 0 };
+        shard_tx
+            .send(ShardMsg::Event(Arc::new(event)))
+            .map_err(|_| BackboneError::Disconnected)?;
+    }
+    meta.published.fetch_add(1, Ordering::Relaxed);
+    Ok(meta.subscribers.load(Ordering::SeqCst))
 }
 
 /// The event backbone broker: named streams with sharded, batched
@@ -397,33 +630,99 @@ impl Broker {
     /// Idempotent on the name: a repeat call may add a metadata locator,
     /// but capacity and overflow are fixed by the first registration.
     pub fn create_stream_with(&self, name: impl Into<String>, config: StreamConfig) {
+        self.create_stream_inner(name.into(), config, None)
+            .expect("non-durable stream creation is infallible");
+    }
+
+    /// Registers a **durable** stream: every published event is appended
+    /// (with a contiguous 1-based sequence number and CRC) to a segment
+    /// log under `spec.dir` before fan-out, and late subscribers may
+    /// [`subscribe_replay`](Self::subscribe_replay) history.
+    ///
+    /// Reopening an existing log resumes its sequence; the recovered
+    /// last seq is returned. Idempotent like
+    /// [`create_stream_with`](Self::create_stream_with) — but a stream
+    /// first registered non-durable cannot be upgraded.
+    ///
+    /// # Errors
+    ///
+    /// Log open/recovery I/O failures; re-registering a non-durable
+    /// stream as durable.
+    pub fn create_stream_durable(
+        &self,
+        name: impl Into<String>,
+        config: StreamConfig,
+        spec: DurableSpec,
+    ) -> Result<u64, BackboneError> {
         let name = name.into();
+        self.create_stream_inner(name.clone(), config, Some(spec))?;
+        let (_, meta) = self.lookup(&name)?;
+        match &meta.durable {
+            Some(durable) => Ok(*durable.next_seq.lock()),
+            None => Err(BackboneError::NotDurable { name }),
+        }
+    }
+
+    fn create_stream_inner(
+        &self,
+        name: String,
+        config: StreamConfig,
+        spec: Option<DurableSpec>,
+    ) -> Result<(), BackboneError> {
         let shard = self.shard_for(&name);
-        let mut meta = shard.meta.write();
-        match meta.get(&name) {
-            Some(existing) => {
+        {
+            let meta = shard.meta.read();
+            if let Some(existing) = meta.get(&name) {
                 if config.metadata_locator.is_some() {
                     *existing.metadata_locator.lock() = config.metadata_locator;
                 }
-            }
-            None => {
-                let name_arc: Arc<str> = name.as_str().into();
-                meta.insert(
-                    name,
-                    Arc::new(StreamMeta {
-                        name: name_arc,
-                        metadata_locator: Mutex::new(config.metadata_locator),
-                        subscribers: AtomicUsize::new(0),
-                        published: AtomicU64::new(0),
-                        dropped: AtomicU64::new(0),
-                        // Clamp here rather than panic in subscribe():
-                        // the channel shim rejects zero-capacity queues.
-                        capacity: config.capacity.map(|cap| cap.max(1)),
-                        overflow: config.overflow,
-                    }),
-                );
+                return Ok(());
             }
         }
+        // Open the log (possibly slow recovery I/O) outside any lock.
+        let durable = match spec {
+            None => None,
+            Some(spec) => {
+                let log = SegmentLog::open(&spec.dir, spec.log)?;
+                let last = log.last_seq();
+                Some(DurableState {
+                    log: Arc::new(Mutex::new(log)),
+                    next_seq: Mutex::new(last),
+                })
+            }
+        };
+        let name_arc: Arc<str> = name.as_str().into();
+        let stream_meta = Arc::new(StreamMeta {
+            name: name_arc,
+            metadata_locator: Mutex::new(config.metadata_locator),
+            subscribers: AtomicUsize::new(0),
+            published: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            archive_errors: AtomicU64::new(0),
+            // Clamp here rather than panic in subscribe():
+            // the channel shim rejects zero-capacity queues.
+            capacity: config.capacity.map(|cap| cap.max(1)),
+            overflow: config.overflow,
+            durable,
+        });
+        // Hand the worker the log *before* the stream becomes
+        // publishable, so RegisterLog precedes every event of the
+        // stream on the shard queue.
+        if let Some(durable) = &stream_meta.durable {
+            shard
+                .tx
+                .send(ShardMsg::RegisterLog {
+                    meta: Arc::clone(&stream_meta),
+                    log: Arc::clone(&durable.log),
+                })
+                .map_err(|_| BackboneError::Disconnected)?;
+        }
+        let mut meta = shard.meta.write();
+        // A racing create may have won; first registration wins (its
+        // RegisterLog is already queued and both logs point at the same
+        // recovered state only if specs agree, so keep the incumbent).
+        meta.entry(name).or_insert(stream_meta);
+        Ok(())
     }
 
     fn lookup(&self, stream: &str) -> Result<(&Arc<Shard>, Arc<StreamMeta>), BackboneError> {
@@ -449,6 +748,14 @@ impl Broker {
     /// stream names from [`streams`](Self::streams), as the scenario's
     /// applications do.
     pub fn subscribe(&self, stream: &str) -> Result<Subscription, BackboneError> {
+        self.subscribe_with_ack(stream, None)
+    }
+
+    fn subscribe_with_ack(
+        &self,
+        stream: &str,
+        ack: Option<Sender<()>>,
+    ) -> Result<Subscription, BackboneError> {
         static NEXT_SUB_ID: AtomicU64 = AtomicU64::new(0);
         let (shard, meta) = self.lookup(stream)?;
         let (tx, rx) = match meta.capacity {
@@ -459,11 +766,68 @@ impl Broker {
         meta.subscribers.fetch_add(1, Ordering::SeqCst);
         let entry =
             SubEntry { id, tx, overflow: meta.overflow, meta: Arc::clone(&meta) };
-        if shard.tx.send(ShardMsg::Subscribe { entry }).is_err() {
+        if shard.tx.send(ShardMsg::Subscribe { entry, ack }).is_err() {
             meta.subscribers.fetch_sub(1, Ordering::SeqCst);
             return Err(BackboneError::Disconnected);
         }
         Ok(Subscription { receiver: rx, meta, shard_tx: shard.tx.clone(), id })
+    }
+
+    /// Subscribes to a durable stream with **catch-up replay**: events
+    /// with seq ≥ `from_seq` stream from the segment log first, then
+    /// delivery cuts over to the live feed at the exact sequence
+    /// boundary — no gap, no duplicate (live events at or below the
+    /// boundary are deduped by seq).
+    ///
+    /// The gap-free guarantee rests on two orderings: the shard worker
+    /// appends a durable event to the log *before* fanning it out, and
+    /// this call waits for the worker to acknowledge the subscription
+    /// *before* snapshotting the log. Every event the live feed will
+    /// not deliver is therefore already in the snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Unknown or non-durable streams; log I/O failures.
+    pub fn subscribe_replay(
+        &self,
+        stream: &str,
+        from_seq: u64,
+    ) -> Result<ReplaySubscription, BackboneError> {
+        let (_, meta) = self.lookup(stream)?;
+        if meta.durable.is_none() {
+            return Err(BackboneError::NotDurable { name: stream.to_owned() });
+        }
+        let (ack_tx, ack_rx) = bounded(1);
+        let live = self.subscribe_with_ack(stream, Some(ack_tx))?;
+        ack_rx.recv().map_err(|_| BackboneError::Disconnected)?;
+        let durable = meta.durable.as_ref().expect("checked above");
+        let replay = durable.log.lock().replay_from(from_seq)?;
+        let cutover = replay.end_seq();
+        Ok(ReplaySubscription {
+            replay: Some(replay),
+            cutover,
+            live,
+            stream: Arc::clone(&meta.name),
+        })
+    }
+
+    /// Publishes an event *preserving its existing sequence number* —
+    /// the federation relay path. A forwarded event keeps the seq its
+    /// origin broker assigned, so subscribers can dedup replay against
+    /// live at any hop; the local stream must be registered (normally
+    /// non-durable — the origin owns the log).
+    ///
+    /// # Errors
+    ///
+    /// Unknown streams.
+    pub fn publish_forwarded(&self, event: Event) -> Result<usize, BackboneError> {
+        let (shard, meta) = self.lookup(&event.stream)?;
+        shard
+            .tx
+            .send(ShardMsg::Event(Arc::new(event)))
+            .map_err(|_| BackboneError::Disconnected)?;
+        meta.published.fetch_add(1, Ordering::Relaxed);
+        Ok(meta.subscribers.load(Ordering::SeqCst))
     }
 
     /// Publishes an event to its stream, returning the current
@@ -481,12 +845,7 @@ impl Broker {
     /// Unknown streams.
     pub fn publish(&self, event: Event) -> Result<usize, BackboneError> {
         let (shard, meta) = self.lookup(&event.stream)?;
-        shard
-            .tx
-            .send(ShardMsg::Event(Arc::new(event)))
-            .map_err(|_| BackboneError::Disconnected)?;
-        meta.published.fetch_add(1, Ordering::Relaxed);
-        Ok(meta.subscribers.load(Ordering::SeqCst))
+        enqueue_event(&meta, &shard.tx, event.format_name, event.payload)
     }
 
     /// Pins a publish route for a stream: one registry lookup now, none
@@ -523,6 +882,11 @@ impl Broker {
                         subscribers: meta.subscribers.load(Ordering::SeqCst),
                         published: meta.published.load(Ordering::Relaxed),
                         dropped: meta.dropped.load(Ordering::Relaxed),
+                        durable_seq: meta
+                            .durable
+                            .as_ref()
+                            .map_or(0, |d| *d.next_seq.lock()),
+                        archive_errors: meta.archive_errors.load(Ordering::Relaxed),
                     })
                     .collect::<Vec<_>>()
             })
@@ -548,6 +912,54 @@ impl Drop for Broker {
 /// Subscriber lists for one shard, owned exclusively by its worker.
 type ShardStreams = HashMap<Arc<str>, Vec<SubEntry>>;
 
+/// A durable stream's log as the shard worker sees it.
+struct DurableSink {
+    log: Arc<Mutex<SegmentLog>>,
+    meta: Arc<StreamMeta>,
+}
+
+/// Durable logs for one shard's streams.
+type ShardSinks = HashMap<Arc<str>, DurableSink>;
+
+/// Serializes one event into a segment-log record:
+/// `u16 LE format-name len ∥ format name ∥ payload`. The stream name is
+/// implicit (one log per stream) and the seq lives in the record frame.
+fn encode_log_record(scratch: &mut Vec<u8>, event: &Event) {
+    scratch.clear();
+    let name = event.format_name.as_bytes();
+    debug_assert!(name.len() <= usize::from(u16::MAX));
+    scratch.extend_from_slice(&(name.len() as u16).to_le_bytes());
+    scratch.extend_from_slice(name);
+    scratch.extend_from_slice(&event.payload);
+}
+
+/// Inverse of [`encode_log_record`]: reconstructs the event from a
+/// replayed `(seq, record)` pair.
+fn decode_log_record(
+    stream: &Arc<str>,
+    seq: u64,
+    mut record: Vec<u8>,
+) -> Result<Event, BackboneError> {
+    if record.len() < 2 {
+        return Err(BackboneError::BadFrame {
+            detail: format!("archived record seq {seq} shorter than its header"),
+        });
+    }
+    let name_len = usize::from(u16::from_le_bytes([record[0], record[1]]));
+    if record.len() < 2 + name_len {
+        return Err(BackboneError::BadFrame {
+            detail: format!("archived record seq {seq} truncates its format name"),
+        });
+    }
+    let name = std::str::from_utf8(&record[2..2 + name_len])
+        .map_err(|_| BackboneError::BadFrame {
+            detail: format!("archived record seq {seq} has a non-UTF-8 format name"),
+        })?
+        .to_owned();
+    record.drain(..2 + name_len);
+    Ok(Event::with_seq(Arc::clone(stream), name, record, seq))
+}
+
 /// The dispatch worker: drains the shard queue in batches, applies
 /// control messages in order, and fans event runs out to subscribers
 /// with one subscriber-lock acquisition per (stream, batch) rather than
@@ -555,8 +967,10 @@ type ShardStreams = HashMap<Arc<str>, Vec<SubEntry>>;
 /// and ordering buffers are reused across iterations.
 fn dispatch_loop(rx: &Receiver<ShardMsg>) {
     let mut streams: ShardStreams = HashMap::new();
+    let mut sinks: ShardSinks = HashMap::new();
     let mut batch: Vec<ShardMsg> = Vec::with_capacity(DISPATCH_BATCH);
     let mut buckets: Vec<Bucket> = Vec::new();
+    let mut scratch: Vec<u8> = Vec::new();
     loop {
         batch.clear();
         // Spin-then-park: poll the queue through a bounded number of
@@ -567,6 +981,7 @@ fn dispatch_loop(rx: &Receiver<ShardMsg>) {
             spins += 1;
             if spins > IDLE_SPINS {
                 if rx.recv_batch(&mut batch, DISPATCH_BATCH).is_err() {
+                    sync_sinks(&sinks);
                     return; // every sender (broker + handles + subs) gone
                 }
                 break;
@@ -584,11 +999,25 @@ fn dispatch_loop(rx: &Receiver<ShardMsg>) {
                     while i < batch.len() && matches!(batch[i], ShardMsg::Event(_)) {
                         i += 1;
                     }
-                    deliver_events(&mut streams, &batch[start..i], &mut buckets);
+                    deliver_events(
+                        &mut streams,
+                        &batch[start..i],
+                        &mut buckets,
+                        &sinks,
+                        &mut scratch,
+                    );
                 }
-                ShardMsg::Subscribe { entry } => {
+                ShardMsg::Subscribe { entry, ack } => {
                     let entry = entry.clone();
                     streams.entry(Arc::clone(&entry.meta.name)).or_default().push(entry);
+                    // The ack certifies: every event dispatched before
+                    // this subscription has already been appended to its
+                    // stream's log (appends happen before fan-out, in
+                    // queue order). subscribe_replay snapshots the log
+                    // only after receiving it.
+                    if let Some(ack) = ack {
+                        let _ = ack.send(());
+                    }
                     i += 1;
                 }
                 ShardMsg::Unsubscribe { stream, id, ack } => {
@@ -600,8 +1029,28 @@ fn dispatch_loop(rx: &Receiver<ShardMsg>) {
                     }
                     i += 1;
                 }
-                ShardMsg::Shutdown => return,
+                ShardMsg::RegisterLog { meta, log } => {
+                    sinks.insert(
+                        Arc::clone(&meta.name),
+                        DurableSink { log: Arc::clone(log), meta: Arc::clone(meta) },
+                    );
+                    i += 1;
+                }
+                ShardMsg::Shutdown => {
+                    sync_sinks(&sinks);
+                    return;
+                }
             }
+        }
+    }
+}
+
+/// Best-effort fsync of every durable log this shard owns, run at
+/// shutdown so a clean broker drop leaves nothing in page cache only.
+fn sync_sinks(sinks: &ShardSinks) {
+    for sink in sinks.values() {
+        if sink.log.lock().sync().is_err() {
+            sink.meta.archive_errors.fetch_add(1, Ordering::Relaxed);
         }
     }
 }
@@ -621,7 +1070,13 @@ struct Bucket {
 /// sorting the batch by stream name. Bucket order is first-seen and
 /// indices within a bucket stay ascending, so per-stream order is
 /// preserved exactly.
-fn deliver_events(streams: &mut ShardStreams, run: &[ShardMsg], buckets: &mut Vec<Bucket>) {
+fn deliver_events(
+    streams: &mut ShardStreams,
+    run: &[ShardMsg],
+    buckets: &mut Vec<Bucket>,
+    sinks: &ShardSinks,
+    scratch: &mut Vec<u8>,
+) {
     fn event_of(msg: &ShardMsg) -> &Arc<Event> {
         match msg {
             ShardMsg::Event(event) => event,
@@ -652,6 +1107,26 @@ fn deliver_events(streams: &mut ShardStreams, run: &[ShardMsg], buckets: &mut Ve
     for bucket in buckets.iter_mut().take(active) {
         let stream = bucket.name.take().expect("active bucket has a name");
         let group: &[u32] = &bucket.idxs;
+        // Durable streams: append (one lock for the whole group) BEFORE
+        // fan-out — the replay/cutover gap-free invariant depends on it.
+        // Events forwarded from another broker (seq 0 is impossible
+        // here: forwarded durable events keep their origin seq, local
+        // ones were assigned at publish) append under the origin's
+        // numbering, so a contiguity violation means lost link traffic
+        // and is surfaced as an archive error, not a panic.
+        if let Some(sink) = sinks.get(&stream) {
+            let mut log = sink.log.lock();
+            for &k in group {
+                let event = event_of(&run[k as usize]);
+                if event.seq == 0 {
+                    continue;
+                }
+                encode_log_record(scratch, event);
+                if log.append(event.seq, scratch).is_err() {
+                    sink.meta.archive_errors.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
         if let Some(subs) = streams.get_mut(&stream) {
             let mut pruned = false;
             for entry in subs.iter() {
@@ -966,6 +1441,145 @@ mod tests {
         // The queued event still arrives, then the disconnect.
         assert_eq!(sub.recv().unwrap().payload, vec![1]);
         assert!(matches!(sub.recv(), Err(BackboneError::Disconnected)));
+    }
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "x2w-broker-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id(),
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn durable_streams_assign_contiguous_seqs() {
+        let dir = temp_dir("seqs");
+        let broker = Broker::new();
+        let recovered = broker
+            .create_stream_durable("ops", StreamConfig::default(), DurableSpec::new(&dir))
+            .unwrap();
+        assert_eq!(recovered, 0);
+        let sub = broker.subscribe("ops").unwrap();
+        for n in 0..5u8 {
+            broker.publish(event("ops", n)).unwrap();
+        }
+        for expect in 1..=5u64 {
+            assert_eq!(sub.recv_timeout(Duration::from_secs(5)).unwrap().seq, expect);
+        }
+        assert_eq!(broker.streams()[0].durable_seq, 5);
+        assert_eq!(broker.streams()[0].archive_errors, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn replay_serves_history_then_cuts_over_gap_free() {
+        let dir = temp_dir("cutover");
+        let broker = Broker::new();
+        broker
+            .create_stream_durable("ops", StreamConfig::default(), DurableSpec::new(&dir))
+            .unwrap();
+        for n in 0..10u8 {
+            broker.publish(event("ops", n)).unwrap();
+        }
+        let mut replay = broker.subscribe_replay("ops", 1).unwrap();
+        // Live traffic keeps flowing while history is consumed.
+        for n in 10..15u8 {
+            broker.publish(event("ops", n)).unwrap();
+        }
+        let mut seqs = Vec::new();
+        let mut payloads = Vec::new();
+        for _ in 0..15 {
+            let event = replay.recv_timeout(Duration::from_secs(5)).unwrap();
+            seqs.push(event.seq);
+            payloads.push(event.payload[0]);
+        }
+        // Every event exactly once, in order — no gap at the boundary,
+        // no duplicate from the live feed re-delivering replayed seqs.
+        assert_eq!(seqs, (1..=15).collect::<Vec<u64>>());
+        assert_eq!(payloads, (0..15).collect::<Vec<u8>>());
+        assert!(replay.cutover_seq() >= 10);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn replay_from_mid_history_skips_earlier_seqs() {
+        let dir = temp_dir("midway");
+        let broker = Broker::new();
+        broker
+            .create_stream_durable("ops", StreamConfig::default(), DurableSpec::new(&dir))
+            .unwrap();
+        for n in 0..8u8 {
+            broker.publish(event("ops", n)).unwrap();
+        }
+        let mut replay = broker.subscribe_replay("ops", 5).unwrap();
+        let mut seqs = Vec::new();
+        for _ in 5..=8 {
+            seqs.push(replay.recv_timeout(Duration::from_secs(5)).unwrap().seq);
+        }
+        assert_eq!(seqs, vec![5, 6, 7, 8]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reopening_a_durable_stream_resumes_its_sequence() {
+        let dir = temp_dir("resume");
+        {
+            let broker = Broker::new();
+            broker
+                .create_stream_durable("ops", StreamConfig::default(), DurableSpec::new(&dir))
+                .unwrap();
+            for n in 0..4u8 {
+                broker.publish(event("ops", n)).unwrap();
+            }
+            // Broker drop fsyncs and joins the workers.
+        }
+        let broker = Broker::new();
+        let recovered = broker
+            .create_stream_durable("ops", StreamConfig::default(), DurableSpec::new(&dir))
+            .unwrap();
+        assert_eq!(recovered, 4);
+        broker.publish(event("ops", 4)).unwrap();
+        let mut replay = broker.subscribe_replay("ops", 1).unwrap();
+        let mut seqs = Vec::new();
+        for _ in 0..5 {
+            seqs.push(replay.recv_timeout(Duration::from_secs(5)).unwrap().seq);
+        }
+        assert_eq!(seqs, vec![1, 2, 3, 4, 5]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn replay_on_a_non_durable_stream_errors() {
+        let broker = Broker::new();
+        broker.create_stream("plain", None);
+        assert!(matches!(
+            broker.subscribe_replay("plain", 1),
+            Err(BackboneError::NotDurable { .. })
+        ));
+        // And a non-durable stream cannot be silently upgraded.
+        assert!(matches!(
+            broker.create_stream_durable(
+                "plain",
+                StreamConfig::default(),
+                DurableSpec::new(temp_dir("upgrade")),
+            ),
+            Err(BackboneError::NotDurable { .. })
+        ));
+    }
+
+    #[test]
+    fn forwarded_events_keep_their_origin_seq() {
+        let broker = Broker::new();
+        broker.create_stream("mirror", None);
+        let sub = broker.subscribe("mirror").unwrap();
+        broker
+            .publish_forwarded(Event::with_seq("mirror", "F", vec![9], 42))
+            .unwrap();
+        let event = sub.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(event.seq, 42);
+        assert_eq!(event.payload, vec![9]);
     }
 
     #[test]

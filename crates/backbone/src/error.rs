@@ -20,6 +20,11 @@ pub enum BackboneError {
     },
     /// The subscription's channel closed (publisher side gone).
     Disconnected,
+    /// A replay was requested on a stream with no durable log.
+    NotDurable {
+        /// The requested stream.
+        name: String,
+    },
     /// A malformed transport frame.
     BadFrame {
         /// Explanation.
@@ -34,6 +39,9 @@ impl fmt::Display for BackboneError {
             BackboneError::Metadata(e) => write!(f, "{e}"),
             BackboneError::UnknownStream { name } => write!(f, "unknown stream {name:?}"),
             BackboneError::Disconnected => f.write_str("subscription disconnected"),
+            BackboneError::NotDurable { name } => {
+                write!(f, "stream {name:?} has no durable log to replay")
+            }
             BackboneError::BadFrame { detail } => write!(f, "malformed frame: {detail}"),
         }
     }

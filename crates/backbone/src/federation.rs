@@ -1,0 +1,869 @@
+//! Broker-to-broker federation: aggregated per-stream links with
+//! durable catch-up.
+//!
+//! The paper's backbone (§2) is system-wide: capture points and display
+//! points hang off *different* brokers (per concourse, per data center),
+//! and events must travel between them without every remote subscriber
+//! opening its own firehose. A [`FederationLink`] is the answer to the
+//! fan-out half of that problem, and the segment log
+//! ([`xml2wire::seglog`]) to the durability half:
+//!
+//! * **Once per link, not once per subscriber.** The link subscribes to
+//!   each configured stream *once* on the serving broker; the serving
+//!   side runs one forwarder per (connection, stream) and each event
+//!   crosses the TCP link exactly once regardless of how many local
+//!   subscribers the receiving broker fans it out to. The
+//!   [`NetStats::frames_written`](crate::NetStats) counter on the
+//!   serving side is the observable proof.
+//! * **Sequence numbers travel with events.** A durable stream's events
+//!   keep the origin-assigned seq across hops, so dedup at the
+//!   replay/live boundary is exact *anywhere* downstream, not just at
+//!   the origin.
+//! * **Link loss is survived, not hidden.** The serving side learns of
+//!   a dead link from the transport's close notification (no
+//!   heartbeats) and reaps its forwarders; the consuming side
+//!   reconnects under the same jittered-exponential backoff discipline
+//!   the discovery chain uses ([`DiscoveryPolicy`]), resubscribing from
+//!   the last sequence it durably observed — the kill-a-broker
+//!   scenario test drives exactly this path and asserts zero loss and
+//!   zero duplication.
+//!
+//! ## Wire protocol
+//!
+//! Three reserved control streams ride the ordinary framed transport:
+//!
+//! | frame stream    | payload                                 | direction |
+//! |-----------------|-----------------------------------------|-----------|
+//! | `x2w.fed.sub`   | `u64 LE from_seq ∥ stream name`         | link → broker |
+//! | `x2w.fed.unsub` | `stream name`                           | link → broker |
+//! | `x2w.fed.subok` | `u64 LE cutover seq ∥ stream name`      | broker → link |
+//!
+//! Forwarded events use the stream's own name as the frame stream and
+//! the payload `u64 LE seq ∥ u16 LE format-name len ∥ format name ∥
+//! event payload`.
+
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use xml2wire::DiscoveryPolicy;
+
+use crate::broker::{Broker, Event, ReplaySubscription, Subscription};
+use crate::error::BackboneError;
+use crate::net::{
+    ClientCloser, CloseHandler, ConnId, EventClient, EventServer, Frame, NetConfig,
+    RoutedHandler, ServerHandle, TrySendError,
+};
+
+/// Control stream: a link's aggregated subscription request.
+pub const FED_SUB: &str = "x2w.fed.sub";
+/// Control stream: a link's unsubscribe request.
+pub const FED_UNSUB: &str = "x2w.fed.unsub";
+/// Control stream: the serving broker's subscription acknowledgement.
+pub const FED_SUBOK: &str = "x2w.fed.subok";
+
+/// How long a forwarder waits on its subscription per stop-flag check.
+/// Bounds both reaction time to link loss and the cost of a clean stop.
+const FORWARD_TICK: Duration = Duration::from_millis(25);
+
+/// Bound on the exponential-backoff retry index so reconnect sleeps
+/// plateau at the policy's `backoff_max` instead of overflowing.
+const MAX_BACKOFF_ATTEMPT: u32 = 16;
+
+/// Encodes a forwarded event: `seq ∥ format-name len ∥ format name ∥
+/// payload` under the stream's own frame name.
+fn encode_event_frame(event: &Event) -> Frame {
+    let name = event.format_name.as_bytes();
+    let mut payload = Vec::with_capacity(10 + name.len() + event.payload.len());
+    payload.extend_from_slice(&event.seq.to_le_bytes());
+    payload.extend_from_slice(&(name.len() as u16).to_le_bytes());
+    payload.extend_from_slice(name);
+    payload.extend_from_slice(&event.payload);
+    Frame { stream: event.stream.to_string(), payload }
+}
+
+/// Decodes a forwarded event frame back into an [`Event`].
+fn decode_event_frame(frame: Frame) -> Result<Event, BackboneError> {
+    let Frame { stream, mut payload } = frame;
+    if payload.len() < 10 {
+        return Err(BackboneError::BadFrame {
+            detail: format!("federated event on {stream:?} shorter than its header"),
+        });
+    }
+    let seq = u64::from_le_bytes(payload[..8].try_into().expect("length checked"));
+    let name_len = usize::from(u16::from_le_bytes([payload[8], payload[9]]));
+    if payload.len() < 10 + name_len {
+        return Err(BackboneError::BadFrame {
+            detail: format!("federated event on {stream:?} truncates its format name"),
+        });
+    }
+    let format_name = std::str::from_utf8(&payload[10..10 + name_len])
+        .map_err(|_| BackboneError::BadFrame {
+            detail: format!("federated event on {stream:?} has a non-UTF-8 format name"),
+        })?
+        .to_owned();
+    payload.drain(..10 + name_len);
+    Ok(Event::with_seq(stream, format_name, payload, seq))
+}
+
+/// Encodes a `u64 ∥ stream name` control payload (shared by sub/subok).
+fn encode_control(seq: u64, stream: &str) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(8 + stream.len());
+    payload.extend_from_slice(&seq.to_le_bytes());
+    payload.extend_from_slice(stream.as_bytes());
+    payload
+}
+
+/// Decodes a `u64 ∥ stream name` control payload.
+fn decode_control(payload: &[u8]) -> Option<(u64, &str)> {
+    if payload.len() < 8 {
+        return None;
+    }
+    let seq = u64::from_le_bytes(payload[..8].try_into().expect("length checked"));
+    std::str::from_utf8(&payload[8..]).ok().map(|name| (seq, name))
+}
+
+/// Either face of a serving-side subscription: catch-up replay for
+/// durable streams, plain live for the rest.
+enum Feed {
+    Replay(ReplaySubscription),
+    Live(Subscription),
+}
+
+impl Feed {
+    fn try_recv_for(&mut self, timeout: Duration) -> Result<Option<Arc<Event>>, BackboneError> {
+        match self {
+            Feed::Replay(sub) => sub.try_recv_for(timeout),
+            Feed::Live(sub) => sub.try_recv_for(timeout),
+        }
+    }
+}
+
+/// One serving-side forwarder: the thread pumping a local subscription
+/// onto a link connection, plus the flag that stops it.
+struct Forwarder {
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl Forwarder {
+    /// Signals the pump to stop without waiting for it — the transport's
+    /// close callback must not block; the thread notices within one
+    /// [`FORWARD_TICK`] and exits on its own.
+    fn stop_detached(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        drop(self.thread.take()); // detach
+    }
+
+    fn stop_joined(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+type ForwarderMap = Mutex<HashMap<(ConnId, String), Forwarder>>;
+
+/// The serving half of federation: wraps a local [`Broker`] in an
+/// [`EventServer`] that speaks the federation protocol. Remote
+/// [`FederationLink`]s connect here; each of their stream subscriptions
+/// becomes one local subscription (replay-backed when the stream is
+/// durable) pumped over the link by a dedicated forwarder.
+pub struct FederatedBroker {
+    server: EventServer,
+    broker: Arc<Broker>,
+    forwarders: Arc<ForwarderMap>,
+}
+
+impl std::fmt::Debug for FederatedBroker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FederatedBroker")
+            .field("addr", &self.server.local_addr())
+            .finish_non_exhaustive()
+    }
+}
+
+impl FederatedBroker {
+    /// Exposes `broker` for federation on `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket failures.
+    pub fn bind(
+        broker: Arc<Broker>,
+        addr: impl std::net::ToSocketAddrs,
+        config: NetConfig,
+    ) -> Result<Self, BackboneError> {
+        let forwarders: Arc<ForwarderMap> = Arc::new(Mutex::new(HashMap::new()));
+        // The handler needs the push handle, which exists only after
+        // bind: a OnceLock filled immediately after closes the loop (a
+        // subscribe racing the fill spins briefly in handle_subscribe).
+        let handle_slot: Arc<std::sync::OnceLock<ServerHandle>> =
+            Arc::new(std::sync::OnceLock::new());
+        let handler: RoutedHandler = {
+            let broker = Arc::clone(&broker);
+            let forwarders = Arc::clone(&forwarders);
+            let handle_slot = Arc::clone(&handle_slot);
+            Arc::new(move |conn, frame| match frame.stream.as_str() {
+                FED_SUB => handle_subscribe(
+                    &broker,
+                    &forwarders,
+                    &handle_slot,
+                    conn,
+                    &frame.payload,
+                ),
+                FED_UNSUB => {
+                    if let Ok(name) = std::str::from_utf8(&frame.payload) {
+                        if let Some(fwd) = forwarders.lock().remove(&(conn, name.to_owned())) {
+                            fwd.stop_detached();
+                        }
+                    }
+                    None
+                }
+                // Anything else is not federation traffic; ignore it
+                // rather than tearing the link down.
+                _ => None,
+            })
+        };
+        let on_close: CloseHandler = {
+            let forwarders = Arc::clone(&forwarders);
+            Arc::new(move |conn| {
+                // Runs on a transport thread: signal, never join.
+                let mut map = forwarders.lock();
+                let keys: Vec<(ConnId, String)> =
+                    map.keys().filter(|(c, _)| *c == conn).cloned().collect();
+                for key in keys {
+                    if let Some(fwd) = map.remove(&key) {
+                        fwd.stop_detached();
+                    }
+                }
+            })
+        };
+        let server = EventServer::bind_routed_full(addr, handler, Some(on_close), config)?;
+        let _ = handle_slot.set(server.handle());
+        Ok(FederatedBroker { server, broker, forwarders })
+    }
+
+    /// The address links connect to.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.server.local_addr()
+    }
+
+    /// The wrapped broker.
+    pub fn broker(&self) -> &Arc<Broker> {
+        &self.broker
+    }
+
+    /// Transport counters — [`NetStats::frames_written`](crate::NetStats)
+    /// here is the once-per-link evidence: it counts events that crossed
+    /// the wire, independent of downstream fan-out.
+    pub fn net_stats(&self) -> crate::NetStats {
+        self.server.net_stats()
+    }
+
+    /// Number of live forwarders (one per (connection, stream)).
+    pub fn forwarder_count(&self) -> usize {
+        self.forwarders.lock().len()
+    }
+}
+
+impl Drop for FederatedBroker {
+    fn drop(&mut self) {
+        // Stop forwarders first so nothing pushes at a dying server,
+        // then let the server drop join its transport threads (its
+        // close callbacks find an empty map).
+        let drained: Vec<Forwarder> = {
+            let mut map = self.forwarders.lock();
+            map.drain().map(|(_, fwd)| fwd).collect()
+        };
+        for fwd in drained {
+            fwd.stop_joined();
+        }
+    }
+}
+
+/// Serves one `x2w.fed.sub`: subscribes locally (replay-from-seq when
+/// the stream is durable) and spawns the forwarder pump. Replies
+/// `x2w.fed.subok` carrying the replay cutover seq (0 when live-only).
+fn handle_subscribe(
+    broker: &Arc<Broker>,
+    forwarders: &Arc<ForwarderMap>,
+    handle_slot: &Arc<std::sync::OnceLock<ServerHandle>>,
+    conn: ConnId,
+    payload: &[u8],
+) -> Option<Frame> {
+    let (from_seq, name) = decode_control(payload)?;
+    let key = (conn, name.to_owned());
+    if forwarders.lock().contains_key(&key) {
+        // Duplicate subscribe on a live link: the existing forwarder
+        // already covers it; re-acking keeps the operation idempotent.
+        return Some(Frame::new(FED_SUBOK, encode_control(0, name)));
+    }
+    let (feed, cutover) = match broker.subscribe_replay(name, from_seq) {
+        Ok(replay) => {
+            let cutover = replay.cutover_seq();
+            (Feed::Replay(replay), cutover)
+        }
+        Err(BackboneError::NotDurable { .. }) => match broker.subscribe(name) {
+            Ok(live) => (Feed::Live(live), 0),
+            Err(_) => return None,
+        },
+        Err(_) => return None,
+    };
+    // The handle is set right after bind returns; a subscribe arriving
+    // in that window waits it out.
+    let handle = loop {
+        match handle_slot.get() {
+            Some(handle) => break handle.clone(),
+            None => std::thread::sleep(Duration::from_millis(1)),
+        }
+    };
+    let stop = Arc::new(AtomicBool::new(false));
+    let thread = {
+        let stop = Arc::clone(&stop);
+        std::thread::Builder::new()
+            .name(format!("fed-forward-{conn}"))
+            .spawn(move || forward_loop(feed, &handle, conn, &stop))
+            .ok()?
+    };
+    forwarders.lock().insert(key, Forwarder { stop, thread: Some(thread) });
+    Some(Frame::new(FED_SUBOK, encode_control(cutover, name)))
+}
+
+/// The forwarder pump: local subscription → link connection, one frame
+/// per event, until stopped (link closed, unsubscribe, server drop),
+/// the broker disconnects, or the transport reports the push dead.
+///
+/// A full connection queue is backpressure, not loss: a replay
+/// catch-up burst outruns the wire by orders of magnitude, so the pump
+/// holds the frame and retries until the peer drains — `send`'s
+/// drop-on-overflow policy here would shed exactly the events the
+/// durable log just promised to deliver.
+fn forward_loop(mut feed: Feed, handle: &ServerHandle, conn: ConnId, stop: &AtomicBool) {
+    while !stop.load(Ordering::SeqCst) {
+        match feed.try_recv_for(FORWARD_TICK) {
+            Ok(Some(event)) => {
+                let mut frame = encode_event_frame(&event);
+                loop {
+                    match handle.try_send(conn, frame) {
+                        Ok(()) => break,
+                        Err(TrySendError::Busy(returned)) => {
+                            if stop.load(Ordering::SeqCst) {
+                                return;
+                            }
+                            frame = returned;
+                            std::thread::sleep(Duration::from_millis(1));
+                        }
+                        Err(TrySendError::Gone(_)) => {
+                            return; // connection or server definitively gone
+                        }
+                    }
+                }
+            }
+            Ok(None) => {}
+            Err(_) => return, // broker shut down (or corrupt archive)
+        }
+    }
+}
+
+/// Configuration for one [`FederationLink`].
+#[derive(Debug, Clone)]
+pub struct LinkConfig {
+    /// Streams to pull from the remote broker. One link-side
+    /// subscription each — local fan-out happens on the local broker.
+    pub streams: Vec<String>,
+    /// Reconnect backoff discipline (`backoff_base`/`backoff_max`
+    /// drive the jittered-exponential sleeps between attempts).
+    pub policy: DiscoveryPolicy,
+    /// Seed for the jitter source, so tests can make reconnect timing
+    /// deterministic.
+    pub jitter_seed: u64,
+}
+
+impl LinkConfig {
+    /// A config pulling `streams` under the default backoff policy.
+    pub fn new<S: Into<String>>(streams: impl IntoIterator<Item = S>) -> Self {
+        LinkConfig {
+            streams: streams.into_iter().map(Into::into).collect(),
+            policy: DiscoveryPolicy::default(),
+            jitter_seed: 0x5EED_11AC,
+        }
+    }
+}
+
+/// Link counters (the `DiscoveryStats` pattern at the federation layer).
+#[derive(Debug, Default)]
+struct LinkCounters {
+    connects: AtomicU64,
+    reconnect_attempts: AtomicU64,
+    events_forwarded: AtomicU64,
+    duplicates_dropped: AtomicU64,
+    protocol_errors: AtomicU64,
+    connected: AtomicBool,
+}
+
+/// A point-in-time snapshot of a link's counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Successful link establishments (1 for a healthy link; each
+    /// reconnect adds one).
+    pub connects: u64,
+    /// Connection attempts that followed a loss (includes failures).
+    pub reconnect_attempts: u64,
+    /// Events received over the link and republished locally.
+    pub events_forwarded: u64,
+    /// Events dropped as replay/reconnect duplicates (seq already seen).
+    pub duplicates_dropped: u64,
+    /// Malformed frames ignored.
+    pub protocol_errors: u64,
+    /// Whether the link is currently up.
+    pub connected: bool,
+}
+
+/// The consuming half of federation: a client of a remote
+/// [`FederatedBroker`] that republishes the remote's events onto a
+/// local [`Broker`], preserving origin sequence numbers.
+///
+/// The link owns one background thread. On connect it subscribes each
+/// configured stream *from the sequence after the last one it has
+/// observed*, so the serving side replays exactly the gap; on link loss
+/// it reconnects under jittered-exponential backoff and resubscribes,
+/// deduping any overlap by seq. Dropping the link stops the thread
+/// (shutting the socket down to unblock a blocking receive).
+pub struct FederationLink {
+    stop: Arc<AtomicBool>,
+    closer: Arc<Mutex<Option<ClientCloser>>>,
+    counters: Arc<LinkCounters>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for FederationLink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FederationLink")
+            .field("connected", &self.counters.connected.load(Ordering::SeqCst))
+            .finish_non_exhaustive()
+    }
+}
+
+impl FederationLink {
+    /// Starts a link pulling `config.streams` from the federated broker
+    /// at `addr` into `broker`. The configured streams are registered
+    /// on the local broker (idempotently, non-durable — the origin owns
+    /// the log) so local subscribers can attach immediately; connection
+    /// establishment itself happens on the link thread and is retried
+    /// forever, so a link may be created before its remote is up.
+    ///
+    /// # Errors
+    ///
+    /// Propagates thread-spawn failures.
+    pub fn connect(
+        addr: SocketAddr,
+        broker: Arc<Broker>,
+        config: LinkConfig,
+    ) -> Result<Self, BackboneError> {
+        for stream in &config.streams {
+            broker.create_stream(stream.clone(), None);
+        }
+        let stop = Arc::new(AtomicBool::new(false));
+        let closer: Arc<Mutex<Option<ClientCloser>>> = Arc::new(Mutex::new(None));
+        let counters = Arc::new(LinkCounters::default());
+        let thread = {
+            let stop = Arc::clone(&stop);
+            let closer = Arc::clone(&closer);
+            let counters = Arc::clone(&counters);
+            std::thread::Builder::new()
+                .name("fed-link".to_owned())
+                .spawn(move || link_loop(addr, &broker, &config, &stop, &closer, &counters))?
+        };
+        Ok(FederationLink { stop, closer, counters, thread: Some(thread) })
+    }
+
+    /// A snapshot of the link's counters.
+    pub fn stats(&self) -> LinkStats {
+        LinkStats {
+            connects: self.counters.connects.load(Ordering::Relaxed),
+            reconnect_attempts: self.counters.reconnect_attempts.load(Ordering::Relaxed),
+            events_forwarded: self.counters.events_forwarded.load(Ordering::Relaxed),
+            duplicates_dropped: self.counters.duplicates_dropped.load(Ordering::Relaxed),
+            protocol_errors: self.counters.protocol_errors.load(Ordering::Relaxed),
+            connected: self.counters.connected.load(Ordering::SeqCst),
+        }
+    }
+
+    /// Whether the link is currently established.
+    pub fn is_connected(&self) -> bool {
+        self.counters.connected.load(Ordering::SeqCst)
+    }
+}
+
+impl Drop for FederationLink {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock a receive in progress; the loop re-checks `stop`
+        // before any reconnect, so this ends the thread promptly.
+        if let Some(closer) = self.closer.lock().as_ref() {
+            closer.close();
+        }
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+/// The link thread: connect → subscribe-from-last-seen → pump → on
+/// loss, jittered backoff and around again.
+fn link_loop(
+    addr: SocketAddr,
+    broker: &Arc<Broker>,
+    config: &LinkConfig,
+    stop: &AtomicBool,
+    closer: &Mutex<Option<ClientCloser>>,
+    counters: &LinkCounters,
+) {
+    let mut last_seen: HashMap<String, u64> =
+        config.streams.iter().map(|s| (s.clone(), 0)).collect();
+    let mut rng = StdRng::seed_from_u64(config.jitter_seed);
+    let mut attempt: u32 = 0;
+    while !stop.load(Ordering::SeqCst) {
+        if let Ok(mut client) = EventClient::connect(addr) {
+            *closer.lock() = client.closer().ok();
+            if stop.load(Ordering::SeqCst) {
+                break; // raced Drop: its close may have missed the slot
+            }
+            let subscribed = config.streams.iter().all(|stream| {
+                let from = last_seen.get(stream).copied().unwrap_or(0) + 1;
+                client.send(&Frame::new(FED_SUB, encode_control(from, stream))).is_ok()
+            });
+            if subscribed {
+                counters.connects.fetch_add(1, Ordering::Relaxed);
+                counters.connected.store(true, Ordering::SeqCst);
+                attempt = 0;
+                pump_link(&mut client, broker, &mut last_seen, stop, counters);
+                counters.connected.store(false, Ordering::SeqCst);
+            }
+            *closer.lock() = None;
+        }
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        attempt = (attempt + 1).min(MAX_BACKOFF_ATTEMPT);
+        counters.reconnect_attempts.fetch_add(1, Ordering::Relaxed);
+        let backoff = config.policy.backoff_before(attempt, rng.gen_range(0.0..1.0));
+        sleep_interruptible(backoff, stop);
+    }
+    counters.connected.store(false, Ordering::SeqCst);
+}
+
+/// Receives frames until the link drops (or `stop` closes the socket),
+/// republishing each event on the local broker with its origin seq.
+fn pump_link(
+    client: &mut EventClient,
+    broker: &Arc<Broker>,
+    last_seen: &mut HashMap<String, u64>,
+    stop: &AtomicBool,
+    counters: &LinkCounters,
+) {
+    loop {
+        let frame = match client.recv() {
+            Ok(Some(frame)) => frame,
+            Ok(None) | Err(_) => return, // link loss (or our own Drop)
+        };
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        if frame.stream == FED_SUBOK {
+            continue; // cutover seq is informational; dedup is by seq
+        }
+        let event = match decode_event_frame(frame) {
+            Ok(event) => event,
+            Err(_) => {
+                counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+        };
+        if event.seq != 0 {
+            let seen = last_seen.entry(event.stream.to_string()).or_insert(0);
+            if event.seq <= *seen {
+                counters.duplicates_dropped.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            *seen = event.seq;
+        }
+        // An unknown stream here means the remote sent something we
+        // never subscribed — drop it rather than kill the link.
+        if broker.publish_forwarded(event).is_ok() {
+            counters.events_forwarded.fetch_add(1, Ordering::Relaxed);
+        } else {
+            counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Sleeps `total` in small slices, returning early when `stop` is set —
+/// a link being dropped must not wait out a full backoff.
+fn sleep_interruptible(total: Duration, stop: &AtomicBool) {
+    let deadline = std::time::Instant::now() + total;
+    while !stop.load(Ordering::SeqCst) {
+        let remaining = deadline
+            .checked_duration_since(std::time::Instant::now())
+            .unwrap_or_default();
+        if remaining.is_zero() {
+            return;
+        }
+        std::thread::sleep(remaining.min(Duration::from_millis(10)));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::broker::DurableSpec;
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "x2w-fed-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id(),
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn wait_for(cond: impl Fn() -> bool) -> bool {
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while std::time::Instant::now() < deadline {
+            if cond() {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        false
+    }
+
+    #[test]
+    fn event_frames_round_trip() {
+        let event = Event::with_seq("asd", "FlightOps", vec![1, 2, 3], 42);
+        let frame = encode_event_frame(&event);
+        let back = decode_event_frame(frame).unwrap();
+        assert_eq!(back, event);
+    }
+
+    #[test]
+    fn malformed_event_frames_error_not_panic() {
+        for payload in [vec![], vec![0; 9], {
+            let mut p = vec![0; 10];
+            p[8] = 0xFF; // forged format-name length
+            p
+        }] {
+            assert!(decode_event_frame(Frame::new("s", payload)).is_err());
+        }
+        // Non-UTF-8 format name.
+        let mut payload = 7u64.to_le_bytes().to_vec();
+        payload.extend_from_slice(&2u16.to_le_bytes());
+        payload.extend_from_slice(&[0xFF, 0xFE]);
+        assert!(decode_event_frame(Frame::new("s", payload)).is_err());
+    }
+
+    #[test]
+    fn control_payloads_round_trip() {
+        let payload = encode_control(99, "wx");
+        assert_eq!(decode_control(&payload), Some((99, "wx")));
+        assert_eq!(decode_control(&[1, 2]), None);
+    }
+
+    #[test]
+    fn events_cross_a_link_once_and_fan_out_locally() {
+        let origin = Arc::new(Broker::new());
+        origin.create_stream("asd", None);
+        let fed =
+            FederatedBroker::bind(Arc::clone(&origin), "127.0.0.1:0", NetConfig::default())
+                .unwrap();
+
+        let local = Arc::new(Broker::new());
+        let link = FederationLink::connect(
+            fed.local_addr(),
+            Arc::clone(&local),
+            LinkConfig::new(["asd"]),
+        )
+        .unwrap();
+        assert!(wait_for(|| fed.forwarder_count() == 1));
+
+        // Three local subscribers; each event must cross the wire once.
+        let subs: Vec<_> = (0..3).map(|_| local.subscribe("asd").unwrap()).collect();
+        for n in 0..10u8 {
+            origin.publish(Event::new("asd", "F", vec![n])).unwrap();
+        }
+        for sub in &subs {
+            for n in 0..10u8 {
+                assert_eq!(
+                    sub.recv_timeout(Duration::from_secs(5)).unwrap().payload,
+                    vec![n]
+                );
+            }
+        }
+        // 10 events + 1 subok: the link carried each event exactly once
+        // despite the 3-way local fan-out.
+        assert!(wait_for(|| fed.net_stats().frames_written == 11));
+        assert_eq!(link.stats().events_forwarded, 10);
+        assert_eq!(link.stats().connects, 1);
+    }
+
+    #[test]
+    fn durable_streams_replay_across_the_link() {
+        let dir = temp_dir("replay");
+        let origin = Arc::new(Broker::new());
+        origin
+            .create_stream_durable("flights", Default::default(), DurableSpec::new(&dir))
+            .unwrap();
+        // History published before any link exists.
+        for n in 0..5u8 {
+            origin.publish(Event::new("flights", "F", vec![n])).unwrap();
+        }
+        let fed =
+            FederatedBroker::bind(Arc::clone(&origin), "127.0.0.1:0", NetConfig::default())
+                .unwrap();
+
+        let local = Arc::new(Broker::new());
+        let sub = {
+            // Subscribe locally *before* the link so nothing is missed.
+            local.create_stream("flights", None);
+            local.subscribe("flights").unwrap()
+        };
+        let _link = FederationLink::connect(
+            fed.local_addr(),
+            Arc::clone(&local),
+            LinkConfig::new(["flights"]),
+        )
+        .unwrap();
+        // Live traffic continues while history replays.
+        assert!(wait_for(|| fed.forwarder_count() == 1));
+        for n in 5..8u8 {
+            origin.publish(Event::new("flights", "F", vec![n])).unwrap();
+        }
+        let mut seqs = Vec::new();
+        for _ in 0..8 {
+            let event = sub.recv_timeout(Duration::from_secs(5)).unwrap();
+            seqs.push(event.seq);
+        }
+        // Origin-assigned seqs arrive gap-free and duplicate-free.
+        assert_eq!(seqs, (1..=8).collect::<Vec<u64>>());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn link_survives_a_broker_restart_with_no_loss_or_duplication() {
+        let dir = temp_dir("restart");
+        let local = Arc::new(Broker::new());
+        let origin1 = Arc::new(Broker::new());
+        origin1
+            .create_stream_durable("ops", Default::default(), DurableSpec::new(&dir))
+            .unwrap();
+        let fed1 =
+            FederatedBroker::bind(Arc::clone(&origin1), "127.0.0.1:0", NetConfig::default())
+                .unwrap();
+        let addr = fed1.local_addr();
+
+        let mut config = LinkConfig::new(["ops"]);
+        // Tight backoff so the reconnect happens within the test budget.
+        config.policy.backoff_base = Duration::from_millis(5);
+        config.policy.backoff_max = Duration::from_millis(50);
+        let link = FederationLink::connect(addr, Arc::clone(&local), config).unwrap();
+        let sub = local.subscribe("ops").unwrap();
+
+        assert!(wait_for(|| link.is_connected()));
+        for n in 0..5u8 {
+            origin1.publish(Event::new("ops", "F", vec![n])).unwrap();
+        }
+        assert!(wait_for(|| link.stats().events_forwarded == 5));
+
+        // Kill the serving broker mid-conversation...
+        drop(fed1);
+        drop(origin1);
+        assert!(wait_for(|| !link.is_connected()));
+        // ...publish more history while the link is down...
+        {
+            let origin_gap = Arc::new(Broker::new());
+            origin_gap
+                .create_stream_durable("ops", Default::default(), DurableSpec::new(&dir))
+                .unwrap();
+            for n in 5..8u8 {
+                origin_gap.publish(Event::new("ops", "F", vec![n])).unwrap();
+            }
+        }
+        // ...and restart it on the same port with the same log.
+        let origin2 = Arc::new(Broker::new());
+        let recovered = origin2
+            .create_stream_durable("ops", Default::default(), DurableSpec::new(&dir))
+            .unwrap();
+        assert_eq!(recovered, 8);
+        let fed2 = FederatedBroker::bind(Arc::clone(&origin2), addr, NetConfig::default())
+            .unwrap();
+        assert!(wait_for(|| link.is_connected()));
+        for n in 8..10u8 {
+            origin2.publish(Event::new("ops", "F", vec![n])).unwrap();
+        }
+
+        // The local subscriber sees every seq exactly once, in order.
+        let mut seqs = Vec::new();
+        for _ in 0..10 {
+            seqs.push(sub.recv_timeout(Duration::from_secs(5)).unwrap().seq);
+        }
+        assert_eq!(seqs, (1..=10).collect::<Vec<u64>>());
+        assert!(link.stats().connects >= 2);
+        drop(fed2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unsubscribe_stops_forwarding() {
+        let origin = Arc::new(Broker::new());
+        origin.create_stream("asd", None);
+        let fed =
+            FederatedBroker::bind(Arc::clone(&origin), "127.0.0.1:0", NetConfig::default())
+                .unwrap();
+        let mut client = EventClient::connect(fed.local_addr()).unwrap();
+        client.send(&Frame::new(FED_SUB, encode_control(1, "asd"))).unwrap();
+        let ack = client.recv().unwrap().unwrap();
+        assert_eq!(ack.stream, FED_SUBOK);
+        assert!(wait_for(|| fed.forwarder_count() == 1));
+        client.send(&Frame::new(FED_UNSUB, b"asd".to_vec())).unwrap();
+        assert!(wait_for(|| fed.forwarder_count() == 0));
+    }
+
+    #[test]
+    fn dead_link_reaps_forwarders() {
+        let origin = Arc::new(Broker::new());
+        origin.create_stream("asd", None);
+        let fed =
+            FederatedBroker::bind(Arc::clone(&origin), "127.0.0.1:0", NetConfig::default())
+                .unwrap();
+        {
+            let mut client = EventClient::connect(fed.local_addr()).unwrap();
+            client.send(&Frame::new(FED_SUB, encode_control(1, "asd"))).unwrap();
+            let _ = client.recv().unwrap().unwrap();
+            assert!(wait_for(|| fed.forwarder_count() == 1));
+        }
+        // Client dropped: the transport's close notification must reap.
+        assert!(wait_for(|| fed.forwarder_count() == 0));
+    }
+
+    #[test]
+    fn subscribing_an_unknown_stream_is_ignored() {
+        let origin = Arc::new(Broker::new());
+        let fed =
+            FederatedBroker::bind(Arc::clone(&origin), "127.0.0.1:0", NetConfig::default())
+                .unwrap();
+        let mut client = EventClient::connect(fed.local_addr()).unwrap();
+        client.send(&Frame::new(FED_SUB, encode_control(1, "ghost"))).unwrap();
+        // No ack, no forwarder, link stays usable.
+        std::thread::sleep(Duration::from_millis(100));
+        assert_eq!(fed.forwarder_count(), 0);
+    }
+}

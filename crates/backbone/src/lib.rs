@@ -19,6 +19,12 @@
 //!   write coalescing) as the default, with the original
 //!   thread-per-connection implementation selectable as a differential
 //!   oracle, so the scale and latency experiments cross real sockets.
+//! * [`federation`] — broker-to-broker links: a [`FederationLink`]
+//!   forwards *aggregated* per-stream subscriptions to a remote broker
+//!   so an event crosses the link once regardless of local fan-out,
+//!   with jittered reconnect and durable catch-up replay (the remote
+//!   broker streams history from its segment log, then live, deduped by
+//!   sequence number at the boundary).
 //! * [`stream`] — capture points (synthetic producers) and consumers
 //!   that run the full discover → bind → decode pipeline on
 //!   subscription.
@@ -34,16 +40,20 @@
 pub mod airline;
 pub mod broker;
 pub mod error;
+pub mod federation;
 pub mod net;
 pub mod scoping;
 pub mod stream;
 
 pub use broker::{
-    Broker, Event, Overflow, PublishHandle, StreamConfig, StreamInfo, Subscription,
+    Broker, DurableSpec, Event, Overflow, PublishHandle, ReplaySubscription,
+    StreamConfig, StreamInfo, Subscription,
 };
 pub use error::BackboneError;
+pub use federation::{FederatedBroker, FederationLink, LinkConfig, LinkStats};
 pub use net::{
-    ConnId, EventClient, EventServer, Frame, NetConfig, NetStats, ServerHandle, Transport,
+    ClientCloser, CloseHandler, ConnId, EventClient, EventServer, Frame, NetConfig, NetStats,
+    ServerHandle, Transport, TrySendError,
 };
 pub use scoping::FormatScope;
 pub use stream::{CapturePoint, Consumer};

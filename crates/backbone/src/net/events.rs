@@ -22,8 +22,15 @@
 //!   shard stops *parsing* (and drops read interest), leaving unread
 //!   bytes to TCP flow control — the nonblocking analogue of the
 //!   threaded reader blocking on a full queue. Parsing resumes at half
-//!   depth. Server-side pushes to a full queue are dropped and counted
-//!   (`DropNewest`) because fanout must never stall the loop.
+//!   depth.
+//! * **Push admission is synchronous and admitted pushes are never
+//!   silently dropped.** Pushers consult a per-connection inflight
+//!   mirror before enqueueing: a full window surfaces as `Busy`
+//!   *to the caller* (retry or drop, their choice), a closed
+//!   connection as `Gone`. An admitted frame that finds the machine
+//!   momentarily full parks in a bounded per-connection overflow
+//!   buffer and enters the queue as writes drain it — fanout never
+//!   stalls the loop, and a `true` from `send` is a real acceptance.
 //! * **Each fd closes exactly once.** A connection dies only by being
 //!   removed from its shard's table (poller deregistration, then the
 //!   `TcpStream` drop closes the fd); the table removal is the
@@ -43,7 +50,7 @@ use polling::{Interest, Poller, Waker};
 use crate::error::BackboneError;
 
 use super::machine::ConnMachine;
-use super::{ConnId, Frame, NetCounters, RoutedHandler};
+use super::{CloseHandler, ConnId, Frame, NetCounters, RoutedHandler, TrySendError};
 
 /// Reserved poller key for each shard's waker (connection ids count up
 /// from zero and can never reach it).
@@ -62,10 +69,21 @@ enum Cmd {
     Push(ConnId, Frame),
 }
 
-/// The cross-thread face of one shard: its command inbox and waker.
+/// The cross-thread face of one shard: its command inbox, waker, and
+/// the push-admission mirror.
 struct ShardShared {
     inbox: Mutex<VecDeque<Cmd>>,
     waker: Waker,
+    /// Per-connection count of pushed frames admitted but not yet
+    /// transferred into the connection's state machine (still in the
+    /// inbox or the connection's overflow buffer). Entries are created
+    /// at accept and removed at close, so presence doubles as the
+    /// liveness check: pushers consult this map **synchronously**,
+    /// which is what lets [`Shared::try_push`] distinguish a full
+    /// queue (retryable) from a dead connection (permanent) without a
+    /// round trip through the loop thread. Admission caps the count at
+    /// the queue depth, bounding per-connection overflow memory.
+    inflight: Mutex<HashMap<ConnId, usize>>,
 }
 
 impl ShardShared {
@@ -111,6 +129,7 @@ pub(super) struct Shared {
     shards: Vec<Arc<ShardShared>>,
     counters: Arc<NetCounters>,
     stop: Arc<AtomicBool>,
+    queue_depth: usize,
 }
 
 impl Shared {
@@ -118,38 +137,95 @@ impl Shared {
         &self.shards[(conn as usize) % self.shards.len()]
     }
 
-    /// Enqueues a push to the owning shard and wakes it (the broker
-    /// fanout → eventfd path). Returns `false` once the server is
-    /// shutting down; queue-overflow and unknown-connection drops are
-    /// resolved on the shard and surface in the `pushes_dropped`
-    /// counter.
-    pub(super) fn push(&self, conn: ConnId, frame: Frame) -> bool {
+    /// Admits a push against the owning shard's inflight mirror, then
+    /// enqueues it and wakes the shard (the broker fanout → eventfd
+    /// path). Admission is synchronous: an `Ok` here means the frame
+    /// **will** enter the connection's queue unless the connection
+    /// closes first — the loop shard never silently resolves an
+    /// admitted push to a drop. `Busy` hands the frame back without
+    /// counting anything; `Gone` is permanent and tallied.
+    pub(super) fn try_push(&self, conn: ConnId, frame: Frame) -> Result<(), TrySendError> {
         if self.stop.load(Ordering::SeqCst) {
-            return false;
+            self.counters.pushes_dropped.fetch_add(1, Ordering::Relaxed);
+            return Err(TrySendError::Gone(frame));
         }
-        self.shard_for(conn).enqueue(Cmd::Push(conn, frame));
-        true
+        let shard = self.shard_for(conn);
+        {
+            let mut inflight = shard.inflight.lock();
+            match inflight.get_mut(&conn) {
+                None => {
+                    drop(inflight);
+                    self.counters.pushes_dropped.fetch_add(1, Ordering::Relaxed);
+                    return Err(TrySendError::Gone(frame));
+                }
+                Some(count) if *count >= self.queue_depth => {
+                    return Err(TrySendError::Busy(frame));
+                }
+                Some(count) => *count += 1,
+            }
+        }
+        shard.enqueue(Cmd::Push(conn, frame));
+        Ok(())
     }
 
-    /// Enqueues a whole fanout batch, grouping frames by owning shard
-    /// so each shard pays one inbox lock and at most one eventfd write
-    /// for the batch instead of one per frame. Returns the frames that
-    /// were definitely not enqueued (only when the server is shutting
-    /// down); per-connection overflow is still resolved on the shard
-    /// and counted in `pushes_dropped`.
+    /// The drop-on-overflow face of [`try_push`](Self::try_push):
+    /// `false` means the frame went nowhere (and was counted in
+    /// `pushes_dropped`), decided synchronously.
+    pub(super) fn push(&self, conn: ConnId, frame: Frame) -> bool {
+        match self.try_push(conn, frame) {
+            Ok(()) => true,
+            Err(TrySendError::Busy(_)) => {
+                self.counters.pushes_dropped.fetch_add(1, Ordering::Relaxed);
+                false
+            }
+            Err(TrySendError::Gone(_)) => false, // counted in try_push
+        }
+    }
+
+    /// Admits and enqueues a whole fanout batch, grouping frames by
+    /// owning shard so each shard pays one inflight lock, one inbox
+    /// lock, and at most one eventfd write for the batch instead of
+    /// one of each per frame. Returns the frames that were definitely
+    /// not enqueued — server shutting down, unknown/closed connection,
+    /// or a full queue — all decided synchronously and counted in
+    /// `pushes_dropped`, so callers can retry or drop them knowingly.
     pub(super) fn push_batch(&self, frames: Vec<(ConnId, Frame)>) -> Vec<(ConnId, Frame)> {
         if self.stop.load(Ordering::SeqCst) {
+            let dropped = frames.len() as u64;
+            self.counters.pushes_dropped.fetch_add(dropped, Ordering::Relaxed);
             return frames;
         }
         let shard_count = self.shards.len();
-        let mut groups: Vec<Vec<Cmd>> = (0..shard_count).map(|_| Vec::new()).collect();
+        let mut groups: Vec<Vec<(ConnId, Frame)>> =
+            (0..shard_count).map(|_| Vec::new()).collect();
         for (conn, frame) in frames {
-            groups[(conn as usize) % shard_count].push(Cmd::Push(conn, frame));
+            groups[(conn as usize) % shard_count].push((conn, frame));
         }
-        for (index, cmds) in groups.into_iter().enumerate() {
-            self.shards[index].enqueue_batch(cmds);
+        let mut rejected = Vec::new();
+        for (index, group) in groups.into_iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            let shard = &self.shards[index];
+            let mut cmds = Vec::with_capacity(group.len());
+            {
+                let mut inflight = shard.inflight.lock();
+                for (conn, frame) in group {
+                    match inflight.get_mut(&conn) {
+                        Some(count) if *count < self.queue_depth => {
+                            *count += 1;
+                            cmds.push(Cmd::Push(conn, frame));
+                        }
+                        _ => {
+                            self.counters.pushes_dropped.fetch_add(1, Ordering::Relaxed);
+                            rejected.push((conn, frame));
+                        }
+                    }
+                }
+            }
+            shard.enqueue_batch(cmds);
         }
-        Vec::new()
+        rejected
     }
 }
 
@@ -168,6 +244,7 @@ impl Server {
     pub(super) fn bind(
         listener: TcpListener,
         handler: RoutedHandler,
+        on_close: Option<CloseHandler>,
         shard_count: usize,
         queue_depth: usize,
         force_poll_fallback: bool,
@@ -186,8 +263,11 @@ impl Server {
             let waker = if force_poll_fallback { Waker::new_pipe() } else { Waker::new() }?;
             backend = poller.backend_name();
             poller.add(waker.read_fd(), WAKE_KEY, Interest::READ)?;
-            let shared =
-                Arc::new(ShardShared { inbox: Mutex::new(VecDeque::new()), waker });
+            let shared = Arc::new(ShardShared {
+                inbox: Mutex::new(VecDeque::new()),
+                waker,
+                inflight: Mutex::new(HashMap::new()),
+            });
             shard_shared.push(Arc::clone(&shared));
             parts.push((poller, shared));
         }
@@ -195,6 +275,7 @@ impl Server {
             shards: shard_shared,
             counters: Arc::clone(&counters),
             stop: Arc::clone(&stop),
+            queue_depth,
         });
         let mut shard_handles = Vec::with_capacity(shard_count);
         for (index, (poller, shard)) in parts.into_iter().enumerate() {
@@ -203,6 +284,7 @@ impl Server {
                 counters: Arc::clone(&counters),
                 stop: Arc::clone(&stop),
                 handler: Arc::clone(&handler),
+                on_close: on_close.clone(),
                 poller,
                 queue_depth,
                 conns: HashMap::new(),
@@ -296,7 +378,12 @@ fn accept_loop(
                 shared.counters.note_accepted();
                 let id = next_id;
                 next_id += 1;
-                shared.shard_for(id).enqueue(Cmd::Register(id, stream));
+                let shard = shared.shard_for(id);
+                // The inflight entry goes in before the Register
+                // command: a handler-triggered push racing the accept
+                // sees the connection as live, not Gone.
+                shard.inflight.lock().insert(id, 0);
+                shard.enqueue(Cmd::Register(id, stream));
             }
             Err(_) => {
                 if stop.load(Ordering::SeqCst) {
@@ -313,6 +400,12 @@ fn accept_loop(
 struct Conn {
     stream: TcpStream,
     machine: ConnMachine,
+    /// Admitted pushes waiting for machine-queue space. Bounded by the
+    /// queue depth (admission caps the inflight mirror), drained into
+    /// the machine as writes free space. This is what makes an
+    /// accepted push an accepted push: the machine being momentarily
+    /// full parks the frame here instead of dropping it.
+    overflow: VecDeque<Frame>,
     /// Interest currently registered with the poller.
     interest: Interest,
     /// Peer closed its write side (or a socket read failed cleanly):
@@ -332,6 +425,7 @@ struct Shard {
     counters: Arc<NetCounters>,
     stop: Arc<AtomicBool>,
     handler: RoutedHandler,
+    on_close: Option<CloseHandler>,
     poller: Poller,
     queue_depth: usize,
     conns: HashMap<ConnId, Conn>,
@@ -362,10 +456,29 @@ impl Shard {
                 }
             }
         }
-        // Shutdown: deregister and close every connection exactly once.
-        for (_, conn) in self.conns.drain() {
+        // Shutdown: pushes still sitting in the inbox are definitively
+        // dropped — count them so a fanout racing shutdown never loses
+        // frames without trace.
+        let pending: Vec<Cmd> = self.shared.inbox.lock().drain(..).collect();
+        for cmd in pending {
+            if matches!(cmd, Cmd::Push(..)) {
+                self.counters.pushes_dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        // Deregister and close every connection exactly once. Parked
+        // pushes are definitive drops at this point too.
+        self.shared.inflight.lock().clear();
+        for (id, conn) in self.conns.drain() {
             let _ = self.poller.delete(conn.stream.as_raw_fd());
+            if !conn.overflow.is_empty() {
+                self.counters
+                    .pushes_dropped
+                    .fetch_add(conn.overflow.len() as u64, Ordering::Relaxed);
+            }
             self.counters.note_closed();
+            if let Some(on_close) = &self.on_close {
+                on_close(id);
+            }
         }
     }
 
@@ -407,7 +520,11 @@ impl Shard {
             || stream.set_nodelay(true).is_err()
             || self.poller.add(stream.as_raw_fd(), id, Interest::READ).is_err()
         {
-            return; // dropping the stream closes the only fd reference
+            // Dropping the stream closes the only fd reference; the
+            // accept-time inflight entry must go with it so pushers see
+            // Gone instead of a connection that will never drain.
+            self.shared.inflight.lock().remove(&id);
+            return;
         }
         self.counters.note_open();
         self.conns.insert(
@@ -415,6 +532,7 @@ impl Shard {
             Conn {
                 stream,
                 machine: ConnMachine::new(),
+                overflow: VecDeque::new(),
                 interest: Interest::READ,
                 eof: false,
                 input_dead: false,
@@ -423,20 +541,27 @@ impl Shard {
         );
     }
 
-    /// Queues one pushed frame under the reply-queue bound without
-    /// flushing. Returns whether the frame was accepted (so the caller
-    /// knows the connection needs a service pass).
+    /// Lands one admitted push: straight into the machine when there
+    /// is room (and the overflow buffer is empty, preserving FIFO),
+    /// otherwise parked in the connection's overflow buffer — never
+    /// dropped, because admission already promised the sender a slot.
+    /// Returns whether the connection needs a service pass. The only
+    /// drop left here is a push whose connection closed between
+    /// admission and delivery, which is counted.
     fn queue_push(&mut self, id: ConnId, frame: Frame) -> bool {
         let Some(conn) = self.conns.get_mut(&id) else {
             self.counters.pushes_dropped.fetch_add(1, Ordering::Relaxed);
             return false;
         };
-        if conn.machine.queued_frames() >= self.queue_depth {
-            self.counters.pushes_dropped.fetch_add(1, Ordering::Relaxed);
-            return false;
+        if conn.overflow.is_empty() && conn.machine.queued_frames() < self.queue_depth {
+            conn.machine.queue(frame);
+            self.counters.note_queue_depth(conn.machine.queued_frames());
+            if let Some(count) = self.shared.inflight.lock().get_mut(&id) {
+                *count -= 1;
+            }
+        } else {
+            conn.overflow.push_back(frame);
         }
-        conn.machine.queue(frame);
-        self.counters.note_queue_depth(conn.machine.queued_frames());
         true
     }
 
@@ -445,7 +570,8 @@ impl Shard {
     /// backpressure pause/resume, interest resync, and the close
     /// decision.
     fn service(&mut self, id: ConnId, readable: bool, hangup: bool) {
-        let Shard { conns, counters, handler, poller, queue_depth, scratch, .. } = self;
+        let Shard { shared, conns, counters, handler, on_close, poller, queue_depth, scratch, .. } =
+            self;
         let depth = *queue_depth;
         let Some(conn) = conns.get_mut(&id) else { return };
         let mut dead = false;
@@ -478,9 +604,30 @@ impl Shard {
             }
         }
 
-        // 2. Process buffered frames and drain output.
+        // 2. Process buffered frames and drain output, topping the
+        // machine back up from parked pushes as writes free space.
+        // Each drain shrinks the overflow buffer, so the loop is
+        // bounded by its length.
         if !dead {
-            dead = !Self::process_and_flush(conn, handler, counters, depth, id);
+            loop {
+                dead = !Self::process_and_flush(conn, handler, counters, depth, id);
+                if dead {
+                    break;
+                }
+                let mut moved = 0usize;
+                while conn.machine.queued_frames() < depth {
+                    let Some(frame) = conn.overflow.pop_front() else { break };
+                    conn.machine.queue(frame);
+                    moved += 1;
+                }
+                if moved == 0 {
+                    break;
+                }
+                counters.note_queue_depth(conn.machine.queued_frames());
+                if let Some(count) = shared.inflight.lock().get_mut(&id) {
+                    *count -= moved;
+                }
+            }
         }
 
         // 3. Close or resync interest. A connection drains queued
@@ -491,7 +638,16 @@ impl Shard {
         if dead || drained {
             let conn = conns.remove(&id).expect("serviced connection vanished");
             let _ = poller.delete(conn.stream.as_raw_fd());
+            // Removing the inflight entry turns further pushes into
+            // Gone; parked pushes die with the connection, counted.
+            shared.inflight.lock().remove(&id);
+            if !conn.overflow.is_empty() {
+                counters.pushes_dropped.fetch_add(conn.overflow.len() as u64, Ordering::Relaxed);
+            }
             counters.note_closed();
+            if let Some(on_close) = on_close {
+                on_close(id);
+            }
             return;
         }
         let desired = Interest {

@@ -54,6 +54,41 @@ impl Frame {
     }
 }
 
+/// Why a [`ServerHandle::try_send`] could not queue its frame. Both
+/// variants hand the frame back, so a retry costs no clone.
+#[derive(Debug)]
+pub enum TrySendError {
+    /// The connection's outbound queue (plus its pending-push window)
+    /// is at capacity. Transient: the frame was **not** dropped or
+    /// counted; retry after the peer drains, or give up and drop it
+    /// yourself.
+    Busy(Frame),
+    /// The connection is unknown or closed, or the server is shutting
+    /// down. Permanent for this connection; the reject is tallied in
+    /// [`NetStats::pushes_dropped`].
+    Gone(Frame),
+}
+
+impl TrySendError {
+    /// Recovers the frame that could not be sent.
+    pub fn into_frame(self) -> Frame {
+        match self {
+            TrySendError::Busy(frame) | TrySendError::Gone(frame) => frame,
+        }
+    }
+}
+
+impl std::fmt::Display for TrySendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrySendError::Busy(_) => write!(f, "connection outbound queue full (retryable)"),
+            TrySendError::Gone(_) => write!(f, "connection closed or server shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for TrySendError {}
+
 /// Upper bound on frame section lengths (guards against hostile or
 /// corrupt length prefixes).
 const MAX_SECTION: u32 = 64 * 1024 * 1024;
@@ -225,6 +260,14 @@ pub type FrameHandler = Arc<dyn Fn(Frame) -> Option<Frame> + Send + Sync>;
 /// arrived on, so brokers can track subscribers and push to them later
 /// via [`ServerHandle::send`].
 pub type RoutedHandler = Arc<dyn Fn(ConnId, Frame) -> Option<Frame> + Send + Sync>;
+
+/// Invoked exactly once when a connection is fully closed and
+/// deregistered (peer disconnect, I/O error, or server shutdown).
+/// Runs on a transport thread — it must not block. Brokers use this to
+/// reap per-connection state (subscriptions, forwarders) without
+/// heartbeats: [`ServerHandle::send`] on the readiness transport cannot
+/// report a dead peer synchronously, but this callback can.
+pub type CloseHandler = Arc<dyn Fn(ConnId) + Send + Sync>;
 
 /// Which server implementation carries the frames.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -429,12 +472,30 @@ impl EventServer {
         handler: RoutedHandler,
         config: NetConfig,
     ) -> Result<Self, BackboneError> {
+        Self::bind_routed_full(addr, handler, None, config)
+    }
+
+    /// [`bind_routed`](Self::bind_routed) plus a close notification: the
+    /// [`CloseHandler`] fires exactly once per connection when it is
+    /// deregistered, on whichever transport thread performed the close.
+    /// This is how a federated broker learns a remote link died without
+    /// heartbeating it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket failures.
+    pub fn bind_routed_full(
+        addr: impl ToSocketAddrs,
+        handler: RoutedHandler,
+        on_close: Option<CloseHandler>,
+        config: NetConfig,
+    ) -> Result<Self, BackboneError> {
         let listener = TcpListener::bind(addr)?;
         let counters = Arc::new(NetCounters::default());
         let depth = config.reply_queue_depth.max(1);
         let imp = match config.transport {
             Transport::Threaded => ServerImpl::Threaded(threaded::Server::bind(
-                listener, handler, depth, counters,
+                listener, handler, on_close, depth, counters,
             )?),
             Transport::Readiness => {
                 let shards =
@@ -442,6 +503,7 @@ impl EventServer {
                 ServerImpl::Readiness(events::Server::bind(
                     listener,
                     handler,
+                    on_close,
                     shards,
                     depth,
                     config.force_poll_fallback,
@@ -537,12 +599,40 @@ impl ServerHandle {
     /// Queues `frame` to connection `conn` without blocking. Returns
     /// `false` when the push definitely went nowhere (unknown or closed
     /// connection, full queue, server shutting down); `true` means it
-    /// was queued — delivery still depends on the peer staying alive.
-    /// Drops are counted in [`NetStats::pushes_dropped`].
+    /// was queued and will reach the socket unless the connection
+    /// closes first. The overflow decision is made synchronously on
+    /// both transports — a `true` is a real acceptance, never a frame
+    /// silently resolved to a drop later. Drops are counted in
+    /// [`NetStats::pushes_dropped`]; callers that would rather retry
+    /// than drop should use [`try_send`](Self::try_send).
     pub fn send(&self, conn: ConnId, frame: Frame) -> bool {
         match &self.inner {
             HandleInner::Readiness(shared) => shared.push(conn, frame),
             HandleInner::Threaded(shared) => shared.push(conn, frame),
+        }
+    }
+
+    /// Queues `frame` to connection `conn` without blocking, handing
+    /// the frame back on failure so a retry needs no clone.
+    ///
+    /// Where [`send`](Self::send) resolves a full queue by dropping the
+    /// frame, this returns [`TrySendError::Busy`] with the frame inside
+    /// — nothing is dropped or counted, and the caller owns the retry
+    /// (typically a short sleep while watching its own stop flag). This
+    /// is what a bulk producer such as a federation replay forwarder
+    /// must use: a 10k-event catch-up burst against a 512-deep
+    /// connection queue is backpressure, not loss.
+    ///
+    /// # Errors
+    ///
+    /// [`TrySendError::Busy`] when the connection's queue is at
+    /// capacity (retryable), [`TrySendError::Gone`] when the connection
+    /// is unknown/closed or the server is shutting down (permanent,
+    /// counted in [`NetStats::pushes_dropped`]).
+    pub fn try_send(&self, conn: ConnId, frame: Frame) -> Result<(), TrySendError> {
+        match &self.inner {
+            HandleInner::Readiness(shared) => shared.try_push(conn, frame),
+            HandleInner::Threaded(shared) => shared.try_push(conn, frame),
         }
     }
 
@@ -554,12 +644,13 @@ impl ServerHandle {
     /// lock is taken once for the batch.
     ///
     /// Returns the `(conn, frame)` pairs that were definitely not
-    /// queued — server shutting down, or (threaded only) unknown/closed
-    /// connections and full queues — so callers can retry after
-    /// yielding or count them as dropped. An empty return means every
-    /// frame was queued (readiness-side per-connection overflow is
-    /// still resolved on the loop shard and surfaces in
-    /// [`NetStats::pushes_dropped`]).
+    /// queued — unknown/closed connections, full queues, server
+    /// shutting down — so callers can retry after yielding or count
+    /// them as dropped (they are also tallied in
+    /// [`NetStats::pushes_dropped`]). Both transports make the
+    /// overflow decision synchronously: an empty return means every
+    /// frame was queued and will reach its socket unless the
+    /// connection closes first.
     pub fn send_batch(&self, frames: Vec<(ConnId, Frame)>) -> Vec<(ConnId, Frame)> {
         match &self.inner {
             HandleInner::Readiness(shared) => shared.push_batch(frames),
@@ -631,6 +722,37 @@ impl EventClient {
         self.recv()?.ok_or(BackboneError::BadFrame {
             detail: "server closed the connection without replying".to_owned(),
         })
+    }
+
+    /// A handle that can shut this connection down from another thread.
+    /// Read timeouts would desynchronize the framing (a timeout
+    /// mid-`read_exact` discards bytes already consumed), so a thread
+    /// blocked in [`recv`](Self::recv) is instead unblocked by shutting
+    /// the socket down: the blocked read observes a clean end-of-stream.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the descriptor-duplication failure.
+    pub fn closer(&self) -> Result<ClientCloser, BackboneError> {
+        Ok(ClientCloser { stream: self.reader.get_ref().try_clone()? })
+    }
+}
+
+/// Shuts down an [`EventClient`]'s socket from outside the thread that
+/// owns it — the only safe way to interrupt a blocking `recv` without
+/// corrupting frame alignment. Cloneable via `try_clone` on the
+/// underlying descriptor; idempotent.
+#[derive(Debug)]
+pub struct ClientCloser {
+    stream: TcpStream,
+}
+
+impl ClientCloser {
+    /// Shuts the connection down in both directions. Any thread blocked
+    /// in [`EventClient::recv`] returns `Ok(None)` (clean EOF) or an
+    /// I/O error; subsequent sends fail.
+    pub fn close(&self) {
+        let _ = self.stream.shutdown(std::net::Shutdown::Both);
     }
 }
 
@@ -994,6 +1116,73 @@ mod tests {
                 }
                 dropped
             });
+        }
+    }
+
+    #[test]
+    fn bulk_try_send_bursts_survive_backpressure_without_loss() {
+        // The federation-replay regression: a producer bursting far
+        // past the reply-queue depth must be able to deliver every
+        // frame by retrying Busy — on both transports, with nothing
+        // landing in pushes_dropped. Before try_send existed the
+        // readiness transport accepted such pushes and silently shed
+        // them on the loop shard.
+        const BURST: u32 = 4 * WRITER_QUEUE_DEPTH as u32;
+        for config in configs() {
+            let subscriber: Arc<Mutex<Option<ConnId>>> = Arc::new(Mutex::new(None));
+            let server = {
+                let subscriber = Arc::clone(&subscriber);
+                EventServer::bind_routed(
+                    "127.0.0.1:0",
+                    Arc::new(move |conn, frame: Frame| {
+                        *subscriber.lock() = Some(conn);
+                        Some(frame)
+                    }),
+                    config,
+                )
+                .unwrap()
+            };
+            let mut client = EventClient::connect(server.local_addr()).unwrap();
+            let _ = client.request(&Frame::new("subscribe", vec![])).unwrap();
+            let conn = subscriber.lock().expect("handler saw the subscribe");
+            let handle = server.handle();
+
+            let pusher = std::thread::spawn(move || {
+                for i in 0..BURST {
+                    let mut frame = Frame::new("push", i.to_le_bytes().to_vec());
+                    loop {
+                        match handle.try_send(conn, frame) {
+                            Ok(()) => break,
+                            Err(TrySendError::Busy(returned)) => {
+                                frame = returned;
+                                std::thread::sleep(Duration::from_micros(200));
+                            }
+                            Err(TrySendError::Gone(_)) => {
+                                panic!("connection died mid-burst at frame {i}")
+                            }
+                        }
+                    }
+                }
+            });
+
+            for i in 0..BURST {
+                let frame = client.recv().unwrap().expect("burst ended early");
+                assert_eq!(frame.payload, i.to_le_bytes().to_vec(), "loss or reorder at {i}");
+            }
+            pusher.join().expect("pusher panicked");
+            assert_eq!(
+                server.net_stats().pushes_dropped,
+                0,
+                "a retried burst must never shed frames"
+            );
+
+            // And a try_send at a connection that never existed is a
+            // synchronous, frame-returning Gone.
+            let handle = server.handle();
+            match handle.try_send(9999, Frame::new("push", vec![7])) {
+                Err(TrySendError::Gone(frame)) => assert_eq!(frame.payload, vec![7]),
+                other => panic!("expected Gone for an unknown connection, got {other:?}"),
+            }
         }
     }
 

@@ -24,7 +24,7 @@ use parking_lot::Mutex;
 use crate::error::BackboneError;
 
 use super::{
-    read_frame, write_frame_batch, ConnId, Frame, NetCounters, RoutedHandler,
+    read_frame, write_frame_batch, CloseHandler, ConnId, Frame, NetCounters, RoutedHandler,
     MAX_FRAMES_PER_WRITEV,
 };
 
@@ -66,24 +66,28 @@ impl ConnEntry {
 pub(super) struct Shared {
     conns: Mutex<HashMap<ConnId, ConnEntry>>,
     counters: Arc<NetCounters>,
+    on_close: Option<CloseHandler>,
     queue_depth: usize,
 }
 
 impl Shared {
-    /// Queues a server-initiated frame to a connection's writer.
-    /// Returns `false` if the connection is unknown, its reader has
-    /// exited, or its reply queue is full (the frame is dropped and
-    /// counted — `DropNewest`, matching what a full bounded queue means
-    /// for a push that must not block broker fanout).
-    pub(super) fn push(&self, conn: ConnId, frame: Frame) -> bool {
+    /// Queues a server-initiated frame to a connection's writer,
+    /// handing the frame back on failure: a full reply queue surfaces
+    /// as `Busy` (retryable, nothing counted), an unknown connection
+    /// or exited reader/writer as `Gone` (permanent, counted).
+    pub(super) fn try_push(
+        &self,
+        conn: ConnId,
+        frame: Frame,
+    ) -> Result<(), super::TrySendError> {
         let conns = self.conns.lock();
         let Some(entry) = conns.get(&conn) else {
             self.counters.pushes_dropped.fetch_add(1, Ordering::Relaxed);
-            return false;
+            return Err(super::TrySendError::Gone(frame));
         };
         let Some(tx) = &entry.push_tx else {
             self.counters.pushes_dropped.fetch_add(1, Ordering::Relaxed);
-            return false;
+            return Err(super::TrySendError::Gone(frame));
         };
         // Count before sending: the writer decrements as it drains, so
         // incrementing after the send could race it below zero.
@@ -91,13 +95,31 @@ impl Shared {
         match tx.try_send(frame) {
             Ok(()) => {
                 self.counters.note_queue_depth(depth);
-                true
+                Ok(())
             }
-            Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
+            Err(TrySendError::Full(frame)) => {
                 entry.queued.fetch_sub(1, Ordering::Relaxed);
+                Err(super::TrySendError::Busy(frame))
+            }
+            Err(TrySendError::Disconnected(frame)) => {
+                entry.queued.fetch_sub(1, Ordering::Relaxed);
+                self.counters.pushes_dropped.fetch_add(1, Ordering::Relaxed);
+                Err(super::TrySendError::Gone(frame))
+            }
+        }
+    }
+
+    /// The drop-on-overflow face of [`try_push`](Self::try_push):
+    /// `false` means the frame went nowhere (unknown connection, dead
+    /// writer, full queue — `DropNewest`) and was counted.
+    pub(super) fn push(&self, conn: ConnId, frame: Frame) -> bool {
+        match self.try_push(conn, frame) {
+            Ok(()) => true,
+            Err(super::TrySendError::Busy(_)) => {
                 self.counters.pushes_dropped.fetch_add(1, Ordering::Relaxed);
                 false
             }
+            Err(super::TrySendError::Gone(_)) => false, // counted in try_push
         }
     }
 
@@ -151,6 +173,7 @@ impl Server {
     pub(super) fn bind(
         listener: TcpListener,
         handler: RoutedHandler,
+        on_close: Option<CloseHandler>,
         queue_depth: usize,
         counters: Arc<NetCounters>,
     ) -> Result<Server, BackboneError> {
@@ -159,6 +182,7 @@ impl Server {
         let shared = Arc::new(Shared {
             conns: Mutex::new(HashMap::new()),
             counters,
+            on_close,
             queue_depth,
         });
         let wakeups = Arc::new(AtomicU64::new(0));
@@ -205,14 +229,17 @@ impl Drop for Server {
         // Take every connection out of the table *before* joining:
         // exiting readers lock the table to clear their push sender,
         // and joining while holding the lock would deadlock with them.
-        let entries: Vec<ConnEntry> = {
+        let entries: Vec<(ConnId, ConnEntry)> = {
             let mut conns = self.shared.conns.lock();
-            conns.drain().map(|(_, entry)| entry).collect()
+            conns.drain().collect()
         };
-        for mut entry in entries {
+        for (id, mut entry) in entries {
             let _ = entry.stream.shutdown(Shutdown::Both);
             entry.join();
             self.shared.counters.note_closed();
+            if let Some(on_close) = &self.shared.on_close {
+                on_close(id);
+            }
         }
     }
 }
@@ -231,15 +258,18 @@ fn reap_finished(shared: &Shared) {
             .collect();
         for id in ids {
             if let Some(entry) = conns.remove(&id) {
-                finished.push(entry);
+                finished.push((id, entry));
             }
         }
     }
     // Both threads have already exited, so these joins cannot block;
     // they run outside the lock regardless.
-    for mut entry in finished {
+    for (id, mut entry) in finished {
         entry.join();
         shared.counters.note_closed();
+        if let Some(on_close) = &shared.on_close {
+            on_close(id);
+        }
     }
 }
 

@@ -1,0 +1,230 @@
+//! **E-fed**: broker federation and the durable segment log.
+//!
+//! Four measurements around the PR-8 tentpole (DESIGN §6.12):
+//!
+//! * `seglog_append` — raw durable-append rate per fsync policy
+//!   (`Never` / `EveryN(32)` / `Always`), 64-byte payloads. This is
+//!   the price of durability at the publish path, isolated from the
+//!   broker.
+//! * `replay_catchup` — a federation link joins *after* N durable
+//!   events exist and pulls the whole history across the wire
+//!   (replay-from-seq, then live cutover). Reported as events/s and
+//!   MiB/s of catch-up bandwidth at the subscriber.
+//! * `fanout_economics` — frames written by the origin for M events
+//!   with 1 vs 5 local subscribers behind the same link: the frame
+//!   count must not scale with local fan-out (once-per-link).
+//! * `reconnect` — the origin broker is dropped and recovered on the
+//!   same address from the same log; reported is the gap between
+//!   recovery and the subscriber seeing the first post-recovery event
+//!   (includes jittered backoff, resubscribe, and gap replay).
+//!
+//! Smoke mode (`--test`, used by CI) scales N down and asserts the
+//! exactly-once invariant instead of writing `BENCH_fed.json`.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use backbone::{
+    Broker, DurableSpec, Event, FederatedBroker, FederationLink, LinkConfig, NetConfig,
+    StreamConfig,
+};
+use xml2wire::{FsyncPolicy, SegLogConfig, SegmentLog};
+
+const STREAM: &str = "flights";
+const PAYLOAD: usize = 64;
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("x2w-fedbench-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn tight_link(streams: &[&str]) -> LinkConfig {
+    let mut config = LinkConfig::new(streams.iter().copied());
+    config.policy.backoff_base = Duration::from_millis(5);
+    config.policy.backoff_max = Duration::from_millis(50);
+    config
+}
+
+struct AppendPoint {
+    policy: &'static str,
+    appends: usize,
+    elapsed: Duration,
+}
+
+fn seglog_append(policy: FsyncPolicy, label: &'static str, appends: usize) -> AppendPoint {
+    let dir = temp_dir(label);
+    let mut log = SegmentLog::open(&dir, SegLogConfig { fsync: policy, ..Default::default() })
+        .expect("open log");
+    let payload = vec![0x5au8; PAYLOAD];
+    let start = Instant::now();
+    for seq in 1..=appends as u64 {
+        log.append(seq, &payload).expect("append");
+    }
+    log.sync().expect("final sync");
+    let elapsed = start.elapsed();
+    drop(log);
+    let _ = std::fs::remove_dir_all(&dir);
+    AppendPoint { policy: label, appends, elapsed }
+}
+
+fn publish_n(broker: &Broker, n: usize) {
+    let payload = vec![0x5au8; PAYLOAD];
+    for _ in 0..n {
+        broker.publish(Event::new(STREAM, "bench", payload.clone())).expect("publish");
+    }
+}
+
+fn per_sec(count: usize, elapsed: Duration) -> f64 {
+    count as f64 / elapsed.as_secs_f64().max(1e-9)
+}
+
+/// Reads `frames_written` after it stops moving. The shard thread
+/// bumps the counter just *after* the kernel write, so a subscriber
+/// can observe the last event microseconds before the count does —
+/// settle before asserting exact frame economics.
+fn settled_frames(fed: &FederatedBroker) -> u64 {
+    let mut last = fed.net_stats().frames_written;
+    loop {
+        std::thread::sleep(Duration::from_millis(20));
+        let now = fed.net_stats().frames_written;
+        if now == last {
+            return now;
+        }
+        last = now;
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--test");
+    let n: usize = if smoke { 2_000 } else { 20_000 };
+
+    // ---- 1. Raw durable-append rates. ----
+    let append_points = vec![
+        seglog_append(FsyncPolicy::Never, "never", n),
+        seglog_append(FsyncPolicy::EveryN(32), "every32", n),
+        seglog_append(FsyncPolicy::Always, "always", n.min(2_000)),
+    ];
+    println!("e_fed seglog_append ({PAYLOAD}-byte payloads):");
+    for p in &append_points {
+        println!(
+            "  fsync={:<8} {:>8} appends in {:>9.2?}  ({:>10.0}/s)",
+            p.policy,
+            p.appends,
+            p.elapsed,
+            per_sec(p.appends, p.elapsed)
+        );
+    }
+
+    // ---- 2. Late-join replay catch-up across a link. ----
+    let dir = temp_dir("replay");
+    let origin = Arc::new(Broker::new());
+    origin
+        .create_stream_durable(
+            STREAM,
+            StreamConfig::default(),
+            DurableSpec::new(&dir),
+        )
+        .expect("durable stream");
+    publish_n(&origin, n);
+    let fed = FederatedBroker::bind(Arc::clone(&origin), "127.0.0.1:0", NetConfig::default())
+        .expect("bind origin");
+    let origin_addr = fed.local_addr();
+
+    let site = Arc::new(Broker::new());
+    site.create_stream(STREAM, None);
+    let sub = site.subscribe(STREAM).expect("subscribe");
+    let start = Instant::now();
+    let link = FederationLink::connect(origin_addr, Arc::clone(&site), tight_link(&[STREAM]))
+        .expect("link");
+    let mut next = 1u64;
+    while next <= n as u64 {
+        let event = sub.recv_timeout(Duration::from_secs(30)).expect("replayed event");
+        assert_eq!(event.seq, next, "replay out of order");
+        next += 1;
+    }
+    let catchup = start.elapsed();
+    println!(
+        "e_fed replay_catchup: {n} events in {catchup:.2?}  ({:.0}/s, {:.1} MiB/s)",
+        per_sec(n, catchup),
+        n as f64 * PAYLOAD as f64 / catchup.as_secs_f64().max(1e-9) / (1024.0 * 1024.0),
+    );
+
+    // ---- 3. Once-per-link economics. ----
+    let m = if smoke { 500 } else { 2_000 };
+    let extra: Vec<_> = (0..4).map(|_| site.subscribe(STREAM).expect("subscribe")).collect();
+    let frames_before = settled_frames(&fed);
+    publish_n(&origin, m);
+    for want in (n + 1)..=(n + m) {
+        let event = sub.recv_timeout(Duration::from_secs(30)).expect("live event");
+        assert_eq!(event.seq, want as u64);
+        for e in &extra {
+            assert_eq!(e.recv_timeout(Duration::from_secs(30)).expect("fanout copy").seq, want as u64);
+        }
+    }
+    let frames = settled_frames(&fed) - frames_before;
+    println!(
+        "e_fed fanout_economics: {m} events to 5 local subscribers cost {frames} link frames \
+         ({} local deliveries)",
+        m * 5,
+    );
+    assert_eq!(frames, m as u64, "link frames must not scale with local fan-out");
+
+    // ---- 4. Kill / recovery convergence. ----
+    drop(fed);
+    drop(origin);
+    let origin2 = Arc::new(Broker::new());
+    let recovered = origin2
+        .create_stream_durable(STREAM, StreamConfig::default(), DurableSpec::new(&dir))
+        .expect("recover stream");
+    assert_eq!(recovered, (n + m) as u64, "recovery lost the sequence");
+    let start = Instant::now();
+    let fed2 = FederatedBroker::bind(Arc::clone(&origin2), origin_addr, NetConfig::default())
+        .expect("rebind origin");
+    publish_n(&origin2, 1);
+    let event = sub.recv_timeout(Duration::from_secs(30)).expect("post-recovery event");
+    let convergence = start.elapsed();
+    assert_eq!(event.seq, (n + m + 1) as u64, "post-recovery event out of sequence");
+    println!(
+        "e_fed reconnect: link recovered across an origin kill in {convergence:.2?} \
+         (backoff + resubscribe + gap replay); link stats {:?}",
+        link.stats(),
+    );
+
+    drop(link);
+    drop(fed2);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    if smoke {
+        println!("smoke mode: invariants held, no timings recorded");
+        return;
+    }
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"experiment\": \"e_fed\",\n",
+            "  \"payload_bytes\": {payload},\n",
+            "  \"seglog_append_per_sec\": {{ {appends} }},\n",
+            "  \"replay_catchup\": {{ \"events\": {n}, \"secs\": {catchup:.6}, \"events_per_sec\": {cps:.0} }},\n",
+            "  \"fanout\": {{ \"events\": {m}, \"link_frames\": {frames}, \"local_subscribers\": 5 }},\n",
+            "  \"reconnect_secs\": {reconnect:.6}\n",
+            "}}\n"
+        ),
+        payload = PAYLOAD,
+        appends = append_points
+            .iter()
+            .map(|p| format!("\"{}\": {:.0}", p.policy, per_sec(p.appends, p.elapsed)))
+            .collect::<Vec<_>>()
+            .join(", "),
+        n = n,
+        catchup = catchup.as_secs_f64(),
+        cps = per_sec(n, catchup),
+        m = m,
+        frames = frames,
+        reconnect = convergence.as_secs_f64(),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fed.json");
+    std::fs::write(path, json).expect("write BENCH_fed.json");
+    println!("wrote {path}");
+}

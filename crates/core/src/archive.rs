@@ -30,6 +30,8 @@ pub const ARCHIVE_MAGIC: &[u8; 8] = b"X2WARCHV";
 pub const ARCHIVE_VERSION: u8 = 1;
 /// Corruption guard for embedded schema documents.
 const MAX_SCHEMA: u32 = 16 * 1024 * 1024;
+/// Corruption guard for the schema dictionary entry count.
+const MAX_SCHEMAS: u32 = 4096;
 
 /// Writes a self-contained archive.
 ///
@@ -145,7 +147,7 @@ impl<R: Read> ArchiveReader<R> {
         let mut len4 = [0u8; 4];
         source.read_exact(&mut len4).map_err(io)?;
         let schema_count = u32::from_le_bytes(len4);
-        if schema_count > 4096 {
+        if schema_count > MAX_SCHEMAS {
             return Err(X2wError::Bcm(PbioError::Text {
                 detail: format!("implausible schema count {schema_count}"),
             }));
@@ -159,8 +161,20 @@ impl<R: Read> ArchiveReader<R> {
                     detail: format!("embedded schema of {len} bytes exceeds the limit"),
                 }));
             }
-            let mut doc = vec![0u8; len as usize];
-            source.read_exact(&mut doc).map_err(io)?;
+            // Read through a `take` so a forged length allocates no more
+            // than the bytes actually present, then verify the claim.
+            let mut doc = Vec::new();
+            let got = source
+                .by_ref()
+                .take(u64::from(len))
+                .read_to_end(&mut doc)
+                .map_err(io)?;
+            if got != len as usize {
+                return Err(X2wError::Bcm(PbioError::Truncated {
+                    need: len as usize,
+                    have: got,
+                }));
+            }
             let text = String::from_utf8(doc).map_err(|_| {
                 X2wError::Bcm(PbioError::Text {
                     detail: "embedded schema is not UTF-8".to_owned(),
@@ -191,17 +205,43 @@ impl<R: Read> ArchiveReader<R> {
         }
     }
 
-    /// Reads every remaining record.
+    /// Iterates over the remaining records one at a time.
     ///
-    /// # Errors
-    ///
-    /// Stops at the first failure.
-    pub fn read_all(&mut self) -> Result<Vec<(String, Record)>, X2wError> {
-        let mut out = Vec::new();
-        while let Some(entry) = self.next_record()? {
-            out.push(entry);
+    /// This is the bounded replacement for the old `read_all`: the
+    /// archive is decoded record by record with one record resident at
+    /// a time, so a multi-gigabyte (or maliciously unbounded) archive
+    /// never materializes in memory. Collect explicitly if a `Vec` is
+    /// genuinely wanted.
+    pub fn records(&mut self) -> ArchiveRecords<'_, R> {
+        ArchiveRecords { reader: self, failed: false }
+    }
+}
+
+/// Streaming iterator over an archive's records; holds one decoded
+/// record at a time.
+///
+/// Yields `Err` once at the first failure, then `None` (decoding past a
+/// corrupt record would produce garbage framing).
+#[derive(Debug)]
+pub struct ArchiveRecords<'a, R: Read> {
+    reader: &'a mut ArchiveReader<R>,
+    failed: bool,
+}
+
+impl<R: Read> Iterator for ArchiveRecords<'_, R> {
+    type Item = Result<(String, Record), X2wError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed {
+            return None;
         }
-        Ok(out)
+        match self.reader.next_record() {
+            Ok(entry) => entry.map(Ok),
+            Err(e) => {
+                self.failed = true;
+                Some(Err(e))
+            }
+        }
     }
 }
 
@@ -255,7 +295,7 @@ mod tests {
         let mut names = reader.format_names();
         names.sort();
         assert_eq!(names, vec!["Flight", "Weather"]);
-        let entries = reader.read_all().unwrap();
+        let entries: Vec<_> = reader.records().collect::<Result<_, _>>().unwrap();
         assert_eq!(entries.len(), 11);
         assert_eq!(entries[3].0, "Flight");
         assert_eq!(entries[3].1.get("fltNum").unwrap().as_i64(), Some(3));
@@ -266,7 +306,7 @@ mod tests {
     fn archive_written_on_foreign_architecture_reads_locally() {
         let bytes = write_archive(Architecture::SPARC32);
         let mut reader = ArchiveReader::open(&bytes[..]).unwrap();
-        let entries = reader.read_all().unwrap();
+        let entries: Vec<_> = reader.records().collect::<Result<_, _>>().unwrap();
         assert_eq!(entries.len(), 11);
         assert_eq!(entries[10].1.get("tempC").unwrap().as_f64(), Some(28.5));
     }
@@ -288,8 +328,12 @@ mod tests {
             .unwrap();
         let bytes = writer.finish().unwrap();
         let mut reader = ArchiveReader::open(&bytes[..]).unwrap();
-        let err = reader.read_all().unwrap_err();
+        let mut records = reader.records();
+        assert!(records.next().unwrap().is_ok());
+        assert!(records.next().unwrap().is_ok());
+        let err = records.next().unwrap().unwrap_err();
         assert!(err.to_string().contains("Weather"), "{err}");
+        assert!(records.next().is_none(), "iteration must stop after an error");
     }
 
     #[test]
@@ -311,7 +355,7 @@ mod tests {
         writer.declare_format("Flight").unwrap();
         let bytes = writer.finish().unwrap();
         let mut reader = ArchiveReader::open(&bytes[..]).unwrap();
-        assert!(reader.read_all().unwrap().is_empty());
+        assert!(reader.records().next().is_none());
         assert_eq!(reader.format_names(), vec!["Flight"]);
     }
 
@@ -327,5 +371,99 @@ mod tests {
         broken[9] = 0xFF;
         broken[10] = 0xFF;
         assert!(ArchiveReader::open(&broken[..]).is_err());
+    }
+
+    #[test]
+    fn truncation_at_every_cut_errors_not_panics() {
+        let bytes = write_archive(Architecture::host());
+        // Every prefix must either fail to open or fail while iterating
+        // — never panic, never loop forever, never fabricate records.
+        let full: Vec<_> = {
+            let mut reader = ArchiveReader::open(&bytes[..]).unwrap();
+            reader.records().collect::<Result<_, _>>().unwrap()
+        };
+        for cut in 0..bytes.len() {
+            if let Ok(mut reader) = ArchiveReader::open(&bytes[..cut]) {
+                let mut seen = 0usize;
+                for entry in reader.records() {
+                    match entry {
+                        Ok(_) => seen += 1,
+                        Err(_) => break,
+                    }
+                }
+                assert!(seen <= full.len(), "cut {cut} fabricated records");
+            }
+        }
+    }
+
+    #[test]
+    fn forged_schema_length_does_not_allocate_the_claim() {
+        // Header claims one schema of MAX_SCHEMA bytes but carries four:
+        // the reader must report truncation after the bytes actually
+        // present, not trust the claim.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(ARCHIVE_MAGIC);
+        bytes.push(ARCHIVE_VERSION);
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.extend_from_slice(&MAX_SCHEMA.to_le_bytes());
+        bytes.extend_from_slice(b"tiny");
+        let err = ArchiveReader::open(&bytes[..]).unwrap_err();
+        assert!(matches!(err, X2wError::Bcm(PbioError::Truncated { .. })), "{err}");
+
+        // And a claim over the limit is rejected before any read at all.
+        let mut over = Vec::new();
+        over.extend_from_slice(ARCHIVE_MAGIC);
+        over.push(ARCHIVE_VERSION);
+        over.extend_from_slice(&1u32.to_le_bytes());
+        over.extend_from_slice(&u32::MAX.to_le_bytes());
+        let err = ArchiveReader::open(&over[..]).unwrap_err();
+        assert!(err.to_string().contains("limit"), "{err}");
+    }
+
+    #[test]
+    fn forged_schema_count_is_clamped() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(ARCHIVE_MAGIC);
+        bytes.push(ARCHIVE_VERSION);
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        let err = ArchiveReader::open(&bytes[..]).unwrap_err();
+        assert!(err.to_string().contains("schema count"), "{err}");
+    }
+
+    #[test]
+    fn bit_flips_error_or_alter_but_never_panic() {
+        let bytes = write_archive(Architecture::host());
+        // Flip one bit at a spread of offsets across header, schema
+        // dictionary, and record region; open+iterate must stay sound.
+        for pos in (0..bytes.len()).step_by(7) {
+            let mut broken = bytes.clone();
+            broken[pos] ^= 0x04;
+            if let Ok(mut reader) = ArchiveReader::open(&broken[..]) {
+                for entry in reader.records() {
+                    if entry.is_err() {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn forged_record_length_is_clamped() {
+        let bytes = write_archive(Architecture::host());
+        // Find the embedded recfile magic, then forge the first record's
+        // length prefix to u32::MAX.
+        let rec_off = (0..bytes.len() - 8)
+            .find(|&i| &bytes[i..i + 8] == b"PBIOFILE")
+            .expect("embedded recfile magic");
+        let len_off = rec_off + 9;
+        let mut broken = bytes.clone();
+        broken[len_off..len_off + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        let mut reader = ArchiveReader::open(&broken[..]).unwrap();
+        let err = reader
+            .records()
+            .find_map(Result::err)
+            .expect("forged record length must not decode");
+        assert!(err.to_string().contains("limit"), "{err}");
     }
 }

@@ -523,6 +523,104 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_expiry_stale_serves_with_exactly_one_refresh() {
+        // The stale-while-revalidate worst case: N threads hit one
+        // *expired* entry at the same instant while the chain is down.
+        // Exactly one must lead the flight (serving stale and spawning
+        // the background refresh); every other thread must ride the
+        // flight instead of stampeding the chain or stacking refreshes.
+        const THREADS: usize = 8;
+
+        struct SlowFail {
+            fetches: Arc<AtomicU64>,
+            fail: Arc<std::sync::atomic::AtomicBool>,
+        }
+
+        impl DiscoverySource for SlowFail {
+            fn source_name(&self) -> &'static str {
+                "slow-fail"
+            }
+
+            fn fetch(&self, locator: &str) -> Result<String, X2wError> {
+                self.fetches.fetch_add(1, Ordering::SeqCst);
+                if self.fail.load(Ordering::SeqCst) {
+                    // A slow failure holds the singleflight open long
+                    // enough for every thread past the barrier to join
+                    // it, and holds the refreshing guard so no second
+                    // stale serve can double the refresh.
+                    std::thread::sleep(Duration::from_millis(150));
+                    Err(X2wError::Discovery {
+                        locator: locator.to_owned(),
+                        attempts: vec!["source is down".to_owned()],
+                    })
+                } else {
+                    Ok(DOC.to_owned())
+                }
+            }
+        }
+
+        let fetches = Arc::new(AtomicU64::new(0));
+        let fail = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let mut chain = DiscoveryChain::new();
+        chain.push(Box::new(SlowFail {
+            fetches: Arc::clone(&fetches),
+            fail: Arc::clone(&fail),
+        }));
+        let cache = SchemaCache::with_policy(
+            chain,
+            CachePolicy {
+                positive_ttl: Duration::from_millis(10),
+                stale_grace: Duration::from_secs(60),
+                background_refresh: true,
+                ..CachePolicy::default()
+            },
+        );
+
+        assert_eq!(*cache.fetch("a.xsd").unwrap(), DOC);
+        std::thread::sleep(Duration::from_millis(30)); // expire the entry
+        fail.store(true, Ordering::SeqCst);
+
+        let barrier = Arc::new(std::sync::Barrier::new(THREADS));
+        let threads: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let cache = cache.clone();
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    cache.fetch("a.xsd").unwrap()
+                })
+            })
+            .collect();
+        for t in threads {
+            assert_eq!(*t.join().unwrap(), DOC, "a thread lost the stale document");
+        }
+
+        // Let the (failing) background refresh settle before reading the
+        // counters.
+        std::thread::sleep(Duration::from_millis(200));
+        let snap = cache.stats().snapshot();
+        assert_eq!(
+            snap.background_refreshes, 1,
+            "expired entry under concurrency must spawn exactly one refresh: {snap:?}"
+        );
+        assert!(snap.stale_serves >= 1, "no thread was served stale: {snap:?}");
+        // Every thread either led a flight (stale serve) or joined one —
+        // none slipped through to hammer the chain directly.
+        assert_eq!(
+            snap.stale_serves + snap.singleflight_waits,
+            THREADS as u64,
+            "a thread bypassed the flight: {snap:?}"
+        );
+        // Chain traffic: the priming fetch, one fetch per flight leader,
+        // one background refresh — nothing more.
+        assert_eq!(
+            fetches.load(Ordering::SeqCst),
+            2 + snap.stale_serves,
+            "the chain was stampeded: {snap:?}"
+        );
+    }
+
+    #[test]
     fn singleflight_collapses_concurrent_fetches() {
         // A server whose generator stalls long enough for all threads to
         // pile onto one locator, then counts how many requests arrived.

@@ -87,8 +87,10 @@ impl DiscoveryPolicy {
     }
 
     /// The backoff to sleep before attempt `attempt` (1-based retry
-    /// index), jittered by `jitter` in `[0, 1)`.
-    pub(crate) fn backoff_before(&self, attempt: u32, jitter: f64) -> Duration {
+    /// index), jittered by `jitter` in `[0, 1)`. Public so other layers
+    /// (broker federation reconnect) reuse the same jittered-exponential
+    /// discipline instead of reinventing it.
+    pub fn backoff_before(&self, attempt: u32, jitter: f64) -> Duration {
         let base = self
             .backoff_base
             .saturating_mul(1u32 << (attempt - 1).min(16))

@@ -58,6 +58,7 @@ pub mod cache;
 pub mod discovery;
 pub mod error;
 pub mod idserver;
+pub mod seglog;
 pub mod server;
 pub mod session;
 pub mod typed;
@@ -71,8 +72,9 @@ pub use discovery::{
     CompiledSource, DiscoveryChain, DiscoveryPolicy, DiscoverySource, DiscoveryStats,
     DiscoveryStatsSnapshot, FileSource, SourceStatsSnapshot, UrlSource,
 };
-pub use archive::{ArchiveReader, ArchiveWriter};
+pub use archive::{ArchiveReader, ArchiveRecords, ArchiveWriter};
 pub use error::X2wError;
+pub use seglog::{FsyncPolicy, SegLogConfig, SegReplay, SegmentLog};
 pub use idserver::{FormatIdClient, FormatIdServer};
 pub use server::MetadataServer;
 pub use session::{Xml2Wire, Xml2WireBuilder};

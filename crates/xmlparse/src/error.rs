@@ -94,6 +94,14 @@ pub enum ErrorKind {
         /// The undeclared prefix.
         prefix: String,
     },
+    /// A single construct (tag, comment, CDATA, text run) exceeded the
+    /// streaming reader's configured window cap. The document may be
+    /// well-formed; it simply cannot be parsed within the memory bound
+    /// the caller imposed.
+    ConstructTooLarge {
+        /// The configured cap in bytes.
+        limit: usize,
+    },
     /// Free-form error raised by consumers layering on the parser.
     Custom {
         /// Human-readable description.
@@ -134,6 +142,9 @@ impl fmt::Display for ErrorKind {
             ErrorKind::NoRootElement => write!(f, "document has no root element"),
             ErrorKind::UndeclaredPrefix { prefix } => {
                 write!(f, "namespace prefix {prefix:?} is not declared")
+            }
+            ErrorKind::ConstructTooLarge { limit } => {
+                write!(f, "a single construct exceeded the {limit}-byte streaming window cap")
             }
             ErrorKind::Custom { message } => f.write_str(message),
         }

@@ -61,6 +61,6 @@ pub use error::{ErrorKind, Position, XmlError};
 pub use index::IndexReader;
 pub use qname::QName;
 pub use reader::{Attribute, BorrowedAttr, BorrowedEvent, Event, Reader, XmlDecl};
-pub use stream::{StreamingReader, DEFAULT_WINDOW};
+pub use stream::{StreamingReader, DEFAULT_MAX_WINDOW, DEFAULT_WINDOW};
 pub use tape::{EntryKind, StructEntry, Tape, TapeBuilder};
 pub use writer::{Writer, WriterConfig};

@@ -11,7 +11,12 @@
 //! the window (a megabyte comment, say) grows the buffer to hold that
 //! one construct and the buffer stays at the high-water mark thereafter;
 //! schema documents, whose constructs are tags and short text runs,
-//! stream at the configured window.
+//! stream at the configured window. Growth is not unbounded: a hard cap
+//! (default [`DEFAULT_MAX_WINDOW`], configurable via
+//! [`StreamingReader::with_limits`]) turns a construct that would
+//! outgrow it into a clean [`ErrorKind::ConstructTooLarge`] parse error
+//! instead of letting a hostile or corrupt source run the process out
+//! of memory one doubling at a time.
 //!
 //! Span carryover keeps every span intact: spans begin and end at ASCII
 //! delimiters, so chunk boundaries that fall inside tags, entities or
@@ -47,6 +52,12 @@ pub const DEFAULT_WINDOW: usize = 128 * 1024;
 /// (they force carryover on every construct), but they must still make
 /// progress on a multi-byte opener like `<![CDATA[`.
 const MIN_WINDOW: usize = 16;
+
+/// Default hard cap on window growth: 64 MiB, matching the largest
+/// record the archive layer will ever hand a parser. A single tag,
+/// comment or text run past this size is almost certainly a corrupt
+/// length or an adversarial stream, not metadata.
+pub const DEFAULT_MAX_WINDOW: usize = 64 * 1024 * 1024;
 
 /// Validates a byte range of the window as UTF-8, returning early with
 /// [`ErrorKind::InvalidUtf8`] otherwise. A macro rather than a method so
@@ -164,6 +175,8 @@ pub struct StreamingReader<R> {
     builder: TapeBuilder,
     /// Refill target (grows only when a single construct outsizes it).
     window: usize,
+    /// Hard ceiling on `window` growth; exceeding it is a parse error.
+    max_window: usize,
     /// The source returned 0 bytes: `buf[..filled]` is the document tail.
     eof: bool,
     /// Whether the current window has been scanned at all.
@@ -181,10 +194,23 @@ impl<R: Read> StreamingReader<R> {
     }
 
     /// Streams `source` with an explicit refill window (clamped to a
-    /// small minimum). Peak buffer memory is `max(window, largest
-    /// construct)`.
+    /// small minimum) and the default growth cap. Peak buffer memory is
+    /// `max(window, largest construct)`, construct size capped at
+    /// [`DEFAULT_MAX_WINDOW`].
     pub fn with_window(source: R, window: usize) -> Self {
+        StreamingReader::with_limits(source, window, DEFAULT_MAX_WINDOW)
+    }
+
+    /// Streams `source` with an explicit refill window and an explicit
+    /// hard cap on window growth. A single construct that cannot be held
+    /// in `max_window` bytes fails the parse with
+    /// [`ErrorKind::ConstructTooLarge`] rather than growing the buffer
+    /// further — the memory bound a server enforces per untrusted
+    /// stream. `max_window` is clamped up to `window` so the reader can
+    /// always hold at least one full refill.
+    pub fn with_limits(source: R, window: usize, max_window: usize) -> Self {
         let window = window.max(MIN_WINDOW);
+        let max_window = max_window.max(window);
         StreamingReader {
             source,
             buf: Vec::new(),
@@ -194,6 +220,7 @@ impl<R: Read> StreamingReader<R> {
             next: 0,
             builder: TapeBuilder::new(),
             window,
+            max_window,
             eof: false,
             tape_valid: false,
             walker: Walker {
@@ -324,8 +351,18 @@ impl<R: Read> StreamingReader<R> {
             let mut target = self.window.max(self.filled);
             if self.filled == target && !self.eof {
                 // A full window with no walkable progress: the current
-                // construct spans the whole window, so grow.
-                target = target.saturating_mul(2);
+                // construct spans the whole window, so grow — but never
+                // past the cap. A construct the cap cannot hold is a
+                // parse error, not a license to eat memory.
+                let grown = target.saturating_mul(2).min(self.max_window);
+                if grown <= target {
+                    let pos = window_position(&self.buf[..self.filled], self.filled);
+                    return Err(XmlError::new(
+                        ErrorKind::ConstructTooLarge { limit: self.max_window },
+                        pos,
+                    ));
+                }
+                target = grown;
             }
             if self.buf.len() < target {
                 self.buf.resize(target, 0);
@@ -795,6 +832,61 @@ mod tests {
         assert!(matches!(r.next_event().unwrap(), Event::EndElement { .. }));
         assert!(matches!(r.next_event().unwrap(), Event::Eof));
         assert!(r.window_capacity() >= 1000);
+    }
+
+    #[test]
+    fn construct_at_the_cap_parses_and_one_past_it_errors() {
+        // A comment must sit in the window whole before its closing
+        // "-->" can be found, so the cap boundary is exact: a CAP-byte
+        // comment parses under a CAP-byte cap, one byte more cannot.
+        const CAP: usize = 64;
+        let fits = format!("<!--{}--><a/>", "c".repeat(CAP - 7));
+        let events = StreamingReader::with_limits(fits.as_bytes(), 16, CAP)
+            .collect_events()
+            .unwrap();
+        assert!(matches!(&events[0], Event::Comment(body) if body.len() == CAP - 7));
+
+        let over = format!("<!--{}--><a/>", "c".repeat(CAP - 6));
+        let err = StreamingReader::with_limits(over.as_bytes(), 16, CAP)
+            .collect_events()
+            .unwrap_err();
+        assert!(
+            matches!(err.kind(), ErrorKind::ConstructTooLarge { limit: CAP }),
+            "expected ConstructTooLarge at the cap, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn the_cap_is_an_error_not_a_hang_on_an_endless_source() {
+        // An adversarial source that streams an unterminated comment
+        // forever must hit the cap and fail cleanly instead of growing
+        // the buffer without bound (or spinning on zero progress).
+        struct Endless;
+        impl Read for Endless {
+            fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+                out.fill(b'z');
+                Ok(out.len())
+            }
+        }
+        let mut r = StreamingReader::with_limits(
+            std::io::Read::chain(&b"<!--"[..], Endless),
+            16,
+            1024,
+        );
+        let err = r.next_event().unwrap_err();
+        assert!(matches!(err.kind(), ErrorKind::ConstructTooLarge { limit: 1024 }));
+        assert!(r.window_capacity() <= 1024, "grew past the cap: {}", r.window_capacity());
+    }
+
+    #[test]
+    fn a_cap_below_the_window_is_clamped_up() {
+        // max_window below window would make every refill an error;
+        // the constructor clamps it so one full window always fits.
+        let doc = "<a>some text that fits in one default window</a>";
+        let events = StreamingReader::with_limits(doc.as_bytes(), 64, 1)
+            .collect_events()
+            .unwrap();
+        assert_eq!(events.len(), 3);
     }
 
     #[test]

@@ -145,7 +145,7 @@ fn the_whole_system_interoperates() {
     // --- Archive replays with zero prior knowledge ------------------------
     let bytes = archive.finish().unwrap();
     let mut replay = ArchiveReader::open(&bytes[..]).unwrap();
-    let entries = replay.read_all().unwrap();
+    let entries: Vec<_> = replay.records().collect::<Result<_, _>>().unwrap();
     assert_eq!(entries.len(), 10);
     assert_eq!(entries[3].1.get("crewNotes").unwrap().as_str(), Some("note 3"));
 
