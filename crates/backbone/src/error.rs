@@ -30,6 +30,15 @@ pub enum BackboneError {
         /// Explanation.
         detail: String,
     },
+    /// A subscription predicate failed to parse, typecheck or compile.
+    Filter(crate::filter::FilterError),
+    /// A filtered subscription was requested on a stream whose struct
+    /// type the broker does not know (see
+    /// [`crate::Broker::register_stream_type`]).
+    NoFilterType {
+        /// The requested stream.
+        name: String,
+    },
 }
 
 impl fmt::Display for BackboneError {
@@ -43,6 +52,10 @@ impl fmt::Display for BackboneError {
                 write!(f, "stream {name:?} has no durable log to replay")
             }
             BackboneError::BadFrame { detail } => write!(f, "malformed frame: {detail}"),
+            BackboneError::Filter(e) => write!(f, "{e}"),
+            BackboneError::NoFilterType { name } => {
+                write!(f, "stream {name:?} has no registered struct type to filter on")
+            }
         }
     }
 }
@@ -52,8 +65,15 @@ impl StdError for BackboneError {
         match self {
             BackboneError::Io(e) => Some(e),
             BackboneError::Metadata(e) => Some(e),
+            BackboneError::Filter(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+impl From<crate::filter::FilterError> for BackboneError {
+    fn from(e: crate::filter::FilterError) -> Self {
+        BackboneError::Filter(e)
     }
 }
 

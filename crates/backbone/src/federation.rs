@@ -30,17 +30,32 @@
 //!
 //! ## Wire protocol
 //!
-//! Three reserved control streams ride the ordinary framed transport:
+//! Four reserved control streams ride the ordinary framed transport:
 //!
-//! | frame stream    | payload                                 | direction |
-//! |-----------------|-----------------------------------------|-----------|
-//! | `x2w.fed.sub`   | `u64 LE from_seq ∥ stream name`         | link → broker |
-//! | `x2w.fed.unsub` | `stream name`                           | link → broker |
-//! | `x2w.fed.subok` | `u64 LE cutover seq ∥ stream name`      | broker → link |
+//! | frame stream     | payload                                                    | direction |
+//! |------------------|------------------------------------------------------------|-----------|
+//! | `x2w.fed.sub`    | `u64 LE from_seq ∥ u16 LE stream len ∥ stream ∥ predicate` | link → broker |
+//! | `x2w.fed.unsub`  | `stream name`                                              | link → broker |
+//! | `x2w.fed.subok`  | `u64 LE cutover seq ∥ stream name`                         | broker → link |
+//! | `x2w.fed.suberr` | `u16 LE stream len ∥ stream ∥ error text`                  | broker → link |
+//!
+//! A subscription's predicate (usually empty) is a [`crate::filter`]
+//! expression the serving broker compiles against the stream's
+//! registered struct type and evaluates **before** frames reach the
+//! wire — filtering is pushed upstream of the link, so a 1%-selective
+//! subscriber costs 1% of the link bandwidth. A predicate the serving
+//! broker cannot compile (no registered type, parse/typecheck failure)
+//! is refused with `x2w.fed.suberr`; the link counts it and falls back
+//! to an unfiltered subscription, because downstream filtering is an
+//! optimization, never a correctness requirement.
 //!
 //! Forwarded events use the stream's own name as the frame stream and
-//! the payload `u64 LE seq ∥ u16 LE format-name len ∥ format name ∥
-//! event payload`.
+//! the payload `u64 LE seq ∥ u8 hops ∥ u16 LE format-name len ∥
+//! format name ∥ event payload`. The hop count is incremented by each
+//! link that republishes the event; a link drops events that arrive at
+//! its configured ceiling ([`LinkConfig::max_hops`]), which is what
+//! keeps frames from circulating forever in cyclic (mesh) topologies —
+//! seq-based dedup only protects durable traffic.
 
 use std::collections::HashMap;
 use std::net::SocketAddr;
@@ -56,6 +71,7 @@ use xml2wire::DiscoveryPolicy;
 
 use crate::broker::{Broker, Event, ReplaySubscription, Subscription};
 use crate::error::BackboneError;
+use crate::filter::StreamFilter;
 use crate::net::{
     ClientCloser, CloseHandler, ConnId, EventClient, EventServer, Frame, NetConfig,
     RoutedHandler, ServerHandle, TrySendError,
@@ -67,21 +83,35 @@ pub const FED_SUB: &str = "x2w.fed.sub";
 pub const FED_UNSUB: &str = "x2w.fed.unsub";
 /// Control stream: the serving broker's subscription acknowledgement.
 pub const FED_SUBOK: &str = "x2w.fed.subok";
+/// Control stream: the serving broker's refusal of a subscription's
+/// predicate (the subscription itself is *not* established; the link
+/// retries without the predicate).
+pub const FED_SUBERR: &str = "x2w.fed.suberr";
 
 /// How long a forwarder waits on its subscription per stop-flag check.
 /// Bounds both reaction time to link loss and the cost of a clean stop.
 const FORWARD_TICK: Duration = Duration::from_millis(25);
 
+/// How many queued events a forwarder drains into one batched flush.
+/// Bounds per-flush memory while letting a replay catch-up burst cross
+/// as a few writev-coalesced pushes instead of one push per event.
+const FORWARD_BATCH: usize = 64;
+
+/// Default [`LinkConfig::max_hops`]: far above any sane federation
+/// diameter, small enough that an accidental cycle self-extinguishes.
+pub const DEFAULT_MAX_HOPS: u8 = 8;
+
 /// Bound on the exponential-backoff retry index so reconnect sleeps
 /// plateau at the policy's `backoff_max` instead of overflowing.
 const MAX_BACKOFF_ATTEMPT: u32 = 16;
 
-/// Encodes a forwarded event: `seq ∥ format-name len ∥ format name ∥
-/// payload` under the stream's own frame name.
+/// Encodes a forwarded event: `seq ∥ hops ∥ format-name len ∥ format
+/// name ∥ payload` under the stream's own frame name.
 fn encode_event_frame(event: &Event) -> Frame {
     let name = event.format_name.as_bytes();
-    let mut payload = Vec::with_capacity(10 + name.len() + event.payload.len());
+    let mut payload = Vec::with_capacity(11 + name.len() + event.payload.len());
     payload.extend_from_slice(&event.seq.to_le_bytes());
+    payload.push(event.hops);
     payload.extend_from_slice(&(name.len() as u16).to_le_bytes());
     payload.extend_from_slice(name);
     payload.extend_from_slice(&event.payload);
@@ -91,28 +121,29 @@ fn encode_event_frame(event: &Event) -> Frame {
 /// Decodes a forwarded event frame back into an [`Event`].
 fn decode_event_frame(frame: Frame) -> Result<Event, BackboneError> {
     let Frame { stream, mut payload } = frame;
-    if payload.len() < 10 {
+    if payload.len() < 11 {
         return Err(BackboneError::BadFrame {
             detail: format!("federated event on {stream:?} shorter than its header"),
         });
     }
     let seq = u64::from_le_bytes(payload[..8].try_into().expect("length checked"));
-    let name_len = usize::from(u16::from_le_bytes([payload[8], payload[9]]));
-    if payload.len() < 10 + name_len {
+    let hops = payload[8];
+    let name_len = usize::from(u16::from_le_bytes([payload[9], payload[10]]));
+    if payload.len() < 11 + name_len {
         return Err(BackboneError::BadFrame {
             detail: format!("federated event on {stream:?} truncates its format name"),
         });
     }
-    let format_name = std::str::from_utf8(&payload[10..10 + name_len])
+    let format_name = std::str::from_utf8(&payload[11..11 + name_len])
         .map_err(|_| BackboneError::BadFrame {
             detail: format!("federated event on {stream:?} has a non-UTF-8 format name"),
         })?
         .to_owned();
-    payload.drain(..10 + name_len);
-    Ok(Event::with_seq(stream, format_name, payload, seq))
+    payload.drain(..11 + name_len);
+    Ok(Event { stream: stream.into(), format_name: format_name.into(), payload, seq, hops })
 }
 
-/// Encodes a `u64 ∥ stream name` control payload (shared by sub/subok).
+/// Encodes a `u64 ∥ stream name` control payload (`x2w.fed.subok`).
 fn encode_control(seq: u64, stream: &str) -> Vec<u8> {
     let mut payload = Vec::with_capacity(8 + stream.len());
     payload.extend_from_slice(&seq.to_le_bytes());
@@ -127,6 +158,57 @@ fn decode_control(payload: &[u8]) -> Option<(u64, &str)> {
     }
     let seq = u64::from_le_bytes(payload[..8].try_into().expect("length checked"));
     std::str::from_utf8(&payload[8..]).ok().map(|name| (seq, name))
+}
+
+/// Encodes a `x2w.fed.sub` payload: `from_seq ∥ stream len ∥ stream ∥
+/// predicate` (the predicate may be empty — an unfiltered subscription).
+fn encode_sub(from_seq: u64, stream: &str, predicate: &str) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(10 + stream.len() + predicate.len());
+    payload.extend_from_slice(&from_seq.to_le_bytes());
+    payload.extend_from_slice(&(stream.len() as u16).to_le_bytes());
+    payload.extend_from_slice(stream.as_bytes());
+    payload.extend_from_slice(predicate.as_bytes());
+    payload
+}
+
+/// Decodes a `x2w.fed.sub` payload into `(from_seq, stream, predicate)`.
+fn decode_sub(payload: &[u8]) -> Option<(u64, &str, &str)> {
+    if payload.len() < 10 {
+        return None;
+    }
+    let from_seq = u64::from_le_bytes(payload[..8].try_into().expect("length checked"));
+    let stream_len = usize::from(u16::from_le_bytes([payload[8], payload[9]]));
+    let rest = payload.get(10..)?;
+    if rest.len() < stream_len {
+        return None;
+    }
+    let stream = std::str::from_utf8(&rest[..stream_len]).ok()?;
+    let predicate = std::str::from_utf8(&rest[stream_len..]).ok()?;
+    Some((from_seq, stream, predicate))
+}
+
+/// Encodes a `x2w.fed.suberr` payload: `stream len ∥ stream ∥ error`.
+fn encode_suberr(stream: &str, detail: &str) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(2 + stream.len() + detail.len());
+    payload.extend_from_slice(&(stream.len() as u16).to_le_bytes());
+    payload.extend_from_slice(stream.as_bytes());
+    payload.extend_from_slice(detail.as_bytes());
+    payload
+}
+
+/// Decodes a `x2w.fed.suberr` payload into `(stream, error text)`.
+fn decode_suberr(payload: &[u8]) -> Option<(&str, &str)> {
+    if payload.len() < 2 {
+        return None;
+    }
+    let stream_len = usize::from(u16::from_le_bytes([payload[0], payload[1]]));
+    let rest = payload.get(2..)?;
+    if rest.len() < stream_len {
+        return None;
+    }
+    let stream = std::str::from_utf8(&rest[..stream_len]).ok()?;
+    let detail = std::str::from_utf8(&rest[stream_len..]).ok()?;
+    Some((stream, detail))
 }
 
 /// Either face of a serving-side subscription: catch-up replay for
@@ -289,9 +371,12 @@ impl Drop for FederatedBroker {
     }
 }
 
-/// Serves one `x2w.fed.sub`: subscribes locally (replay-from-seq when
-/// the stream is durable) and spawns the forwarder pump. Replies
-/// `x2w.fed.subok` carrying the replay cutover seq (0 when live-only).
+/// Serves one `x2w.fed.sub`: compiles the predicate (if any), then
+/// subscribes locally (replay-from-seq when the stream is durable) and
+/// spawns the forwarder pump. Replies `x2w.fed.subok` carrying the
+/// replay cutover seq (0 when live-only), or `x2w.fed.suberr` when the
+/// predicate does not compile (no forwarder is created — the link
+/// resubscribes without it).
 fn handle_subscribe(
     broker: &Arc<Broker>,
     forwarders: &Arc<ForwarderMap>,
@@ -299,13 +384,25 @@ fn handle_subscribe(
     conn: ConnId,
     payload: &[u8],
 ) -> Option<Frame> {
-    let (from_seq, name) = decode_control(payload)?;
+    let (from_seq, name, predicate) = decode_sub(payload)?;
     let key = (conn, name.to_owned());
     if forwarders.lock().contains_key(&key) {
         // Duplicate subscribe on a live link: the existing forwarder
         // already covers it; re-acking keeps the operation idempotent.
         return Some(Frame::new(FED_SUBOK, encode_control(0, name)));
     }
+    // Compile before subscribing, so a refused predicate leaves no
+    // dangling local subscription behind.
+    let filter = if predicate.is_empty() {
+        None
+    } else {
+        match broker.compile_filter(name, predicate) {
+            Ok(filter) => Some(filter),
+            Err(err) => {
+                return Some(Frame::new(FED_SUBERR, encode_suberr(name, &err.to_string())))
+            }
+        }
+    };
     let (feed, cutover) = match broker.subscribe_replay(name, from_seq) {
         Ok(replay) => {
             let cutover = replay.cutover_seq();
@@ -330,47 +427,102 @@ fn handle_subscribe(
         let stop = Arc::clone(&stop);
         std::thread::Builder::new()
             .name(format!("fed-forward-{conn}"))
-            .spawn(move || forward_loop(feed, &handle, conn, &stop))
+            .spawn(move || forward_loop(feed, filter, &handle, conn, &stop))
             .ok()?
     };
     forwarders.lock().insert(key, Forwarder { stop, thread: Some(thread) });
     Some(Frame::new(FED_SUBOK, encode_control(cutover, name)))
 }
 
-/// The forwarder pump: local subscription → link connection, one frame
-/// per event, until stopped (link closed, unsubscribe, server drop),
-/// the broker disconnects, or the transport reports the push dead.
+/// The forwarder pump: local subscription → link connection, batched,
+/// until stopped (link closed, unsubscribe, server drop), the broker
+/// disconnects, or the transport reports the push dead.
 ///
-/// A full connection queue is backpressure, not loss: a replay
-/// catch-up burst outruns the wire by orders of magnitude, so the pump
-/// holds the frame and retries until the peer drains — `send`'s
-/// drop-on-overflow policy here would shed exactly the events the
-/// durable log just promised to deliver.
-fn forward_loop(mut feed: Feed, handle: &ServerHandle, conn: ConnId, stop: &AtomicBool) {
+/// The pump blocks up to one [`FORWARD_TICK`] for the first event,
+/// then drains whatever the subscription already holds (up to
+/// [`FORWARD_BATCH`]) into a single [`ServerHandle::send_batch`] — a
+/// replay catch-up burst crosses as a few writev-coalesced pushes
+/// instead of one push (one waker write) per event. Events a
+/// predicate-scoped subscription does not match are dropped here,
+/// before they ever reach the wire.
+fn forward_loop(
+    mut feed: Feed,
+    filter: Option<Arc<StreamFilter>>,
+    handle: &ServerHandle,
+    conn: ConnId,
+    stop: &AtomicBool,
+) {
+    let passes = |event: &Event| match &filter {
+        Some(filter) => filter.matches_message(&event.payload),
+        None => true,
+    };
+    let mut batch: Vec<(ConnId, Frame)> = Vec::with_capacity(FORWARD_BATCH);
     while !stop.load(Ordering::SeqCst) {
         match feed.try_recv_for(FORWARD_TICK) {
             Ok(Some(event)) => {
-                let mut frame = encode_event_frame(&event);
-                loop {
-                    match handle.try_send(conn, frame) {
-                        Ok(()) => break,
-                        Err(TrySendError::Busy(returned)) => {
-                            if stop.load(Ordering::SeqCst) {
-                                return;
-                            }
-                            frame = returned;
-                            std::thread::sleep(Duration::from_millis(1));
-                        }
-                        Err(TrySendError::Gone(_)) => {
-                            return; // connection or server definitively gone
-                        }
-                    }
+                if passes(&event) {
+                    batch.push((conn, encode_event_frame(&event)));
                 }
             }
-            Ok(None) => {}
+            Ok(None) => continue,
             Err(_) => return, // broker shut down (or corrupt archive)
         }
+        while batch.len() < FORWARD_BATCH {
+            match feed.try_recv_for(Duration::ZERO) {
+                Ok(Some(event)) => {
+                    if passes(&event) {
+                        batch.push((conn, encode_event_frame(&event)));
+                    }
+                }
+                Ok(None) => break,
+                Err(_) => {
+                    let _ = flush_batch(handle, &mut batch, stop);
+                    return;
+                }
+            }
+        }
+        if !flush_batch(handle, &mut batch, stop) {
+            return;
+        }
     }
+}
+
+/// Flushes a forwarder batch without loss or reorder: `send_batch`
+/// rejects a contiguous per-connection tail (see
+/// [`ServerHandle::send_batch`]), so retrying the rejected frames in
+/// order through `try_send` keeps the connection's stream sequential.
+/// A full queue is backpressure, not loss — a replay catch-up burst
+/// outruns the wire by orders of magnitude, so the pump holds each
+/// rejected frame and retries until the peer drains; dropping here
+/// would shed exactly the events the durable log just promised.
+/// Returns `false` when the connection (or server) is definitively
+/// gone.
+fn flush_batch(
+    handle: &ServerHandle,
+    batch: &mut Vec<(ConnId, Frame)>,
+    stop: &AtomicBool,
+) -> bool {
+    if batch.is_empty() {
+        return true;
+    }
+    for (conn, mut frame) in handle.send_batch(std::mem::take(batch)) {
+        loop {
+            if stop.load(Ordering::SeqCst) {
+                return false;
+            }
+            match handle.try_send(conn, frame) {
+                Ok(()) => break,
+                Err(TrySendError::Busy(returned)) => {
+                    frame = returned;
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                Err(TrySendError::Gone(_)) => {
+                    return false; // connection or server definitively gone
+                }
+            }
+        }
+    }
+    true
 }
 
 /// Configuration for one [`FederationLink`].
@@ -379,12 +531,24 @@ pub struct LinkConfig {
     /// Streams to pull from the remote broker. One link-side
     /// subscription each — local fan-out happens on the local broker.
     pub streams: Vec<String>,
+    /// Per-stream predicates ([`crate::filter`] expressions) the
+    /// serving broker evaluates *before* frames reach the wire. A
+    /// predicate the remote refuses (`x2w.fed.suberr`) is dropped and
+    /// the stream resubscribed unfiltered — filtering upstream is an
+    /// optimization, never a correctness requirement.
+    pub filters: HashMap<String, String>,
     /// Reconnect backoff discipline (`backoff_base`/`backoff_max`
     /// drive the jittered-exponential sleeps between attempts).
     pub policy: DiscoveryPolicy,
     /// Seed for the jitter source, so tests can make reconnect timing
     /// deterministic.
     pub jitter_seed: u64,
+    /// Hop ceiling: events arriving over the link with this many hops
+    /// already on them are dropped (counted in
+    /// [`LinkStats::cycle_drops`]) instead of being republished, so a
+    /// cyclic broker topology cannot circulate a frame forever.
+    /// Defaults to [`DEFAULT_MAX_HOPS`].
+    pub max_hops: u8,
 }
 
 impl LinkConfig {
@@ -392,9 +556,30 @@ impl LinkConfig {
     pub fn new<S: Into<String>>(streams: impl IntoIterator<Item = S>) -> Self {
         LinkConfig {
             streams: streams.into_iter().map(Into::into).collect(),
+            filters: HashMap::new(),
             policy: DiscoveryPolicy::default(),
             jitter_seed: 0x5EED_11AC,
+            max_hops: DEFAULT_MAX_HOPS,
         }
+    }
+
+    /// Attaches a serving-side predicate to one of the configured
+    /// streams.
+    #[must_use]
+    pub fn with_filter(
+        mut self,
+        stream: impl Into<String>,
+        predicate: impl Into<String>,
+    ) -> Self {
+        self.filters.insert(stream.into(), predicate.into());
+        self
+    }
+
+    /// Sets the forwarded-event hop ceiling.
+    #[must_use]
+    pub fn with_max_hops(mut self, max_hops: u8) -> Self {
+        self.max_hops = max_hops;
+        self
     }
 }
 
@@ -405,6 +590,8 @@ struct LinkCounters {
     reconnect_attempts: AtomicU64,
     events_forwarded: AtomicU64,
     duplicates_dropped: AtomicU64,
+    cycle_drops: AtomicU64,
+    filter_rejected: AtomicU64,
     protocol_errors: AtomicU64,
     connected: AtomicBool,
 }
@@ -421,6 +608,14 @@ pub struct LinkStats {
     pub events_forwarded: u64,
     /// Events dropped as replay/reconnect duplicates (seq already seen).
     pub duplicates_dropped: u64,
+    /// Events dropped at the hop ceiling ([`LinkConfig::max_hops`]) —
+    /// nonzero means a cyclic topology fed this link frames that had
+    /// already been around.
+    pub cycle_drops: u64,
+    /// Subscription predicates the serving broker refused
+    /// (`x2w.fed.suberr`); each was replaced by an unfiltered
+    /// subscription.
+    pub filter_rejected: u64,
     /// Malformed frames ignored.
     pub protocol_errors: u64,
     /// Whether the link is currently up.
@@ -492,6 +687,8 @@ impl FederationLink {
             reconnect_attempts: self.counters.reconnect_attempts.load(Ordering::Relaxed),
             events_forwarded: self.counters.events_forwarded.load(Ordering::Relaxed),
             duplicates_dropped: self.counters.duplicates_dropped.load(Ordering::Relaxed),
+            cycle_drops: self.counters.cycle_drops.load(Ordering::Relaxed),
+            filter_rejected: self.counters.filter_rejected.load(Ordering::Relaxed),
             protocol_errors: self.counters.protocol_errors.load(Ordering::Relaxed),
             connected: self.counters.connected.load(Ordering::SeqCst),
         }
@@ -529,6 +726,9 @@ fn link_loop(
 ) {
     let mut last_seen: HashMap<String, u64> =
         config.streams.iter().map(|s| (s.clone(), 0)).collect();
+    // Predicates the remote has refused are dropped for the life of
+    // the link, so every reconnect does not replay the same refusal.
+    let mut filters = config.filters.clone();
     let mut rng = StdRng::seed_from_u64(config.jitter_seed);
     let mut attempt: u32 = 0;
     while !stop.load(Ordering::SeqCst) {
@@ -539,13 +739,14 @@ fn link_loop(
             }
             let subscribed = config.streams.iter().all(|stream| {
                 let from = last_seen.get(stream).copied().unwrap_or(0) + 1;
-                client.send(&Frame::new(FED_SUB, encode_control(from, stream))).is_ok()
+                let predicate = filters.get(stream).map_or("", String::as_str);
+                client.send(&Frame::new(FED_SUB, encode_sub(from, stream, predicate))).is_ok()
             });
             if subscribed {
                 counters.connects.fetch_add(1, Ordering::Relaxed);
                 counters.connected.store(true, Ordering::SeqCst);
                 attempt = 0;
-                pump_link(&mut client, broker, &mut last_seen, stop, counters);
+                pump_link(&mut client, broker, config, &mut filters, &mut last_seen, stop, counters);
                 counters.connected.store(false, Ordering::SeqCst);
             }
             *closer.lock() = None;
@@ -562,10 +763,13 @@ fn link_loop(
 }
 
 /// Receives frames until the link drops (or `stop` closes the socket),
-/// republishing each event on the local broker with its origin seq.
+/// republishing each event on the local broker with its origin seq and
+/// an incremented hop count.
 fn pump_link(
     client: &mut EventClient,
     broker: &Arc<Broker>,
+    config: &LinkConfig,
+    filters: &mut HashMap<String, String>,
     last_seen: &mut HashMap<String, u64>,
     stop: &AtomicBool,
     counters: &LinkCounters,
@@ -579,15 +783,47 @@ fn pump_link(
             return;
         }
         if frame.stream == FED_SUBOK {
-            continue; // cutover seq is informational; dedup is by seq
+            // The cutover seq is informational (dedup is by seq), but
+            // a subok that does not even parse is a protocol error.
+            if decode_control(&frame.payload).is_none() {
+                counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+            }
+            continue;
         }
-        let event = match decode_event_frame(frame) {
+        if frame.stream == FED_SUBERR {
+            // The serving broker refused our predicate (no registered
+            // struct type, parse/typecheck failure); no subscription
+            // exists yet. Fall back to an unfiltered one — upstream
+            // filtering is an optimization, events must flow either
+            // way — and stop offering the predicate on reconnect.
+            counters.filter_rejected.fetch_add(1, Ordering::Relaxed);
+            match decode_suberr(&frame.payload) {
+                Some((stream, _detail)) if filters.remove(stream).is_some() => {
+                    let from = last_seen.get(stream).copied().unwrap_or(0) + 1;
+                    if client.send(&Frame::new(FED_SUB, encode_sub(from, stream, ""))).is_err() {
+                        return;
+                    }
+                }
+                _ => {
+                    counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            continue;
+        }
+        let mut event = match decode_event_frame(frame) {
             Ok(event) => event,
             Err(_) => {
                 counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
                 continue;
             }
         };
+        if event.hops >= config.max_hops {
+            // The frame has been around too many brokers already —
+            // almost certainly a cycle (seq dedup below only protects
+            // durable traffic). Extinguish it here.
+            counters.cycle_drops.fetch_add(1, Ordering::Relaxed);
+            continue;
+        }
         if event.seq != 0 {
             let seen = last_seen.entry(event.stream.to_string()).or_insert(0);
             if event.seq <= *seen {
@@ -596,6 +832,7 @@ fn pump_link(
             }
             *seen = event.seq;
         }
+        event.hops += 1;
         // An unknown stream here means the remote sent something we
         // never subscribed — drop it rather than kill the link.
         if broker.publish_forwarded(event).is_ok() {
@@ -653,19 +890,30 @@ mod tests {
         let frame = encode_event_frame(&event);
         let back = decode_event_frame(frame).unwrap();
         assert_eq!(back, event);
+        // Hop counts survive the wire.
+        let hopped = Event {
+            stream: "asd".into(),
+            format_name: "F".into(),
+            payload: vec![9],
+            seq: 7,
+            hops: 3,
+        };
+        let back = decode_event_frame(encode_event_frame(&hopped)).unwrap();
+        assert_eq!(back, hopped);
     }
 
     #[test]
     fn malformed_event_frames_error_not_panic() {
-        for payload in [vec![], vec![0; 9], {
-            let mut p = vec![0; 10];
-            p[8] = 0xFF; // forged format-name length
+        for payload in [vec![], vec![0; 10], {
+            let mut p = vec![0; 11];
+            p[9] = 0xFF; // forged format-name length
             p
         }] {
             assert!(decode_event_frame(Frame::new("s", payload)).is_err());
         }
         // Non-UTF-8 format name.
         let mut payload = 7u64.to_le_bytes().to_vec();
+        payload.push(0); // hops
         payload.extend_from_slice(&2u16.to_le_bytes());
         payload.extend_from_slice(&[0xFF, 0xFE]);
         assert!(decode_event_frame(Frame::new("s", payload)).is_err());
@@ -676,6 +924,26 @@ mod tests {
         let payload = encode_control(99, "wx");
         assert_eq!(decode_control(&payload), Some((99, "wx")));
         assert_eq!(decode_control(&[1, 2]), None);
+    }
+
+    #[test]
+    fn sub_and_suberr_payloads_round_trip() {
+        let sub = encode_sub(42, "flights", "price > 100");
+        assert_eq!(decode_sub(&sub), Some((42, "flights", "price > 100")));
+        let bare = encode_sub(1, "wx", "");
+        assert_eq!(decode_sub(&bare), Some((1, "wx", "")));
+        assert_eq!(decode_sub(&[0; 9]), None);
+        // Forged stream length pointing past the payload.
+        let mut forged = encode_sub(1, "wx", "");
+        forged[8] = 0xFF;
+        assert_eq!(decode_sub(&forged), None);
+
+        let err = encode_suberr("wx", "no registered type");
+        assert_eq!(decode_suberr(&err), Some(("wx", "no registered type")));
+        assert_eq!(decode_suberr(&[9]), None);
+        let mut forged = encode_suberr("wx", "");
+        forged[0] = 0xFF;
+        assert_eq!(decode_suberr(&forged), None);
     }
 
     #[test]
@@ -829,7 +1097,7 @@ mod tests {
             FederatedBroker::bind(Arc::clone(&origin), "127.0.0.1:0", NetConfig::default())
                 .unwrap();
         let mut client = EventClient::connect(fed.local_addr()).unwrap();
-        client.send(&Frame::new(FED_SUB, encode_control(1, "asd"))).unwrap();
+        client.send(&Frame::new(FED_SUB, encode_sub(1, "asd", ""))).unwrap();
         let ack = client.recv().unwrap().unwrap();
         assert_eq!(ack.stream, FED_SUBOK);
         assert!(wait_for(|| fed.forwarder_count() == 1));
@@ -846,12 +1114,94 @@ mod tests {
                 .unwrap();
         {
             let mut client = EventClient::connect(fed.local_addr()).unwrap();
-            client.send(&Frame::new(FED_SUB, encode_control(1, "asd"))).unwrap();
+            client.send(&Frame::new(FED_SUB, encode_sub(1, "asd", ""))).unwrap();
             let _ = client.recv().unwrap().unwrap();
             assert!(wait_for(|| fed.forwarder_count() == 1));
         }
         // Client dropped: the transport's close notification must reap.
         assert!(wait_for(|| fed.forwarder_count() == 0));
+    }
+
+    #[test]
+    fn predicate_scoped_links_filter_before_the_wire() {
+        use clayout::{Architecture, CType, Primitive, StructField, StructType, Value};
+        use pbio::format::{Format, FormatId};
+
+        let st = StructType::new(
+            "Tick",
+            vec![
+                StructField::new("price", CType::Prim(Primitive::Long)),
+                StructField::new("dest", CType::String),
+            ],
+        );
+        let format = Format::new(FormatId(7), st.clone(), Architecture::host()).unwrap();
+        let origin = Arc::new(Broker::new());
+        origin.create_stream("quotes", None);
+        origin.register_stream_type("quotes", st).unwrap();
+        let fed =
+            FederatedBroker::bind(Arc::clone(&origin), "127.0.0.1:0", NetConfig::default())
+                .unwrap();
+
+        let local = Arc::new(Broker::new());
+        let link = FederationLink::connect(
+            fed.local_addr(),
+            Arc::clone(&local),
+            LinkConfig::new(["quotes"]).with_filter("quotes", "price > 100"),
+        )
+        .unwrap();
+        assert!(wait_for(|| fed.forwarder_count() == 1));
+        let sub = local.subscribe("quotes").unwrap();
+
+        let prices = [50i64, 150, 99, 101, 500, 100];
+        for price in prices {
+            let mut record = clayout::Record::new();
+            record.set("price", Value::Int(price));
+            record.set("dest", Value::String("ATL".to_owned()));
+            let msg = pbio::ndr::encode(&record, &format).unwrap();
+            origin.publish(Event::new("quotes", "Tick", msg)).unwrap();
+        }
+        // Only the matching events arrive, in publish order.
+        let matching: Vec<i64> = prices.iter().copied().filter(|p| *p > 100).collect();
+        for want in &matching {
+            let event = sub.recv_timeout(Duration::from_secs(5)).unwrap();
+            let record =
+                pbio::ndr::decode_with(&event.payload, &format).unwrap();
+            assert_eq!(record.get("price"), Some(&Value::Int(*want)));
+        }
+        // The rest never crossed the wire: matching events + 1 subok.
+        assert!(wait_for(|| link.stats().events_forwarded == matching.len() as u64));
+        assert_eq!(fed.net_stats().frames_written, matching.len() as u64 + 1);
+        assert!(sub.try_recv().is_none());
+        assert_eq!(link.stats().filter_rejected, 0);
+    }
+
+    #[test]
+    fn rejected_predicates_fall_back_to_unfiltered() {
+        let origin = Arc::new(Broker::new());
+        origin.create_stream("raw", None); // no struct type registered
+        let fed =
+            FederatedBroker::bind(Arc::clone(&origin), "127.0.0.1:0", NetConfig::default())
+                .unwrap();
+        let local = Arc::new(Broker::new());
+        let link = FederationLink::connect(
+            fed.local_addr(),
+            Arc::clone(&local),
+            LinkConfig::new(["raw"]).with_filter("raw", "price > 1"),
+        )
+        .unwrap();
+        let sub = local.subscribe("raw").unwrap();
+        // The refusal lands, then the unfiltered resubscribe succeeds.
+        assert!(wait_for(|| link.stats().filter_rejected == 1));
+        assert!(wait_for(|| fed.forwarder_count() == 1));
+        for n in 0..3u8 {
+            origin.publish(Event::new("raw", "F", vec![n])).unwrap();
+        }
+        for n in 0..3u8 {
+            assert_eq!(
+                sub.recv_timeout(Duration::from_secs(5)).unwrap().payload,
+                vec![n]
+            );
+        }
     }
 
     #[test]
@@ -861,7 +1211,7 @@ mod tests {
             FederatedBroker::bind(Arc::clone(&origin), "127.0.0.1:0", NetConfig::default())
                 .unwrap();
         let mut client = EventClient::connect(fed.local_addr()).unwrap();
-        client.send(&Frame::new(FED_SUB, encode_control(1, "ghost"))).unwrap();
+        client.send(&Frame::new(FED_SUB, encode_sub(1, "ghost", ""))).unwrap();
         // No ack, no forwarder, link stays usable.
         std::thread::sleep(Duration::from_millis(100));
         assert_eq!(fed.forwarder_count(), 0);

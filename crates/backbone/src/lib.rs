@@ -28,6 +28,11 @@
 //! * [`stream`] — capture points (synthetic producers) and consumers
 //!   that run the full discover → bind → decode pipeline on
 //!   subscription.
+//! * [`filter`] — content-based subscription predicates (`price > 100
+//!   && dest == "ATL"`), compiled at subscribe time into flat op
+//!   programs that evaluate against the wire image with zero
+//!   allocations, deduplicated across subscribers so fanout evaluates
+//!   each unique predicate once per event.
 //! * [`scoping`] — "format-scoping" (§4.4): deriving per-subscriber
 //!   schema slices and projecting records onto them.
 //! * [`airline`] — the paper's domain: `ASDOffEvent` flight events and
@@ -41,6 +46,7 @@ pub mod airline;
 pub mod broker;
 pub mod error;
 pub mod federation;
+pub mod filter;
 pub mod net;
 pub mod scoping;
 pub mod stream;
@@ -50,6 +56,7 @@ pub use broker::{
     StreamConfig, StreamInfo, Subscription,
 };
 pub use error::BackboneError;
+pub use filter::{FilterCache, FilterCacheStats, FilterError, FilterStats, StreamFilter};
 pub use federation::{FederatedBroker, FederationLink, LinkConfig, LinkStats};
 pub use net::{
     ClientCloser, CloseHandler, ConnId, EventClient, EventServer, Frame, NetConfig, NetStats,

@@ -189,6 +189,12 @@ impl Shared {
     /// not enqueued — server shutting down, unknown/closed connection,
     /// or a full queue — all decided synchronously and counted in
     /// `pushes_dropped`, so callers can retry or drop them knowingly.
+    ///
+    /// Rejection is a contiguous per-connection *tail*: the inflight
+    /// mirror is only ever decremented under the same shard lock this
+    /// loop holds, so once a connection's queue reads full it stays
+    /// full for the rest of its group — a retrying caller never sees
+    /// a connection's frames reordered.
     pub(super) fn push_batch(&self, frames: Vec<(ConnId, Frame)>) -> Vec<(ConnId, Frame)> {
         if self.stop.load(Ordering::SeqCst) {
             let dropped = frames.len() as u64;

@@ -651,6 +651,12 @@ impl ServerHandle {
     /// overflow decision synchronously: an empty return means every
     /// frame was queued and will reach its socket unless the
     /// connection closes first.
+    ///
+    /// Rejection preserves per-connection order: on both transports a
+    /// rejected frame is followed only by more rejects for that same
+    /// connection within the batch (a contiguous tail), so a caller
+    /// that retries the returned pairs in order — as the federation
+    /// forwarder does — never reorders a connection's stream.
     pub fn send_batch(&self, frames: Vec<(ConnId, Frame)>) -> Vec<(ConnId, Frame)> {
         match &self.inner {
             HandleInner::Readiness(shared) => shared.push_batch(frames),

@@ -129,20 +129,35 @@ impl Shared {
     /// transport has no per-push syscall to coalesce — this exists for
     /// API parity with the readiness batch path and to amortize the
     /// table lock.
+    ///
+    /// Rejection is a contiguous per-connection *tail*: once one frame
+    /// for a connection is rejected, every later frame for that
+    /// connection in the same batch is rejected too. The writer thread
+    /// drains the channel concurrently, so a later `try_send` could
+    /// otherwise succeed and overtake the rejected frame — reordering
+    /// the connection's stream for callers that retry rejects.
     pub(super) fn push_batch(&self, frames: Vec<(ConnId, Frame)>) -> Vec<(ConnId, Frame)> {
         let mut rejected = Vec::new();
+        let mut rejected_conns: Vec<ConnId> = Vec::new();
         let conns = self.conns.lock();
         for (conn, frame) in frames {
+            if rejected_conns.contains(&conn) {
+                self.counters.pushes_dropped.fetch_add(1, Ordering::Relaxed);
+                rejected.push((conn, frame));
+                continue;
+            }
             let entry = match conns.get(&conn) {
                 Some(entry) => entry,
                 None => {
                     self.counters.pushes_dropped.fetch_add(1, Ordering::Relaxed);
+                    rejected_conns.push(conn);
                     rejected.push((conn, frame));
                     continue;
                 }
             };
             let Some(tx) = &entry.push_tx else {
                 self.counters.pushes_dropped.fetch_add(1, Ordering::Relaxed);
+                rejected_conns.push(conn);
                 rejected.push((conn, frame));
                 continue;
             };
@@ -152,6 +167,7 @@ impl Shared {
                 Err(TrySendError::Full(frame)) | Err(TrySendError::Disconnected(frame)) => {
                     entry.queued.fetch_sub(1, Ordering::Relaxed);
                     self.counters.pushes_dropped.fetch_add(1, Ordering::Relaxed);
+                    rejected_conns.push(conn);
                     rejected.push((conn, frame));
                 }
             }

@@ -11,6 +11,7 @@ use clayout::{Record, Value};
 use xsdlite::{ComplexType, ElementDecl, Occurs, Schema};
 
 use crate::error::BackboneError;
+use crate::filter::{FilterError, StreamFilter};
 
 /// A visibility scope over one message format.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -38,6 +39,27 @@ impl FormatScope {
     /// Whether `field` is visible in this scope.
     pub fn is_visible(&self, field: &str) -> bool {
         self.visible.iter().any(|v| v == field)
+    }
+
+    /// Checks a compiled content filter against this scope: every field
+    /// the predicate reads must be visible. Content filtering must not
+    /// become a side channel — a subscriber that cannot *see* `salary`
+    /// must not learn it by probing `salary > x` thresholds either.
+    ///
+    /// # Errors
+    ///
+    /// [`FilterError::HiddenField`] naming the first hidden field the
+    /// predicate references.
+    pub fn permits_filter(&self, filter: &StreamFilter) -> Result<(), FilterError> {
+        for field in filter.referenced_fields() {
+            if !self.is_visible(field) {
+                return Err(FilterError::HiddenField {
+                    field: field.clone(),
+                    scope: self.label.clone(),
+                });
+            }
+        }
+        Ok(())
     }
 
     /// Derives the scoped complex type: declared fields restricted to the
@@ -237,6 +259,33 @@ mod tests {
         let (_, decoded) = x2w.decode(&wire).unwrap();
         assert_eq!(decoded.get("arln").unwrap().as_str(), Some("DL"));
         assert!(decoded.get("crewNotes").is_none());
+    }
+
+    #[test]
+    fn filters_may_only_reference_visible_fields() {
+        use clayout::{CType, Primitive, StructField, StructType};
+        let st = StructType::new(
+            "Flight",
+            vec![
+                StructField::new("fltNum", CType::Prim(Primitive::Long)),
+                StructField::new("paxCount", CType::Prim(Primitive::Long)),
+            ],
+        );
+        let scope = FormatScope::new("public", ["fltNum"]);
+
+        let allowed = StreamFilter::compile("fltNum > 100", &st).unwrap();
+        assert!(scope.permits_filter(&allowed).is_ok());
+
+        // `paxCount` is typecheckable against the full struct but hidden
+        // from this scope: the probe must be refused.
+        let probe = StreamFilter::compile("paxCount > 140", &st).unwrap();
+        match scope.permits_filter(&probe) {
+            Err(FilterError::HiddenField { field, scope }) => {
+                assert_eq!(field, "paxCount");
+                assert_eq!(scope, "public");
+            }
+            other => panic!("expected HiddenField, got {other:?}"),
+        }
     }
 
     #[test]

@@ -57,6 +57,10 @@ impl CapturePoint {
         let format_name = format_name.into();
         let format = session.require_format(&format_name)?;
         broker.create_stream(stream.to_string(), metadata_locator);
+        // Register the message schema so subscribers can attach
+        // compiled content filters (`subscribe_filtered`) without the
+        // producer doing anything extra.
+        broker.register_stream_type(&stream, format.struct_type().clone())?;
         let handle = broker.publish_handle(&stream)?;
         Ok(CapturePoint {
             _broker: broker,
@@ -278,6 +282,31 @@ mod tests {
             sub_a.next_record_timeout(Duration::from_secs(1)).unwrap();
             sub_b.next_record_timeout(Duration::from_secs(1)).unwrap();
         }
+    }
+
+    #[test]
+    fn capture_point_registers_schema_for_content_filters() {
+        let (_server, broker, capture, _consumer) = pipeline();
+        // CapturePoint::new registered the struct type; subscribers can
+        // attach compiled predicates with zero producer involvement.
+        assert!(broker.stream_type(ASD_STREAM).is_some());
+        let sub = broker
+            .subscribe_filtered(ASD_STREAM, r#"fltNum > 5000 && dest == "ATL""#)
+            .unwrap();
+
+        let mut generator = AirlineGenerator::seeded(3);
+        for (num, dest) in [(100i64, "ATL"), (7777, "ATL"), (9000, "ORD")] {
+            let record =
+                generator.flight_event().with("fltNum", num).with("dest", dest);
+            capture.publish(&record).unwrap();
+        }
+
+        let session = xml2wire::Xml2Wire::builder().build();
+        session.register_schema_str(ASD_SCHEMA).unwrap();
+        let event = sub.recv_timeout(Duration::from_secs(2)).unwrap();
+        let (_, decoded) = session.decode(&event.payload).unwrap();
+        assert_eq!(decoded.get("fltNum").unwrap().as_i64(), Some(7777));
+        assert!(sub.recv_timeout(Duration::from_millis(50)).is_err());
     }
 
     #[test]

@@ -170,6 +170,74 @@ fn three_broker_chain_survives_an_origin_kill_with_zero_loss_or_dup() {
 }
 
 #[test]
+fn three_broker_ring_extinguishes_frames_at_the_hop_ceiling() {
+    // A cyclic topology: A → B → C → A, each broker both serving and
+    // consuming. The stream is non-durable, so every event carries seq
+    // 0 and seq-based dedup cannot help — without the hop guard each
+    // frame would orbit the ring forever, duplicating on every lap.
+    // With max_hops = 2 an event born at A is republished at B (1 hop)
+    // and C (2 hops), then dropped by the link feeding it back into A.
+    let brokers: Vec<Arc<Broker>> = (0..3).map(|_| Arc::new(Broker::new())).collect();
+    for broker in &brokers {
+        broker.create_stream(STREAM, None);
+    }
+    let feds: Vec<FederatedBroker> = brokers
+        .iter()
+        .map(|b| {
+            FederatedBroker::bind(Arc::clone(b), "127.0.0.1:0", NetConfig::default())
+                .expect("bind")
+        })
+        .collect();
+    let subs: Vec<_> =
+        brokers.iter().map(|b| b.subscribe(STREAM).expect("subscribe")).collect();
+    // links[i] pulls from broker i into broker (i + 1) % 3.
+    let links: Vec<FederationLink> = (0..3)
+        .map(|i| {
+            FederationLink::connect(
+                feds[i].local_addr(),
+                Arc::clone(&brokers[(i + 1) % 3]),
+                tight_link(&[STREAM]).with_max_hops(2),
+            )
+            .expect("link")
+        })
+        .collect();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while feds.iter().any(|f| f.forwarder_count() < 1) && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    for n in 0..5u8 {
+        brokers[0].publish(Event::new(STREAM, "ASDOffEvent", vec![n])).expect("publish");
+    }
+
+    // Every broker sees each event exactly once...
+    for (site, sub) in subs.iter().enumerate() {
+        for n in 0..5u8 {
+            let event = sub.recv_timeout(Duration::from_secs(10)).expect("event");
+            assert_eq!(event.payload, vec![n], "site {site} lost or reordered events");
+            assert_eq!(event.hops as usize, if site == 0 { 0 } else { site });
+        }
+    }
+    // ...and the ring goes quiet: the link closing the cycle (C → A)
+    // drops each frame at the ceiling instead of re-injecting it.
+    let cycle_link = &links[2];
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while cycle_link.stats().cycle_drops < 5 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(cycle_link.stats().cycle_drops, 5, "{:?}", cycle_link.stats());
+    for sub in &subs {
+        assert!(
+            sub.recv_timeout(Duration::from_millis(200)).is_err(),
+            "a frame kept orbiting the ring"
+        );
+    }
+    for link in &links {
+        assert_eq!(link.stats().protocol_errors, 0, "{:?}", link.stats());
+    }
+}
+
+#[test]
 fn events_cross_each_link_once_regardless_of_local_fanout() {
     // Once-per-link accounting, pinned by the transport's own frame
     // counters: the origin serves ONE link subscription per stream per

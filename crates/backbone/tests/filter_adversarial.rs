@@ -1,0 +1,308 @@
+//! Adversarial front-end tests and the differential oracle matrix for
+//! compiled content filters (DESIGN §6.13).
+//!
+//! Two obligations are pinned here:
+//!
+//! 1. **The front end is hostile-input safe.** Predicates arrive from
+//!    subscribers (and, federated, from remote brokers), so oversized
+//!    expressions, pathological nesting, unknown fields, type confusion
+//!    and plain garbage must all come back as *typed* [`FilterError`]s —
+//!    no panics, no unbounded recursion, no resource blow-up.
+//! 2. **The compiled evaluator agrees with the oracle.** The wire-image
+//!    programs must produce the same verdict as naive
+//!    decode-then-[`eval_record`](StreamFilter::eval_record) across a
+//!    generated matrix of formats × architectures × expressions ×
+//!    records, and fail closed (non-match, counted error, no panic) on
+//!    malformed messages.
+
+use backbone::filter::{FilterError, StreamFilter, MAX_EXPR_DEPTH, MAX_EXPR_LEN};
+use clayout::{Architecture, CType, Primitive, Record, StructField, StructType};
+use pbio::format::{Format, FormatId};
+use proptest::prelude::*;
+
+fn ticks() -> StructType {
+    StructType::new(
+        "Tick",
+        vec![
+            StructField::new("price", CType::Prim(Primitive::Long)),
+            StructField::new("qty", CType::Prim(Primitive::UInt)),
+            StructField::new("weight", CType::Prim(Primitive::Double)),
+            StructField::new("dest", CType::String),
+        ],
+    )
+}
+
+fn flights() -> StructType {
+    StructType::new(
+        "Flight",
+        vec![
+            StructField::new("callsign", CType::String),
+            StructField::new("alt", CType::Prim(Primitive::ULongLong)),
+            StructField::new("temp", CType::Prim(Primitive::Float)),
+            StructField::new("heading", CType::Prim(Primitive::Short)),
+        ],
+    )
+}
+
+fn encode(record: &Record, st: &StructType, arch: Architecture) -> Vec<u8> {
+    let format = Format::new(FormatId(7), st.clone(), arch).unwrap();
+    pbio::ndr::encode(record, &format).unwrap()
+}
+
+// ---------------------------------------------------------------------------
+// Adversarial front end: every hostile shape gets a typed refusal.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn oversized_expressions_are_refused_before_parsing() {
+    let bomb = format!("price > {}", "1".repeat(MAX_EXPR_LEN));
+    match StreamFilter::compile(&bomb, &ticks()) {
+        Err(FilterError::TooLong { len, max }) => {
+            assert_eq!(len, bomb.len());
+            assert_eq!(max, MAX_EXPR_LEN);
+        }
+        other => panic!("expected TooLong, got {other:?}"),
+    }
+}
+
+#[test]
+fn nesting_beyond_the_depth_limit_is_refused() {
+    // Deep parens would otherwise recurse the parser off the stack.
+    let depth = MAX_EXPR_DEPTH + 8;
+    let bomb = format!("{}price > 1{}", "(".repeat(depth), ")".repeat(depth));
+    match StreamFilter::compile(&bomb, &ticks()) {
+        Err(FilterError::TooDeep { max }) => assert_eq!(max, MAX_EXPR_DEPTH),
+        other => panic!("expected TooDeep, got {other:?}"),
+    }
+    // Same limit via `!` chains (a different recursion path).
+    let bangs = format!("{}qty == 1", "!".repeat(depth));
+    assert!(matches!(
+        StreamFilter::compile(&bangs, &ticks()),
+        Err(FilterError::TooDeep { .. })
+    ));
+}
+
+#[test]
+fn unknown_fields_name_the_offender() {
+    match StreamFilter::compile("altitude > 3", &ticks()) {
+        Err(FilterError::UnknownField { field }) => assert_eq!(field, "altitude"),
+        other => panic!("expected UnknownField, got {other:?}"),
+    }
+}
+
+#[test]
+fn type_confusion_is_a_typed_mismatch() {
+    let st = ticks();
+    // Ordering a string, stringing a number, prefixing a number,
+    // unsigned field vs negative literal: each a distinct confusion.
+    for expr in ["dest > 5", "price == \"ATL\"", "qty ^= \"A\"", "qty > -1", "dest < \"B\""] {
+        match StreamFilter::compile(expr, &st) {
+            Err(FilterError::TypeMismatch { .. }) => {}
+            other => panic!("{expr:?}: expected TypeMismatch, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn parse_garbage_is_a_positioned_parse_error() {
+    for expr in ["", "&&", "price >", "price > 1 extra", "price @ 3", "\"unterminated"] {
+        match StreamFilter::compile(expr, &ticks()) {
+            Err(FilterError::Parse { .. }) => {}
+            other => panic!("{expr:?}: expected Parse, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn malformed_messages_fail_closed_with_counted_errors() {
+    let st = ticks();
+    let f = StreamFilter::compile("price > 100", &st).unwrap();
+    let record = Record::new()
+        .with("price", 150i64)
+        .with("qty", 1u64)
+        .with("weight", 0.0f64)
+        .with("dest", "ATL");
+    let msg = encode(&record, &st, Architecture::host());
+    assert!(f.matches_message(&msg));
+
+    // Empty image, header-only prefix, and a message of a *different*
+    // format (fingerprint mismatch) must all be counted non-matches.
+    assert!(!f.matches_message(&[]));
+    assert!(!f.matches_message(&msg[..msg.len().min(8)]));
+    let foreign = Record::new()
+        .with("callsign", "DL1202")
+        .with("alt", 31_000u64)
+        .with("temp", -40.0f64)
+        .with("heading", 270i64);
+    assert!(!f.matches_message(&encode(&foreign, &flights(), Architecture::host())));
+
+    let stats = f.stats();
+    assert_eq!(stats.evals, 4);
+    assert_eq!(stats.matches, 1);
+    assert_eq!(stats.errors, 3);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Printable-ASCII garbage never panics the front end: it either
+    /// compiles (and then evaluates without panicking) or yields a
+    /// typed error.
+    #[test]
+    fn fuzzed_expressions_never_panic(expr in "[ -~]{0,64}") {
+        if let Ok(f) = StreamFilter::compile(&expr, &ticks()) {
+            let record = Record::new()
+                .with("price", 1i64)
+                .with("qty", 1u64)
+                .with("weight", 1.0f64)
+                .with("dest", "A");
+            let msg = encode(&record, &ticks(), Architecture::host());
+            let _ = f.matches_message(&msg);
+        }
+    }
+
+    /// Arbitrary byte soup and truncated real messages never panic the
+    /// evaluator, and its counters stay coherent.
+    #[test]
+    fn fuzzed_messages_never_panic(
+        soup in proptest::collection::vec(any::<u8>(), 0..96),
+        cut in 0usize..128,
+    ) {
+        let st = ticks();
+        let f = StreamFilter::compile("price > 100 && dest ^= \"A\"", &st).unwrap();
+        let _ = f.matches_message(&soup);
+        let record = Record::new()
+            .with("price", 500i64)
+            .with("qty", 2u64)
+            .with("weight", 0.5f64)
+            .with("dest", "ATL");
+        let msg = encode(&record, &st, Architecture::host());
+        let _ = f.matches_message(&msg[..cut.min(msg.len())]);
+        let stats = f.stats();
+        prop_assert!(stats.matches + stats.errors <= stats.evals);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Differential matrix: compiled wire programs vs the decode-then-eval
+// oracle, across formats × architectures × expressions × records.
+// ---------------------------------------------------------------------------
+
+fn cmp_ops() -> impl Strategy<Value = &'static str> {
+    proptest::sample::select(vec!["==", "!=", "<", "<=", ">", ">="])
+}
+
+fn tick_expr() -> impl Strategy<Value = String> {
+    let leaf = prop_oneof![
+        (cmp_ops(), -40i64..40).prop_map(|(op, v)| format!("price {op} {v}")),
+        (cmp_ops(), 0u64..40).prop_map(|(op, v)| format!("qty {op} {v}")),
+        (cmp_ops(), -40i64..40).prop_map(|(op, v)| format!("weight {op} {}.5", v)),
+        (
+            proptest::sample::select(vec!["==", "!=", "^="]),
+            proptest::sample::select(vec!["ATL", "BOS", "A", "B", "Z"]),
+        )
+            .prop_map(|(op, s)| format!("dest {op} \"{s}\"")),
+    ];
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} && {b})")),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} || {b})")),
+            inner.prop_map(|a| format!("!({a})")),
+        ]
+    })
+}
+
+fn tick_record() -> impl Strategy<Value = Record> {
+    (-40i64..40, 0u64..40, -40i64..40, proptest::sample::select(vec!["ATL", "BOS", "AB", "Z", ""]))
+        .prop_map(|(price, qty, w, dest)| {
+            Record::new()
+                .with("price", price)
+                .with("qty", qty)
+                .with("weight", w as f64 + 0.5)
+                .with("dest", dest)
+        })
+}
+
+fn flight_expr() -> impl Strategy<Value = String> {
+    let leaf = prop_oneof![
+        (cmp_ops(), 0u64..50_000).prop_map(|(op, v)| format!("alt {op} {v}")),
+        (cmp_ops(), -60i64..60).prop_map(|(op, v)| format!("temp {op} {v}")),
+        (cmp_ops(), -180i64..180).prop_map(|(op, v)| format!("heading {op} {v}")),
+        (
+            proptest::sample::select(vec!["==", "!=", "^="]),
+            proptest::sample::select(vec!["DL", "DL1202", "UA9", "X"]),
+        )
+            .prop_map(|(op, s)| format!("callsign {op} \"{s}\"")),
+    ];
+    leaf.prop_recursive(2, 12, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} && {b})")),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} || {b})")),
+            inner.prop_map(|a| format!("!({a})")),
+        ]
+    })
+}
+
+fn flight_record() -> impl Strategy<Value = Record> {
+    (
+        proptest::sample::select(vec!["DL1202", "DL88", "UA910", "SW4"]),
+        0u64..50_000,
+        -60i64..60,
+        -180i64..180,
+    )
+        .prop_map(|(callsign, alt, temp, heading)| {
+            Record::new()
+                .with("callsign", callsign)
+                .with("alt", alt)
+                .with("temp", temp as f64)
+                .with("heading", heading)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn compiled_programs_agree_with_the_oracle_on_ticks(
+        expr in tick_expr(),
+        record in tick_record(),
+    ) {
+        let st = ticks();
+        let f = StreamFilter::compile(&expr, &st).expect("generated exprs are well-typed");
+        let want = f.eval_record(&record);
+        for arch in Architecture::ALL {
+            let msg = encode(&record, &st, arch);
+            prop_assert_eq!(
+                f.matches_message(&msg),
+                want,
+                "expr {:?} on {:?} under {}",
+                expr,
+                record,
+                arch
+            );
+        }
+        prop_assert_eq!(f.stats().errors, 0);
+    }
+
+    #[test]
+    fn compiled_programs_agree_with_the_oracle_on_flights(
+        expr in flight_expr(),
+        record in flight_record(),
+    ) {
+        let st = flights();
+        let f = StreamFilter::compile(&expr, &st).expect("generated exprs are well-typed");
+        let want = f.eval_record(&record);
+        for arch in Architecture::ALL {
+            let msg = encode(&record, &st, arch);
+            prop_assert_eq!(
+                f.matches_message(&msg),
+                want,
+                "expr {:?} on {:?} under {}",
+                expr,
+                record,
+                arch
+            );
+        }
+        prop_assert_eq!(f.stats().errors, 0);
+    }
+}

@@ -9,7 +9,10 @@
 //! * `replay_catchup` — a federation link joins *after* N durable
 //!   events exist and pulls the whole history across the wire
 //!   (replay-from-seq, then live cutover). Reported as events/s and
-//!   MiB/s of catch-up bandwidth at the subscriber.
+//!   MiB/s of catch-up bandwidth at the subscriber, plus the realized
+//!   writev coalescing factor (`frames_written / writev_calls`) — the
+//!   forwarder batches the burst through `send_batch`, so the factor
+//!   is asserted ≥ 2 in both modes.
 //! * `fanout_economics` — frames written by the origin for M events
 //!   with 1 vs 5 local subscribers behind the same link: the frame
 //!   count must not scale with local fan-out (once-per-link).
@@ -149,6 +152,21 @@ fn main() {
         per_sec(n, catchup),
         n as f64 * PAYLOAD as f64 / catchup.as_secs_f64().max(1e-9) / (1024.0 * 1024.0),
     );
+    // The forwarder drains its feed in batches and hands them to
+    // `send_batch`, so a catch-up burst must coalesce many frames into
+    // each writev. Settle first: the counters trail the subscriber by
+    // microseconds.
+    settled_frames(&fed);
+    let net = fed.net_stats();
+    let coalescing = net.frames_written as f64 / net.writev_calls.max(1) as f64;
+    println!(
+        "e_fed replay_catchup coalescing: {} frames over {} writev calls ({coalescing:.1} frames/writev)",
+        net.frames_written, net.writev_calls,
+    );
+    assert!(
+        coalescing >= 2.0,
+        "catch-up should coalesce frames into vectored writes, got {coalescing:.2} frames/writev"
+    );
 
     // ---- 3. Once-per-link economics. ----
     let m = if smoke { 500 } else { 2_000 };
@@ -206,7 +224,7 @@ fn main() {
             "  \"experiment\": \"e_fed\",\n",
             "  \"payload_bytes\": {payload},\n",
             "  \"seglog_append_per_sec\": {{ {appends} }},\n",
-            "  \"replay_catchup\": {{ \"events\": {n}, \"secs\": {catchup:.6}, \"events_per_sec\": {cps:.0} }},\n",
+            "  \"replay_catchup\": {{ \"events\": {n}, \"secs\": {catchup:.6}, \"events_per_sec\": {cps:.0}, \"frames_per_writev\": {coalescing:.1} }},\n",
             "  \"fanout\": {{ \"events\": {m}, \"link_frames\": {frames}, \"local_subscribers\": 5 }},\n",
             "  \"reconnect_secs\": {reconnect:.6}\n",
             "}}\n"
@@ -220,6 +238,7 @@ fn main() {
         n = n,
         catchup = catchup.as_secs_f64(),
         cps = per_sec(n, catchup),
+        coalescing = coalescing,
         m = m,
         frames = frames,
         reconnect = convergence.as_secs_f64(),

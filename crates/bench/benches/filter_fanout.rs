@@ -1,0 +1,244 @@
+//! **E-filter**: compiled content filters on the fanout path.
+//!
+//! Three measurements around the PR-9 tentpole (DESIGN §6.13):
+//!
+//! * `filter_eval` — raw per-event evaluation cost of one compiled
+//!   program against a pinned wire image, per predicate shape (integer
+//!   compare, string compare, compound, complex). A counting global
+//!   allocator gates the structural claim: **zero allocations per
+//!   event** once the sender's architecture has been seen.
+//! * `filter_fanout` — 10 000 filtered subscribers sharing 16 unique
+//!   programs at ~1% selectivity: end-to-end publish → filtered
+//!   delivery throughput. The per-filter eval counters pin the
+//!   predicate-indexed claim: each unique program is evaluated **once
+//!   per event**, not once per subscriber.
+//! * `cache economics` — the `FilterCache` dedups 10 000 subscriptions
+//!   into 16 compiled programs (16 builds, the rest cache hits).
+//!
+//! Smoke mode (`--test`, used by CI) scales the fleet down and asserts
+//! the same invariants instead of writing `BENCH_filter.json`.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use backbone::{Broker, Event, StreamFilter};
+use clayout::{Architecture, CType, Primitive, Record, StructField, StructType, Value};
+use pbio::format::{Format, FormatId};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+fn allocations() -> usize {
+    ALLOCATIONS.load(Ordering::SeqCst)
+}
+
+const STREAM: &str = "quotes";
+const UNIQUE: usize = 16;
+
+fn ticks() -> StructType {
+    StructType::new(
+        "Tick",
+        vec![
+            StructField::new("price", CType::Prim(Primitive::Long)),
+            StructField::new("qty", CType::Prim(Primitive::UInt)),
+            StructField::new("weight", CType::Prim(Primitive::Double)),
+            StructField::new("dest", CType::String),
+        ],
+    )
+}
+
+fn encode_tick(format: &Format, price: i64) -> Vec<u8> {
+    let mut record = Record::new();
+    record.set("price", Value::Int(price));
+    record.set("qty", Value::UInt((price % 7) as u64));
+    record.set("weight", Value::Float(price as f64 / 8.0));
+    record.set(
+        "dest",
+        Value::String(["ATL", "BOS", "ORD"][(price % 3) as usize].to_owned()),
+    );
+    pbio::ndr::encode(&record, format).unwrap()
+}
+
+struct EvalPoint {
+    shape: &'static str,
+    per_eval: Duration,
+}
+
+/// Times one compiled program against one pinned wire image, asserting
+/// the zero-allocation contract at steady state.
+fn eval_cost(shape: &'static str, expr: &str, msg: &[u8], iters: usize) -> EvalPoint {
+    let f = StreamFilter::compile(expr, &ticks()).expect("compile");
+    // First eval lazily compiles the per-architecture program.
+    f.matches_message(msg);
+    let before = allocations();
+    let start = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f.matches_message(std::hint::black_box(msg)));
+    }
+    let elapsed = start.elapsed();
+    let allocs = allocations() - before;
+    assert_eq!(
+        allocs, 0,
+        "{shape}: filter evaluation must not allocate per event ({allocs} allocs over {iters} evals)"
+    );
+    EvalPoint { shape, per_eval: elapsed / iters as u32 }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--test");
+    let subscribers: usize = if smoke { 1_000 } else { 10_000 };
+    let events: usize = if smoke { 2_000 } else { 10_000 };
+    let eval_iters: usize = if smoke { 50_000 } else { 1_000_000 };
+
+    let st = ticks();
+    let format = Format::new(FormatId(7), st.clone(), Architecture::host()).unwrap();
+
+    // ---- 1. Raw eval cost per predicate shape, 0 allocs/event. ----
+    let probe = encode_tick(&format, 9_901);
+    let eval_points = vec![
+        eval_cost("int", "price >= 9900", &probe, eval_iters),
+        eval_cost("str", "dest == \"ATL\"", &probe, eval_iters),
+        eval_cost("compound", "price >= 9900 && dest == \"ATL\"", &probe, eval_iters),
+        eval_cost(
+            "complex",
+            "(price >= 9900 || qty < 3) && !(dest ^= \"B\") && weight > 2.5",
+            &probe,
+            eval_iters,
+        ),
+    ];
+    println!("e_filter eval (pinned wire image, {eval_iters} iters, 0 allocs/event):");
+    for p in &eval_points {
+        println!("  {:<9} {:>8.1?}/eval", p.shape, p.per_eval);
+    }
+
+    // ---- 2. Predicate-indexed fanout: many subscribers, few programs. ----
+    let broker = Arc::new(Broker::new());
+    broker.create_stream(STREAM, None);
+    broker.register_stream_type(STREAM, st.clone()).expect("register type");
+
+    // 16 unique thresholds in a tight band → ~1% selectivity each; the
+    // 10k subscribers spread across them round-robin.
+    let thresholds: Vec<i64> = (0..UNIQUE as i64).map(|j| 9_880 + j).collect();
+    let subs: Vec<_> = (0..subscribers)
+        .map(|i| {
+            let t = thresholds[i % UNIQUE];
+            broker.subscribe_filtered(STREAM, &format!("price >= {t}")).expect("subscribe")
+        })
+        .collect();
+    let cache = broker.filter_cache_stats();
+    assert_eq!(cache.built, UNIQUE as u64, "one compiled program per unique predicate");
+    assert_eq!(cache.resident, UNIQUE);
+    assert!(cache.hits >= (subscribers - UNIQUE) as u64, "subscriptions must share programs");
+
+    // The shared programs, for the once-per-event eval accounting.
+    let programs: Vec<_> = thresholds
+        .iter()
+        .map(|t| broker.compile_filter(STREAM, &format!("price >= {t}")).expect("cache hit"))
+        .collect();
+    let evals_before: Vec<u64> = programs.iter().map(|p| p.stats().evals).collect();
+
+    // Pseudo-random permutation of 0..9999 so matches spread through
+    // the run; ~1% of prices land at or above each threshold.
+    let prices: Vec<i64> = (0..events as i64).map(|i| (i * 9_973) % 10_000).collect();
+    let payloads: Vec<Vec<u8>> = prices.iter().map(|&p| encode_tick(&format, p)).collect();
+    let expected: Vec<usize> = (0..subscribers)
+        .map(|i| {
+            let t = thresholds[i % UNIQUE];
+            prices.iter().filter(|&&p| p >= t).count()
+        })
+        .collect();
+    let total_expected: usize = expected.iter().sum();
+
+    let start = Instant::now();
+    for payload in &payloads {
+        broker.publish(Event::new(STREAM, "Tick", payload.clone())).expect("publish");
+    }
+    // Draining exactly the expected per-subscriber counts (and nothing
+    // more, below) *is* the delivery assertion: every matching event
+    // arrived, at every subscriber sharing that predicate.
+    for (sub, &want) in subs.iter().zip(&expected) {
+        for _ in 0..want {
+            sub.recv_timeout(Duration::from_secs(30)).expect("filtered delivery");
+        }
+    }
+    let elapsed = start.elapsed();
+    let delivered = total_expected;
+    for sub in &subs {
+        assert!(sub.try_recv().is_none(), "subscriber got an event its predicate rejects");
+    }
+    for (program, before) in programs.iter().zip(&evals_before) {
+        assert_eq!(
+            program.stats().evals - before,
+            events as u64,
+            "each unique program must be evaluated exactly once per event"
+        );
+    }
+    let selectivity = total_expected as f64 / (events * subscribers) as f64;
+    println!(
+        "e_filter fanout: {events} events -> {subscribers} filtered subscribers \
+         ({UNIQUE} unique programs, {:.2}% selectivity) in {elapsed:.2?} \
+         ({:.0} events/s, {delivered} deliveries)",
+        selectivity * 100.0,
+        events as f64 / elapsed.as_secs_f64().max(1e-9),
+    );
+
+    if smoke {
+        println!("smoke mode: invariants held (0 allocs/event, once-per-program evals), no timings recorded");
+        return;
+    }
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"experiment\": \"e_filter\",\n",
+            "  \"eval_ns_per_program\": {{ {evals} }},\n",
+            "  \"allocs_per_event\": 0,\n",
+            "  \"fanout\": {{ \"subscribers\": {subs}, \"unique_programs\": {unique}, \"events\": {events}, ",
+            "\"selectivity\": {sel:.4}, \"secs\": {secs:.6}, \"events_per_sec\": {eps:.0}, ",
+            "\"deliveries\": {deliveries} }}\n",
+            "}}\n"
+        ),
+        evals = eval_points
+            .iter()
+            .map(|p| format!("\"{}\": {:.1}", p.shape, p.per_eval.as_nanos() as f64))
+            .collect::<Vec<_>>()
+            .join(", "),
+        subs = subscribers,
+        unique = UNIQUE,
+        events = events,
+        sel = selectivity,
+        secs = elapsed.as_secs_f64(),
+        eps = events as f64 / elapsed.as_secs_f64().max(1e-9),
+        deliveries = delivered,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_filter.json");
+    std::fs::write(path, json).expect("write BENCH_filter.json");
+    println!("wrote {path}");
+}

@@ -1,0 +1,156 @@
+//! Allocation accounting for compiled content filters (DESIGN §6.13).
+//!
+//! The filter numbers in `benches/filter_fanout.rs` rest on two
+//! structural claims this test pins down with a counting global
+//! allocator:
+//!
+//! 1. `StreamFilter::matches_message` performs **zero** allocations per
+//!    event once the sender's architecture has been seen — on matches
+//!    and non-matches alike, and
+//! 2. a filtered broker publish allocates exactly what an unfiltered
+//!    one does (the payload `Vec` and the `Arc<Event>` wrapper):
+//!    predicate-indexed fanout adds nothing per event, independent of
+//!    how many subscribers share the stream's programs.
+//!
+//! Everything runs inside a single `#[test]` so no concurrent test can
+//! disturb the counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use backbone::{Broker, Event, StreamFilter};
+use clayout::{Architecture, CType, Primitive, Record, StructField, StructType, Value};
+use pbio::format::{Format, FormatId};
+
+/// Counts every allocation (alloc/alloc_zeroed/realloc) and delegates to
+/// the system allocator. Deallocations are free and uncounted.
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+fn allocations() -> usize {
+    ALLOCATIONS.load(Ordering::SeqCst)
+}
+
+fn ticks() -> StructType {
+    StructType::new(
+        "Tick",
+        vec![
+            StructField::new("price", CType::Prim(Primitive::Long)),
+            StructField::new("qty", CType::Prim(Primitive::UInt)),
+            StructField::new("dest", CType::String),
+        ],
+    )
+}
+
+fn encode_tick(format: &Format, price: i64, dest: &str) -> Vec<u8> {
+    let mut record = Record::new();
+    record.set("price", Value::Int(price));
+    record.set("qty", Value::UInt(3));
+    record.set("dest", Value::String(dest.to_owned()));
+    pbio::ndr::encode(&record, format).unwrap()
+}
+
+/// Steady-state allocations per published message on a stream with
+/// `matching` always-matching and `rejecting` never-matching filtered
+/// subscribers.
+fn publish_allocs_per_message(matching: usize, rejecting: usize) -> usize {
+    let st = ticks();
+    let format = Format::new(FormatId(7), st.clone(), Architecture::host()).unwrap();
+    let broker = Arc::new(Broker::new());
+    broker.create_stream("hot", None);
+    broker.register_stream_type("hot", st).unwrap();
+    let keep: Vec<_> = (0..matching)
+        .map(|_| broker.subscribe_filtered("hot", "price >= 0").unwrap())
+        .collect();
+    let _drop: Vec<_> = (0..rejecting)
+        .map(|_| broker.subscribe_filtered("hot", "price > 1000000").unwrap())
+        .collect();
+
+    let payload = encode_tick(&format, 150, "ATL");
+    // Pre-built Arc<str> names so the loop measures the publish path,
+    // not `&str -> Arc<str>` conversions the real hot path (pinned
+    // `PublishHandle`s) never performs.
+    let stream: Arc<str> = Arc::from("hot");
+    let fmt: Arc<str> = Arc::from("Tick");
+    let event =
+        || Event::new(Arc::clone(&stream), Arc::clone(&fmt), payload.clone());
+    // Warm-up: lazily compile the per-arch programs, grow the shard
+    // queue and the subscriber queues to working-set capacity.
+    for _ in 0..16 {
+        broker.publish(event()).unwrap();
+        for sub in &keep {
+            sub.recv().unwrap();
+        }
+    }
+    let rounds = 50;
+    let before = allocations();
+    for _ in 0..rounds {
+        broker.publish(event()).unwrap();
+        for sub in &keep {
+            sub.recv().unwrap();
+        }
+    }
+    let total = allocations() - before;
+    assert_eq!(total % rounds, 0, "allocation count {total} not uniform across {rounds} rounds");
+    total / rounds
+}
+
+#[test]
+fn filtered_fanout_allocation_budget() {
+    // --- Claim 1: matches_message is allocation-free at steady state. ---
+    let st = ticks();
+    let format = Format::new(FormatId(7), st.clone(), Architecture::host()).unwrap();
+    let f = StreamFilter::compile("price > 100 && dest == \"ATL\"", &st).unwrap();
+    let hit = encode_tick(&format, 150, "ATL");
+    let miss = encode_tick(&format, 50, "BOS");
+    assert!(f.matches_message(&hit)); // warm: compiles the per-arch program
+    let before = allocations();
+    for _ in 0..1_000 {
+        assert!(f.matches_message(&hit));
+        assert!(!f.matches_message(&miss));
+    }
+    assert_eq!(
+        allocations() - before,
+        0,
+        "filter evaluation must not allocate per event"
+    );
+
+    // --- Claim 2: filtered publish keeps the unfiltered budget — the
+    // payload clone and the Arc<Event> — no matter the subscriber mix. ---
+    let small = publish_allocs_per_message(1, 1);
+    let wide = publish_allocs_per_message(32, 32);
+    assert_eq!(
+        small, wide,
+        "filtered fan-out must not change the per-message allocation count"
+    );
+    assert_eq!(
+        wide, 2,
+        "filtered publish should allocate exactly the payload and its Arc<Event> wrapper"
+    );
+}

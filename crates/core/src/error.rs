@@ -38,6 +38,17 @@ pub enum X2wError {
         /// Explanation.
         detail: String,
     },
+    /// A segment-log replay asked for history the log no longer
+    /// retains (compacted away under retention, or the log started
+    /// later). Typed so callers can distinguish "gone for good" from
+    /// transient I/O and decide whether restarting at `earliest` is
+    /// acceptable.
+    SeqTruncated {
+        /// The sequence the replay asked to start from.
+        requested: u64,
+        /// The earliest sequence the log still holds.
+        earliest: u64,
+    },
 }
 
 impl fmt::Display for X2wError {
@@ -58,6 +69,12 @@ impl fmt::Display for X2wError {
             X2wError::Io(e) => write!(f, "i/o failure: {e}"),
             X2wError::Binding { complex_type, detail } => {
                 write!(f, "cannot bind complex type {complex_type:?}: {detail}")
+            }
+            X2wError::SeqTruncated { requested, earliest } => {
+                write!(
+                    f,
+                    "seq {requested} has been compacted away; earliest retained is {earliest}"
+                )
             }
         }
     }

@@ -74,7 +74,7 @@ pub use discovery::{
 };
 pub use archive::{ArchiveReader, ArchiveRecords, ArchiveWriter};
 pub use error::X2wError;
-pub use seglog::{FsyncPolicy, SegLogConfig, SegReplay, SegmentLog};
+pub use seglog::{FsyncPolicy, Retention, SegLogConfig, SegReplay, SegmentLog};
 pub use idserver::{FormatIdClient, FormatIdServer};
 pub use server::MetadataServer;
 pub use session::{Xml2Wire, Xml2WireBuilder};

@@ -57,6 +57,24 @@ pub enum FsyncPolicy {
     Never,
 }
 
+/// How much sealed history a [`SegmentLog`] keeps.
+///
+/// Retention is enforced on rotation, in whole segments: when the log
+/// seals a segment and starts a new one, sealed segments past the cap
+/// are deleted oldest-first. The active segment is never deleted, so
+/// the cap is effectively at least one segment of history. A
+/// [`SegmentLog::replay_from`] that asks for a compacted-away sequence
+/// fails with the typed [`X2wError::SeqTruncated`] instead of silently
+/// starting late — the caller (a federation link catching up after an
+/// outage, say) must *know* the history is gone, not infer it from a
+/// gap.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Retention {
+    /// Cap on the number of segment files, active one included;
+    /// `None` (the default) keeps everything.
+    pub max_segments: Option<usize>,
+}
+
 /// Tuning knobs for a [`SegmentLog`].
 #[derive(Debug, Clone, Copy)]
 pub struct SegLogConfig {
@@ -65,11 +83,17 @@ pub struct SegLogConfig {
     pub segment_bytes: u64,
     /// Durability policy.
     pub fsync: FsyncPolicy,
+    /// How much sealed history to keep.
+    pub retention: Retention,
 }
 
 impl Default for SegLogConfig {
     fn default() -> Self {
-        SegLogConfig { segment_bytes: 8 * 1024 * 1024, fsync: FsyncPolicy::EveryN(32) }
+        SegLogConfig {
+            segment_bytes: 8 * 1024 * 1024,
+            fsync: FsyncPolicy::EveryN(32),
+            retention: Retention::default(),
+        }
     }
 }
 
@@ -341,6 +365,7 @@ impl SegmentLog {
             }
             self.start_segment(seq)?;
             self.unsynced = 0;
+            self.enforce_retention()?;
         }
 
         // One contiguous write per record so an in-process reader never
@@ -372,6 +397,23 @@ impl SegmentLog {
         Ok(())
     }
 
+    /// Deletes whole sealed segments oldest-first until the configured
+    /// [`Retention`] cap is met. Runs on rotation only, so the active
+    /// segment — which the cap is clamped to always include — is never
+    /// touched, and an append-heavy log pays nothing per record.
+    fn enforce_retention(&mut self) -> Result<(), X2wError> {
+        let Some(max) = self.config.retention.max_segments else {
+            return Ok(());
+        };
+        let max = max.max(1);
+        while self.segments.len() > max {
+            let seg = self.segments.remove(0);
+            fs::remove_file(&seg.path)?;
+            self.first_seq = self.segments[0].base_seq;
+        }
+        Ok(())
+    }
+
     /// Forces everything appended so far to stable storage.
     ///
     /// # Errors
@@ -395,8 +437,18 @@ impl SegmentLog {
     ///
     /// # Errors
     ///
-    /// I/O failures listing segments.
+    /// [`X2wError::SeqTruncated`] when `from_seq` asks for history the
+    /// log no longer retains (compacted away under [`Retention`], or
+    /// the log simply started later) — the caller must decide whether
+    /// starting at [`first_seq`](Self::first_seq) is acceptable rather
+    /// than have the gap papered over. I/O failures listing segments.
     pub fn replay_from(&self, from_seq: u64) -> Result<SegReplay, X2wError> {
+        if self.first_seq > 1 && from_seq.max(1) < self.first_seq {
+            return Err(X2wError::SeqTruncated {
+                requested: from_seq.max(1),
+                earliest: self.first_seq,
+            });
+        }
         let mut relevant: Vec<SegmentRef> = Vec::new();
         for (i, seg) in self.segments.iter().enumerate() {
             // A segment is relevant if any of its records could be ≥
@@ -596,7 +648,7 @@ mod tests {
     #[test]
     fn rotation_spreads_records_over_segments() {
         let dir = temp_dir("rotate");
-        let config = SegLogConfig { segment_bytes: 256, fsync: FsyncPolicy::Never };
+        let config = SegLogConfig { segment_bytes: 256, fsync: FsyncPolicy::Never, ..Default::default() };
         let mut log = SegmentLog::open(&dir, config).unwrap();
         for i in 1..=40 {
             log.append(i, &payload(i)).unwrap();
@@ -613,7 +665,7 @@ mod tests {
     #[test]
     fn reopen_resumes_at_the_right_seq() {
         let dir = temp_dir("reopen");
-        let config = SegLogConfig { segment_bytes: 512, fsync: FsyncPolicy::Always };
+        let config = SegLogConfig { segment_bytes: 512, fsync: FsyncPolicy::Always, ..Default::default() };
         {
             let mut log = SegmentLog::open(&dir, config).unwrap();
             for i in 1..=20 {
@@ -631,7 +683,7 @@ mod tests {
     #[test]
     fn torn_tail_is_truncated_on_recovery() {
         let dir = temp_dir("torn");
-        let config = SegLogConfig { segment_bytes: 1 << 20, fsync: FsyncPolicy::Always };
+        let config = SegLogConfig { segment_bytes: 1 << 20, fsync: FsyncPolicy::Always, ..Default::default() };
         {
             let mut log = SegmentLog::open(&dir, config).unwrap();
             for i in 1..=10 {
@@ -659,7 +711,7 @@ mod tests {
     #[test]
     fn bit_flip_in_tail_truncates_from_the_flip() {
         let dir = temp_dir("bitflip");
-        let config = SegLogConfig { segment_bytes: 1 << 20, fsync: FsyncPolicy::Always };
+        let config = SegLogConfig { segment_bytes: 1 << 20, fsync: FsyncPolicy::Always, ..Default::default() };
         {
             let mut log = SegmentLog::open(&dir, config).unwrap();
             for i in 1..=8 {
@@ -687,7 +739,7 @@ mod tests {
     #[test]
     fn forged_length_in_sealed_segment_is_a_replay_error() {
         let dir = temp_dir("forged");
-        let config = SegLogConfig { segment_bytes: 128, fsync: FsyncPolicy::Always };
+        let config = SegLogConfig { segment_bytes: 128, fsync: FsyncPolicy::Always, ..Default::default() };
         {
             let mut log = SegmentLog::open(&dir, config).unwrap();
             for i in 1..=12 {
@@ -744,6 +796,71 @@ mod tests {
         assert!(log.append(3, b"b").is_err(), "gap must be rejected");
         assert!(log.append(1, b"b").is_err(), "repeat must be rejected");
         log.append(2, b"b").unwrap();
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn retention_deletes_sealed_segments_on_rotation() {
+        let dir = temp_dir("retention");
+        let config = SegLogConfig {
+            segment_bytes: 256,
+            fsync: FsyncPolicy::Never,
+            retention: Retention { max_segments: Some(3) },
+        };
+        let mut log = SegmentLog::open(&dir, config).unwrap();
+        for i in 1..=60 {
+            log.append(i, &payload(i)).unwrap();
+        }
+        assert!(log.segment_count() <= 3, "{} segments retained", log.segment_count());
+        assert!(log.first_seq() > 1, "oldest history must be compacted away");
+        assert_eq!(log.last_seq(), 60, "retention must never touch the tail");
+        // The directory itself agrees with the in-memory view.
+        let on_disk = fs::read_dir(&dir)
+            .unwrap()
+            .filter(|e| {
+                parse_segment_name(e.as_ref().unwrap().file_name().to_str().unwrap())
+                    .is_some()
+            })
+            .count();
+        assert_eq!(on_disk, log.segment_count());
+        // Everything still retained replays cleanly and contiguously.
+        let entries = collect(log.replay_from(log.first_seq()).unwrap());
+        assert_eq!(entries.first().unwrap().0, log.first_seq());
+        assert_eq!(entries.last().unwrap().0, 60);
+        for pair in entries.windows(2) {
+            assert_eq!(pair[1].0, pair[0].0 + 1);
+        }
+        // Retention survives reopen: first_seq comes from the files.
+        drop(log);
+        let log = SegmentLog::open(&dir, config).unwrap();
+        assert!(log.first_seq() > 1);
+        assert_eq!(log.last_seq(), 60);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn replaying_a_compacted_seq_is_a_typed_error() {
+        let dir = temp_dir("truncated");
+        let config = SegLogConfig {
+            segment_bytes: 256,
+            fsync: FsyncPolicy::Never,
+            retention: Retention { max_segments: Some(2) },
+        };
+        let mut log = SegmentLog::open(&dir, config).unwrap();
+        for i in 1..=40 {
+            log.append(i, &payload(i)).unwrap();
+        }
+        let earliest = log.first_seq();
+        assert!(earliest > 1);
+        match log.replay_from(1) {
+            Err(X2wError::SeqTruncated { requested, earliest: e }) => {
+                assert_eq!(requested, 1);
+                assert_eq!(e, earliest);
+            }
+            other => panic!("expected SeqTruncated, got {other:?}"),
+        }
+        // The boundary itself is fine.
+        assert!(log.replay_from(earliest).is_ok());
         fs::remove_dir_all(&dir).unwrap();
     }
 

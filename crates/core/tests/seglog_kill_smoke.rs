@@ -28,7 +28,7 @@ const CHILD_DIR_ENV: &str = "X2W_SEGLOG_KILL_DIR";
 
 /// Small segments so the kill window covers rotation boundaries too.
 fn config() -> SegLogConfig {
-    SegLogConfig { segment_bytes: 16 * 1024, fsync: FsyncPolicy::Always }
+    SegLogConfig { segment_bytes: 16 * 1024, fsync: FsyncPolicy::Always, ..Default::default() }
 }
 
 /// The child body, disguised as a test: a no-op unless the parent set

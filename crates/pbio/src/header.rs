@@ -49,11 +49,65 @@ pub struct WireHeader {
     pub payload_len: u32,
 }
 
+/// The allocation-free subset of a parsed header: everything a hot
+/// path needs to locate and interpret the payload image without
+/// materializing the format name ([`WireHeader::parse`] allocates a
+/// `String` for it, which rules it out for per-event work such as
+/// compiled subscription filters).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WirePeek {
+    /// The sender's raw architecture descriptor (bytes 8..14).
+    pub descriptor: [u8; 6],
+    /// The struct-definition fingerprint.
+    pub fingerprint: u64,
+    /// Bytes the header occupies (fixed part + padded name); the
+    /// payload image starts here. Guaranteed `<= buf.len()`.
+    pub header_len: usize,
+    /// Length of the fixed part of the payload image.
+    pub fixed_len: u32,
+    /// Total payload length (fixed part + variable section).
+    pub payload_len: u32,
+}
+
 impl WireHeader {
     /// Bytes this header occupies on the wire (fixed part + name, padded
     /// to 4 bytes).
     pub fn encoded_len(&self) -> usize {
         FIXED_HEADER_LEN + pad4(self.format_name.len())
+    }
+
+    /// Parses the fixed header fields without allocating — see
+    /// [`WirePeek`]. Validates magic, version and that the whole header
+    /// (including the skipped-over name) is present.
+    ///
+    /// # Errors
+    ///
+    /// Reports bad magic, unsupported versions and truncation, exactly
+    /// as [`WireHeader::parse`] does for the same prefixes.
+    pub fn peek(buf: &[u8]) -> Result<WirePeek, PbioError> {
+        if buf.len() < FIXED_HEADER_LEN {
+            return Err(PbioError::Truncated { need: FIXED_HEADER_LEN, have: buf.len() });
+        }
+        if buf[0..2] != MAGIC {
+            return Err(PbioError::BadMagic { found: [buf[0], buf[1]] });
+        }
+        if buf[2] != VERSION {
+            return Err(PbioError::UnsupportedVersion { version: buf[2] });
+        }
+        let mut descriptor = [0u8; 6];
+        descriptor.copy_from_slice(&buf[8..14]);
+        let name_len = get_uint(buf, 14, 2, Endianness::Little) as usize;
+        let header_len = FIXED_HEADER_LEN + pad4(name_len);
+        if buf.len() < header_len {
+            return Err(PbioError::Truncated { need: header_len, have: buf.len() });
+        }
+        Ok(WirePeek {
+            descriptor,
+            fingerprint: get_uint(buf, 24, 8, Endianness::Little),
+            header_len,
+            fixed_len: get_uint(buf, 16, 4, Endianness::Little) as u32,
+            payload_len: get_uint(buf, 20, 4, Endianness::Little) as u32,
+        })
     }
 
     /// Appends the encoded header to `out`.
@@ -212,6 +266,25 @@ mod tests {
             WireHeader { format_name: "n".repeat(MAX_FORMAT_NAME_LEN + 1), ..sample() };
         let mut buf = Vec::new();
         header.write_to(&mut buf);
+    }
+
+    #[test]
+    fn peek_agrees_with_parse() {
+        let header = sample();
+        let mut buf = Vec::new();
+        header.write_to(&mut buf);
+        let peek = WireHeader::peek(&buf).unwrap();
+        let (parsed, len) = WireHeader::parse(&buf).unwrap();
+        assert_eq!(peek.header_len, len);
+        assert_eq!(peek.descriptor, parsed.arch.descriptor());
+        assert_eq!(peek.fingerprint, parsed.fingerprint);
+        assert_eq!(peek.fixed_len, parsed.fixed_len);
+        assert_eq!(peek.payload_len, parsed.payload_len);
+        for cut in 0..buf.len() {
+            assert!(WireHeader::peek(&buf[..cut]).is_err(), "cut {cut}");
+        }
+        buf[0] = b'X';
+        assert!(matches!(WireHeader::peek(&buf), Err(PbioError::BadMagic { .. })));
     }
 
     #[test]
