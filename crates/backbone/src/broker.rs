@@ -35,7 +35,7 @@ use parking_lot::{Mutex, RwLock};
 use xml2wire::seglog::{SegLogConfig, SegReplay, SegmentLog};
 
 use crate::error::BackboneError;
-use crate::filter::{FilterCache, FilterCacheStats, StreamFilter};
+use crate::filter::{FilterCache, FilterCacheStats, FilterError, StreamFilter};
 
 /// One event on a stream: an encoded message plus routing metadata.
 ///
@@ -204,6 +204,11 @@ struct SubEntry {
     /// equivalent predicates share one `Arc` (the [`FilterCache`]
     /// dedups), so fanout groups them and evaluates once per event.
     filter: Option<Arc<StreamFilter>>,
+    /// Set by the shard worker when a stream-type swap invalidates this
+    /// subscriber's filter, just before the entry is dropped; the
+    /// subscription reads it to turn the resulting disconnection into
+    /// the typed [`FilterError::TypeChanged`].
+    poison: Arc<Mutex<Option<FilterError>>>,
 }
 
 /// Messages on a shard's dispatch queue. Control messages share the
@@ -216,6 +221,13 @@ enum ShardMsg {
     /// stream becomes publishable, so it always precedes the stream's
     /// first event on the queue.
     RegisterLog { meta: Arc<StreamMeta>, log: Arc<Mutex<SegmentLog>> },
+    /// The stream's struct type was replaced: the worker recompiles
+    /// each live subscriber's filter against the new type (via the
+    /// shared cache) or, when an expression no longer typechecks,
+    /// poisons and drops the subscriber. Travels the event queue, so
+    /// events published before the swap are still evaluated under the
+    /// old programs and events after it under the new ones.
+    Retype { stream: Arc<str>, st: Arc<StructType>, cache: Arc<FilterCache> },
     Shutdown,
 }
 
@@ -257,28 +269,51 @@ pub struct Subscription {
     meta: Arc<StreamMeta>,
     shard_tx: Sender<ShardMsg>,
     id: u64,
+    poison: Arc<Mutex<Option<FilterError>>>,
 }
 
 impl Subscription {
+    /// What a closed channel means for this subscription: normally the
+    /// broker is gone, but a filtered subscriber whose predicate was
+    /// invalidated by a stream-type swap gets the typed reason instead.
+    fn disconnect_error(&self) -> BackboneError {
+        match self.poison.lock().clone() {
+            Some(e) => BackboneError::Filter(e),
+            None => BackboneError::Disconnected,
+        }
+    }
+
     /// Blocks until the next event.
     ///
     /// # Errors
     ///
-    /// Returns [`BackboneError::Disconnected`] when the broker is gone.
+    /// Returns [`BackboneError::Disconnected`] when the broker is gone,
+    /// or [`BackboneError::Filter`] with
+    /// [`FilterError::TypeChanged`] when a stream-type swap invalidated
+    /// this subscription's predicate.
     pub fn recv(&self) -> Result<Arc<Event>, BackboneError> {
-        self.receiver.recv().map_err(|_| BackboneError::Disconnected)
+        self.receiver.recv().map_err(|_| self.disconnect_error())
     }
 
     /// Waits up to `timeout` for the next event.
     ///
     /// # Errors
     ///
-    /// Disconnection or timeout (reported as `Disconnected`).
+    /// Disconnection or timeout (reported as `Disconnected`), or the
+    /// typed [`FilterError::TypeChanged`] as for [`recv`](Self::recv).
     pub fn recv_timeout(
         &self,
         timeout: std::time::Duration,
     ) -> Result<Arc<Event>, BackboneError> {
-        self.receiver.recv_timeout(timeout).map_err(|_| BackboneError::Disconnected)
+        match self.receiver.recv_timeout(timeout) {
+            Ok(event) => Ok(event),
+            Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                Err(BackboneError::Disconnected)
+            }
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                Err(self.disconnect_error())
+            }
+        }
     }
 
     /// Waits up to `timeout`, distinguishing an empty interval
@@ -297,7 +332,7 @@ impl Subscription {
             Ok(event) => Ok(Some(event)),
             Err(crossbeam::channel::RecvTimeoutError::Timeout) => Ok(None),
             Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
-                Err(BackboneError::Disconnected)
+                Err(self.disconnect_error())
             }
         }
     }
@@ -578,7 +613,7 @@ fn enqueue_event(
 pub struct Broker {
     shards: Vec<Arc<Shard>>,
     workers: Mutex<Vec<JoinHandle<()>>>,
-    filters: FilterCache,
+    filters: Arc<FilterCache>,
 }
 
 impl std::fmt::Debug for Broker {
@@ -616,7 +651,11 @@ impl Broker {
                 .expect("spawning broker shard worker");
             workers.push(handle);
         }
-        Broker { shards: shard_vec, workers: Mutex::new(workers), filters: FilterCache::new() }
+        Broker {
+            shards: shard_vec,
+            workers: Mutex::new(workers),
+            filters: Arc::new(FilterCache::new()),
+        }
     }
 
     /// The number of shards this broker dispatches across.
@@ -839,13 +878,20 @@ impl Broker {
         };
         let id = NEXT_SUB_ID.fetch_add(1, Ordering::Relaxed);
         meta.subscribers.fetch_add(1, Ordering::SeqCst);
-        let entry =
-            SubEntry { id, tx, overflow: meta.overflow, meta: Arc::clone(&meta), filter };
+        let poison = Arc::new(Mutex::new(None));
+        let entry = SubEntry {
+            id,
+            tx,
+            overflow: meta.overflow,
+            meta: Arc::clone(&meta),
+            filter,
+            poison: Arc::clone(&poison),
+        };
         if shard.tx.send(ShardMsg::Subscribe { entry, ack }).is_err() {
             meta.subscribers.fetch_sub(1, Ordering::SeqCst);
             return Err(BackboneError::Disconnected);
         }
-        Ok(Subscription { receiver: rx, meta, shard_tx: shard.tx.clone(), id })
+        Ok(Subscription { receiver: rx, meta, shard_tx: shard.tx.clone(), id, poison })
     }
 
     /// Registers (or replaces) the clayout struct type of a stream's
@@ -855,6 +901,15 @@ impl Broker {
     /// its format's struct type automatically; call this directly for
     /// streams published by hand.
     ///
+    /// Replacing a previously registered type with a *different* one
+    /// (type evolution) re-binds live filtered subscribers instead of
+    /// orphaning them: each predicate is recompiled against the new
+    /// type through the shard's dispatch queue (so the cutover is
+    /// exact with respect to in-flight events), and a predicate that no
+    /// longer typechecks terminates its subscription with the typed
+    /// [`FilterError::TypeChanged`] rather than silently matching
+    /// nothing forever.
+    ///
     /// # Errors
     ///
     /// Unknown streams.
@@ -863,8 +918,25 @@ impl Broker {
         stream: &str,
         st: StructType,
     ) -> Result<(), BackboneError> {
-        let (_, meta) = self.lookup(stream)?;
-        *meta.filter_type.lock() = Some(Arc::new(st));
+        let (shard, meta) = self.lookup(stream)?;
+        let st = Arc::new(st);
+        let changed = {
+            let mut guard = meta.filter_type.lock();
+            let changed = guard.as_ref().is_some_and(|old| {
+                pbio::format::struct_fingerprint(old) != pbio::format::struct_fingerprint(&st)
+            });
+            *guard = Some(Arc::clone(&st));
+            changed
+        };
+        if changed {
+            // A send failure means the shard worker is gone (broker
+            // shutting down); nothing left to re-bind.
+            let _ = shard.tx.send(ShardMsg::Retype {
+                stream: Arc::clone(&meta.name),
+                st,
+                cache: Arc::clone(&self.filters),
+            });
+        }
         Ok(())
     }
 
@@ -1145,6 +1217,10 @@ fn dispatch_loop(rx: &Receiver<ShardMsg>) {
                     );
                     i += 1;
                 }
+                ShardMsg::Retype { stream, st, cache } => {
+                    retype_stream(&mut streams, stream, st, cache);
+                    i += 1;
+                }
                 ShardMsg::Shutdown => {
                     sync_sinks(&sinks);
                     return;
@@ -1152,6 +1228,47 @@ fn dispatch_loop(rx: &Receiver<ShardMsg>) {
             }
         }
     }
+}
+
+/// Re-binds a stream's live filtered subscribers after a type swap:
+/// each predicate is recompiled against the new struct type through the
+/// shared cache (equivalent predicates still dedup to one program). An
+/// expression that no longer typechecks poisons its subscriber with
+/// [`FilterError::TypeChanged`] and drops the entry — closing the
+/// channel so the subscriber observes the typed error instead of a
+/// filter that can never match again. Unfiltered subscribers and
+/// filters already bound to the new type are untouched.
+fn retype_stream(
+    streams: &mut ShardStreams,
+    stream: &Arc<str>,
+    st: &Arc<StructType>,
+    cache: &Arc<FilterCache>,
+) {
+    let Some(subs) = streams.get_mut(stream.as_ref()) else {
+        return;
+    };
+    let fingerprint = pbio::format::struct_fingerprint(st);
+    subs.retain_mut(|entry| {
+        let Some(filter) = &entry.filter else {
+            return true;
+        };
+        if filter.fingerprint() == fingerprint {
+            return true;
+        }
+        match cache.get_or_compile(st, filter.normalized()) {
+            Ok(rebound) => {
+                entry.filter = Some(rebound);
+                true
+            }
+            Err(e) => {
+                *entry.poison.lock() = Some(FilterError::TypeChanged {
+                    expr: filter.normalized().to_owned(),
+                    detail: e.to_string(),
+                });
+                false
+            }
+        }
+    });
 }
 
 /// Best-effort fsync of every durable log this shard owns, run at
@@ -1829,6 +1946,100 @@ mod tests {
             tick_message(200, "ATL")
         );
         assert!(atl.try_recv().is_none());
+    }
+
+    /// A schema-evolution step for `tick_type`: `dest` is gone, `qty`
+    /// is new, `price` survives.
+    fn evolved_tick_type() -> clayout::StructType {
+        clayout::StructType::new(
+            "Tick",
+            vec![
+                clayout::StructField::new("price", clayout::CType::Prim(clayout::Primitive::Long)),
+                clayout::StructField::new("qty", clayout::CType::Prim(clayout::Primitive::UInt)),
+            ],
+        )
+    }
+
+    fn evolved_tick_message(price: i64, qty: u64) -> Vec<u8> {
+        let mut record = clayout::Record::new();
+        record.set("price", clayout::Value::Int(price));
+        record.set("qty", clayout::Value::UInt(qty));
+        let format = pbio::format::Format::new(
+            pbio::format::FormatId(8),
+            evolved_tick_type(),
+            clayout::Architecture::host(),
+        )
+        .unwrap();
+        pbio::ndr::encode(&record, &format).unwrap()
+    }
+
+    #[test]
+    fn type_swap_rebinds_or_poisons_live_filtered_subscribers() {
+        let broker = Broker::new();
+        broker.create_stream("ticks", None);
+        broker.register_stream_type("ticks", tick_type()).unwrap();
+        let all = broker.subscribe("ticks").unwrap();
+        let by_price = broker.subscribe_filtered("ticks", "price > 100").unwrap();
+        let by_dest = broker.subscribe_filtered("ticks", "dest == \"ATL\"").unwrap();
+
+        broker.publish(Event::new("ticks", "Tick", tick_message(150, "ATL"))).unwrap();
+
+        // Swap the stream's type: `price` survives, `dest` is gone.
+        // The retype travels the shard queue, so it lands between the
+        // old-type publish above and the new-type publish below.
+        broker.register_stream_type("ticks", evolved_tick_type()).unwrap();
+        broker.publish(Event::new("ticks", "Tick", evolved_tick_message(200, 3))).unwrap();
+        broker.publish(Event::new("ticks", "Tick", evolved_tick_message(50, 4))).unwrap();
+
+        // The price predicate was recompiled against the new type: it
+        // keeps matching new-format events (the old compiled program
+        // carries the old fingerprint and could never match them).
+        assert_eq!(
+            by_price.recv_timeout(Duration::from_secs(5)).unwrap().payload,
+            tick_message(150, "ATL")
+        );
+        assert_eq!(
+            by_price.recv_timeout(Duration::from_secs(5)).unwrap().payload,
+            evolved_tick_message(200, 3)
+        );
+        assert!(by_price.try_recv().is_none(), "price 50 must not match");
+
+        // The dest predicate no longer typechecks: it still gets the
+        // event delivered before the swap, then the typed error.
+        assert_eq!(
+            by_dest.recv_timeout(Duration::from_secs(5)).unwrap().payload,
+            tick_message(150, "ATL")
+        );
+        match by_dest.recv_timeout(Duration::from_secs(5)) {
+            Err(BackboneError::Filter(crate::filter::FilterError::TypeChanged {
+                expr,
+                detail,
+            })) => {
+                assert_eq!(expr, "dest == \"ATL\"");
+                assert!(detail.contains("dest"), "detail should name the lost field: {detail}");
+            }
+            other => panic!("expected TypeChanged, got {other:?}"),
+        }
+
+        // Unfiltered subscribers ride through the swap untouched.
+        for _ in 0..3 {
+            all.recv_timeout(Duration::from_secs(5)).unwrap();
+        }
+    }
+
+    #[test]
+    fn same_type_reregistration_leaves_filters_alone() {
+        let broker = Broker::new();
+        broker.create_stream("ticks", None);
+        broker.register_stream_type("ticks", tick_type()).unwrap();
+        let by_dest = broker.subscribe_filtered("ticks", "dest == \"ATL\"").unwrap();
+        // Re-registering an identical type is a no-op for subscribers.
+        broker.register_stream_type("ticks", tick_type()).unwrap();
+        broker.publish(Event::new("ticks", "Tick", tick_message(1, "ATL"))).unwrap();
+        assert_eq!(
+            by_dest.recv_timeout(Duration::from_secs(5)).unwrap().payload,
+            tick_message(1, "ATL")
+        );
     }
 
     #[test]

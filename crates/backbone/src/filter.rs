@@ -8,7 +8,10 @@
 //! stream's clayout struct type, and compiles the expression into a
 //! small flat op program that evaluates directly against the NDR wire
 //! image — no decode, no allocation, only the referenced bytes
-//! touched. The same move PR 5 made for conversion (`ConversionPlan`)
+//! touched. Set membership (`price IN (100, 200, 300)`) and inclusive
+//! ranges (`weight BETWEEN 1.0 AND 2.5`) compile to single ops — one
+//! load, then immediate scans/compares — rather than chains of
+//! comparisons and jumps. The same move PR 5 made for conversion (`ConversionPlan`)
 //! and PR 7 made for XML ingest (the tape pass): compile per-format
 //! structure once, run a flat program per message.
 //!
@@ -102,6 +105,17 @@ pub enum FilterError {
         /// The layout error, rendered.
         detail: String,
     },
+    /// The stream's struct type was re-registered (see
+    /// [`crate::Broker::register_stream_type`]) and this predicate no
+    /// longer typechecks against the new type. The subscription is
+    /// terminated with this error rather than left silently matching
+    /// nothing against a fingerprint that will never arrive again.
+    TypeChanged {
+        /// The normalized predicate that stopped typechecking.
+        expr: String,
+        /// Why it fails against the new type, rendered.
+        detail: String,
+    },
 }
 
 impl fmt::Display for FilterError {
@@ -130,6 +144,12 @@ impl fmt::Display for FilterError {
             }
             FilterError::Layout { detail } => {
                 write!(f, "filter target layout failed: {detail}")
+            }
+            FilterError::TypeChanged { expr, detail } => {
+                write!(
+                    f,
+                    "filter `{expr}` no longer typechecks after the stream's type changed: {detail}"
+                )
             }
         }
     }
@@ -201,6 +221,7 @@ enum Tok {
     Bang,
     LParen,
     RParen,
+    Comma,
     Cmp(CmpOp),
     PrefixEq,
 }
@@ -224,6 +245,10 @@ fn lex(src: &str) -> Result<Vec<(usize, Tok)>, FilterError> {
             }
             b')' => {
                 toks.push((at, Tok::RParen));
+                i += 1;
+            }
+            b',' => {
+                toks.push((at, Tok::Comma));
                 i += 1;
             }
             b'&' => {
@@ -390,6 +415,10 @@ fn lex_number(src: &str, start: usize) -> Result<(Lit, usize), FilterError> {
 enum Expr {
     Cmp { field: String, op: CmpOp, lit: Lit },
     StrPrefix { field: String, lit: String },
+    /// `field IN (a, b, c)` — set membership in one op.
+    In { field: String, items: Vec<Lit> },
+    /// `field BETWEEN lo AND hi` — inclusive range in one op.
+    Between { field: String, lo: Lit, hi: Lit },
     And(Box<Expr>, Box<Expr>),
     Or(Box<Expr>, Box<Expr>),
     Not(Box<Expr>),
@@ -463,6 +492,17 @@ impl Parser {
             Some(Tok::Ident(name)) => name,
             _ => return Err(err(self.at(), "expected a field name")),
         };
+        match self.peek() {
+            Some(Tok::Ident(kw)) if kw == "IN" => {
+                self.bump();
+                return self.parse_in(field);
+            }
+            Some(Tok::Ident(kw)) if kw == "BETWEEN" => {
+                self.bump();
+                return self.parse_between(field);
+            }
+            _ => {}
+        }
         let op = self.bump();
         let lit_at = self.at();
         let lit = match self.bump() {
@@ -481,6 +521,45 @@ impl Parser {
             },
             _ => Err(err(lit_at, "expected a comparison operator")),
         }
+    }
+
+    fn parse_in(&mut self, field: String) -> Result<Expr, FilterError> {
+        if !matches!(self.bump(), Some(Tok::LParen)) {
+            return Err(err(self.at(), "expected `(` after `IN`"));
+        }
+        let mut items = Vec::new();
+        loop {
+            let lit_at = self.at();
+            let lit = match self.bump() {
+                Some(Tok::Lit(lit)) => lit,
+                _ => return Err(err(lit_at, "expected a literal in the `IN` list")),
+            };
+            items.push(lit);
+            match self.bump() {
+                Some(Tok::Comma) => continue,
+                Some(Tok::RParen) => break,
+                _ => return Err(err(self.at(), "expected `,` or `)` in the `IN` list")),
+            }
+        }
+        Ok(Expr::In { field, items })
+    }
+
+    fn parse_between(&mut self, field: String) -> Result<Expr, FilterError> {
+        let lo_at = self.at();
+        let lo = match self.bump() {
+            Some(Tok::Lit(lit)) => lit,
+            _ => return Err(err(lo_at, "expected a literal after `BETWEEN`")),
+        };
+        match self.bump() {
+            Some(Tok::Ident(kw)) if kw == "AND" => {}
+            _ => return Err(err(self.at(), "expected `AND` between the `BETWEEN` bounds")),
+        }
+        let hi_at = self.at();
+        let hi = match self.bump() {
+            Some(Tok::Lit(lit)) => lit,
+            _ => return Err(err(hi_at, "expected a literal after `AND`")),
+        };
+        Ok(Expr::Between { field, lo, hi })
     }
 }
 
@@ -517,6 +596,24 @@ fn render(expr: &Expr, out: &mut String) {
             out.push_str(field);
             out.push_str(" ^= ");
             render_lit(&Lit::Str(lit.clone()), out);
+        }
+        Expr::In { field, items } => {
+            out.push_str(field);
+            out.push_str(" IN (");
+            for (i, lit) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                render_lit(lit, out);
+            }
+            out.push(')');
+        }
+        Expr::Between { field, lo, hi } => {
+            out.push_str(field);
+            out.push_str(" BETWEEN ");
+            render_lit(lo, out);
+            out.push_str(" AND ");
+            render_lit(hi, out);
         }
         Expr::And(l, r) => {
             out.push('(');
@@ -574,6 +671,13 @@ enum TExpr {
     UInt { field: usize, op: CmpOp, rhs: u64 },
     Float { field: usize, op: CmpOp, rhs: f64 },
     Str { field: usize, op: StrOp, rhs: String },
+    InInt { field: usize, set: Vec<i64> },
+    InUInt { field: usize, set: Vec<u64> },
+    InFloat { field: usize, set: Vec<f64> },
+    InStr { field: usize, set: Vec<String> },
+    BetweenInt { field: usize, lo: i64, hi: i64 },
+    BetweenUInt { field: usize, lo: u64, hi: u64 },
+    BetweenFloat { field: usize, lo: f64, hi: f64 },
     And(Box<TExpr>, Box<TExpr>),
     Or(Box<TExpr>, Box<TExpr>),
     Not(Box<TExpr>),
@@ -595,6 +699,8 @@ fn typecheck(expr: &Expr, st: &StructType) -> Result<TExpr, FilterError> {
             Ok(TExpr::Str { field: idx, op: StrOp::Prefix, rhs: lit.clone() })
         }
         Expr::Cmp { field, op, lit } => typecheck_cmp(field, *op, lit, st),
+        Expr::In { field, items } => typecheck_in(field, items, st),
+        Expr::Between { field, lo, hi } => typecheck_between(field, lo, hi, st),
     }
 }
 
@@ -698,12 +804,140 @@ fn typecheck_cmp(
     }
 }
 
+/// Coerces one literal to the field's value class with exactly the
+/// rules `typecheck_cmp` applies, so `IN`/`BETWEEN` accept and reject
+/// the same literals a chain of `==`/`<=` comparisons would.
+fn coerce_int(lit: &Lit) -> Result<i64, &'static str> {
+    match lit {
+        Lit::Int(v) => Ok(*v),
+        Lit::UInt(_) => Err("an integer literal in i64 range"),
+        _ => Err("an integer literal"),
+    }
+}
+
+fn coerce_uint(lit: &Lit) -> Result<u64, &'static str> {
+    match lit {
+        Lit::Int(v) if *v >= 0 => Ok(*v as u64),
+        Lit::UInt(v) => Ok(*v),
+        Lit::Int(_) => Err("a non-negative integer literal"),
+        _ => Err("an integer literal"),
+    }
+}
+
+fn coerce_float(lit: &Lit) -> Result<f64, &'static str> {
+    match lit {
+        Lit::Int(v) => Ok(*v as f64),
+        Lit::UInt(v) => Ok(*v as f64),
+        Lit::Float(v) => Ok(*v),
+        Lit::Str(_) => Err("a numeric literal"),
+    }
+}
+
+fn typecheck_in(field: &str, items: &[Lit], st: &StructType) -> Result<TExpr, FilterError> {
+    let (idx, ty) = resolve_field(field, st)?;
+    let mismatch = |expected: &'static str, found: &Lit| FilterError::TypeMismatch {
+        field: field.to_owned(),
+        expected,
+        found: found.type_name().to_owned(),
+    };
+    fn coerce_all<T>(
+        items: &[Lit],
+        f: fn(&Lit) -> Result<T, &'static str>,
+        mismatch: &impl Fn(&'static str, &Lit) -> FilterError,
+    ) -> Result<Vec<T>, FilterError> {
+        items
+            .iter()
+            .map(|lit| f(lit).map_err(|expected| mismatch(expected, lit)))
+            .collect()
+    }
+    match ty {
+        CType::Prim(p) if p.is_float() => {
+            Ok(TExpr::InFloat { field: idx, set: coerce_all(items, coerce_float, &mismatch)? })
+        }
+        CType::Prim(p) if p.is_signed_integer() => {
+            Ok(TExpr::InInt { field: idx, set: coerce_all(items, coerce_int, &mismatch)? })
+        }
+        CType::Prim(_) => {
+            Ok(TExpr::InUInt { field: idx, set: coerce_all(items, coerce_uint, &mismatch)? })
+        }
+        CType::String => {
+            let set = items
+                .iter()
+                .map(|lit| match lit {
+                    Lit::Str(s) => Ok(s.clone()),
+                    other => Err(mismatch("a string literal", other)),
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(TExpr::InStr { field: idx, set })
+        }
+        CType::Array { .. } => Err(FilterError::Unsupported {
+            field: field.to_owned(),
+            detail: "array fields cannot be filtered on".to_owned(),
+        }),
+        CType::Struct(_) => Err(FilterError::Unsupported {
+            field: field.to_owned(),
+            detail: "nested struct fields cannot be filtered on".to_owned(),
+        }),
+    }
+}
+
+fn typecheck_between(
+    field: &str,
+    lo: &Lit,
+    hi: &Lit,
+    st: &StructType,
+) -> Result<TExpr, FilterError> {
+    let (idx, ty) = resolve_field(field, st)?;
+    let mismatch = |expected: &'static str, found: &Lit| FilterError::TypeMismatch {
+        field: field.to_owned(),
+        expected,
+        found: found.type_name().to_owned(),
+    };
+    match ty {
+        CType::Prim(p) if p.is_float() => {
+            let lo = coerce_float(lo).map_err(|e| mismatch(e, lo))?;
+            let hi = coerce_float(hi).map_err(|e| mismatch(e, hi))?;
+            Ok(TExpr::BetweenFloat { field: idx, lo, hi })
+        }
+        CType::Prim(p) if p.is_signed_integer() => {
+            let lo = coerce_int(lo).map_err(|e| mismatch(e, lo))?;
+            let hi = coerce_int(hi).map_err(|e| mismatch(e, hi))?;
+            Ok(TExpr::BetweenInt { field: idx, lo, hi })
+        }
+        CType::Prim(_) => {
+            let lo = coerce_uint(lo).map_err(|e| mismatch(e, lo))?;
+            let hi = coerce_uint(hi).map_err(|e| mismatch(e, hi))?;
+            Ok(TExpr::BetweenUInt { field: idx, lo, hi })
+        }
+        CType::String => Err(FilterError::TypeMismatch {
+            field: field.to_owned(),
+            expected: "`IN` for string sets (strings have no ordering on the wire)",
+            found: "BETWEEN".to_owned(),
+        }),
+        CType::Array { .. } => Err(FilterError::Unsupported {
+            field: field.to_owned(),
+            detail: "array fields cannot be filtered on".to_owned(),
+        }),
+        CType::Struct(_) => Err(FilterError::Unsupported {
+            field: field.to_owned(),
+            detail: "nested struct fields cannot be filtered on".to_owned(),
+        }),
+    }
+}
+
 fn collect_fields(expr: &TExpr, st: &StructType, out: &mut Vec<String>) {
     match expr {
         TExpr::Int { field, .. }
         | TExpr::UInt { field, .. }
         | TExpr::Float { field, .. }
-        | TExpr::Str { field, .. } => {
+        | TExpr::Str { field, .. }
+        | TExpr::InInt { field, .. }
+        | TExpr::InUInt { field, .. }
+        | TExpr::InFloat { field, .. }
+        | TExpr::InStr { field, .. }
+        | TExpr::BetweenInt { field, .. }
+        | TExpr::BetweenUInt { field, .. }
+        | TExpr::BetweenFloat { field, .. } => {
             let name = &st.fields[*field].name;
             if !out.iter().any(|f| f == name) {
                 out.push(name.clone());
@@ -732,6 +966,19 @@ enum Op {
     CmpF32 { at: u32, op: CmpOp, rhs: f64 },
     CmpF64 { at: u32, op: CmpOp, rhs: f64 },
     Str { at: u32, op: StrOp, rhs: Box<[u8]> },
+    /// `IN` set membership: one load, one linear scan over the
+    /// immediates (the sets are tiny — written out by hand in a
+    /// predicate), no jump scaffolding per alternative.
+    InI { at: u32, size: u8, set: Box<[i64]> },
+    InU { at: u32, size: u8, set: Box<[u64]> },
+    InF32 { at: u32, set: Box<[f64]> },
+    InF64 { at: u32, set: Box<[f64]> },
+    InStr { at: u32, set: Box<[Box<[u8]>]> },
+    /// `BETWEEN`: one load, two immediate compares, inclusive.
+    BetweenI { at: u32, size: u8, lo: i64, hi: i64 },
+    BetweenU { at: u32, size: u8, lo: u64, hi: u64 },
+    BetweenF32 { at: u32, lo: f64, hi: f64 },
+    BetweenF64 { at: u32, lo: f64, hi: f64 },
     Not,
     JmpFalse { to: u32 },
     JmpTrue { to: u32 },
@@ -804,6 +1051,45 @@ impl FilterProgram {
                         StrOp::Ne => s != &rhs[..],
                         StrOp::Prefix => s.starts_with(rhs),
                     };
+                }
+                Op::InI { at, size, set } => {
+                    let v = get_int(image, *at as usize, *size as usize, e);
+                    acc = set.contains(&v);
+                }
+                Op::InU { at, size, set } => {
+                    let v = get_uint(image, *at as usize, *size as usize, e);
+                    acc = set.contains(&v);
+                }
+                Op::InF32 { at, set } => {
+                    let v = f32::from_bits(get_uint(image, *at as usize, 4, e) as u32) as f64;
+                    acc = set.contains(&v);
+                }
+                Op::InF64 { at, set } => {
+                    let v = f64::from_bits(get_uint(image, *at as usize, 8, e));
+                    acc = set.contains(&v);
+                }
+                Op::InStr { at, set } => {
+                    let target = get_uint(image, *at as usize, self.ptr_size as usize, e);
+                    let Some(s) = str_bytes(image, target) else {
+                        return false;
+                    };
+                    acc = set.iter().any(|x| &x[..] == s);
+                }
+                Op::BetweenI { at, size, lo, hi } => {
+                    let v = get_int(image, *at as usize, *size as usize, e);
+                    acc = *lo <= v && v <= *hi;
+                }
+                Op::BetweenU { at, size, lo, hi } => {
+                    let v = get_uint(image, *at as usize, *size as usize, e);
+                    acc = *lo <= v && v <= *hi;
+                }
+                Op::BetweenF32 { at, lo, hi } => {
+                    let v = f32::from_bits(get_uint(image, *at as usize, 4, e) as u32) as f64;
+                    acc = v >= *lo && v <= *hi;
+                }
+                Op::BetweenF64 { at, lo, hi } => {
+                    let v = f64::from_bits(get_uint(image, *at as usize, 8, e));
+                    acc = v >= *lo && v <= *hi;
                 }
                 Op::Not => acc = !acc,
                 Op::JmpFalse { to } => {
@@ -905,6 +1191,56 @@ fn emit(expr: &TExpr, layout: &Layout, ops: &mut Vec<Op>) {
                 op: *op,
                 rhs: rhs.as_bytes().to_vec().into_boxed_slice(),
             });
+        }
+        TExpr::InInt { field, set } => {
+            let size = layout.fields[*field].size as u8;
+            ops.push(Op::InI {
+                at: offset_of(*field),
+                size,
+                set: set.clone().into_boxed_slice(),
+            });
+        }
+        TExpr::InUInt { field, set } => {
+            let size = layout.fields[*field].size as u8;
+            ops.push(Op::InU {
+                at: offset_of(*field),
+                size,
+                set: set.clone().into_boxed_slice(),
+            });
+        }
+        TExpr::InFloat { field, set } => {
+            let at = offset_of(*field);
+            let set = set.clone().into_boxed_slice();
+            if layout.fields[*field].size == 4 {
+                ops.push(Op::InF32 { at, set });
+            } else {
+                ops.push(Op::InF64 { at, set });
+            }
+        }
+        TExpr::InStr { field, set } => {
+            ops.push(Op::InStr {
+                at: offset_of(*field),
+                set: set
+                    .iter()
+                    .map(|s| s.as_bytes().to_vec().into_boxed_slice())
+                    .collect(),
+            });
+        }
+        TExpr::BetweenInt { field, lo, hi } => {
+            let size = layout.fields[*field].size as u8;
+            ops.push(Op::BetweenI { at: offset_of(*field), size, lo: *lo, hi: *hi });
+        }
+        TExpr::BetweenUInt { field, lo, hi } => {
+            let size = layout.fields[*field].size as u8;
+            ops.push(Op::BetweenU { at: offset_of(*field), size, lo: *lo, hi: *hi });
+        }
+        TExpr::BetweenFloat { field, lo, hi } => {
+            let at = offset_of(*field);
+            if layout.fields[*field].size == 4 {
+                ops.push(Op::BetweenF32 { at, lo: *lo, hi: *hi });
+            } else {
+                ops.push(Op::BetweenF64 { at, lo: *lo, hi: *hi });
+            }
         }
         TExpr::Not(inner) => {
             emit(inner, layout, ops);
@@ -1107,6 +1443,34 @@ fn eval_record(expr: &TExpr, st: &StructType, record: &clayout::Record) -> bool 
                 StrOp::Ne => s != rhs,
                 StrOp::Prefix => s.starts_with(rhs.as_str()),
             },
+            _ => false,
+        },
+        TExpr::InInt { field, set } => match record.get(&st.fields[*field].name) {
+            Some(Value::Int(v)) => set.contains(v),
+            _ => false,
+        },
+        TExpr::InUInt { field, set } => match record.get(&st.fields[*field].name) {
+            Some(Value::UInt(v)) => set.contains(v),
+            _ => false,
+        },
+        TExpr::InFloat { field, set } => match record.get(&st.fields[*field].name) {
+            Some(Value::Float(v)) => set.iter().any(|x| x == v),
+            _ => false,
+        },
+        TExpr::InStr { field, set } => match record.get(&st.fields[*field].name) {
+            Some(Value::String(s)) => set.iter().any(|x| x == s),
+            _ => false,
+        },
+        TExpr::BetweenInt { field, lo, hi } => match record.get(&st.fields[*field].name) {
+            Some(Value::Int(v)) => *lo <= *v && *v <= *hi,
+            _ => false,
+        },
+        TExpr::BetweenUInt { field, lo, hi } => match record.get(&st.fields[*field].name) {
+            Some(Value::UInt(v)) => *lo <= *v && *v <= *hi,
+            _ => false,
+        },
+        TExpr::BetweenFloat { field, lo, hi } => match record.get(&st.fields[*field].name) {
+            Some(Value::Float(v)) => *v >= *lo && *v <= *hi,
             _ => false,
         },
     }
@@ -1325,6 +1689,71 @@ mod tests {
     }
 
     #[test]
+    fn in_and_between_compile_to_single_ops() {
+        let host = Architecture::host();
+        for expr in [
+            "price IN (1, 2, 3)",
+            "qty IN (1, 2)",
+            "weight IN (0.5, 1.5)",
+            "dest IN (\"ATL\", \"BOS\")",
+            "price BETWEEN -5 AND 5",
+            "qty BETWEEN 1 AND 4",
+            "weight BETWEEN 0.0 AND 1.0",
+        ] {
+            let f = filter(expr);
+            let program = f.program_for(host.descriptor(), &host).unwrap();
+            assert_eq!(program.len(), 1, "{expr} must be one op, got {}", program.len());
+        }
+    }
+
+    #[test]
+    fn in_and_between_verdicts() {
+        let host = Architecture::host();
+        let f = filter("price IN (100, 200) && weight BETWEEN 1.0 AND 2.0");
+        assert!(f.matches_message(&encode(100, 1, 1.0, "ATL", host)));
+        assert!(f.matches_message(&encode(200, 1, 2.0, "ATL", host)));
+        assert!(!f.matches_message(&encode(150, 1, 1.5, "ATL", host)));
+        assert!(!f.matches_message(&encode(100, 1, 2.5, "ATL", host)));
+        let g = filter("dest IN (\"ATL\", \"BOS\")");
+        assert!(g.matches_message(&encode(0, 0, 0.0, "BOS", host)));
+        assert!(!g.matches_message(&encode(0, 0, 0.0, "LAX", host)));
+    }
+
+    #[test]
+    fn in_and_between_type_errors() {
+        let st = ticks();
+        assert!(matches!(
+            StreamFilter::compile("dest BETWEEN \"A\" AND \"B\"", &st),
+            Err(FilterError::TypeMismatch { .. })
+        ));
+        assert!(matches!(
+            StreamFilter::compile("price IN (1, \"x\")", &st),
+            Err(FilterError::TypeMismatch { .. })
+        ));
+        assert!(matches!(
+            StreamFilter::compile("qty IN (1, -2)", &st),
+            Err(FilterError::TypeMismatch { .. })
+        ));
+        assert!(matches!(
+            StreamFilter::compile("price IN ()", &st),
+            Err(FilterError::Parse { .. })
+        ));
+        assert!(matches!(
+            StreamFilter::compile("price BETWEEN 1 2", &st),
+            Err(FilterError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn in_normalization_dedups_spellings() {
+        let cache = FilterCache::new();
+        let st = ticks();
+        let a = cache.get_or_compile(&st, "price IN (1, 2)").unwrap();
+        let b = cache.get_or_compile(&st, "price IN ( 1 ,2 )").unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "equivalent IN spellings must share a filter");
+    }
+
+    #[test]
     fn compiled_matches_oracle_on_the_matrix() {
         let exprs = [
             "price > 100",
@@ -1334,6 +1763,14 @@ mod tests {
             "dest == \"\"",
             "dest ^= \"AT\"",
             "!(price >= 0) || (qty == 4 && dest != \"X\")",
+            "price IN (-3, 100, 150)",
+            "qty IN (0, 10)",
+            "weight IN (1.25, -2.0)",
+            "dest IN (\"ATL\", \"X\", \"\")",
+            "price BETWEEN 0 AND 120",
+            "qty BETWEEN 4 AND 9",
+            "weight BETWEEN -2.0 AND 1.0",
+            "price IN (150) || (qty BETWEEN 9 AND 10 && !(dest IN (\"ATLANTA\")))",
         ];
         let cases = [
             (150i64, 4u64, 1.0f64, "ATL"),

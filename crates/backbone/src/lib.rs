@@ -50,6 +50,7 @@ pub mod filter;
 pub mod net;
 pub mod scoping;
 pub mod stream;
+pub mod typed;
 
 pub use broker::{
     Broker, DurableSpec, Event, Overflow, PublishHandle, ReplaySubscription,
@@ -64,3 +65,4 @@ pub use net::{
 };
 pub use scoping::FormatScope;
 pub use stream::{CapturePoint, Consumer};
+pub use typed::{TypedCapture, TypedSubscriber};

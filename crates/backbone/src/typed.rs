@@ -1,0 +1,216 @@
+//! Typed capture points and subscribers for
+//! `#[derive(Xml2WireRecord)]` records.
+//!
+//! [`TypedCapture`] and [`TypedSubscriber`] are the compile-time twins
+//! of [`CapturePoint`](crate::CapturePoint) and the dynamic
+//! subscribe/decode pipeline: registration materializes the derived
+//! descriptor once, the publish path calls the generated straight-line
+//! encoder (`pbio::ndr::encode_typed_into` — no format reflection, no
+//! plan-cache lookup), and the receive path decodes events directly
+//! into `T` from the wire image with receiver-makes-right conversion
+//! implied by the sender's architecture descriptor.
+//!
+//! Everything stays wire-compatible with dynamically-bound peers: a
+//! typed producer's stream carries the same bytes and the same
+//! registered struct type, so dynamic consumers, compiled content
+//! filters, federation links and durable logs all work unchanged.
+
+use std::marker::PhantomData;
+use std::sync::Arc;
+use std::time::Duration;
+
+use clayout::{Architecture, Xml2WireRecord};
+use parking_lot::Mutex;
+use pbio::Format;
+use xml2wire::Xml2Wire;
+
+use crate::broker::{Broker, Event, PublishHandle, Subscription};
+use crate::error::BackboneError;
+
+/// Publishes derived records of type `T` onto one stream.
+///
+/// Like [`CapturePoint`](crate::CapturePoint), the publish route is
+/// pinned at creation time (resolved format, shard handle, pooled
+/// scratch buffer); unlike it, encoding is the straight-line code the
+/// derive generated, so a publish performs no field-table walk and no
+/// reflective `Record` access at all.
+#[derive(Debug)]
+pub struct TypedCapture<T: Xml2WireRecord> {
+    /// Kept so the broker's dispatch workers outlive the capture point.
+    _broker: Arc<Broker>,
+    handle: PublishHandle,
+    stream: Arc<str>,
+    format_name: Arc<str>,
+    format: Arc<Format>,
+    scratch: Mutex<Vec<u8>>,
+    _record: PhantomData<fn(&T)>,
+}
+
+impl<T: Xml2WireRecord> TypedCapture<T> {
+    /// Creates a typed capture point: registers `T`'s compile-time
+    /// descriptor with the session, creates the stream, registers the
+    /// struct type for content filters, and pins the publish route.
+    ///
+    /// Advertise `metadata_locator` (typically a metadata server URL
+    /// serving `T::schema_xml()`) so dynamically-bound consumers can
+    /// discover the format.
+    ///
+    /// # Errors
+    ///
+    /// Registration or broker failures.
+    pub fn new(
+        broker: Arc<Broker>,
+        session: &Xml2Wire,
+        stream: impl Into<Arc<str>>,
+        metadata_locator: Option<String>,
+    ) -> Result<Self, BackboneError> {
+        let stream = stream.into();
+        let format = session.register_record::<T>()?;
+        broker.create_stream(stream.to_string(), metadata_locator);
+        broker.register_stream_type(&stream, format.struct_type().clone())?;
+        let handle = broker.publish_handle(&stream)?;
+        Ok(TypedCapture {
+            _broker: broker,
+            handle,
+            stream,
+            format_name: Arc::from(T::FORMAT_NAME),
+            format,
+            scratch: Mutex::new(Vec::new()),
+            _record: PhantomData,
+        })
+    }
+
+    /// Encodes and publishes one record; returns the subscriber count
+    /// it reached.
+    ///
+    /// # Errors
+    ///
+    /// Encoding or broker failures.
+    pub fn publish(&self, value: &T) -> Result<usize, BackboneError> {
+        let mut scratch = self.scratch.lock();
+        pbio::ndr::encode_typed_into(&mut scratch, value, &self.format)?;
+        self.handle.publish(Arc::clone(&self.format_name), scratch.to_vec())
+    }
+
+    /// Publishes a batch, returning total deliveries; the scratch
+    /// buffer is locked once for the whole batch.
+    ///
+    /// # Errors
+    ///
+    /// As [`publish`](Self::publish); stops at the first failure.
+    pub fn publish_batch(&self, values: &[T]) -> Result<usize, BackboneError> {
+        let mut scratch = self.scratch.lock();
+        let mut total = 0;
+        for value in values {
+            pbio::ndr::encode_typed_into(&mut scratch, value, &self.format)?;
+            total += self.handle.publish(Arc::clone(&self.format_name), scratch.to_vec())?;
+        }
+        Ok(total)
+    }
+
+    /// The stream this capture point feeds.
+    pub fn stream(&self) -> &str {
+        &self.stream
+    }
+
+    /// The pinned format (for tests and interop tooling).
+    pub fn format(&self) -> &Arc<Format> {
+        &self.format
+    }
+}
+
+/// Receives events from one stream decoded directly into `T`.
+///
+/// No discovery round trip is needed — the format is compiled in — but
+/// the wire protocol is unchanged: each event's header carries the
+/// sender's struct fingerprint and architecture descriptor, and the
+/// subscriber verifies the fingerprint before decoding (a
+/// schema-evolved or foreign stream fails closed with
+/// [`BackboneError::BadFrame`] rather than misdecoding).
+#[derive(Debug)]
+pub struct TypedSubscriber<T: Xml2WireRecord> {
+    subscription: Subscription,
+    fingerprint: u64,
+    _record: PhantomData<fn() -> T>,
+}
+
+impl<T: Xml2WireRecord> TypedSubscriber<T> {
+    /// Subscribes to every event on `stream`.
+    ///
+    /// # Errors
+    ///
+    /// Unknown streams or broker failures.
+    pub fn new(broker: &Broker, stream: &str) -> Result<Self, BackboneError> {
+        Ok(Self::wrap(broker.subscribe(stream)?))
+    }
+
+    /// Subscribes with a compiled content filter evaluated against the
+    /// wire image before delivery (see
+    /// [`Broker::subscribe_filtered`]).
+    ///
+    /// # Errors
+    ///
+    /// Unknown streams, missing stream type, or filter
+    /// parse/typecheck failures.
+    pub fn filtered(broker: &Broker, stream: &str, expr: &str) -> Result<Self, BackboneError> {
+        Ok(Self::wrap(broker.subscribe_filtered(stream, expr)?))
+    }
+
+    /// Wraps an existing raw subscription (e.g. a replay subscription)
+    /// with typed decoding.
+    pub fn wrap(subscription: Subscription) -> Self {
+        TypedSubscriber {
+            subscription,
+            fingerprint: pbio::format::struct_fingerprint(&T::struct_type()),
+            _record: PhantomData,
+        }
+    }
+
+    /// Blocks for the next event and decodes it into `T`.
+    ///
+    /// # Errors
+    ///
+    /// Disconnection or decode failures.
+    pub fn recv(&self) -> Result<T, BackboneError> {
+        let event = self.subscription.recv()?;
+        self.decode(&event)
+    }
+
+    /// Waits up to `timeout` for the next event and decodes it.
+    ///
+    /// # Errors
+    ///
+    /// Disconnection, timeout, or decode failures.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, BackboneError> {
+        let event = self.subscription.recv_timeout(timeout)?;
+        self.decode(&event)
+    }
+
+    /// Decodes one raw event into `T`: fingerprint check, then the
+    /// generated receiver-makes-right view over the payload image.
+    ///
+    /// # Errors
+    ///
+    /// [`BackboneError::BadFrame`] on fingerprint mismatch; decode
+    /// failures otherwise.
+    pub fn decode(&self, event: &Event) -> Result<T, BackboneError> {
+        let peek = pbio::header::WireHeader::peek(&event.payload)
+            .map_err(|e| BackboneError::BadFrame { detail: e.to_string() })?;
+        if peek.fingerprint != self.fingerprint {
+            return Err(BackboneError::BadFrame {
+                detail: format!(
+                    "struct fingerprint mismatch for {}: stream sends {:#018x}, typed binding expects {:#018x} (schema evolved?)",
+                    T::FORMAT_NAME, peek.fingerprint, self.fingerprint
+                ),
+            });
+        }
+        let arch = Architecture::from_descriptor(peek.descriptor);
+        T::decode_view(&event.payload[peek.header_len..], &arch)
+            .map_err(|e| BackboneError::Metadata(xml2wire::X2wError::from(pbio::PbioError::from(e))))
+    }
+
+    /// The raw subscription, for callers that want undecoded events.
+    pub fn raw(&self) -> &Subscription {
+        &self.subscription
+    }
+}

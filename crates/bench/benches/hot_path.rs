@@ -8,19 +8,27 @@
 //! subscribers, reporting messages/second (Throughput::Elements(1) per
 //! iteration).
 //!
-//! Pair with `crates/bench/tests/alloc_count.rs`, which asserts the
+//! Each fan-out level is measured twice: `publish` drives the dynamic
+//! `CapturePoint` (record → field-table encode), `typed_publish` drives
+//! a `TypedCapture<ASDOffEvent>` whose encode stage is the straight-line
+//! code `#[derive(Xml2WireRecord)]` generated; the broker fan-out and
+//! drain are identical, so the delta isolates the binding strategy.
+//!
+//! Pair with `crates/bench/tests/alloc_count.rs` (and
+//! `alloc_count_typed.rs` for the derived path), which assert the
 //! allocation counts this bench's numbers rely on.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::sync::Arc;
 use std::time::Duration;
 
-use backbone::{Broker, CapturePoint};
+use backbone::{Broker, CapturePoint, TypedCapture};
 use clayout::Architecture;
-use omf_bench::{record_b, SCHEMA_B};
+use omf_bench::{record_b, typed_b, ASDOffEvent, SCHEMA_B};
 
 fn hot_path(c: &mut Criterion) {
     let record = record_b();
+    let typed_value = typed_b();
 
     let mut group = c.benchmark_group("e_hot");
     group.sample_size(50).measurement_time(Duration::from_secs(2));
@@ -51,6 +59,37 @@ fn hot_path(c: &mut Criterion) {
                     let delivered = capture.publish(&record).unwrap();
                     assert_eq!(delivered, subscribers);
                     for sub in &subs {
+                        std::hint::black_box(sub.try_recv());
+                    }
+                });
+            },
+        );
+
+        // The same pipeline with the encode stage swapped for the
+        // derived straight-line encoder — the per-message delta vs
+        // "publish" above is the typed-bindings win on the full path.
+        let typed_broker = Arc::new(Broker::new());
+        let typed_session =
+            xml2wire::Xml2Wire::builder().arch(Architecture::host()).build();
+        let typed_capture = TypedCapture::<ASDOffEvent>::new(
+            Arc::clone(&typed_broker),
+            &typed_session,
+            "hot-typed",
+            None,
+        )
+        .unwrap();
+        let typed_subs: Vec<_> = (0..subscribers)
+            .map(|_| typed_broker.subscribe("hot-typed").unwrap())
+            .collect();
+
+        group.bench_with_input(
+            BenchmarkId::new("typed_publish", subscribers),
+            &(),
+            |b, ()| {
+                b.iter(|| {
+                    let delivered = typed_capture.publish(&typed_value).unwrap();
+                    assert_eq!(delivered, subscribers);
+                    for sub in &typed_subs {
                         std::hint::black_box(sub.try_recv());
                     }
                 });

@@ -97,6 +97,41 @@ pub fn record_b() -> Record {
         .with("eta", vec![100u64, 200, 300])
 }
 
+/// Structure B as a compile-time typed binding: the derived descriptor
+/// is fingerprint-identical to `SCHEMA_B`'s dynamically-bound
+/// `ASDOffEvent` (asserted by the benches that use it), so the derived
+/// and dynamic encoders produce the same bytes for equivalent values.
+#[derive(Debug, Clone, PartialEq, xml2wire::Xml2WireRecord)]
+#[allow(missing_docs)]
+pub struct ASDOffEvent {
+    #[x2w(name = "cntrID")]
+    pub cntr_id: String,
+    pub arln: String,
+    #[x2w(name = "fltNum")]
+    pub flt_num: i32,
+    pub equip: String,
+    pub org: String,
+    pub dest: String,
+    pub off: [u64; 5],
+    pub eta: Vec<u64>,
+}
+
+/// The typed twin of [`record_b`]: same field values, so the derived
+/// encoder must emit the same wire image the dynamic encoder emits for
+/// `record_b()`.
+pub fn typed_b() -> ASDOffEvent {
+    ASDOffEvent {
+        cntr_id: "ZTL".to_owned(),
+        arln: "DL".to_owned(),
+        flt_num: 1202,
+        equip: "B752".to_owned(),
+        org: "ATL".to_owned(),
+        dest: "BOS".to_owned(),
+        off: [10, 20, 30, 40, 50],
+        eta: vec![100, 200, 300],
+    }
+}
+
 /// A record matching Structure D (`threeASDOffs`).
 pub fn record_cd() -> Record {
     Record::new()

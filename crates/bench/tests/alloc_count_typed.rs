@@ -1,0 +1,136 @@
+//! Allocation accounting for the derived (typed-binding) publish path.
+//!
+//! The `typed_publish` numbers in `benches/hot_path.rs` and the
+//! typed-binding ablation in `benches/conversion_matrix.rs` rest on the
+//! same structural claims the dynamic path makes in `alloc_count.rs`,
+//! now for the straight-line encoder `#[derive(Xml2WireRecord)]`
+//! generated:
+//!
+//! 1. `pbio::ndr::encode_typed_into` performs **zero** allocations per
+//!    message once its buffer has grown to the working-set size, and
+//! 2. `TypedCapture::publish` allocates exactly what the dynamic
+//!    `CapturePoint::publish` does — the exact-size payload `Vec` plus
+//!    the `Arc<Event>` wrapper — independent of the subscriber count.
+//!
+//! Everything runs inside a single `#[test]` so no concurrent test can
+//! disturb the counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use backbone::{Broker, Subscription, TypedCapture};
+use clayout::Architecture;
+use omf_bench::{typed_b, ASDOffEvent};
+
+/// Counts every allocation (alloc/alloc_zeroed/realloc) and delegates to
+/// the system allocator. Deallocations are free and uncounted.
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+fn allocations() -> usize {
+    ALLOCATIONS.load(Ordering::SeqCst)
+}
+
+/// The typed twin of `alloc_count.rs`'s pipeline: a broker with
+/// `subscribers` subscriptions on one stream and a
+/// `TypedCapture<ASDOffEvent>` publishing derived records.
+fn pipeline(subscribers: usize) -> (TypedCapture<ASDOffEvent>, Vec<Subscription>) {
+    let broker = Arc::new(Broker::new());
+    let session = xml2wire::Xml2Wire::builder().arch(Architecture::host()).build();
+    let capture =
+        TypedCapture::<ASDOffEvent>::new(Arc::clone(&broker), &session, "hot", None).unwrap();
+    let subs: Vec<_> = (0..subscribers).map(|_| broker.subscribe("hot").unwrap()).collect();
+    (capture, subs)
+}
+
+/// Steady-state allocations per published message for a given fan-out
+/// (see `alloc_count.rs` for the warm-up/drain discipline this copies).
+fn publish_allocs_per_message(
+    capture: &TypedCapture<ASDOffEvent>,
+    subs: &[Subscription],
+) -> usize {
+    let value = typed_b();
+    for _ in 0..16 {
+        capture.publish(&value).unwrap();
+        for sub in subs {
+            sub.recv().unwrap();
+        }
+    }
+    let rounds = 50;
+    let before = allocations();
+    for _ in 0..rounds {
+        capture.publish(&value).unwrap();
+        for sub in subs {
+            sub.recv().unwrap();
+        }
+    }
+    let total = allocations() - before;
+    assert_eq!(total % rounds, 0, "allocation count {total} not uniform across {rounds} rounds");
+    total / rounds
+}
+
+#[test]
+fn typed_path_allocation_budget() {
+    // --- Claim 1: encode_typed_into is allocation-free at steady state. ---
+    let session = xml2wire::Xml2Wire::builder().arch(Architecture::host()).build();
+    let format = session.register_record::<ASDOffEvent>().unwrap();
+    let value = typed_b();
+
+    let mut buf = Vec::new();
+    pbio::ndr::encode_typed_into(&mut buf, &value, &format).unwrap(); // grows buf once
+    let wire_len = buf.len();
+    let before = allocations();
+    for _ in 0..100 {
+        pbio::ndr::encode_typed_into(&mut buf, &value, &format).unwrap();
+    }
+    let encode_allocs = allocations() - before;
+    assert_eq!(buf.len(), wire_len);
+    assert_eq!(
+        encode_allocs, 0,
+        "derived encode must not allocate per message at steady state"
+    );
+
+    // --- Claim 2: typed publish matches the dynamic path's budget —
+    // the exact-size payload Vec plus the shared Arc<Event>, regardless
+    // of fan-out. ---
+    let (capture_1, subs_1) = pipeline(1);
+    let per_message_1 = publish_allocs_per_message(&capture_1, &subs_1);
+
+    let (capture_64, subs_64) = pipeline(64);
+    let per_message_64 = publish_allocs_per_message(&capture_64, &subs_64);
+
+    assert_eq!(
+        per_message_1, per_message_64,
+        "fan-out must not change the per-message allocation count"
+    );
+    assert_eq!(
+        per_message_64, 2,
+        "typed publish should allocate exactly the payload and its Arc<Event> wrapper"
+    );
+}

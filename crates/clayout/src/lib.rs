@@ -50,6 +50,7 @@ pub mod ctype;
 pub mod error;
 pub mod image;
 pub mod layout;
+pub mod typed;
 pub mod value;
 
 pub use arch::{Architecture, Endianness, SizeAlign};
@@ -57,4 +58,5 @@ pub use ctype::{ArrayLen, CType, Primitive, StructField, StructType};
 pub use error::LayoutError;
 pub use image::{decode_record, encode_record, encode_record_into, Image};
 pub use layout::{FieldLayout, Layout};
+pub use typed::{ConstCType, ConstField, ConstStructType, Xml2WireRecord};
 pub use value::{Record, Value};

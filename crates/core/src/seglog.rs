@@ -28,6 +28,7 @@
 use std::fs::{self, File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::time::{Duration, SystemTime};
 
 use pbio::PbioError;
 
@@ -60,9 +61,10 @@ pub enum FsyncPolicy {
 /// How much sealed history a [`SegmentLog`] keeps.
 ///
 /// Retention is enforced on rotation, in whole segments: when the log
-/// seals a segment and starts a new one, sealed segments past the cap
-/// are deleted oldest-first. The active segment is never deleted, so
-/// the cap is effectively at least one segment of history. A
+/// seals a segment and starts a new one, sealed segments past *any*
+/// configured cap are deleted oldest-first until every cap is met (the
+/// tightest cap wins). The active segment is never deleted, so each
+/// cap is effectively at least one segment of history. A
 /// [`SegmentLog::replay_from`] that asks for a compacted-away sequence
 /// fails with the typed [`X2wError::SeqTruncated`] instead of silently
 /// starting late — the caller (a federation link catching up after an
@@ -73,6 +75,13 @@ pub struct Retention {
     /// Cap on the number of segment files, active one included;
     /// `None` (the default) keeps everything.
     pub max_segments: Option<usize>,
+    /// Drop sealed segments whose file modification time (the instant
+    /// the last record was written to them) is at least this old at
+    /// rotation; `None` keeps segments regardless of age.
+    pub max_age: Option<Duration>,
+    /// Cap on the total on-disk bytes across all segment files, active
+    /// one included; `None` keeps everything.
+    pub max_total_bytes: Option<u64>,
 }
 
 /// Tuning knobs for a [`SegmentLog`].
@@ -397,17 +406,44 @@ impl SegmentLog {
         Ok(())
     }
 
-    /// Deletes whole sealed segments oldest-first until the configured
-    /// [`Retention`] cap is met. Runs on rotation only, so the active
-    /// segment — which the cap is clamped to always include — is never
-    /// touched, and an append-heavy log pays nothing per record.
+    /// Deletes whole sealed segments oldest-first until every
+    /// configured [`Retention`] cap is met. Runs on rotation only, so
+    /// the active segment — which every cap is clamped to always
+    /// include — is never touched, and an append-heavy log pays
+    /// nothing per record.
     fn enforce_retention(&mut self) -> Result<(), X2wError> {
-        let Some(max) = self.config.retention.max_segments else {
+        let Retention { max_segments, max_age, max_total_bytes } = self.config.retention;
+        if max_segments.is_none() && max_age.is_none() && max_total_bytes.is_none() {
             return Ok(());
-        };
-        let max = max.max(1);
-        while self.segments.len() > max {
+        }
+        // Total on-disk size for the byte cap, recomputed from file
+        // metadata so a reopened log accounts for existing history.
+        let mut total_bytes: u64 = 0;
+        if max_total_bytes.is_some() {
+            for seg in &self.segments {
+                total_bytes += fs::metadata(&seg.path)?.len();
+            }
+        }
+        let now = SystemTime::now();
+        while self.segments.len() > 1 {
+            let over_count = max_segments.is_some_and(|max| self.segments.len() > max.max(1));
+            let over_bytes = max_total_bytes.is_some_and(|max| total_bytes > max);
+            // Segments seal in order, so the oldest-first scan can stop
+            // at the first one young enough to keep.
+            let over_age = match max_age {
+                Some(max) => {
+                    let mtime = fs::metadata(&self.segments[0].path)?.modified()?;
+                    now.duration_since(mtime).unwrap_or(Duration::ZERO) >= max
+                }
+                None => false,
+            };
+            if !(over_count || over_bytes || over_age) {
+                break;
+            }
             let seg = self.segments.remove(0);
+            if max_total_bytes.is_some() {
+                total_bytes = total_bytes.saturating_sub(fs::metadata(&seg.path)?.len());
+            }
             fs::remove_file(&seg.path)?;
             self.first_seq = self.segments[0].base_seq;
         }
@@ -805,7 +841,7 @@ mod tests {
         let config = SegLogConfig {
             segment_bytes: 256,
             fsync: FsyncPolicy::Never,
-            retention: Retention { max_segments: Some(3) },
+            retention: Retention { max_segments: Some(3), ..Retention::default() },
         };
         let mut log = SegmentLog::open(&dir, config).unwrap();
         for i in 1..=60 {
@@ -844,7 +880,7 @@ mod tests {
         let config = SegLogConfig {
             segment_bytes: 256,
             fsync: FsyncPolicy::Never,
-            retention: Retention { max_segments: Some(2) },
+            retention: Retention { max_segments: Some(2), ..Retention::default() },
         };
         let mut log = SegmentLog::open(&dir, config).unwrap();
         for i in 1..=40 {
@@ -862,6 +898,137 @@ mod tests {
         // The boundary itself is fine.
         assert!(log.replay_from(earliest).is_ok());
         fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn zero_max_age_drops_every_sealed_segment_on_rotation() {
+        let dir = temp_dir("age-zero");
+        let config = SegLogConfig {
+            segment_bytes: 256,
+            fsync: FsyncPolicy::Never,
+            retention: Retention { max_age: Some(Duration::ZERO), ..Retention::default() },
+        };
+        let mut log = SegmentLog::open(&dir, config).unwrap();
+        for i in 1..=60 {
+            log.append(i, &payload(i)).unwrap();
+        }
+        // Every sealed segment is instantly past the age cap, so only
+        // the active one survives each rotation.
+        assert_eq!(log.segment_count(), 1);
+        assert!(log.first_seq() > 1, "aged-out history must be compacted away");
+        assert_eq!(log.last_seq(), 60, "retention must never touch the tail");
+        // Compacted history still fails closed with the typed error.
+        match log.replay_from(1) {
+            Err(X2wError::SeqTruncated { requested: 1, earliest }) => {
+                assert_eq!(earliest, log.first_seq());
+            }
+            other => panic!("expected SeqTruncated, got {other:?}"),
+        }
+        let entries = collect(log.replay_from(log.first_seq()).unwrap());
+        assert_eq!(entries.first().unwrap().0, log.first_seq());
+        assert_eq!(entries.last().unwrap().0, 60);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn generous_max_age_keeps_all_history() {
+        let dir = temp_dir("age-huge");
+        let config = SegLogConfig {
+            segment_bytes: 256,
+            fsync: FsyncPolicy::Never,
+            retention: Retention {
+                max_age: Some(Duration::from_secs(3600)),
+                ..Retention::default()
+            },
+        };
+        let mut log = SegmentLog::open(&dir, config).unwrap();
+        for i in 1..=60 {
+            log.append(i, &payload(i)).unwrap();
+        }
+        assert!(log.segment_count() > 3, "nothing is an hour old yet");
+        assert_eq!(log.first_seq(), 1);
+        assert_eq!(collect(log.replay_from(1).unwrap()).len(), 60);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn byte_cap_bounds_total_log_size() {
+        let dir = temp_dir("bytes");
+        let cap = 600u64;
+        let config = SegLogConfig {
+            segment_bytes: 256,
+            fsync: FsyncPolicy::Never,
+            retention: Retention { max_total_bytes: Some(cap), ..Retention::default() },
+        };
+        let mut log = SegmentLog::open(&dir, config).unwrap();
+        for i in 1..=120 {
+            log.append(i, &payload(i)).unwrap();
+        }
+        assert!(log.first_seq() > 1, "oldest history must be compacted away");
+        assert_eq!(log.last_seq(), 120);
+        // The cap is enforced at rotation, so the live total can
+        // exceed it only by what the active segment grew since.
+        let on_disk: u64 = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().metadata().unwrap().len())
+            .sum();
+        assert!(
+            on_disk <= cap + config.segment_bytes,
+            "{on_disk} bytes on disk exceeds cap {cap} plus one active segment"
+        );
+        // Retained history replays contiguously.
+        let entries = collect(log.replay_from(log.first_seq()).unwrap());
+        for pair in entries.windows(2) {
+            assert_eq!(pair[1].0, pair[0].0 + 1);
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn tightest_retention_cap_wins() {
+        // A loose segment-count cap combined with a tight byte cap: the
+        // byte cap governs.
+        let dir = temp_dir("tightest");
+        let config = SegLogConfig {
+            segment_bytes: 256,
+            fsync: FsyncPolicy::Never,
+            retention: Retention {
+                max_segments: Some(50),
+                max_age: Some(Duration::from_secs(3600)),
+                max_total_bytes: Some(600),
+            },
+        };
+        let mut log = SegmentLog::open(&dir, config).unwrap();
+        for i in 1..=120 {
+            log.append(i, &payload(i)).unwrap();
+        }
+        assert!(
+            log.segment_count() < 10,
+            "byte cap should hold far fewer than 50 segments, got {}",
+            log.segment_count()
+        );
+        assert!(log.first_seq() > 1);
+        assert_eq!(log.last_seq(), 120);
+
+        // And the reverse: a tight count cap with loose byte/age caps.
+        let dir2 = temp_dir("tightest2");
+        let config2 = SegLogConfig {
+            segment_bytes: 256,
+            fsync: FsyncPolicy::Never,
+            retention: Retention {
+                max_segments: Some(2),
+                max_age: Some(Duration::from_secs(3600)),
+                max_total_bytes: Some(u64::MAX),
+            },
+        };
+        let mut log2 = SegmentLog::open(&dir2, config2).unwrap();
+        for i in 1..=60 {
+            log2.append(i, &payload(i)).unwrap();
+        }
+        assert!(log2.segment_count() <= 2, "got {}", log2.segment_count());
+        assert_eq!(log2.last_seq(), 60);
+        fs::remove_dir_all(&dir).unwrap();
+        fs::remove_dir_all(&dir2).unwrap();
     }
 
     #[test]

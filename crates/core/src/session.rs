@@ -115,6 +115,19 @@ impl Xml2Wire {
         Ok(self.registry.register(st, self.arch)?)
     }
 
+    /// Registers a `#[derive(Xml2WireRecord)]` type: the compile-time
+    /// descriptor is materialized once here, and the returned format is
+    /// what the typed publish path (`pbio::ndr::encode_typed_into`)
+    /// pins. Dynamically-bound peers can discover the same definition
+    /// from `T::schema_xml()`.
+    ///
+    /// # Errors
+    ///
+    /// Layout/registration failures.
+    pub fn register_record<T: clayout::Xml2WireRecord>(&self) -> Result<Arc<Format>, X2wError> {
+        self.register_compiled(T::struct_type())
+    }
+
     /// The current format registered under `name`, if any.
     pub fn format(&self, name: &str) -> Option<Arc<Format>> {
         self.registry.by_name(name)

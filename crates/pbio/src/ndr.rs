@@ -69,6 +69,45 @@ pub fn encode_into(
     Ok(())
 }
 
+/// Encodes a derived [`Xml2WireRecord`] in `format` into `out` — the
+/// compile-time twin of [`encode_into`].
+///
+/// Where the dynamic path walks the format's field table and the
+/// reflective [`Record`] model, this calls the straight-line
+/// `encode_image` the derive macro generated: the only per-message
+/// work is the memoized header copy, the native-image build, and the
+/// two length patches. No format reflection, no plan-cache lookup,
+/// and byte-for-byte identical output to the dynamic path for
+/// equivalent values.
+///
+/// `format` must describe `T` (normally obtained by registering
+/// `T::struct_type()`); the caller pins it once, exactly like the
+/// dynamic publish path pins its resolved format.
+///
+/// # Errors
+///
+/// As [`encode_into`]: range overflows and pointer-width overflows. On
+/// error `out` holds partially written bytes and must not be
+/// transmitted.
+pub fn encode_typed_into<T: clayout::Xml2WireRecord>(
+    out: &mut Vec<u8>,
+    value: &T,
+    format: &Format,
+) -> Result<(), PbioError> {
+    use crate::header::{FIXED_LEN_OFFSET, PAYLOAD_LEN_OFFSET};
+    use clayout::image::put_uint;
+    use clayout::Endianness;
+
+    out.clear();
+    out.extend_from_slice(format.header_prefix());
+    let header_len = out.len();
+    let fixed_len = value.encode_image(out, format.arch())?;
+    let payload_len = out.len() - header_len;
+    put_uint(out, FIXED_LEN_OFFSET, 4, Endianness::Little, fixed_len as u64);
+    put_uint(out, PAYLOAD_LEN_OFFSET, 4, Endianness::Little, payload_len as u64);
+    Ok(())
+}
+
 /// Splits a message into its parsed header and payload bytes.
 ///
 /// # Errors

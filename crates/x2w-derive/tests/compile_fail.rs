@@ -1,0 +1,61 @@
+//! Compile-fail suite: every misuse of `#[derive(Xml2WireRecord)]`
+//! must be rejected at compile time with the snapshotted error message.
+//!
+//! The cases live in the detached fixture crate `tests/ui` (one bin per
+//! case, one `expected/<case>.txt` snapshot per bin). The harness runs
+//! a single `cargo check --bins --keep-going` over the fixture and
+//! asserts (a) the check fails overall and (b) each snapshot appears in
+//! the collected stderr — so a misuse that starts compiling, or an
+//! error message that drifts from its snapshot, both fail this test.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+#[test]
+fn derive_misuse_fails_with_snapshotted_errors() {
+    let ui = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/ui");
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_owned());
+    // A private target dir: the fixture is outside the workspace, and
+    // sharing the workspace target dir would deadlock on its build lock
+    // while this very test runs under it.
+    let target = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("x2w-derive-ui-target");
+
+    let output = Command::new(&cargo)
+        .args(["check", "--bins", "--keep-going", "--offline", "--quiet"])
+        .current_dir(&ui)
+        .env("CARGO_TARGET_DIR", &target)
+        .output()
+        .expect("spawning cargo check over tests/ui");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+
+    assert!(
+        !output.status.success(),
+        "every tests/ui bin is a misuse case; `cargo check` must fail.\nstderr:\n{stderr}"
+    );
+
+    let mut cases = 0;
+    for entry in std::fs::read_dir(ui.join("src/bin")).expect("listing tests/ui/src/bin") {
+        let path = entry.expect("dir entry").path();
+        let case = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .expect("case file name")
+            .to_owned();
+        let snapshot_path = ui.join("expected").join(format!("{case}.txt"));
+        let snapshot = std::fs::read_to_string(&snapshot_path)
+            .unwrap_or_else(|e| panic!("missing snapshot {}: {e}", snapshot_path.display()));
+        let snapshot = snapshot.trim();
+        assert!(
+            !snapshot.is_empty(),
+            "empty snapshot for case `{case}` ({})",
+            snapshot_path.display()
+        );
+        assert!(
+            stderr.contains(snapshot),
+            "case `{case}`: expected error message not found.\n\
+             expected substring:\n  {snapshot}\nstderr:\n{stderr}"
+        );
+        cases += 1;
+    }
+    assert!(cases >= 13, "expected at least 13 misuse cases, found {cases}");
+}

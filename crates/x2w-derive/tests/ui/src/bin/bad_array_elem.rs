@@ -1,0 +1,8 @@
+use x2w_derive::Xml2WireRecord;
+
+#[derive(Xml2WireRecord)]
+struct Grid {
+    cells: [bool; 4],
+}
+
+fn main() {}

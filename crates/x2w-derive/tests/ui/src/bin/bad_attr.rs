@@ -1,0 +1,9 @@
+use x2w_derive::Xml2WireRecord;
+
+#[derive(Xml2WireRecord)]
+struct Tick {
+    #[x2w(rename = "fltNum")]
+    flight_number: i32,
+}
+
+fn main() {}

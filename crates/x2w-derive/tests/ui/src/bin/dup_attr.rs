@@ -1,0 +1,10 @@
+use x2w_derive::Xml2WireRecord;
+
+#[derive(Xml2WireRecord)]
+struct Tick {
+    #[x2w(name = "a")]
+    #[x2w(name = "b")]
+    flight_number: i32,
+}
+
+fn main() {}

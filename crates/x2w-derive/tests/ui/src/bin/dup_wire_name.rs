@@ -1,0 +1,9 @@
+use x2w_derive::Xml2WireRecord;
+
+#[derive(Xml2WireRecord)]
+struct Clash {
+    eta: Vec<u32>,
+    eta_count: i32,
+}
+
+fn main() {}

@@ -1,0 +1,9 @@
+use x2w_derive::Xml2WireRecord;
+
+#[derive(Xml2WireRecord)]
+enum Verdict {
+    Yes,
+    No,
+}
+
+fn main() {}

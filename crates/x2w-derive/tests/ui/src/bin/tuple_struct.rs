@@ -1,0 +1,6 @@
+use x2w_derive::Xml2WireRecord;
+
+#[derive(Xml2WireRecord)]
+struct Pair(i32, i32);
+
+fn main() {}

@@ -1,0 +1,9 @@
+use x2w_derive::Xml2WireRecord;
+
+#[derive(Xml2WireRecord)]
+union Raw {
+    bits: u32,
+    word: i32,
+}
+
+fn main() {}

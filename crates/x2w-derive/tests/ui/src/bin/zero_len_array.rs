@@ -1,0 +1,8 @@
+use x2w_derive::Xml2WireRecord;
+
+#[derive(Xml2WireRecord)]
+struct Degenerate {
+    none: [u8; 0],
+}
+
+fn main() {}
